@@ -1,0 +1,107 @@
+// Ablation — Byzantine-robust aggregation rules under attack (paper §8
+// future work, implemented in src/robust/).
+//
+// Fixed setting: N = 30 users in G = 6 LightSecAgg groups, honest updates
+// clustered at 1.0. Sweeps the attacker budget B and the attack kind, and
+// reports the L_inf error of each rule's output vs the honest mean — the
+// quantity a training loop cares about. Concentrated attackers fill whole
+// groups (the favourable case); spread attackers stripe one per group (the
+// worst case for group-wise robustness, where *every* group average is
+// slightly poisoned and only bounded-influence rules degrade gracefully).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "field/fp.h"
+#include "robust/attacks.h"
+#include "robust/grouped_secure.h"
+
+namespace {
+
+using F = lsa::field::Fp32;
+namespace rb = lsa::robust;
+
+constexpr std::size_t kUsers = 30;
+constexpr std::size_t kGroups = 6;
+constexpr std::size_t kDim = 64;
+
+double linf_error_vs_honest(rb::Rule rule, std::size_t num_byz,
+                            rb::Attack attack, bool spread) {
+  rb::GroupedConfig gc;
+  gc.num_users = kUsers;
+  gc.num_groups = kGroups;
+  gc.model_dim = kDim;
+  gc.rule = rule;
+  gc.rule_opts.trim = 1;
+  gc.rule_opts.byzantine = 1;
+  gc.seed = 7;
+  rb::GroupedSecureAggregator<F> agg(gc);
+
+  lsa::common::Xoshiro256ss rng(11);
+  std::vector<std::vector<double>> locals(kUsers,
+                                          std::vector<double>(kDim));
+  for (auto& l : locals) {
+    for (auto& v : l) v = 1.0 + 0.05 * rng.next_gaussian();
+  }
+  const auto byz =
+      rb::byzantine_assignment(kUsers, num_byz, kGroups, spread);
+  rb::AttackConfig atk;
+  atk.kind = attack;
+  atk.scale = 100.0;
+  atk.sigma = 100.0;
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    if (byz[i]) rb::apply_attack(locals[i], atk, rng);
+  }
+
+  const std::vector<bool> dropped(kUsers, false);
+  const auto out = agg.aggregate(locals, dropped);
+  double err = 0;
+  for (const double v : out) err = std::max(err, std::abs(v - 1.0));
+  return err;
+}
+
+void sweep(const char* title, rb::Attack attack, bool spread) {
+  std::printf("\n%s\n", title);
+  std::printf("%-18s", "rule \\ B");
+  for (const std::size_t b : {0, 2, 5, 10}) std::printf(" %11zu", b);
+  std::printf("\n");
+  for (const auto rule :
+       {rb::Rule::kMean, rb::Rule::kCoordinateMedian, rb::Rule::kTrimmedMean,
+        rb::Rule::kGeometricMedian, rb::Rule::kMultiKrum}) {
+    std::printf("%-18s", std::string(rb::to_string(rule)).c_str());
+    for (const std::size_t b : {0, 2, 5, 10}) {
+      std::printf(" %11.3f", linf_error_vs_honest(rule, b, attack, spread));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace lsa::bench;
+  print_header(
+      "Ablation — robust rules x attacks on grouped secure aggregation\n"
+      "N = 30 users, G = 6 LightSecAgg groups, honest updates ~ 1.0.\n"
+      "Cells: L_inf deviation of the aggregate from the honest mean\n"
+      "(0.05-ish = within honest noise; 10+ = poisoned).");
+
+  sweep("Sign-flip x100, concentrated (attackers fill whole groups)",
+        rb::Attack::kSignFlip, /*spread=*/false);
+  sweep("Sign-flip x100, spread (one attacker striped per group)",
+        rb::Attack::kSignFlip, /*spread=*/true);
+  sweep("Gaussian noise sigma=100, concentrated", rb::Attack::kGaussian,
+        /*spread=*/false);
+
+  std::printf(
+      "\nReading: concentrated attackers — the mean is destroyed by B = 2;\n"
+      "median and geometric-median hold through B = 10 (2 of 6 groups\n"
+      "poisoned, still a minority); trimmed-mean(k=1) and multi-krum(f=1)\n"
+      "hold exactly up to their configured budget of 1 bad group (B = 5) and\n"
+      "fail at 2, as theory says they should. Spread attackers poison every\n"
+      "group average a little: all rules degrade together because group-wise\n"
+      "robustness cannot reject a group that is only 20%% corrupt — the\n"
+      "privacy/robustness granularity trade-off of the grouped composition.\n");
+  return 0;
+}

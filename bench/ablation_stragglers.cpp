@@ -1,0 +1,95 @@
+// Ablation — stragglers and the choice of U (Remark 2: "LightSecAgg only
+// requires at least U surviving users at any time during the execution").
+//
+// In a cross-device fleet, response times are heavy-tailed: most devices
+// answer fast, a few straggle. The server's recovery phase completes at the
+// U-th fastest response — an order statistic — so raising U buys smaller
+// shares (segment d/(U-T)) but waits deeper into the latency tail. This
+// bench samples log-normal per-device response times (the standard fleet
+// model), computes the expected U-th order statistic, combines it with the
+// real per-share transfer sizes, and locates the latency-optimal U — a
+// different lens on §7.2's "Impact of U" than the compute-centred sweep of
+// ablation_impact_of_u.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+
+namespace {
+
+/// Expected time of the u-th fastest of n log-normal responders,
+/// estimated by Monte Carlo (exact enough at 4000 trials).
+double uth_response_time(std::size_t n, std::size_t u, double mu,
+                         double sigma, lsa::common::Xoshiro256ss& rng) {
+  constexpr int kTrials = 4000;
+  std::vector<double> times(n);
+  double total = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (auto& t : times) {
+      t = std::exp(mu + sigma * rng.next_gaussian());
+    }
+    std::nth_element(times.begin(),
+                     times.begin() + static_cast<std::ptrdiff_t>(u - 1),
+                     times.end());
+    total += times[u - 1];
+  }
+  return total / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lsa::bench;
+  print_header(
+      "Ablation — stragglers vs the design parameter U (Remark 2)\n"
+      "N = 200 devices, log-normal response times (median 1 s, sigma 0.8),\n"
+      "CNN/FEMNIST-sized shares on 320 Mb/s; recovery completes at the\n"
+      "U-th fastest aggregated-share response");
+
+  const std::size_t n = 200;
+  const std::size_t t = 100;         // T = N/2
+  const std::size_t d = 1206590;     // CNN/FEMNIST
+  const double bytes_per_elem = 4.0;
+  const double link_bytes_per_s = 320e6 / 8.0;
+  const double sigma = 0.8;
+
+  lsa::common::Xoshiro256ss rng(97);
+  std::printf("%-6s %-12s | %12s %12s %12s | %12s\n", "U", "seg=d/(U-T)",
+              "wait Uth(s)", "xfer seg(s)", "decode(s)", "recovery(s)");
+
+  double best_total = 1e300;
+  std::size_t best_u = 0;
+  for (std::size_t u = t + 2; u <= n - 2; u += 14) {
+    const std::size_t seg = (d + (u - t) - 1) / (u - t);
+    // Straggler wait: U-th order statistic of the fleet's response times.
+    const double wait = uth_response_time(n, u, 0.0, sigma, rng);
+    // Each response carries one segment; the server's downlink is shared,
+    // so U segments stream through it.
+    const double xfer = static_cast<double>(u) * static_cast<double>(seg) *
+                        bytes_per_elem / link_bytes_per_s;
+    // Decode: O(U d) field ops at the calibrated ~3.3e8 mul/s of this box.
+    const double decode = static_cast<double>(u) * static_cast<double>(d) /
+                          3.3e8;
+    const double total = wait + xfer + decode;
+    if (total < best_total) {
+      best_total = total;
+      best_u = u;
+    }
+    std::printf("%-6zu %-12zu | %12.2f %12.2f %12.2f | %12.2f\n", u, seg,
+                wait, xfer, decode, total);
+  }
+  std::printf(
+      "\nLatency-optimal U = %zu (%.2f s recovery).\n"
+      "Reading: small U answers after the fastest responders but pays huge\n"
+      "segments (d/(U-T)); large U shrinks segments but waits on the\n"
+      "straggler tail, whose order statistic grows super-linearly in the\n"
+      "log-normal tail. The optimum again sits in the interior — the\n"
+      "paper's U ~ 0.7N heuristic lands within the flat region even under\n"
+      "a heavy-tailed fleet, complementing ablation_impact_of_u's compute-\n"
+      "centred account of the same §7.2 finding.\n",
+      best_u, best_total);
+  return 0;
+}

@@ -1,0 +1,238 @@
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Methodology (see EXPERIMENTS.md): every protocol is *functionally
+// executed* — real masks, Shamir shares, MDS decoding — at the experiment's
+// true N, T, D, U but a reduced model dimension d_sim. The net::Ledger
+// records every message and compute unit with a scales-with-d flag, and the
+// RoundSimulator extrapolates to the paper's model sizes exactly (all
+// d-dependent costs are linear in d by construction). Wall times come from
+// the CostModel profile: `paper_stack()` reproduces the magnitudes of the
+// paper's Python/EC2 stack (two anchors in Table 4); `calibrate()` measures
+// this repository's C++ kernels instead.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/session.h"
+#include "field/random_field.h"
+#include "net/round_sim.h"
+#include "protocol/fastsecagg.h"
+#include "protocol/lightsecagg.h"
+#include "protocol/secagg.h"
+#include "protocol/secagg_plus.h"
+
+namespace lsa::bench {
+
+/// The paper's four learning tasks (Table 2).
+struct Task {
+  const char* name;
+  const char* model;
+  std::size_t d;
+  double train_seconds;  ///< measured local-training workload (see notes)
+};
+
+/// Training times: CNN/FEMNIST is the paper's measured 22.8 s (Table 4);
+/// the others are representative workloads chosen so that training-to-
+/// aggregation ratios qualitatively match Table 2's description (LR tiny,
+/// EfficientNet training-dominant).
+inline const Task kTasks[] = {
+    {"MNIST", "LogisticRegression", 7850, 3.0},
+    {"FEMNIST", "CNN", 1206590, 22.8},
+    {"CIFAR-10", "MobileNetV3", 3111462, 85.0},
+    {"GLD-23K", "EfficientNet-B0", 5288548, 250.0},
+};
+
+struct Scenario {
+  ProtocolKind protocol = ProtocolKind::kLightSecAgg;
+  std::size_t n = 200;
+  double dropout_rate = 0.1;  ///< p
+  std::size_t d_real = 1206590;
+  double train_seconds = 22.8;
+  std::uint64_t seed = 1;
+};
+
+/// Paper parameterization: T = N/2; U = 0.7N for p <= 0.3 (the measured
+/// optimum), else the largest feasible U = N/2 + 1 (§7.2 "Impact of U").
+struct Resolved {
+  std::size_t t, u, d_drop;  // d_drop = number of users actually dropped
+};
+
+inline Resolved resolve_params(std::size_t n, double p) {
+  Resolved r;
+  r.t = n / 2;
+  const auto by_rate = static_cast<std::size_t>(0.7 * static_cast<double>(n));
+  r.u = p <= 0.3 ? std::max(r.t + 1, by_rate) : r.t + 1;
+  const std::size_t want_drop =
+      static_cast<std::size_t>(p * static_cast<double>(n));
+  r.d_drop = std::min(want_drop, n - r.u);  // keep >= U survivors
+  return r;
+}
+
+/// Functionally executes one round at reduced d_sim and returns the ledger
+/// plus full-scale timing.
+///
+/// SecAgg+ note: its dropout guarantee is probabilistic (paper Remark 4) —
+/// an unlucky dropout pattern can strand a neighborhood. Like a real
+/// deployment, the harness retries such a failed round with a fresh dropout
+/// draw (bounded attempts), which is exactly the "with high probability"
+/// regime the paper describes.
+inline lsa::net::RoundBreakdown run_scenario(
+    const Scenario& sc, const lsa::net::CostModel& cost,
+    const lsa::net::BandwidthProfile& bw,
+    lsa::net::RoundSimulator::Options opts = {}) {
+  using Fp = lsa::field::Fp32;
+  const auto rp = resolve_params(sc.n, sc.dropout_rate);
+  // d_sim: smallest dimension that exercises every segment (>= U - T),
+  // rounded up for a little headroom.
+  const std::size_t d_sim = std::max<std::size_t>(rp.u - rp.t, 64);
+
+  lsa::protocol::Params params;
+  params.num_users = sc.n;
+  params.privacy = rp.t;
+  params.dropout = sc.n - rp.u;
+  params.target_survivors = rp.u;
+  params.model_dim = d_sim;
+
+  lsa::net::Ledger ledger(sc.n);
+  std::unique_ptr<lsa::protocol::SecureAggregator<Fp>> proto;
+  switch (sc.protocol) {
+    case ProtocolKind::kSecAgg:
+      proto = std::make_unique<lsa::protocol::SecAgg<Fp>>(params, sc.seed,
+                                                          &ledger);
+      break;
+    case ProtocolKind::kSecAggPlus: {
+      // Degree ~4.5 log2 N (Bell et al. size k's constant for concrete
+      // security/correctness targets); neighborhood threshold k/6 keeps
+      // recovery whp even at p = 0.5 — the probabilistic trade-off of
+      // SecAgg+ (paper Remark 4).
+      const std::size_t degree =
+          lsa::protocol::CommGraph::default_degree(sc.n) * 3 / 2;
+      proto = std::make_unique<lsa::protocol::SecAggPlus<Fp>>(
+          params, sc.seed, &ledger, degree,
+          std::max<std::size_t>(1, degree / 6));
+      break;
+    }
+    case ProtocolKind::kLightSecAgg:
+      proto = std::make_unique<lsa::protocol::LightSecAgg<Fp>>(
+          params, sc.seed, &ledger);
+      break;
+    case ProtocolKind::kFastSecAgg:
+      proto = std::make_unique<lsa::protocol::FastSecAgg<Fp>>(
+          params, sc.seed, &ledger);
+      break;
+    case ProtocolKind::kZhaoSun:
+      throw lsa::ConfigError(
+          "run_scenario: ZhaoSun-TTP is exponential in N; see "
+          "bench/table6_storage for its dedicated comparison");
+  }
+
+  lsa::common::Xoshiro256ss rng(sc.seed ^ 0xbe9c4);
+  std::vector<std::vector<Fp::rep>> inputs(sc.n);
+  for (auto& v : inputs) v = lsa::field::uniform_vector<Fp>(d_sim, rng);
+
+  constexpr int kMaxAttempts = 16;
+  for (int attempt = 0;; ++attempt) {
+    std::vector<bool> dropped(sc.n, false);
+    for (std::size_t k = 0; k < rp.d_drop; ++k) {
+      std::size_t pick;
+      do {
+        pick = static_cast<std::size_t>(rng.next_below(sc.n));
+      } while (dropped[pick]);
+      dropped[pick] = true;
+    }
+    try {
+      (void)proto->run_round(inputs, dropped);
+      break;
+    } catch (const lsa::ProtocolError&) {
+      ledger.reset();
+      if (sc.protocol != ProtocolKind::kSecAggPlus ||
+          attempt + 1 == kMaxAttempts) {
+        throw;
+      }
+    }
+  }
+
+  lsa::net::RoundSimulator sim(cost, bw, opts);
+  return sim.simulate(ledger,
+                      static_cast<double>(sc.d_real) /
+                          static_cast<double>(d_sim),
+                      sc.train_seconds);
+}
+
+inline const char* kProtocolNames[] = {"SecAgg", "SecAgg+", "LightSecAgg"};
+inline const ProtocolKind kAllProtocols[] = {ProtocolKind::kSecAgg,
+                                             ProtocolKind::kSecAggPlus,
+                                             ProtocolKind::kLightSecAgg};
+
+/// Fixed per-message RPC overhead. Zero by default: the paper's measured
+/// MNIST gains (6.7x at d = 7,850, Table 2) imply its messaging overhead is
+/// negligible — a large per-message cost would flatten the small-model gain
+/// to ~1x. The knob remains for ablation (see EXPERIMENTS.md).
+inline constexpr double kPaperMsgOverheadS = 0.0;
+
+/// RoundSimulator options used by all paper_stack table/figure benches:
+/// duplex chunked send/recv always on (it is part of the paper's system,
+/// §6) — the non-overlapped/overlapped distinction is offline ∥ training,
+/// chosen via RoundBreakdown::total_*().
+[[nodiscard]] inline lsa::net::RoundSimulator::Options paper_opts() {
+  lsa::net::RoundSimulator::Options o;
+  o.duplex_overlap = true;
+  o.per_msg_overhead_s = kPaperMsgOverheadS;
+  return o;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Shared driver for Figures 6 / 8 / 9 / 10: total running time of the three
+/// protocols as N grows, for dropout rates p in {0.1, 0.3, 0.5}, in both
+/// the non-overlapped and overlapped implementations.
+inline void run_runtime_vs_n(const char* figure, const char* task_name,
+                             std::size_t d_real, double train_seconds) {
+  const auto cost = lsa::net::CostModel::paper_stack();
+  const auto bw = lsa::net::BandwidthProfile::measured_320mbps();
+  const std::size_t ns[] = {20, 50, 100, 200};
+  const double rates[] = {0.1, 0.3, 0.5};
+
+  print_header(std::string(figure) + " — total running time (sec) vs N, " +
+               task_name);
+  for (bool overlapped : {false, true}) {
+    std::printf("\n(%s)\n", overlapped ? "b: overlapped" : "a: non-overlapped");
+    std::printf("%-12s %-6s", "Protocol", "p");
+    for (auto n : ns) std::printf(" %9s%-3zu", "N=", n);
+    std::printf("\n");
+    for (auto kind : kAllProtocols) {
+      for (double p : rates) {
+        std::printf("%-12s %-6.1f", kProtocolNames[static_cast<int>(kind)],
+                    p);
+        for (auto n : ns) {
+          Scenario sc;
+          sc.protocol = kind;
+          sc.n = n;
+          sc.dropout_rate = p;
+          sc.d_real = d_real;
+          sc.train_seconds = train_seconds;
+          sc.seed = 1000 + n;
+          const auto rb = run_scenario(sc, cost, bw, paper_opts());
+          std::printf(" %12.1f", overlapped ? rb.total_overlapped()
+                                            : rb.total_nonoverlapped());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 6/8/9/10): SecAgg grows ~quadratically "
+      "in N\nand steeply with p; SecAgg+ sub-quadratically; LightSecAgg "
+      "stays nearly\nflat in N, with p = 0.1 and p = 0.3 almost identical "
+      "(U = 0.7N optimum)\nand p = 0.5 moderately slower (U forced to N/2 + "
+      "1).\n");
+}
+
+}  // namespace lsa::bench

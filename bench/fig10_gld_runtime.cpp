@@ -1,0 +1,10 @@
+// Figure 10: total running time vs number of users — EfficientNet-B0 on
+// GLD-23K, d = 5,288,548 (the training-dominant, high-resolution task).
+#include "bench_common.h"
+
+int main() {
+  lsa::bench::run_runtime_vs_n("Figure 10",
+                               "EfficientNet-B0 / GLD-23K (d = 5,288,548)",
+                               5288548, 250.0);
+  return 0;
+}

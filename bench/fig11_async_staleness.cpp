@@ -1,0 +1,93 @@
+// Figure 11: asynchronous LightSecAgg vs FedBuff on MNIST-shaped and
+// CIFAR-10-shaped tasks with Constant and Poly staleness weighting —
+// the two-dataset version of Fig. 7 (Appendix F.5).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fl/cnn.h"
+#include "fl/fedbuff.h"
+
+namespace {
+
+using namespace lsa::fl;
+
+struct Curve {
+  const char* name;
+  std::vector<RoundRecord> records;
+};
+
+std::vector<RoundRecord> run_one(Model& global, const SyntheticDataset& ds,
+                                 bool secure,
+                                 lsa::quant::StalenessKind kind,
+                                 std::size_t rounds) {
+  auto parts = ds.partition_iid(50, 4);
+  FedBuffConfig cfg;
+  cfg.rounds = rounds;
+  cfg.eta_g = 0.8;  // damped server step stabilizes Constant staleness
+  cfg.buffer_k = 10;
+  cfg.tau_max = 10;
+  cfg.sgd = {.epochs = 2, .batch_size = 16, .lr = 0.05};
+  cfg.staleness = {kind, 1.0};
+  cfg.seed = 17;
+  cfg.eval_every = 2;
+  cfg.secure = secure;
+  cfg.c_l = 1u << 16;
+  cfg.c_g = 1u << 6;
+  cfg.privacy_t = 5;
+  cfg.target_u = 40;
+  return run_fedbuff(global, ds, parts, cfg);
+}
+
+void run_dataset(const char* title, const SyntheticDataset& ds,
+                 const SmallCnn::Shape& shape, std::size_t rounds) {
+  std::printf("\n(%s)\n", title);
+  std::vector<Curve> curves;
+  for (bool secure : {false, true}) {
+    for (auto kind : {lsa::quant::StalenessKind::kConstant,
+                      lsa::quant::StalenessKind::kPolynomial}) {
+      SmallCnn global(shape, 9);
+      Curve c;
+      c.name = secure ? (kind == lsa::quant::StalenessKind::kConstant
+                             ? "LightSA-Const"
+                             : "LightSA-Poly")
+                      : (kind == lsa::quant::StalenessKind::kConstant
+                             ? "FedBuff-Const"
+                             : "FedBuff-Poly");
+      c.records = run_one(global, ds, secure, kind, rounds);
+      curves.push_back(std::move(c));
+    }
+  }
+  std::printf("%-8s", "round");
+  for (const auto& c : curves) std::printf(" %15s", c.name);
+  std::printf("\n");
+  for (std::size_t r = 0; r < rounds; r += 2) {
+    std::printf("%-8zu", r);
+    for (const auto& c : curves) {
+      std::printf(" %14.3f%%", 100 * c.records[r].test_accuracy);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  lsa::bench::print_header(
+      "Figure 11 — async accuracy, MNIST-shaped and CIFAR-10-shaped tasks\n"
+      "(LeNet-class CNNs, K = 10, tau_max = 10)");
+  auto mnist = SyntheticDataset::mnist_like(1200, 200, 21);
+  run_dataset("a: MNIST-shaped", mnist,
+              {.channels = 1, .height = 28, .width = 28, .conv1 = 4,
+               .conv2 = 8, .hidden = 32, .classes = 10},
+              16);
+  auto cifar = SyntheticDataset::cifar10_like(1200, 200, 22);
+  run_dataset("b: CIFAR-10-shaped", cifar,
+              {.channels = 3, .height = 32, .width = 32, .conv1 = 4,
+               .conv2 = 8, .hidden = 32, .classes = 10},
+              16);
+  std::printf(
+      "\nExpected shape (paper Fig. 11): secure async LightSecAgg matches "
+      "plaintext\nFedBuff on both datasets; quantization noise is "
+      "invisible at c_l = 2^16.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 6: total running time vs number of users — CNN (McMahan et al.
+// 2017) on FEMNIST, d = 1,206,590, local training 22.8 s.
+#include "bench_common.h"
+
+int main() {
+  lsa::bench::run_runtime_vs_n("Figure 6", "CNN / FEMNIST (d = 1,206,590)",
+                               1206590, 22.8);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 7: accuracy of asynchronous LightSecAgg vs FedBuff on a
+// CIFAR-10-shaped task with two staleness strategies — Constant s(tau) = 1
+// and Poly s_1(tau) = (1 + tau)^-1. Buffered async setting of App. F.5:
+// K = 10, staleness uniform over [0, tau_max = 10].
+//
+// Substitution note: synthetic CIFAR-shaped data + a compact LeNet-class
+// CNN (the paper itself uses "a variant of LeNet-5"); see DESIGN.md.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fl/cnn.h"
+#include "fl/fedbuff.h"
+
+namespace {
+
+using namespace lsa::fl;
+
+std::vector<RoundRecord> run_curve(bool secure,
+                                   lsa::quant::StalenessKind kind,
+                                   const SyntheticDataset& ds,
+                                   std::size_t rounds) {
+  SmallCnn global({.channels = 3, .height = 32, .width = 32, .conv1 = 4,
+                   .conv2 = 8, .hidden = 32, .classes = 10},
+                  7);
+  auto parts = ds.partition_iid(60, 8);
+  FedBuffConfig cfg;
+  cfg.rounds = rounds;
+  cfg.buffer_k = 10;
+  cfg.tau_max = 10;
+  cfg.eta_g = 1.0;
+  cfg.sgd = {.epochs = 2, .batch_size = 16, .lr = 0.06};
+  cfg.staleness = {kind, 1.0};
+  cfg.seed = 99;  // identical arrival schedule across all four curves
+  cfg.eval_every = 2;
+  cfg.secure = secure;
+  cfg.c_l = 1u << 16;
+  cfg.c_g = 1u << 6;
+  cfg.privacy_t = 6;
+  cfg.target_u = 48;
+  return run_fedbuff(global, ds, parts, cfg);
+}
+
+}  // namespace
+
+int main() {
+  lsa::bench::print_header(
+      "Figure 7 — async LightSecAgg vs FedBuff, CIFAR-10-shaped data,\n"
+      "LeNet-class CNN, K = 10, tau_max = 10, Constant vs Poly(alpha=1) "
+      "staleness");
+  auto ds = SyntheticDataset::cifar10_like(960, 240, 5);
+  const std::size_t rounds = 24;
+
+  auto fb_const = run_curve(false, lsa::quant::StalenessKind::kConstant, ds,
+                            rounds);
+  auto fb_poly = run_curve(false, lsa::quant::StalenessKind::kPolynomial, ds,
+                           rounds);
+  auto lsa_const = run_curve(true, lsa::quant::StalenessKind::kConstant, ds,
+                             rounds);
+  auto lsa_poly = run_curve(true, lsa::quant::StalenessKind::kPolynomial, ds,
+                            rounds);
+
+  std::printf("%-8s %16s %16s %16s %16s\n", "round", "FedBuff-Const",
+              "FedBuff-Poly", "LightSA-Const", "LightSA-Poly");
+  for (std::size_t r = 0; r < rounds; r += 2) {
+    std::printf("%-8zu %15.3f%% %15.3f%% %15.3f%% %15.3f%%\n", r,
+                100 * fb_const[r].test_accuracy,
+                100 * fb_poly[r].test_accuracy,
+                100 * lsa_const[r].test_accuracy,
+                100 * lsa_poly[r].test_accuracy);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 7): the secure curves track the "
+      "plaintext\nFedBuff curves within quantization noise (c_l = 2^16 makes "
+      "it negligible);\nstaleness compensation (Poly) helps or matches "
+      "Constant.\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 8: total running time vs number of users — logistic regression on
+// MNIST, d = 7,850 (the smallest model: communication and training are
+// cheap, so server recovery dominates the baselines even here).
+#include "bench_common.h"
+
+int main() {
+  lsa::bench::run_runtime_vs_n(
+      "Figure 8", "Logistic Regression / MNIST (d = 7,850)", 7850, 3.0);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 9: total running time vs number of users — MobileNetV3 on
+// CIFAR-10, d = 3,111,462.
+#include "bench_common.h"
+
+int main() {
+  lsa::bench::run_runtime_vs_n("Figure 9",
+                               "MobileNetV3 / CIFAR-10 (d = 3,111,462)",
+                               3111462, 85.0);
+  return 0;
+}

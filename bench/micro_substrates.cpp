@@ -1,0 +1,236 @@
+// Micro-benchmarks of the substrate kernels (google-benchmark).
+//
+// These are the per-element costs that CostModel::calibrate() feeds into
+// the timing simulation — run this binary to see what the simulator sees.
+#include <benchmark/benchmark.h>
+
+#include "coding/mask_codec.h"
+#include "coding/ntt.h"
+#include "coding/poly.h"
+#include "common/rng.h"
+#include "crypto/chacha20.h"
+#include "crypto/key_agreement.h"
+#include "crypto/prg.h"
+#include "crypto/shamir.h"
+#include "field/field_vec.h"
+#include "field/fp.h"
+#include "field/goldilocks.h"
+#include "field/random_field.h"
+#include "quant/quantizer.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using lsa::field::Fp61;
+using lsa::field::Goldilocks;
+using rep32 = Fp32::rep;
+using repg = Goldilocks::rep;
+
+template <class F>
+void BM_FieldMul(benchmark::State& state) {
+  lsa::common::Xoshiro256ss rng(1);
+  auto a = lsa::field::uniform<F>(rng);
+  auto b = lsa::field::uniform<F>(rng);
+  for (auto _ : state) {
+    a = F::mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul<Fp32>);
+BENCHMARK(BM_FieldMul<Fp61>);
+BENCHMARK(BM_FieldMul<Goldilocks>);  // branch-light reduction vs % above
+
+void BM_NttForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  lsa::common::Xoshiro256ss rng(9);
+  auto a = lsa::field::uniform_vector<Goldilocks>(n, rng);
+  for (auto _ : state) {
+    lsa::coding::ntt_inplace<Goldilocks>(std::span<repg>(a));
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NttForward)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PolymulNttVsSchoolbook(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool use_ntt = state.range(1) != 0;
+  lsa::common::Xoshiro256ss rng(10);
+  const auto a = lsa::field::uniform_vector<Goldilocks>(n, rng);
+  const auto b = lsa::field::uniform_vector<Goldilocks>(n, rng);
+  for (auto _ : state) {
+    auto p = use_ntt
+                 ? lsa::coding::polymul_ntt<Goldilocks>(
+                       std::span<const repg>(a), std::span<const repg>(b))
+                 : lsa::coding::polymul_schoolbook<Goldilocks>(
+                       std::span<const repg>(a), std::span<const repg>(b));
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_PolymulNttVsSchoolbook)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({4096, 1});
+
+void BM_FastInterpolation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  lsa::common::Xoshiro256ss rng(11);
+  std::vector<repg> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = Goldilocks::from_u64(i + 1);
+  const auto ys = lsa::field::uniform_vector<Goldilocks>(n, rng);
+  lsa::coding::SubproductTree<Goldilocks> tree{std::span<const repg>(xs)};
+  for (auto _ : state) {
+    auto f = tree.interpolate(std::span<const repg>(ys));
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_FastInterpolation)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FieldAddVec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  lsa::common::Xoshiro256ss rng(2);
+  auto a = lsa::field::uniform_vector<Fp32>(n, rng);
+  auto b = lsa::field::uniform_vector<Fp32>(n, rng);
+  for (auto _ : state) {
+    lsa::field::add_inplace<Fp32>(std::span<rep32>(a),
+                                  std::span<const rep32>(b));
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FieldAddVec)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_FieldAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  lsa::common::Xoshiro256ss rng(3);
+  auto a = lsa::field::uniform_vector<Fp32>(n, rng);
+  auto b = lsa::field::uniform_vector<Fp32>(n, rng);
+  for (auto _ : state) {
+    lsa::field::axpy_inplace<Fp32>(std::span<rep32>(a), 12345u,
+                                   std::span<const rep32>(b));
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FieldAxpy)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ChaCha20Block(benchmark::State& state) {
+  lsa::crypto::ChaChaKey key{};
+  lsa::crypto::ChaChaNonce nonce{};
+  std::array<std::uint8_t, 64> out;
+  std::uint32_t ctr = 0;
+  for (auto _ : state) {
+    lsa::crypto::chacha20_block(key, ctr++, nonce, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ChaCha20Block);
+
+void BM_PrgExpandFieldElems(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    lsa::crypto::Prg prg(lsa::crypto::seed_from_u64(7));
+    auto v = lsa::field::uniform_vector<Fp32>(n, prg);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PrgExpandFieldElems)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DhKeyAgreement(benchmark::State& state) {
+  const auto kp = lsa::crypto::generate_keypair(lsa::crypto::seed_from_u64(1));
+  const auto other =
+      lsa::crypto::generate_keypair(lsa::crypto::seed_from_u64(2));
+  for (auto _ : state) {
+    auto s = lsa::crypto::shared_secret(kp.secret, other.public_key);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_DhKeyAgreement);
+
+void BM_ShamirShare(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 2 * t + 1;
+  lsa::common::Xoshiro256ss rng(4);
+  lsa::crypto::ShamirScheme<Fp32> scheme(t, n);
+  auto secret = lsa::field::uniform_vector<Fp32>(11, rng);
+  for (auto _ : state) {
+    auto shares = scheme.share(std::span<const rep32>(secret), rng);
+    benchmark::DoNotOptimize(shares.data());
+  }
+}
+BENCHMARK(BM_ShamirShare)->Arg(8)->Arg(32)->Arg(100);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 2 * t + 1;
+  lsa::common::Xoshiro256ss rng(5);
+  lsa::crypto::ShamirScheme<Fp32> scheme(t, n);
+  auto secret = lsa::field::uniform_vector<Fp32>(11, rng);
+  auto shares = scheme.share(std::span<const rep32>(secret), rng);
+  shares.resize(t + 1);
+  for (auto _ : state) {
+    auto rec = scheme.reconstruct(shares);
+    benchmark::DoNotOptimize(rec.data());
+  }
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(8)->Arg(32)->Arg(100);
+
+void BM_MaskEncode(benchmark::State& state) {
+  // Paper-scale ratios: U = 0.7N, T = 0.5N.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t u = 7 * n / 10, t = n / 2;
+  const std::size_t d = 1 << 14;
+  lsa::common::Xoshiro256ss rng(6);
+  lsa::coding::MaskCodec<Fp32> codec(n, u, t, d);
+  auto mask = lsa::field::uniform_vector<Fp32>(d, rng);
+  for (auto _ : state) {
+    auto shares = codec.encode(std::span<const rep32>(mask), rng);
+    benchmark::DoNotOptimize(shares.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_MaskEncode)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_MaskDecodeAggregate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t u = 7 * n / 10, t = n / 2;
+  const std::size_t d = 1 << 14;
+  lsa::common::Xoshiro256ss rng(7);
+  lsa::coding::MaskCodec<Fp32> codec(n, u, t, d);
+  auto mask = lsa::field::uniform_vector<Fp32>(d, rng);
+  auto shares = codec.encode(std::span<const rep32>(mask), rng);
+  std::vector<std::size_t> owners(u);
+  std::vector<std::vector<rep32>> sub;
+  for (std::size_t j = 0; j < u; ++j) {
+    owners[j] = j;
+    sub.push_back(shares[j]);
+  }
+  for (auto _ : state) {
+    auto out = codec.decode_aggregate(owners, sub);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_MaskDecodeAggregate)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_QuantizeVector(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  lsa::common::Xoshiro256ss rng(8);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.next_gaussian();
+  lsa::quant::Quantizer<Fp32> q(1u << 16);
+  for (auto _ : state) {
+    auto out = q.quantize_vector(std::span<const double>(xs), rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantizeVector)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

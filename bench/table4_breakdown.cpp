@@ -1,0 +1,72 @@
+// Table 4: breakdown of the running time (sec) of LightSecAgg, SecAgg and
+// SecAgg+ training CNN (d = 1,206,590) on FEMNIST with N = 200 users, for
+// dropout rates p = 10%, 30%, 50% — non-overlapped and overlapped.
+//
+// Protocols run functionally at N = 200 (reduced d, exact extrapolation);
+// wall times use the paper_stack cost profile (see EXPERIMENTS.md for the
+// calibration anchors) and the measured 320 Mb/s bandwidth setting.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace lsa::bench;
+
+void print_block(bool overlapped) {
+  const auto cost = lsa::net::CostModel::paper_stack();
+  const auto bw = lsa::net::BandwidthProfile::measured_320mbps();
+  std::printf("\n%s implementation\n",
+              overlapped ? "Overlapped" : "Non-overlapped");
+  std::printf("%-12s %-10s %10s %10s %10s\n", "Protocol", "Phase", "p=10%",
+              "p=30%", "p=50%");
+  for (auto kind : kAllProtocols) {
+    lsa::net::RoundBreakdown rb[3];
+    const double rates[3] = {0.1, 0.3, 0.5};
+    for (int i = 0; i < 3; ++i) {
+      Scenario sc;
+      sc.protocol = kind;
+      sc.n = 200;
+      sc.dropout_rate = rates[i];
+      sc.d_real = 1206590;
+      sc.train_seconds = 22.8;
+      sc.seed = 42 + i;
+      rb[i] = run_scenario(sc, cost, bw, paper_opts());
+    }
+    const char* name = kProtocolNames[static_cast<int>(kind)];
+    std::printf("%-12s %-10s %10.1f %10.1f %10.1f\n", name, "Offline",
+                rb[0].offline, rb[1].offline, rb[2].offline);
+    std::printf("%-12s %-10s %10.1f %10.1f %10.1f\n", "", "Training",
+                rb[0].training, rb[1].training, rb[2].training);
+    std::printf("%-12s %-10s %10.1f %10.1f %10.1f\n", "", "Uploading",
+                rb[0].upload, rb[1].upload, rb[2].upload);
+    std::printf("%-12s %-10s %10.1f %10.1f %10.1f\n", "", "Recovery",
+                rb[0].recovery, rb[1].recovery, rb[2].recovery);
+    if (overlapped) {
+      std::printf("%-12s %-10s %10.1f %10.1f %10.1f\n", "", "Total",
+                  rb[0].total_overlapped(), rb[1].total_overlapped(),
+                  rb[2].total_overlapped());
+    } else {
+      std::printf("%-12s %-10s %10.1f %10.1f %10.1f\n", "", "Total",
+                  rb[0].total_nonoverlapped(), rb[1].total_nonoverlapped(),
+                  rb[2].total_nonoverlapped());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 4 — running-time breakdown (sec), CNN/FEMNIST, N = 200\n"
+      "paper anchors: SecAgg recovery ~911 s and LightSecAgg recovery ~41 s "
+      "at p = 10%");
+  print_block(/*overlapped=*/false);
+  print_block(/*overlapped=*/true);
+  std::printf(
+      "\nExpected shape (paper Table 4): SecAgg recovery grows steeply with "
+      "p\n(911 -> 1499 -> 2087 s); SecAgg+ moderately (379 -> 437 -> 496 s); "
+      "\nLightSecAgg stays low and nearly flat until p = 50%% "
+      "(41 -> 41 -> 65 s).\n");
+  return 0;
+}

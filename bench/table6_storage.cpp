@@ -1,0 +1,109 @@
+// Table 6 (Appendix C): total randomness generation and per-user offline
+// storage of LightSecAgg vs the trusted-third-party one-shot scheme of
+// Zhao & Sun (2021), in units of F^(d/(U-T)) symbols.
+//
+//   Zhao-Sun total randomness: N(U-T) + T * sum_{u=U}^{N} C(N,u)
+//   LightSecAgg total:         N * U
+//   Zhao-Sun storage per user: (U-T) + sum_{u=U}^{N} C(N,u) * u / N
+//   LightSecAgg per user:      (U-T) + N
+//
+// The binomial sum explodes exponentially — exactly the paper's point — so
+// large values are printed in scientific notation (computed via lgamma).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "protocol/zhao_sun.h"
+
+namespace {
+
+double log_choose(double n, double k) {
+  return std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+}
+
+double sum_binomials(std::size_t n, std::size_t from) {
+  double s = 0;
+  for (std::size_t u = from; u <= n; ++u) {
+    s += std::exp(log_choose(static_cast<double>(n), static_cast<double>(u)));
+  }
+  return s;
+}
+
+double sum_binomials_weighted(std::size_t n, std::size_t from) {
+  double s = 0;
+  for (std::size_t u = from; u <= n; ++u) {
+    s += std::exp(log_choose(static_cast<double>(n),
+                             static_cast<double>(u))) *
+         static_cast<double>(u) / static_cast<double>(n);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lsa::bench;
+  print_header(
+      "Table 6 (App. C) — randomness & storage vs Zhao-Sun (2021), in "
+      "F^(d/(U-T)) symbols\nT = N/2, U = 0.7N");
+
+  std::printf("%-6s %-6s %-6s | %-24s %-14s | %-24s %-14s\n", "N", "T", "U",
+              "Zhao-Sun total random", "LSA total", "Zhao-Sun store/user",
+              "LSA store/user");
+  for (std::size_t n : {10, 20, 40, 80, 100, 200}) {
+    const std::size_t t = n / 2;
+    const std::size_t u =
+        std::max(t + 1, static_cast<std::size_t>(0.7 * double(n)));
+    const double zs_total = double(n) * double(u - t) +
+                            double(t) * sum_binomials(n, u);
+    const double lsa_total = double(n) * double(u);
+    const double zs_store = double(u - t) + sum_binomials_weighted(n, u);
+    const double lsa_store = double(u - t) + double(n);
+    std::printf("%-6zu %-6zu %-6zu | %24.4g %14.4g | %24.4g %14.4g\n", n, t,
+                u, zs_total, lsa_total, zs_store, lsa_store);
+  }
+  std::printf(
+      "\nExpected shape (paper Table 6): the Zhao-Sun scheme's randomness "
+      "and\nper-user storage grow exponentially in N (binomial sums over "
+      "dropout\npatterns) and require a trusted third party to generate; "
+      "LightSecAgg's\ngrow linearly and are generated locally.\n");
+
+  // -------------------------------------------------------------------
+  // Measured section: the scheme is actually implemented
+  // (protocol/zhao_sun.h); at small N the counters come from a real TTP
+  // setup and the wall time shows the exponential blow-up directly.
+  // -------------------------------------------------------------------
+  print_header(
+      "Table 6 (measured) — real Zhao-Sun TTP setup vs closed forms\n"
+      "(protocol executed functionally; counters read from the object)");
+  std::printf("%-4s %-4s %-4s | %-10s %-14s %-14s | %-12s\n", "N", "T", "U",
+              "subsets", "random(sym)", "store/user", "setup(s)");
+  using ZS = lsa::protocol::ZhaoSunOneShot<lsa::field::Fp32>;
+  for (std::size_t n : {8, 10, 12, 14, 16}) {
+    const std::size_t t = n / 2;
+    const std::size_t u =
+        std::max(t + 1, static_cast<std::size_t>(0.7 * double(n)));
+    lsa::protocol::Params params;
+    params.num_users = n;
+    params.privacy = t;
+    params.dropout = n - u;
+    params.target_survivors = u;
+    params.model_dim = 64;
+    lsa::common::Stopwatch sw;
+    ZS proto(params, 1234 + n);
+    const double setup_s = sw.elapsed_sec();
+    std::printf("%-4zu %-4zu %-4zu | %-10llu %-14llu %-14llu | %12.4f\n", n,
+                t, u,
+                static_cast<unsigned long long>(proto.num_subsets()),
+                static_cast<unsigned long long>(
+                    proto.total_randomness_symbols()),
+                static_cast<unsigned long long>(proto.storage_symbols(0)),
+                setup_s);
+  }
+  std::printf(
+      "\nReading: setup wall-time and storage double with every ~+2 users —\n"
+      "the exponential regime the closed forms above predict. LightSecAgg\n"
+      "needs no TTP and its offline phase is linear in N (see Table 1).\n");
+  return 0;
+}

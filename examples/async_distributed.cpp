@@ -1,0 +1,79 @@
+// Asynchronous LightSecAgg in the distributed runtime (paper §4.2 / App. F
+// over the wire-format router of §6) — the system-shaped counterpart of
+// examples/async_training.cpp.
+//
+// Eight devices submit updates born at *different* global rounds; the
+// server buffers K = 4, broadcasts the (user, timestamp, weight) manifest,
+// and every reachable device answers with one weighted combination of the
+// timestamped mask shares it holds. One device even crashes after its
+// upload — its update still lands in the aggregate, staleness-discounted,
+// without the server ever seeing it unmasked.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "field/random_field.h"
+#include "quant/staleness.h"
+#include "runtime/async_machines.h"
+
+int main() {
+  using Net = lsa::runtime::AsyncNetwork;
+  using rep = Net::rep;
+
+  lsa::protocol::Params params;
+  params.num_users = 8;
+  params.privacy = 2;
+  params.dropout = 2;
+  params.model_dim = 8;
+  lsa::quant::StalenessPolicy poly{lsa::quant::StalenessKind::kPolynomial,
+                                   1.0};
+  const std::uint64_t c_g = 1u << 6;
+  Net net(params, /*buffer_k=*/4, poly, c_g, /*seed=*/77);
+
+  // Four updates arrive with staleness 0, 1, 3 and 6 at round `now` = 9.
+  const std::uint64_t now = 9;
+  lsa::common::Xoshiro256ss rng(78);
+  std::vector<Net::Arrival> arrivals;
+  for (const auto& [user, born] :
+       std::vector<std::pair<std::size_t, std::uint64_t>>{
+           {0, 9}, {3, 8}, {5, 6}, {6, 3}}) {
+    arrivals.push_back(
+        {user, born,
+         lsa::field::uniform_vector<Net::Fp>(params.model_dim, rng)});
+  }
+
+  std::printf("buffered updates (aggregated at round %llu):\n",
+              static_cast<unsigned long long>(now));
+  for (const auto& a : arrivals) {
+    const auto tau = now - a.born_round;
+    std::printf(
+        "  user %zu  born round %llu  staleness %llu  weight s_cg = %llu/64\n",
+        a.user, static_cast<unsigned long long>(a.born_round),
+        static_cast<unsigned long long>(tau),
+        static_cast<unsigned long long>(
+            lsa::quant::quantized_staleness_weight(poly, tau, c_g)));
+  }
+
+  // User 6 (the stalest contributor) crashes right after its upload.
+  const auto out = net.run_cycle(now, arrivals, /*crash_before_recovery=*/{6});
+
+  std::vector<rep> expected(params.model_dim, Net::Fp::zero);
+  for (const auto& a : arrivals) {
+    const auto w = lsa::quant::quantized_staleness_weight(
+        poly, now - a.born_round, c_g);
+    lsa::field::axpy_inplace<Net::Fp>(std::span<rep>(expected),
+                                      Net::Fp::from_u64(w),
+                                      std::span<const rep>(a.update));
+  }
+
+  std::printf("\nweighted aggregate recovered: %s (weight sum %llu/64)\n",
+              out.weighted_sum == expected ? "EXACT" : "MISMATCH",
+              static_cast<unsigned long long>(out.weight_sum));
+  std::printf(
+      "\nWhat happened on the wire: timestamped encoded-mask shares were\n"
+      "exchanged at submission time; the server's manifest told each of the\n"
+      "7 reachable devices which (user, round) shares to combine with which\n"
+      "public weights; one-shot decoding removed the weighted mask sum —\n"
+      "including crashed user 6's mask, reconstructed without user 6. This\n"
+      "is the mask-coding commutativity that SecAgg/SecAgg+ lack (Remark 1).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Asynchronous buffered federated training (paper §4.2, App. F): users
+// train against stale global models, the server buffers K masked updates
+// and aggregates with quantized staleness weights — privately, via
+// asynchronous LightSecAgg. SecAgg/SecAgg+ cannot run in this mode at all
+// (paper Remark 1): pairwise masks from different rounds never cancel.
+#include <cstdio>
+
+#include "fl/dataset.h"
+#include "fl/fedbuff.h"
+#include "fl/model.h"
+
+int main() {
+  using namespace lsa::fl;
+
+  auto data = SyntheticDataset::mnist_like(1000, 300, 21);
+  const std::size_t num_users = 30;
+  auto partitions = data.partition_iid(num_users, 22);
+
+  FedBuffConfig cfg;
+  cfg.rounds = 16;
+  cfg.buffer_k = 6;    // server aggregates every 6 arrivals
+  cfg.tau_max = 5;     // updates may be up to 5 rounds stale
+  cfg.sgd = {.epochs = 2, .batch_size = 16, .lr = 0.08};
+  cfg.staleness = {lsa::quant::StalenessKind::kPolynomial, 1.0};
+  cfg.seed = 23;
+  cfg.eval_every = 2;
+
+  // Plaintext FedBuff reference.
+  LogisticRegression fb(784, 10, 24);
+  auto fb_curve = run_fedbuff(fb, data, partitions, cfg);
+
+  // Secure asynchronous LightSecAgg: same schedule, masked updates,
+  // integer staleness weights applied inside the field.
+  cfg.secure = true;
+  cfg.c_l = 1u << 16;
+  cfg.c_g = 1u << 6;
+  cfg.privacy_t = 4;   // up to 4 colluding users tolerated
+  cfg.target_u = 24;   // any 24 responders reconstruct the aggregate mask
+  LogisticRegression lsa_model(784, 10, 24);
+  auto lsa_curve = run_fedbuff(lsa_model, data, partitions, cfg);
+
+  std::printf("%-8s %16s %22s\n", "round", "FedBuff (plain)",
+              "Async LightSecAgg");
+  for (std::size_t r = 0; r < cfg.rounds; r += 2) {
+    std::printf("%-8zu %15.2f%% %21.2f%%\n", r,
+                100 * fb_curve[r].test_accuracy,
+                100 * lsa_curve[r].test_accuracy);
+  }
+  std::printf(
+      "\nMasks were generated in different global rounds, yet one MDS "
+      "decode per\naggregation recovered their weighted sum — the "
+      "commutativity of coding\nand addition that makes LightSecAgg "
+      "async-capable (App. F.3.3).\n");
+  return 0;
+}

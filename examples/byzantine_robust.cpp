@@ -1,0 +1,124 @@
+// Byzantine-robust secure aggregation — the paper's §8 future-work
+// direction, built from the pieces in src/robust/.
+//
+// 20 users train logistic regression on an MNIST-shaped dataset; users are
+// partitioned into 5 groups, each running its own LightSecAgg instance, and
+// the server combines the 5 group averages with a robust rule. Three of the
+// users are Byzantine and submit garbage instead of their trained model.
+//
+// The run is repeated three ways:
+//   1. honest cohort, grouped mean      — accuracy reference
+//   2. attacked cohort, grouped mean    — poisoned (one corrupt group average
+//                                         drags the global model away)
+//   3. attacked cohort, grouped median  — the robust rule discards the
+//                                         poisoned group; training recovers.
+#include <cstdio>
+
+#include "field/fp.h"
+#include "fl/dataset.h"
+#include "fl/fedavg.h"
+#include "fl/model.h"
+#include "robust/attacks.h"
+#include "robust/grouped_secure.h"
+
+namespace {
+
+using F = lsa::field::Fp32;
+namespace rb = lsa::robust;
+
+/// Wraps the grouped aggregator so the Byzantine users' submissions are
+/// corrupted *before* aggregation — the attacker controls its own upload,
+/// nothing else (the honest-but-curious server stays honest).
+lsa::fl::Aggregate attacked_callback(rb::GroupedSecureAggregator<F>& agg,
+                                     const std::vector<bool>& byzantine,
+                                     rb::AttackConfig atk) {
+  return [&agg, &byzantine, atk](
+             const std::vector<std::vector<double>>& locals,
+             const std::vector<bool>& dropped) {
+    lsa::common::Xoshiro256ss rng(atk.seed);
+    auto poisoned = locals;
+    for (std::size_t i = 0; i < poisoned.size(); ++i) {
+      if (byzantine[i]) rb::apply_attack(poisoned[i], atk, rng);
+    }
+    return agg.aggregate(poisoned, dropped);
+  };
+}
+
+double final_accuracy(const std::vector<lsa::fl::RoundRecord>& curve) {
+  return curve.empty() ? 0.0 : 100.0 * curve.back().test_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lsa::fl;
+
+  const std::size_t num_users = 20;
+  const std::size_t num_groups = 5;
+  auto data = SyntheticDataset::mnist_like(/*train=*/1600, /*test=*/400,
+                                           /*seed=*/21);
+  auto partitions = data.partition_iid(num_users, 22);
+
+  FedAvgConfig cfg;
+  cfg.rounds = 8;
+  cfg.dropout_rate = 0.1;
+  cfg.sgd = {.epochs = 2, .batch_size = 16, .lr = 0.1};
+  cfg.seed = 23;
+
+  // 3 Byzantine users, concentrated: they land in the same group, which is
+  // the regime group-wise robustness handles cleanly.
+  const auto byz = rb::byzantine_assignment(num_users, 3, num_groups,
+                                            /*spread=*/false);
+  // Sign-flip: each attacker submits -10x its honest model. (A constant-
+  // vector attack would be argmax-invariant for softmax regression — it
+  // shifts every class logit equally — so it cannot hurt accuracy here.)
+  rb::AttackConfig atk;
+  atk.kind = rb::Attack::kSignFlip;
+  atk.scale = 10.0;
+
+  rb::GroupedConfig gc;
+  gc.num_users = num_users;
+  gc.num_groups = num_groups;
+  gc.model_dim = 7850;
+  gc.seed = 24;
+
+  std::printf("run                                  final accuracy\n");
+  std::printf("-----------------------------------  --------------\n");
+
+  {
+    gc.rule = rb::Rule::kMean;
+    rb::GroupedSecureAggregator<F> agg(gc);
+    LogisticRegression model(784, 10, 25);
+    const std::vector<bool> honest(num_users, false);
+    auto curve = run_fedavg(model, data, partitions, cfg,
+                            attacked_callback(agg, honest, {}));
+    std::printf("%-37s %13.2f%%\n", "honest cohort, grouped mean",
+                final_accuracy(curve));
+  }
+  {
+    gc.rule = rb::Rule::kMean;
+    rb::GroupedSecureAggregator<F> agg(gc);
+    LogisticRegression model(784, 10, 25);
+    auto curve = run_fedavg(model, data, partitions, cfg,
+                            attacked_callback(agg, byz, atk));
+    std::printf("%-37s %13.2f%%\n", "3 Byzantine users, grouped mean",
+                final_accuracy(curve));
+  }
+  {
+    gc.rule = rb::Rule::kCoordinateMedian;
+    rb::GroupedSecureAggregator<F> agg(gc);
+    LogisticRegression model(784, 10, 25);
+    auto curve = run_fedavg(model, data, partitions, cfg,
+                            attacked_callback(agg, byz, atk));
+    std::printf("%-37s %13.2f%%\n", "3 Byzantine users, grouped median",
+                final_accuracy(curve));
+  }
+
+  std::printf(
+      "\nReading: the sign-flip attack wrecks the mean-aggregated run;"
+      "\nthe coordinate-median across the 5 securely-aggregated group"
+      "\naverages discards the poisoned group and restores accuracy, while"
+      "\nevery individual update stays masked inside its group (T_g-privacy)."
+      "\n");
+  return 0;
+}

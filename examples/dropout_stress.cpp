@@ -1,0 +1,64 @@
+// Dropout-resiliency stress test: push LightSecAgg to its guarantee
+// boundary. With parameters (N, T, U) the protocol survives any pattern of
+// up to N - U dropouts and fails *loudly* (typed ProtocolError, never a
+// wrong answer) one dropout past the boundary — Theorem 1 in executable
+// form.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/session.h"
+#include "field/random_field.h"
+
+int main() {
+  constexpr std::size_t kUsers = 12;
+  constexpr std::size_t kPrivacy = 4;
+  constexpr std::size_t kTargetU = 6;  // survive down to 6 responders
+
+  lsa::common::Xoshiro256ss rng(41);
+  std::vector<std::vector<lsa::Session::Field::rep>> inputs(kUsers);
+  for (auto& v : inputs) {
+    v = lsa::field::uniform_vector<lsa::Session::Field>(32, rng);
+  }
+
+  std::printf("N = %zu users, T = %zu privacy, U = %zu  =>  tolerates D <= "
+              "%zu dropouts\n\n",
+              kUsers, kPrivacy, kTargetU, kUsers - kTargetU);
+  std::printf("%-10s %-44s\n", "dropouts", "result");
+  for (std::size_t drops = 0; drops <= kUsers - kTargetU + 1; ++drops) {
+    lsa::SessionConfig cfg;
+    cfg.protocol = lsa::ProtocolKind::kLightSecAgg;
+    cfg.num_users = kUsers;
+    cfg.privacy = kPrivacy;
+    cfg.dropout = kUsers - kTargetU;
+    cfg.target_survivors = kTargetU;
+    cfg.model_dim = 32;
+    cfg.seed = 42;
+    lsa::Session session(cfg);
+
+    std::vector<bool> dropped(kUsers, false);
+    for (std::size_t i = 0; i < drops; ++i) dropped[i] = true;
+
+    // Reference sum of survivors.
+    std::vector<lsa::Session::Field::rep> expected(32, 0);
+    for (std::size_t i = 0; i < kUsers; ++i) {
+      if (dropped[i]) continue;
+      for (std::size_t k = 0; k < 32; ++k) {
+        expected[k] = lsa::Session::Field::add(expected[k], inputs[i][k]);
+      }
+    }
+
+    try {
+      const auto agg = session.aggregate_field(inputs, dropped);
+      std::printf("%-10zu recovered %s\n", drops,
+                  agg == expected ? "EXACT aggregate of survivors"
+                                  : "WRONG AGGREGATE (bug!)");
+    } catch (const lsa::ProtocolError& e) {
+      std::printf("%-10zu refused: %s\n", drops, e.what());
+    }
+  }
+  std::printf(
+      "\nNote the failure mode: past the guarantee the protocol throws — it "
+      "never\nsilently returns a corrupted aggregate.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Synchronous federated training with secure aggregation — the paper's
+// core workload (§7). Trains logistic regression on an MNIST-shaped
+// synthetic dataset across 12 users with 25% worst-case dropouts per round,
+// twice: once with plaintext FedAvg and once with LightSecAgg, and shows
+// that the secure run matches the plaintext run while the server only ever
+// sees masked vectors.
+#include <cstdio>
+
+#include "field/fp.h"
+#include "fl/dataset.h"
+#include "fl/fedavg.h"
+#include "fl/model.h"
+#include "protocol/lightsecagg.h"
+
+int main() {
+  using namespace lsa::fl;
+
+  const std::size_t num_users = 12;
+  auto data = SyntheticDataset::mnist_like(/*train=*/1200, /*test=*/400,
+                                           /*seed=*/11);
+  auto partitions = data.partition_iid(num_users, 12);
+
+  FedAvgConfig cfg;
+  cfg.rounds = 8;
+  cfg.dropout_rate = 0.25;
+  cfg.sgd = {.epochs = 2, .batch_size = 16, .lr = 0.1};
+  cfg.seed = 13;  // same seed -> identical dropout patterns in both runs
+
+  // Plaintext baseline.
+  LogisticRegression plain(784, 10, 14);
+  auto plain_curve = run_fedavg(plain, data, partitions, cfg,
+                                plaintext_average());
+
+  // Secure run: T = 4 colluders tolerated, D = 3 dropouts tolerated.
+  lsa::protocol::Params p{.num_users = num_users, .privacy = 4, .dropout = 3,
+                          .target_survivors = 0, .model_dim = 7850};
+  lsa::protocol::LightSecAgg<lsa::field::Fp32> protocol(p, /*seed=*/15);
+  LogisticRegression secure(784, 10, 14);  // same initialization
+  auto secure_curve = run_fedavg(secure, data, partitions, cfg,
+                                 secure_aggregate(protocol, 1u << 16, 16));
+
+  std::printf("%-8s %18s %18s\n", "round", "plaintext acc", "LightSecAgg acc");
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    std::printf("%-8zu %17.2f%% %17.2f%%\n", r,
+                100 * plain_curve[r].test_accuracy,
+                100 * secure_curve[r].test_accuracy);
+  }
+  std::printf(
+      "\nThe two curves coincide up to quantization noise (c_l = 2^16):\n"
+      "secure aggregation changes *what the server sees*, not *what the "
+      "model learns*.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Multi-round privacy leakage and its mitigation (So et al. 2021a, cited by
+// the paper) — secure aggregation hides individual models *within* a round;
+// this example shows what changing participation sets leak *across* rounds,
+// and how batch-aligned participation closes the hole.
+//
+// Scenario: 8 users run LightSecAgg for several rounds while the server
+// records who participated. With unrestricted participation, the classic
+// difference attack isolates a dropout's model. With participation snapped
+// to batches of 2, the observed row space can never contain an individual.
+#include <cstdio>
+
+#include "analysis/leakage.h"
+#include "common/rng.h"
+#include "core/session.h"
+#include "field/random_field.h"
+
+namespace {
+
+constexpr std::size_t kUsers = 8;
+constexpr std::size_t kDim = 16;
+
+/// Runs one LightSecAgg round with the given participation and records it.
+void run_round(lsa::Session& session, lsa::analysis::LeakageTracker& tracker,
+               const std::vector<bool>& participates,
+               lsa::common::Xoshiro256ss& rng) {
+  using F = lsa::Session::Field;
+  std::vector<std::vector<F::rep>> inputs(kUsers);
+  for (auto& v : inputs) v = lsa::field::uniform_vector<F>(kDim, rng);
+  std::vector<bool> dropped(kUsers);
+  for (std::size_t i = 0; i < kUsers; ++i) dropped[i] = !participates[i];
+  (void)session.aggregate_field(inputs, dropped);
+  tracker.record_round(participates);
+}
+
+void report(const char* label,
+            const lsa::analysis::LeakageTracker& tracker) {
+  const auto leaked = tracker.isolated_users();
+  std::printf("%-28s rounds=%zu rank=%zu isolated={", label,
+              tracker.rounds_recorded(), tracker.rank());
+  for (std::size_t k = 0; k < leaked.size(); ++k) {
+    std::printf("%s%zu", k ? "," : "", leaked[k]);
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  lsa::SessionConfig cfg;
+  cfg.protocol = lsa::ProtocolKind::kLightSecAgg;
+  cfg.num_users = kUsers;
+  cfg.privacy = 2;
+  cfg.dropout = 4;  // batch-aligning can drop two whole batches at once
+  cfg.model_dim = kDim;
+  cfg.seed = 51;
+  lsa::common::Xoshiro256ss rng(52);
+
+  std::printf("--- unrestricted participation -------------------------\n");
+  {
+    lsa::Session session(cfg);
+    lsa::analysis::LeakageTracker tracker(kUsers);
+    // Round 1: everyone. Round 2: user 3 drops out. Round 3: users 3,6 out.
+    run_round(session, tracker,
+              {true, true, true, true, true, true, true, true}, rng);
+    report("after full round", tracker);
+    run_round(session, tracker,
+              {true, true, true, false, true, true, true, true}, rng);
+    report("after user 3 drops", tracker);
+    run_round(session, tracker,
+              {true, true, true, false, true, true, false, true}, rng);
+    report("after users 3,6 drop", tracker);
+  }
+
+  std::printf(
+      "\n--- batch-aligned participation (batches of 2) ----------\n");
+  {
+    lsa::Session session(cfg);
+    lsa::analysis::LeakageTracker tracker(kUsers);
+    lsa::analysis::BatchPartition batches(kUsers, 2);
+    // The same availability patterns, snapped to whole batches.
+    for (const auto& avail : std::vector<std::vector<bool>>{
+             {true, true, true, true, true, true, true, true},
+             {true, true, true, false, true, true, true, true},
+             {true, true, true, false, true, true, false, true}}) {
+      run_round(session, tracker, batches.align(avail), rng);
+    }
+    report("after the same 3 rounds", tracker);
+  }
+
+  std::printf(
+      "\nReading: unrestricted participation lets the server subtract\n"
+      "round aggregates — user 3's model is isolated the moment it skips a\n"
+      "round (and 6's after the third). Snapping participation to batches\n"
+      "of two keeps the observed space spanned by batch sums: rank stays\n"
+      "low and no individual is ever isolated, at the price of losing a\n"
+      "whole batch when any member is unavailable (So et al. 2021a).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Compare all three protocols on the same aggregation task and predict
+// full-scale round times — the decision a practitioner deploying secure
+// aggregation actually faces. Uses only the public Session API.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/session.h"
+
+namespace {
+
+lsa::SessionConfig base_config(lsa::ProtocolKind kind) {
+  lsa::SessionConfig cfg;
+  cfg.protocol = kind;
+  cfg.num_users = 40;
+  cfg.privacy = 20;   // tolerate up to half the users colluding
+  cfg.dropout = 8;    // tolerate 20% dropouts
+  cfg.model_dim = 256;  // functional dimension; timing extrapolates below
+  cfg.seed = 31;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  // One real aggregation round per protocol over the same inputs.
+  lsa::common::Xoshiro256ss rng(32);
+  std::vector<std::vector<double>> locals(40);
+  for (auto& v : locals) {
+    v.resize(256);
+    for (auto& x : v) x = rng.next_gaussian();
+  }
+  std::vector<bool> dropped(40, false);
+  for (std::size_t i = 0; i < 8; ++i) dropped[5 * i] = true;
+
+  const auto cost = lsa::net::CostModel::paper_stack();
+  const auto bw = lsa::net::BandwidthProfile::measured_320mbps();
+
+  std::printf(
+      "%-12s | %14s %14s | %10s %10s %10s %10s\n", "Protocol",
+      "offline elems", "recovery elems", "offline_s", "upload_s",
+      "recovery_s", "total_s");
+  for (auto kind : {lsa::ProtocolKind::kSecAgg,
+                    lsa::ProtocolKind::kSecAggPlus,
+                    lsa::ProtocolKind::kLightSecAgg}) {
+    lsa::Session session(base_config(kind));
+    const auto avg = session.aggregate_average(locals, dropped);
+    (void)avg;
+
+    const auto& ledger = session.ledger();
+    const auto offline_elems =
+        ledger.total_user_sent_elems(lsa::net::Phase::kOffline, true) +
+        ledger.total_user_sent_elems(lsa::net::Phase::kOffline, false);
+    const auto recovery_elems =
+        ledger.total_user_sent_elems(lsa::net::Phase::kRecovery, true) +
+        ledger.total_user_sent_elems(lsa::net::Phase::kRecovery, false);
+
+    // Predict one round at MobileNetV3 scale (d = 3.1M) with 30 s training.
+    const auto rb = session.estimate_round_time(cost, bw, 3111462.0, 30.0);
+    std::printf("%-12s | %14llu %14llu | %10.1f %10.1f %10.1f %10.1f\n",
+                lsa::protocol_name(kind),
+                static_cast<unsigned long long>(offline_elems),
+                static_cast<unsigned long long>(recovery_elems), rb.offline,
+                rb.upload, rb.recovery, rb.total_overlapped());
+  }
+  std::printf(
+      "\nLightSecAgg spends more offline (encoded mask shares) and far less "
+      "in\nrecovery — the design trade that §5.2 quantifies and Table 4 "
+      "measures.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Sample-weighted secure aggregation (paper Remark 3) on a heterogeneous
+// cohort: users hold very different dataset sizes, so the correct FedAvg
+// update weights each local model by its sample count — and Remark 3 shows
+// LightSecAgg supports this without the mask sharing ever learning the
+// weights (user i simply uploads s_i * x_i + z_i and its clear s_i).
+//
+// 10 users: two "whales" hold ~64% of all data between them, eight
+// "minnows" hold the rest. The minnows' small shards are noisy; plain
+// unweighted averaging lets the noisy models outvote the whales 8:2, while
+// sample weighting restores the statistically right combination.
+#include <cstdio>
+#include <numeric>
+
+#include "field/fp.h"
+#include "fl/dataset.h"
+#include "fl/fedavg.h"
+#include "fl/model.h"
+#include "fl/secure_adapter.h"
+#include "protocol/lightsecagg.h"
+
+namespace {
+
+using F = lsa::field::Fp32;
+using namespace lsa::fl;
+
+/// Heterogeneity in both size and distribution: users 0 and 1 ("whales")
+/// each hold a large balanced shard; the remaining users ("minnows") hold
+/// small single-class shards. Equal-vote averaging lets eight class-biased
+/// models outvote the two balanced ones 8:2; sample weighting restores the
+/// statistically right mixture.
+std::vector<std::vector<std::size_t>> heterogeneous_partition(
+    const SyntheticDataset& data, std::size_t num_users,
+    std::size_t whale_size, std::size_t minnow_size) {
+  std::vector<std::vector<std::size_t>> by_class(data.num_classes());
+  for (std::size_t i = 0; i < data.train().size(); ++i) {
+    by_class[static_cast<std::size_t>(data.train()[i].label)].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> parts(num_users);
+  // Whales: balanced round-robin over all classes. (Cursors wrap if a class
+  // runs short; a repeated example is harmless here.)
+  std::vector<std::size_t> cursor(data.num_classes(), 0);
+  auto take = [&](std::size_t c) {
+    return by_class[c][cursor[c]++ % by_class[c].size()];
+  };
+  for (std::size_t u = 0; u < 2; ++u) {
+    for (std::size_t k = 0; k < whale_size; ++k) {
+      parts[u].push_back(take(k % data.num_classes()));
+    }
+  }
+  // Minnows: one class each.
+  for (std::size_t u = 2; u < num_users; ++u) {
+    const std::size_t c = (u - 2) % data.num_classes();
+    for (std::size_t k = 0; k < minnow_size; ++k) {
+      parts[u].push_back(take(c));
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t num_users = 10;
+  auto data = SyntheticDataset::mnist_like(/*train=*/2000, /*test=*/500,
+                                           /*seed=*/61);
+  auto parts = heterogeneous_partition(data, num_users, /*whale_size=*/600,
+                                       /*minnow_size=*/40);
+
+  std::printf("user dataset sizes: ");
+  for (const auto& p : parts) std::printf("%zu ", p.size());
+  std::printf("\n\n");
+
+  std::vector<std::uint64_t> samples(num_users);
+  for (std::size_t i = 0; i < num_users; ++i) {
+    samples[i] = parts[i].size();
+  }
+
+  lsa::protocol::Params pp{.num_users = num_users, .privacy = 3,
+                           .dropout = 2, .target_survivors = 0,
+                           .model_dim = 7850};
+  lsa::protocol::LightSecAgg<F> proto_w(pp, 62);
+  lsa::protocol::LightSecAgg<F> proto_u(pp, 63);
+
+  FedAvgConfig cfg;
+  cfg.rounds = 6;
+  cfg.dropout_rate = 0.1;
+  cfg.sgd = {.epochs = 2, .batch_size = 8, .lr = 0.05};
+  cfg.seed = 64;
+
+  // Unweighted secure averaging (every user counts equally).
+  LogisticRegression model_u(784, 10, 65);
+  auto curve_u = run_fedavg(model_u, data, parts, cfg,
+                            secure_aggregate(proto_u, 1u << 16, 66));
+
+  // Sample-weighted secure averaging (Remark 3).
+  auto rng = std::make_shared<lsa::common::Xoshiro256ss>(67);
+  Aggregate weighted = [&proto_w, &samples, rng](
+                           const std::vector<std::vector<double>>& locals,
+                           const std::vector<bool>& dropped) {
+    return secure_weighted_average<F>(proto_w, locals, samples, dropped,
+                                      1u << 16, *rng);
+  };
+  LogisticRegression model_w(784, 10, 65);  // same init
+  auto curve_w = run_fedavg(model_w, data, parts, cfg, weighted);
+
+  std::printf("%-8s %20s %22s\n", "round", "unweighted secure",
+              "sample-weighted secure");
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    std::printf("%-8zu %19.2f%% %21.2f%%\n", r,
+                100 * curve_u[r].test_accuracy,
+                100 * curve_w[r].test_accuracy);
+  }
+  std::printf(
+      "\nBoth runs are fully secure — the server never sees an individual\n"
+      "model; the weighted run additionally matches textbook FedAvg's\n"
+      "p_i = s_i / sum(s_i) weighting (Remark 3: weights are applied by\n"
+      "each user before masking, so mask encoding is weight-oblivious).\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Multi-round privacy leakage analysis (So et al. 2021a, "Securing Secure
+// Aggregation", cited by the paper's convergence analysis in App. F.4).
+//
+// A secure-aggregation protocol hides individual models *within one round*:
+// the server learns only sum_{i in U1(t)} x_i. Across rounds, however, the
+// participation sets change, and if the local models are (approximately)
+// static the server can linearly combine round aggregates. Writing the
+// participation matrix A in {0,1}^{R x N} (one row per round), the server
+// can isolate user i exactly when the indicator e_i lies in the row space
+// of A — e.g. rounds {1,2,3} and {2,3} differ by exactly user 1.
+//
+// LeakageTracker maintains a row-reduced basis of the observed row space
+// (Gaussian elimination over F_p with p = 2^61 - 1; ranks of 0/1 matrices
+// match their rational ranks except on a measure-zero set of pathological
+// minors divisible by p — astronomically unlikely and irrelevant at FL
+// cohort sizes, noted here for exactness). It reports the leaked-subspace
+// dimension and the set of individually isolated users.
+//
+// BatchPartition implements the mitigation from So et al. 2021a: fix a
+// partition of users into batches of size >= b and only ever let *whole
+// batches* participate. Every observable combination then groups batch
+// members together, so no individual can be isolated for b >= 2 — a
+// property tests/leakage_test.cpp checks against the tracker itself.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "field/fp.h"
+
+namespace lsa::analysis {
+
+class LeakageTracker {
+ public:
+  using F = lsa::field::Fp61;
+  using rep = F::rep;
+
+  explicit LeakageTracker(std::size_t num_users) : n_(num_users) {
+    lsa::require<lsa::ConfigError>(num_users >= 1,
+                                   "leakage: need at least one user");
+  }
+
+  [[nodiscard]] std::size_t num_users() const { return n_; }
+  [[nodiscard]] std::size_t rounds_recorded() const { return rounds_; }
+
+  /// Records one aggregation round: participated[i] == true iff user i's
+  /// model was included in the aggregate the server saw.
+  void record_round(const std::vector<bool>& participated) {
+    lsa::require<lsa::ConfigError>(participated.size() == n_,
+                                   "leakage: wrong participation size");
+    std::vector<rep> row(n_, F::zero);
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (participated[i]) row[i] = F::one;
+    }
+    ++rounds_;
+    insert_row(std::move(row));
+  }
+
+  /// Dimension of the subspace of user-model combinations the server has
+  /// observed. rank == 1 after any number of identical rounds; rank can
+  /// never exceed min(rounds, N).
+  [[nodiscard]] std::size_t rank() const { return basis_.size(); }
+
+  /// True when the server can exactly isolate user i's model by linearly
+  /// combining observed aggregates (e_i lies in the observed row space).
+  [[nodiscard]] bool user_isolated(std::size_t user) const {
+    lsa::require<lsa::ConfigError>(user < n_, "leakage: user out of range");
+    std::vector<rep> e(n_, F::zero);
+    e[user] = F::one;
+    reduce(e);
+    for (const rep v : e) {
+      if (v != F::zero) return false;
+    }
+    return true;
+  }
+
+  /// All users currently isolated (the multi-round privacy breach set).
+  [[nodiscard]] std::vector<std::size_t> isolated_users() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (user_isolated(i)) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  /// Reduces v against the basis in place (v becomes the remainder).
+  void reduce(std::vector<rep>& v) const {
+    for (std::size_t b = 0; b < basis_.size(); ++b) {
+      const rep coef = v[pivot_[b]];
+      if (coef == F::zero) continue;
+      // v -= coef * basis_[b] (basis rows are normalized to pivot == 1).
+      for (std::size_t k = 0; k < n_; ++k) {
+        v[k] = F::sub(v[k], F::mul(coef, basis_[b][k]));
+      }
+    }
+  }
+
+  void insert_row(std::vector<rep> row) {
+    reduce(row);
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (row[k] == F::zero) continue;
+      // Normalize pivot to 1 and store.
+      const rep inv = F::inv(row[k]);
+      for (std::size_t m = 0; m < n_; ++m) row[m] = F::mul(row[m], inv);
+      basis_.push_back(std::move(row));
+      pivot_.push_back(k);
+      return;  // dependent rows vanish in reduce()
+    }
+  }
+
+  std::size_t n_;
+  std::size_t rounds_ = 0;
+  std::vector<std::vector<rep>> basis_;  ///< row-reduced, pivot-normalized
+  std::vector<std::size_t> pivot_;       ///< pivot column of each basis row
+};
+
+/// The batch-partitioning mitigation: users are grouped into fixed batches;
+/// a round's participant set is snapped to the union of the batches whose
+/// members are *all* willing. With batch size >= 2 no individual indicator
+/// can ever enter the observed row space.
+class BatchPartition {
+ public:
+  BatchPartition(std::size_t num_users, std::size_t batch_size)
+      : n_(num_users), b_(batch_size) {
+    lsa::require<lsa::ConfigError>(batch_size >= 1 && batch_size <= num_users,
+                                   "batch partition: bad batch size");
+  }
+
+  [[nodiscard]] std::size_t num_batches() const {
+    return (n_ + b_ - 1) / b_;
+  }
+  [[nodiscard]] std::size_t batch_of(std::size_t user) const {
+    lsa::require<lsa::ConfigError>(user < n_, "batch: user out of range");
+    return user / b_;
+  }
+
+  /// Snaps a desired participant set to batch boundaries: a batch joins
+  /// only if every member is available (the conservative rule that keeps
+  /// the leakage guarantee unconditionally).
+  [[nodiscard]] std::vector<bool> align(
+      const std::vector<bool>& available) const {
+    lsa::require<lsa::ConfigError>(available.size() == n_,
+                                   "batch: wrong availability size");
+    std::vector<bool> out(n_, false);
+    for (std::size_t g = 0; g < num_batches(); ++g) {
+      const std::size_t lo = g * b_;
+      const std::size_t hi = std::min(lo + b_, n_);
+      bool all = true;
+      for (std::size_t i = lo; i < hi; ++i) all = all && available[i];
+      if (all) {
+        for (std::size_t i = lo; i < hi; ++i) out[i] = true;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t b_;
+};
+
+}  // namespace lsa::analysis

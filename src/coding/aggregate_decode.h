@@ -1,0 +1,204 @@
+// Server-side aggregate-mask decode kernels (paper §5.2).
+//
+// The one-shot recovery step of LightSecAgg reduces to: given the aggregate
+// polynomial g (degree < U) through U known share points xs, evaluate g at
+// the U-T data slots betas — for every one of the seg_len mask coordinates.
+// Three interchangeable kernels implement this, trading scalar precomputation
+// against per-coordinate cost:
+//
+//   kLagrange    — textbook Lagrange weights per beta, O(U^2) scalar work per
+//                  beta (O(U^2 (U-T)) total) + O(U d) vector work. Reference.
+//   kBarycentric — barycentric weights (shared denominators M'(x_j)),
+//                  O(U^2 + U(U-T)) scalar work, then a cache-blocked
+//                  (U-T) x U x seg_len field GEMM. The practical default.
+//   kNtt         — fast interpolation + fast multipoint evaluation over a
+//                  subproduct tree, O(U log^2 U) *per coordinate* — the
+//                  complexity class the paper's Table 5 row assumes. Wins
+//                  when U is large and U-T small (high privacy T); the
+//                  crossover is measured in bench/ablation_decode_complexity.
+//
+// All three produce bit-identical results (tests/decode_strategy_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "coding/lagrange.h"
+#include "coding/ntt.h"
+#include "coding/poly.h"
+#include "common/error.h"
+#include "field/field_vec.h"
+
+namespace lsa::coding {
+
+enum class DecodeStrategy {
+  kLagrange,
+  kBarycentric,
+  kNtt,
+};
+
+[[nodiscard]] constexpr const char* to_string(DecodeStrategy s) {
+  switch (s) {
+    case DecodeStrategy::kLagrange: return "lagrange";
+    case DecodeStrategy::kBarycentric: return "barycentric";
+    case DecodeStrategy::kNtt: return "ntt";
+  }
+  return "?";
+}
+
+/// Evaluation-weight matrix W[k][j] such that g(betas[k]) = sum_j W[k][j] *
+/// g(xs[j]) for any polynomial g of degree < |xs|, computed barycentrically:
+///   W[k][j] = M(beta_k) / (M'(x_j) * (beta_k - x_j)),
+/// with one shared O(|xs|^2) pass for the M'(x_j) and O(|xs|) per beta.
+/// Preconditions: xs pairwise distinct; no beta coincides with an x.
+template <class F>
+[[nodiscard]] std::vector<std::vector<typename F::rep>> barycentric_weights(
+    std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> betas) {
+  using rep = typename F::rep;
+  const std::size_t u = xs.size();
+  lsa::require<lsa::CodingError>(u > 0, "barycentric: no share points");
+
+  // M'(x_j) = prod_{m != j} (x_j - x_m), inverted in one batch.
+  std::vector<rep> mprime_inv(u, F::one);
+  for (std::size_t j = 0; j < u; ++j) {
+    for (std::size_t m = 0; m < u; ++m) {
+      if (m == j) continue;
+      const rep diff = F::sub(xs[j], xs[m]);
+      lsa::require<lsa::CodingError>(diff != F::zero,
+                                     "barycentric: duplicate share points");
+      mprime_inv[j] = F::mul(mprime_inv[j], diff);
+    }
+  }
+  lsa::field::batch_inv_inplace<F>(std::span<rep>(mprime_inv));
+
+  std::vector<std::vector<rep>> w(betas.size());
+  std::vector<rep> diff_inv(u);
+  for (std::size_t k = 0; k < betas.size(); ++k) {
+    rep m_at_beta = F::one;
+    for (std::size_t j = 0; j < u; ++j) {
+      const rep diff = F::sub(betas[k], xs[j]);
+      lsa::require<lsa::CodingError>(
+          diff != F::zero, "barycentric: beta coincides with share point");
+      m_at_beta = F::mul(m_at_beta, diff);
+      diff_inv[j] = diff;
+    }
+    lsa::field::batch_inv_inplace<F>(std::span<rep>(diff_inv));
+    w[k].resize(u);
+    for (std::size_t j = 0; j < u; ++j) {
+      w[k][j] = F::mul(m_at_beta, F::mul(mprime_inv[j], diff_inv[j]));
+    }
+  }
+  return w;
+}
+
+/// out[k*seg + l] = sum_j w[k][j] * shares[j][l] — a (U-T) x U x seg field
+/// GEMM, blocked over the coordinate dimension so each output row stays in
+/// cache while a share column block streams through.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> weighted_combine_blocked(
+    const std::vector<std::vector<typename F::rep>>& w,
+    std::span<const std::vector<typename F::rep>> shares,
+    std::size_t seg_len) {
+  using rep = typename F::rep;
+  constexpr std::size_t kBlock = 2048;  // reps per block: 8-16 KiB, L1-sized
+  const std::size_t rows = w.size();
+  std::vector<rep> out(rows * seg_len, F::zero);
+  for (std::size_t l0 = 0; l0 < seg_len; l0 += kBlock) {
+    const std::size_t l1 = std::min(l0 + kBlock, seg_len);
+    for (std::size_t k = 0; k < rows; ++k) {
+      rep* dst = out.data() + k * seg_len;
+      for (std::size_t j = 0; j < shares.size(); ++j) {
+        const rep wkj = w[k][j];
+        if (wkj == F::zero) continue;
+        const rep* src = shares[j].data();
+        for (std::size_t l = l0; l < l1; ++l) {
+          dst[l] = F::add(dst[l], F::mul(wkj, src[l]));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// kBarycentric kernel: weights + blocked GEMM. Returns the (U-T) segments
+/// concatenated (length |betas| * seg_len).
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> decode_eval_barycentric(
+    std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> betas,
+    std::span<const std::vector<typename F::rep>> shares,
+    std::size_t seg_len) {
+  const auto w = barycentric_weights<F>(xs, betas);
+  return weighted_combine_blocked<F>(w, shares, seg_len);
+}
+
+/// kNtt kernel: per coordinate, fast-interpolate g from (xs, share column)
+/// and fast-evaluate it at the betas; both subproduct trees are built once
+/// and shared across all seg_len coordinates.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> decode_eval_fast(
+    std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> betas,
+    std::span<const std::vector<typename F::rep>> shares,
+    std::size_t seg_len) {
+  using rep = typename F::rep;
+  const std::size_t u = xs.size();
+  SubproductTree<F> share_tree(xs);
+  SubproductTree<F> beta_tree(betas);
+
+  std::vector<rep> out(betas.size() * seg_len, F::zero);
+  std::vector<rep> column(u);
+  for (std::size_t l = 0; l < seg_len; ++l) {
+    for (std::size_t j = 0; j < u; ++j) column[j] = shares[j][l];
+    const auto g = share_tree.interpolate(column);
+    const auto vals = beta_tree.evaluate(g);
+    for (std::size_t k = 0; k < betas.size(); ++k) {
+      out[k * seg_len + l] = vals[k];
+    }
+  }
+  return out;
+}
+
+/// kLagrange kernel: the reference path (one lagrange_weights_at per beta).
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> decode_eval_lagrange(
+    std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> betas,
+    std::span<const std::vector<typename F::rep>> shares,
+    std::size_t seg_len) {
+  using rep = typename F::rep;
+  std::vector<rep> out(betas.size() * seg_len, F::zero);
+  for (std::size_t k = 0; k < betas.size(); ++k) {
+    const auto w = lagrange_weights_at<F>(xs, betas[k]);
+    std::span<rep> seg(out.data() + k * seg_len, seg_len);
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      lsa::field::axpy_inplace<F>(seg, w[j],
+                                  std::span<const rep>(shares[j]));
+    }
+  }
+  return out;
+}
+
+/// Strategy dispatch. kNtt is exact for every field (the subproduct tree
+/// falls back to schoolbook products), but only reaches its O(U log^2 U)
+/// complexity on NTT-capable fields such as field::Goldilocks.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> decode_eval(
+    DecodeStrategy strategy, std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> betas,
+    std::span<const std::vector<typename F::rep>> shares,
+    std::size_t seg_len) {
+  switch (strategy) {
+    case DecodeStrategy::kLagrange:
+      return decode_eval_lagrange<F>(xs, betas, shares, seg_len);
+    case DecodeStrategy::kBarycentric:
+      return decode_eval_barycentric<F>(xs, betas, shares, seg_len);
+    case DecodeStrategy::kNtt:
+      return decode_eval_fast<F>(xs, betas, shares, seg_len);
+  }
+  throw lsa::CodingError("decode_eval: unknown strategy");
+}
+
+}  // namespace lsa::coding

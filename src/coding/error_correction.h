@@ -1,0 +1,120 @@
+// Reed–Solomon error correction via Berlekamp–Welch — upgrading the mask
+// codec's error-*detecting* redundant decode (paper §8 first step) to
+// error-*correcting*: with r = (#responses - U) redundant aggregated shares
+// the server can not only notice but locate and discard up to floor(r/2)
+// corrupted responses and still finish the one-shot recovery.
+//
+// Setting. The aggregated encoded shares are evaluations y_j = g(x_j) of the
+// aggregate polynomial g (degree < U). A Byzantine or faulty responder
+// corrupts its y_j. Berlekamp–Welch finds a monic error locator E (degree e)
+// and Q = g*E (degree < U + e) satisfying the *linear* system
+//     Q(x_j) = y_j * E(x_j)        for every response j,
+// which holds identically when at most e responses are wrong: E vanishes on
+// the corrupted x_j. Then g = Q / E (exact division), and the corrupted
+// responders are the roots of E among the share points.
+//
+// Cost note. Solving the (U+2e)-unknown system per mask *coordinate* would
+// be prohibitive; the codec layer (MaskCodec::decode_aggregate_corrected)
+// exploits that corruption is per-*responder*, locating the bad responders
+// once on a random linear combination of coordinates and then running the
+// normal one-shot decode on the clean survivors.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coding/matrix.h"
+#include "coding/ntt.h"   // poly_trim
+#include "coding/poly.h"  // poly_eval, poly_divrem
+#include "common/error.h"
+
+namespace lsa::coding {
+
+template <class F>
+struct BwDecode {
+  /// Coefficients of the recovered polynomial g (degree < k, trimmed).
+  std::vector<typename F::rep> poly;
+  /// Indices into xs/ys where ys disagreed with g (the corrupted shares).
+  std::vector<std::size_t> error_positions;
+};
+
+/// Berlekamp–Welch: recovers the degree-<k polynomial from n = xs.size()
+/// evaluations of which at most max_errors are corrupted.
+/// Requires n >= k + 2*max_errors. Returns nullopt when no consistent
+/// codeword exists within the error budget (e.g. more corruptions than
+/// max_errors — detected, not silently mis-decoded).
+template <class F>
+[[nodiscard]] std::optional<BwDecode<F>> berlekamp_welch(
+    std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> ys, std::size_t k,
+    std::size_t max_errors) {
+  using rep = typename F::rep;
+  const std::size_t n = xs.size();
+  lsa::require<lsa::CodingError>(n == ys.size() && k >= 1,
+                                 "berlekamp-welch: bad inputs");
+  lsa::require<lsa::CodingError>(
+      n >= k + 2 * max_errors,
+      "berlekamp-welch: need n >= k + 2e evaluations");
+  const std::size_t e = max_errors;
+
+  std::vector<rep> q_coeffs;  // degree < k + e
+  std::vector<rep> e_coeffs;  // E = x^e + e_{e-1} x^{e-1} + ... + e_0
+  if (e == 0) {
+    // No error budget: plain interpolation (from the first k points), then
+    // the verification pass below still rejects inconsistent extras.
+    SubproductTree<F> tree{xs.first(k)};
+    q_coeffs = tree.interpolate(ys.first(k));
+  } else {
+    // Unknowns: q_0..q_{k+e-1}, e_0..e_{e-1}.
+    // Row j:  sum_m q_m x_j^m - y_j * sum_m e_m x_j^m = y_j * x_j^e.
+    const std::size_t nq = k + e;
+    Matrix<F> m(n, nq + e);
+    std::vector<rep> rhs(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      rep pw = F::one;
+      for (std::size_t c = 0; c < nq; ++c) {
+        m.at(j, c) = pw;
+        pw = F::mul(pw, xs[j]);
+      }
+      pw = F::one;
+      for (std::size_t c = 0; c < e; ++c) {
+        m.at(j, nq + c) = F::neg(F::mul(ys[j], pw));
+        pw = F::mul(pw, xs[j]);
+      }
+      rhs[j] = F::mul(ys[j], F::pow(xs[j], e));
+    }
+    auto sol = solve_linear<F>(m, rhs);
+    if (!sol.has_value()) return std::nullopt;
+    q_coeffs.assign(sol->begin(),
+                    sol->begin() + static_cast<std::ptrdiff_t>(nq));
+    e_coeffs.assign(sol->begin() + static_cast<std::ptrdiff_t>(nq),
+                    sol->end());
+  }
+
+  BwDecode<F> out;
+  if (e == 0) {
+    out.poly = std::move(q_coeffs);
+  } else {
+    std::vector<rep> locator(e_coeffs);
+    locator.push_back(F::one);  // monic x^e term
+    poly_trim<F>(q_coeffs);
+    auto [g, r] = poly_divrem<F>(std::span<const rep>(q_coeffs),
+                                 std::span<const rep>(locator));
+    if (!r.empty()) return std::nullopt;  // E does not divide Q: overrun
+    out.poly = std::move(g);
+  }
+  if (out.poly.size() > k) return std::nullopt;  // degree overflow
+
+  // Verification: the codeword must disagree with at most e inputs.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (poly_eval<F>(std::span<const rep>(out.poly), xs[j]) != ys[j]) {
+      out.error_positions.push_back(j);
+    }
+  }
+  if (out.error_positions.size() > e) return std::nullopt;
+  return out;
+}
+
+}  // namespace lsa::coding

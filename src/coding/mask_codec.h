@@ -1,0 +1,305 @@
+// T-private MDS mask encoding / one-shot aggregate decoding — the core
+// primitive of LightSecAgg (paper §4.1, eq. (5), Appendix B).
+//
+// Construction. We realize the T-private MDS matrix W of eq. (5) in the
+// Lagrange-coded-computing form the paper cites (Yu et al. 2019):
+//
+//   * Fix U distinct nonzero "slot" points beta_1..beta_U. The first U-T
+//     slots carry the mask segments [z_i]_k, the last T slots carry the
+//     uniformly random padding segments [n_i]_k.
+//   * Fix N distinct "share" points alpha_1..alpha_N, disjoint from the betas.
+//   * User i forms the unique polynomial f_i of degree < U with
+//     f_i(beta_k) = segment k, and sends [~z_i]_j = f_i(alpha_j) to user j.
+//
+// The induced U×N matrix W[k][j] = l_k(alpha_j) (Lagrange basis over the
+// betas) is MDS: any U columns correspond to U evaluations of a degree-<U
+// polynomial, an invertible relation. It is T-private: the bottom T rows
+// evaluated at any T share points factor as diag · Cauchy · diag with all
+// factors invertible (tests/coding/mask_codec_test.cpp checks both properties
+// exhaustively for small parameters).
+//
+// One-shot decoding. Because all users share W, aggregated shares
+// sum_{i in U1} f_i(alpha_j) are evaluations of the aggregate polynomial
+// g = sum_{i in U1} f_i. From any U of them the server interpolates g and
+// reads the aggregate mask segments off g(beta_1..beta_{U-T}) — one shot,
+// independent of how many users dropped.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "coding/aggregate_decode.h"
+#include "coding/error_correction.h"
+#include "coding/lagrange.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "field/field_vec.h"
+#include "field/random_field.h"
+
+namespace lsa::coding {
+
+template <class F>
+class MaskCodec {
+ public:
+  using rep = typename F::rep;
+
+  /// N users, target U surviving users, privacy T, mask length d.
+  /// Requires U > T >= 0, U <= N, and N + U < q.
+  MaskCodec(std::size_t num_users, std::size_t target_survivors,
+            std::size_t privacy, std::size_t mask_len)
+      : n_(num_users), u_(target_survivors), t_(privacy), d_(mask_len) {
+    lsa::require<lsa::CodingError>(u_ > t_, "mask codec: need U > T");
+    lsa::require<lsa::CodingError>(u_ <= n_, "mask codec: need U <= N");
+    lsa::require<lsa::CodingError>(d_ >= 1, "mask codec: empty mask");
+    lsa::require<lsa::CodingError>(
+        static_cast<std::uint64_t>(n_) + u_ + 1 < F::modulus,
+        "mask codec: field too small for N + U points");
+    seg_len_ = (d_ + (u_ - t_) - 1) / (u_ - t_);
+
+    beta_.resize(u_);
+    for (std::size_t k = 0; k < u_; ++k) beta_[k] = static_cast<rep>(k + 1);
+    alpha_.resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      alpha_[j] = static_cast<rep>(u_ + 1 + j);
+    }
+
+    // Encoding matrix W[k][j] = l_k(alpha_j), stored column-major so that
+    // encoding share j streams one contiguous column.
+    w_cols_.resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      w_cols_[j] = lagrange_weights_at<F>(std::span<const rep>(beta_),
+                                          alpha_[j]);
+    }
+  }
+
+  [[nodiscard]] std::size_t num_users() const { return n_; }
+  [[nodiscard]] std::size_t target_survivors() const { return u_; }
+  [[nodiscard]] std::size_t privacy() const { return t_; }
+  [[nodiscard]] std::size_t mask_len() const { return d_; }
+  /// Segment length L = ceil(d / (U - T)); every share has this length.
+  [[nodiscard]] std::size_t segment_len() const { return seg_len_; }
+  [[nodiscard]] std::size_t num_data_segments() const { return u_ - t_; }
+
+  /// Column j of the encoding matrix (exposed for tests / analysis).
+  [[nodiscard]] std::span<const rep> encoding_column(std::size_t j) const {
+    return w_cols_.at(j);
+  }
+
+  /// Splits mask z into U-T segments (zero-padded) plus T noise segments
+  /// drawn from noise_rng, and encodes all N shares.
+  /// Returns shares[j] = [~z]_j of length segment_len().
+  template <lsa::field::BitSource G>
+  [[nodiscard]] std::vector<std::vector<rep>> encode(
+      std::span<const rep> mask, G& noise_rng) const {
+    auto segments = make_segments(mask, noise_rng);
+    return encode_segments(segments);
+  }
+
+  /// Deterministic variant used by tests: caller supplies the noise segments.
+  [[nodiscard]] std::vector<std::vector<rep>> encode_with_noise(
+      std::span<const rep> mask,
+      const std::vector<std::vector<rep>>& noise_segments) const {
+    lsa::require<lsa::CodingError>(noise_segments.size() == t_,
+                                   "encode: need exactly T noise segments");
+    std::vector<std::vector<rep>> segments = split_mask(mask);
+    for (const auto& ns : noise_segments) {
+      lsa::require<lsa::CodingError>(ns.size() == seg_len_,
+                                     "encode: bad noise segment length");
+      segments.push_back(ns);
+    }
+    return encode_segments(segments);
+  }
+
+  /// Decodes twice from disjoint-as-possible share subsets and cross-checks
+  /// — an error-*detecting* decode. With r = (#shares - U) redundant
+  /// responses, any set of tampered shares that is not carefully coordinated
+  /// across both subsets yields disagreeing decodes (MDS distance). This is
+  /// the first step toward the Byzantine-robust extension the paper lists
+  /// as future work (§8): detect, don't yet correct.
+  /// Requires at least U + 1 shares; throws CodingError on mismatch.
+  [[nodiscard]] std::vector<rep> decode_aggregate_verified(
+      std::span<const std::size_t> share_owners,
+      std::span<const std::vector<rep>> agg_shares) const {
+    lsa::require<lsa::ProtocolError>(
+        share_owners.size() >= u_ + 1,
+        "verified decode: need at least U+1 shares for redundancy");
+    // Subset A: first U shares. Subset B: last U shares (maximally shifted).
+    const std::size_t shift = share_owners.size() - u_;
+    std::vector<std::size_t> owners_b(share_owners.begin() + shift,
+                                      share_owners.end());
+    std::vector<std::vector<rep>> shares_b(agg_shares.begin() + shift,
+                                           agg_shares.end());
+    auto a = decode_aggregate(share_owners.first(u_),
+                              agg_shares.first(u_));
+    auto b = decode_aggregate(owners_b, shares_b);
+    lsa::require<lsa::CodingError>(
+        a == b,
+        "verified decode: redundant decodes disagree — share tampering or "
+        "corruption detected");
+    return a;
+  }
+
+  struct CorrectedAggregate {
+    std::vector<rep> aggregate;
+    /// User ids whose aggregated shares were corrupted and discarded.
+    std::vector<std::size_t> corrupted_owners;
+  };
+
+  /// Error-*correcting* decode (the full upgrade of the §8 first step):
+  /// with r = #responses - U redundant shares, locates and discards up to
+  /// floor(r/2) corrupted responses and still recovers the exact aggregate.
+  ///
+  /// Location runs Berlekamp-Welch once on a random linear combination of
+  /// the seg_len coordinates (corruption is per-responder, so one locator
+  /// pass suffices; a corrupted share escaping the random probe has
+  /// probability <= #responses/q, about 2^-28 at Fp32 — vanishing, and the
+  /// paper's honest-but-curious baseline assumes zero corruption anyway).
+  /// Throws CodingError when more shares are corrupted than the redundancy
+  /// can fix (detected via the BW consistency check, never mis-decoded).
+  [[nodiscard]] CorrectedAggregate decode_aggregate_corrected(
+      std::span<const std::size_t> share_owners,
+      std::span<const std::vector<rep>> agg_shares,
+      std::uint64_t probe_seed = 0x5eedu) const {
+    lsa::require<lsa::ProtocolError>(
+        share_owners.size() == agg_shares.size(),
+        "corrected decode: owners/shares size mismatch");
+    lsa::require<lsa::ProtocolError>(
+        share_owners.size() >= u_,
+        "corrected decode: fewer than U responses");
+    const std::size_t n_resp = share_owners.size();
+    const std::size_t budget = (n_resp - u_) / 2;
+
+    std::vector<rep> xs(n_resp), ys(n_resp);
+    lsa::common::Xoshiro256ss rng(probe_seed);
+    const auto probe = lsa::field::uniform_vector<F>(seg_len_, rng);
+    for (std::size_t j = 0; j < n_resp; ++j) {
+      lsa::require<lsa::ProtocolError>(share_owners[j] < n_,
+                                       "corrected decode: owner range");
+      lsa::require<lsa::ProtocolError>(agg_shares[j].size() == seg_len_,
+                                       "corrected decode: share length");
+      xs[j] = alpha_[share_owners[j]];
+      ys[j] = lsa::field::dot<F>(std::span<const rep>(probe),
+                                 std::span<const rep>(agg_shares[j]));
+    }
+
+    const auto bw = berlekamp_welch<F>(std::span<const rep>(xs),
+                                       std::span<const rep>(ys), u_, budget);
+    lsa::require<lsa::CodingError>(
+        bw.has_value(),
+        "corrected decode: more corrupted shares than the redundancy can "
+        "fix — aborting rather than mis-decoding");
+
+    CorrectedAggregate out;
+    std::vector<std::size_t> clean_owners;
+    std::vector<std::vector<rep>> clean_shares;
+    std::size_t next_err = 0;
+    for (std::size_t j = 0; j < n_resp; ++j) {
+      if (next_err < bw->error_positions.size() &&
+          bw->error_positions[next_err] == j) {
+        out.corrupted_owners.push_back(share_owners[j]);
+        ++next_err;
+        continue;
+      }
+      clean_owners.push_back(share_owners[j]);
+      clean_shares.push_back(agg_shares[j]);
+    }
+    out.aggregate = decode_aggregate(clean_owners, clean_shares);
+    return out;
+  }
+
+  /// One-shot aggregate decode. share_owners[j] is the 0-based user id whose
+  /// aggregated share agg_shares[j] = sum_{i in U1} [~z_i]_{owner} is given.
+  /// Needs at least U distinct owners; uses the first U. Returns the
+  /// aggregate mask sum_{i in U1} z_i (length d). The decode kernel is
+  /// selectable (coding/aggregate_decode.h); all strategies are bit-exact,
+  /// kBarycentric is the practical default, kNtt realizes the paper's
+  /// O(U log U) complexity class on NTT-capable fields.
+  [[nodiscard]] std::vector<rep> decode_aggregate(
+      std::span<const std::size_t> share_owners,
+      std::span<const std::vector<rep>> agg_shares,
+      DecodeStrategy strategy = DecodeStrategy::kBarycentric) const {
+    lsa::require<lsa::ProtocolError>(
+        share_owners.size() == agg_shares.size(),
+        "decode: owners/shares size mismatch");
+    lsa::require<lsa::ProtocolError>(
+        share_owners.size() >= u_,
+        "decode: fewer than U aggregated shares — unrecoverable round");
+
+    std::vector<rep> xs(u_);
+    for (std::size_t j = 0; j < u_; ++j) {
+      lsa::require<lsa::ProtocolError>(share_owners[j] < n_,
+                                       "decode: share owner out of range");
+      xs[j] = alpha_[share_owners[j]];
+      lsa::require<lsa::ProtocolError>(agg_shares[j].size() == seg_len_,
+                                       "decode: bad share length");
+    }
+    for (std::size_t a = 0; a < u_; ++a) {
+      for (std::size_t b = a + 1; b < u_; ++b) {
+        lsa::require<lsa::ProtocolError>(xs[a] != xs[b],
+                                         "decode: duplicate share owners");
+      }
+    }
+
+    // Evaluate the aggregate polynomial g at the U-T data slots.
+    std::span<const rep> data_betas(beta_.data(), u_ - t_);
+    auto out = decode_eval<F>(strategy, std::span<const rep>(xs), data_betas,
+                              agg_shares.first(u_), seg_len_);
+    out.resize(d_);  // drop zero padding
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::vector<rep>> split_mask(
+      std::span<const rep> mask) const {
+    lsa::require<lsa::CodingError>(mask.size() == d_,
+                                   "encode: mask length != d");
+    std::vector<std::vector<rep>> segments;
+    segments.reserve(u_);
+    for (std::size_t k = 0; k < u_ - t_; ++k) {
+      std::vector<rep> seg(seg_len_, F::zero);
+      const std::size_t off = k * seg_len_;
+      const std::size_t n = std::min(seg_len_, d_ - std::min(d_, off));
+      for (std::size_t l = 0; l < n; ++l) seg[l] = mask[off + l];
+      segments.push_back(std::move(seg));
+    }
+    return segments;
+  }
+
+  template <lsa::field::BitSource G>
+  [[nodiscard]] std::vector<std::vector<rep>> make_segments(
+      std::span<const rep> mask, G& noise_rng) const {
+    auto segments = split_mask(mask);
+    for (std::size_t k = 0; k < t_; ++k) {
+      segments.push_back(
+          lsa::field::uniform_vector<F>(seg_len_, noise_rng));
+    }
+    return segments;
+  }
+
+  [[nodiscard]] std::vector<std::vector<rep>> encode_segments(
+      const std::vector<std::vector<rep>>& segments) const {
+    std::vector<std::vector<rep>> shares(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      shares[j].assign(seg_len_, F::zero);
+      std::span<rep> dst(shares[j]);
+      const auto& col = w_cols_[j];
+      for (std::size_t k = 0; k < u_; ++k) {
+        lsa::field::axpy_inplace<F>(dst, col[k],
+                                    std::span<const rep>(segments[k]));
+      }
+    }
+    return shares;
+  }
+
+  std::size_t n_;
+  std::size_t u_;
+  std::size_t t_;
+  std::size_t d_;
+  std::size_t seg_len_ = 0;
+  std::vector<rep> beta_;
+  std::vector<rep> alpha_;
+  std::vector<std::vector<rep>> w_cols_;
+};
+
+}  // namespace lsa::coding

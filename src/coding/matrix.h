@@ -1,0 +1,169 @@
+// Dense matrices over F_q with Gaussian elimination.
+//
+// Used by tests to verify the MDS and T-privacy conditions of the mask codec
+// (every U×U submatrix of the encoding matrix invertible; bottom-T-row
+// submatrices invertible) and as a reference decoder.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lsa::coding {
+
+template <class F>
+class Matrix {
+ public:
+  using rep = typename F::rep;
+
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, F::zero) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] rep& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const rep& at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Returns the submatrix with the given rows and columns.
+  [[nodiscard]] Matrix submatrix(std::span<const std::size_t> rs,
+                                 std::span<const std::size_t> cs) const {
+    Matrix out(rs.size(), cs.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      for (std::size_t j = 0; j < cs.size(); ++j) {
+        out.at(i, j) = at(rs[i], cs[j]);
+      }
+    }
+    return out;
+  }
+
+  /// Rank via Gaussian elimination (destroys a copy).
+  [[nodiscard]] std::size_t rank() const {
+    Matrix m = *this;
+    std::size_t rank = 0;
+    for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+      // Find pivot.
+      std::size_t pivot = rank;
+      while (pivot < rows_ && m.at(pivot, col) == F::zero) ++pivot;
+      if (pivot == rows_) continue;
+      if (pivot != rank) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+          std::swap(m.at(pivot, c), m.at(rank, c));
+        }
+      }
+      const rep inv_p = F::inv(m.at(rank, col));
+      for (std::size_t c = col; c < cols_; ++c) {
+        m.at(rank, c) = F::mul(m.at(rank, c), inv_p);
+      }
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (r == rank || m.at(r, col) == F::zero) continue;
+        const rep f = m.at(r, col);
+        for (std::size_t c = col; c < cols_; ++c) {
+          m.at(r, c) = F::sub(m.at(r, c), F::mul(f, m.at(rank, c)));
+        }
+      }
+      ++rank;
+    }
+    return rank;
+  }
+
+  [[nodiscard]] bool is_invertible() const {
+    return rows_ == cols_ && rank() == rows_;
+  }
+
+  /// y = M x.
+  [[nodiscard]] std::vector<rep> apply(std::span<const rep> x) const {
+    lsa::require<lsa::CodingError>(x.size() == cols_, "matvec: size mismatch");
+    std::vector<rep> y(rows_, F::zero);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      rep acc = F::zero;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        acc = F::add(acc, F::mul(at(r, c), x[c]));
+      }
+      y[r] = acc;
+    }
+    return y;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<rep> data_;
+};
+
+/// Solves M x = b by Gaussian elimination. Returns one solution with free
+/// variables set to zero, or std::nullopt when the system is inconsistent.
+/// (Square invertible systems yield the unique solution.)
+template <class F>
+[[nodiscard]] std::optional<std::vector<typename F::rep>> solve_linear(
+    const Matrix<F>& m_in, std::span<const typename F::rep> b) {
+  using rep = typename F::rep;
+  const std::size_t rows = m_in.rows();
+  const std::size_t cols = m_in.cols();
+  lsa::require<lsa::CodingError>(b.size() == rows, "solve: rhs size mismatch");
+
+  // Augmented matrix [M | b], reduced to row-echelon form.
+  Matrix<F> m(rows, cols + 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m.at(r, c) = m_in.at(r, c);
+    m.at(r, cols) = b[r];
+  }
+  std::vector<std::size_t> pivot_col;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows && m.at(pivot, col) == F::zero) ++pivot;
+    if (pivot == rows) continue;
+    if (pivot != rank) {
+      for (std::size_t c = 0; c <= cols; ++c) {
+        std::swap(m.at(pivot, c), m.at(rank, c));
+      }
+    }
+    const rep inv_p = F::inv(m.at(rank, col));
+    for (std::size_t c = col; c <= cols; ++c) {
+      m.at(rank, c) = F::mul(m.at(rank, c), inv_p);
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == rank || m.at(r, col) == F::zero) continue;
+      const rep f = m.at(r, col);
+      for (std::size_t c = col; c <= cols; ++c) {
+        m.at(r, c) = F::sub(m.at(r, c), F::mul(f, m.at(rank, c)));
+      }
+    }
+    pivot_col.push_back(col);
+    ++rank;
+  }
+  // Inconsistency: a zero row with nonzero rhs.
+  for (std::size_t r = rank; r < rows; ++r) {
+    if (m.at(r, cols) != F::zero) return std::nullopt;
+  }
+  std::vector<rep> x(cols, F::zero);
+  for (std::size_t r = 0; r < rank; ++r) {
+    x[pivot_col[r]] = m.at(r, cols);
+  }
+  return x;
+}
+
+/// U×N Vandermonde matrix V[k][j] = alpha_j^k over distinct points alpha.
+template <class F>
+[[nodiscard]] Matrix<F> vandermonde(std::span<const typename F::rep> alphas,
+                                    std::size_t rows) {
+  Matrix<F> m(rows, alphas.size());
+  for (std::size_t j = 0; j < alphas.size(); ++j) {
+    typename F::rep p = F::one;
+    for (std::size_t k = 0; k < rows; ++k) {
+      m.at(k, j) = p;
+      p = F::mul(p, alphas[j]);
+    }
+  }
+  return m;
+}
+
+}  // namespace lsa::coding

@@ -1,0 +1,150 @@
+// Number-theoretic transform (NTT) and polynomial multiplication.
+//
+// The NTT is the finite-field DFT: for n = 2^k and a primitive n-th root of
+// unity w, it maps coefficients (a_0..a_{n-1}) to evaluations (A(w^0)..
+// A(w^{n-1})) in O(n log n). It is the multiplication engine behind the fast
+// polynomial toolkit (coding/poly.h) that realizes the paper's O(U log U)
+// server-decode complexity class (§5.2, Table 5).
+//
+// Field requirements are expressed by the NttCapable concept: the field must
+// expose `two_adicity` and `omega(k)` (a primitive 2^k-th root). Of the three
+// fields in this library only field::Goldilocks qualifies; polymul<F> remains
+// usable for every field by falling back to schoolbook multiplication.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lsa::coding {
+
+template <class F>
+concept NttCapable = requires {
+  { F::two_adicity } -> std::convertible_to<unsigned>;
+  { F::omega(0u) } -> std::convertible_to<typename F::rep>;
+};
+
+/// In-place bit-reversal permutation (size must be a power of two).
+template <class F>
+void bit_reverse_permute(std::span<typename F::rep> a) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+/// In-place forward NTT: a[i] <- A(w^i) for the polynomial A with
+/// coefficients a. Size must be a power of two <= 2^F::two_adicity.
+template <NttCapable F>
+void ntt_inplace(std::span<typename F::rep> a) {
+  using rep = typename F::rep;
+  const std::size_t n = a.size();
+  if (n <= 1) return;
+  lsa::require<lsa::CodingError>(std::has_single_bit(n),
+                                 "ntt: size must be a power of two");
+  const unsigned log_n = static_cast<unsigned>(std::countr_zero(n));
+  lsa::require<lsa::CodingError>(log_n <= F::two_adicity,
+                                 "ntt: size exceeds the field's 2-adicity");
+
+  bit_reverse_permute<F>(a);
+  for (unsigned s = 1; s <= log_n; ++s) {
+    const std::size_t m = std::size_t{1} << s;
+    const rep wm = F::omega(s);
+    for (std::size_t k = 0; k < n; k += m) {
+      rep w = F::one;
+      for (std::size_t j = 0; j < m / 2; ++j) {
+        const rep t = F::mul(w, a[k + j + m / 2]);
+        const rep u = a[k + j];
+        a[k + j] = F::add(u, t);
+        a[k + j + m / 2] = F::sub(u, t);
+        w = F::mul(w, wm);
+      }
+    }
+  }
+}
+
+/// In-place inverse NTT (exact inverse of ntt_inplace).
+template <NttCapable F>
+void intt_inplace(std::span<typename F::rep> a) {
+  using rep = typename F::rep;
+  const std::size_t n = a.size();
+  if (n <= 1) return;
+  // Inverse transform = forward transform with w^-1, scaled by n^-1.
+  // Conjugating by reversal of the non-zero indices achieves w -> w^-1.
+  ntt_inplace<F>(a);
+  std::reverse(a.begin() + 1, a.end());
+  const rep n_inv = F::inv(F::from_u64(static_cast<std::uint64_t>(n)));
+  for (auto& x : a) x = F::mul(x, n_inv);
+}
+
+/// Degree bound after trimming trailing zero coefficients; the zero
+/// polynomial is represented by an empty vector.
+template <class F>
+void poly_trim(std::vector<typename F::rep>& a) {
+  while (!a.empty() && a.back() == F::zero) a.pop_back();
+}
+
+/// Schoolbook product, O(|a|*|b|). Works for every field; used directly for
+/// small operands where NTT overhead dominates.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> polymul_schoolbook(
+    std::span<const typename F::rep> a, std::span<const typename F::rep> b) {
+  using rep = typename F::rep;
+  if (a.empty() || b.empty()) return {};
+  std::vector<rep> out(a.size() + b.size() - 1, F::zero);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == F::zero) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = F::add(out[i + j], F::mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+/// NTT-based product, O(n log n) with n = |a| + |b|.
+template <NttCapable F>
+[[nodiscard]] std::vector<typename F::rep> polymul_ntt(
+    std::span<const typename F::rep> a, std::span<const typename F::rep> b) {
+  using rep = typename F::rep;
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = std::bit_ceil(out_len);
+  std::vector<rep> fa(a.begin(), a.end());
+  std::vector<rep> fb(b.begin(), b.end());
+  fa.resize(n, F::zero);
+  fb.resize(n, F::zero);
+  ntt_inplace<F>(std::span<rep>(fa));
+  ntt_inplace<F>(std::span<rep>(fb));
+  for (std::size_t i = 0; i < n; ++i) fa[i] = F::mul(fa[i], fb[i]);
+  intt_inplace<F>(std::span<rep>(fa));
+  fa.resize(out_len);
+  return fa;
+}
+
+/// Size threshold below which schoolbook beats the transform (measured on
+/// this library's kernels; the exact value only shifts constants).
+inline constexpr std::size_t kNttThreshold = 64;
+
+/// Polynomial product with automatic algorithm selection. For fields without
+/// NTT structure this is always schoolbook — correct, just quadratic.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> polymul(
+    std::span<const typename F::rep> a, std::span<const typename F::rep> b) {
+  if constexpr (NttCapable<F>) {
+    if (a.size() >= kNttThreshold && b.size() >= kNttThreshold) {
+      return polymul_ntt<F>(a, b);
+    }
+  }
+  return polymul_schoolbook<F>(a, b);
+}
+
+}  // namespace lsa::coding

@@ -1,0 +1,338 @@
+// Fast dense polynomial arithmetic over F_q.
+//
+// This is the toolkit that turns the paper's O(U log U) server-decode claim
+// (§5.2: "decoding a U-dimensional MDS code ... can be performed with
+// O(U log U) operations") into running code:
+//
+//   * poly_divrem        — division with remainder, via Newton inversion of
+//                          the reversed divisor when operands are large.
+//   * SubproductTree     — the balanced product tree over evaluation points
+//                          that underlies both fast algorithms below.
+//   * tree.evaluate(f)   — fast multipoint evaluation, O(M(n) log n).
+//   * tree.interpolate(y)— fast interpolation,        O(M(n) log n),
+//
+// where M(n) is the polynomial multiplication cost: n log n with an NTT
+// (field::Goldilocks), n^2 otherwise. Every routine is field-generic and
+// exact; the naive counterparts (poly_eval, interpolate_naive) are kept as
+// cross-checks for the property tests.
+//
+// Representation: a polynomial is a std::vector<rep> of coefficients, lowest
+// degree first, with no trailing zeros ("trimmed"); the zero polynomial is
+// the empty vector. All routines return trimmed results and accept untrimmed
+// inputs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "coding/ntt.h"
+#include "common/error.h"
+#include "field/field_vec.h"
+
+namespace lsa::coding {
+
+/// f(x0) by Horner's rule, O(deg f).
+template <class F>
+[[nodiscard]] typename F::rep poly_eval(std::span<const typename F::rep> f,
+                                        typename F::rep x0) {
+  typename F::rep acc = F::zero;
+  for (std::size_t i = f.size(); i-- > 0;) {
+    acc = F::add(F::mul(acc, x0), f[i]);
+  }
+  return acc;
+}
+
+/// Formal derivative f'(x).
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> poly_derivative(
+    std::span<const typename F::rep> f) {
+  using rep = typename F::rep;
+  if (f.size() <= 1) return {};
+  std::vector<rep> out(f.size() - 1);
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    out[i - 1] = F::mul(f[i], F::from_u64(static_cast<std::uint64_t>(i)));
+  }
+  poly_trim<F>(out);
+  return out;
+}
+
+/// a + b.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> poly_add(
+    std::span<const typename F::rep> a, std::span<const typename F::rep> b) {
+  using rep = typename F::rep;
+  std::vector<rep> out(std::max(a.size(), b.size()), F::zero);
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = F::add(out[i], b[i]);
+  poly_trim<F>(out);
+  return out;
+}
+
+/// a - b.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> poly_sub(
+    std::span<const typename F::rep> a, std::span<const typename F::rep> b) {
+  using rep = typename F::rep;
+  std::vector<rep> out(std::max(a.size(), b.size()), F::zero);
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = F::sub(out[i], b[i]);
+  poly_trim<F>(out);
+  return out;
+}
+
+/// Truncated product a*b mod x^k (keeps only the low k coefficients).
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> polymul_mod_xk(
+    std::span<const typename F::rep> a, std::span<const typename F::rep> b,
+    std::size_t k) {
+  auto p = polymul<F>(a, b);
+  if (p.size() > k) p.resize(k);
+  poly_trim<F>(p);
+  return p;
+}
+
+/// Power-series inverse: returns b with a*b == 1 (mod x^k), by Newton
+/// iteration b <- b*(2 - a*b), doubling precision each step.
+/// Precondition: a[0] != 0 (CodingError otherwise).
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> poly_inverse_mod_xk(
+    std::span<const typename F::rep> a, std::size_t k) {
+  using rep = typename F::rep;
+  lsa::require<lsa::CodingError>(
+      !a.empty() && a[0] != F::zero,
+      "poly inverse: constant term must be nonzero");
+  lsa::require<lsa::CodingError>(k >= 1, "poly inverse: k must be >= 1");
+  std::vector<rep> b{F::inv(a[0])};
+  std::size_t prec = 1;
+  const std::vector<rep> two{F::add(F::one, F::one)};
+  while (prec < k) {
+    prec = std::min(prec * 2, k);
+    // b <- b*(2 - a*b) mod x^prec
+    std::span<const rep> a_low(a.data(), std::min(a.size(), prec));
+    auto ab = polymul_mod_xk<F>(a_low, b, prec);
+    auto correction = poly_sub<F>(two, ab);
+    b = polymul_mod_xk<F>(b, correction, prec);
+  }
+  return b;
+}
+
+/// Quotient and remainder: a = q*b + r with deg r < deg b.
+/// Uses the reversal + Newton-inversion algorithm (O(M(n))) for large
+/// operands and schoolbook long division for small ones.
+/// Precondition: b != 0.
+template <class F>
+struct DivRem {
+  std::vector<typename F::rep> quotient;
+  std::vector<typename F::rep> remainder;
+};
+
+template <class F>
+[[nodiscard]] DivRem<F> poly_divrem(std::span<const typename F::rep> a_in,
+                                    std::span<const typename F::rep> b_in) {
+  using rep = typename F::rep;
+  std::vector<rep> a(a_in.begin(), a_in.end());
+  std::vector<rep> b(b_in.begin(), b_in.end());
+  poly_trim<F>(a);
+  poly_trim<F>(b);
+  lsa::require<lsa::CodingError>(!b.empty(), "poly divrem: division by zero");
+  if (a.size() < b.size()) return {{}, std::move(a)};
+
+  const std::size_t qlen = a.size() - b.size() + 1;
+  if (b.size() <= 16 || qlen <= 16) {
+    // Schoolbook long division.
+    std::vector<rep> q(qlen, F::zero);
+    const rep lead_inv = F::inv(b.back());
+    for (std::size_t i = qlen; i-- > 0;) {
+      const rep coef = F::mul(a[i + b.size() - 1], lead_inv);
+      q[i] = coef;
+      if (coef == F::zero) continue;
+      for (std::size_t j = 0; j < b.size(); ++j) {
+        a[i + j] = F::sub(a[i + j], F::mul(coef, b[j]));
+      }
+    }
+    a.resize(b.size() - 1);
+    poly_trim<F>(a);
+    return {std::move(q), std::move(a)};
+  }
+
+  // rev(a) = rev(b) * rev(q) mod x^qlen  =>  rev(q) = rev(a)*rev(b)^-1.
+  std::vector<rep> ra(a.rbegin(), a.rend());
+  std::vector<rep> rb(b.rbegin(), b.rend());
+  auto rb_inv = poly_inverse_mod_xk<F>(rb, qlen);
+  auto rq = polymul_mod_xk<F>(ra, rb_inv, qlen);
+  rq.resize(qlen, F::zero);
+  std::vector<rep> q(rq.rbegin(), rq.rend());
+
+  auto bq = polymul<F>(b, q);
+  auto r = poly_sub<F>(a, bq);
+  lsa::require<lsa::CodingError>(r.size() < b.size(),
+                                 "poly divrem: internal degree error");
+  std::vector<rep> q_trimmed = std::move(q);
+  poly_trim<F>(q_trimmed);
+  return {std::move(q_trimmed), std::move(r)};
+}
+
+/// Naive O(n^2) interpolation through (xs[j], ys[j]) returning coefficients.
+/// Reference implementation for tests; use SubproductTree::interpolate for
+/// real workloads.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> interpolate_naive(
+    std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> ys) {
+  using rep = typename F::rep;
+  lsa::require<lsa::CodingError>(xs.size() == ys.size() && !xs.empty(),
+                                 "interpolate: bad inputs");
+  const std::size_t n = xs.size();
+  // Newton's divided differences.
+  std::vector<rep> dd(ys.begin(), ys.end());
+  for (std::size_t level = 1; level < n; ++level) {
+    for (std::size_t i = n - 1; i >= level; --i) {
+      const rep denom = F::sub(xs[i], xs[i - level]);
+      lsa::require<lsa::CodingError>(denom != F::zero,
+                                     "interpolate: duplicate points");
+      dd[i] = F::mul(F::sub(dd[i], dd[i - 1]), F::inv(denom));
+      if (i == level) break;
+    }
+  }
+  // Horner expansion of the Newton form into monomial coefficients.
+  std::vector<rep> coef{dd[n - 1]};
+  for (std::size_t i = n - 1; i-- > 0;) {
+    // coef <- coef*(x - xs[i]) + dd[i]
+    coef.insert(coef.begin(), F::zero);
+    for (std::size_t j = 0; j + 1 < coef.size(); ++j) {
+      coef[j] = F::sub(coef[j], F::mul(xs[i], coef[j + 1]));
+    }
+    coef[0] = F::add(coef[0], dd[i]);
+  }
+  poly_trim<F>(coef);
+  return coef;
+}
+
+/// Balanced subproduct tree over a fixed point set, supporting fast
+/// multipoint evaluation and fast interpolation. Building the tree costs
+/// O(M(n) log n) and is reused across every call — exactly the access
+/// pattern of the LightSecAgg decoder, which evaluates/interpolates once
+/// per mask coordinate over the same survivor points.
+template <class F>
+class SubproductTree {
+ public:
+  using rep = typename F::rep;
+
+  /// Precondition: xs pairwise distinct and non-empty.
+  explicit SubproductTree(std::span<const rep> xs)
+      : xs_(xs.begin(), xs.end()) {
+    lsa::require<lsa::CodingError>(!xs_.empty(),
+                                   "subproduct tree: no points");
+    // Level 0: leaves (x - x_j).
+    std::vector<std::vector<rep>> level;
+    level.reserve(xs_.size());
+    for (const rep x : xs_) level.push_back({F::neg(x), F::one});
+    levels_.push_back(std::move(level));
+    // Pairwise products up to the root.
+    while (levels_.back().size() > 1) {
+      const auto& prev = levels_.back();
+      std::vector<std::vector<rep>> next;
+      next.reserve((prev.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+        next.push_back(polymul<F>(prev[i], prev[i + 1]));
+      }
+      if (prev.size() % 2 == 1) next.push_back(prev.back());
+      levels_.push_back(std::move(next));
+    }
+
+    // 1 / M'(x_j) for interpolation, via one multipoint evaluation of M'.
+    const auto m_prime = poly_derivative<F>(std::span<const rep>(root()));
+    mprime_inv_ = evaluate(m_prime);
+    for (const rep v : mprime_inv_) {
+      lsa::require<lsa::CodingError>(
+          v != F::zero, "subproduct tree: duplicate points (M'(x_j) == 0)");
+    }
+    lsa::field::batch_inv_inplace<F>(std::span<rep>(mprime_inv_));
+  }
+
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] std::span<const rep> points() const { return xs_; }
+
+  /// M(x) = prod_j (x - x_j), the root of the tree (degree n, monic).
+  [[nodiscard]] const std::vector<rep>& root() const {
+    return levels_.back().front();
+  }
+
+  /// 1 / M'(x_j) — the barycentric denominators (exposed for the decoder).
+  [[nodiscard]] std::span<const rep> barycentric_inverses() const {
+    return mprime_inv_;
+  }
+
+  /// Fast multipoint evaluation: returns { f(x_j) } for all j.
+  [[nodiscard]] std::vector<rep> evaluate(std::span<const rep> f) const {
+    std::vector<rep> out(xs_.size(), F::zero);
+    if (f.empty()) return out;
+    eval_recurse(f, levels_.size() - 1, 0, out);
+    return out;
+  }
+
+  /// Fast interpolation: the unique polynomial of degree < n through
+  /// (x_j, ys[j]), via f = sum_j ys[j]/M'(x_j) * M(x)/(x - x_j) combined
+  /// bottom-up along the tree.
+  [[nodiscard]] std::vector<rep> interpolate(std::span<const rep> ys) const {
+    lsa::require<lsa::CodingError>(ys.size() == xs_.size(),
+                                   "interpolate: wrong number of values");
+    std::vector<rep> c(ys.size());
+    for (std::size_t j = 0; j < ys.size(); ++j) {
+      c[j] = F::mul(ys[j], mprime_inv_[j]);
+    }
+    auto f = combine_recurse(c, levels_.size() - 1, 0);
+    poly_trim<F>(f);
+    return f;
+  }
+
+ private:
+  // Node i at `level` covers a contiguous range of leaves; child indices at
+  // level-1 are 2i and 2i+1 (the last node is carried up unpaired when the
+  // level has odd size).
+  [[nodiscard]] bool has_right_child(std::size_t level, std::size_t i) const {
+    return 2 * i + 1 < levels_[level - 1].size();
+  }
+
+  void eval_recurse(std::span<const rep> f, std::size_t level, std::size_t i,
+                    std::vector<rep>& out) const {
+    const auto& node = levels_[level][i];
+    auto r = (f.size() >= node.size())
+                 ? poly_divrem<F>(f, node).remainder
+                 : std::vector<rep>(f.begin(), f.end());
+    if (level == 0) {
+      out[i] = r.empty() ? F::zero : r[0];  // node is (x - x_i); r constant
+      return;
+    }
+    if (!has_right_child(level, i)) {
+      // Unpaired carry-through node: same polynomial one level down.
+      eval_recurse(r, level - 1, 2 * i, out);
+      return;
+    }
+    eval_recurse(r, level - 1, 2 * i, out);
+    eval_recurse(r, level - 1, 2 * i + 1, out);
+  }
+
+  // Returns sum over leaves j under node (level, i) of
+  //   c_j * prod_{m under node, m != j} (x - x_m).
+  [[nodiscard]] std::vector<rep> combine_recurse(std::span<const rep> c,
+                                                 std::size_t level,
+                                                 std::size_t i) const {
+    if (level == 0) return {c[i]};
+    if (!has_right_child(level, i)) {
+      return combine_recurse(c, level - 1, 2 * i);
+    }
+    auto left = combine_recurse(c, level - 1, 2 * i);
+    auto right = combine_recurse(c, level - 1, 2 * i + 1);
+    auto lm = polymul<F>(left, levels_[level - 1][2 * i + 1]);
+    auto rm = polymul<F>(right, levels_[level - 1][2 * i]);
+    return poly_add<F>(lm, rm);
+  }
+
+  std::vector<rep> xs_;
+  std::vector<std::vector<std::vector<rep>>> levels_;
+  std::vector<rep> mprime_inv_;
+};
+
+}  // namespace lsa::coding

@@ -1,0 +1,38 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace lsa::common {
+
+std::uint64_t Xoshiro256ss::next_below(std::uint64_t n) {
+  // Lemire's nearly-divisionless method with a rejection step to remove bias.
+  if (n == 0) return 0;
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      m = static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256ss::next_gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - next_double();
+  double u2 = next_double();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace lsa::common

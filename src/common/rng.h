@@ -1,0 +1,87 @@
+// Non-cryptographic pseudo-random number generation.
+//
+// All *simulation* randomness in this repository (dropout schedules, synthetic
+// datasets, SGD sampling) flows through Xoshiro256ss instances seeded
+// explicitly, so every experiment is reproducible from its seed. Cryptographic
+// mask expansion uses crypto/prg.h (ChaCha20) instead — do not mix them up:
+// xoshiro is fast but predictable by design.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lsa::common {
+
+/// SplitMix64: used only to expand a single 64-bit seed into the 256-bit
+/// xoshiro state (the construction recommended by the xoshiro authors).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator so it plugs into <random>.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire rejection).
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (uses two uniforms per pair; caches one).
+  double next_gaussian();
+
+  /// Returns a new generator seeded from this one's stream; use to give each
+  /// simulated user an independent child stream.
+  Xoshiro256ss split() { return Xoshiro256ss(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace lsa::common

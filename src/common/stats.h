@@ -1,0 +1,42 @@
+// Small statistics helpers used by tests, benches and the timing simulator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lsa::common {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Pearson chi-square statistic for uniformity over `bins` equiprobable bins.
+/// Used by statistical privacy tests: under H0 (uniform) the statistic follows
+/// chi2 with bins-1 degrees of freedom.
+[[nodiscard]] double chi_square_uniform(std::span<const std::size_t> bin_counts);
+
+/// p-quantile (linear interpolation) of an unsorted sample; copies the input.
+[[nodiscard]] double quantile(std::vector<double> xs, double p);
+
+}  // namespace lsa::common

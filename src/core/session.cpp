@@ -1,0 +1,110 @@
+#include "core/session.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fl/secure_adapter.h"
+#include "protocol/fastsecagg.h"
+#include "protocol/lightsecagg.h"
+#include "protocol/secagg.h"
+#include "protocol/secagg_plus.h"
+#include "protocol/zhao_sun.h"
+
+namespace lsa {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kSecAgg:
+      return "SecAgg";
+    case ProtocolKind::kSecAggPlus:
+      return "SecAgg+";
+    case ProtocolKind::kLightSecAgg:
+      return "LightSecAgg";
+    case ProtocolKind::kFastSecAgg:
+      return "FastSecAgg";
+    case ProtocolKind::kZhaoSun:
+      return "ZhaoSun-TTP";
+  }
+  return "?";
+}
+
+Session::Session(SessionConfig cfg) : cfg_(cfg) {
+  protocol::Params p;
+  p.num_users = cfg.num_users;
+  p.privacy = cfg.privacy;
+  p.dropout = cfg.dropout;
+  p.target_survivors = cfg.target_survivors;
+  p.model_dim = cfg.model_dim;
+  p.validate_and_resolve();
+
+  ledger_ = std::make_unique<net::Ledger>(cfg.num_users);
+  quant_rng_ = std::make_unique<common::Xoshiro256ss>(cfg.seed ^ 0x9ull);
+  switch (cfg.protocol) {
+    case ProtocolKind::kSecAgg:
+      protocol_ = std::make_unique<protocol::SecAgg<Field>>(p, cfg.seed,
+                                                            ledger_.get());
+      break;
+    case ProtocolKind::kSecAggPlus:
+      protocol_ = std::make_unique<protocol::SecAggPlus<Field>>(
+          p, cfg.seed, ledger_.get(), cfg.graph_degree, cfg.graph_threshold);
+      break;
+    case ProtocolKind::kLightSecAgg:
+      protocol_ = std::make_unique<protocol::LightSecAgg<Field>>(
+          p, cfg.seed, ledger_.get());
+      break;
+    case ProtocolKind::kFastSecAgg:
+      protocol_ = std::make_unique<protocol::FastSecAgg<Field>>(
+          p, cfg.seed, ledger_.get());
+      break;
+    case ProtocolKind::kZhaoSun:
+      protocol_ =
+          std::make_unique<protocol::ZhaoSunOneShot<Field>>(p, cfg.seed);
+      break;
+  }
+}
+
+Session::~Session() = default;
+
+std::vector<double> Session::aggregate_average(
+    const std::vector<std::vector<double>>& locals,
+    const std::vector<bool>& dropped) {
+  auto avg = fl::secure_average<Field>(*protocol_, locals, dropped, cfg_.c_l,
+                                       *quant_rng_);
+  ++rounds_;
+  return avg;
+}
+
+std::vector<Session::Field::rep> Session::aggregate_field(
+    const std::vector<std::vector<Field::rep>>& inputs,
+    const std::vector<bool>& dropped) {
+  auto out = protocol_->run_round(inputs, dropped);
+  ++rounds_;
+  return out;
+}
+
+net::RoundBreakdown Session::estimate_round_time(
+    const net::CostModel& cost, net::BandwidthProfile bw, double d_real,
+    double train_seconds, net::RoundSimulator::Options opts) const {
+  require<ConfigError>(rounds_ > 0,
+                       "estimate_round_time: run at least one round first");
+  net::RoundSimulator sim(cost, bw, opts);
+  net::RoundBreakdown rb = sim.simulate(
+      *ledger_, d_real / static_cast<double>(cfg_.model_dim), train_seconds);
+  // The ledger accumulates across rounds; report the per-round average.
+  // (Each round contributes identical traffic shape, so the average equals
+  // a single round's breakdown.)
+  if (rounds_ > 1) {
+    const double inv = 1.0 / static_cast<double>(rounds_);
+    rb.offline *= inv;
+    rb.upload *= inv;
+    rb.recovery *= inv;
+  }
+  rb.training = train_seconds;
+  return rb;
+}
+
+void Session::reset_ledger() {
+  ledger_->reset();
+  rounds_ = 0;
+}
+
+}  // namespace lsa

@@ -1,0 +1,105 @@
+// Public entry point of the library: a secure-aggregation session.
+//
+// A Session owns one protocol instance (SecAgg, SecAgg+ or LightSecAgg), a
+// traffic ledger, and the quantization bridge — everything an FL system
+// needs to replace its plaintext averaging with secure aggregation:
+//
+//   lsa::SessionConfig cfg;
+//   cfg.protocol = lsa::ProtocolKind::kLightSecAgg;
+//   cfg.num_users = 100; cfg.privacy = 50; cfg.dropout = 30;
+//   cfg.model_dim = model.dim();
+//   lsa::Session session(cfg);
+//   auto avg = session.aggregate_average(local_models, dropped);
+//
+// The ledger accumulates message/compute volumes across rounds, which
+// estimate_round_time() turns into the paper's per-phase wall-time breakdown
+// under any bandwidth profile.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "field/fp.h"
+#include "net/bandwidth.h"
+#include "net/cost_model.h"
+#include "net/ledger.h"
+#include "common/rng.h"
+#include "net/round_sim.h"
+#include "protocol/secure_aggregator.h"
+
+namespace lsa {
+
+enum class ProtocolKind {
+  kSecAgg,       ///< Bonawitz et al. 2017 baseline
+  kSecAggPlus,   ///< Bell et al. 2020 baseline
+  kLightSecAgg,  ///< this paper
+  kFastSecAgg,   ///< Kadhe et al. 2020 (ramp-shares the model; related work)
+  kZhaoSun,      ///< Zhao & Sun 2021 (TTP one-shot; App. C comparison,
+                 ///< small N only — setup is exponential by design)
+};
+
+[[nodiscard]] const char* protocol_name(ProtocolKind kind);
+
+struct SessionConfig {
+  ProtocolKind protocol = ProtocolKind::kLightSecAgg;
+  std::size_t num_users = 0;         ///< N
+  std::size_t privacy = 0;           ///< T
+  std::size_t dropout = 0;           ///< D
+  std::size_t target_survivors = 0;  ///< U (0 = N - D; LightSecAgg only)
+  std::size_t model_dim = 0;         ///< d
+  std::uint64_t c_l = 1u << 16;      ///< quantization levels
+  std::uint64_t seed = 1;
+  /// SecAgg+ only: graph degree and in-neighborhood Shamir threshold
+  /// (0 = defaults: ~3 log2 N and degree/3).
+  std::size_t graph_degree = 0;
+  std::size_t graph_threshold = 0;
+};
+
+class Session {
+ public:
+  using Field = lsa::field::Fp32;
+
+  explicit Session(SessionConfig cfg);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Securely averages the surviving users' real-valued vectors
+  /// (quantize -> one protocol round -> demap -> divide by |U1|).
+  [[nodiscard]] std::vector<double> aggregate_average(
+      const std::vector<std::vector<double>>& locals,
+      const std::vector<bool>& dropped);
+
+  /// Securely sums field vectors directly (no quantization).
+  [[nodiscard]] std::vector<Field::rep> aggregate_field(
+      const std::vector<std::vector<Field::rep>>& inputs,
+      const std::vector<bool>& dropped);
+
+  [[nodiscard]] const SessionConfig& config() const { return cfg_; }
+  [[nodiscard]] const lsa::net::Ledger& ledger() const { return *ledger_; }
+  [[nodiscard]] lsa::protocol::SecureAggregator<Field>& protocol() {
+    return *protocol_;
+  }
+  [[nodiscard]] std::size_t rounds_completed() const { return rounds_; }
+
+  /// Per-phase wall-time estimate of the *average* round so far, at model
+  /// scale d_real (ledger entries that scale with d are extrapolated by
+  /// d_real / model_dim) and a given local-training cost.
+  [[nodiscard]] lsa::net::RoundBreakdown estimate_round_time(
+      const lsa::net::CostModel& cost, lsa::net::BandwidthProfile bw,
+      double d_real, double train_seconds,
+      lsa::net::RoundSimulator::Options opts = {}) const;
+
+  void reset_ledger();
+
+ private:
+  SessionConfig cfg_;
+  std::unique_ptr<lsa::net::Ledger> ledger_;
+  std::unique_ptr<lsa::protocol::SecureAggregator<Field>> protocol_;
+  std::unique_ptr<lsa::common::Xoshiro256ss> quant_rng_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace lsa

@@ -1,0 +1,32 @@
+// ChaCha20 stream cipher core (RFC 8439), used as the PRG that expands
+// short random seeds into the long masks of SecAgg / SecAgg+ and into the
+// local masks z_i of LightSecAgg.
+//
+// This is a from-scratch implementation of a public algorithm, built for the
+// simulation substrate of this repository. It matches the RFC 8439 test
+// vectors (see tests/crypto/chacha20_test.cpp) but has not been audited for
+// side-channel resistance — do not lift it into a production system as-is.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace lsa::crypto {
+
+/// 256-bit key.
+using ChaChaKey = std::array<std::uint8_t, 32>;
+/// 96-bit nonce (RFC 8439 layout).
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// Computes one 64-byte ChaCha20 keystream block:
+/// block = Serialize(ChaCha20Block(key, counter, nonce)).
+void chacha20_block(const ChaChaKey& key, std::uint32_t counter,
+                    const ChaChaNonce& nonce, std::span<std::uint8_t, 64> out);
+
+/// Generates `out.size()` keystream bytes starting at block `counter`.
+/// (XOR with plaintext would give encryption; we only need the keystream.)
+void chacha20_stream(const ChaChaKey& key, const ChaChaNonce& nonce,
+                     std::uint32_t counter, std::span<std::uint8_t> out);
+
+}  // namespace lsa::crypto

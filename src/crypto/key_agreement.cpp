@@ -1,0 +1,52 @@
+#include "crypto/key_agreement.h"
+
+#include <cstring>
+
+namespace lsa::crypto {
+
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % DhGroup::p);
+}
+
+}  // namespace
+
+std::uint64_t group_pow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t r = 1;
+  base %= DhGroup::p;
+  while (exp != 0) {
+    if (exp & 1u) r = mulmod(r, base);
+    base = mulmod(base, base);
+    exp >>= 1;
+  }
+  return r;
+}
+
+KeyPair generate_keypair(const Seed& entropy) {
+  // Reduce 64 bits of the entropy into [1, q). The tiny bias from the modular
+  // reduction is irrelevant for the simulation substrate.
+  std::uint64_t v;
+  std::memcpy(&v, entropy.data(), 8);
+  KeyPair kp;
+  kp.secret = 1 + (v % (DhGroup::q - 1));
+  kp.public_key = group_pow(DhGroup::g, kp.secret);
+  return kp;
+}
+
+std::uint64_t shared_secret(std::uint64_t my_secret,
+                            std::uint64_t their_public) {
+  return group_pow(their_public, my_secret);
+}
+
+Seed agreed_seed(std::uint64_t my_secret, std::uint64_t their_public) {
+  const std::uint64_t s = shared_secret(my_secret, their_public);
+  // Key a ChaCha block with the group element to get a full 32-byte seed
+  // (stands in for the HKDF step of a production key agreement).
+  Seed raw{};
+  std::memcpy(raw.data(), &s, 8);
+  return derive_subseed(raw, /*label=*/0x4b455941475245ull);  // "KEYAGRE"
+}
+
+}  // namespace lsa::crypto

@@ -1,0 +1,63 @@
+#include "crypto/prg.h"
+
+#include <cstring>
+
+namespace lsa::crypto {
+
+Seed seed_from_u64(std::uint64_t v) {
+  // SplitMix64-style expansion of the 64-bit value over the 32-byte seed.
+  Seed s{};
+  std::uint64_t state = v;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    std::memcpy(s.data() + 8 * i, &z, 8);
+  }
+  return s;
+}
+
+Seed derive_subseed(const Seed& parent, std::uint64_t label) {
+  ChaChaKey key;
+  std::memcpy(key.data(), parent.data(), 32);
+  ChaChaNonce nonce{};
+  std::memcpy(nonce.data(), &label, 8);
+  std::array<std::uint8_t, 64> block;
+  chacha20_block(key, /*counter=*/0xfeedu, nonce, block);
+  Seed out;
+  std::memcpy(out.data(), block.data(), 32);
+  return out;
+}
+
+Prg::Prg(const Seed& seed, std::uint64_t stream_id) {
+  std::memcpy(key_.data(), seed.data(), 32);
+  std::memcpy(nonce_.data(), &stream_id, 8);
+  // Remaining 4 nonce bytes stay zero; stream_id gives 2^64 parallel streams.
+}
+
+std::uint64_t Prg::next_u64() {
+  if (pos_ + 8 > buf_.size()) refill();
+  std::uint64_t v;
+  std::memcpy(&v, buf_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+void Prg::fill_bytes(std::span<std::uint8_t> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (pos_ == buf_.size()) refill();
+    const std::size_t n = std::min(buf_.size() - pos_, out.size() - off);
+    std::memcpy(out.data() + off, buf_.data() + pos_, n);
+    pos_ += n;
+    off += n;
+  }
+}
+
+void Prg::refill() {
+  chacha20_block(key_, counter_++, nonce_, buf_);
+  pos_ = 0;
+}
+
+}  // namespace lsa::crypto

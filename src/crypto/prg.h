@@ -1,0 +1,54 @@
+// Seed-expanding pseudo-random generator built on ChaCha20.
+//
+// In SecAgg / SecAgg+ a short agreed seed is expanded into a length-d mask
+// (PRG(a_ij), PRG(b_i) in the paper's §3); in LightSecAgg each user expands
+// a local seed into z_i and the padding sub-masks n_i. The Prg class exposes
+// a `uint64_t next_u64()` bit source, so field/random_field.h can sample
+// unbiased field elements from it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/chacha20.h"
+
+namespace lsa::crypto {
+
+/// 32-byte PRG seed. SecAgg's pairwise/private seeds and LightSecAgg's local
+/// mask seeds are all of this type.
+using Seed = std::array<std::uint8_t, 32>;
+
+/// Derives a Seed from a 64-bit value. This is a convenience for tests and
+/// simulations; a deployment would use the raw output of the key agreement
+/// (see key_agreement.h) or an OS CSPRNG.
+[[nodiscard]] Seed seed_from_u64(std::uint64_t v);
+
+/// Mixes two seeds (and a domain-separation label) into a new seed, by keying
+/// ChaCha20 with the first and encrypting the second. Used to derive
+/// per-round and per-purpose sub-seeds from one agreed seed.
+[[nodiscard]] Seed derive_subseed(const Seed& parent, std::uint64_t label);
+
+/// Buffered ChaCha20 keystream exposed as a 64-bit bit source.
+class Prg {
+ public:
+  explicit Prg(const Seed& seed, std::uint64_t stream_id = 0);
+
+  /// Next 64 keystream bits.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Fills `out` with keystream bytes.
+  void fill_bytes(std::span<std::uint8_t> out);
+
+ private:
+  void refill();
+
+  ChaChaKey key_{};
+  ChaChaNonce nonce_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t pos_ = 64;  // force refill on first use
+};
+
+}  // namespace lsa::crypto

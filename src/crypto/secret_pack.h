@@ -1,0 +1,69 @@
+// Packing byte secrets into field elements (and back).
+//
+// SecAgg secret-shares 32-byte seeds and 8-byte Diffie–Hellman secrets via
+// Shamir over F_q. A field element of modulus Q can safely carry
+// floor((bit_width(Q) - 1) / 8) bytes — always strictly less than Q, so no
+// wrap-around is possible regardless of byte content.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lsa::crypto {
+
+template <class F>
+[[nodiscard]] constexpr std::size_t bytes_per_element() {
+  // bit_width(Q-1) bits represent values < Q; reserve one bit of headroom.
+  const int bits = std::bit_width(static_cast<std::uint64_t>(F::modulus - 1));
+  return static_cast<std::size_t>((bits - 1) / 8);
+}
+
+/// Number of field elements needed to pack n bytes.
+template <class F>
+[[nodiscard]] constexpr std::size_t packed_size(std::size_t n_bytes) {
+  const std::size_t bpe = bytes_per_element<F>();
+  return (n_bytes + bpe - 1) / bpe;
+}
+
+/// Packs bytes little-endian, bytes_per_element<F>() per field element.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> pack_bytes(
+    std::span<const std::uint8_t> bytes) {
+  const std::size_t bpe = bytes_per_element<F>();
+  std::vector<typename F::rep> out;
+  out.reserve(packed_size<F>(bytes.size()));
+  for (std::size_t off = 0; off < bytes.size(); off += bpe) {
+    std::uint64_t v = 0;
+    const std::size_t n = std::min(bpe, bytes.size() - off);
+    for (std::size_t b = 0; b < n; ++b) {
+      v |= static_cast<std::uint64_t>(bytes[off + b]) << (8 * b);
+    }
+    out.push_back(static_cast<typename F::rep>(v));  // v < 2^(8*bpe) < Q
+  }
+  return out;
+}
+
+/// Inverse of pack_bytes; the caller supplies the original byte length.
+template <class F>
+[[nodiscard]] std::vector<std::uint8_t> unpack_bytes(
+    std::span<const typename F::rep> elems, std::size_t n_bytes) {
+  const std::size_t bpe = bytes_per_element<F>();
+  lsa::require(packed_size<F>(n_bytes) == elems.size(),
+               "unpack_bytes: element count does not match byte length");
+  std::vector<std::uint8_t> out(n_bytes);
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    std::uint64_t v = elems[i];
+    const std::size_t off = i * bpe;
+    const std::size_t n = std::min(bpe, n_bytes - off);
+    for (std::size_t b = 0; b < n; ++b) {
+      out[off + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+  return out;
+}
+
+}  // namespace lsa::crypto

@@ -1,0 +1,189 @@
+// Shamir t-out-of-n secret sharing over F_q (Shamir 1979).
+//
+// SecAgg and SecAgg+ secret-share each user's private PRG seed b_i and
+// Diffie–Hellman secret key sk_i so the server can reconstruct exactly one of
+// the two (never both) per user during dropout recovery (§3).
+//
+// Sharing a vector secret shares each element independently with fresh
+// polynomial coefficients. Privacy threshold t: any t shares reveal nothing;
+// any t+1 reconstruct.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/error_correction.h"
+#include "coding/lagrange.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "crypto/secret_pack.h"
+#include "field/random_field.h"
+
+namespace lsa::crypto {
+
+template <class F>
+struct ShamirShare {
+  /// 1-based evaluation index (the x-coordinate is the index itself).
+  std::uint32_t index = 0;
+  /// One share element per secret element.
+  std::vector<typename F::rep> values;
+};
+
+template <class F>
+class ShamirScheme {
+ public:
+  using rep = typename F::rep;
+
+  /// threshold t: privacy against t colluders, reconstruction from t+1.
+  ShamirScheme(std::size_t threshold, std::size_t num_shares)
+      : t_(threshold), n_(num_shares) {
+    lsa::require(n_ >= 1 && t_ < n_, "shamir: need t < n, n >= 1");
+    lsa::require(static_cast<std::uint64_t>(n_) < F::modulus,
+                 "shamir: n must be smaller than the field");
+  }
+
+  [[nodiscard]] std::size_t threshold() const { return t_; }
+  [[nodiscard]] std::size_t num_shares() const { return n_; }
+
+  /// Splits `secret` into n shares (degree-t polynomial per element).
+  template <lsa::field::BitSource G>
+  [[nodiscard]] std::vector<ShamirShare<F>> share(
+      std::span<const rep> secret, G& rng) const {
+    std::vector<ShamirShare<F>> shares(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      shares[j].index = static_cast<std::uint32_t>(j + 1);
+      shares[j].values.assign(secret.size(), F::zero);
+    }
+    std::vector<rep> coeffs(t_ + 1);
+    for (std::size_t e = 0; e < secret.size(); ++e) {
+      coeffs[0] = secret[e];
+      for (std::size_t k = 1; k <= t_; ++k) {
+        coeffs[k] = lsa::field::uniform<F>(rng);
+      }
+      for (std::size_t j = 0; j < n_; ++j) {
+        // Horner evaluation at x = j+1.
+        const rep x = static_cast<rep>(j + 1);
+        rep acc = coeffs[t_];
+        for (std::size_t k = t_; k-- > 0;) {
+          acc = F::add(F::mul(acc, x), coeffs[k]);
+        }
+        shares[j].values[e] = acc;
+      }
+    }
+    return shares;
+  }
+
+  /// Reconstructs the secret from any t+1 (or more) shares with distinct
+  /// indices. Throws ProtocolError with fewer shares or duplicates.
+  [[nodiscard]] std::vector<rep> reconstruct(
+      std::span<const ShamirShare<F>> shares) const {
+    lsa::require<lsa::ProtocolError>(
+        shares.size() >= t_ + 1,
+        "shamir: not enough shares to reconstruct");
+    const std::size_t m = t_ + 1;  // exactly t+1 suffice
+    std::vector<rep> xs(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      lsa::require<lsa::ProtocolError>(
+          shares[j].index >= 1 && shares[j].index <= n_,
+          "shamir: share index out of range");
+      xs[j] = static_cast<rep>(shares[j].index);
+    }
+    const auto w = lsa::coding::lagrange_weights_at<F>(xs, F::zero);
+    const std::size_t len = shares[0].values.size();
+    std::vector<rep> secret(len, F::zero);
+    for (std::size_t j = 0; j < m; ++j) {
+      lsa::require<lsa::ProtocolError>(shares[j].values.size() == len,
+                                       "shamir: ragged share lengths");
+      for (std::size_t e = 0; e < len; ++e) {
+        secret[e] = F::add(secret[e], F::mul(w[j], shares[j].values[e]));
+      }
+    }
+    return secret;
+  }
+
+  struct CorrectedSecret {
+    std::vector<rep> secret;
+    /// Share indices (1-based) whose values were falsified and discarded.
+    std::vector<std::uint32_t> corrupted_indices;
+  };
+
+  /// Error-correcting reconstruction: with m >= t + 1 + 2e shares, locates
+  /// and discards up to e falsified shares (a malicious share-holder model,
+  /// complementing the honest-but-curious baseline) and reconstructs from
+  /// the clean remainder. Location runs Berlekamp-Welch once on a random
+  /// linear combination of the secret elements — every element of a share
+  /// lies on the same x-coordinate, so one locator pass covers them all.
+  /// Throws CodingError when more shares are falsified than the redundancy
+  /// can fix (never silently mis-reconstructs).
+  [[nodiscard]] CorrectedSecret reconstruct_corrected(
+      std::span<const ShamirShare<F>> shares,
+      std::uint64_t probe_seed = 0x5eedu) const {
+    lsa::require<lsa::ProtocolError>(
+        shares.size() >= t_ + 1,
+        "shamir: not enough shares to reconstruct");
+    const std::size_t m = shares.size();
+    const std::size_t budget = (m - (t_ + 1)) / 2;
+    const std::size_t len = shares[0].values.size();
+
+    lsa::common::Xoshiro256ss rng(probe_seed);
+    std::vector<rep> probe(len);
+    lsa::field::fill_uniform<F>(std::span<rep>(probe), rng);
+
+    std::vector<rep> xs(m), ys(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      lsa::require<lsa::ProtocolError>(
+          shares[j].index >= 1 && shares[j].index <= n_,
+          "shamir: share index out of range");
+      lsa::require<lsa::ProtocolError>(shares[j].values.size() == len,
+                                       "shamir: ragged share lengths");
+      xs[j] = static_cast<rep>(shares[j].index);
+      rep acc = F::zero;
+      for (std::size_t e = 0; e < len; ++e) {
+        acc = F::add(acc, F::mul(probe[e], shares[j].values[e]));
+      }
+      ys[j] = acc;
+    }
+    const auto bw = lsa::coding::berlekamp_welch<F>(
+        std::span<const rep>(xs), std::span<const rep>(ys), t_ + 1, budget);
+    lsa::require<lsa::CodingError>(
+        bw.has_value(),
+        "shamir: more falsified shares than the redundancy can fix");
+
+    CorrectedSecret out;
+    std::vector<ShamirShare<F>> clean;
+    std::size_t next_err = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (next_err < bw->error_positions.size() &&
+          bw->error_positions[next_err] == j) {
+        out.corrupted_indices.push_back(shares[j].index);
+        ++next_err;
+        continue;
+      }
+      clean.push_back(shares[j]);
+    }
+    out.secret = reconstruct(clean);
+    return out;
+  }
+
+  /// Convenience: share an arbitrary byte secret (packs it first).
+  template <lsa::field::BitSource G>
+  [[nodiscard]] std::vector<ShamirShare<F>> share_bytes(
+      std::span<const std::uint8_t> secret, G& rng) const {
+    const auto packed = pack_bytes<F>(secret);
+    return share(std::span<const rep>(packed), rng);
+  }
+
+  /// Convenience: reconstruct a byte secret of known length.
+  [[nodiscard]] std::vector<std::uint8_t> reconstruct_bytes(
+      std::span<const ShamirShare<F>> shares, std::size_t n_bytes) const {
+    const auto packed = reconstruct(shares);
+    return unpack_bytes<F>(std::span<const rep>(packed), n_bytes);
+  }
+
+ private:
+  std::size_t t_;
+  std::size_t n_;
+};
+
+}  // namespace lsa::crypto

@@ -1,0 +1,106 @@
+// Dense elementwise kernels over vectors of field elements.
+//
+// These loops are the hot path of every protocol phase (mask generation,
+// model masking, aggregate-mask accumulation), so they operate on raw rep
+// spans with no abstraction overhead; the compiler auto-vectorizes them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lsa::field {
+
+/// acc[i] = acc[i] + x[i] for all i.
+template <class F>
+void add_inplace(std::span<typename F::rep> acc,
+                 std::span<const typename F::rep> x) {
+  lsa::require(acc.size() == x.size(), "field add: size mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = F::add(acc[i], x[i]);
+}
+
+/// acc[i] = acc[i] - x[i] for all i.
+template <class F>
+void sub_inplace(std::span<typename F::rep> acc,
+                 std::span<const typename F::rep> x) {
+  lsa::require(acc.size() == x.size(), "field sub: size mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = F::sub(acc[i], x[i]);
+}
+
+/// acc[i] = acc[i] * s for all i.
+template <class F>
+void scale_inplace(std::span<typename F::rep> acc, typename F::rep s) {
+  for (auto& a : acc) a = F::mul(a, s);
+}
+
+/// acc[i] = acc[i] + s * x[i] for all i (the MDS encode/decode inner loop).
+template <class F>
+void axpy_inplace(std::span<typename F::rep> acc, typename F::rep s,
+                  std::span<const typename F::rep> x) {
+  lsa::require(acc.size() == x.size(), "field axpy: size mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = F::add(acc[i], F::mul(s, x[i]));
+  }
+}
+
+/// Returns a + b (new vector).
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> add(
+    std::span<const typename F::rep> a, std::span<const typename F::rep> b) {
+  std::vector<typename F::rep> out(a.begin(), a.end());
+  add_inplace<F>(out, b);
+  return out;
+}
+
+/// Returns a - b (new vector).
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> sub(
+    std::span<const typename F::rep> a, std::span<const typename F::rep> b) {
+  std::vector<typename F::rep> out(a.begin(), a.end());
+  sub_inplace<F>(out, b);
+  return out;
+}
+
+/// Sum of all elements.
+template <class F>
+[[nodiscard]] typename F::rep sum(std::span<const typename F::rep> a) {
+  typename F::rep s = F::zero;
+  for (auto v : a) s = F::add(s, v);
+  return s;
+}
+
+/// Inner product <a, b>.
+template <class F>
+[[nodiscard]] typename F::rep dot(std::span<const typename F::rep> a,
+                                  std::span<const typename F::rep> b) {
+  lsa::require(a.size() == b.size(), "field dot: size mismatch");
+  typename F::rep s = F::zero;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s = F::add(s, F::mul(a[i], b[i]));
+  }
+  return s;
+}
+
+/// Batch inversion via Montgomery's trick: one inv() + 3(n-1) multiplications.
+/// Precondition: no element is zero.
+template <class F>
+void batch_inv_inplace(std::span<typename F::rep> xs) {
+  if (xs.empty()) return;
+  std::vector<typename F::rep> prefix(xs.size());
+  typename F::rep acc = F::one;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    lsa::require(xs[i] != F::zero, "batch_inv: zero element");
+    prefix[i] = acc;
+    acc = F::mul(acc, xs[i]);
+  }
+  typename F::rep inv_acc = F::inv(acc);
+  for (std::size_t i = xs.size(); i-- > 0;) {
+    const typename F::rep inv_i = F::mul(inv_acc, prefix[i]);
+    inv_acc = F::mul(inv_acc, xs[i]);
+    xs[i] = inv_i;
+  }
+}
+
+}  // namespace lsa::field

@@ -1,0 +1,17 @@
+// Canonical field instantiations used across the library.
+#pragma once
+
+#include "field/prime_field.h"
+
+namespace lsa::field {
+
+/// q = 2^32 - 5: the modulus used in the paper's experiments (App. F.5),
+/// "the largest prime within 32 bits". Elements are stored as uint32_t.
+using Fp32 = PrimeField<4294967291ull>;
+
+/// q = 2^61 - 1 (Mersenne prime). Wider headroom for aggregation sums;
+/// used by tests to keep the code field-generic and by benches to measure
+/// the cost of a 64-bit field.
+using Fp61 = PrimeField<2305843009213693951ull>;
+
+}  // namespace lsa::field

@@ -1,0 +1,138 @@
+// The Goldilocks field F_p with p = 2^64 - 2^32 + 1.
+//
+// Why a third field: the paper's complexity analysis (§5.2, Table 5) counts
+// the server's one-shot decode as O(U log U) operations — the cost of *fast*
+// polynomial interpolation. Fast interpolation needs fast polynomial
+// multiplication, which needs a number-theoretic transform (NTT), which needs
+// a field whose multiplicative group has large 2-adic structure. Neither of
+// the paper's moduli qualifies (q - 1 has 2-adicity 1 for both 2^32 - 5 and
+// 2^61 - 1), so we add the standard NTT-friendly 64-bit prime:
+//
+//     p - 1 = 2^32 * (2^32 - 1)   =>   2-adicity 32.
+//
+// The field also admits a branch-light reduction because
+//     2^64 = 2^32 - 1  (mod p)    and    2^96 = -1  (mod p),
+// so a 128-bit product a*2^96 + b*2^64 + c reduces as c + b*(2^32-1) - a
+// with two conditional fix-ups — no 128-bit division. This class mirrors the
+// static-policy interface of field::PrimeField exactly (drop-in for every
+// templated kernel) and adds the NTT hooks `two_adicity` / `omega(k)`.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace lsa::field {
+
+class Goldilocks {
+ public:
+  using rep = std::uint64_t;
+
+  static constexpr std::uint64_t modulus = 0xFFFFFFFF00000001ull;
+  static constexpr rep zero = 0;
+  static constexpr rep one = 1;
+  static constexpr std::size_t element_bytes = sizeof(rep);
+
+  /// nu_2(p - 1): the group F_p^* contains a cyclic subgroup of order 2^32.
+  static constexpr unsigned two_adicity = 32;
+
+  [[nodiscard]] static constexpr rep add(rep a, rep b) {
+    std::uint64_t s = a + b;
+    if (s < a) s += kEpsilon;  // overflowed 2^64: +2^64 == +(2^32 - 1) mod p
+    if (s >= modulus) s -= modulus;
+    return s;
+  }
+
+  [[nodiscard]] static constexpr rep sub(rep a, rep b) {
+    std::uint64_t r = a - b;
+    if (a < b) r -= kEpsilon;  // borrowed 2^64: -2^64 == -(2^32 - 1) mod p
+    return r;
+  }
+
+  [[nodiscard]] static constexpr rep neg(rep a) {
+    return a == 0 ? 0 : modulus - a;
+  }
+
+  [[nodiscard]] static constexpr rep mul(rep a, rep b) {
+    const unsigned __int128 p =
+        static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+    return reduce128(static_cast<std::uint64_t>(p >> 64),
+                     static_cast<std::uint64_t>(p));
+  }
+
+  /// a^e via binary exponentiation. pow(0, 0) == 1 by convention.
+  [[nodiscard]] static constexpr rep pow(rep a, std::uint64_t e) {
+    rep base = a;
+    rep result = one;
+    while (e != 0) {
+      if (e & 1u) result = mul(result, base);
+      base = mul(base, base);
+      e >>= 1;
+    }
+    return result;
+  }
+
+  /// Multiplicative inverse via Fermat's little theorem (p prime).
+  /// Precondition: a != 0.
+  [[nodiscard]] static rep inv(rep a) {
+    lsa::require(a != 0, "Goldilocks::inv: zero has no inverse");
+    return pow(a, modulus - 2);
+  }
+
+  /// Reduce an arbitrary 64-bit value into the field.
+  [[nodiscard]] static constexpr rep from_u64(std::uint64_t v) {
+    return v >= modulus ? v - modulus : v;
+  }
+
+  /// Embed a signed value: negatives map to p + v (two's-complement style).
+  [[nodiscard]] static constexpr rep from_i64(std::int64_t v) {
+    if (v >= 0) return static_cast<rep>(v);  // always < 2^63 < p
+    const std::uint64_t mag = static_cast<std::uint64_t>(-(v + 1)) + 1;
+    return modulus - mag;
+  }
+
+  /// Inverse of from_i64: reps in [0, p/2] are non-negative, the rest map
+  /// to negatives.
+  [[nodiscard]] static constexpr std::int64_t to_i64(rep a) {
+    if (a <= (modulus - 1) / 2) return static_cast<std::int64_t>(a);
+    return -static_cast<std::int64_t>(modulus - a);
+  }
+
+  [[nodiscard]] static constexpr bool is_canonical(std::uint64_t v) {
+    return v < modulus;
+  }
+
+  /// A generator of the full multiplicative group F_p^* (order p - 1).
+  static constexpr rep multiplicative_generator = 7;
+
+  /// A primitive 2^k-th root of unity, 0 <= k <= two_adicity.
+  /// omega(k)^(2^k) == 1 and omega(k)^(2^(k-1)) == -1 for k >= 1.
+  [[nodiscard]] static constexpr rep omega(unsigned k) {
+    // g^((p-1)/2^32) generates the 2^32-torsion; square down to order 2^k.
+    rep w = pow(multiplicative_generator, (modulus - 1) >> two_adicity);
+    for (unsigned i = two_adicity; i > k; --i) w = mul(w, w);
+    return w;
+  }
+
+ private:
+  static constexpr std::uint64_t kEpsilon = 0xFFFFFFFFull;  // 2^32 - 1
+
+  /// Reduces hi*2^64 + lo mod p using 2^64 == 2^32 - 1 and 2^96 == -1.
+  [[nodiscard]] static constexpr rep reduce128(std::uint64_t hi,
+                                               std::uint64_t lo) {
+    const std::uint64_t hi_hi = hi >> 32;          // coefficient of 2^96
+    const std::uint64_t hi_lo = hi & kEpsilon;     // coefficient of 2^64
+    std::uint64_t r = lo - hi_hi;
+    if (lo < hi_hi) r -= kEpsilon;                 // borrow fix-up
+    const std::uint64_t t = hi_lo * kEpsilon;      // < 2^64, no overflow
+    std::uint64_t s = r + t;
+    if (s < r) s += kEpsilon;                      // carry fix-up
+    if (s >= modulus) s -= modulus;
+    return s;
+  }
+};
+
+static_assert(Goldilocks::modulus == (1ull << 32) * ((1ull << 32) - 1) + 1,
+              "Goldilocks modulus must be 2^64 - 2^32 + 1");
+
+}  // namespace lsa::field

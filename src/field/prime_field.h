@@ -1,0 +1,110 @@
+// Prime-field arithmetic F_q.
+//
+// PrimeField<Q> is a *static policy class*: it carries no per-element state,
+// and field elements are stored as raw unsigned integers ("reps"). This keeps
+// vectors of field elements as dense arrays of uint32_t/uint64_t — the layout
+// the masking/encoding kernels stream over — with zero per-element overhead.
+//
+// Two instantiations are used throughout the library (see field/fp.h):
+//   Fp32: q = 2^32 - 5, the modulus used in the paper's experiments
+//         ("the largest prime within 32 bits", Appendix F.5).
+//   Fp61: q = 2^61 - 1 (Mersenne), used to check field-genericity and to
+//         measure sensitivity of the protocols to field width.
+//
+// All operations are total over valid reps (values in [0, Q)) except inv(0),
+// which is a precondition violation checked with lsa::require.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/error.h"
+
+namespace lsa::field {
+
+template <std::uint64_t Q>
+class PrimeField {
+  static_assert(Q >= 3, "modulus must be an odd prime >= 3");
+
+ public:
+  /// Storage type for one field element: uint32_t when Q fits in 32 bits.
+  using rep = std::conditional_t<(Q <= 0xFFFFFFFFull), std::uint32_t,
+                                 std::uint64_t>;
+
+  static constexpr std::uint64_t modulus = Q;
+  static constexpr rep zero = 0;
+  static constexpr rep one = 1;
+
+  /// Number of bytes needed to serialize one element.
+  static constexpr std::size_t element_bytes = sizeof(rep);
+
+  [[nodiscard]] static constexpr rep add(rep a, rep b) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+    return static_cast<rep>(s >= Q ? s - Q : s);
+  }
+
+  [[nodiscard]] static constexpr rep sub(rep a, rep b) {
+    return a >= b ? static_cast<rep>(a - b) : static_cast<rep>(Q - b + a);
+  }
+
+  [[nodiscard]] static constexpr rep neg(rep a) {
+    return a == 0 ? 0 : static_cast<rep>(Q - a);
+  }
+
+  [[nodiscard]] static constexpr rep mul(rep a, rep b) {
+    if constexpr (Q <= 0xFFFFFFFFull) {
+      return static_cast<rep>((static_cast<std::uint64_t>(a) * b) % Q);
+    } else {
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+      return static_cast<rep>(p % Q);
+    }
+  }
+
+  /// a^e via binary exponentiation. pow(0, 0) == 1 by convention.
+  [[nodiscard]] static constexpr rep pow(rep a, std::uint64_t e) {
+    rep base = a;
+    rep result = one;
+    while (e != 0) {
+      if (e & 1u) result = mul(result, base);
+      base = mul(base, base);
+      e >>= 1;
+    }
+    return result;
+  }
+
+  /// Multiplicative inverse via Fermat's little theorem (Q prime).
+  /// Precondition: a != 0.
+  [[nodiscard]] static rep inv(rep a) {
+    lsa::require(a != 0, "PrimeField::inv: zero has no inverse");
+    return pow(a, Q - 2);
+  }
+
+  /// Reduce an arbitrary 64-bit value into the field.
+  [[nodiscard]] static constexpr rep from_u64(std::uint64_t v) {
+    return static_cast<rep>(v % Q);
+  }
+
+  /// Embed a signed value: negatives map to Q + v (two's-complement style).
+  /// Precondition: |v| < Q/2 so the embedding is invertible via to_i64.
+  [[nodiscard]] static constexpr rep from_i64(std::int64_t v) {
+    if (v >= 0) return from_u64(static_cast<std::uint64_t>(v));
+    const std::uint64_t mag = static_cast<std::uint64_t>(-(v + 1)) + 1;
+    return static_cast<rep>(Q - (mag % Q));
+  }
+
+  /// Inverse of from_i64: reps in [0, Q/2) are non-negative, the rest negative.
+  [[nodiscard]] static constexpr std::int64_t to_i64(rep a) {
+    if (static_cast<std::uint64_t>(a) < (Q - 1) / 2 + 1) {
+      return static_cast<std::int64_t>(a);
+    }
+    return -static_cast<std::int64_t>(Q - a);
+  }
+
+  /// True when v is a canonical representative (in [0, Q)).
+  [[nodiscard]] static constexpr bool is_canonical(std::uint64_t v) {
+    return v < Q;
+  }
+};
+
+}  // namespace lsa::field

@@ -1,0 +1,46 @@
+// Uniform sampling of field elements from any 64-bit entropy source.
+//
+// Works with both the non-cryptographic simulation RNG (common::Xoshiro256ss)
+// and the cryptographic PRG (crypto::Prg) — anything exposing
+// `uint64_t next_u64()`. Rejection sampling removes modulo bias entirely.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lsa::field {
+
+template <class G>
+concept BitSource = requires(G g) {
+  { g.next_u64() } -> std::convertible_to<std::uint64_t>;
+};
+
+/// One uniform element of F via rejection sampling from 64-bit draws.
+template <class F, BitSource G>
+[[nodiscard]] typename F::rep uniform(G& gen) {
+  // Largest multiple of Q that fits in 64 bits; draws above it are rejected.
+  constexpr std::uint64_t q = F::modulus;
+  constexpr std::uint64_t limit = (~0ull / q) * q;  // multiple of q
+  std::uint64_t v = gen.next_u64();
+  while (v >= limit) v = gen.next_u64();
+  return static_cast<typename F::rep>(v % q);
+}
+
+/// Fill a span with uniform field elements.
+template <class F, BitSource G>
+void fill_uniform(std::span<typename F::rep> out, G& gen) {
+  for (auto& x : out) x = uniform<F>(gen);
+}
+
+/// Allocate and fill a uniform vector of n elements.
+template <class F, BitSource G>
+[[nodiscard]] std::vector<typename F::rep> uniform_vector(std::size_t n,
+                                                          G& gen) {
+  std::vector<typename F::rep> out(n);
+  fill_uniform<F>(std::span<typename F::rep>(out), gen);
+  return out;
+}
+
+}  // namespace lsa::field

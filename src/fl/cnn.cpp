@@ -1,0 +1,338 @@
+#include "fl/cnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace lsa::fl {
+
+namespace {
+constexpr std::size_t kK = 5;  // conv kernel size
+
+void softmax(std::span<double> v) {
+  double mx = v[0];
+  for (double x : v) mx = std::max(mx, x);
+  double sum = 0.0;
+  for (auto& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (auto& x : v) x /= sum;
+}
+}  // namespace
+
+struct SmallCnn::Activations {
+  std::vector<double> a1;   // conv1 post-ReLU  [c1][h1][w1]
+  std::vector<double> p1;   // pool1            [c1][hp1][wp1]
+  std::vector<double> a2;   // conv2 post-ReLU  [c2][h2][w2]
+  std::vector<double> p2;   // pool2 (= flat)   [c2][hp2][wp2]
+  std::vector<double> h;    // fc hidden post-ReLU
+  std::vector<double> out;  // logits -> probabilities
+};
+
+SmallCnn::SmallCnn(const Shape& shape, std::uint64_t init_seed)
+    : shape_(shape) {
+  lsa::require<lsa::ConfigError>(
+      shape.height > 2 * (kK - 1) + 2 && shape.width > 2 * (kK - 1) + 2,
+      "cnn: input too small for two 5x5 convs");
+  h1_ = shape.height - kK + 1;
+  w1_ = shape.width - kK + 1;
+  lsa::require<lsa::ConfigError>(h1_ % 2 == 0 && w1_ % 2 == 0,
+                                 "cnn: conv1 output must pool evenly");
+  hp1_ = h1_ / 2;
+  wp1_ = w1_ / 2;
+  lsa::require<lsa::ConfigError>(hp1_ >= kK && wp1_ >= kK,
+                                 "cnn: pooled map too small for conv2");
+  h2_ = hp1_ - kK + 1;
+  w2_ = wp1_ - kK + 1;
+  // Odd conv2 output maps (e.g. 5x5 on CIFAR shapes) skip the trailing
+  // row/col in the pool, as floor-division pooling does.
+  hp2_ = h2_ / 2;
+  wp2_ = w2_ / 2;
+  lsa::require<lsa::ConfigError>(hp2_ >= 1 && wp2_ >= 1,
+                                 "cnn: empty pool2 output");
+  flat_ = shape.conv2 * hp2_ * wp2_;
+
+  const std::size_t n_w1 = shape.conv1 * shape.channels * kK * kK;
+  const std::size_t n_w2 = shape.conv2 * shape.conv1 * kK * kK;
+  const std::size_t n_fw1 = shape.hidden * flat_;
+  const std::size_t n_fw2 = shape.classes * shape.hidden;
+  off_w1_ = 0;
+  off_b1_ = off_w1_ + n_w1;
+  off_w2_ = off_b1_ + shape.conv1;
+  off_b2_ = off_w2_ + n_w2;
+  off_fw1_ = off_b2_ + shape.conv2;
+  off_fb1_ = off_fw1_ + n_fw1;
+  off_fw2_ = off_fb1_ + shape.hidden;
+  off_fb2_ = off_fw2_ + n_fw2;
+  params_.assign(off_fb2_ + shape.classes, 0.0);
+
+  lsa::common::Xoshiro256ss rng(init_seed);
+  auto init_range = [&](std::size_t off, std::size_t n, std::size_t fan_in) {
+    const double scale = 1.0 / std::sqrt(static_cast<double>(fan_in));
+    for (std::size_t i = 0; i < n; ++i) {
+      params_[off + i] = rng.next_gaussian() * scale;
+    }
+  };
+  init_range(off_w1_, n_w1, shape.channels * kK * kK);
+  init_range(off_w2_, n_w2, shape.conv1 * kK * kK);
+  init_range(off_fw1_, n_fw1, flat_);
+  init_range(off_fw2_, n_fw2, shape.hidden);
+}
+
+void SmallCnn::forward(const Example& ex, Activations& act) const {
+  const auto& s = shape_;
+  lsa::require<lsa::ConfigError>(
+      ex.x.size() == s.channels * s.height * s.width,
+      "cnn: example has wrong input size");
+  const double* w1 = params_.data() + off_w1_;
+  const double* b1 = params_.data() + off_b1_;
+  const double* w2 = params_.data() + off_w2_;
+  const double* b2 = params_.data() + off_b2_;
+  const double* fw1 = params_.data() + off_fw1_;
+  const double* fb1 = params_.data() + off_fb1_;
+  const double* fw2 = params_.data() + off_fw2_;
+  const double* fb2 = params_.data() + off_fb2_;
+
+  act.a1.assign(s.conv1 * h1_ * w1_, 0.0);
+  act.p1.assign(s.conv1 * hp1_ * wp1_, 0.0);
+  act.a2.assign(s.conv2 * h2_ * w2_, 0.0);
+  act.p2.assign(flat_, 0.0);
+  act.h.assign(s.hidden, 0.0);
+  act.out.assign(s.classes, 0.0);
+
+  // conv1 + ReLU
+  for (std::size_t o = 0; o < s.conv1; ++o) {
+    for (std::size_t y = 0; y < h1_; ++y) {
+      for (std::size_t x = 0; x < w1_; ++x) {
+        double acc = b1[o];
+        for (std::size_t c = 0; c < s.channels; ++c) {
+          const double* wk = w1 + ((o * s.channels + c) * kK) * kK;
+          const float* in = ex.x.data() + c * s.height * s.width;
+          for (std::size_t ky = 0; ky < kK; ++ky) {
+            const float* row = in + (y + ky) * s.width + x;
+            const double* wr = wk + ky * kK;
+            for (std::size_t kx = 0; kx < kK; ++kx) {
+              acc += wr[kx] * static_cast<double>(row[kx]);
+            }
+          }
+        }
+        act.a1[(o * h1_ + y) * w1_ + x] = acc > 0.0 ? acc : 0.0;
+      }
+    }
+  }
+  // pool1 (2x2 average)
+  for (std::size_t c = 0; c < s.conv1; ++c) {
+    for (std::size_t y = 0; y < hp1_; ++y) {
+      for (std::size_t x = 0; x < wp1_; ++x) {
+        const std::size_t base = (c * h1_ + 2 * y) * w1_ + 2 * x;
+        act.p1[(c * hp1_ + y) * wp1_ + x] =
+            0.25 * (act.a1[base] + act.a1[base + 1] + act.a1[base + w1_] +
+                    act.a1[base + w1_ + 1]);
+      }
+    }
+  }
+  // conv2 + ReLU
+  for (std::size_t o = 0; o < s.conv2; ++o) {
+    for (std::size_t y = 0; y < h2_; ++y) {
+      for (std::size_t x = 0; x < w2_; ++x) {
+        double acc = b2[o];
+        for (std::size_t c = 0; c < s.conv1; ++c) {
+          const double* wk = w2 + ((o * s.conv1 + c) * kK) * kK;
+          const double* in = act.p1.data() + c * hp1_ * wp1_;
+          for (std::size_t ky = 0; ky < kK; ++ky) {
+            const double* row = in + (y + ky) * wp1_ + x;
+            const double* wr = wk + ky * kK;
+            for (std::size_t kx = 0; kx < kK; ++kx) acc += wr[kx] * row[kx];
+          }
+        }
+        act.a2[(o * h2_ + y) * w2_ + x] = acc > 0.0 ? acc : 0.0;
+      }
+    }
+  }
+  // pool2
+  for (std::size_t c = 0; c < s.conv2; ++c) {
+    for (std::size_t y = 0; y < hp2_; ++y) {
+      for (std::size_t x = 0; x < wp2_; ++x) {
+        const std::size_t base = (c * h2_ + 2 * y) * w2_ + 2 * x;
+        act.p2[(c * hp2_ + y) * wp2_ + x] =
+            0.25 * (act.a2[base] + act.a2[base + 1] + act.a2[base + w2_] +
+                    act.a2[base + w2_ + 1]);
+      }
+    }
+  }
+  // fc1 + ReLU
+  for (std::size_t j = 0; j < s.hidden; ++j) {
+    double acc = fb1[j];
+    const double* w = fw1 + j * flat_;
+    for (std::size_t k = 0; k < flat_; ++k) acc += w[k] * act.p2[k];
+    act.h[j] = acc > 0.0 ? acc : 0.0;
+  }
+  // fc2 (logits)
+  for (std::size_t c = 0; c < s.classes; ++c) {
+    double acc = fb2[c];
+    const double* w = fw2 + c * s.hidden;
+    for (std::size_t j = 0; j < s.hidden; ++j) acc += w[j] * act.h[j];
+    act.out[c] = acc;
+  }
+}
+
+double SmallCnn::loss_and_grad(std::span<const Example> batch,
+                               std::span<double> grad) {
+  lsa::require<lsa::ConfigError>(grad.size() == dim(),
+                                 "cnn: bad grad buffer");
+  if (batch.empty()) return 0.0;
+  const auto& s = shape_;
+  const double* w2 = params_.data() + off_w2_;
+  const double* fw1 = params_.data() + off_fw1_;
+  const double* fw2 = params_.data() + off_fw2_;
+  double* gw1 = grad.data() + off_w1_;
+  double* gb1 = grad.data() + off_b1_;
+  double* gw2 = grad.data() + off_w2_;
+  double* gb2 = grad.data() + off_b2_;
+  double* gfw1 = grad.data() + off_fw1_;
+  double* gfb1 = grad.data() + off_fb1_;
+  double* gfw2 = grad.data() + off_fw2_;
+  double* gfb2 = grad.data() + off_fb2_;
+
+  Activations act;
+  std::vector<double> dh(s.hidden), dflat(flat_), da2(s.conv2 * h2_ * w2_),
+      dp1(s.conv1 * hp1_ * wp1_), da1(s.conv1 * h1_ * w1_);
+  double loss = 0.0;
+
+  for (const auto& ex : batch) {
+    forward(ex, act);
+    std::vector<double> p = act.out;
+    softmax(p);
+    loss += -std::log(std::max(p[static_cast<std::size_t>(ex.label)], 1e-12));
+
+    // dLogits
+    for (std::size_t c = 0; c < s.classes; ++c) {
+      p[c] -= (static_cast<int>(c) == ex.label ? 1.0 : 0.0);
+    }
+    // fc2 backward
+    std::fill(dh.begin(), dh.end(), 0.0);
+    for (std::size_t c = 0; c < s.classes; ++c) {
+      const double delta = p[c];
+      double* g = gfw2 + c * s.hidden;
+      const double* w = fw2 + c * s.hidden;
+      for (std::size_t j = 0; j < s.hidden; ++j) {
+        g[j] += delta * act.h[j];
+        dh[j] += delta * w[j];
+      }
+      gfb2[c] += delta;
+    }
+    // fc1 backward (through ReLU on h)
+    std::fill(dflat.begin(), dflat.end(), 0.0);
+    for (std::size_t j = 0; j < s.hidden; ++j) {
+      if (act.h[j] <= 0.0) continue;
+      const double delta = dh[j];
+      double* g = gfw1 + j * flat_;
+      const double* w = fw1 + j * flat_;
+      for (std::size_t k = 0; k < flat_; ++k) {
+        g[k] += delta * act.p2[k];
+        dflat[k] += delta * w[k];
+      }
+      gfb1[j] += delta;
+    }
+    // pool2 backward -> da2 (through ReLU on a2)
+    std::fill(da2.begin(), da2.end(), 0.0);
+    for (std::size_t c = 0; c < s.conv2; ++c) {
+      for (std::size_t y = 0; y < hp2_; ++y) {
+        for (std::size_t x = 0; x < wp2_; ++x) {
+          const double g = 0.25 * dflat[(c * hp2_ + y) * wp2_ + x];
+          const std::size_t base = (c * h2_ + 2 * y) * w2_ + 2 * x;
+          da2[base] += g;
+          da2[base + 1] += g;
+          da2[base + w2_] += g;
+          da2[base + w2_ + 1] += g;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < da2.size(); ++i) {
+      if (act.a2[i] <= 0.0) da2[i] = 0.0;
+    }
+    // conv2 backward -> gw2, gb2, dp1
+    std::fill(dp1.begin(), dp1.end(), 0.0);
+    for (std::size_t o = 0; o < s.conv2; ++o) {
+      for (std::size_t y = 0; y < h2_; ++y) {
+        for (std::size_t x = 0; x < w2_; ++x) {
+          const double delta = da2[(o * h2_ + y) * w2_ + x];
+          if (delta == 0.0) continue;
+          gb2[o] += delta;
+          for (std::size_t c = 0; c < s.conv1; ++c) {
+            double* gk = gw2 + ((o * s.conv1 + c) * kK) * kK;
+            const double* wk = w2 + ((o * s.conv1 + c) * kK) * kK;
+            const double* in = act.p1.data() + c * hp1_ * wp1_;
+            double* din = dp1.data() + c * hp1_ * wp1_;
+            for (std::size_t ky = 0; ky < kK; ++ky) {
+              const std::size_t row = (y + ky) * wp1_ + x;
+              for (std::size_t kx = 0; kx < kK; ++kx) {
+                gk[ky * kK + kx] += delta * in[row + kx];
+                din[row + kx] += delta * wk[ky * kK + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+    // pool1 backward -> da1 (through ReLU on a1)
+    std::fill(da1.begin(), da1.end(), 0.0);
+    for (std::size_t c = 0; c < s.conv1; ++c) {
+      for (std::size_t y = 0; y < hp1_; ++y) {
+        for (std::size_t x = 0; x < wp1_; ++x) {
+          const double g = 0.25 * dp1[(c * hp1_ + y) * wp1_ + x];
+          const std::size_t base = (c * h1_ + 2 * y) * w1_ + 2 * x;
+          da1[base] += g;
+          da1[base + 1] += g;
+          da1[base + w1_] += g;
+          da1[base + w1_ + 1] += g;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < da1.size(); ++i) {
+      if (act.a1[i] <= 0.0) da1[i] = 0.0;
+    }
+    // conv1 backward -> gw1, gb1
+    for (std::size_t o = 0; o < s.conv1; ++o) {
+      for (std::size_t y = 0; y < h1_; ++y) {
+        for (std::size_t x = 0; x < w1_; ++x) {
+          const double delta = da1[(o * h1_ + y) * w1_ + x];
+          if (delta == 0.0) continue;
+          gb1[o] += delta;
+          for (std::size_t c = 0; c < s.channels; ++c) {
+            double* gk = gw1 + ((o * s.channels + c) * kK) * kK;
+            const float* in = ex.x.data() + c * s.height * s.width;
+            for (std::size_t ky = 0; ky < kK; ++ky) {
+              const float* row = in + (y + ky) * s.width + x;
+              for (std::size_t kx = 0; kx < kK; ++kx) {
+                gk[ky * kK + kx] += delta * static_cast<double>(row[kx]);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  for (auto& g : grad) g *= inv;
+  return loss * inv;
+}
+
+int SmallCnn::predict(const Example& ex) const {
+  Activations act;
+  forward(ex, act);
+  return static_cast<int>(
+      std::max_element(act.out.begin(), act.out.end()) - act.out.begin());
+}
+
+std::unique_ptr<Model> SmallCnn::clone() const {
+  auto m = std::make_unique<SmallCnn>(shape_, 0);
+  m->params() = params_;
+  return m;
+}
+
+}  // namespace lsa::fl

@@ -1,0 +1,52 @@
+// Small convolutional network — the "variant of LeNet-5" (Xie et al. 2019)
+// used by the paper's asynchronous experiments (Fig. 7/11/12).
+//
+// Architecture: conv(5x5, c1) -> ReLU -> avgpool(2x2) ->
+//               conv(5x5, c2) -> ReLU -> avgpool(2x2) ->
+//               fc(hidden) -> ReLU -> fc(classes) -> softmax.
+// Implemented with direct loops (no BLAS), flat parameter storage, and
+// hand-derived backward passes; gradient correctness is checked against
+// finite differences in tests/fl/cnn_grad_test.cpp.
+#pragma once
+
+#include <memory>
+
+#include "fl/model.h"
+
+namespace lsa::fl {
+
+class SmallCnn final : public Model {
+ public:
+  struct Shape {
+    std::size_t channels = 1;  ///< input channels
+    std::size_t height = 28;
+    std::size_t width = 28;
+    std::size_t conv1 = 6;    ///< first conv output channels
+    std::size_t conv2 = 16;   ///< second conv output channels
+    std::size_t hidden = 64;  ///< fc hidden units
+    std::size_t classes = 10;
+  };
+
+  SmallCnn(const Shape& shape, std::uint64_t init_seed);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+
+  double loss_and_grad(std::span<const Example> batch,
+                       std::span<double> grad) override;
+  [[nodiscard]] int predict(const Example& ex) const override;
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
+
+ private:
+  struct Activations;  // forward-pass scratch
+
+  void forward(const Example& ex, Activations& act) const;
+
+  Shape shape_;
+  // Derived dimensions (valid 5x5 convs, 2x2 pools).
+  std::size_t h1_, w1_, hp1_, wp1_, h2_, w2_, hp2_, wp2_, flat_;
+  // Flat parameter offsets.
+  std::size_t off_w1_, off_b1_, off_w2_, off_b2_, off_fw1_, off_fb1_,
+      off_fw2_, off_fb2_;
+};
+
+}  // namespace lsa::fl

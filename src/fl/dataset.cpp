@@ -1,0 +1,193 @@
+#include "fl/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace lsa::fl {
+
+namespace {
+
+Example draw_example(const std::vector<std::vector<float>>& means, int label,
+                     double noise, lsa::common::Xoshiro256ss& rng) {
+  Example e;
+  e.label = label;
+  const auto& mu = means[static_cast<std::size_t>(label)];
+  e.x.resize(mu.size());
+  for (std::size_t k = 0; k < mu.size(); ++k) {
+    e.x[k] = mu[k] + static_cast<float>(noise * rng.next_gaussian());
+  }
+  return e;
+}
+
+}  // namespace
+
+SyntheticDataset SyntheticDataset::gaussian_mixture(const Config& cfg) {
+  lsa::require<lsa::ConfigError>(cfg.input_dim > 0 && cfg.num_classes > 1,
+                                 "dataset: bad config");
+  SyntheticDataset ds;
+  ds.cfg_ = cfg;
+  lsa::common::Xoshiro256ss rng(cfg.seed);
+
+  // Class means: Gaussian directions, optionally smoothed over the image
+  // grid (several 3x3 box-blur passes per channel) so that convolutional
+  // models see local spatial correlation — mirroring real image classes.
+  // Norms are fixed to class_sep * sqrt(dim) / 6 so pairwise separability
+  // (relative to the within-class noise of norm ~ noise * sqrt(dim)) is
+  // stable across input dimensions.
+  const bool spatial = cfg.height > 0 && cfg.width > 0 &&
+                       cfg.channels * cfg.height * cfg.width == cfg.input_dim;
+  std::vector<std::vector<float>> means(cfg.num_classes);
+  for (auto& mu : means) {
+    mu.resize(cfg.input_dim);
+    for (auto& v : mu) v = static_cast<float>(rng.next_gaussian());
+    if (spatial) {
+      std::vector<float> tmp(cfg.height * cfg.width);
+      for (std::size_t c = 0; c < cfg.channels; ++c) {
+        float* img = mu.data() + c * cfg.height * cfg.width;
+        for (int pass = 0; pass < 3; ++pass) {
+          for (std::size_t y = 0; y < cfg.height; ++y) {
+            for (std::size_t x = 0; x < cfg.width; ++x) {
+              float acc = 0.0f;
+              int cnt = 0;
+              for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                  const auto yy = static_cast<std::ptrdiff_t>(y) + dy;
+                  const auto xx = static_cast<std::ptrdiff_t>(x) + dx;
+                  if (yy < 0 || xx < 0 ||
+                      yy >= static_cast<std::ptrdiff_t>(cfg.height) ||
+                      xx >= static_cast<std::ptrdiff_t>(cfg.width)) {
+                    continue;
+                  }
+                  acc += img[yy * static_cast<std::ptrdiff_t>(cfg.width) + xx];
+                  ++cnt;
+                }
+              }
+              tmp[y * cfg.width + x] = acc / static_cast<float>(cnt);
+            }
+          }
+          std::copy(tmp.begin(), tmp.end(), img);
+        }
+      }
+    }
+    double norm2 = 0.0;
+    for (auto v : mu) norm2 += double(v) * v;
+    const double target =
+        cfg.class_sep * std::sqrt(double(cfg.input_dim)) / 6.0;
+    const double scale = norm2 > 0 ? target / std::sqrt(norm2) : 0.0;
+    for (auto& v : mu) v = static_cast<float>(double(v) * scale);
+  }
+
+  ds.train_.reserve(cfg.num_train);
+  for (std::size_t i = 0; i < cfg.num_train; ++i) {
+    const int label = static_cast<int>(rng.next_below(cfg.num_classes));
+    ds.train_.push_back(draw_example(means, label, cfg.noise, rng));
+  }
+  ds.test_.reserve(cfg.num_test);
+  for (std::size_t i = 0; i < cfg.num_test; ++i) {
+    const int label = static_cast<int>(rng.next_below(cfg.num_classes));
+    ds.test_.push_back(draw_example(means, label, cfg.noise, rng));
+  }
+  return ds;
+}
+
+SyntheticDataset SyntheticDataset::mnist_like(std::size_t train,
+                                              std::size_t test,
+                                              std::uint64_t seed) {
+  return gaussian_mixture({.input_dim = 28 * 28,
+                           .num_classes = 10,
+                           .num_train = train,
+                           .num_test = test,
+                           .class_sep = 2.2,
+                           .noise = 1.0,
+                           .seed = seed,
+                           .height = 28,
+                           .width = 28,
+                           .channels = 1});
+}
+
+SyntheticDataset SyntheticDataset::femnist_like(std::size_t train,
+                                                std::size_t test,
+                                                std::uint64_t seed) {
+  return gaussian_mixture({.input_dim = 28 * 28,
+                           .num_classes = 62,
+                           .num_train = train,
+                           .num_test = test,
+                           .class_sep = 2.6,
+                           .noise = 1.0,
+                           .seed = seed,
+                           .height = 28,
+                           .width = 28,
+                           .channels = 1});
+}
+
+SyntheticDataset SyntheticDataset::cifar10_like(std::size_t train,
+                                                std::size_t test,
+                                                std::uint64_t seed) {
+  return gaussian_mixture({.input_dim = 32 * 32 * 3,
+                           .num_classes = 10,
+                           .num_train = train,
+                           .num_test = test,
+                           .class_sep = 2.2,
+                           .noise = 1.0,
+                           .seed = seed,
+                           .height = 32,
+                           .width = 32,
+                           .channels = 3});
+}
+
+std::vector<std::vector<std::size_t>> SyntheticDataset::partition_iid(
+    std::size_t num_users, std::uint64_t seed) const {
+  lsa::require<lsa::ConfigError>(num_users >= 1, "partition: no users");
+  std::vector<std::size_t> idx(train_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  lsa::common::Xoshiro256ss rng(seed);
+  for (std::size_t i = 0; i + 1 < idx.size(); ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(idx.size() - i));
+    std::swap(idx[i], idx[j]);
+  }
+  std::vector<std::vector<std::size_t>> parts(num_users);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    parts[i % num_users].push_back(idx[i]);
+  }
+  return parts;
+}
+
+std::vector<std::vector<std::size_t>> SyntheticDataset::partition_shards(
+    std::size_t num_users, std::size_t shards_per_user,
+    std::uint64_t seed) const {
+  lsa::require<lsa::ConfigError>(num_users >= 1 && shards_per_user >= 1,
+                                 "partition: bad shard config");
+  // Sort by label, cut into num_users * shards_per_user shards, deal
+  // shards_per_user to each user.
+  std::vector<std::size_t> idx(train_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return train_[a].label < train_[b].label;
+  });
+  const std::size_t num_shards = num_users * shards_per_user;
+  std::vector<std::size_t> shard_order(num_shards);
+  std::iota(shard_order.begin(), shard_order.end(), 0);
+  lsa::common::Xoshiro256ss rng(seed);
+  for (std::size_t i = 0; i + 1 < shard_order.size(); ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(shard_order.size() - i));
+    std::swap(shard_order[i], shard_order[j]);
+  }
+  const std::size_t shard_len = idx.size() / num_shards;
+  std::vector<std::vector<std::size_t>> parts(num_users);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t user = s / shards_per_user;
+    const std::size_t shard = shard_order[s];
+    const std::size_t begin = shard * shard_len;
+    const std::size_t end =
+        (shard + 1 == num_shards) ? idx.size() : begin + shard_len;
+    for (std::size_t k = begin; k < end; ++k) parts[user].push_back(idx[k]);
+  }
+  return parts;
+}
+
+}  // namespace lsa::fl

@@ -1,0 +1,64 @@
+#include "fl/fedavg.h"
+
+#include "fl/server_opt.h"
+
+namespace lsa::fl {
+
+std::vector<RoundRecord> run_fedavg(
+    Model& global, const SyntheticDataset& data,
+    const std::vector<std::vector<std::size_t>>& partitions,
+    const FedAvgConfig& cfg, const Aggregate& aggregate,
+    ServerOptimizer* server_opt) {
+  const std::size_t n = partitions.size();
+  lsa::require<lsa::ConfigError>(n >= 1, "fedavg: no users");
+  lsa::common::Xoshiro256ss rng(cfg.seed);
+
+  std::vector<RoundRecord> records;
+  records.reserve(cfg.rounds);
+
+  for (std::size_t round = 0; round < cfg.rounds; ++round) {
+    // Local training at every user.
+    std::vector<std::vector<double>> locals(n);
+    double loss_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto local_model = global.clone();
+      auto user_rng = rng.split();
+      loss_sum += local_sgd(*local_model, data.train(), partitions[i],
+                            cfg.sgd, user_rng);
+      locals[i] = std::move(local_model->params());
+    }
+
+    // Dropout pattern (paper: pN users drop after uploading).
+    std::vector<bool> dropped(n, false);
+    const auto n_drop = static_cast<std::size_t>(
+        cfg.dropout_rate * static_cast<double>(n));
+    for (std::size_t k = 0; k < n_drop; ++k) {
+      std::size_t pick;
+      do {
+        pick = static_cast<std::size_t>(rng.next_below(n));
+      } while (dropped[pick]);
+      dropped[pick] = true;
+    }
+
+    const auto avg = aggregate(locals, dropped);
+    if (server_opt != nullptr) {
+      server_opt->apply(global.params(), avg);
+    } else {
+      global.params() = avg;
+    }
+
+    RoundRecord rec;
+    rec.round = round;
+    rec.train_loss = loss_sum / static_cast<double>(n);
+    if (round % cfg.eval_every == 0 || round + 1 == cfg.rounds) {
+      rec.test_accuracy = accuracy(global, data.test());
+    } else {
+      rec.test_accuracy =
+          records.empty() ? 0.0 : records.back().test_accuracy;
+    }
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace lsa::fl

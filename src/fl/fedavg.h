@@ -1,0 +1,85 @@
+// Synchronous federated averaging (McMahan et al. 2017) with pluggable
+// aggregation: plaintext (the baseline the paper compares against for
+// accuracy) or secure via any protocol::SecureAggregator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fl/dataset.h"
+#include "fl/model.h"
+#include "fl/secure_adapter.h"
+#include "fl/sgd.h"
+
+namespace lsa::fl {
+
+struct FedAvgConfig {
+  std::size_t rounds = 20;
+  double dropout_rate = 0.0;  ///< p: fraction of users dropping per round
+  SgdConfig sgd;
+  std::uint64_t seed = 1;
+  /// Evaluate test accuracy every `eval_every` rounds (always the last).
+  std::size_t eval_every = 1;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double train_loss = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Aggregation callback: given local parameter vectors and the dropout
+/// pattern, return the average over surviving users.
+using Aggregate = std::function<std::vector<double>(
+    const std::vector<std::vector<double>>&, const std::vector<bool>&)>;
+
+/// Plaintext FedAvg aggregation.
+[[nodiscard]] inline Aggregate plaintext_average() {
+  return [](const std::vector<std::vector<double>>& locals,
+            const std::vector<bool>& dropped) {
+    std::size_t survivors = 0;
+    std::vector<double> avg(locals.at(0).size(), 0.0);
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      if (dropped[i]) continue;
+      ++survivors;
+      for (std::size_t k = 0; k < avg.size(); ++k) avg[k] += locals[i][k];
+    }
+    lsa::require<lsa::ProtocolError>(survivors > 0,
+                                     "fedavg: everyone dropped");
+    for (auto& v : avg) v /= static_cast<double>(survivors);
+    return avg;
+  };
+}
+
+/// Secure aggregation through a protocol instance (keeps a reference; the
+/// protocol must outlive the returned callback).
+template <class F>
+[[nodiscard]] Aggregate secure_aggregate(
+    lsa::protocol::SecureAggregator<F>& protocol, std::uint64_t c_l,
+    std::uint64_t quant_seed) {
+  auto rng = std::make_shared<lsa::common::Xoshiro256ss>(quant_seed);
+  return [&protocol, c_l, rng](const std::vector<std::vector<double>>& locals,
+                               const std::vector<bool>& dropped) {
+    return secure_average<F>(protocol, locals, dropped, c_l, *rng);
+  };
+}
+
+class ServerOptimizer;  // fl/server_opt.h
+
+/// Runs synchronous FL: each round every user trains locally from the global
+/// model, a dropout pattern is drawn, and the (securely) aggregated average
+/// of surviving users' parameters updates the global model — by replacement
+/// (default) or through a server optimizer from fl/server_opt.h
+/// (FedAvgM / FedAdam, the paper's FedOpt composability claim).
+[[nodiscard]] std::vector<RoundRecord> run_fedavg(
+    Model& global, const SyntheticDataset& data,
+    const std::vector<std::vector<std::size_t>>& partitions,
+    const FedAvgConfig& cfg, const Aggregate& aggregate,
+    ServerOptimizer* server_opt = nullptr);
+
+}  // namespace lsa::fl

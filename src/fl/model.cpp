@@ -1,0 +1,206 @@
+#include "fl/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace lsa::fl {
+
+namespace {
+
+/// In-place softmax with the max-subtraction trick.
+void softmax(std::span<double> v) {
+  double mx = v[0];
+  for (double x : v) mx = std::max(mx, x);
+  double sum = 0.0;
+  for (auto& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (auto& x : v) x /= sum;
+}
+
+void xavier_init(std::vector<double>& p, std::size_t fan_in,
+                 std::uint64_t seed) {
+  lsa::common::Xoshiro256ss rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(fan_in));
+  for (auto& w : p) w = rng.next_gaussian() * scale;
+}
+
+}  // namespace
+
+double accuracy(const Model& model, std::span<const Example> test) {
+  if (test.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& ex : test) {
+    if (model.predict(ex) == ex.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+// ---------------------------------------------------------------- LogReg
+
+LogisticRegression::LogisticRegression(std::size_t input_dim,
+                                       std::size_t num_classes,
+                                       std::uint64_t init_seed)
+    : in_(input_dim), classes_(num_classes) {
+  lsa::require<lsa::ConfigError>(input_dim > 0 && num_classes > 1,
+                                 "logreg: bad shape");
+  params_.assign(in_ * classes_ + classes_, 0.0);
+  xavier_init(params_, in_, init_seed);
+  // Zero the biases (the tail of the flat vector).
+  std::fill(params_.end() - static_cast<std::ptrdiff_t>(classes_),
+            params_.end(), 0.0);
+}
+
+void LogisticRegression::logits(const Example& ex,
+                                std::span<double> out) const {
+  const double* w = params_.data();
+  const double* b = params_.data() + in_ * classes_;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    double acc = b[c];
+    const double* wc = w + c * in_;
+    for (std::size_t k = 0; k < in_; ++k) acc += wc[k] * ex.x[k];
+    out[c] = acc;
+  }
+}
+
+double LogisticRegression::loss_and_grad(std::span<const Example> batch,
+                                         std::span<double> grad) {
+  lsa::require<lsa::ConfigError>(grad.size() == dim(),
+                                 "logreg: bad grad buffer");
+  if (batch.empty()) return 0.0;
+  std::vector<double> p(classes_);
+  double loss = 0.0;
+  double* gw = grad.data();
+  double* gb = grad.data() + in_ * classes_;
+  for (const auto& ex : batch) {
+    logits(ex, p);
+    softmax(p);
+    loss += -std::log(std::max(p[static_cast<std::size_t>(ex.label)], 1e-12));
+    for (std::size_t c = 0; c < classes_; ++c) {
+      const double delta =
+          p[c] - (static_cast<int>(c) == ex.label ? 1.0 : 0.0);
+      double* gwc = gw + c * in_;
+      for (std::size_t k = 0; k < in_; ++k) gwc[k] += delta * ex.x[k];
+      gb[c] += delta;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  for (auto& g : grad) g *= inv;
+  return loss * inv;
+}
+
+int LogisticRegression::predict(const Example& ex) const {
+  std::vector<double> p(classes_);
+  logits(ex, p);
+  return static_cast<int>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::unique_ptr<Model> LogisticRegression::clone() const {
+  auto m = std::make_unique<LogisticRegression>(in_, classes_, 0);
+  m->params() = params_;
+  return m;
+}
+
+// ------------------------------------------------------------------- MLP
+
+Mlp::Mlp(std::size_t input_dim, std::size_t hidden, std::size_t num_classes,
+         std::uint64_t init_seed)
+    : in_(input_dim), hidden_(hidden), classes_(num_classes) {
+  lsa::require<lsa::ConfigError>(input_dim > 0 && hidden > 0 &&
+                                     num_classes > 1,
+                                 "mlp: bad shape");
+  params_.assign(in_ * hidden_ + hidden_ + hidden_ * classes_ + classes_,
+                 0.0);
+  xavier_init(params_, in_, init_seed);
+}
+
+double Mlp::loss_and_grad(std::span<const Example> batch,
+                          std::span<double> grad) {
+  lsa::require<lsa::ConfigError>(grad.size() == dim(), "mlp: bad grad buffer");
+  if (batch.empty()) return 0.0;
+  const double* w1 = params_.data();
+  const double* b1 = w1 + in_ * hidden_;
+  const double* w2 = b1 + hidden_;
+  const double* b2 = w2 + hidden_ * classes_;
+  double* gw1 = grad.data();
+  double* gb1 = gw1 + in_ * hidden_;
+  double* gw2 = gb1 + hidden_;
+  double* gb2 = gw2 + hidden_ * classes_;
+
+  std::vector<double> h(hidden_), p(classes_), dh(hidden_);
+  double loss = 0.0;
+  for (const auto& ex : batch) {
+    // Forward.
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      double acc = b1[j];
+      const double* w1j = w1 + j * in_;
+      for (std::size_t k = 0; k < in_; ++k) acc += w1j[k] * ex.x[k];
+      h[j] = acc > 0.0 ? acc : 0.0;  // ReLU
+    }
+    for (std::size_t c = 0; c < classes_; ++c) {
+      double acc = b2[c];
+      const double* w2c = w2 + c * hidden_;
+      for (std::size_t j = 0; j < hidden_; ++j) acc += w2c[j] * h[j];
+      p[c] = acc;
+    }
+    softmax(p);
+    loss += -std::log(std::max(p[static_cast<std::size_t>(ex.label)], 1e-12));
+    // Backward.
+    std::fill(dh.begin(), dh.end(), 0.0);
+    for (std::size_t c = 0; c < classes_; ++c) {
+      const double delta =
+          p[c] - (static_cast<int>(c) == ex.label ? 1.0 : 0.0);
+      double* gw2c = gw2 + c * hidden_;
+      const double* w2c = w2 + c * hidden_;
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        gw2c[j] += delta * h[j];
+        dh[j] += delta * w2c[j];
+      }
+      gb2[c] += delta;
+    }
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      if (h[j] <= 0.0) continue;  // ReLU gate
+      double* gw1j = gw1 + j * in_;
+      for (std::size_t k = 0; k < in_; ++k) gw1j[k] += dh[j] * ex.x[k];
+      gb1[j] += dh[j];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  for (auto& g : grad) g *= inv;
+  return loss * inv;
+}
+
+int Mlp::predict(const Example& ex) const {
+  const double* w1 = params_.data();
+  const double* b1 = w1 + in_ * hidden_;
+  const double* w2 = b1 + hidden_;
+  const double* b2 = w2 + hidden_ * classes_;
+  std::vector<double> h(hidden_), p(classes_);
+  for (std::size_t j = 0; j < hidden_; ++j) {
+    double acc = b1[j];
+    const double* w1j = w1 + j * in_;
+    for (std::size_t k = 0; k < in_; ++k) acc += w1j[k] * ex.x[k];
+    h[j] = acc > 0.0 ? acc : 0.0;
+  }
+  for (std::size_t c = 0; c < classes_; ++c) {
+    double acc = b2[c];
+    const double* w2c = w2 + c * hidden_;
+    for (std::size_t j = 0; j < hidden_; ++j) acc += w2c[j] * h[j];
+    p[c] = acc;
+  }
+  return static_cast<int>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::unique_ptr<Model> Mlp::clone() const {
+  auto m = std::make_unique<Mlp>(in_, hidden_, classes_, 0);
+  m->params() = params_;
+  return m;
+}
+
+}  // namespace lsa::fl

@@ -1,0 +1,102 @@
+// Bridges real-valued FL model vectors and the finite-field secure
+// aggregation protocols: quantize -> mask/aggregate in F_q -> demap -> average
+// (paper §4.1 "Masking and uploading" + App. F.3.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "protocol/secure_aggregator.h"
+#include "quant/quantizer.h"
+
+namespace lsa::fl {
+
+/// Securely computes the *average* of the surviving users' real vectors via
+/// one protocol round.
+///   locals[i]:  user i's parameter (or update) vector, length d.
+///   dropped[i]: worst-case dropout pattern for the round.
+/// The per-user quantization uses c_l levels (paper finds c_l = 2^16 best).
+template <class F>
+[[nodiscard]] std::vector<double> secure_average(
+    lsa::protocol::SecureAggregator<F>& protocol,
+    const std::vector<std::vector<double>>& locals,
+    const std::vector<bool>& dropped, std::uint64_t c_l,
+    lsa::common::Xoshiro256ss& quantize_rng) {
+  const std::size_t n = locals.size();
+  lsa::require<lsa::ProtocolError>(n == protocol.params().num_users,
+                                   "secure_average: user count mismatch");
+  const std::size_t d = protocol.params().model_dim;
+  lsa::quant::Quantizer<F> quant(c_l);
+
+  std::vector<std::vector<typename F::rep>> field_inputs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lsa::require<lsa::ProtocolError>(locals[i].size() == d,
+                                     "secure_average: bad vector length");
+    field_inputs[i] = quant.quantize_vector(
+        std::span<const double>(locals[i]), quantize_rng);
+  }
+
+  const auto agg = protocol.run_round(field_inputs, dropped);
+
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dropped[i]) ++survivors;
+  }
+  lsa::require<lsa::ProtocolError>(survivors > 0,
+                                   "secure_average: everyone dropped");
+  std::vector<double> avg(d);
+  quant.dequantize_vector_scaled(std::span<const typename F::rep>(agg),
+                                 std::span<double>(avg),
+                                 static_cast<double>(survivors));
+  return avg;
+}
+
+/// Securely computes the *sample-weighted* average (paper Remark 3): user i
+/// scales its vector by its sample count s_i before masking, so the server
+/// recovers sum_i s_i x_i and divides by sum_i s_i — without ever learning
+/// an individual weighted vector. Mask sharing needs no knowledge of the
+/// weights.
+template <class F>
+[[nodiscard]] std::vector<double> secure_weighted_average(
+    lsa::protocol::SecureAggregator<F>& protocol,
+    const std::vector<std::vector<double>>& locals,
+    const std::vector<std::uint64_t>& sample_counts,
+    const std::vector<bool>& dropped, std::uint64_t c_l,
+    lsa::common::Xoshiro256ss& quantize_rng) {
+  const std::size_t n = locals.size();
+  lsa::require<lsa::ProtocolError>(
+      n == protocol.params().num_users && sample_counts.size() == n,
+      "secure_weighted_average: size mismatch");
+  const std::size_t d = protocol.params().model_dim;
+  lsa::quant::Quantizer<F> quant(c_l);
+
+  std::vector<std::vector<typename F::rep>> field_inputs(n);
+  std::vector<double> scaled(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    lsa::require<lsa::ProtocolError>(locals[i].size() == d,
+                                     "secure_weighted_average: bad length");
+    for (std::size_t k = 0; k < d; ++k) {
+      scaled[k] = locals[i][k] * static_cast<double>(sample_counts[i]);
+    }
+    field_inputs[i] = quant.quantize_vector(std::span<const double>(scaled),
+                                            quantize_rng);
+  }
+
+  const auto agg = protocol.run_round(field_inputs, dropped);
+
+  std::uint64_t weight_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dropped[i]) weight_sum += sample_counts[i];
+  }
+  lsa::require<lsa::ProtocolError>(weight_sum > 0,
+                                   "secure_weighted_average: zero weight");
+  std::vector<double> avg(d);
+  quant.dequantize_vector_scaled(std::span<const typename F::rep>(agg),
+                                 std::span<double>(avg),
+                                 static_cast<double>(weight_sum));
+  return avg;
+}
+
+}  // namespace lsa::fl

@@ -1,0 +1,100 @@
+// Server-side optimizers — the FedOpt family (paper §1 "can be applied to
+// any aggregation-based FL approach (… FedOpt …)"; Reddi et al. 2020).
+//
+// Secure aggregation hands the server only the (securely computed) average
+// of the surviving users' models. What the server *does* with that average
+// is orthogonal to privacy:
+//   * FedAvg:  x <- avg                       (replacement)
+//   * FedAvgM: momentum on the pseudo-gradient x - avg
+//   * FedAdam: Adam on the pseudo-gradient
+// All three consume the same secure aggregate, demonstrating the paper's
+// composability claim.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lsa::fl {
+
+class ServerOptimizer {
+ public:
+  virtual ~ServerOptimizer() = default;
+  /// Updates `global` in place given the securely aggregated average of the
+  /// surviving users' local models.
+  virtual void apply(std::vector<double>& global,
+                     std::span<const double> secure_average) = 0;
+};
+
+/// Plain FedAvg: the aggregate replaces the global model.
+class FedAvgServer final : public ServerOptimizer {
+ public:
+  void apply(std::vector<double>& global,
+             std::span<const double> secure_average) override {
+    lsa::require<lsa::ConfigError>(global.size() == secure_average.size(),
+                                   "server opt: dimension mismatch");
+    global.assign(secure_average.begin(), secure_average.end());
+  }
+};
+
+/// Server momentum on the pseudo-gradient g = x - avg (FedAvgM).
+class FedAvgMServer final : public ServerOptimizer {
+ public:
+  explicit FedAvgMServer(double lr = 1.0, double momentum = 0.9)
+      : lr_(lr), beta_(momentum) {}
+
+  void apply(std::vector<double>& global,
+             std::span<const double> secure_average) override {
+    lsa::require<lsa::ConfigError>(global.size() == secure_average.size(),
+                                   "server opt: dimension mismatch");
+    if (velocity_.empty()) velocity_.assign(global.size(), 0.0);
+    for (std::size_t k = 0; k < global.size(); ++k) {
+      const double g = global[k] - secure_average[k];
+      velocity_[k] = beta_ * velocity_[k] + g;
+      global[k] -= lr_ * velocity_[k];
+    }
+  }
+
+ private:
+  double lr_;
+  double beta_;
+  std::vector<double> velocity_;
+};
+
+/// FedAdam (Reddi et al. 2020): Adam moments on the pseudo-gradient.
+class FedAdamServer final : public ServerOptimizer {
+ public:
+  FedAdamServer(double lr = 0.1, double beta1 = 0.9, double beta2 = 0.99,
+                double eps = 1e-3)
+      : lr_(lr), b1_(beta1), b2_(beta2), eps_(eps) {}
+
+  void apply(std::vector<double>& global,
+             std::span<const double> secure_average) override {
+    lsa::require<lsa::ConfigError>(global.size() == secure_average.size(),
+                                   "server opt: dimension mismatch");
+    if (m_.empty()) {
+      m_.assign(global.size(), 0.0);
+      v_.assign(global.size(), 0.0);
+    }
+    ++step_;
+    const double bc1 = 1.0 - std::pow(b1_, static_cast<double>(step_));
+    const double bc2 = 1.0 - std::pow(b2_, static_cast<double>(step_));
+    for (std::size_t k = 0; k < global.size(); ++k) {
+      const double g = global[k] - secure_average[k];
+      m_[k] = b1_ * m_[k] + (1 - b1_) * g;
+      v_[k] = b2_ * v_[k] + (1 - b2_) * g * g;
+      const double mhat = m_[k] / bc1;
+      const double vhat = v_[k] / bc2;
+      global[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+
+ private:
+  double lr_, b1_, b2_, eps_;
+  std::vector<double> m_, v_;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace lsa::fl

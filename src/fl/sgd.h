@@ -1,0 +1,74 @@
+// Local SGD (the client-side optimizer of FedAvg / FedBuff).
+//
+// Runs E local epochs of minibatch SGD from the current global model
+// (paper eq. 25; E = 5 in the synchronous experiments, App. D).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "fl/dataset.h"
+#include "fl/model.h"
+
+namespace lsa::fl {
+
+struct SgdConfig {
+  std::size_t epochs = 5;      ///< E
+  std::size_t batch_size = 32;
+  double lr = 0.1;             ///< eta_l
+  /// FedProx proximal coefficient mu (Li et al. 2018): adds
+  /// mu/2 * ||w - w_global||^2 to each local objective, taming client
+  /// drift under heterogeneity. 0 = plain FedAvg local SGD. The paper's
+  /// Remark ("applies to any aggregation-based FL approach, e.g. FedProx")
+  /// holds because the proximal term changes only the local objective —
+  /// the uploaded vector aggregates exactly as before.
+  double prox_mu = 0.0;
+};
+
+/// Trains `model` in place on the examples indexed by `indices`.
+/// Returns the average minibatch loss of the final epoch.
+inline double local_sgd(Model& model, const std::vector<Example>& data,
+                        std::span<const std::size_t> indices,
+                        const SgdConfig& cfg,
+                        lsa::common::Xoshiro256ss& rng) {
+  if (indices.empty()) return 0.0;
+  std::vector<std::size_t> order(indices.begin(), indices.end());
+  std::vector<double> grad(model.dim());
+  std::vector<Example> batch;
+  // FedProx anchor: the global model the round started from.
+  const std::vector<double> anchor =
+      cfg.prox_mu > 0.0 ? model.params() : std::vector<double>{};
+  double last_epoch_loss = 0.0;
+  for (std::size_t e = 0; e < cfg.epochs; ++e) {
+    // Shuffle.
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.next_below(order.size() - i));
+      std::swap(order[i], order[j]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t num_batches = 0;
+    for (std::size_t off = 0; off < order.size(); off += cfg.batch_size) {
+      const std::size_t n = std::min(cfg.batch_size, order.size() - off);
+      batch.clear();
+      for (std::size_t k = 0; k < n; ++k) batch.push_back(data[order[off + k]]);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      epoch_loss += model.loss_and_grad(batch, grad);
+      ++num_batches;
+      auto& p = model.params();
+      if (cfg.prox_mu > 0.0) {
+        for (std::size_t k = 0; k < p.size(); ++k) {
+          grad[k] += cfg.prox_mu * (p[k] - anchor[k]);
+        }
+      }
+      for (std::size_t k = 0; k < p.size(); ++k) p[k] -= cfg.lr * grad[k];
+    }
+    last_epoch_loss =
+        num_batches > 0 ? epoch_loss / static_cast<double>(num_batches) : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace lsa::fl

@@ -1,0 +1,33 @@
+// Bandwidth / latency profiles for the cross-device timing simulation.
+//
+// The paper evaluates three settings (§7.2, Table 3): the measured testbed
+// bandwidth of 320 Mb/s, 4G/LTE-A at 98 Mb/s, and 5G at 802 Mb/s
+// (Minovski et al. 2021; Scheuner & Leitner 2018).
+#pragma once
+
+namespace lsa::net {
+
+struct BandwidthProfile {
+  double user_uplink_bps = 0.0;    ///< per-user uplink (bits/second)
+  double user_downlink_bps = 0.0;  ///< per-user downlink
+  double server_bps = 0.0;         ///< server aggregate up/down capacity
+  double rtt_s = 0.0;              ///< per-message round-trip latency
+
+  /// The paper's measured testbed: 320 Mb/s symmetric at users; the server
+  /// (an EC2 instance) has an order of magnitude more aggregate capacity.
+  [[nodiscard]] static BandwidthProfile measured_320mbps() {
+    return {320e6, 320e6, 4e9, 0.02};
+  }
+
+  /// 4G / LTE-A cellular (98 Mb/s).
+  [[nodiscard]] static BandwidthProfile lte_4g() {
+    return {98e6, 98e6, 4e9, 0.05};
+  }
+
+  /// 5G cellular (802 Mb/s).
+  [[nodiscard]] static BandwidthProfile nr_5g() {
+    return {802e6, 802e6, 4e9, 0.02};
+  }
+};
+
+}  // namespace lsa::net

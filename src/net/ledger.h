@@ -1,0 +1,159 @@
+// Traffic and computation ledger.
+//
+// Every protocol implementation in src/protocol logs each message it sends
+// (who → whom, how many field elements) and each unit of computation it
+// performs (which entity, what kind, how many elements). The ledger is the
+// bridge between the *functional* protocol execution (real masks, real
+// decoding — what the tests verify) and the *timing* simulation (src/net/
+// cost_model.h) that reproduces the paper's running-time experiments without
+// an EC2 fleet.
+//
+// Entries carry a `scales_with_d` flag: masking a model costs d elements and
+// scales linearly with model size, while Shamir-sharing a 32-byte seed does
+// not. This lets benches execute the protocols at a reduced model dimension
+// and extrapolate exactly the d-linear parts (see CostModel::scaled_time).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lsa::net {
+
+/// Phases of one secure-aggregation round (paper Fig. 5 / Table 4 rows).
+enum class Phase : std::uint8_t {
+  kOffline = 0,   ///< mask generation, encoding, sharing / key agreement
+  kUpload = 1,    ///< masked model upload
+  kRecovery = 2,  ///< aggregate-mask reconstruction
+};
+inline constexpr std::size_t kNumPhases = 3;
+
+/// Kinds of computation the protocols perform.
+enum class CompKind : std::uint8_t {
+  kPrgExpand = 0,      ///< PRG keystream expansion into field elements
+  kMaskEncode = 1,     ///< MDS encode (per output element, x U slots)
+  kMaskDecode = 2,     ///< MDS one-shot decode at the server
+  kShamirShare = 3,    ///< Shamir share evaluation
+  kShamirRecon = 4,    ///< Shamir Lagrange reconstruction
+  kFieldAddVec = 5,    ///< elementwise add/sub of field vectors
+  kKeyAgree = 6,       ///< one Diffie-Hellman exponentiation
+  kQuantize = 7,       ///< model quantization / dequantization
+};
+inline constexpr std::size_t kNumCompKinds = 8;
+
+/// Entity ids: users are 0..N-1; the server is entity N.
+class Ledger {
+ public:
+  explicit Ledger(std::size_t num_users)
+      : n_(num_users),
+        msg_elems_(kNumPhases,
+                   std::vector<std::array<std::uint64_t, 2>>(
+                       num_users + 1, std::array<std::uint64_t, 2>{})),
+        msg_count_(kNumPhases, std::vector<std::uint64_t>(num_users + 1, 0)),
+        recv_elems_(kNumPhases,
+                    std::vector<std::array<std::uint64_t, 2>>(
+                        num_users + 1, std::array<std::uint64_t, 2>{})),
+        comp_elems_(
+            kNumPhases,
+            std::vector<std::array<std::uint64_t, 2 * kNumCompKinds>>(
+                num_users + 1,
+                std::array<std::uint64_t, 2 * kNumCompKinds>{})) {}
+
+  [[nodiscard]] std::size_t num_users() const { return n_; }
+  [[nodiscard]] std::size_t server_id() const { return n_; }
+
+  /// Records a message of n_elems field elements from -> to.
+  void add_message(Phase phase, std::size_t from, std::size_t to,
+                   std::uint64_t n_elems, bool scales_with_d) {
+    const auto p = static_cast<std::size_t>(phase);
+    check_entity(from);
+    check_entity(to);
+    msg_elems_[p][from][scales_with_d ? 1 : 0] += n_elems;
+    msg_count_[p][from] += 1;
+    recv_elems_[p][to][scales_with_d ? 1 : 0] += n_elems;
+  }
+
+  /// Records n_elems units of computation of `kind` at `entity`.
+  void add_compute(Phase phase, std::size_t entity, CompKind kind,
+                   std::uint64_t n_elems, bool scales_with_d) {
+    const auto p = static_cast<std::size_t>(phase);
+    check_entity(entity);
+    const std::size_t slot =
+        static_cast<std::size_t>(kind) * 2 + (scales_with_d ? 1 : 0);
+    comp_elems_[p][entity][slot] += n_elems;
+  }
+
+  /// Elements sent by `entity` in `phase`; index 0 = fixed, 1 = d-scaled.
+  [[nodiscard]] std::uint64_t sent_elems(Phase phase, std::size_t entity,
+                                         bool scaled) const {
+    return msg_elems_[static_cast<std::size_t>(phase)][entity]
+                     [scaled ? 1 : 0];
+  }
+
+  [[nodiscard]] std::uint64_t recv_elems_of(Phase phase, std::size_t entity,
+                                            bool scaled) const {
+    return recv_elems_[static_cast<std::size_t>(phase)][entity]
+                      [scaled ? 1 : 0];
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent(Phase phase,
+                                            std::size_t entity) const {
+    return msg_count_[static_cast<std::size_t>(phase)][entity];
+  }
+
+  [[nodiscard]] std::uint64_t compute_elems(Phase phase, std::size_t entity,
+                                            CompKind kind,
+                                            bool scaled) const {
+    const std::size_t slot =
+        static_cast<std::size_t>(kind) * 2 + (scaled ? 1 : 0);
+    return comp_elems_[static_cast<std::size_t>(phase)][entity][slot];
+  }
+
+  /// Max over users of elements sent in a phase (the slowest user's load).
+  [[nodiscard]] std::uint64_t max_user_sent_elems(Phase phase,
+                                                  bool scaled) const {
+    std::uint64_t m = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      m = std::max(m, sent_elems(phase, i, scaled));
+    }
+    return m;
+  }
+
+  /// Total elements sent by all users in a phase.
+  [[nodiscard]] std::uint64_t total_user_sent_elems(Phase phase,
+                                                    bool scaled) const {
+    std::uint64_t s = 0;
+    for (std::size_t i = 0; i < n_; ++i) s += sent_elems(phase, i, scaled);
+    return s;
+  }
+
+  void reset() {
+    for (auto& per_phase : msg_elems_)
+      for (auto& e : per_phase) e = {0, 0};
+    for (auto& per_phase : recv_elems_)
+      for (auto& e : per_phase) e = {0, 0};
+    for (auto& per_phase : msg_count_)
+      for (auto& e : per_phase) e = 0;
+    for (auto& per_phase : comp_elems_)
+      for (auto& e : per_phase) e.fill(0);
+  }
+
+ private:
+  void check_entity(std::size_t e) const {
+    lsa::require(e <= n_, "ledger: entity id out of range");
+  }
+
+  std::size_t n_;
+  // [phase][entity][fixed/scaled]
+  std::vector<std::vector<std::array<std::uint64_t, 2>>> msg_elems_;
+  std::vector<std::vector<std::uint64_t>> msg_count_;
+  std::vector<std::vector<std::array<std::uint64_t, 2>>> recv_elems_;
+  // [phase][entity][kind*2 + fixed/scaled]
+  std::vector<std::vector<std::array<std::uint64_t, 2 * kNumCompKinds>>>
+      comp_elems_;
+};
+
+}  // namespace lsa::net

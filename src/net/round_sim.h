@@ -1,0 +1,135 @@
+// Round-time simulator: composes Ledger traffic, CostModel computation and a
+// BandwidthProfile into the per-phase breakdown the paper reports (Table 4)
+// and the total running time curves (Fig. 6/8/9/10).
+//
+// Timing rules (matching the paper's system, §6):
+//   * Users run in parallel — a phase's user time is the straggler's
+//     (max over users of compute + link time). The server is one machine.
+//   * A user link carries send and receive; with the chunked duplex
+//     optimization (§6, "tensor-aware RPC"), send and receive overlap and
+//     the link time is max(send, recv) instead of send + recv.
+//   * Server bandwidth is shared: total bytes through the server divide its
+//     aggregate capacity.
+//   * Non-overlapped total = offline + training + upload + recovery.
+//     Overlapped total (Fig. 5b) = max(offline, training) + upload +
+//     recovery: mask generation/exchange is independent of training, so the
+//     two proceed concurrently (§6 "parallelization of offline phase").
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+#include "net/bandwidth.h"
+#include "net/cost_model.h"
+#include "net/ledger.h"
+
+namespace lsa::net {
+
+struct RoundBreakdown {
+  double offline = 0.0;
+  double training = 0.0;
+  double upload = 0.0;
+  double recovery = 0.0;
+
+  [[nodiscard]] double total_nonoverlapped() const {
+    return offline + training + upload + recovery;
+  }
+  /// Offline phase runs concurrently with local training (Fig. 5b).
+  [[nodiscard]] double total_overlapped() const {
+    return std::max(offline, training) + upload + recovery;
+  }
+};
+
+class RoundSimulator {
+ public:
+  struct Options {
+    double element_bytes = 4.0;     ///< bytes per field element (Fp32)
+    bool duplex_overlap = true;     ///< §6 concurrent chunked send/recv
+    double per_msg_overhead_s = 0.0;  ///< fixed per-message RPC overhead
+  };
+
+  RoundSimulator(const CostModel& cost, BandwidthProfile bw, Options opt)
+      : cost_(cost), bw_(bw), opt_(opt) {}
+
+  /// d_scale: ratio d_real / d_simulated for ledger entries that scale with
+  /// the model dimension. train_seconds: the local-training workload.
+  [[nodiscard]] RoundBreakdown simulate(const Ledger& ledger, double d_scale,
+                                        double train_seconds) const {
+    RoundBreakdown rb;
+    rb.training = train_seconds;
+    rb.offline = phase_seconds(ledger, Phase::kOffline, d_scale);
+    rb.upload = phase_seconds(ledger, Phase::kUpload, d_scale);
+    rb.recovery = phase_seconds(ledger, Phase::kRecovery, d_scale);
+    return rb;
+  }
+
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+ private:
+  [[nodiscard]] double link_seconds(double send_bytes, double recv_bytes,
+                                    double up_bps, double down_bps) const {
+    const double s = send_bytes * 8.0 / up_bps;
+    const double r = recv_bytes * 8.0 / down_bps;
+    return opt_.duplex_overlap ? std::max(s, r) : s + r;
+  }
+
+  [[nodiscard]] double phase_seconds(const Ledger& ledger, Phase phase,
+                                     double d_scale) const {
+    const std::size_t n = ledger.num_users();
+    const std::size_t server = ledger.server_id();
+
+    // User side: compute + link, stragglers dominate.
+    double user_time = 0.0;
+    std::uint64_t max_msgs = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double comp = cost_.compute_seconds(ledger, phase, i, d_scale);
+      const double send_bytes =
+          bytes_of(ledger.sent_elems(phase, i, false),
+                   ledger.sent_elems(phase, i, true), d_scale);
+      const double recv_bytes =
+          bytes_of(ledger.recv_elems_of(phase, i, false),
+                   ledger.recv_elems_of(phase, i, true), d_scale);
+      const double link = link_seconds(send_bytes, recv_bytes,
+                                       bw_.user_uplink_bps,
+                                       bw_.user_downlink_bps);
+      user_time = std::max(user_time, comp + link);
+      max_msgs = std::max(max_msgs, ledger.messages_sent(phase, i));
+    }
+
+    // Server side: compute + shared-capacity transfer.
+    const double server_comp =
+        cost_.compute_seconds(ledger, phase, server, d_scale);
+    const double server_recv_bytes =
+        bytes_of(ledger.recv_elems_of(phase, server, false),
+                 ledger.recv_elems_of(phase, server, true), d_scale);
+    const double server_send_bytes =
+        bytes_of(ledger.sent_elems(phase, server, false),
+                 ledger.sent_elems(phase, server, true), d_scale);
+    const double server_link =
+        (server_recv_bytes + server_send_bytes) * 8.0 / bw_.server_bps;
+
+    const double overhead =
+        static_cast<double>(max_msgs) * opt_.per_msg_overhead_s +
+        (max_msgs > 0 ? bw_.rtt_s : 0.0);
+
+    // Transfers and computation at different entities pipeline; the phase
+    // ends when the slowest of (users, server transfer, server compute)
+    // finishes. Server compute follows its receive within the phase.
+    return std::max(user_time, server_link + server_comp) + overhead;
+  }
+
+  [[nodiscard]] double bytes_of(std::uint64_t fixed_elems,
+                                std::uint64_t scaled_elems,
+                                double d_scale) const {
+    return (static_cast<double>(fixed_elems) +
+            d_scale * static_cast<double>(scaled_elems)) *
+           opt_.element_bytes;
+  }
+
+  CostModel cost_;
+  BandwidthProfile bw_;
+  Options opt_;
+};
+
+}  // namespace lsa::net

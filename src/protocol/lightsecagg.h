@@ -1,0 +1,199 @@
+// LightSecAgg — the paper's contribution (§4.1, Algorithm 1).
+//
+// Design shift vs SecAgg: instead of reconstructing the *seeds* of dropped
+// users' masks, each user protects its model with one locally generated mask
+// z_i whose MDS-encoded shares are distributed offline. After dropouts, each
+// surviving user returns the *sum* of the encoded shares it holds for the
+// surviving set; by linearity of MDS coding the server decodes the aggregate
+// mask sum_{i in U1} z_i in ONE shot from any U responses — server cost
+// independent of the number of dropped users.
+//
+// Phases (all functionally executed; traffic/compute logged to net::Ledger):
+//   1. Offline encoding & sharing: z_i ~ U(F_q^d), partitioned into U-T
+//      segments, padded with T random segments, MDS-encoded into N shares
+//      [~z_i]_j; share j goes to user j.
+//   2. Masking & upload: ~x_i = x_i + z_i -> server.
+//   3. One-shot recovery: server announces U1; each surviving user j sends
+//      sum_{i in U1} [~z_i]_j; the server decodes from the first U responses
+//      and subtracts the aggregate mask.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "coding/mask_codec.h"
+#include "common/error.h"
+#include "crypto/prg.h"
+#include "field/field_vec.h"
+#include "field/random_field.h"
+#include "net/ledger.h"
+#include "protocol/secure_aggregator.h"
+
+namespace lsa::protocol {
+
+template <class F>
+class LightSecAgg final : public SecureAggregator<F> {
+ public:
+  using rep = typename F::rep;
+
+  /// verify_redundant: when an extra responder beyond U is available, the
+  /// server decodes twice from different share subsets and cross-checks
+  /// (MaskCodec::decode_aggregate_verified) — detecting tampered or
+  /// corrupted aggregated shares at the cost of one additional response.
+  LightSecAgg(Params params, std::uint64_t master_seed,
+              lsa::net::Ledger* ledger = nullptr,
+              bool verify_redundant = false)
+      : params_(params),
+        master_seed_(master_seed),
+        ledger_(ledger),
+        verify_redundant_(verify_redundant) {
+    params_.validate_and_resolve();
+    codec_.emplace(params_.num_users, params_.target_survivors,
+                   params_.privacy, params_.model_dim);
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return "LightSecAgg";
+  }
+  [[nodiscard]] const Params& params() const override { return params_; }
+  [[nodiscard]] const lsa::coding::MaskCodec<F>& codec() const {
+    return *codec_;
+  }
+
+  [[nodiscard]] std::vector<rep> run_round(
+      const std::vector<std::vector<rep>>& inputs,
+      const std::vector<bool>& dropped) override {
+    const std::size_t n = params_.num_users;
+    const std::size_t d = params_.model_dim;
+    const std::size_t u = params_.target_survivors;
+    const std::size_t t = params_.privacy;
+    const std::size_t seg = codec_->segment_len();
+    lsa::require<lsa::ProtocolError>(inputs.size() == n,
+                                     "lightsecagg: wrong number of inputs");
+    lsa::require<lsa::ProtocolError>(dropped.size() == n,
+                                     "lightsecagg: wrong dropout vector");
+
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!dropped[i]) survivors.push_back(i);
+    }
+    lsa::require<lsa::ProtocolError>(
+        survivors.size() >= u,
+        "lightsecagg: fewer than U survivors — unrecoverable round");
+
+    const std::uint64_t round = round_counter_++;
+
+    // ---- Phase 1: offline encoding and sharing of local masks. ----
+    // held_shares[j][i] = [~z_i]_j — what user j stores for user i.
+    std::vector<std::vector<std::vector<rep>>> held_shares(
+        n, std::vector<std::vector<rep>>(n));
+    std::vector<std::vector<rep>> mask(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto seed = lsa::crypto::derive_subseed(
+          lsa::crypto::seed_from_u64(master_seed_ ^
+                                     (0x115aull + i * 0x9e3779b97f4a7c15ull)),
+          round);
+      lsa::crypto::Prg prg(seed);
+      mask[i] = lsa::field::uniform_vector<F>(d, prg);
+      auto shares = codec_->encode(std::span<const rep>(mask[i]), prg);
+      for (std::size_t j = 0; j < n; ++j) {
+        held_shares[j][i] = std::move(shares[j]);
+      }
+      if (ledger_ != nullptr) {
+        // PRG: d mask elements + T noise segments.
+        ledger_->add_compute(lsa::net::Phase::kOffline, i,
+                             lsa::net::CompKind::kPrgExpand,
+                             d + static_cast<std::uint64_t>(t) * seg, true);
+        // Encode: N shares, each a U-term combination of length-seg vectors.
+        ledger_->add_compute(lsa::net::Phase::kOffline, i,
+                             lsa::net::CompKind::kMaskEncode,
+                             static_cast<std::uint64_t>(n) * u * seg, true);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          ledger_->add_message(lsa::net::Phase::kOffline, i, j, seg, true);
+        }
+      }
+    }
+
+    // ---- Phase 2: masking and uploading of local models. ----
+    std::vector<rep> sum_masked(d, F::zero);
+    for (std::size_t i : survivors) {
+      auto masked = lsa::field::add<F>(std::span<const rep>(inputs[i]),
+                                       std::span<const rep>(mask[i]));
+      lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
+                                 std::span<const rep>(masked));
+    }
+    if (ledger_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ledger_->add_message(lsa::net::Phase::kUpload, i,
+                             ledger_->server_id(), d, true);
+        ledger_->add_compute(lsa::net::Phase::kUpload, i,
+                             lsa::net::CompKind::kFieldAddVec, d, true);
+      }
+    }
+
+    // ---- Phase 3: one-shot aggregate-mask recovery. ----
+    // Server notifies survivors of U1; each survivor j returns
+    // sum_{i in U1} [~z_i]_j. The server decodes from the first U responses
+    // (U + 1 when verifying, to cross-check against tampering).
+    const std::size_t want =
+        verify_redundant_ ? std::min(u + 1, survivors.size()) : u;
+    std::vector<std::size_t> responders(survivors.begin(),
+                                        survivors.begin() + want);
+    std::vector<std::vector<rep>> agg_shares;
+    agg_shares.reserve(u);
+    for (std::size_t j : responders) {
+      std::vector<rep> acc(seg, F::zero);
+      for (std::size_t i : survivors) {
+        lsa::field::add_inplace<F>(std::span<rep>(acc),
+                                   std::span<const rep>(held_shares[j][i]));
+      }
+      agg_shares.push_back(std::move(acc));
+      if (ledger_ != nullptr) {
+        ledger_->add_compute(
+            lsa::net::Phase::kRecovery, j, lsa::net::CompKind::kFieldAddVec,
+            static_cast<std::uint64_t>(survivors.size()) * seg, true);
+        ledger_->add_message(lsa::net::Phase::kRecovery, j,
+                             ledger_->server_id(), seg, true);
+      }
+    }
+
+    auto agg_mask =
+        (verify_redundant_ && responders.size() > u)
+            ? codec_->decode_aggregate_verified(responders, agg_shares)
+            : codec_->decode_aggregate(responders, agg_shares);
+    if (ledger_ != nullptr) {
+      // Decode: U-T output segments, each a U-term combination (d*U work),
+      // plus the barycentric weight computation — O(U^2) shared denominators
+      // + O(U (U-T)) per-beta numerators — independent of d
+      // (coding/aggregate_decode.h, the default kBarycentric kernel).
+      ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                           lsa::net::CompKind::kMaskDecode,
+                           static_cast<std::uint64_t>(u) * (u - t) * seg,
+                           true);
+      ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                           lsa::net::CompKind::kMaskDecode,
+                           static_cast<std::uint64_t>(u) * u +
+                               static_cast<std::uint64_t>(u) * (u - t),
+                           false);
+      ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                           lsa::net::CompKind::kFieldAddVec, d, true);
+    }
+
+    lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
+                               std::span<const rep>(agg_mask));
+    return sum_masked;
+  }
+
+ private:
+  Params params_;
+  std::uint64_t master_seed_;
+  lsa::net::Ledger* ledger_;
+  bool verify_redundant_ = false;
+  std::optional<lsa::coding::MaskCodec<F>> codec_;
+  std::uint64_t round_counter_ = 0;
+};
+
+}  // namespace lsa::protocol

@@ -1,0 +1,45 @@
+// Secure-aggregation protocol parameters (paper §4.1).
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace lsa::protocol {
+
+/// Design parameters shared by all protocols. The paper's constraint is
+/// N - D >= U > T >= 0 (LightSecAgg) and T + D < N (all protocols,
+/// Theorem 1).
+struct Params {
+  std::size_t num_users = 0;       ///< N
+  std::size_t privacy = 0;         ///< T: tolerated colluding users
+  std::size_t dropout = 0;         ///< D: tolerated dropped users
+  std::size_t target_survivors = 0;  ///< U (LightSecAgg); 0 = pick default
+  std::size_t model_dim = 0;       ///< d
+
+  /// Validates the common constraints and resolves U if left at 0.
+  /// Default U = N - D (the most dropout-tolerant choice); callers tuning
+  /// for speed may pick any U in (T, N - D] — the paper finds U ~ 0.7N best
+  /// for p <= 0.3 (§7.2, "Impact of U").
+  void validate_and_resolve() {
+    lsa::require<lsa::ProtocolError>(num_users >= 2,
+                                     "params: need at least 2 users");
+    lsa::require<lsa::ProtocolError>(model_dim >= 1, "params: empty model");
+    lsa::require<lsa::ProtocolError>(
+        privacy + dropout < num_users,
+        "params: need T + D < N (Theorem 1)");
+    if (target_survivors == 0) target_survivors = num_users - dropout;
+    lsa::require<lsa::ProtocolError>(
+        target_survivors > privacy,
+        "params: need U > T");
+    lsa::require<lsa::ProtocolError>(
+        target_survivors <= num_users - dropout,
+        "params: need U <= N - D");
+  }
+
+  [[nodiscard]] std::size_t num_segments() const {
+    return target_survivors - privacy;  // U - T
+  }
+};
+
+}  // namespace lsa::protocol

@@ -1,0 +1,297 @@
+// SecAgg (Bonawitz et al., CCS 2017) — baseline protocol (paper §3).
+//
+// Pairwise random masking over the complete user graph:
+//   ~x_i = x_i + PRG(b_i) + sum_{j: i<j} PRG(a_ij) - sum_{j: i>j} PRG(a_ji)
+// with a_ij agreed via Diffie-Hellman and b_i a private seed. Both b_i and
+// the DH secret sk_i are Shamir-shared (threshold T) so the server can
+// reconstruct, for every surviving user its private mask PRG(b_i), and for
+// every dropped user all of its pairwise masks — the per-dropout cost that
+// LightSecAgg eliminates.
+//
+// This implementation is honest-but-curious and functional: real DH, real
+// ChaCha20 masks, real Shamir shares. Message/compute volumes are logged to
+// the net::Ledger for the timing simulation.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "crypto/key_agreement.h"
+#include "crypto/prg.h"
+#include "crypto/secret_pack.h"
+#include "crypto/shamir.h"
+#include "field/field_vec.h"
+#include "field/random_field.h"
+#include "net/ledger.h"
+#include "protocol/secure_aggregator.h"
+
+namespace lsa::protocol {
+
+template <class F>
+class SecAgg final : public SecureAggregator<F> {
+ public:
+  using rep = typename F::rep;
+
+  SecAgg(Params params, std::uint64_t master_seed,
+         lsa::net::Ledger* ledger = nullptr)
+      : params_(params), master_seed_(master_seed), ledger_(ledger) {
+    params_.validate_and_resolve();
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "SecAgg"; }
+  [[nodiscard]] const Params& params() const override { return params_; }
+
+  [[nodiscard]] std::vector<rep> run_round(
+      const std::vector<std::vector<rep>>& inputs,
+      const std::vector<bool>& dropped) override {
+    const std::size_t n = params_.num_users;
+    const std::size_t d = params_.model_dim;
+    const std::size_t t = params_.privacy;
+    lsa::require<lsa::ProtocolError>(inputs.size() == n,
+                                     "secagg: wrong number of inputs");
+    lsa::require<lsa::ProtocolError>(dropped.size() == n,
+                                     "secagg: wrong dropout vector size");
+
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!dropped[i]) survivors.push_back(i);
+    }
+    lsa::require<lsa::ProtocolError>(
+        survivors.size() > t,
+        "secagg: fewer than T+1 survivors — shares unrecoverable");
+
+    const std::uint64_t round = round_counter_++;
+
+    // ---- Offline: key advertisement + agreement + Shamir sharing. ----
+    std::vector<lsa::crypto::KeyPair> keys(n);
+    std::vector<lsa::crypto::Seed> b_seed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto base = lsa::crypto::seed_from_u64(
+          master_seed_ ^ (0x5ecu + i * 0x9e3779b97f4a7c15ull));
+      keys[i] = lsa::crypto::generate_keypair(
+          lsa::crypto::derive_subseed(base, 2 * round));
+      b_seed[i] = lsa::crypto::derive_subseed(base, 2 * round + 1);
+    }
+    if (ledger_ != nullptr) {
+      // pk advertisement: user -> server (1 group element ~ pk_elems),
+      // then server broadcasts all N pks to each user.
+      const std::uint64_t pk_elems = elems_for_bytes(8);
+      for (std::size_t i = 0; i < n; ++i) {
+        ledger_->add_message(lsa::net::Phase::kOffline, i,
+                             ledger_->server_id(), pk_elems, false);
+        ledger_->add_message(lsa::net::Phase::kOffline, ledger_->server_id(),
+                             i, pk_elems * n, false);
+        ledger_->add_compute(lsa::net::Phase::kOffline, i,
+                             lsa::net::CompKind::kKeyAgree, n - 1, false);
+      }
+    }
+
+    // Shamir-share every user's sk (8 bytes) and b seed (32 bytes).
+    lsa::crypto::ShamirScheme<F> shamir(t, n);
+    // shares_sk[i][j]: user j's share of user i's sk.
+    std::vector<std::vector<lsa::crypto::ShamirShare<F>>> shares_sk(n);
+    std::vector<std::vector<lsa::crypto::ShamirShare<F>>> shares_b(n);
+    {
+      lsa::common::Xoshiro256ss share_rng(master_seed_ ^ (round * 7919 + 13));
+      for (std::size_t i = 0; i < n; ++i) {
+        std::array<std::uint8_t, 8> sk_bytes{};
+        std::memcpy(sk_bytes.data(), &keys[i].secret, 8);
+        shares_sk[i] = shamir.share_bytes(sk_bytes, share_rng);
+        shares_b[i] = shamir.share_bytes(b_seed[i], share_rng);
+        if (ledger_ != nullptr) {
+          const std::uint64_t sk_share = elems_for_bytes(8);
+          const std::uint64_t b_share = elems_for_bytes(32);
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            ledger_->add_message(lsa::net::Phase::kOffline, i, j,
+                                 sk_share + b_share, false);
+          }
+          ledger_->add_compute(lsa::net::Phase::kOffline, i,
+                               lsa::net::CompKind::kShamirShare,
+                               n * (sk_share + b_share), false);
+        }
+      }
+    }
+
+    // ---- Offline: mask generation (PRG expansion, overlappable). ----
+    // mask_i = PRG(b_i) + sum_{j>i} PRG(a_ij) - sum_{j<i} PRG(a_ji)
+    std::vector<std::vector<rep>> mask(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mask[i] = expand_seed(b_seed[i], d);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const auto pair_seed = pairwise_round_seed(keys, i, j, round);
+        auto z = expand_seed(pair_seed, d);
+        if (i < j) {
+          lsa::field::add_inplace<F>(std::span<rep>(mask[i]),
+                                     std::span<const rep>(z));
+        } else {
+          lsa::field::sub_inplace<F>(std::span<rep>(mask[i]),
+                                     std::span<const rep>(z));
+        }
+      }
+      if (ledger_ != nullptr) {
+        ledger_->add_compute(lsa::net::Phase::kOffline, i,
+                             lsa::net::CompKind::kPrgExpand,
+                             static_cast<std::uint64_t>(n) * d, true);
+        ledger_->add_compute(lsa::net::Phase::kOffline, i,
+                             lsa::net::CompKind::kFieldAddVec,
+                             static_cast<std::uint64_t>(n) * d, true);
+      }
+    }
+
+    // ---- Upload: masked models (all users, worst-case dropouts). ----
+    std::vector<rep> sum_masked(d, F::zero);
+    for (std::size_t i : survivors) {
+      auto masked = lsa::field::add<F>(std::span<const rep>(inputs[i]),
+                                       std::span<const rep>(mask[i]));
+      lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
+                                 std::span<const rep>(masked));
+    }
+    if (ledger_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ledger_->add_message(lsa::net::Phase::kUpload, i,
+                             ledger_->server_id(), d, true);
+        ledger_->add_compute(lsa::net::Phase::kUpload, i,
+                             lsa::net::CompKind::kFieldAddVec, d, true);
+      }
+    }
+
+    // ---- Recovery: share collection + mask reconstruction. ----
+    // Each survivor ships its stored shares: one b-share per survivor, one
+    // sk-share per dropped user. The server uses the first T+1 of each.
+    if (ledger_ != nullptr) {
+      const std::uint64_t sk_share = elems_for_bytes(8);
+      const std::uint64_t b_share = elems_for_bytes(32);
+      const std::uint64_t n_drop = n - survivors.size();
+      for (std::size_t j : survivors) {
+        ledger_->add_message(
+            lsa::net::Phase::kRecovery, j, ledger_->server_id(),
+            static_cast<std::uint64_t>(survivors.size()) * b_share +
+                n_drop * sk_share,
+            false);
+      }
+    }
+
+    // Remove private masks PRG(b_i) of survivors.
+    for (std::size_t i : survivors) {
+      auto b_rec = reconstruct_seed(shamir, shares_b[i], survivors, t);
+      auto nb = expand_seed(b_rec, d);
+      lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
+                                 std::span<const rep>(nb));
+      if (ledger_ != nullptr) {
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kShamirRecon,
+                             (t + 1) * elems_for_bytes(32), false);
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kPrgExpand, d, true);
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kFieldAddVec, d, true);
+      }
+    }
+
+    // Cancel the residual pairwise masks of every dropped user.
+    for (std::size_t dct = 0; dct < n; ++dct) {
+      if (!dropped[dct]) continue;
+      const std::uint64_t sk_rec =
+          reconstruct_sk(shamir, shares_sk[dct], survivors, t);
+      lsa::require<lsa::ProtocolError>(sk_rec == keys[dct].secret,
+                                       "secagg: sk reconstruction mismatch");
+      for (std::size_t i : survivors) {
+        const auto pair_seed = pairwise_round_seed(keys, dct, i, round);
+        auto z = expand_seed(pair_seed, d);
+        // Survivor i's upload contains +PRG(a_{i,dct}) when i < dct and
+        // -PRG(a_{dct,i}) when i > dct; subtract/add accordingly.
+        if (i < dct) {
+          lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
+                                     std::span<const rep>(z));
+        } else {
+          lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
+                                     std::span<const rep>(z));
+        }
+      }
+      if (ledger_ != nullptr) {
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kShamirRecon,
+                             (t + 1) * elems_for_bytes(8), false);
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kKeyAgree, survivors.size(),
+                             false);
+        ledger_->add_compute(
+            lsa::net::Phase::kRecovery, ledger_->server_id(),
+            lsa::net::CompKind::kPrgExpand,
+            static_cast<std::uint64_t>(survivors.size()) * d, true);
+        ledger_->add_compute(
+            lsa::net::Phase::kRecovery, ledger_->server_id(),
+            lsa::net::CompKind::kFieldAddVec,
+            static_cast<std::uint64_t>(survivors.size()) * d, true);
+      }
+    }
+
+    return sum_masked;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t elems_for_bytes(std::size_t n_bytes) {
+    return lsa::crypto::packed_size<F>(n_bytes);
+  }
+
+  /// Symmetric per-round pairwise seed for the unordered pair {i, j}.
+  [[nodiscard]] static lsa::crypto::Seed pairwise_round_seed(
+      const std::vector<lsa::crypto::KeyPair>& keys, std::size_t i,
+      std::size_t j, std::uint64_t round) {
+    const auto base =
+        lsa::crypto::agreed_seed(keys[i].secret, keys[j].public_key);
+    return lsa::crypto::derive_subseed(base, round);
+  }
+
+  [[nodiscard]] static std::vector<rep> expand_seed(
+      const lsa::crypto::Seed& seed, std::size_t d) {
+    lsa::crypto::Prg prg(seed);
+    return lsa::field::uniform_vector<F>(d, prg);
+  }
+
+  /// Reconstructs a 32-byte seed from the first T+1 survivors' shares.
+  [[nodiscard]] static lsa::crypto::Seed reconstruct_seed(
+      const lsa::crypto::ShamirScheme<F>& shamir,
+      const std::vector<lsa::crypto::ShamirShare<F>>& all_shares,
+      const std::vector<std::size_t>& survivors, std::size_t t) {
+    std::vector<lsa::crypto::ShamirShare<F>> got;
+    for (std::size_t j : survivors) {
+      got.push_back(all_shares[j]);
+      if (got.size() == t + 1) break;
+    }
+    const auto bytes = shamir.reconstruct_bytes(got, 32);
+    lsa::crypto::Seed s{};
+    std::copy(bytes.begin(), bytes.end(), s.begin());
+    return s;
+  }
+
+  [[nodiscard]] static std::uint64_t reconstruct_sk(
+      const lsa::crypto::ShamirScheme<F>& shamir,
+      const std::vector<lsa::crypto::ShamirShare<F>>& all_shares,
+      const std::vector<std::size_t>& survivors, std::size_t t) {
+    std::vector<lsa::crypto::ShamirShare<F>> got;
+    for (std::size_t j : survivors) {
+      got.push_back(all_shares[j]);
+      if (got.size() == t + 1) break;
+    }
+    const auto bytes = shamir.reconstruct_bytes(got, 8);
+    std::uint64_t sk = 0;
+    std::memcpy(&sk, bytes.data(), 8);
+    return sk;
+  }
+
+  Params params_;
+  std::uint64_t master_seed_;
+  lsa::net::Ledger* ledger_;
+  std::uint64_t round_counter_ = 0;
+};
+
+}  // namespace lsa::protocol

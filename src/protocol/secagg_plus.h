@@ -1,0 +1,301 @@
+// SecAgg+ (Bell et al., CCS 2020) — baseline protocol (paper §3).
+//
+// Same pairwise-masking structure as SecAgg, but over a sparse k-regular
+// graph with k = O(log N): each user agrees on seeds and secret-shares its
+// sk / b only with its k neighbors. Server recovery then costs
+// O(dN + dDk) = O(dN log N) instead of O(dN^2).
+//
+// Unlike SecAgg, the dropout/privacy guarantee is probabilistic (paper
+// Remark 4): an adversarial dropout pattern can leave a dropped user with
+// fewer than threshold+1 surviving neighbors, which this implementation
+// surfaces as a ProtocolError.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "crypto/key_agreement.h"
+#include "crypto/prg.h"
+#include "crypto/secret_pack.h"
+#include "crypto/shamir.h"
+#include "field/field_vec.h"
+#include "field/random_field.h"
+#include "net/ledger.h"
+#include "protocol/comm_graph.h"
+#include "protocol/secure_aggregator.h"
+
+namespace lsa::protocol {
+
+template <class F>
+class SecAggPlus final : public SecureAggregator<F> {
+ public:
+  using rep = typename F::rep;
+
+  /// degree = 0 picks the default O(log N) degree; share_threshold = 0 picks
+  /// floor(degree / 3) (privacy within each neighborhood, recovery whp for
+  /// dropout rates up to ~1/2).
+  SecAggPlus(Params params, std::uint64_t master_seed,
+             lsa::net::Ledger* ledger = nullptr, std::size_t degree = 0,
+             std::size_t share_threshold = 0)
+      : params_(params),
+        master_seed_(master_seed),
+        ledger_(ledger),
+        graph_(params.num_users,
+               degree == 0 ? CommGraph::default_degree(params.num_users)
+                           : degree,
+               master_seed ^ 0x6772617068ull) {
+    params_.validate_and_resolve();
+    threshold_ = share_threshold == 0 ? std::max<std::size_t>(1, graph_.degree() / 3)
+                                      : share_threshold;
+    lsa::require<lsa::ProtocolError>(threshold_ < graph_.degree(),
+                                     "secagg+: threshold must be < degree");
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "SecAgg+"; }
+  [[nodiscard]] const Params& params() const override { return params_; }
+  [[nodiscard]] const CommGraph& graph() const { return graph_; }
+  [[nodiscard]] std::size_t share_threshold() const { return threshold_; }
+
+  [[nodiscard]] std::vector<rep> run_round(
+      const std::vector<std::vector<rep>>& inputs,
+      const std::vector<bool>& dropped) override {
+    const std::size_t n = params_.num_users;
+    const std::size_t d = params_.model_dim;
+    lsa::require<lsa::ProtocolError>(inputs.size() == n,
+                                     "secagg+: wrong number of inputs");
+    lsa::require<lsa::ProtocolError>(dropped.size() == n,
+                                     "secagg+: wrong dropout vector size");
+
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!dropped[i]) survivors.push_back(i);
+    }
+
+    const std::uint64_t round = round_counter_++;
+
+    // ---- Offline: keys, neighbor agreements, neighborhood Shamir. ----
+    std::vector<lsa::crypto::KeyPair> keys(n);
+    std::vector<lsa::crypto::Seed> b_seed(n);
+    std::vector<std::vector<std::size_t>> nbrs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto base = lsa::crypto::seed_from_u64(
+          master_seed_ ^ (0xa66u + i * 0x9e3779b97f4a7c15ull));
+      keys[i] = lsa::crypto::generate_keypair(
+          lsa::crypto::derive_subseed(base, 2 * round));
+      b_seed[i] = lsa::crypto::derive_subseed(base, 2 * round + 1);
+      nbrs[i] = graph_.neighbors(i);
+    }
+    const std::uint64_t sk_share = elems_for_bytes(8);
+    const std::uint64_t b_share = elems_for_bytes(32);
+    if (ledger_ != nullptr) {
+      const std::uint64_t pk_elems = elems_for_bytes(8);
+      for (std::size_t i = 0; i < n; ++i) {
+        ledger_->add_message(lsa::net::Phase::kOffline, i,
+                             ledger_->server_id(), pk_elems, false);
+        ledger_->add_message(lsa::net::Phase::kOffline, ledger_->server_id(),
+                             i, pk_elems * nbrs[i].size(), false);
+        ledger_->add_compute(lsa::net::Phase::kOffline, i,
+                             lsa::net::CompKind::kKeyAgree, nbrs[i].size(),
+                             false);
+        for (std::size_t j : nbrs[i]) {
+          ledger_->add_message(lsa::net::Phase::kOffline, i, j,
+                               sk_share + b_share, false);
+        }
+        ledger_->add_compute(
+            lsa::net::Phase::kOffline, i, lsa::net::CompKind::kShamirShare,
+            nbrs[i].size() * (sk_share + b_share), false);
+      }
+    }
+
+    // Shamir shares within each neighborhood. share_of[i] maps neighbor j
+    // (by position in nbrs[i]) to its share of user i's secrets.
+    std::vector<std::vector<lsa::crypto::ShamirShare<F>>> shares_sk(n);
+    std::vector<std::vector<lsa::crypto::ShamirShare<F>>> shares_b(n);
+    {
+      lsa::common::Xoshiro256ss share_rng(master_seed_ ^ (round * 104729 + 7));
+      for (std::size_t i = 0; i < n; ++i) {
+        lsa::crypto::ShamirScheme<F> shamir(threshold_, nbrs[i].size());
+        std::array<std::uint8_t, 8> sk_bytes{};
+        std::memcpy(sk_bytes.data(), &keys[i].secret, 8);
+        shares_sk[i] = shamir.share_bytes(sk_bytes, share_rng);
+        shares_b[i] = shamir.share_bytes(b_seed[i], share_rng);
+      }
+    }
+
+    // ---- Offline: mask generation over the sparse graph. ----
+    std::vector<std::vector<rep>> mask(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mask[i] = expand_seed(b_seed[i], d);
+      for (std::size_t j : nbrs[i]) {
+        const auto pair_seed = pairwise_round_seed(keys, i, j, round);
+        auto z = expand_seed(pair_seed, d);
+        if (i < j) {
+          lsa::field::add_inplace<F>(std::span<rep>(mask[i]),
+                                     std::span<const rep>(z));
+        } else {
+          lsa::field::sub_inplace<F>(std::span<rep>(mask[i]),
+                                     std::span<const rep>(z));
+        }
+      }
+      if (ledger_ != nullptr) {
+        ledger_->add_compute(
+            lsa::net::Phase::kOffline, i, lsa::net::CompKind::kPrgExpand,
+            static_cast<std::uint64_t>(nbrs[i].size() + 1) * d, true);
+        ledger_->add_compute(
+            lsa::net::Phase::kOffline, i, lsa::net::CompKind::kFieldAddVec,
+            static_cast<std::uint64_t>(nbrs[i].size() + 1) * d, true);
+      }
+    }
+
+    // ---- Upload. ----
+    std::vector<rep> sum_masked(d, F::zero);
+    for (std::size_t i : survivors) {
+      auto masked = lsa::field::add<F>(std::span<const rep>(inputs[i]),
+                                       std::span<const rep>(mask[i]));
+      lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
+                                 std::span<const rep>(masked));
+    }
+    if (ledger_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ledger_->add_message(lsa::net::Phase::kUpload, i,
+                             ledger_->server_id(), d, true);
+        ledger_->add_compute(lsa::net::Phase::kUpload, i,
+                             lsa::net::CompKind::kFieldAddVec, d, true);
+      }
+    }
+
+    // ---- Recovery. ----
+    if (ledger_ != nullptr) {
+      for (std::size_t j : survivors) {
+        // Survivor j ships one share per (surviving neighbor's b) and per
+        // (dropped neighbor's sk).
+        std::uint64_t elems = 0;
+        for (std::size_t i : nbrs[j]) {
+          elems += dropped[i] ? sk_share : b_share;
+        }
+        ledger_->add_message(lsa::net::Phase::kRecovery, j,
+                             ledger_->server_id(), elems, false);
+      }
+    }
+
+    // Remove private masks of survivors (reconstructed from neighbors).
+    for (std::size_t i : survivors) {
+      lsa::crypto::ShamirScheme<F> shamir(threshold_, nbrs[i].size());
+      auto b_rec = reconstruct_bytes_from_neighbors(shamir, shares_b[i],
+                                                    nbrs[i], dropped, 32,
+                                                    "secagg+: cannot recover "
+                                                    "a survivor's b seed");
+      lsa::crypto::Seed s{};
+      std::copy(b_rec.begin(), b_rec.end(), s.begin());
+      auto nb = expand_seed(s, d);
+      lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
+                                 std::span<const rep>(nb));
+      if (ledger_ != nullptr) {
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kShamirRecon,
+                             (threshold_ + 1) * b_share, false);
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kPrgExpand, d, true);
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kFieldAddVec, d, true);
+      }
+    }
+
+    // Cancel residual pairwise masks of dropped users (only their surviving
+    // neighbors contribute residuals).
+    for (std::size_t dct = 0; dct < n; ++dct) {
+      if (!dropped[dct]) continue;
+      lsa::crypto::ShamirScheme<F> shamir(threshold_, nbrs[dct].size());
+      auto sk_bytes = reconstruct_bytes_from_neighbors(
+          shamir, shares_sk[dct], nbrs[dct], dropped, 8,
+          "secagg+: cannot recover a dropped user's key — "
+          "too many neighbors dropped");
+      std::uint64_t sk_rec = 0;
+      std::memcpy(&sk_rec, sk_bytes.data(), 8);
+      lsa::require<lsa::ProtocolError>(sk_rec == keys[dct].secret,
+                                       "secagg+: sk reconstruction mismatch");
+      std::size_t n_resid = 0;
+      for (std::size_t i : nbrs[dct]) {
+        if (dropped[i]) continue;
+        const auto pair_seed = pairwise_round_seed(keys, dct, i, round);
+        auto z = expand_seed(pair_seed, d);
+        if (i < dct) {
+          lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
+                                     std::span<const rep>(z));
+        } else {
+          lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
+                                     std::span<const rep>(z));
+        }
+        ++n_resid;
+      }
+      if (ledger_ != nullptr) {
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kShamirRecon,
+                             (threshold_ + 1) * sk_share, false);
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kKeyAgree, n_resid, false);
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kPrgExpand,
+                             static_cast<std::uint64_t>(n_resid) * d, true);
+        ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
+                             lsa::net::CompKind::kFieldAddVec,
+                             static_cast<std::uint64_t>(n_resid) * d, true);
+      }
+    }
+
+    return sum_masked;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t elems_for_bytes(std::size_t n_bytes) {
+    return lsa::crypto::packed_size<F>(n_bytes);
+  }
+
+  [[nodiscard]] static lsa::crypto::Seed pairwise_round_seed(
+      const std::vector<lsa::crypto::KeyPair>& keys, std::size_t i,
+      std::size_t j, std::uint64_t round) {
+    const auto base =
+        lsa::crypto::agreed_seed(keys[i].secret, keys[j].public_key);
+    return lsa::crypto::derive_subseed(base, round);
+  }
+
+  [[nodiscard]] static std::vector<rep> expand_seed(
+      const lsa::crypto::Seed& seed, std::size_t d) {
+    lsa::crypto::Prg prg(seed);
+    return lsa::field::uniform_vector<F>(d, prg);
+  }
+
+  /// Collects threshold+1 shares held by surviving neighbors and
+  /// reconstructs; throws ProtocolError when too few survive.
+  [[nodiscard]] std::vector<std::uint8_t> reconstruct_bytes_from_neighbors(
+      const lsa::crypto::ShamirScheme<F>& shamir,
+      const std::vector<lsa::crypto::ShamirShare<F>>& all_shares,
+      const std::vector<std::size_t>& neighbor_ids,
+      const std::vector<bool>& dropped, std::size_t n_bytes,
+      const char* failure_msg) const {
+    std::vector<lsa::crypto::ShamirShare<F>> got;
+    for (std::size_t pos = 0; pos < neighbor_ids.size(); ++pos) {
+      if (dropped[neighbor_ids[pos]]) continue;
+      got.push_back(all_shares[pos]);
+      if (got.size() == threshold_ + 1) break;
+    }
+    lsa::require<lsa::ProtocolError>(got.size() >= threshold_ + 1,
+                                     failure_msg);
+    return shamir.reconstruct_bytes(got, n_bytes);
+  }
+
+  Params params_;
+  std::uint64_t master_seed_;
+  lsa::net::Ledger* ledger_;
+  CommGraph graph_;
+  std::size_t threshold_ = 0;
+  std::uint64_t round_counter_ = 0;
+};
+
+}  // namespace lsa::protocol

@@ -1,0 +1,42 @@
+// Common interface for synchronous secure-aggregation protocols.
+//
+// A protocol executes one *round*: every user holds a field-embedded model
+// vector (the FL layer quantizes real models first — see fl/secure_trainer.h),
+// some users drop, and the server must end up with exactly
+// sum_{i in U1} inputs[i] where U1 is the surviving set — learning nothing
+// else about individual inputs.
+//
+// Dropout semantics follow the paper's worst case (§7.1): the dropped users
+// upload their masked models and *then* go silent, so the server pays the
+// full recovery cost for them while excluding their models from the sum.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "protocol/params.h"
+
+namespace lsa::protocol {
+
+template <class F>
+class SecureAggregator {
+ public:
+  using rep = typename F::rep;
+
+  virtual ~SecureAggregator() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual const Params& params() const = 0;
+
+  /// Executes one full secure-aggregation round.
+  ///   inputs:  inputs[i] is user i's length-d field vector.
+  ///   dropped: dropped[i] == true -> user i drops after the upload phase.
+  /// Returns sum_{i: !dropped[i]} inputs[i].
+  /// Throws ProtocolError when the dropout pattern makes recovery impossible
+  /// (more than D drops, or — for SecAgg+ — an unlucky neighborhood).
+  [[nodiscard]] virtual std::vector<rep> run_round(
+      const std::vector<std::vector<rep>>& inputs,
+      const std::vector<bool>& dropped) = 0;
+};
+
+}  // namespace lsa::protocol

@@ -1,0 +1,113 @@
+// Stochastic quantization and finite-field embedding (paper App. F.3.2).
+//
+// Secure aggregation runs over F_q, but model updates live in R^d. The paper
+// bridges the two with:
+//   * a stochastic rounding function Q_c (eq. 29): unbiased, variance <= 1/4c^2
+//     (Lemma 2), with c controlling the number of quantization levels;
+//   * a two's-complement style embedding phi (eq. 31): negative integers map
+//     to the top half of the field, inverted by phi^{-1} (eq. 36).
+//
+// A model value x becomes phi(c * Q_c(x)) — an integer scaled by c, embedded
+// in the field. Sums (and small integer-weighted sums, for the asynchronous
+// staleness compensation) stay exact as long as the total magnitude stays
+// below q/2; the caller divides by c (and the weight sum) after demapping.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "field/random_field.h"
+
+namespace lsa::quant {
+
+/// Stochastic rounding to an integer: returns floor(y) + Bernoulli(frac(y)).
+/// Unbiased: E[stochastic_round(y)] = y.
+template <lsa::field::BitSource G>
+[[nodiscard]] std::int64_t stochastic_round(double y, G& rng) {
+  const double fl = std::floor(y);
+  const double frac = y - fl;
+  // 53-bit uniform in [0,1).
+  const double u =
+      static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+  return static_cast<std::int64_t>(fl) + (u < frac ? 1 : 0);
+}
+
+template <class F>
+class Quantizer {
+ public:
+  using rep = typename F::rep;
+
+  /// c = number of quantization levels per unit interval (paper's c_l).
+  /// `headroom` is the largest aggregate integer magnitude the caller will
+  /// accumulate before demapping; used to validate against wrap-around.
+  explicit Quantizer(std::uint64_t c) : c_(c) {
+    lsa::require<lsa::QuantError>(c >= 1, "quantizer: c must be >= 1");
+  }
+
+  [[nodiscard]] std::uint64_t levels() const { return c_; }
+
+  /// phi(c * Q_c(x)).
+  template <lsa::field::BitSource G>
+  [[nodiscard]] rep quantize(double x, G& rng) const {
+    const double scaled = x * static_cast<double>(c_);
+    lsa::require<lsa::QuantError>(
+        std::abs(scaled) < static_cast<double>(F::modulus / 4),
+        "quantizer: value too large for the field");
+    return F::from_i64(stochastic_round(scaled, rng));
+  }
+
+  /// phi^{-1}(v) / c.
+  [[nodiscard]] double dequantize(rep v) const {
+    return static_cast<double>(F::to_i64(v)) / static_cast<double>(c_);
+  }
+
+  /// phi^{-1}(v) / (c * extra_divisor) — used after weighted aggregation
+  /// where extra_divisor is e.g. the sum of integer staleness weights.
+  [[nodiscard]] double dequantize_scaled(rep v, double extra_divisor) const {
+    lsa::require<lsa::QuantError>(extra_divisor != 0.0,
+                                  "dequantize: zero divisor");
+    return static_cast<double>(F::to_i64(v)) /
+           (static_cast<double>(c_) * extra_divisor);
+  }
+
+  template <lsa::field::BitSource G>
+  void quantize_vector(std::span<const double> in, std::span<rep> out,
+                       G& rng) const {
+    lsa::require<lsa::QuantError>(in.size() == out.size(),
+                                  "quantize_vector: size mismatch");
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = quantize(in[i], rng);
+  }
+
+  template <lsa::field::BitSource G>
+  [[nodiscard]] std::vector<rep> quantize_vector(std::span<const double> in,
+                                                 G& rng) const {
+    std::vector<rep> out(in.size());
+    quantize_vector(in, std::span<rep>(out), rng);
+    return out;
+  }
+
+  void dequantize_vector(std::span<const rep> in,
+                         std::span<double> out) const {
+    lsa::require<lsa::QuantError>(in.size() == out.size(),
+                                  "dequantize_vector: size mismatch");
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = dequantize(in[i]);
+  }
+
+  void dequantize_vector_scaled(std::span<const rep> in,
+                                std::span<double> out,
+                                double extra_divisor) const {
+    lsa::require<lsa::QuantError>(in.size() == out.size(),
+                                  "dequantize_vector: size mismatch");
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out[i] = dequantize_scaled(in[i], extra_divisor);
+    }
+  }
+
+ private:
+  std::uint64_t c_;
+};
+
+}  // namespace lsa::quant

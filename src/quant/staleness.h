@@ -1,0 +1,55 @@
+// Staleness-compensation functions for asynchronous FL (paper §F.1, eq. 34).
+//
+// The server downweights stale updates with s(tau), where tau = t - t_i is
+// how many global rounds passed since user i downloaded the model. Two
+// strategies from the paper's experiments (Fig. 7/11):
+//   Constant:   s(tau) = 1           (no compensation)
+//   Polynomial: s_a(tau) = (1+tau)^{-a}
+//
+// Secure aggregation applies these weights inside F_q, so they are quantized:
+// s_cg(tau) = c_g * Q_{c_g}(s(tau)) is a small non-negative integer (eq. 34).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.h"
+#include "quant/quantizer.h"
+
+namespace lsa::quant {
+
+enum class StalenessKind {
+  kConstant,    ///< s(tau) = 1
+  kPolynomial,  ///< s(tau) = (1 + tau)^{-alpha}
+};
+
+struct StalenessPolicy {
+  StalenessKind kind = StalenessKind::kConstant;
+  double alpha = 1.0;  ///< exponent for kPolynomial
+
+  /// Real-valued weight s(tau); s(0) = 1, monotone non-increasing.
+  [[nodiscard]] double weight(std::uint64_t tau) const {
+    switch (kind) {
+      case StalenessKind::kConstant:
+        return 1.0;
+      case StalenessKind::kPolynomial:
+        return std::pow(1.0 + static_cast<double>(tau), -alpha);
+    }
+    return 1.0;
+  }
+};
+
+/// Integer staleness weight c_g * Q_{c_g}(s(tau)) (eq. 34). Deterministic
+/// rounding-to-nearest is used rather than stochastic rounding: the weight is
+/// public (the server broadcasts the staleness of each buffered update), so
+/// it must be identical at the server and at every user aggregating encoded
+/// masks — a per-party stochastic draw would desynchronize them.
+[[nodiscard]] inline std::uint64_t quantized_staleness_weight(
+    const StalenessPolicy& policy, std::uint64_t tau, std::uint64_t c_g) {
+  lsa::require<lsa::QuantError>(c_g >= 1, "staleness: c_g must be >= 1");
+  const double w = policy.weight(tau) * static_cast<double>(c_g);
+  const auto rounded = static_cast<std::uint64_t>(std::llround(w));
+  return rounded;
+}
+
+}  // namespace lsa::quant

@@ -1,0 +1,260 @@
+// Byzantine-robust aggregation rules (the paper's §8 future-work direction:
+// "combine LightSecAgg with state-of-the-art Byzantine robust aggregation
+// protocols").
+//
+// These rules operate on a small set of real-valued vectors — in this
+// library, the *group aggregates* produced by robust::GroupedSecureAggregator
+// (grouped_secure.h), which is the standard construction for composing
+// secure aggregation with robustness: individual updates stay hidden inside
+// their group's secure aggregate, and the robust rule only sees one vector
+// per group, rejecting groups poisoned by Byzantine members.
+//
+// Implemented rules:
+//   mean             — plain average (no robustness; the baseline)
+//   coordinate median— per-coordinate median; breakdown point 1/2
+//   trimmed mean     — per-coordinate, discarding the k largest and k
+//                      smallest values; tolerates k outliers per coordinate
+//   geometric median — Weiszfeld iteration; breakdown point 1/2 in L2
+//   krum / multi-krum— Blanchard et al.'s nearest-neighbour scoring;
+//                      tolerates f Byzantine vectors out of m when
+//                      m >= 2f + 3
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lsa::robust {
+
+enum class Rule {
+  kMean,
+  kCoordinateMedian,
+  kTrimmedMean,
+  kGeometricMedian,
+  kKrum,
+  kMultiKrum,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Rule r) {
+  switch (r) {
+    case Rule::kMean: return "mean";
+    case Rule::kCoordinateMedian: return "coordinate-median";
+    case Rule::kTrimmedMean: return "trimmed-mean";
+    case Rule::kGeometricMedian: return "geometric-median";
+    case Rule::kKrum: return "krum";
+    case Rule::kMultiKrum: return "multi-krum";
+  }
+  return "?";
+}
+
+namespace detail {
+
+inline void check_inputs(const std::vector<std::vector<double>>& xs) {
+  lsa::require<lsa::ConfigError>(!xs.empty(), "robust: no input vectors");
+  for (const auto& x : xs) {
+    lsa::require<lsa::ConfigError>(x.size() == xs[0].size(),
+                                   "robust: inconsistent vector lengths");
+  }
+}
+
+[[nodiscard]] inline double sq_dist(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double diff = a[k] - b[k];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace detail
+
+/// Plain (weighted) average; weights default to uniform.
+[[nodiscard]] inline std::vector<double> mean(
+    const std::vector<std::vector<double>>& xs,
+    const std::vector<double>& weights = {}) {
+  detail::check_inputs(xs);
+  lsa::require<lsa::ConfigError>(weights.empty() ||
+                                     weights.size() == xs.size(),
+                                 "mean: wrong number of weights");
+  std::vector<double> out(xs[0].size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    total += w;
+    for (std::size_t k = 0; k < out.size(); ++k) out[k] += w * xs[i][k];
+  }
+  lsa::require<lsa::ConfigError>(total > 0, "mean: zero total weight");
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+/// Per-coordinate median. For an even count, the average of the two middle
+/// values (so the result is permutation-invariant and deterministic).
+[[nodiscard]] inline std::vector<double> coordinate_median(
+    const std::vector<std::vector<double>>& xs) {
+  detail::check_inputs(xs);
+  const std::size_t m = xs.size();
+  std::vector<double> out(xs[0].size());
+  std::vector<double> column(m);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    for (std::size_t i = 0; i < m; ++i) column[i] = xs[i][k];
+    const std::size_t mid = m / 2;
+    std::nth_element(column.begin(), column.begin() + mid, column.end());
+    if (m % 2 == 1) {
+      out[k] = column[mid];
+    } else {
+      const double hi = column[mid];
+      const double lo =
+          *std::max_element(column.begin(), column.begin() + mid);
+      out[k] = (lo + hi) / 2.0;
+    }
+  }
+  return out;
+}
+
+/// Per-coordinate trimmed mean discarding the `trim` largest and `trim`
+/// smallest values. Requires 2*trim < m.
+[[nodiscard]] inline std::vector<double> trimmed_mean(
+    const std::vector<std::vector<double>>& xs, std::size_t trim) {
+  detail::check_inputs(xs);
+  const std::size_t m = xs.size();
+  lsa::require<lsa::ConfigError>(2 * trim < m,
+                                 "trimmed_mean: trim too large (2k >= m)");
+  std::vector<double> out(xs[0].size());
+  std::vector<double> column(m);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    for (std::size_t i = 0; i < m; ++i) column[i] = xs[i][k];
+    std::sort(column.begin(), column.end());
+    double s = 0;
+    for (std::size_t i = trim; i < m - trim; ++i) s += column[i];
+    out[k] = s / static_cast<double>(m - 2 * trim);
+  }
+  return out;
+}
+
+/// Geometric median via Weiszfeld's algorithm: the point minimizing the sum
+/// of L2 distances to the inputs. Robust to up to half the vectors being
+/// arbitrary. Converges linearly; `max_iters` and `tol` bound the loop.
+[[nodiscard]] inline std::vector<double> geometric_median(
+    const std::vector<std::vector<double>>& xs, std::size_t max_iters = 100,
+    double tol = 1e-10) {
+  detail::check_inputs(xs);
+  std::vector<double> y = mean(xs);
+  constexpr double kEps = 1e-12;  // guard when y lands on an input point
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    std::vector<double> next(y.size(), 0.0);
+    double wsum = 0.0;
+    for (const auto& x : xs) {
+      const double dist = std::sqrt(detail::sq_dist(x, y));
+      const double w = 1.0 / std::max(dist, kEps);
+      wsum += w;
+      for (std::size_t k = 0; k < y.size(); ++k) next[k] += w * x[k];
+    }
+    for (auto& v : next) v /= wsum;
+    const double moved = detail::sq_dist(next, y);
+    y = std::move(next);
+    if (moved < tol * tol) break;
+  }
+  return y;
+}
+
+/// Krum scores: score(i) = sum of squared distances from xs[i] to its
+/// m - f - 2 nearest other vectors. Lower is more central.
+[[nodiscard]] inline std::vector<double> krum_scores(
+    const std::vector<std::vector<double>>& xs, std::size_t f) {
+  detail::check_inputs(xs);
+  const std::size_t m = xs.size();
+  lsa::require<lsa::ConfigError>(
+      m >= 2 * f + 3, "krum: need m >= 2f + 3 vectors for f Byzantine");
+  const std::size_t keep = m - f - 2;
+  std::vector<double> scores(m, 0.0);
+  std::vector<double> dists(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t cnt = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      dists[cnt++] = detail::sq_dist(xs[i], xs[j]);
+    }
+    std::nth_element(dists.begin(), dists.begin() + (keep - 1),
+                     dists.begin() + static_cast<std::ptrdiff_t>(cnt));
+    scores[i] =
+        std::accumulate(dists.begin(), dists.begin() + keep, 0.0);
+  }
+  return scores;
+}
+
+/// Krum selection: the single most central vector.
+[[nodiscard]] inline std::vector<double> krum(
+    const std::vector<std::vector<double>>& xs, std::size_t f) {
+  const auto scores = krum_scores(xs, f);
+  const auto best = static_cast<std::size_t>(std::distance(
+      scores.begin(), std::min_element(scores.begin(), scores.end())));
+  return xs[best];
+}
+
+/// Multi-Krum: average of the `select` lowest-scoring vectors
+/// (select = m - f by default, the usual choice).
+[[nodiscard]] inline std::vector<double> multi_krum(
+    const std::vector<std::vector<double>>& xs, std::size_t f,
+    std::size_t select = 0) {
+  const auto scores = krum_scores(xs, f);
+  const std::size_t m = xs.size();
+  if (select == 0) select = m - f;
+  lsa::require<lsa::ConfigError>(select >= 1 && select <= m,
+                                 "multi_krum: bad selection count");
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<std::vector<double>> chosen;
+  chosen.reserve(select);
+  for (std::size_t r = 0; r < select; ++r) chosen.push_back(xs[order[r]]);
+  return mean(chosen);
+}
+
+/// L2 norm clipping: returns v scaled so that ||v|| <= max_norm (a common
+/// pre-step limiting each contribution's influence).
+[[nodiscard]] inline std::vector<double> clip_by_norm(
+    const std::vector<double>& v, double max_norm) {
+  lsa::require<lsa::ConfigError>(max_norm > 0, "clip: max_norm must be > 0");
+  double sq = 0;
+  for (const double x : v) sq += x * x;
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm) return v;
+  std::vector<double> out(v);
+  const double scale = max_norm / norm;
+  for (auto& x : out) x *= scale;
+  return out;
+}
+
+/// Options for the rule dispatcher.
+struct CombineOptions {
+  std::size_t trim = 1;          ///< trimmed mean: k per side
+  std::size_t byzantine = 1;     ///< krum/multi-krum: assumed f
+  std::size_t krum_select = 0;   ///< multi-krum: 0 = m - f
+};
+
+/// Applies the selected rule to the group vectors.
+[[nodiscard]] inline std::vector<double> combine(
+    Rule rule, const std::vector<std::vector<double>>& xs,
+    const CombineOptions& opts = {}) {
+  switch (rule) {
+    case Rule::kMean: return mean(xs);
+    case Rule::kCoordinateMedian: return coordinate_median(xs);
+    case Rule::kTrimmedMean: return trimmed_mean(xs, opts.trim);
+    case Rule::kGeometricMedian: return geometric_median(xs);
+    case Rule::kKrum: return krum(xs, opts.byzantine);
+    case Rule::kMultiKrum:
+      return multi_krum(xs, opts.byzantine, opts.krum_select);
+  }
+  throw lsa::ConfigError("combine: unknown rule");
+}
+
+}  // namespace lsa::robust

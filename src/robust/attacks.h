@@ -1,0 +1,93 @@
+// Byzantine attack models for evaluation (tests, examples, ablation bench).
+//
+// A Byzantine user ignores the training protocol and submits an arbitrary
+// vector. These are the standard model-poisoning attacks used to evaluate
+// robust aggregation rules; each transforms the honest update the attacker
+// *would* have sent, so attack strength is relative to real signal.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace lsa::robust {
+
+enum class Attack {
+  kNone,
+  kSignFlip,    ///< send -scale * honest update (gradient reversal)
+  kGaussian,    ///< send noise ~ N(0, sigma^2) per coordinate
+  kConstant,    ///< send a large constant vector (naive but visible)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Attack a) {
+  switch (a) {
+    case Attack::kNone: return "none";
+    case Attack::kSignFlip: return "sign-flip";
+    case Attack::kGaussian: return "gaussian";
+    case Attack::kConstant: return "constant";
+  }
+  return "?";
+}
+
+struct AttackConfig {
+  Attack kind = Attack::kNone;
+  double scale = 10.0;   ///< sign-flip multiplier / constant value
+  double sigma = 10.0;   ///< gaussian noise std
+  std::uint64_t seed = 99;
+};
+
+/// Applies the attack to the honest update in place.
+inline void apply_attack(std::vector<double>& update,
+                         const AttackConfig& cfg,
+                         lsa::common::Xoshiro256ss& rng) {
+  switch (cfg.kind) {
+    case Attack::kNone:
+      return;
+    case Attack::kSignFlip:
+      for (auto& v : update) v *= -cfg.scale;
+      return;
+    case Attack::kGaussian:
+      for (auto& v : update) v = cfg.sigma * rng.next_gaussian();
+      return;
+    case Attack::kConstant:
+      for (auto& v : update) v = cfg.scale;
+      return;
+  }
+  throw lsa::ConfigError("apply_attack: unknown attack kind");
+}
+
+/// Marks the first `num_byzantine` users of every group as Byzantine when
+/// `spread` is false (concentrated: few groups poisoned, the favourable
+/// case for group-wise robustness), or stripes them across groups when true
+/// (worst case: many groups poisoned).
+[[nodiscard]] inline std::vector<bool> byzantine_assignment(
+    std::size_t num_users, std::size_t num_byzantine, std::size_t num_groups,
+    bool spread) {
+  lsa::require<lsa::ConfigError>(num_byzantine <= num_users,
+                                 "byzantine_assignment: too many attackers");
+  std::vector<bool> byz(num_users, false);
+  if (num_groups == 0) num_groups = 1;
+  if (!spread) {
+    for (std::size_t i = 0; i < num_byzantine; ++i) byz[i] = true;
+    return byz;
+  }
+  // Stripe: one attacker into each group round-robin.
+  const std::size_t group_size = (num_users + num_groups - 1) / num_groups;
+  std::size_t placed = 0;
+  for (std::size_t pos = 0; placed < num_byzantine; ++pos) {
+    const std::size_t g = pos % num_groups;
+    const std::size_t slot = pos / num_groups;
+    const std::size_t idx = g * group_size + slot;
+    if (idx >= num_users) continue;
+    if (!byz[idx]) {
+      byz[idx] = true;
+      ++placed;
+    }
+  }
+  return byz;
+}
+
+}  // namespace lsa::robust

@@ -1,0 +1,168 @@
+// Grouped secure aggregation with a robust combiner — the composition of
+// LightSecAgg with Byzantine-robust aggregation that the paper lists as
+// future work (§8).
+//
+// Construction. The N users are partitioned into G groups. Each group runs
+// an *independent* LightSecAgg instance, so the server learns only the G
+// group averages — each individual update remains hidden among its group
+// peers with the group's T_g-privacy guarantee. The robust rule
+// (robust/aggregators.h) then combines the G group averages, discarding
+// outliers. A Byzantine user can corrupt at most its own group's average, so
+// with B Byzantine users at most B groups are corrupted and any rule
+// tolerating B-of-G outliers bounds the damage.
+//
+// Trade-off surfaced by this design (measured in bench/ablation_byzantine):
+// more groups => finer outlier rejection but weaker in-group privacy
+// (T_g < group size) and less dropout slack per group; fewer groups => the
+// opposite. This is inherent to composing the two goals, not an artifact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fl/fedavg.h"          // fl::Aggregate callback shape
+#include "fl/secure_adapter.h"  // fl::secure_average
+#include "protocol/lightsecagg.h"
+#include "robust/aggregators.h"
+
+namespace lsa::robust {
+
+struct GroupedConfig {
+  std::size_t num_users = 0;     ///< N
+  std::size_t num_groups = 0;    ///< G (must divide reasonably into N)
+  std::size_t model_dim = 0;     ///< d
+  /// In-group privacy as a fraction of the group size (T_g = floor(frac*n_g),
+  /// at least 1 when the group allows it).
+  double privacy_fraction = 0.3;
+  /// In-group dropout tolerance as a fraction of the group size.
+  double dropout_fraction = 0.3;
+  std::uint64_t c_l = 1u << 16;  ///< quantization levels (paper's best)
+  Rule rule = Rule::kCoordinateMedian;
+  CombineOptions rule_opts;
+  std::uint64_t seed = 1;
+};
+
+/// One LightSecAgg instance per group + a robust combiner across group
+/// averages. The object owns the per-group protocol state; aggregate() runs
+/// one full round.
+template <class F>
+class GroupedSecureAggregator {
+ public:
+  using rep = typename F::rep;
+
+  explicit GroupedSecureAggregator(const GroupedConfig& cfg) : cfg_(cfg) {
+    lsa::require<lsa::ConfigError>(cfg_.num_groups >= 1,
+                                   "grouped: need at least one group");
+    lsa::require<lsa::ConfigError>(
+        cfg_.num_users >= 2 * cfg_.num_groups,
+        "grouped: need at least 2 users per group");
+    lsa::require<lsa::ConfigError>(cfg_.model_dim >= 1,
+                                   "grouped: empty model");
+
+    // Contiguous partition; the trailing group absorbs the remainder.
+    const std::size_t base = cfg_.num_users / cfg_.num_groups;
+    std::size_t start = 0;
+    for (std::size_t g = 0; g < cfg_.num_groups; ++g) {
+      const std::size_t size =
+          (g + 1 == cfg_.num_groups) ? cfg_.num_users - start : base;
+      group_start_.push_back(start);
+      group_size_.push_back(size);
+      start += size;
+
+      lsa::protocol::Params p;
+      p.num_users = size;
+      p.model_dim = cfg_.model_dim;
+      p.privacy = std::min<std::size_t>(
+          size - 1,
+          std::max<std::size_t>(
+              1, static_cast<std::size_t>(cfg_.privacy_fraction *
+                                          static_cast<double>(size))));
+      const auto want_drop = static_cast<std::size_t>(
+          cfg_.dropout_fraction * static_cast<double>(size));
+      p.dropout = std::min(want_drop, size - p.privacy - 1);
+      protos_.push_back(std::make_unique<lsa::protocol::LightSecAgg<F>>(
+          p, cfg_.seed + 0x9e37 * (g + 1)));
+    }
+  }
+
+  [[nodiscard]] std::size_t num_groups() const { return cfg_.num_groups; }
+  [[nodiscard]] std::size_t group_of(std::size_t user) const {
+    lsa::require<lsa::ConfigError>(user < cfg_.num_users,
+                                   "grouped: user out of range");
+    for (std::size_t g = cfg_.num_groups; g-- > 0;) {
+      if (user >= group_start_[g]) return g;
+    }
+    return 0;
+  }
+  [[nodiscard]] const lsa::protocol::Params& group_params(
+      std::size_t g) const {
+    return protos_.at(g)->params();
+  }
+
+  /// Runs one grouped secure round: per-group secure averages (quantized,
+  /// masked, one-shot recovered), then the robust rule across groups.
+  /// Groups that lose too many members to recover are *excluded* (their
+  /// members' updates are lost for the round, as in a real deployment);
+  /// throws ProtocolError when no group survives.
+  [[nodiscard]] std::vector<double> aggregate(
+      const std::vector<std::vector<double>>& locals,
+      const std::vector<bool>& dropped) {
+    lsa::require<lsa::ProtocolError>(locals.size() == cfg_.num_users,
+                                     "grouped: wrong number of inputs");
+    lsa::require<lsa::ProtocolError>(dropped.size() == cfg_.num_users,
+                                     "grouped: wrong dropout vector");
+
+    std::vector<std::vector<double>> group_avgs;
+    std::vector<double> group_weights;
+    lsa::common::Xoshiro256ss qrng(cfg_.seed ^ 0xa5a5a5a5ull);
+    for (std::size_t g = 0; g < cfg_.num_groups; ++g) {
+      const std::size_t s = group_start_[g];
+      const std::size_t m = group_size_[g];
+      std::vector<std::vector<double>> sub_locals(
+          locals.begin() + static_cast<std::ptrdiff_t>(s),
+          locals.begin() + static_cast<std::ptrdiff_t>(s + m));
+      std::vector<bool> sub_dropped(
+          dropped.begin() + static_cast<std::ptrdiff_t>(s),
+          dropped.begin() + static_cast<std::ptrdiff_t>(s + m));
+      std::size_t survivors = 0;
+      for (const bool dr : sub_dropped) {
+        if (!dr) ++survivors;
+      }
+      try {
+        auto avg = lsa::fl::secure_average<F>(*protos_[g], sub_locals,
+                                              sub_dropped, cfg_.c_l, qrng);
+        group_avgs.push_back(std::move(avg));
+        group_weights.push_back(static_cast<double>(survivors));
+      } catch (const lsa::ProtocolError&) {
+        // Group unrecoverable this round (too many dropouts): skip it.
+      }
+    }
+    lsa::require<lsa::ProtocolError>(
+        !group_avgs.empty(), "grouped: every group failed to recover");
+
+    if (cfg_.rule == Rule::kMean) {
+      // Weighted by survivor count: equals the plain global average.
+      return mean(group_avgs, group_weights);
+    }
+    return combine(cfg_.rule, group_avgs, cfg_.rule_opts);
+  }
+
+  /// Adapter to the fl::Aggregate callback shape (fl/fedavg.h).
+  [[nodiscard]] lsa::fl::Aggregate as_callback() {
+    return [this](const std::vector<std::vector<double>>& locals,
+                  const std::vector<bool>& dropped) {
+      return aggregate(locals, dropped);
+    };
+  }
+
+ private:
+  GroupedConfig cfg_;
+  std::vector<std::size_t> group_start_;
+  std::vector<std::size_t> group_size_;
+  std::vector<std::unique_ptr<lsa::protocol::LightSecAgg<F>>> protos_;
+};
+
+}  // namespace lsa::robust

@@ -1,0 +1,366 @@
+// Asynchronous LightSecAgg as communicating state machines (paper §4.2,
+// Appendix F) — the distributed-system shape of protocol/async_lightsecagg.h,
+// with every byte crossing the fault-injecting Router in wire format.
+//
+// Message flow per buffer cycle (buffered async FL, FedBuff-style):
+//   1. A user finishing local training at staleness tau_i = now - t_i sends
+//      its *timestamped* encoded mask shares (kEncodedMaskShare, round = t_i)
+//      to the other users and its masked update (kMaskedModel, round = t_i)
+//      to the server.
+//   2. When K updates are buffered the server broadcasts a *manifest*
+//      (kBufferManifest): the (user, born-round, integer staleness weight)
+//      triples of the buffered updates, at the aggregation round `now`.
+//   3. Each reachable user returns sum_b w_b * [~z_{u_b}^{(t_b)}]_j
+//      (kWeightedShares) — combining shares that were generated in
+//      *different rounds*, which is exactly the commutativity property that
+//      makes LightSecAgg async-capable (and SecAgg/SecAgg+ not, Remark 1).
+//   4. From any U responses the server one-shot decodes the weighted
+//      aggregate mask, removes it and broadcasts the result.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coding/mask_codec.h"
+#include "common/error.h"
+#include "crypto/prg.h"
+#include "field/field_vec.h"
+#include "field/random_field.h"
+#include "protocol/params.h"
+#include "quant/staleness.h"
+#include "runtime/machines.h"  // Party
+#include "runtime/router.h"
+#include "runtime/wire.h"
+
+namespace lsa::runtime {
+
+/// One edge device in the asynchronous protocol.
+class AsyncUserDevice final : public Party {
+ public:
+  using Fp = lsa::field::Fp32;
+  using rep = Fp::rep;
+
+  AsyncUserDevice(std::uint32_t id, const lsa::protocol::Params& params,
+                  std::uint64_t master_seed, Router& router)
+      : id_(id),
+        params_(params),
+        codec_(params.num_users, params.target_survivors, params.privacy,
+               params.model_dim),
+        master_seed_(master_seed),
+        router_(router) {}
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] std::size_t stored_shares() const { return store_.size(); }
+
+  /// Finishes a local update born at global round t_i: timestamped mask
+  /// sharing (offline) + masked upload. The mask is derived
+  /// deterministically from (seed, id, born_round), mirroring App. F.3.1.
+  void submit_update(std::uint64_t born_round, std::span<const rep> update) {
+    lsa::require<lsa::ProtocolError>(update.size() == params_.model_dim,
+                                     "async user: wrong update dimension");
+    auto seed = lsa::crypto::derive_subseed(
+        lsa::crypto::seed_from_u64(master_seed_ ^
+                                   (0xa511ull + id_ * 0x9e3779b97f4a7c15ull)),
+        born_round);
+    lsa::crypto::Prg prg(seed);
+    auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
+    auto shares = codec_.encode(std::span<const rep>(mask), prg);
+    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
+      if (j == id_) {
+        store_[{id_, born_round}] = std::move(shares[j]);
+        continue;
+      }
+      Message m;
+      m.type = MsgType::kEncodedMaskShare;
+      m.sender = id_;
+      m.receiver = j;
+      m.round = born_round;
+      m.payload = std::move(shares[j]);
+      router_.send(m);
+    }
+    Message up;
+    up.type = MsgType::kMaskedModel;
+    up.sender = id_;
+    up.receiver = static_cast<std::uint32_t>(params_.num_users);
+    up.round = born_round;
+    up.payload = lsa::field::add<Fp>(update, std::span<const rep>(mask));
+    router_.send(up);
+  }
+
+  void handle(const Message& m) override {
+    switch (m.type) {
+      case MsgType::kEncodedMaskShare:
+        lsa::require<lsa::ProtocolError>(
+            m.payload.size() == codec_.segment_len(),
+            "async user: bad encoded share length");
+        store_[{m.sender, m.round}] = m.payload;
+        break;
+      case MsgType::kBufferManifest: {
+        // Payload: triples (user, born_round, weight), see the server.
+        lsa::require<lsa::ProtocolError>(m.payload.size() % 3 == 0,
+                                         "async user: bad manifest shape");
+        std::vector<rep> acc(codec_.segment_len(), Fp::zero);
+        for (std::size_t e = 0; e < m.payload.size(); e += 3) {
+          const std::uint32_t user = m.payload[e];
+          const std::uint64_t born = m.payload[e + 1];
+          const rep weight = m.payload[e + 2];
+          const auto it = store_.find({user, born});
+          lsa::require<lsa::ProtocolError>(
+              it != store_.end(),
+              "async user: missing timestamped share for manifest entry");
+          lsa::field::axpy_inplace<Fp>(std::span<rep>(acc), weight,
+                                       std::span<const rep>(it->second));
+        }
+        Message reply;
+        reply.type = MsgType::kWeightedShares;
+        reply.sender = id_;
+        reply.receiver = static_cast<std::uint32_t>(params_.num_users);
+        reply.round = m.round;  // the aggregation round `now`
+        reply.payload = std::move(acc);
+        router_.send(reply);
+        // The manifested shares are consumed.
+        for (std::size_t e = 0; e < m.payload.size(); e += 3) {
+          store_.erase({m.payload[e], m.payload[e + 1]});
+        }
+        break;
+      }
+      case MsgType::kAggregateResult:
+        last_result_ = m.payload;
+        break;
+      default:
+        throw lsa::ProtocolError("async user: unexpected message type");
+    }
+  }
+
+  [[nodiscard]] const std::optional<std::vector<rep>>& last_result() const {
+    return last_result_;
+  }
+
+ private:
+  std::uint32_t id_;
+  lsa::protocol::Params params_;
+  lsa::coding::MaskCodec<Fp> codec_;
+  std::uint64_t master_seed_;
+  Router& router_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::vector<rep>> store_;
+  std::optional<std::vector<rep>> last_result_;
+};
+
+/// The buffered asynchronous aggregation server.
+class AsyncAggregationServer final : public Party {
+ public:
+  using Fp = lsa::field::Fp32;
+  using rep = Fp::rep;
+
+  struct Output {
+    std::vector<rep> weighted_sum;  ///< sum_b w_b * Delta_b, mask removed
+    std::uint64_t weight_sum = 0;   ///< sum_b w_b (for normalization)
+  };
+
+  AsyncAggregationServer(const lsa::protocol::Params& params,
+                         std::size_t buffer_k,
+                         lsa::quant::StalenessPolicy staleness,
+                         std::uint64_t c_g, Router& router)
+      : params_(params),
+        buffer_k_(buffer_k),
+        staleness_(staleness),
+        c_g_(c_g),
+        codec_(params.num_users, params.target_survivors, params.privacy,
+               params.model_dim),
+        router_(router) {
+    lsa::require<lsa::ConfigError>(buffer_k_ >= 1,
+                                   "async server: buffer K must be >= 1");
+  }
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] bool buffer_full() const {
+    return buffer_.size() >= buffer_k_;
+  }
+
+  void handle(const Message& m) override {
+    switch (m.type) {
+      case MsgType::kMaskedModel:
+        lsa::require<lsa::ProtocolError>(
+            m.payload.size() == params_.model_dim,
+            "async server: bad masked update length");
+        buffer_.push_back({m.sender, m.round, m.payload});
+        break;
+      case MsgType::kWeightedShares:
+        lsa::require<lsa::ProtocolError>(
+            m.payload.size() == codec_.segment_len(),
+            "async server: bad weighted share length");
+        weighted_shares_[m.sender] = m.payload;
+        break;
+      default:
+        throw lsa::ProtocolError("async server: unexpected message type");
+    }
+  }
+
+  /// Broadcasts the buffer manifest at aggregation round `now`: the users
+  /// need (user, born_round, weight) per buffered update to form their
+  /// weighted share responses. Weights are public integers (eq. 34).
+  void begin_recovery(std::uint64_t now) {
+    lsa::require<lsa::ProtocolError>(buffer_full(),
+                                     "async server: buffer not full yet");
+    std::vector<rep> manifest;
+    manifest.reserve(3 * buffer_.size());
+    weight_sum_ = 0;
+    for (const auto& b : buffer_) {
+      lsa::require<lsa::ProtocolError>(b.born_round <= now,
+                                       "async server: update from future");
+      lsa::require<lsa::ProtocolError>(
+          b.born_round < Fp::modulus,
+          "async server: round index exceeds wire range");
+      const std::uint64_t w = lsa::quant::quantized_staleness_weight(
+          staleness_, now - b.born_round, c_g_);
+      manifest.push_back(static_cast<rep>(b.user));
+      manifest.push_back(static_cast<rep>(b.born_round));
+      manifest.push_back(static_cast<rep>(w));
+      weight_sum_ += w;
+    }
+    lsa::require<lsa::ProtocolError>(
+        weight_sum_ > 0, "async server: all weights rounded to zero");
+    weighted_shares_.clear();
+    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
+      Message m;
+      m.type = MsgType::kBufferManifest;
+      m.sender = static_cast<std::uint32_t>(params_.num_users);
+      m.receiver = j;
+      m.round = now;
+      m.payload = manifest;
+      router_.send(m);
+    }
+    manifest_ = std::move(manifest);
+  }
+
+  /// Completes the cycle once >= U weighted-share responses arrived:
+  /// weighted masked sum, one-shot decode of the weighted aggregate mask,
+  /// subtraction, result broadcast. Consumes the buffer.
+  [[nodiscard]] Output finish_cycle(std::uint64_t now) {
+    lsa::require<lsa::ProtocolError>(
+        weighted_shares_.size() >= params_.target_survivors,
+        "async server: fewer than U weighted-share responses");
+
+    std::vector<rep> acc(params_.model_dim, Fp::zero);
+    for (std::size_t e = 0; e < manifest_.size(); e += 3) {
+      const rep w = manifest_[e + 2];
+      // Buffer order matches manifest order by construction.
+      lsa::field::axpy_inplace<Fp>(
+          std::span<rep>(acc), w,
+          std::span<const rep>(buffer_[e / 3].masked));
+    }
+
+    std::vector<std::size_t> owners;
+    std::vector<std::vector<rep>> payloads;
+    for (const auto& [user, vec] : weighted_shares_) {
+      if (owners.size() == params_.target_survivors) break;
+      owners.push_back(user);
+      payloads.push_back(vec);
+    }
+    auto agg_mask = codec_.decode_aggregate(owners, payloads);
+    lsa::field::sub_inplace<Fp>(std::span<rep>(acc),
+                                std::span<const rep>(agg_mask));
+
+    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
+      Message m;
+      m.type = MsgType::kAggregateResult;
+      m.sender = static_cast<std::uint32_t>(params_.num_users);
+      m.receiver = j;
+      m.round = now;
+      m.payload = acc;
+      router_.send(m);
+    }
+    buffer_.clear();
+    weighted_shares_.clear();
+    manifest_.clear();
+    return Output{std::move(acc), weight_sum_};
+  }
+
+ private:
+  struct Buffered {
+    std::uint32_t user = 0;
+    std::uint64_t born_round = 0;
+    std::vector<rep> masked;
+  };
+
+  lsa::protocol::Params params_;
+  std::size_t buffer_k_;
+  lsa::quant::StalenessPolicy staleness_;
+  std::uint64_t c_g_;
+  lsa::coding::MaskCodec<Fp> codec_;
+  Router& router_;
+  std::vector<Buffered> buffer_;
+  std::vector<rep> manifest_;
+  std::uint64_t weight_sum_ = 0;
+  std::map<std::uint32_t, std::vector<rep>> weighted_shares_;
+};
+
+/// Owns the router and all async parties; pumps messages to completion.
+class AsyncNetwork {
+ public:
+  using Fp = lsa::field::Fp32;
+  using rep = Fp::rep;
+
+  struct Arrival {
+    std::size_t user = 0;
+    std::uint64_t born_round = 0;  ///< t_i (staleness = now - t_i)
+    std::vector<rep> update;
+  };
+
+  AsyncNetwork(lsa::protocol::Params params, std::size_t buffer_k,
+               lsa::quant::StalenessPolicy staleness, std::uint64_t c_g,
+               std::uint64_t seed)
+      : params_(params), router_(params.num_users + 1) {
+    params_.validate_and_resolve();
+    server_ = std::make_unique<AsyncAggregationServer>(
+        params_, buffer_k, staleness, c_g, router_);
+    for (std::uint32_t i = 0; i < params_.num_users; ++i) {
+      users_.push_back(
+          std::make_unique<AsyncUserDevice>(i, params_, seed, router_));
+    }
+  }
+
+  [[nodiscard]] Router& router() { return router_; }
+  [[nodiscard]] AsyncUserDevice& user(std::size_t i) { return *users_.at(i); }
+  [[nodiscard]] AsyncAggregationServer& server() { return *server_; }
+
+  void pump() {
+    Message m;
+    while (router_.deliver_next(m)) {
+      if (m.receiver == params_.num_users) {
+        server_->handle(m);
+      } else {
+        users_.at(m.receiver)->handle(m);
+      }
+    }
+  }
+
+  /// Runs one buffer cycle at aggregation round `now`: the arrivals submit
+  /// their (stale) updates, users in `crash_before_recovery` go silent, and
+  /// the server aggregates once the buffer is full.
+  [[nodiscard]] AsyncAggregationServer::Output run_cycle(
+      std::uint64_t now, const std::vector<Arrival>& arrivals,
+      const std::vector<std::size_t>& crash_before_recovery = {}) {
+    for (const auto& a : arrivals) {
+      users_.at(a.user)->submit_update(a.born_round, a.update);
+    }
+    pump();  // shares + masked updates delivered
+    for (const auto i : crash_before_recovery) router_.crash(i);
+    server_->begin_recovery(now);
+    pump();  // manifest out, weighted shares back
+    auto out = server_->finish_cycle(now);
+    pump();  // result broadcast
+    return out;
+  }
+
+ private:
+  lsa::protocol::Params params_;
+  Router router_;
+  std::unique_ptr<AsyncAggregationServer> server_;
+  std::vector<std::unique_ptr<AsyncUserDevice>> users_;
+};
+
+}  // namespace lsa::runtime

@@ -1,0 +1,369 @@
+// LightSecAgg as communicating state machines.
+//
+// Complements src/protocol/lightsecagg.h (the orchestrated implementation
+// used for tests/cost accounting) with the *system* shape of the paper's
+// Fig. 4: every user and the server is an isolated object that only reacts
+// to serialized messages delivered by the Router. This layer exercises
+// realistic failure semantics:
+//
+//   * "delayed, not dropped" (paper footnote 3 / proof of Thm. 1): a user
+//     whose masked model arrived but who then crashes IS included in the
+//     aggregate — its mask is recovered from the shares held by others;
+//   * the server decides U1 from what actually arrived, not from a script;
+//   * recovery succeeds from ANY U responding users.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "coding/mask_codec.h"
+#include "common/error.h"
+#include "crypto/prg.h"
+#include "field/field_vec.h"
+#include "field/random_field.h"
+#include "protocol/params.h"
+#include "runtime/router.h"
+#include "runtime/wire.h"
+
+namespace lsa::runtime {
+
+class Party {
+ public:
+  virtual ~Party() = default;
+  virtual void handle(const Message& m) = 0;
+};
+
+/// One edge device running LightSecAgg.
+class UserDevice final : public Party {
+ public:
+  using Fp = lsa::field::Fp32;
+  using rep = Fp::rep;
+
+  UserDevice(std::uint32_t id, const lsa::protocol::Params& params,
+             std::uint64_t master_seed, Router& router)
+      : id_(id),
+        params_(params),
+        codec_(params.num_users, params.target_survivors, params.privacy,
+               params.model_dim),
+        master_seed_(master_seed),
+        router_(router) {}
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  /// Phase 1 + 2: generate and share the encoded mask, upload the masked
+  /// model. (In the real system these are pipelined with training; here the
+  /// router's FIFO order preserves the phase structure.)
+  /// Shares older than this many rounds are purged at round start — a user
+  /// that crashed mid-recovery must not hoard stale shares forever.
+  static constexpr std::uint64_t kShareRetentionRounds = 2;
+
+  void start_round(std::uint64_t round, std::span<const rep> model) {
+    lsa::require<lsa::ProtocolError>(model.size() == params_.model_dim,
+                                     "user: wrong model dimension");
+    if (round >= kShareRetentionRounds) {
+      const std::uint64_t horizon = round - kShareRetentionRounds;
+      std::erase_if(store_, [&](const auto& kv) {
+        return kv.first.second <= horizon;
+      });
+    }
+    auto seed = lsa::crypto::derive_subseed(
+        lsa::crypto::seed_from_u64(master_seed_ ^
+                                   (0xde51ceull + id_ * 0x9e3779b97f4a7c15ull)),
+        round);
+    lsa::crypto::Prg prg(seed);
+    auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
+    auto shares = codec_.encode(std::span<const rep>(mask), prg);
+    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
+      if (j == id_) {
+        store_[{j, round}] = std::move(shares[j]);
+        continue;
+      }
+      Message m;
+      m.type = MsgType::kEncodedMaskShare;
+      m.sender = id_;
+      m.receiver = j;
+      m.round = round;
+      m.payload = std::move(shares[j]);
+      router_.send(m);
+    }
+    Message up;
+    up.type = MsgType::kMaskedModel;
+    up.sender = id_;
+    up.receiver = static_cast<std::uint32_t>(params_.num_users);  // server
+    up.round = round;
+    up.payload = lsa::field::add<Fp>(model, std::span<const rep>(mask));
+    router_.send(up);
+  }
+
+  /// Marks this device Byzantine: it keeps the protocol's message framing
+  /// but returns a corrupted aggregated share in the recovery phase — the
+  /// malicious-responder model the error-correcting recovery defends
+  /// against (paper §8 future work; coding/error_correction.h).
+  void set_byzantine(bool on) { byzantine_ = on; }
+
+  void handle(const Message& m) override {
+    switch (m.type) {
+      case MsgType::kEncodedMaskShare:
+        lsa::require<lsa::ProtocolError>(
+            m.payload.size() == codec_.segment_len(),
+            "user: bad encoded share length");
+        store_[{m.sender, m.round}] = m.payload;
+        break;
+      case MsgType::kSurvivorSet: {
+        // Payload: N entries of 0/1. Aggregate the stored shares of the
+        // surviving set and return them to the server.
+        lsa::require<lsa::ProtocolError>(
+            m.payload.size() == params_.num_users,
+            "user: bad survivor bitmap");
+        std::vector<rep> acc(codec_.segment_len(), Fp::zero);
+        for (std::uint32_t i = 0; i < params_.num_users; ++i) {
+          if (m.payload[i] == 0) continue;
+          const auto it = store_.find({i, m.round});
+          lsa::require<lsa::ProtocolError>(
+              it != store_.end(), "user: missing share for survivor");
+          lsa::field::add_inplace<Fp>(std::span<rep>(acc),
+                                      std::span<const rep>(it->second));
+        }
+        if (byzantine_) {
+          // Arbitrary falsification; any nonzero offset breaks the
+          // codeword, which is what the server must locate and discard.
+          for (std::size_t k = 0; k < acc.size(); ++k) {
+            acc[k] = Fp::add(acc[k], Fp::from_u64(0x0bad + 7 * k + id_));
+          }
+        }
+        Message reply;
+        reply.type = MsgType::kAggregatedShares;
+        reply.sender = id_;
+        reply.receiver = static_cast<std::uint32_t>(params_.num_users);
+        reply.round = m.round;
+        reply.payload = std::move(acc);
+        router_.send(reply);
+        // Shares for this round are consumed.
+        std::erase_if(store_, [&](const auto& kv) {
+          return kv.first.second == m.round;
+        });
+        break;
+      }
+      case MsgType::kAggregateResult:
+        last_result_ = m.payload;
+        break;
+      default:
+        throw lsa::ProtocolError("user: unexpected message type");
+    }
+  }
+
+  [[nodiscard]] const std::optional<std::vector<rep>>& last_result() const {
+    return last_result_;
+  }
+  [[nodiscard]] std::size_t stored_shares() const { return store_.size(); }
+
+ private:
+  std::uint32_t id_;
+  lsa::protocol::Params params_;
+  lsa::coding::MaskCodec<Fp> codec_;
+  std::uint64_t master_seed_;
+  Router& router_;
+  bool byzantine_ = false;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::vector<rep>> store_;
+  std::optional<std::vector<rep>> last_result_;
+};
+
+/// The aggregation server.
+class AggregationServer final : public Party {
+ public:
+  using Fp = lsa::field::Fp32;
+  using rep = Fp::rep;
+
+  /// byzantine_tolerant: recovery uses ALL arrived aggregated shares and
+  /// the error-correcting decode — up to floor((responses - U)/2) falsified
+  /// shares are located, discarded and reported via last_corrupted().
+  AggregationServer(const lsa::protocol::Params& params, Router& router,
+                    bool byzantine_tolerant = false)
+      : params_(params),
+        codec_(params.num_users, params.target_survivors, params.privacy,
+               params.model_dim),
+        router_(router),
+        byzantine_tolerant_(byzantine_tolerant) {}
+
+  void handle(const Message& m) override {
+    switch (m.type) {
+      case MsgType::kMaskedModel:
+        lsa::require<lsa::ProtocolError>(
+            m.payload.size() == params_.model_dim,
+            "server: bad masked model length");
+        masked_[m.round][m.sender] = m.payload;
+        break;
+      case MsgType::kAggregatedShares:
+        lsa::require<lsa::ProtocolError>(
+            m.payload.size() == codec_.segment_len(),
+            "server: bad aggregated share length");
+        agg_shares_[m.round][m.sender] = m.payload;
+        break;
+      default:
+        throw lsa::ProtocolError("server: unexpected message type");
+    }
+  }
+
+  /// Ends the upload phase: U1 = everyone whose masked model arrived.
+  /// Broadcasts the survivor set so users return aggregated shares.
+  void begin_recovery(std::uint64_t round) {
+    const auto it = masked_.find(round);
+    lsa::require<lsa::ProtocolError>(
+        it != masked_.end() && it->second.size() >= params_.target_survivors,
+        "server: fewer than U masked models arrived");
+    std::vector<rep> bitmap(params_.num_users, Fp::zero);
+    for (const auto& [user, vec] : it->second) bitmap[user] = Fp::one;
+    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
+      Message m;
+      m.type = MsgType::kSurvivorSet;
+      m.sender = static_cast<std::uint32_t>(params_.num_users);
+      m.receiver = j;
+      m.round = round;
+      m.payload = bitmap;
+      router_.send(m);
+    }
+  }
+
+  /// Completes the round once at least U aggregated shares arrived:
+  /// one-shot decode, subtract, broadcast the aggregate. Returns it.
+  [[nodiscard]] std::vector<rep> finish_round(std::uint64_t round) {
+    auto& shares = agg_shares_[round];
+    lsa::require<lsa::ProtocolError>(
+        shares.size() >= params_.target_survivors,
+        "server: fewer than U aggregated-share responses — "
+        "unrecoverable round");
+    std::vector<std::size_t> owners;
+    std::vector<std::vector<rep>> payloads;
+    for (const auto& [user, vec] : shares) {
+      // Byzantine-tolerant mode keeps every response: the extras beyond U
+      // are the redundancy the error-correcting decode spends.
+      if (!byzantine_tolerant_ && owners.size() == params_.target_survivors) {
+        break;
+      }
+      owners.push_back(user);
+      payloads.push_back(vec);
+    }
+    std::vector<rep> agg_mask;
+    if (byzantine_tolerant_) {
+      auto corrected = codec_.decode_aggregate_corrected(owners, payloads);
+      agg_mask = std::move(corrected.aggregate);
+      last_corrupted_.assign(corrected.corrupted_owners.begin(),
+                             corrected.corrupted_owners.end());
+    } else {
+      agg_mask = codec_.decode_aggregate(owners, payloads);
+    }
+
+    std::vector<rep> result(params_.model_dim, Fp::zero);
+    for (const auto& [user, vec] : masked_.at(round)) {
+      lsa::field::add_inplace<Fp>(std::span<rep>(result),
+                                  std::span<const rep>(vec));
+    }
+    lsa::field::sub_inplace<Fp>(std::span<rep>(result),
+                                std::span<const rep>(agg_mask));
+
+    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
+      Message m;
+      m.type = MsgType::kAggregateResult;
+      m.sender = static_cast<std::uint32_t>(params_.num_users);
+      m.receiver = j;
+      m.round = round;
+      m.payload = result;
+      router_.send(m);
+    }
+    masked_.erase(round);
+    agg_shares_.erase(round);
+    return result;
+  }
+
+  /// Users whose masked model arrived for `round` (the de-facto U1).
+  [[nodiscard]] std::vector<std::uint32_t> arrived(std::uint64_t round) const {
+    std::vector<std::uint32_t> out;
+    const auto it = masked_.find(round);
+    if (it == masked_.end()) return out;
+    for (const auto& [user, vec] : it->second) out.push_back(user);
+    return out;
+  }
+
+  /// Responders whose aggregated shares were falsified in the last
+  /// finish_round (Byzantine-tolerant mode only; empty otherwise).
+  [[nodiscard]] const std::vector<std::size_t>& last_corrupted() const {
+    return last_corrupted_;
+  }
+
+ private:
+  lsa::protocol::Params params_;
+  lsa::coding::MaskCodec<Fp> codec_;
+  Router& router_;
+  bool byzantine_tolerant_ = false;
+  std::vector<std::size_t> last_corrupted_;
+  std::map<std::uint64_t, std::map<std::uint32_t, std::vector<rep>>> masked_;
+  std::map<std::uint64_t, std::map<std::uint32_t, std::vector<rep>>>
+      agg_shares_;
+};
+
+/// Owns a router, N user devices and the server; pumps messages to
+/// completion. The unit tests drive rounds through this.
+class Network {
+ public:
+  using Fp = lsa::field::Fp32;
+  using rep = Fp::rep;
+
+  Network(lsa::protocol::Params params, std::uint64_t seed,
+          bool byzantine_tolerant = false)
+      : params_(params), router_(params.num_users + 1) {
+    params_.validate_and_resolve();
+    server_ = std::make_unique<AggregationServer>(params_, router_,
+                                                  byzantine_tolerant);
+    for (std::uint32_t i = 0; i < params_.num_users; ++i) {
+      users_.push_back(
+          std::make_unique<UserDevice>(i, params_, seed, router_));
+    }
+  }
+
+  [[nodiscard]] Router& router() { return router_; }
+  [[nodiscard]] UserDevice& user(std::size_t i) { return *users_.at(i); }
+  [[nodiscard]] AggregationServer& server() { return *server_; }
+
+  /// Delivers queued messages until the network is quiet.
+  void pump() {
+    Message m;
+    while (router_.deliver_next(m)) {
+      if (m.receiver == params_.num_users) {
+        server_->handle(m);
+      } else {
+        users_.at(m.receiver)->handle(m);
+      }
+    }
+  }
+
+  /// Runs one full round: all users start (offline + upload), `crash_after_
+  /// upload` users then crash, the server recovers from the remaining
+  /// responders. Returns the aggregate INCLUDING any user whose masked
+  /// model arrived before it crashed (the "delayed user" semantics).
+  [[nodiscard]] std::vector<rep> run_round(
+      std::uint64_t round, const std::vector<std::vector<rep>>& models,
+      const std::vector<std::size_t>& crash_after_upload) {
+    lsa::require<lsa::ProtocolError>(models.size() == params_.num_users,
+                                     "network: wrong number of models");
+    for (std::uint32_t i = 0; i < params_.num_users; ++i) {
+      users_[i]->start_round(round, models[i]);
+    }
+    pump();  // offline shares + masked models all delivered
+    for (auto i : crash_after_upload) router_.crash(i);
+    server_->begin_recovery(round);
+    pump();  // survivor set out, aggregated shares back
+    auto result = server_->finish_round(round);
+    pump();  // result broadcast
+    return result;
+  }
+
+ private:
+  lsa::protocol::Params params_;
+  Router router_;
+  std::unique_ptr<AggregationServer> server_;
+  std::vector<std::unique_ptr<UserDevice>> users_;
+};
+
+}  // namespace lsa::runtime

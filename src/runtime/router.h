@@ -1,0 +1,84 @@
+// In-process message router for the distributed runtime.
+//
+// Parties never call each other — they emit serialized frames into the
+// router, which delivers them (optionally dropping frames from "crashed"
+// parties or corrupting payloads, for fault-injection tests). Delivery is
+// FIFO per (sender, receiver) link, matching a TCP-like transport.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/error.h"
+#include "runtime/wire.h"
+
+namespace lsa::runtime {
+
+class Router {
+ public:
+  /// num_parties includes the server; party ids are 0..num_parties-1.
+  explicit Router(std::size_t num_parties) : down_(num_parties, false) {}
+
+  /// Marks a party as crashed: its future sends are dropped silently
+  /// (messages already in flight still deliver — "drops after upload").
+  void crash(std::size_t party) {
+    lsa::require(party < down_.size(), "router: party id out of range");
+    down_[party] = true;
+  }
+
+  [[nodiscard]] bool is_down(std::size_t party) const {
+    return down_.at(party);
+  }
+
+  /// Brings a crashed party back (cross-device users rejoin later rounds).
+  void revive(std::size_t party) {
+    lsa::require(party < down_.size(), "router: party id out of range");
+    down_[party] = false;
+  }
+
+  /// Optional fault hook: called on every frame; may mutate it (corruption
+  /// testing) or return false to drop it (lossy-link testing).
+  using FaultHook = std::function<bool(std::vector<std::uint8_t>&)>;
+  void set_fault_hook(FaultHook hook) { hook_ = std::move(hook); }
+
+  /// Serializes and enqueues a message (dropped if the sender is down).
+  void send(const Message& m) {
+    lsa::require(m.sender < down_.size() && m.receiver < down_.size(),
+                 "router: endpoint out of range");
+    if (down_[m.sender]) return;
+    auto frame = serialize(m);
+    if (hook_ && !hook_(frame)) return;
+    queue_.push_back(std::move(frame));
+    ++sent_;
+  }
+
+  /// Delivers the next frame (deserializing it) or returns false when idle.
+  /// Frames addressed to crashed parties are discarded.
+  [[nodiscard]] bool deliver_next(Message& out) {
+    while (!queue_.empty()) {
+      auto frame = std::move(queue_.front());
+      queue_.pop_front();
+      Message m = deserialize(frame);  // throws on corruption
+      if (down_[m.receiver]) continue;
+      out = std::move(m);
+      ++delivered_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
+
+ private:
+  std::vector<bool> down_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  FaultHook hook_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace lsa::runtime

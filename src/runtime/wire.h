@@ -1,0 +1,113 @@
+// Wire format for the distributed protocol runtime.
+//
+// The protocol classes in src/protocol are orchestrated (one function runs
+// all parties), which is ideal for tests and cost accounting. The runtime
+// layer instead executes LightSecAgg as *communicating state machines* —
+// the shape of the paper's real system (Fig. 4) — so messages must actually
+// be serialized. Layout (little-endian):
+//
+//   [u16 type][u16 flags][u32 sender][u32 receiver][u64 round]
+//   [u32 payload_elems][u32 crc32(payload)][payload: u32 field reps]
+//
+// The CRC lets the runtime reject corrupted frames (tested by fault
+// injection in tests/runtime_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "field/fp.h"
+
+namespace lsa::runtime {
+
+enum class MsgType : std::uint16_t {
+  kEncodedMaskShare = 1,   ///< [~z_i]_j, offline phase (round = born round)
+  kMaskedModel = 2,        ///< ~x_i = x_i + z_i, upload phase
+  kSurvivorSet = 3,        ///< server -> users: U1 as a bitmap payload
+  kAggregatedShares = 4,   ///< user j -> server: sum_{i in U1} [~z_i]_j
+  kAggregateResult = 5,    ///< server -> users: the recovered aggregate
+  // Asynchronous protocol (App. F; runtime/async_machines.h):
+  kBufferManifest = 6,     ///< server -> users: (user, t_i, weight) triples
+  kWeightedShares = 7,     ///< user j -> server: sum_b w_b [~z_{u_b}^(t_b)]_j
+};
+
+struct Message {
+  MsgType type = MsgType::kEncodedMaskShare;
+  std::uint32_t sender = 0;
+  std::uint32_t receiver = 0;
+  std::uint64_t round = 0;
+  std::vector<lsa::field::Fp32::rep> payload;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise implementation).
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+inline constexpr std::size_t kHeaderBytes = 2 + 2 + 4 + 4 + 8 + 4 + 4;
+
+[[nodiscard]] inline std::vector<std::uint8_t> serialize(const Message& m) {
+  std::vector<std::uint8_t> buf(kHeaderBytes + 4 * m.payload.size());
+  std::uint8_t* p = buf.data();
+  auto put16 = [&p](std::uint16_t v) { std::memcpy(p, &v, 2); p += 2; };
+  auto put32 = [&p](std::uint32_t v) { std::memcpy(p, &v, 4); p += 4; };
+  auto put64 = [&p](std::uint64_t v) { std::memcpy(p, &v, 8); p += 8; };
+  put16(static_cast<std::uint16_t>(m.type));
+  put16(0);  // flags (reserved)
+  put32(m.sender);
+  put32(m.receiver);
+  put64(m.round);
+  put32(static_cast<std::uint32_t>(m.payload.size()));
+  std::uint8_t* crc_slot = p;
+  put32(0);  // crc placeholder
+  std::memcpy(p, m.payload.data(), 4 * m.payload.size());
+  const std::uint32_t crc =
+      crc32(std::span<const std::uint8_t>(p, 4 * m.payload.size()));
+  std::memcpy(crc_slot, &crc, 4);
+  return buf;
+}
+
+[[nodiscard]] inline Message deserialize(
+    std::span<const std::uint8_t> buf) {
+  lsa::require<lsa::ProtocolError>(buf.size() >= kHeaderBytes,
+                                   "wire: truncated header");
+  const std::uint8_t* p = buf.data();
+  auto get16 = [&p] { std::uint16_t v; std::memcpy(&v, p, 2); p += 2; return v; };
+  auto get32 = [&p] { std::uint32_t v; std::memcpy(&v, p, 4); p += 4; return v; };
+  auto get64 = [&p] { std::uint64_t v; std::memcpy(&v, p, 8); p += 8; return v; };
+  Message m;
+  m.type = static_cast<MsgType>(get16());
+  (void)get16();  // flags
+  m.sender = get32();
+  m.receiver = get32();
+  m.round = get64();
+  const std::uint32_t n = get32();
+  const std::uint32_t crc_expected = get32();
+  lsa::require<lsa::ProtocolError>(
+      buf.size() == kHeaderBytes + 4ull * n, "wire: truncated payload");
+  const std::uint32_t crc_actual =
+      crc32(std::span<const std::uint8_t>(p, 4ull * n));
+  lsa::require<lsa::ProtocolError>(crc_actual == crc_expected,
+                                   "wire: payload CRC mismatch");
+  m.payload.resize(n);
+  std::memcpy(m.payload.data(), p, 4ull * n);
+  for (auto v : m.payload) {
+    lsa::require<lsa::ProtocolError>(
+        lsa::field::Fp32::is_canonical(v),
+        "wire: non-canonical field element");
+  }
+  return m;
+}
+
+}  // namespace lsa::runtime

@@ -1,0 +1,56 @@
+#include "sys/duplex_channel.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lsa::sys {
+
+void DuplexChannel::send(std::span<const std::uint8_t> payload) {
+  for (std::size_t off = 0; off < payload.size(); off += chunk_bytes_) {
+    const std::size_t n = std::min(chunk_bytes_, payload.size() - off);
+    std::vector<std::uint8_t> chunk(payload.begin() + off,
+                                    payload.begin() + off + n);
+    service_delay();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.push_back(std::move(chunk));
+      ++chunks_;
+    }
+    cv_.notify_one();
+  }
+}
+
+void DuplexChannel::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::uint8_t> DuplexChannel::receive_all() {
+  std::vector<std::uint8_t> out;
+  for (;;) {
+    std::vector<std::uint8_t> chunk;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty() && closed_) return out;
+      chunk = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+}
+
+std::uint64_t DuplexChannel::chunks_moved() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return chunks_;
+}
+
+void DuplexChannel::service_delay() const {
+  if (service_ns_ == 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(service_ns_));
+}
+
+}  // namespace lsa::sys

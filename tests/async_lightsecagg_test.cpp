@@ -1,0 +1,159 @@
+// Asynchronous LightSecAgg: exact weighted aggregation across masks
+// generated in different rounds (the commutativity property of App. F.3.3),
+// buffer mechanics, and failure modes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/random_field.h"
+#include "protocol/async_lightsecagg.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using rep = Fp32::rep;
+using Async = lsa::protocol::AsyncLightSecAgg<Fp32>;
+
+lsa::protocol::Params make_params(std::size_t n, std::size_t t,
+                                  std::size_t u, std::size_t d) {
+  lsa::protocol::Params p;
+  p.num_users = n;
+  p.privacy = t;
+  p.dropout = n - u;
+  p.target_survivors = u;
+  p.model_dim = d;
+  return p;
+}
+
+TEST(AsyncLightSecAgg, WeightedAggregateAcrossMixedRounds) {
+  const std::size_t n = 8, t = 2, u = 6, d = 20, k = 4;
+  lsa::quant::StalenessPolicy poly{lsa::quant::StalenessKind::kPolynomial,
+                                   1.0};
+  const std::uint64_t c_g = 64;
+  Async async(make_params(n, t, u, d), k, poly, c_g, /*seed=*/7);
+  lsa::common::Xoshiro256ss rng(8);
+
+  // Four users with updates born at different rounds (staleness 0..3 at
+  // aggregation round 5).
+  struct Entry {
+    std::size_t user;
+    std::uint64_t born;
+    std::vector<rep> update;
+  };
+  std::vector<Entry> entries = {{0, 5, {}}, {2, 4, {}}, {5, 3, {}}, {7, 2, {}}};
+  std::vector<rep> expected(d, Fp32::zero);
+  const std::uint64_t now = 5;
+
+  for (auto& e : entries) {
+    e.update = lsa::field::uniform_vector<Fp32>(d, rng);
+    // Keep updates small so weighted sums stay interpretable in the field.
+    for (auto& v : e.update) v %= 1000;
+    auto mask = async.generate_and_share_mask(e.user, e.born);
+    Async::BufferedUpdate upd;
+    upd.user = e.user;
+    upd.born_round = e.born;
+    upd.masked = async.mask_update(e.update, mask);
+    const bool full = async.buffer_update(std::move(upd));
+    EXPECT_EQ(full, &e == &entries.back());
+
+    const std::uint64_t w =
+        lsa::quant::quantized_staleness_weight(poly, now - e.born, c_g);
+    for (std::size_t i = 0; i < d; ++i) {
+      expected[i] =
+          Fp32::add(expected[i], Fp32::mul(Fp32::from_u64(w), e.update[i]));
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  const auto out = async.aggregate(now, active);
+  EXPECT_EQ(out.weighted_sum, expected);
+  // weight_sum = 64 + 32 + 21 + 16 (poly(1) staleness 0,1,2,3 with c_g=64;
+  // 64/3 rounds to 21).
+  EXPECT_EQ(out.weight_sum, 64u + 32u + 21u + 16u);
+  EXPECT_EQ(async.buffered(), 0u);  // buffer consumed
+}
+
+TEST(AsyncLightSecAgg, SameUserTwiceInDifferentRounds) {
+  const std::size_t n = 6, t = 1, u = 4, d = 8;
+  lsa::quant::StalenessPolicy constant{lsa::quant::StalenessKind::kConstant,
+                                       1.0};
+  Async async(make_params(n, t, u, d), /*K=*/2, constant, /*c_g=*/8, 3);
+  lsa::common::Xoshiro256ss rng(4);
+
+  auto u1 = lsa::field::uniform_vector<Fp32>(d, rng);
+  auto u2 = lsa::field::uniform_vector<Fp32>(d, rng);
+  auto m1 = async.generate_and_share_mask(1, 10);
+  auto m2 = async.generate_and_share_mask(1, 11);  // same user, new round
+  (void)async.buffer_update({1, 10, async.mask_update(u1, m1)});
+  (void)async.buffer_update({1, 11, async.mask_update(u2, m2)});
+
+  std::vector<bool> active(n, true);
+  const auto out = async.aggregate(12, active);
+  // Constant staleness: w = 8 for both.
+  std::vector<rep> expected(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    expected[i] = Fp32::mul(8u, Fp32::add(u1[i], u2[i]));
+  }
+  EXPECT_EQ(out.weighted_sum, expected);
+}
+
+TEST(AsyncLightSecAgg, InactiveUsersBeyondUMakeItFail) {
+  const std::size_t n = 6, t = 1, u = 5, d = 4;
+  lsa::quant::StalenessPolicy constant{lsa::quant::StalenessKind::kConstant,
+                                       1.0};
+  Async async(make_params(n, t, u, d), 1, constant, 4, 5);
+  auto m = async.generate_and_share_mask(0, 0);
+  std::vector<rep> upd(d, 1);
+  (void)async.buffer_update({0, 0, async.mask_update(upd, m)});
+  std::vector<bool> active(n, true);
+  active[0] = active[1] = false;  // only 4 < U=5 active
+  EXPECT_THROW((void)async.aggregate(0, active), lsa::ProtocolError);
+}
+
+TEST(AsyncLightSecAgg, MissingShareForUnknownRoundThrows) {
+  const std::size_t n = 5, t = 1, u = 4, d = 4;
+  lsa::quant::StalenessPolicy constant{lsa::quant::StalenessKind::kConstant,
+                                       1.0};
+  Async async(make_params(n, t, u, d), 1, constant, 4, 6);
+  // Mask shared for round 3, update claims round 4.
+  auto m = async.generate_and_share_mask(2, 3);
+  std::vector<rep> upd(d, 7);
+  (void)async.buffer_update({2, 4, async.mask_update(upd, m)});
+  std::vector<bool> active(n, true);
+  EXPECT_THROW((void)async.aggregate(4, active), lsa::ProtocolError);
+}
+
+TEST(AsyncLightSecAgg, SharesAreGarbageCollectedAfterAggregation) {
+  const std::size_t n = 5, t = 1, u = 4, d = 4;
+  lsa::quant::StalenessPolicy constant{lsa::quant::StalenessKind::kConstant,
+                                       1.0};
+  Async async(make_params(n, t, u, d), 1, constant, 4, 7);
+  std::vector<bool> active(n, true);
+
+  auto m = async.generate_and_share_mask(0, 0);
+  std::vector<rep> upd(d, 3);
+  (void)async.buffer_update({0, 0, async.mask_update(upd, m)});
+  (void)async.aggregate(0, active);
+
+  // Re-buffering the same (user, round) without re-sharing must fail: the
+  // shares were consumed.
+  (void)async.buffer_update({0, 0, async.mask_update(upd, m)});
+  EXPECT_THROW((void)async.aggregate(0, active), lsa::ProtocolError);
+}
+
+TEST(AsyncLightSecAgg, ZeroWeightsRejected) {
+  // Staleness so extreme that all weights round to zero must be surfaced,
+  // not silently divide by zero.
+  const std::size_t n = 5, t = 1, u = 4, d = 4;
+  lsa::quant::StalenessPolicy poly{lsa::quant::StalenessKind::kPolynomial,
+                                   4.0};
+  Async async(make_params(n, t, u, d), 1, poly, /*c_g=*/2, 8);
+  auto m = async.generate_and_share_mask(1, 0);
+  std::vector<rep> upd(d, 1);
+  (void)async.buffer_update({1, 0, async.mask_update(upd, m)});
+  std::vector<bool> active(n, true);
+  // tau = 100: s(tau) = (1+100)^-4 ~ 1e-8; c_g * s rounds to 0.
+  EXPECT_THROW((void)async.aggregate(100, active), lsa::ProtocolError);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Asynchronous LightSecAgg as distributed state machines (App. F through
+// the wire-format router): mixed-staleness aggregation, delayed-user and
+// crash semantics, share lifecycle, and multi-cycle operation.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/random_field.h"
+#include "quant/staleness.h"
+#include "runtime/async_machines.h"
+
+namespace {
+
+using Fp = lsa::runtime::AsyncNetwork::Fp;
+using rep = Fp::rep;
+using Arrival = lsa::runtime::AsyncNetwork::Arrival;
+
+constexpr std::size_t kN = 10, kT = 2, kU = 7, kD = 32;
+constexpr std::size_t kBufferK = 4;
+constexpr std::uint64_t kCg = 1u << 6;
+
+lsa::protocol::Params make_params() {
+  lsa::protocol::Params p;
+  p.num_users = kN;
+  p.privacy = kT;
+  p.dropout = kN - kU;
+  p.target_survivors = kU;
+  p.model_dim = kD;
+  return p;
+}
+
+std::vector<rep> random_update(std::uint64_t seed) {
+  lsa::common::Xoshiro256ss rng(seed);
+  return lsa::field::uniform_vector<Fp>(kD, rng);
+}
+
+/// Plaintext reference: sum_b w_b * update_b with the same quantized
+/// staleness weights the protocol uses.
+std::vector<rep> expected_weighted_sum(
+    const std::vector<Arrival>& arrivals, std::uint64_t now,
+    const lsa::quant::StalenessPolicy& policy) {
+  std::vector<rep> out(kD, Fp::zero);
+  for (const auto& a : arrivals) {
+    const auto w = lsa::quant::quantized_staleness_weight(
+        policy, now - a.born_round, kCg);
+    lsa::field::axpy_inplace<Fp>(std::span<rep>(out), Fp::from_u64(w),
+                                 std::span<const rep>(a.update));
+  }
+  return out;
+}
+
+TEST(AsyncRuntime, UniformStalenessMatchesPlainWeightedSum) {
+  lsa::quant::StalenessPolicy constant{
+      lsa::quant::StalenessKind::kConstant, 1.0};
+  lsa::runtime::AsyncNetwork net(make_params(), kBufferK, constant, kCg, 3);
+
+  std::vector<Arrival> arrivals;
+  for (std::size_t b = 0; b < kBufferK; ++b) {
+    arrivals.push_back({b, /*born_round=*/5, random_update(100 + b)});
+  }
+  const auto out = net.run_cycle(/*now=*/5, arrivals);
+  EXPECT_EQ(out.weighted_sum, expected_weighted_sum(arrivals, 5, constant));
+  EXPECT_EQ(out.weight_sum, kBufferK * kCg);  // s(0) = 1 exactly
+}
+
+TEST(AsyncRuntime, MixedStalenessPolyWeighting) {
+  // Updates born at rounds 2, 4, 7, 8 aggregated at round 8 with
+  // Poly(alpha=1): weights c_g/(1+tau), tau in {6, 4, 1, 0} — the exact
+  // App. F.3.3 combination of shares generated in different rounds.
+  lsa::quant::StalenessPolicy poly{
+      lsa::quant::StalenessKind::kPolynomial, 1.0};
+  lsa::runtime::AsyncNetwork net(make_params(), kBufferK, poly, kCg, 5);
+
+  std::vector<Arrival> arrivals{{1, 2, random_update(201)},
+                                {3, 4, random_update(202)},
+                                {5, 7, random_update(203)},
+                                {8, 8, random_update(204)}};
+  const auto out = net.run_cycle(/*now=*/8, arrivals);
+  EXPECT_EQ(out.weighted_sum, expected_weighted_sum(arrivals, 8, poly));
+  // Weight sum: 64/7 + 64/5 + 64/2 + 64 -> llround: 9 + 13 + 32 + 64.
+  EXPECT_EQ(out.weight_sum, 9u + 13u + 32u + 64u);
+}
+
+TEST(AsyncRuntime, ContributorCrashAfterUploadStillIncluded) {
+  // The async "delayed user": its masked update is buffered, then it
+  // crashes. The surviving users' weighted shares still cancel its mask.
+  lsa::quant::StalenessPolicy constant{
+      lsa::quant::StalenessKind::kConstant, 1.0};
+  lsa::runtime::AsyncNetwork net(make_params(), kBufferK, constant, kCg, 7);
+
+  std::vector<Arrival> arrivals;
+  for (std::size_t b = 0; b < kBufferK; ++b) {
+    arrivals.push_back({b, 3, random_update(300 + b)});
+  }
+  const auto out =
+      net.run_cycle(/*now=*/4, arrivals, /*crash_before_recovery=*/{0, 1});
+  EXPECT_EQ(out.weighted_sum, expected_weighted_sum(arrivals, 4, constant));
+}
+
+TEST(AsyncRuntime, TooFewReachableUsersAborts) {
+  lsa::quant::StalenessPolicy constant{
+      lsa::quant::StalenessKind::kConstant, 1.0};
+  lsa::runtime::AsyncNetwork net(make_params(), kBufferK, constant, kCg, 9);
+  std::vector<Arrival> arrivals;
+  for (std::size_t b = 0; b < kBufferK; ++b) {
+    arrivals.push_back({b, 1, random_update(400 + b)});
+  }
+  // Crash 4 users: only 6 < U = 7 can respond.
+  EXPECT_THROW((void)net.run_cycle(1, arrivals, {0, 1, 2, 3}),
+               lsa::ProtocolError);
+}
+
+TEST(AsyncRuntime, SharesAreConsumedAfterAggregation) {
+  lsa::quant::StalenessPolicy constant{
+      lsa::quant::StalenessKind::kConstant, 1.0};
+  lsa::runtime::AsyncNetwork net(make_params(), kBufferK, constant, kCg, 11);
+  std::vector<Arrival> arrivals;
+  for (std::size_t b = 0; b < kBufferK; ++b) {
+    arrivals.push_back({b, 2, random_update(500 + b)});
+  }
+  (void)net.run_cycle(2, arrivals);
+  // Every user's store must be empty: all manifested shares were consumed.
+  for (std::size_t j = 0; j < kN; ++j) {
+    EXPECT_EQ(net.user(j).stored_shares(), 0u) << "user " << j;
+  }
+}
+
+TEST(AsyncRuntime, MultipleCyclesWithInterleavedTimestamps) {
+  lsa::quant::StalenessPolicy poly{
+      lsa::quant::StalenessKind::kPolynomial, 1.0};
+  lsa::runtime::AsyncNetwork net(make_params(), kBufferK, poly, kCg, 13);
+
+  for (std::uint64_t cycle = 0; cycle < 3; ++cycle) {
+    const std::uint64_t now = 10 * (cycle + 1);
+    std::vector<Arrival> arrivals;
+    for (std::size_t b = 0; b < kBufferK; ++b) {
+      arrivals.push_back({(2 * b + cycle) % kN, now - b,
+                          random_update(600 + 10 * cycle + b)});
+    }
+    const auto out = net.run_cycle(now, arrivals);
+    EXPECT_EQ(out.weighted_sum, expected_weighted_sum(arrivals, now, poly))
+        << "cycle " << cycle;
+  }
+}
+
+TEST(AsyncRuntime, ResultBroadcastReachesEveryUser) {
+  lsa::quant::StalenessPolicy constant{
+      lsa::quant::StalenessKind::kConstant, 1.0};
+  lsa::runtime::AsyncNetwork net(make_params(), kBufferK, constant, kCg, 15);
+  std::vector<Arrival> arrivals;
+  for (std::size_t b = 0; b < kBufferK; ++b) {
+    arrivals.push_back({b + 2, 6, random_update(700 + b)});
+  }
+  const auto out = net.run_cycle(6, arrivals);
+  for (std::size_t j = 0; j < kN; ++j) {
+    ASSERT_TRUE(net.user(j).last_result().has_value()) << j;
+    EXPECT_EQ(*net.user(j).last_result(), out.weighted_sum) << j;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// Lagrange interpolation, matrix reference utilities, and the MaskCodec's
+// MDS / T-privacy / one-shot-linearity properties.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "coding/lagrange.h"
+#include "coding/mask_codec.h"
+#include "coding/matrix.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "field/fp.h"
+#include "field/random_field.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using rep = Fp32::rep;
+
+TEST(Lagrange, RecoversPolynomialEvaluations) {
+  // f(x) = 3 + 2x + 5x^2 over 4 points; interpolate at fresh points.
+  auto f = [](rep x) {
+    return Fp32::add(Fp32::add(3, Fp32::mul(2, x)),
+                     Fp32::mul(5, Fp32::mul(x, x)));
+  };
+  std::vector<rep> xs = {1, 2, 3, 4};
+  std::vector<rep> ys;
+  for (auto x : xs) ys.push_back(f(x));
+  for (rep x0 : {0u, 5u, 100u, 12345u}) {
+    EXPECT_EQ(lsa::coding::interpolate_at<Fp32>(
+                  std::span<const rep>(xs), std::span<const rep>(ys), x0),
+              f(x0));
+  }
+}
+
+TEST(Lagrange, WeightsSumToOne) {
+  // Interpolating the constant-1 polynomial: weights must sum to 1.
+  std::vector<rep> xs = {2, 7, 11, 20, 29};
+  for (rep x0 : {0u, 1u, 99u}) {
+    auto w = lsa::coding::lagrange_weights_at<Fp32>(
+        std::span<const rep>(xs), x0);
+    rep sum = Fp32::zero;
+    for (auto v : w) sum = Fp32::add(sum, v);
+    EXPECT_EQ(sum, Fp32::one);
+  }
+}
+
+TEST(Lagrange, DuplicatePointsThrow) {
+  std::vector<rep> xs = {1, 2, 2};
+  EXPECT_THROW((void)lsa::coding::lagrange_weights_at<Fp32>(
+                   std::span<const rep>(xs), 0),
+               lsa::CodingError);
+}
+
+TEST(Matrix, RankAndInverse) {
+  lsa::coding::Matrix<Fp32> m(3, 3);
+  // Identity has rank 3.
+  for (std::size_t i = 0; i < 3; ++i) m.at(i, i) = 1;
+  EXPECT_TRUE(m.is_invertible());
+  // Duplicate a row: rank drops.
+  lsa::coding::Matrix<Fp32> s(3, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    s.at(0, j) = static_cast<rep>(j + 1);
+    s.at(1, j) = static_cast<rep>(j + 1);
+    s.at(2, j) = static_cast<rep>(j * j + 1);
+  }
+  EXPECT_EQ(s.rank(), 2u);
+  EXPECT_FALSE(s.is_invertible());
+}
+
+TEST(Matrix, VandermondeIsMds) {
+  std::vector<rep> alphas = {1, 2, 3, 4, 5, 6};
+  auto v = lsa::coding::vandermonde<Fp32>(std::span<const rep>(alphas), 3);
+  // Every 3x3 submatrix of the 3x6 Vandermonde must be invertible.
+  std::vector<std::size_t> rows = {0, 1, 2};
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = a + 1; b < 6; ++b) {
+      for (std::size_t c = b + 1; c < 6; ++c) {
+        std::vector<std::size_t> cols = {a, b, c};
+        EXPECT_TRUE(v.submatrix(rows, cols).is_invertible());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- codec
+
+struct CodecCase {
+  std::size_t n, u, t, d;
+};
+
+class MaskCodecSweep : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(MaskCodecSweep, SingleMaskDecodesFromAnyUSubset) {
+  const auto [n, u, t, d] = GetParam();
+  lsa::common::Xoshiro256ss rng(n * 31 + u * 7 + t);
+  lsa::coding::MaskCodec<Fp32> codec(n, u, t, d);
+  auto mask = lsa::field::uniform_vector<Fp32>(d, rng);
+  auto shares = codec.encode(std::span<const rep>(mask), rng);
+  ASSERT_EQ(shares.size(), n);
+
+  // Decode from several U-subsets (contiguous windows + a scattered one).
+  for (std::size_t start = 0; start + u <= n; start += std::max<std::size_t>(1, n / 3)) {
+    std::vector<std::size_t> owners(u);
+    std::iota(owners.begin(), owners.end(), start);
+    std::vector<std::vector<rep>> sub;
+    for (auto o : owners) sub.push_back(shares[o]);
+    EXPECT_EQ(codec.decode_aggregate(owners, sub), mask);
+  }
+  std::vector<std::size_t> scattered;
+  for (std::size_t j = 0; j < n && scattered.size() < u; j += 2) {
+    scattered.push_back(j);  // evens first ...
+  }
+  for (std::size_t j = 1; j < n && scattered.size() < u; j += 2) {
+    scattered.push_back(j);  // ... then odds: a non-contiguous U-subset
+  }
+  std::vector<std::vector<rep>> sub;
+  for (auto o : scattered) sub.push_back(shares[o]);
+  EXPECT_EQ(codec.decode_aggregate(scattered, sub), mask);
+}
+
+TEST_P(MaskCodecSweep, AggregateOfEncodedSharesDecodesToAggregateMask) {
+  // The one-shot property: sum user shares first, decode once.
+  const auto [n, u, t, d] = GetParam();
+  lsa::common::Xoshiro256ss rng(n * 131 + u * 17 + t);
+  lsa::coding::MaskCodec<Fp32> codec(n, u, t, d);
+
+  std::vector<std::vector<rep>> masks(n);
+  std::vector<std::vector<std::vector<rep>>> all_shares(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    masks[i] = lsa::field::uniform_vector<Fp32>(d, rng);
+    all_shares[i] = codec.encode(std::span<const rep>(masks[i]), rng);
+  }
+  // Simulate a surviving set: drop the last n-u users... keep first u+?
+  std::vector<std::size_t> survivors(u);
+  std::iota(survivors.begin(), survivors.end(), 0);
+
+  std::vector<rep> expected(d, Fp32::zero);
+  for (auto i : survivors) {
+    lsa::field::add_inplace<Fp32>(std::span<rep>(expected),
+                                  std::span<const rep>(masks[i]));
+  }
+  std::vector<std::vector<rep>> agg_shares;
+  for (auto j : survivors) {
+    std::vector<rep> acc(codec.segment_len(), Fp32::zero);
+    for (auto i : survivors) {
+      lsa::field::add_inplace<Fp32>(std::span<rep>(acc),
+                                    std::span<const rep>(all_shares[i][j]));
+    }
+    agg_shares.push_back(std::move(acc));
+  }
+  EXPECT_EQ(codec.decode_aggregate(survivors, agg_shares), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MaskCodecSweep,
+    ::testing::Values(CodecCase{3, 2, 1, 6}, CodecCase{5, 4, 2, 10},
+                      CodecCase{8, 5, 2, 33},   // d not divisible by U-T
+                      CodecCase{10, 7, 3, 100}, CodecCase{6, 6, 5, 12},
+                      CodecCase{12, 8, 0, 24},  // T = 0
+                      CodecCase{16, 9, 4, 1},   // d = 1 (heavy padding)
+                      CodecCase{20, 14, 7, 64}));
+
+TEST(MaskCodec, EncodingMatrixIsMdsAndTPrivate) {
+  // Exhaustive structural check at small parameters:
+  //  (a) any U columns of W (the U x N encoding matrix) are invertible;
+  //  (b) any T columns of W's bottom-T rows are invertible (T-privacy).
+  const std::size_t n = 7, u = 4, t = 2;
+  lsa::coding::MaskCodec<Fp32> codec(n, u, t, /*d=*/u - t);
+
+  lsa::coding::Matrix<Fp32> w(u, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto col = codec.encoding_column(j);
+    for (std::size_t k = 0; k < u; ++k) w.at(k, j) = col[k];
+  }
+  // (a) MDS.
+  std::vector<std::size_t> all_rows(u);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<std::size_t> cols(u);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      for (std::size_t c = b + 1; c < n; ++c)
+        for (std::size_t e = c + 1; e < n; ++e) {
+          cols = {a, b, c, e};
+          EXPECT_TRUE(w.submatrix(all_rows, cols).is_invertible())
+              << a << "," << b << "," << c << "," << e;
+        }
+  // (b) T-privacy.
+  std::vector<std::size_t> noise_rows = {u - t, u - t + 1};
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b) {
+      std::vector<std::size_t> two_cols = {a, b};
+      EXPECT_TRUE(w.submatrix(noise_rows, two_cols).is_invertible())
+          << a << "," << b;
+    }
+}
+
+TEST(MaskCodec, TSharesLookUniform) {
+  // Encode a fixed mask many times with fresh noise; any T shares must be
+  // (marginally) uniform — mean of each share element near q/2.
+  const std::size_t n = 5, u = 4, t = 2, d = 4;
+  lsa::common::Xoshiro256ss rng(55);
+  lsa::coding::MaskCodec<Fp32> codec(n, u, t, d);
+  std::vector<rep> mask(d, 0);  // all-zero mask: worst case for leakage
+  lsa::common::RunningStat stat;
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto shares = codec.encode(std::span<const rep>(mask), rng);
+    stat.add(static_cast<double>(shares[0][0]) /
+             static_cast<double>(Fp32::modulus));
+    stat.add(static_cast<double>(shares[1][0]) /
+             static_cast<double>(Fp32::modulus));
+  }
+  EXPECT_NEAR(stat.mean(), 0.5, 0.02);
+  EXPECT_NEAR(stat.stddev(), 0.2887, 0.02);  // sqrt(1/12)
+}
+
+TEST(MaskCodec, RejectsBadParameters) {
+  EXPECT_THROW(lsa::coding::MaskCodec<Fp32>(4, 3, 3, 8), lsa::CodingError);
+  EXPECT_THROW(lsa::coding::MaskCodec<Fp32>(4, 5, 1, 8), lsa::CodingError);
+  EXPECT_THROW(lsa::coding::MaskCodec<Fp32>(4, 3, 1, 0), lsa::CodingError);
+}
+
+TEST(MaskCodec, DecodeErrorsAreTyped) {
+  lsa::common::Xoshiro256ss rng(66);
+  lsa::coding::MaskCodec<Fp32> codec(5, 4, 1, 9);
+  auto mask = lsa::field::uniform_vector<Fp32>(9, rng);
+  auto shares = codec.encode(std::span<const rep>(mask), rng);
+
+  // Too few shares.
+  std::vector<std::size_t> owners = {0, 1, 2};
+  std::vector<std::vector<rep>> sub = {shares[0], shares[1], shares[2]};
+  EXPECT_THROW((void)codec.decode_aggregate(owners, sub),
+               lsa::ProtocolError);
+  // Duplicate owners.
+  owners = {0, 1, 2, 2};
+  sub = {shares[0], shares[1], shares[2], shares[2]};
+  EXPECT_THROW((void)codec.decode_aggregate(owners, sub),
+               lsa::ProtocolError);
+  // Wrong share length.
+  owners = {0, 1, 2, 3};
+  sub = {shares[0], shares[1], shares[2], {1, 2}};
+  EXPECT_THROW((void)codec.decode_aggregate(owners, sub),
+               lsa::ProtocolError);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// SecAgg+ communication graph: regularity, symmetry, connectivity and the
+// default-degree policy.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "protocol/comm_graph.h"
+
+namespace {
+
+using lsa::protocol::CommGraph;
+
+struct GraphCase {
+  std::size_t n, degree;
+};
+
+class CommGraphSweep : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(CommGraphSweep, RegularSymmetricSelfLoopFree) {
+  const auto [n, degree] = GetParam();
+  CommGraph g(n, degree, /*seed=*/42);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto nbrs = g.neighbors(i);
+    EXPECT_EQ(nbrs.size(), g.degree());
+    for (auto j : nbrs) {
+      EXPECT_NE(j, i);
+      EXPECT_TRUE(g.adjacent(i, j));
+      EXPECT_TRUE(g.adjacent(j, i));  // symmetry
+      // j lists i back.
+      const auto back = g.neighbors(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+  }
+}
+
+TEST_P(CommGraphSweep, Connected) {
+  const auto [n, degree] = GetParam();
+  CommGraph g(n, degree, 42);
+  std::vector<bool> seen(n, false);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const auto v = frontier.front();
+    frontier.pop();
+    for (auto w : g.neighbors(v)) {
+      if (seen[w]) continue;
+      seen[w] = true;
+      ++visited;
+      frontier.push(w);
+    }
+  }
+  // Circulant graphs with offset 1 present are always connected; with
+  // random offsets connectivity holds for every case in this sweep.
+  EXPECT_EQ(visited, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CommGraphSweep,
+    ::testing::Values(GraphCase{4, 2}, GraphCase{10, 4}, GraphCase{16, 6},
+                      GraphCase{25, 8}, GraphCase{50, 12},
+                      GraphCase{200, 22}));
+
+TEST(CommGraph, CompleteWhenDegreeCoversAll) {
+  CommGraph g(6, 5, 1);
+  EXPECT_TRUE(g.is_complete());
+  EXPECT_EQ(g.degree(), 5u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(g.neighbors(i).size(), 5u);
+  }
+}
+
+TEST(CommGraph, OddDegreeRoundsUp) {
+  CommGraph g(20, 5, 1);
+  EXPECT_EQ(g.degree() % 2, 0u);
+  EXPECT_GE(g.degree(), 5u);
+}
+
+TEST(CommGraph, DefaultDegreeGrowsLogarithmically) {
+  const auto d10 = CommGraph::default_degree(10);
+  const auto d100 = CommGraph::default_degree(100);
+  const auto d1000 = CommGraph::default_degree(1000);
+  EXPECT_LT(d10, d100);
+  EXPECT_LT(d100, d1000);
+  // O(log N): the increment per decade is roughly constant (~3 log2 10).
+  EXPECT_NEAR(static_cast<double>(d1000 - d100),
+              static_cast<double>(d100 - d10), 3.0);
+  EXPECT_GE(CommGraph::default_degree(2), 4u);
+}
+
+TEST(CommGraph, RejectsDegenerateInputs) {
+  EXPECT_THROW(CommGraph(1, 2, 0), lsa::Error);
+  CommGraph g(5, 2, 0);
+  EXPECT_THROW((void)g.neighbors(9), lsa::Error);
+}
+
+}  // namespace

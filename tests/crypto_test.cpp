@@ -1,0 +1,133 @@
+// ChaCha20 (against RFC 8439 vectors), PRG, Diffie–Hellman key agreement
+// and the primality checker validating the hard-coded group.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/chacha20.h"
+#include "crypto/key_agreement.h"
+#include "crypto/prg.h"
+#include "crypto/primality.h"
+
+namespace {
+
+using namespace lsa::crypto;
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  // RFC 8439 §2.3.2 test vector.
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  std::array<std::uint8_t, 64> out;
+  chacha20_block(key, 1, nonce, out);
+  const std::uint8_t expected[64] = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+      0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0,
+      0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2,
+      0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05,
+      0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e,
+      0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  EXPECT_EQ(0, std::memcmp(out.data(), expected, 64));
+}
+
+TEST(ChaCha20, StreamMatchesBlockConcatenation) {
+  ChaChaKey key{};
+  key[0] = 0xab;
+  ChaChaNonce nonce{};
+  std::vector<std::uint8_t> stream(200);
+  chacha20_stream(key, nonce, 0, stream);
+  std::array<std::uint8_t, 64> block;
+  for (std::size_t b = 0; b * 64 < stream.size(); ++b) {
+    chacha20_block(key, static_cast<std::uint32_t>(b), nonce, block);
+    const std::size_t n = std::min<std::size_t>(64, stream.size() - b * 64);
+    EXPECT_EQ(0, std::memcmp(stream.data() + b * 64, block.data(), n));
+  }
+}
+
+TEST(Prg, DeterministicAndSeedSensitive) {
+  Prg a(seed_from_u64(1)), b(seed_from_u64(1)), c(seed_from_u64(2));
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Prg, StreamIdGivesIndependentStreams) {
+  Prg a(seed_from_u64(5), 0), b(seed_from_u64(5), 1);
+  bool diverged = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next_u64() != b.next_u64()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Prg, FillBytesMatchesNextU64Stream) {
+  Prg a(seed_from_u64(7));
+  Prg b(seed_from_u64(7));
+  std::vector<std::uint8_t> bytes(40);
+  a.fill_bytes(bytes);
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data() + 8 * i, 8);
+    EXPECT_EQ(v, b.next_u64());
+  }
+}
+
+TEST(Prg, DeriveSubseedSeparatesDomains) {
+  const auto parent = seed_from_u64(99);
+  const auto s1 = derive_subseed(parent, 1);
+  const auto s2 = derive_subseed(parent, 2);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(s1, derive_subseed(parent, 1));  // deterministic
+}
+
+TEST(Primality, KnownPrimesAndComposites) {
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(4294967291ull));            // 2^32 - 5 (Fp32)
+  EXPECT_TRUE(is_prime_u64(2305843009213693951ull));   // 2^61 - 1 (Fp61)
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_FALSE(is_prime_u64(4294967291ull * 3));
+  EXPECT_FALSE(is_prime_u64((1ull << 61) - 3));
+}
+
+TEST(KeyAgreement, GroupParametersAreValid) {
+  // The hard-coded group must be a safe prime with g generating the
+  // order-q subgroup (g^q = 1, g^2 != 1).
+  EXPECT_TRUE(is_safe_prime_u64(DhGroup::p));
+  EXPECT_EQ(group_pow(DhGroup::g, DhGroup::q), 1ull);
+  EXPECT_NE(group_pow(DhGroup::g, 2), 1ull);
+}
+
+TEST(KeyAgreement, SharedSecretIsSymmetric) {
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const auto a = generate_keypair(seed_from_u64(100 + i));
+    const auto b = generate_keypair(seed_from_u64(200 + i));
+    EXPECT_EQ(shared_secret(a.secret, b.public_key),
+              shared_secret(b.secret, a.public_key));
+    EXPECT_EQ(agreed_seed(a.secret, b.public_key),
+              agreed_seed(b.secret, a.public_key));
+  }
+}
+
+TEST(KeyAgreement, DistinctPairsGetDistinctSeeds) {
+  const auto a = generate_keypair(seed_from_u64(1));
+  const auto b = generate_keypair(seed_from_u64(2));
+  const auto c = generate_keypair(seed_from_u64(3));
+  EXPECT_NE(agreed_seed(a.secret, b.public_key),
+            agreed_seed(a.secret, c.public_key));
+  EXPECT_NE(agreed_seed(b.secret, c.public_key),
+            agreed_seed(a.secret, c.public_key));
+}
+
+TEST(KeyAgreement, PublicKeyMatchesSecret) {
+  const auto kp = generate_keypair(seed_from_u64(42));
+  EXPECT_EQ(kp.public_key, group_pow(DhGroup::g, kp.secret));
+  EXPECT_GE(kp.secret, 1ull);
+  EXPECT_LT(kp.secret, DhGroup::q);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// The three aggregate-decode kernels (lagrange / barycentric / ntt) must be
+// bit-identical on every parameter combination, and the codec must recover
+// exact aggregates through each of them — including on the NTT-friendly
+// Goldilocks field, where a full LightSecAgg round is also exercised.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "coding/aggregate_decode.h"
+#include "coding/mask_codec.h"
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/goldilocks.h"
+#include "field/random_field.h"
+#include "protocol/lightsecagg.h"
+
+namespace {
+
+using lsa::coding::DecodeStrategy;
+using lsa::field::Fp32;
+using lsa::field::Goldilocks;
+
+constexpr DecodeStrategy kAll[] = {DecodeStrategy::kLagrange,
+                                   DecodeStrategy::kBarycentric,
+                                   DecodeStrategy::kNtt};
+
+// ---------------------------------------------------------------------------
+// Kernel-level equality on raw share matrices.
+// ---------------------------------------------------------------------------
+
+template <class F>
+void expect_kernels_agree(std::size_t u, std::size_t num_betas,
+                          std::size_t seg_len, std::uint64_t seed) {
+  using rep = typename F::rep;
+  lsa::common::Xoshiro256ss rng(seed);
+  std::vector<rep> xs(u), betas(num_betas);
+  for (std::size_t j = 0; j < u; ++j) xs[j] = F::from_u64(100 + 7 * j);
+  for (std::size_t k = 0; k < num_betas; ++k) betas[k] = F::from_u64(1 + k);
+  std::vector<std::vector<rep>> shares(u);
+  for (auto& s : shares) s = lsa::field::uniform_vector<F>(seg_len, rng);
+
+  const auto ref = lsa::coding::decode_eval<F>(
+      DecodeStrategy::kLagrange, xs, betas, shares, seg_len);
+  for (const auto strategy :
+       {DecodeStrategy::kBarycentric, DecodeStrategy::kNtt}) {
+    const auto out =
+        lsa::coding::decode_eval<F>(strategy, xs, betas, shares, seg_len);
+    EXPECT_EQ(out, ref) << "strategy=" << lsa::coding::to_string(strategy)
+                        << " u=" << u << " betas=" << num_betas
+                        << " seg=" << seg_len;
+  }
+}
+
+TEST(DecodeStrategy, KernelsAgreeOnGoldilocks) {
+  expect_kernels_agree<Goldilocks>(4, 2, 16, 1);
+  expect_kernels_agree<Goldilocks>(7, 3, 33, 2);    // odd U: carry-through
+  expect_kernels_agree<Goldilocks>(16, 8, 128, 3);
+  expect_kernels_agree<Goldilocks>(33, 5, 64, 4);
+  expect_kernels_agree<Goldilocks>(64, 32, 17, 5);
+  expect_kernels_agree<Goldilocks>(100, 30, 8, 6);  // U > NTT threshold
+}
+
+TEST(DecodeStrategy, KernelsAgreeOnFp32) {
+  // kNtt degrades to schoolbook products on Fp32 but must stay exact.
+  expect_kernels_agree<Fp32>(4, 2, 16, 11);
+  expect_kernels_agree<Fp32>(13, 6, 50, 12);
+  expect_kernels_agree<Fp32>(32, 16, 20, 13);
+}
+
+TEST(DecodeStrategy, SingleShareSingleBeta) {
+  expect_kernels_agree<Goldilocks>(1, 1, 5, 21);
+}
+
+// ---------------------------------------------------------------------------
+// Codec-level: every strategy recovers the exact aggregate mask.
+// ---------------------------------------------------------------------------
+
+template <class F>
+class CodecStrategy : public ::testing::Test {};
+
+using CodecFields = ::testing::Types<Fp32, Goldilocks>;
+TYPED_TEST_SUITE(CodecStrategy, CodecFields);
+
+TYPED_TEST(CodecStrategy, AllStrategiesRecoverAggregate) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  const std::size_t n = 12, u = 8, t = 3, d = 100;
+  lsa::coding::MaskCodec<F> codec(n, u, t, d);
+  lsa::common::Xoshiro256ss rng(33);
+
+  // Users 0..n-1 make masks; users {1,4,5} drop before recovery.
+  std::vector<std::vector<rep>> masks(n);
+  std::vector<std::vector<std::vector<rep>>> shares(n);  // [owner][user]
+  for (std::size_t j = 0; j < n; ++j) shares[j].resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    masks[i] = lsa::field::uniform_vector<F>(d, rng);
+    auto sh = codec.encode(std::span<const rep>(masks[i]), rng);
+    for (std::size_t j = 0; j < n; ++j) shares[j][i] = std::move(sh[j]);
+  }
+  std::vector<std::size_t> survivors{0, 2, 3, 6, 7, 8, 9, 10, 11};
+  std::vector<rep> expected(d, F::zero);
+  for (const std::size_t i : survivors) {
+    lsa::field::add_inplace<F>(std::span<rep>(expected),
+                               std::span<const rep>(masks[i]));
+  }
+
+  std::vector<std::vector<rep>> agg(survivors.size());
+  for (std::size_t j = 0; j < survivors.size(); ++j) {
+    agg[j].assign(codec.segment_len(), F::zero);
+    for (const std::size_t i : survivors) {
+      lsa::field::add_inplace<F>(
+          std::span<rep>(agg[j]),
+          std::span<const rep>(shares[survivors[j]][i]));
+    }
+  }
+
+  for (const auto strategy : kAll) {
+    const auto got = codec.decode_aggregate(survivors, agg, strategy);
+    EXPECT_EQ(got, expected) << lsa::coding::to_string(strategy);
+  }
+}
+
+TYPED_TEST(CodecStrategy, StrategiesAgreeOnUnevenSegmentPadding) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  // d not divisible by U-T: the padded tail must decode identically.
+  const std::size_t n = 9, u = 6, t = 2, d = 37;  // seg_len = ceil(37/4) = 10
+  lsa::coding::MaskCodec<F> codec(n, u, t, d);
+  ASSERT_EQ(codec.segment_len(), 10u);
+  lsa::common::Xoshiro256ss rng(55);
+  const auto mask = lsa::field::uniform_vector<F>(d, rng);
+  auto sh = codec.encode(std::span<const rep>(mask), rng);
+
+  std::vector<std::size_t> owners{0, 1, 2, 3, 4, 5};
+  std::vector<std::vector<rep>> agg;
+  for (const auto j : owners) agg.push_back(sh[j]);
+
+  const auto ref =
+      codec.decode_aggregate(owners, agg, DecodeStrategy::kLagrange);
+  EXPECT_EQ(ref, mask);  // single-user "aggregate" is the mask itself
+  for (const auto strategy : kAll) {
+    EXPECT_EQ(codec.decode_aggregate(owners, agg, strategy), ref);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-level: a full LightSecAgg round runs on the Goldilocks field.
+// ---------------------------------------------------------------------------
+
+// Randomized sweep: for many random (dropout pattern, parameter) draws the
+// three kernels must agree bit-for-bit on the protocol's real decode inputs
+// (aggregated shares of surviving users), not just on synthetic matrices.
+class StrategyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrategyFuzz, RandomDropoutPatternsAllStrategiesAgree) {
+  using F = Goldilocks;
+  using rep = F::rep;
+  lsa::common::Xoshiro256ss rng(GetParam());
+  const std::size_t n = 8 + rng.next_below(10);        // 8..17
+  const std::size_t t = 1 + rng.next_below(n / 3);     // 1..n/3
+  const std::size_t u = t + 1 + rng.next_below(n - t - 1);  // t+1..n-1
+  const std::size_t d = 16 + rng.next_below(100);
+  lsa::coding::MaskCodec<F> codec(n, u, t, d);
+
+  // Random masks for all users; a random surviving set of size >= u.
+  std::vector<std::vector<rep>> masks(n);
+  std::vector<std::vector<std::vector<rep>>> held(n);
+  for (auto& h : held) h.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    masks[i] = lsa::field::uniform_vector<F>(d, rng);
+    auto sh = codec.encode(std::span<const rep>(masks[i]), rng);
+    for (std::size_t j = 0; j < n; ++j) held[j][i] = std::move(sh[j]);
+  }
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 0; i < n; ++i) survivors.push_back(i);
+  // Drop a random subset, keeping at least u.
+  while (survivors.size() > u && (rng.next_u64() & 1)) {
+    survivors.erase(survivors.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        rng.next_below(survivors.size())));
+  }
+
+  std::vector<rep> expected(d, F::zero);
+  for (const auto i : survivors) {
+    lsa::field::add_inplace<F>(std::span<rep>(expected),
+                               std::span<const rep>(masks[i]));
+  }
+  std::vector<std::vector<rep>> agg(survivors.size());
+  for (std::size_t j = 0; j < survivors.size(); ++j) {
+    agg[j].assign(codec.segment_len(), F::zero);
+    for (const auto i : survivors) {
+      lsa::field::add_inplace<F>(
+          std::span<rep>(agg[j]),
+          std::span<const rep>(held[survivors[j]][i]));
+    }
+  }
+  for (const auto strategy : kAll) {
+    ASSERT_EQ(codec.decode_aggregate(survivors, agg, strategy), expected)
+        << "seed=" << GetParam() << " n=" << n << " t=" << t << " u=" << u
+        << " strategy=" << lsa::coding::to_string(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyFuzz,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{21}));
+
+TEST(DecodeStrategy, FullLightSecAggRoundOnGoldilocks) {
+  using F = Goldilocks;
+  using rep = F::rep;
+  lsa::protocol::Params params;
+  params.num_users = 10;
+  params.privacy = 3;
+  params.dropout = 3;
+  params.model_dim = 64;
+  lsa::protocol::LightSecAgg<F> proto(params, /*master_seed=*/99);
+
+  lsa::common::Xoshiro256ss rng(77);
+  std::vector<std::vector<rep>> inputs(params.num_users);
+  for (auto& x : inputs) x = lsa::field::uniform_vector<F>(64, rng);
+  std::vector<bool> dropped(params.num_users, false);
+  dropped[2] = dropped[5] = true;
+
+  const auto agg = proto.run_round(inputs, dropped);
+  std::vector<rep> expected(64, F::zero);
+  for (std::size_t i = 0; i < params.num_users; ++i) {
+    if (dropped[i]) continue;
+    lsa::field::add_inplace<F>(std::span<rep>(expected),
+                               std::span<const rep>(inputs[i]));
+  }
+  EXPECT_EQ(agg, expected);
+}
+
+}  // namespace

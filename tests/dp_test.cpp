@@ -1,0 +1,150 @@
+// Differential-privacy substrate: zCDP accounting arithmetic, the Gaussian
+// mechanism's clipping and noise statistics, and the FedBuff integration
+// through the update_transform hook.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "dp/mechanism.h"
+#include "fl/dataset.h"
+#include "fl/fedbuff.h"
+#include "fl/model.h"
+
+namespace {
+
+namespace dp = lsa::dp;
+
+TEST(ZcdpAccountant, SingleReleaseKnownValue) {
+  dp::ZcdpAccountant acct;
+  acct.add_release(/*noise_multiplier=*/1.0);
+  EXPECT_DOUBLE_EQ(acct.rho(), 0.5);
+  EXPECT_EQ(acct.releases(), 1u);
+  // eps(1e-5) = 0.5 + 2*sqrt(0.5 * ln(1e5)).
+  const double expect = 0.5 + 2.0 * std::sqrt(0.5 * std::log(1e5));
+  EXPECT_NEAR(acct.epsilon(1e-5), expect, 1e-12);
+}
+
+TEST(ZcdpAccountant, CompositionIsAdditiveInRho) {
+  dp::ZcdpAccountant acct;
+  for (int i = 0; i < 10; ++i) acct.add_release(2.0);
+  EXPECT_NEAR(acct.rho(), 10.0 / 8.0, 1e-12);  // 10 * 1/(2*4)
+  EXPECT_DOUBLE_EQ(acct.rho(),
+                   10 * [] {
+                     dp::ZcdpAccountant one;
+                     one.add_release(2.0);
+                     return one.rho();
+                   }());
+}
+
+TEST(ZcdpAccountant, EpsilonMonotonicity) {
+  // More releases -> more epsilon; more noise -> less epsilon;
+  // smaller delta -> more epsilon.
+  EXPECT_LT(dp::ZcdpAccountant::epsilon_for(1.0, 1, 1e-5),
+            dp::ZcdpAccountant::epsilon_for(1.0, 5, 1e-5));
+  EXPECT_GT(dp::ZcdpAccountant::epsilon_for(0.5, 3, 1e-5),
+            dp::ZcdpAccountant::epsilon_for(2.0, 3, 1e-5));
+  EXPECT_GT(dp::ZcdpAccountant::epsilon_for(1.0, 3, 1e-8),
+            dp::ZcdpAccountant::epsilon_for(1.0, 3, 1e-3));
+}
+
+TEST(ZcdpAccountant, RejectsBadParameters) {
+  dp::ZcdpAccountant acct;
+  EXPECT_THROW(acct.add_release(0.0), lsa::ConfigError);
+  EXPECT_THROW((void)acct.epsilon(0.0), lsa::ConfigError);
+  EXPECT_THROW((void)acct.epsilon(1.0), lsa::ConfigError);
+  EXPECT_DOUBLE_EQ(acct.epsilon(0.5), 0.0);  // nothing released yet
+}
+
+TEST(GaussianMechanism, ClippingBoundsTheNorm) {
+  std::vector<double> v{3.0, 4.0};  // norm 5
+  const double pre = dp::clip_to_norm(v, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(std::sqrt(v[0] * v[0] + v[1] * v[1]), 1.0, 1e-12);
+
+  std::vector<double> small{0.1, 0.1};
+  (void)dp::clip_to_norm(small, 1.0);
+  EXPECT_DOUBLE_EQ(small[0], 0.1);  // under the bound: untouched
+}
+
+TEST(GaussianMechanism, NoiseStatisticsMatchSigma) {
+  dp::GaussianDpConfig cfg;
+  cfg.clip = 2.0;
+  cfg.noise_multiplier = 1.5;  // noise std = 3.0
+  lsa::common::Xoshiro256ss rng(21);
+
+  const std::size_t d = 20000;
+  std::vector<double> zeros(d, 0.0);
+  dp::gaussian_mechanism(zeros, cfg, rng);
+  double mean = 0;
+  for (const double x : zeros) mean += x;
+  mean /= static_cast<double>(d);
+  double var = 0;
+  for (const double x : zeros) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(d - 1);
+
+  EXPECT_NEAR(mean, 0.0, 0.1);           // ~3/sqrt(20000) = 0.02, 5 sigma
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);  // sigma * clip
+}
+
+TEST(GaussianMechanism, TransformChargesAccountantPerUpdate) {
+  dp::GaussianDpConfig cfg;
+  cfg.noise_multiplier = 1.0;
+  dp::ZcdpAccountant acct;
+  auto transform = dp::make_local_dp_transform(cfg, &acct);
+  std::vector<double> u{1.0, 2.0};
+  transform(u, 0);
+  transform(u, 3);
+  transform(u, 0);
+  EXPECT_EQ(acct.releases(), 3u);
+  EXPECT_NEAR(acct.rho(), 1.5, 1e-12);
+}
+
+TEST(GaussianMechanism, TransformNoiseDiffersAcrossCallsAndUsers) {
+  dp::GaussianDpConfig cfg;
+  cfg.noise_multiplier = 1.0;
+  cfg.clip = 100.0;  // effectively no clipping of the small test vectors
+  auto transform = dp::make_local_dp_transform(cfg);
+  std::vector<double> a{0.0, 0.0, 0.0};
+  std::vector<double> b{0.0, 0.0, 0.0};
+  std::vector<double> a2{0.0, 0.0, 0.0};
+  transform(a, 0);
+  transform(b, 1);
+  transform(a2, 0);  // same user, later call: fresh noise
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, a2);
+}
+
+// End-to-end: local DP degrades FedBuff accuracy monotonically in noise.
+TEST(DpFedBuff, AccuracyDegradesWithNoise) {
+  auto data = lsa::fl::SyntheticDataset::mnist_like(600, 200, 31);
+  auto partitions = data.partition_iid(20, 32);
+
+  auto run_with_sigma = [&](double sigma) {
+    lsa::fl::LogisticRegression model(784, 10, 33);
+    lsa::fl::FedBuffConfig cfg;
+    cfg.rounds = 12;
+    cfg.buffer_k = 5;
+    cfg.tau_max = 4;
+    cfg.sgd = {.epochs = 1, .batch_size = 16, .lr = 0.1};
+    cfg.seed = 34;
+    if (sigma > 0) {
+      dp::GaussianDpConfig dpc;
+      dpc.clip = 1.0;
+      dpc.noise_multiplier = sigma;
+      dpc.seed = 35;
+      cfg.update_transform = dp::make_local_dp_transform(dpc);
+    }
+    const auto curve = lsa::fl::run_fedbuff(model, data, partitions, cfg);
+    return curve.back().test_accuracy;
+  };
+
+  const double clean = run_with_sigma(0.0);
+  const double noisy = run_with_sigma(4.0);
+  EXPECT_GT(clean, 0.85);        // the task is learnable
+  EXPECT_LT(noisy, clean - 0.1);  // heavy DP noise hurts
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Field axioms and vector kernels, checked for both instantiations
+// (Fp32 = 2^32-5 used by the protocols, Fp61 = 2^61-1 Mersenne).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "crypto/prg.h"
+#include "field/field_vec.h"
+#include "field/fp.h"
+#include "field/goldilocks.h"
+#include "field/random_field.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using lsa::field::Fp61;
+using lsa::field::Goldilocks;
+
+template <class F>
+class FieldAxioms : public ::testing::Test {};
+
+using Fields = ::testing::Types<Fp32, Fp61, Goldilocks>;
+TYPED_TEST_SUITE(FieldAxioms, Fields);
+
+TYPED_TEST(FieldAxioms, AdditionGroup) {
+  using F = TypeParam;
+  lsa::common::Xoshiro256ss rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = lsa::field::uniform<F>(rng);
+    const auto b = lsa::field::uniform<F>(rng);
+    const auto c = lsa::field::uniform<F>(rng);
+    EXPECT_EQ(F::add(a, b), F::add(b, a));
+    EXPECT_EQ(F::add(F::add(a, b), c), F::add(a, F::add(b, c)));
+    EXPECT_EQ(F::add(a, F::zero), a);
+    EXPECT_EQ(F::add(a, F::neg(a)), F::zero);
+    EXPECT_EQ(F::sub(a, b), F::add(a, F::neg(b)));
+  }
+}
+
+TYPED_TEST(FieldAxioms, MultiplicationFieldStructure) {
+  using F = TypeParam;
+  lsa::common::Xoshiro256ss rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = lsa::field::uniform<F>(rng);
+    const auto b = lsa::field::uniform<F>(rng);
+    const auto c = lsa::field::uniform<F>(rng);
+    EXPECT_EQ(F::mul(a, b), F::mul(b, a));
+    EXPECT_EQ(F::mul(F::mul(a, b), c), F::mul(a, F::mul(b, c)));
+    EXPECT_EQ(F::mul(a, F::one), a);
+    // Distributivity.
+    EXPECT_EQ(F::mul(a, F::add(b, c)),
+              F::add(F::mul(a, b), F::mul(a, c)));
+    if (a != F::zero) {
+      EXPECT_EQ(F::mul(a, F::inv(a)), F::one);
+    }
+  }
+}
+
+TYPED_TEST(FieldAxioms, PowMatchesRepeatedMul) {
+  using F = TypeParam;
+  lsa::common::Xoshiro256ss rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = lsa::field::uniform<F>(rng);
+    typename F::rep acc = F::one;
+    for (std::uint64_t e = 0; e < 16; ++e) {
+      EXPECT_EQ(F::pow(a, e), acc);
+      acc = F::mul(acc, a);
+    }
+  }
+  // Fermat: a^(q-1) = 1 for a != 0.
+  for (int i = 0; i < 50; ++i) {
+    auto a = lsa::field::uniform<F>(rng);
+    if (a == F::zero) a = F::one;
+    EXPECT_EQ(F::pow(a, F::modulus - 1), F::one);
+  }
+}
+
+TYPED_TEST(FieldAxioms, SignedEmbeddingRoundTrip) {
+  using F = TypeParam;
+  lsa::common::Xoshiro256ss rng(14);
+  for (int i = 0; i < 2000; ++i) {
+    const auto mag = static_cast<std::int64_t>(
+        rng.next_below(std::min<std::uint64_t>(F::modulus / 4, 1ull << 40)));
+    const std::int64_t v = (i % 2 == 0) ? mag : -mag;
+    EXPECT_EQ(F::to_i64(F::from_i64(v)), v);
+  }
+  EXPECT_EQ(F::to_i64(F::from_i64(0)), 0);
+  EXPECT_EQ(F::to_i64(F::from_i64(-1)), -1);
+  // Sums of embedded values demap correctly while within range.
+  const auto s = F::add(F::from_i64(-1000), F::from_i64(250));
+  EXPECT_EQ(F::to_i64(s), -750);
+}
+
+TYPED_TEST(FieldAxioms, InvZeroThrows) {
+  using F = TypeParam;
+  EXPECT_THROW((void)F::inv(F::zero), lsa::Error);
+}
+
+TEST(FieldVec, AddSubScaleAxpy) {
+  using F = Fp32;
+  lsa::common::Xoshiro256ss rng(20);
+  auto a = lsa::field::uniform_vector<F>(257, rng);
+  auto b = lsa::field::uniform_vector<F>(257, rng);
+  const auto orig = a;
+
+  lsa::field::add_inplace<F>(std::span<F::rep>(a), std::span<const F::rep>(b));
+  lsa::field::sub_inplace<F>(std::span<F::rep>(a), std::span<const F::rep>(b));
+  EXPECT_EQ(a, orig);
+
+  auto c = lsa::field::add<F>(std::span<const F::rep>(a),
+                              std::span<const F::rep>(b));
+  auto d = lsa::field::sub<F>(std::span<const F::rep>(c),
+                              std::span<const F::rep>(a));
+  EXPECT_EQ(d, b);
+
+  // axpy(acc, s, x) == acc + scale(x, s)
+  auto e = a;
+  lsa::field::axpy_inplace<F>(std::span<F::rep>(e), 777u,
+                              std::span<const F::rep>(b));
+  auto f = b;
+  lsa::field::scale_inplace<F>(std::span<F::rep>(f), 777u);
+  lsa::field::add_inplace<F>(std::span<F::rep>(f), std::span<const F::rep>(a));
+  EXPECT_EQ(e, f);
+}
+
+TEST(FieldVec, SizeMismatchThrows) {
+  using F = Fp32;
+  std::vector<F::rep> a(4), b(5);
+  EXPECT_THROW(lsa::field::add_inplace<F>(std::span<F::rep>(a),
+                                          std::span<const F::rep>(b)),
+               lsa::Error);
+}
+
+TEST(FieldVec, BatchInvMatchesScalarInv) {
+  using F = Fp32;
+  lsa::common::Xoshiro256ss rng(21);
+  std::vector<F::rep> xs(100);
+  for (auto& x : xs) {
+    do {
+      x = lsa::field::uniform<F>(rng);
+    } while (x == F::zero);
+  }
+  auto ys = xs;
+  lsa::field::batch_inv_inplace<F>(std::span<F::rep>(ys));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(ys[i], F::inv(xs[i]));
+  }
+}
+
+TEST(FieldVec, DotAndSum) {
+  using F = Fp32;
+  std::vector<F::rep> a = {1, 2, 3};
+  std::vector<F::rep> b = {4, 5, 6};
+  EXPECT_EQ(lsa::field::dot<F>(std::span<const F::rep>(a),
+                               std::span<const F::rep>(b)),
+            4u + 10u + 18u);
+  EXPECT_EQ(lsa::field::sum<F>(std::span<const F::rep>(a)), 6u);
+}
+
+TEST(RandomField, UniformityChiSquare) {
+  // 16 equiprobable bins over Fp32; chi2(15 dof) < 40 is ~p > 0.999.
+  using F = Fp32;
+  lsa::common::Xoshiro256ss rng(22);
+  std::vector<std::size_t> bins(16, 0);
+  const std::uint64_t bin_width = F::modulus / 16 + 1;
+  constexpr int kSamples = 160000;
+  for (int i = 0; i < kSamples; ++i) {
+    bins[lsa::field::uniform<F>(rng) / bin_width]++;
+  }
+  EXPECT_LT(lsa::common::chi_square_uniform(bins), 40.0);
+}
+
+TEST(RandomField, PrgIsBitSourceToo) {
+  using F = Fp32;
+  lsa::crypto::Prg prg(lsa::crypto::seed_from_u64(9));
+  auto v = lsa::field::uniform_vector<F>(1000, prg);
+  for (auto x : v) EXPECT_LT(static_cast<std::uint64_t>(x), F::modulus);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Multi-round leakage tracker and the batch-partitioning mitigation
+// (So et al. 2021a): rank algebra, the classic difference attack, and the
+// unconditional safety of batch-aligned participation.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/leakage.h"
+#include "common/rng.h"
+
+namespace {
+
+using lsa::analysis::BatchPartition;
+using lsa::analysis::LeakageTracker;
+
+std::vector<bool> set_of(std::size_t n,
+                         std::initializer_list<std::size_t> members) {
+  std::vector<bool> v(n, false);
+  for (const auto i : members) v[i] = true;
+  return v;
+}
+
+TEST(Leakage, SingleRoundLeaksNothingIndividual) {
+  LeakageTracker t(5);
+  t.record_round(set_of(5, {0, 1, 2, 3, 4}));
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_TRUE(t.isolated_users().empty());
+}
+
+TEST(Leakage, RepeatedIdenticalRoundsAddNoRank) {
+  LeakageTracker t(6);
+  for (int r = 0; r < 10; ++r) t.record_round(set_of(6, {1, 2, 4}));
+  EXPECT_EQ(t.rounds_recorded(), 10u);
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_TRUE(t.isolated_users().empty());
+}
+
+TEST(Leakage, ClassicDifferenceAttackIsolatesTheDropout) {
+  // Paper-cited scenario: rounds {0,1,2} then {1,2} — the difference is
+  // exactly user 0's model.
+  LeakageTracker t(3);
+  t.record_round(set_of(3, {0, 1, 2}));
+  EXPECT_FALSE(t.user_isolated(0));
+  t.record_round(set_of(3, {1, 2}));
+  EXPECT_TRUE(t.user_isolated(0));
+  EXPECT_FALSE(t.user_isolated(1));
+  EXPECT_FALSE(t.user_isolated(2));
+  EXPECT_EQ(t.isolated_users(), std::vector<std::size_t>{0});
+}
+
+TEST(Leakage, ChainedDifferencesIsolateEveryone) {
+  // {0,1}, {1,2}, {2,3}, {0,3} has rank 3; adding the singleton-revealing
+  // combination requires one more independent equation: {0,1,2} completes
+  // the isolation of every user.
+  LeakageTracker t(4);
+  t.record_round(set_of(4, {0, 1}));
+  t.record_round(set_of(4, {1, 2}));
+  t.record_round(set_of(4, {2, 3}));
+  t.record_round(set_of(4, {0, 3}));
+  EXPECT_EQ(t.rank(), 3u);  // the 4th is dependent (sum of 1st+3rd-2nd)
+  EXPECT_TRUE(t.isolated_users().empty());
+
+  t.record_round(set_of(4, {0, 1, 2}));
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.isolated_users().size(), 4u);  // full basis: everyone leaked
+}
+
+TEST(Leakage, IsolationThroughNontrivialCombination) {
+  // No round difference isolates anyone directly, but the combination
+  // {0,1,2} + {3,4} - {1,2,3,4} = e_0 does. The tracker must find it.
+  LeakageTracker t(5);
+  t.record_round(set_of(5, {0, 1, 2}));
+  t.record_round(set_of(5, {3, 4}));
+  EXPECT_TRUE(t.isolated_users().empty());
+  t.record_round(set_of(5, {1, 2, 3, 4}));
+  EXPECT_TRUE(t.user_isolated(0));
+  EXPECT_FALSE(t.user_isolated(1));
+  EXPECT_FALSE(t.user_isolated(4));
+}
+
+TEST(Leakage, DisjointPairsNeverIsolate) {
+  LeakageTracker t(8);
+  t.record_round(set_of(8, {0, 1}));
+  t.record_round(set_of(8, {2, 3}));
+  t.record_round(set_of(8, {4, 5}));
+  t.record_round(set_of(8, {6, 7}));
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_TRUE(t.isolated_users().empty());
+}
+
+TEST(Leakage, RankIsBoundedByRoundsAndUsers) {
+  LeakageTracker t(5);
+  lsa::common::Xoshiro256ss rng(7);
+  std::size_t prev_rank = 0;
+  for (int r = 0; r < 20; ++r) {
+    std::vector<bool> s(5, false);
+    std::size_t members = 0;
+    while (members == 0) {  // non-empty random subsets
+      for (std::size_t i = 0; i < 5; ++i) {
+        s[i] = (rng.next_u64() & 1) != 0;
+        if (s[i]) ++members;
+      }
+    }
+    t.record_round(s);
+    EXPECT_GE(t.rank(), prev_rank);  // monotone
+    EXPECT_LE(t.rank(), std::min<std::size_t>(t.rounds_recorded(), 5));
+    prev_rank = t.rank();
+  }
+  EXPECT_EQ(t.rank(), 5u);  // 20 random subsets of 5 users: full rank whp
+}
+
+TEST(Leakage, RejectsBadInputs) {
+  EXPECT_THROW(LeakageTracker t0(0), lsa::ConfigError);
+  LeakageTracker t(3);
+  EXPECT_THROW(t.record_round(std::vector<bool>(2, true)),
+               lsa::ConfigError);
+  EXPECT_THROW((void)t.user_isolated(3), lsa::ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Batch partitioning mitigation.
+// ---------------------------------------------------------------------------
+
+TEST(BatchPartition, AlignSnapsToWholeBatches) {
+  BatchPartition bp(9, 3);  // batches {0,1,2}, {3,4,5}, {6,7,8}
+  EXPECT_EQ(bp.num_batches(), 3u);
+  EXPECT_EQ(bp.batch_of(5), 1u);
+
+  // Batch 0 fully available, batch 1 partially, batch 2 fully.
+  std::vector<bool> avail = {true, true, true, true, false, true,
+                             true, true, true};
+  const auto aligned = bp.align(avail);
+  const std::vector<bool> expect = {true,  true,  true,  false, false,
+                                    false, true,  true,  true};
+  EXPECT_EQ(aligned, expect);
+}
+
+TEST(BatchPartition, BatchAlignedRoundsNeverIsolateAnyone) {
+  // The mitigation's guarantee, checked against the tracker itself: any
+  // sequence of batch-aligned participation sets keeps every user safe.
+  const std::size_t n = 12, b = 3;
+  BatchPartition bp(n, b);
+  LeakageTracker t(n);
+  lsa::common::Xoshiro256ss rng(11);
+  for (int r = 0; r < 40; ++r) {
+    std::vector<bool> avail(n);
+    for (std::size_t i = 0; i < n; ++i) avail[i] = (rng.next_u64() & 1) != 0;
+    t.record_round(bp.align(avail));
+  }
+  EXPECT_TRUE(t.isolated_users().empty());
+  EXPECT_LE(t.rank(), bp.num_batches());
+}
+
+TEST(BatchPartition, BatchSizeOneOffersNoProtection) {
+  // Degenerate b = 1 is exactly unrestricted participation: the difference
+  // attack works again — the guarantee really does come from b >= 2.
+  BatchPartition bp(3, 1);
+  LeakageTracker t(3);
+  t.record_round(bp.align({true, true, true}));
+  t.record_round(bp.align({false, true, true}));
+  EXPECT_TRUE(t.user_isolated(0));
+}
+
+TEST(BatchPartition, UnevenTailBatchStillProtected) {
+  // 7 users, batch size 3: batches {0,1,2}, {3,4,5}, {6}. The tail batch
+  // has size 1 — its member IS isolatable; the full-size batches are safe.
+  BatchPartition bp(7, 3);
+  LeakageTracker t(7);
+  t.record_round(bp.align(std::vector<bool>(7, true)));
+  std::vector<bool> no_tail(7, true);
+  no_tail[6] = false;
+  t.record_round(bp.align(no_tail));
+  EXPECT_TRUE(t.user_isolated(6));
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_FALSE(t.user_isolated(i));
+}
+
+}  // namespace

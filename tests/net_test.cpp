@@ -1,0 +1,141 @@
+// Ledger accounting, cost model arithmetic, and round-time simulation.
+#include <gtest/gtest.h>
+
+#include "net/bandwidth.h"
+#include "net/cost_model.h"
+#include "net/ledger.h"
+#include "net/round_sim.h"
+
+namespace {
+
+using namespace lsa::net;
+
+TEST(Ledger, MessageAndComputeAccounting) {
+  Ledger ledger(3);
+  ledger.add_message(Phase::kOffline, 0, 1, 100, true);
+  ledger.add_message(Phase::kOffline, 0, 2, 50, false);
+  ledger.add_message(Phase::kUpload, 1, ledger.server_id(), 7, true);
+  ledger.add_compute(Phase::kRecovery, ledger.server_id(),
+                     CompKind::kMaskDecode, 1234, true);
+
+  EXPECT_EQ(ledger.sent_elems(Phase::kOffline, 0, true), 100u);
+  EXPECT_EQ(ledger.sent_elems(Phase::kOffline, 0, false), 50u);
+  EXPECT_EQ(ledger.recv_elems_of(Phase::kOffline, 1, true), 100u);
+  EXPECT_EQ(ledger.recv_elems_of(Phase::kOffline, 2, false), 50u);
+  EXPECT_EQ(ledger.messages_sent(Phase::kOffline, 0), 2u);
+  EXPECT_EQ(ledger.recv_elems_of(Phase::kUpload, ledger.server_id(), true),
+            7u);
+  EXPECT_EQ(ledger.compute_elems(Phase::kRecovery, ledger.server_id(),
+                                 CompKind::kMaskDecode, true),
+            1234u);
+  EXPECT_EQ(ledger.max_user_sent_elems(Phase::kOffline, true), 100u);
+  EXPECT_EQ(ledger.total_user_sent_elems(Phase::kOffline, false), 50u);
+
+  ledger.reset();
+  EXPECT_EQ(ledger.sent_elems(Phase::kOffline, 0, true), 0u);
+  EXPECT_EQ(ledger.messages_sent(Phase::kOffline, 0), 0u);
+}
+
+TEST(Ledger, RejectsUnknownEntities) {
+  Ledger ledger(2);
+  EXPECT_THROW(ledger.add_message(Phase::kOffline, 5, 0, 1, false),
+               lsa::Error);
+}
+
+TEST(CostModel, CalibrationProducesPositiveCosts) {
+  const auto cm = CostModel::calibrate();
+  for (std::size_t k = 0; k < kNumCompKinds; ++k) {
+    EXPECT_GT(cm.per_elem(static_cast<CompKind>(k)), 0.0) << k;
+    EXPECT_LT(cm.per_elem(static_cast<CompKind>(k)), 1.0) << k;
+  }
+}
+
+TEST(CostModel, ComputeSecondsScalesWithD) {
+  CostModel::Profile p{};
+  p[static_cast<std::size_t>(CompKind::kPrgExpand)] = 1e-6;
+  p[static_cast<std::size_t>(CompKind::kKeyAgree)] = 1e-3;
+  CostModel cm(p);
+  Ledger ledger(2);
+  ledger.add_compute(Phase::kOffline, 0, CompKind::kPrgExpand, 1000, true);
+  ledger.add_compute(Phase::kOffline, 0, CompKind::kKeyAgree, 10, false);
+  // d_scale multiplies only the scaled entry.
+  EXPECT_DOUBLE_EQ(cm.compute_seconds(ledger, Phase::kOffline, 0, 1.0),
+                   1e-3 + 1e-2);
+  EXPECT_DOUBLE_EQ(cm.compute_seconds(ledger, Phase::kOffline, 0, 10.0),
+                   1e-2 + 1e-2);
+}
+
+TEST(RoundSim, BreakdownRespectsBandwidthAndOverlap) {
+  CostModel::Profile p{};
+  CostModel cm(p);  // zero compute: isolate communication
+  Ledger ledger(2);
+  // Upload: both users send 1e6 elements (4 MB) to the server.
+  ledger.add_message(Phase::kUpload, 0, ledger.server_id(), 1000000, true);
+  ledger.add_message(Phase::kUpload, 1, ledger.server_id(), 1000000, true);
+
+  BandwidthProfile slow{.user_uplink_bps = 8e6,
+                        .user_downlink_bps = 8e6,
+                        .server_bps = 1e9,
+                        .rtt_s = 0.0};
+  BandwidthProfile fast = slow;
+  fast.user_uplink_bps = 80e6;
+
+  RoundSimulator sim_slow(cm, slow, {});
+  RoundSimulator sim_fast(cm, fast, {});
+  const auto rb_slow = sim_slow.simulate(ledger, 1.0, 0.0);
+  const auto rb_fast = sim_fast.simulate(ledger, 1.0, 0.0);
+  // 4 MB at 1 MB/s = 4 s per user (parallel) vs 0.4 s.
+  EXPECT_NEAR(rb_slow.upload, 4.0, 0.2);
+  EXPECT_NEAR(rb_fast.upload, 0.4, 0.05);
+
+  // Overlapped total hides the smaller of offline/training.
+  RoundBreakdown rb{.offline = 10.0, .training = 6.0, .upload = 1.0,
+                    .recovery = 2.0};
+  EXPECT_DOUBLE_EQ(rb.total_nonoverlapped(), 19.0);
+  EXPECT_DOUBLE_EQ(rb.total_overlapped(), 13.0);
+}
+
+TEST(RoundSim, DuplexOverlapHalvesSymmetricExchange) {
+  CostModel::Profile p{};
+  CostModel cm(p);
+  Ledger ledger(2);
+  // Offline: users exchange 1e6 elements in both directions.
+  ledger.add_message(Phase::kOffline, 0, 1, 1000000, true);
+  ledger.add_message(Phase::kOffline, 1, 0, 1000000, true);
+
+  BandwidthProfile bw{.user_uplink_bps = 8e6,
+                      .user_downlink_bps = 8e6,
+                      .server_bps = 1e12,
+                      .rtt_s = 0.0};
+  RoundSimulator duplex(cm, bw, {.duplex_overlap = true});
+  RoundSimulator sequential(cm, bw, {.duplex_overlap = false});
+  const double t_dup = duplex.simulate(ledger, 1.0, 0.0).offline;
+  const double t_seq = sequential.simulate(ledger, 1.0, 0.0).offline;
+  EXPECT_NEAR(t_seq / t_dup, 2.0, 0.01);
+}
+
+TEST(RoundSim, DScaleExtrapolatesScaledTrafficOnly) {
+  CostModel::Profile p{};
+  CostModel cm(p);
+  Ledger ledger(1);
+  ledger.add_message(Phase::kUpload, 0, ledger.server_id(), 1000, true);
+  ledger.add_message(Phase::kUpload, 0, ledger.server_id(), 500, false);
+  BandwidthProfile bw{.user_uplink_bps = 8.0,  // 1 byte/s
+                      .user_downlink_bps = 8.0,
+                      .server_bps = 1e12,
+                      .rtt_s = 0.0};
+  RoundSimulator sim(cm, bw, {.element_bytes = 1.0});
+  // scale 1: (1000 + 500) bytes at 1 B/s.
+  EXPECT_NEAR(sim.simulate(ledger, 1.0, 0.0).upload, 1500.0, 1.0);
+  // scale 3: 3*1000 + 500.
+  EXPECT_NEAR(sim.simulate(ledger, 3.0, 0.0).upload, 3500.0, 1.0);
+}
+
+TEST(Bandwidth, PresetsMatchPaperSettings) {
+  EXPECT_DOUBLE_EQ(BandwidthProfile::lte_4g().user_uplink_bps, 98e6);
+  EXPECT_DOUBLE_EQ(BandwidthProfile::measured_320mbps().user_uplink_bps,
+                   320e6);
+  EXPECT_DOUBLE_EQ(BandwidthProfile::nr_5g().user_uplink_bps, 802e6);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// NTT properties over Goldilocks: transform/inverse round trip, agreement
+// with the naive DFT, convolution theorem, and the polymul dispatcher's
+// equality between schoolbook and NTT paths on every operand-size mix.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "coding/ntt.h"
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/goldilocks.h"
+#include "field/random_field.h"
+
+namespace {
+
+using F = lsa::field::Goldilocks;
+using rep = F::rep;
+
+std::vector<rep> random_poly(std::size_t n, std::uint64_t seed) {
+  lsa::common::Xoshiro256ss rng(seed);
+  return lsa::field::uniform_vector<F>(n, rng);
+}
+
+/// Naive O(n^2) DFT: out[k] = sum_j a[j] * w^(jk).
+std::vector<rep> dft_naive(const std::vector<rep>& a) {
+  const std::size_t n = a.size();
+  const unsigned log_n =
+      static_cast<unsigned>(std::countr_zero(a.size()));
+  const rep w = F::omega(log_n);
+  std::vector<rep> out(n, F::zero);
+  for (std::size_t k = 0; k < n; ++k) {
+    rep wk = F::pow(w, k);
+    rep x = F::one;
+    for (std::size_t j = 0; j < n; ++j) {
+      out[k] = F::add(out[k], F::mul(a[j], x));
+      x = F::mul(x, wk);
+    }
+  }
+  return out;
+}
+
+TEST(Ntt, MatchesNaiveDftOnSmallSizes) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}, std::size_t{16},
+                              std::size_t{64}}) {
+    auto a = random_poly(n, 1000 + n);
+    const auto expected = dft_naive(a);
+    lsa::coding::ntt_inplace<F>(std::span<rep>(a));
+    EXPECT_EQ(a, expected) << "n=" << n;
+  }
+}
+
+TEST(Ntt, ForwardInverseRoundTrip) {
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{16}, std::size_t{256},
+        std::size_t{1024}, std::size_t{4096}}) {
+    const auto original = random_poly(n, 2000 + n);
+    auto a = original;
+    lsa::coding::ntt_inplace<F>(std::span<rep>(a));
+    if (n > 1) {
+      EXPECT_NE(a, original);  // transform actually does something
+    }
+    lsa::coding::intt_inplace<F>(std::span<rep>(a));
+    EXPECT_EQ(a, original) << "n=" << n;
+  }
+}
+
+TEST(Ntt, TransformOfDeltaIsAllOnes) {
+  // NTT(delta_0) = (1, 1, ..., 1); NTT(all-ones) = n * delta_0.
+  std::vector<rep> delta(64, F::zero);
+  delta[0] = F::one;
+  lsa::coding::ntt_inplace<F>(std::span<rep>(delta));
+  EXPECT_EQ(delta, std::vector<rep>(64, F::one));
+
+  std::vector<rep> ones(64, F::one);
+  lsa::coding::ntt_inplace<F>(std::span<rep>(ones));
+  EXPECT_EQ(ones[0], F::from_u64(64));
+  for (std::size_t k = 1; k < 64; ++k) EXPECT_EQ(ones[k], F::zero);
+}
+
+TEST(Ntt, LinearityOfTransform) {
+  lsa::common::Xoshiro256ss rng(77);
+  auto a = random_poly(128, 3);
+  auto b = random_poly(128, 4);
+  const rep s = lsa::field::uniform<F>(rng);
+
+  std::vector<rep> combo(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    combo[i] = F::add(a[i], F::mul(s, b[i]));
+  }
+  lsa::coding::ntt_inplace<F>(std::span<rep>(a));
+  lsa::coding::ntt_inplace<F>(std::span<rep>(b));
+  lsa::coding::ntt_inplace<F>(std::span<rep>(combo));
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(combo[i], F::add(a[i], F::mul(s, b[i])));
+  }
+}
+
+TEST(Ntt, RejectsNonPowerOfTwoSizes) {
+  std::vector<rep> a(3, F::one);
+  EXPECT_THROW(lsa::coding::ntt_inplace<F>(std::span<rep>(a)),
+               lsa::CodingError);
+}
+
+TEST(Ntt, PolymulNttMatchesSchoolbook) {
+  for (const auto& [na, nb] :
+       {std::pair<std::size_t, std::size_t>{1, 1},
+        {1, 100},
+        {100, 1},
+        {63, 65},
+        {64, 64},
+        {128, 333},
+        {1000, 1000}}) {
+    const auto a = random_poly(na, 5000 + na);
+    const auto b = random_poly(nb, 6000 + nb);
+    const auto slow = lsa::coding::polymul_schoolbook<F>(
+        std::span<const rep>(a), std::span<const rep>(b));
+    const auto fast = lsa::coding::polymul_ntt<F>(std::span<const rep>(a),
+                                                  std::span<const rep>(b));
+    EXPECT_EQ(slow, fast) << na << "x" << nb;
+  }
+}
+
+TEST(Ntt, PolymulDispatcherHandlesEmptyAndConstant) {
+  const std::vector<rep> empty;
+  const std::vector<rep> c{5};
+  const auto a = random_poly(200, 9);
+  EXPECT_TRUE(lsa::coding::polymul<F>(std::span<const rep>(empty),
+                                      std::span<const rep>(a))
+                  .empty());
+  const auto scaled = lsa::coding::polymul<F>(std::span<const rep>(c),
+                                              std::span<const rep>(a));
+  ASSERT_EQ(scaled.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(scaled[i], F::mul(5, a[i]));
+  }
+}
+
+TEST(Ntt, ConvolutionTheoremViaEvaluations) {
+  // Products of evaluations == evaluation of the product (padding to the
+  // full convolution size so no wrap-around occurs).
+  const auto a = random_poly(40, 21);
+  const auto b = random_poly(25, 22);
+  const auto prod = lsa::coding::polymul_schoolbook<F>(
+      std::span<const rep>(a), std::span<const rep>(b));
+  const std::size_t n = std::bit_ceil(prod.size());
+  std::vector<rep> fa(a), fb(b), fp(prod);
+  fa.resize(n, F::zero);
+  fb.resize(n, F::zero);
+  fp.resize(n, F::zero);
+  lsa::coding::ntt_inplace<F>(std::span<rep>(fa));
+  lsa::coding::ntt_inplace<F>(std::span<rep>(fb));
+  lsa::coding::ntt_inplace<F>(std::span<rep>(fp));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(fp[i], F::mul(fa[i], fb[i]));
+  }
+}
+
+TEST(Ntt, OmegaZeroIsOneAndSizeOneTransformsAreIdentity) {
+  EXPECT_EQ(F::omega(0), F::one);
+  std::vector<rep> one_elem{12345};
+  lsa::coding::ntt_inplace<F>(std::span<rep>(one_elem));
+  EXPECT_EQ(one_elem[0], 12345u);
+  lsa::coding::intt_inplace<F>(std::span<rep>(one_elem));
+  EXPECT_EQ(one_elem[0], 12345u);
+}
+
+TEST(Ntt, MaxPracticalSizeRoundTrips) {
+  // 2^16 is far beyond any decode this library performs but well inside the
+  // field's 2-adicity of 32; the transform must stay exact.
+  auto a = random_poly(1u << 16, 999);
+  const auto original = a;
+  lsa::coding::ntt_inplace<F>(std::span<rep>(a));
+  lsa::coding::intt_inplace<F>(std::span<rep>(a));
+  EXPECT_EQ(a, original);
+}
+
+// Schoolbook multiplication must work for non-NTT fields too (the dispatcher
+// falls back silently); run the identity (a*b)*c == a*(b*c) over Fp61.
+TEST(Ntt, SchoolbookAssociativityOverNonNttField) {
+  using F61 = lsa::field::Fp61;
+  using rep61 = F61::rep;
+  lsa::common::Xoshiro256ss rng(31);
+  const auto a = lsa::field::uniform_vector<F61>(17, rng);
+  const auto b = lsa::field::uniform_vector<F61>(23, rng);
+  const auto c = lsa::field::uniform_vector<F61>(9, rng);
+  const auto ab_c = lsa::coding::polymul<F61>(
+      std::span<const rep61>(lsa::coding::polymul<F61>(
+          std::span<const rep61>(a), std::span<const rep61>(b))),
+      std::span<const rep61>(c));
+  const auto a_bc = lsa::coding::polymul<F61>(
+      std::span<const rep61>(a),
+      std::span<const rep61>(lsa::coding::polymul<F61>(
+          std::span<const rep61>(b), std::span<const rep61>(c))));
+  EXPECT_EQ(ab_c, a_bc);
+}
+
+}  // namespace

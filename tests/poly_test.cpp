@@ -1,0 +1,228 @@
+// Fast polynomial toolkit: division invariants, power-series inversion,
+// subproduct-tree evaluation/interpolation against naive references.
+// Field-generic (typed over Goldilocks and Fp61) so the fast paths and the
+// schoolbook fallbacks are both exercised.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "coding/poly.h"
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/goldilocks.h"
+#include "field/random_field.h"
+
+namespace {
+
+using lsa::field::Fp61;
+using lsa::field::Goldilocks;
+
+template <class F>
+class PolyToolkit : public ::testing::Test {};
+
+using PolyFields = ::testing::Types<Goldilocks, Fp61>;
+TYPED_TEST_SUITE(PolyToolkit, PolyFields);
+
+template <class F>
+std::vector<typename F::rep> random_poly(std::size_t n, std::uint64_t seed) {
+  lsa::common::Xoshiro256ss rng(seed);
+  auto v = lsa::field::uniform_vector<F>(n, rng);
+  if (!v.empty() && v.back() == F::zero) v.back() = F::one;  // keep degree
+  return v;
+}
+
+template <class F>
+std::vector<typename F::rep> distinct_points(std::size_t n) {
+  std::vector<typename F::rep> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = F::from_u64(3 * i + 1);  // distinct, nonzero
+  }
+  return xs;
+}
+
+TYPED_TEST(PolyToolkit, DerivativeOfProductRule) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  const auto a = random_poly<F>(9, 1);
+  const auto b = random_poly<F>(7, 2);
+  const auto ab = lsa::coding::polymul<F>(std::span<const rep>(a),
+                                          std::span<const rep>(b));
+  // (ab)' == a'b + ab'
+  const auto lhs = lsa::coding::poly_derivative<F>(std::span<const rep>(ab));
+  const auto da = lsa::coding::poly_derivative<F>(std::span<const rep>(a));
+  const auto db = lsa::coding::poly_derivative<F>(std::span<const rep>(b));
+  const auto rhs = lsa::coding::poly_add<F>(
+      std::span<const rep>(lsa::coding::polymul<F>(std::span<const rep>(da),
+                                                   std::span<const rep>(b))),
+      std::span<const rep>(lsa::coding::polymul<F>(std::span<const rep>(a),
+                                                   std::span<const rep>(db))));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TYPED_TEST(PolyToolkit, DivRemIdentityAcrossSizeMixes) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  for (const auto& [na, nb] :
+       {std::pair<std::size_t, std::size_t>{1, 1},
+        {5, 9},      // deg a < deg b: q == 0
+        {9, 5},      // small: schoolbook path
+        {40, 7},
+        {120, 40},   // large: Newton path
+        {300, 150},
+        {257, 19}}) {
+    const auto a = random_poly<F>(na, 100 + na);
+    const auto b = random_poly<F>(nb, 200 + nb);
+    const auto [q, r] = lsa::coding::poly_divrem<F>(std::span<const rep>(a),
+                                                    std::span<const rep>(b));
+    // a == q*b + r and deg r < deg b.
+    EXPECT_LT(r.size(), b.size());
+    const auto qb = lsa::coding::polymul<F>(std::span<const rep>(q),
+                                            std::span<const rep>(b));
+    auto reconstructed = lsa::coding::poly_add<F>(std::span<const rep>(qb),
+                                                  std::span<const rep>(r));
+    std::vector<rep> a_trim(a);
+    lsa::coding::poly_trim<F>(a_trim);
+    EXPECT_EQ(reconstructed, a_trim) << na << "/" << nb;
+  }
+}
+
+TYPED_TEST(PolyToolkit, DivRemByZeroThrows) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  const auto a = random_poly<F>(5, 1);
+  const std::vector<rep> zero;
+  EXPECT_THROW((void)lsa::coding::poly_divrem<F>(std::span<const rep>(a),
+                                                 std::span<const rep>(zero)),
+               lsa::CodingError);
+}
+
+TYPED_TEST(PolyToolkit, PowerSeriesInverse) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{17},
+                              std::size_t{64}, std::size_t{200}}) {
+    const auto a = random_poly<F>(50, 300 + k);
+    ASSERT_NE(a[0], F::zero);
+    const auto b =
+        lsa::coding::poly_inverse_mod_xk<F>(std::span<const rep>(a), k);
+    auto prod = lsa::coding::polymul<F>(std::span<const rep>(a),
+                                        std::span<const rep>(b));
+    prod.resize(k);
+    EXPECT_EQ(prod[0], F::one) << "k=" << k;
+    for (std::size_t i = 1; i < k; ++i) {
+      EXPECT_EQ(prod[i], F::zero) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TYPED_TEST(PolyToolkit, PowerSeriesInverseRequiresUnitConstantTerm) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  std::vector<rep> a{F::zero, F::one};
+  EXPECT_THROW(
+      (void)lsa::coding::poly_inverse_mod_xk<F>(std::span<const rep>(a), 4),
+      lsa::CodingError);
+}
+
+TYPED_TEST(PolyToolkit, SubproductTreeRootIsMonicWithCorrectRoots) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  const auto xs = distinct_points<F>(13);
+  lsa::coding::SubproductTree<F> tree{std::span<const rep>(xs)};
+  const auto& m = tree.root();
+  EXPECT_EQ(m.size(), xs.size() + 1);  // degree n
+  EXPECT_EQ(m.back(), F::one);         // monic
+  for (const rep x : xs) {
+    EXPECT_EQ(lsa::coding::poly_eval<F>(std::span<const rep>(m), x), F::zero);
+  }
+  // Nonroot stays nonzero.
+  EXPECT_NE(lsa::coding::poly_eval<F>(std::span<const rep>(m),
+                                      F::from_u64(999983)),
+            F::zero);
+}
+
+TYPED_TEST(PolyToolkit, FastMultipointEvalMatchesHorner) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  for (const auto& [npoints, deg] :
+       {std::pair<std::size_t, std::size_t>{1, 5},
+        {2, 1},
+        {7, 7},      // odd point count: carry-through nodes
+        {16, 40},    // poly much larger than tree
+        {33, 10},
+        {100, 99}}) {
+    const auto xs = distinct_points<F>(npoints);
+    const auto f = random_poly<F>(deg, 400 + npoints);
+    lsa::coding::SubproductTree<F> tree{std::span<const rep>(xs)};
+    const auto fast = tree.evaluate(std::span<const rep>(f));
+    ASSERT_EQ(fast.size(), npoints);
+    for (std::size_t j = 0; j < npoints; ++j) {
+      EXPECT_EQ(fast[j],
+                lsa::coding::poly_eval<F>(std::span<const rep>(f), xs[j]))
+          << "points=" << npoints << " deg=" << deg << " j=" << j;
+    }
+  }
+}
+
+TYPED_TEST(PolyToolkit, FastInterpolationMatchesNaive) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{8}, std::size_t{21},
+                              std::size_t{64}, std::size_t{101}}) {
+    const auto xs = distinct_points<F>(n);
+    lsa::common::Xoshiro256ss rng(500 + n);
+    const auto ys = lsa::field::uniform_vector<F>(n, rng);
+    lsa::coding::SubproductTree<F> tree{std::span<const rep>(xs)};
+    const auto fast = tree.interpolate(std::span<const rep>(ys));
+    const auto naive = lsa::coding::interpolate_naive<F>(
+        std::span<const rep>(xs), std::span<const rep>(ys));
+    EXPECT_EQ(fast, naive) << "n=" << n;
+    // And it actually passes through the points.
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(lsa::coding::poly_eval<F>(std::span<const rep>(fast), xs[j]),
+                ys[j]);
+    }
+  }
+}
+
+TYPED_TEST(PolyToolkit, InterpolateEvalRoundTrip) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  // evaluate(interpolate(ys)) == ys — the codec's core identity.
+  const std::size_t n = 47;
+  const auto xs = distinct_points<F>(n);
+  lsa::common::Xoshiro256ss rng(61);
+  const auto ys = lsa::field::uniform_vector<F>(n, rng);
+  lsa::coding::SubproductTree<F> tree{std::span<const rep>(xs)};
+  const auto f = tree.interpolate(std::span<const rep>(ys));
+  EXPECT_LE(f.size(), n);  // degree < n
+  EXPECT_EQ(tree.evaluate(std::span<const rep>(f)), ys);
+}
+
+TYPED_TEST(PolyToolkit, TreeRejectsDuplicatePoints) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  std::vector<rep> xs{1, 2, 1};
+  EXPECT_THROW(lsa::coding::SubproductTree<F> tree{std::span<const rep>(xs)},
+               lsa::CodingError);
+}
+
+TYPED_TEST(PolyToolkit, EvaluateZeroAndConstantPolynomials) {
+  using F = TypeParam;
+  using rep = typename F::rep;
+  const auto xs = distinct_points<F>(9);
+  lsa::coding::SubproductTree<F> tree{std::span<const rep>(xs)};
+  const std::vector<rep> zero;
+  for (const rep v : tree.evaluate(std::span<const rep>(zero))) {
+    EXPECT_EQ(v, F::zero);
+  }
+  const std::vector<rep> c{42};
+  for (const rep v : tree.evaluate(std::span<const rep>(c))) {
+    EXPECT_EQ(v, F::from_u64(42));
+  }
+}
+
+}  // namespace

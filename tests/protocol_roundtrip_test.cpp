@@ -1,0 +1,206 @@
+// Cross-protocol correctness: every protocol must recover the exact field
+// sum of the surviving users' inputs for every tolerated dropout pattern.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/random_field.h"
+#include "net/ledger.h"
+#include "protocol/fastsecagg.h"
+#include "protocol/lightsecagg.h"
+#include "protocol/secagg.h"
+#include "protocol/secagg_plus.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using lsa::protocol::Params;
+using rep = Fp32::rep;
+
+std::vector<std::vector<rep>> random_inputs(std::size_t n, std::size_t d,
+                                            std::uint64_t seed) {
+  lsa::common::Xoshiro256ss rng(seed);
+  std::vector<std::vector<rep>> inputs(n);
+  for (auto& x : inputs) x = lsa::field::uniform_vector<Fp32>(d, rng);
+  return inputs;
+}
+
+std::vector<rep> plain_sum(const std::vector<std::vector<rep>>& inputs,
+                           const std::vector<bool>& dropped) {
+  std::vector<rep> sum(inputs[0].size(), Fp32::zero);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (dropped[i]) continue;
+    lsa::field::add_inplace<Fp32>(std::span<rep>(sum),
+                                  std::span<const rep>(inputs[i]));
+  }
+  return sum;
+}
+
+struct Case {
+  std::size_t n, t, d_drop, dim;
+  std::uint64_t seed;
+};
+
+class ProtocolRoundtrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ProtocolRoundtrip, SecAggMatchesPlainSum) {
+  const auto c = GetParam();
+  Params p{.num_users = c.n, .privacy = c.t, .dropout = c.d_drop,
+           .target_survivors = 0, .model_dim = c.dim};
+  lsa::protocol::SecAgg<Fp32> agg(p, c.seed);
+  auto inputs = random_inputs(c.n, c.dim, c.seed + 1);
+  lsa::common::Xoshiro256ss rng(c.seed + 2);
+  std::vector<bool> dropped(c.n, false);
+  for (std::size_t k = 0; k < c.d_drop; ++k) {
+    std::size_t pick;
+    do {
+      pick = static_cast<std::size_t>(rng.next_below(c.n));
+    } while (dropped[pick]);
+    dropped[pick] = true;
+  }
+  EXPECT_EQ(agg.run_round(inputs, dropped), plain_sum(inputs, dropped));
+}
+
+TEST_P(ProtocolRoundtrip, LightSecAggMatchesPlainSum) {
+  const auto c = GetParam();
+  Params p{.num_users = c.n, .privacy = c.t, .dropout = c.d_drop,
+           .target_survivors = 0, .model_dim = c.dim};
+  lsa::protocol::LightSecAgg<Fp32> agg(p, c.seed);
+  auto inputs = random_inputs(c.n, c.dim, c.seed + 1);
+  lsa::common::Xoshiro256ss rng(c.seed + 2);
+  std::vector<bool> dropped(c.n, false);
+  for (std::size_t k = 0; k < c.d_drop; ++k) {
+    std::size_t pick;
+    do {
+      pick = static_cast<std::size_t>(rng.next_below(c.n));
+    } while (dropped[pick]);
+    dropped[pick] = true;
+  }
+  EXPECT_EQ(agg.run_round(inputs, dropped), plain_sum(inputs, dropped));
+}
+
+TEST_P(ProtocolRoundtrip, FastSecAggMatchesPlainSum) {
+  const auto c = GetParam();
+  Params p{.num_users = c.n, .privacy = c.t, .dropout = c.d_drop,
+           .target_survivors = 0, .model_dim = c.dim};
+  lsa::protocol::FastSecAgg<Fp32> agg(p, c.seed);
+  auto inputs = random_inputs(c.n, c.dim, c.seed + 1);
+  lsa::common::Xoshiro256ss rng(c.seed + 2);
+  std::vector<bool> dropped(c.n, false);
+  for (std::size_t k = 0; k < c.d_drop; ++k) {
+    std::size_t pick;
+    do {
+      pick = static_cast<std::size_t>(rng.next_below(c.n));
+    } while (dropped[pick]);
+    dropped[pick] = true;
+  }
+  EXPECT_EQ(agg.run_round(inputs, dropped), plain_sum(inputs, dropped));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProtocolRoundtrip,
+    ::testing::Values(
+        Case{3, 1, 1, 8, 101},       // the paper's running example
+        Case{4, 1, 2, 16, 202},
+        Case{8, 3, 4, 32, 303},
+        Case{10, 5, 4, 64, 404},
+        Case{16, 8, 7, 10, 505},
+        Case{20, 10, 9, 24, 606},
+        Case{12, 0, 5, 16, 707},     // T = 0 edge case
+        Case{9, 4, 0, 16, 808},      // no dropouts
+        Case{25, 12, 12, 8, 909}));  // T + D = N - 1 (boundary)
+
+TEST(SecAggPlusRoundtrip, SparseGraphRandomDropouts) {
+  // Degree and threshold chosen so random dropouts keep every neighborhood
+  // recoverable with overwhelming probability at p ~ 0.25.
+  const std::size_t n = 24, dim = 32;
+  Params p{.num_users = n, .privacy = 3, .dropout = 6,
+           .target_survivors = 0, .model_dim = dim};
+  lsa::protocol::SecAggPlus<Fp32> agg(p, 42, nullptr, /*degree=*/10,
+                                      /*share_threshold=*/3);
+  auto inputs = random_inputs(n, dim, 43);
+  lsa::common::Xoshiro256ss rng(44);
+  std::vector<bool> dropped(n, false);
+  for (std::size_t k = 0; k < 6; ++k) {
+    std::size_t pick;
+    do {
+      pick = static_cast<std::size_t>(rng.next_below(n));
+    } while (dropped[pick]);
+    dropped[pick] = true;
+  }
+  EXPECT_EQ(agg.run_round(inputs, dropped), plain_sum(inputs, dropped));
+}
+
+TEST(SecAggPlusRoundtrip, ThrowsWhenNeighborhoodUnrecoverable) {
+  // Drop an entire neighborhood: the dropped user's sk becomes
+  // unrecoverable and the protocol must fail loudly, not return garbage.
+  const std::size_t n = 12, dim = 8;
+  Params p{.num_users = n, .privacy = 2, .dropout = 7,
+           .target_survivors = 0, .model_dim = dim};
+  lsa::protocol::SecAggPlus<Fp32> agg(p, 7, nullptr, /*degree=*/4,
+                                      /*share_threshold=*/2);
+  auto inputs = random_inputs(n, dim, 8);
+  std::vector<bool> dropped(n, false);
+  dropped[0] = true;
+  for (std::size_t j : agg.graph().neighbors(0)) dropped[j] = true;
+  EXPECT_THROW((void)agg.run_round(inputs, dropped), lsa::ProtocolError);
+}
+
+TEST(LightSecAggRoundtrip, ThrowsWithTooManyDropouts) {
+  Params p{.num_users = 8, .privacy = 2, .dropout = 2,
+           .target_survivors = 6, .model_dim = 16};
+  lsa::protocol::LightSecAgg<Fp32> agg(p, 1);
+  auto inputs = random_inputs(8, 16, 2);
+  std::vector<bool> dropped(8, false);
+  dropped[0] = dropped[1] = dropped[2] = true;  // 5 survivors < U = 6
+  EXPECT_THROW((void)agg.run_round(inputs, dropped), lsa::ProtocolError);
+}
+
+TEST(LightSecAggRoundtrip, WorksAtExactlyUSurvivors) {
+  Params p{.num_users = 8, .privacy = 2, .dropout = 2,
+           .target_survivors = 6, .model_dim = 16};
+  lsa::protocol::LightSecAgg<Fp32> agg(p, 1);
+  auto inputs = random_inputs(8, 16, 2);
+  std::vector<bool> dropped(8, false);
+  dropped[3] = dropped[7] = true;
+  EXPECT_EQ(agg.run_round(inputs, dropped), plain_sum(inputs, dropped));
+}
+
+TEST(ParamsValidation, RejectsBadCombinations) {
+  Params p{.num_users = 10, .privacy = 5, .dropout = 5,
+           .target_survivors = 0, .model_dim = 4};
+  EXPECT_THROW(p.validate_and_resolve(), lsa::ProtocolError);  // T + D = N
+  Params p2{.num_users = 10, .privacy = 6, .dropout = 3,
+            .target_survivors = 6, .model_dim = 4};
+  EXPECT_THROW(p2.validate_and_resolve(), lsa::ProtocolError);  // U <= T
+  Params p3{.num_users = 10, .privacy = 2, .dropout = 3,
+            .target_survivors = 8, .model_dim = 4};
+  EXPECT_THROW(p3.validate_and_resolve(), lsa::ProtocolError);  // U > N - D
+}
+
+TEST(LedgerAccounting, LightSecAggRecoveryTrafficMatchesFormula) {
+  // Each of the U responders sends one length-seg share: U * ceil(d/(U-T))
+  // elements — the paper's U/(U-T) * d server recovery traffic.
+  const std::size_t n = 10, t = 3, drop = 2, dim = 60;
+  Params p{.num_users = n, .privacy = t, .dropout = drop,
+           .target_survivors = 0, .model_dim = dim};
+  lsa::net::Ledger ledger(n);
+  lsa::protocol::LightSecAgg<Fp32> agg(p, 5, &ledger);
+  auto inputs = random_inputs(n, dim, 6);
+  std::vector<bool> dropped(n, false);
+  dropped[1] = dropped[4] = true;
+  (void)agg.run_round(inputs, dropped);
+
+  const std::size_t u = agg.params().target_survivors;  // N - D = 8
+  const std::size_t seg = (dim + (u - t) - 1) / (u - t);
+  std::uint64_t recovery_elems = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    recovery_elems += ledger.sent_elems(lsa::net::Phase::kRecovery, i, true);
+  }
+  EXPECT_EQ(recovery_elems, u * seg);
+}
+
+}  // namespace

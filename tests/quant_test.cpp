@@ -1,0 +1,136 @@
+// Stochastic quantization: unbiasedness (Lemma 2), variance bound, field
+// embedding, staleness functions (eq. 34).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "field/fp.h"
+#include "quant/quantizer.h"
+#include "quant/staleness.h"
+
+namespace {
+
+using lsa::field::Fp32;
+
+TEST(StochasticRound, ExactIntegersAreFixedPoints) {
+  lsa::common::Xoshiro256ss rng(1);
+  for (std::int64_t v : {-5, -1, 0, 1, 42}) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(lsa::quant::stochastic_round(static_cast<double>(v), rng), v);
+    }
+  }
+}
+
+TEST(StochasticRound, UnbiasedWithQuarterVarianceBound) {
+  // Lemma 2: E[Q_c(x)] = x and Var <= 1/(4c^2); at integer scale this is
+  // E[round(y)] = y and Var <= 1/4.
+  lsa::common::Xoshiro256ss rng(2);
+  for (double y : {0.25, 0.5, 0.75, -1.3, 3.9}) {
+    lsa::common::RunningStat stat;
+    constexpr int kTrials = 40000;
+    for (int i = 0; i < kTrials; ++i) {
+      stat.add(static_cast<double>(lsa::quant::stochastic_round(y, rng)));
+    }
+    EXPECT_NEAR(stat.mean(), y, 0.02) << "y=" << y;
+    EXPECT_LE(stat.variance(), 0.26) << "y=" << y;
+  }
+}
+
+TEST(Quantizer, RoundTripErrorBoundedByOneLevel) {
+  lsa::common::Xoshiro256ss rng(3);
+  lsa::quant::Quantizer<Fp32> q(1u << 16);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = (rng.next_double() - 0.5) * 20.0;
+    const double back = q.dequantize(q.quantize(x, rng));
+    EXPECT_NEAR(back, x, 1.0 / (1 << 16) + 1e-12);
+  }
+}
+
+TEST(Quantizer, AggregationInFieldMatchesRealSum) {
+  // Quantize K vectors, sum in the field, demap: must equal the real sum
+  // within K quantization steps per coordinate.
+  lsa::common::Xoshiro256ss rng(4);
+  constexpr std::size_t k = 10, d = 50;
+  constexpr std::uint64_t c = 1u << 12;
+  lsa::quant::Quantizer<Fp32> q(c);
+  std::vector<double> real_sum(d, 0.0);
+  std::vector<Fp32::rep> field_sum(d, Fp32::zero);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<double> x(d);
+    for (auto& v : x) v = (rng.next_double() - 0.5) * 4.0;
+    for (std::size_t j = 0; j < d; ++j) real_sum[j] += x[j];
+    auto qx = q.quantize_vector(std::span<const double>(x), rng);
+    for (std::size_t j = 0; j < d; ++j) {
+      field_sum[j] = Fp32::add(field_sum[j], qx[j]);
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(q.dequantize(field_sum[j]), real_sum[j],
+                static_cast<double>(k) / c + 1e-9);
+  }
+}
+
+TEST(Quantizer, ScaledDequantizeAverages) {
+  lsa::quant::Quantizer<Fp32> q(100);
+  // phi(300) / (100 * 3) = 1.0
+  EXPECT_DOUBLE_EQ(q.dequantize_scaled(Fp32::from_i64(300), 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.dequantize_scaled(Fp32::from_i64(-300), 3.0), -1.0);
+  EXPECT_THROW((void)q.dequantize_scaled(1, 0.0), lsa::QuantError);
+}
+
+TEST(Quantizer, RejectsOutOfRangeValues) {
+  lsa::common::Xoshiro256ss rng(5);
+  lsa::quant::Quantizer<Fp32> q(1u << 16);
+  EXPECT_THROW((void)q.quantize(1e30, rng), lsa::QuantError);
+  EXPECT_THROW(lsa::quant::Quantizer<Fp32>(0), lsa::QuantError);
+}
+
+TEST(Quantizer, WrapAroundAtHugeCl) {
+  // Fig. 12's failure mode: c_l so large that K summed updates overflow
+  // q/2 and demap to the wrong sign. Verify the mechanism exists (this is
+  // *why* the paper tunes c_l): with c = 2^29, four values of 1.0 summed
+  // reach 2^31 > (q-1)/2 and wrap to a negative demap.
+  lsa::common::Xoshiro256ss rng(6);
+  lsa::quant::Quantizer<Fp32> q(1u << 29);
+  const auto a = q.quantize(1.0, rng);
+  auto s = Fp32::add(a, a);
+  s = Fp32::add(s, s);  // 4 * 2^29 = 2^31
+  EXPECT_LT(q.dequantize(s), 0.0);
+  // A single value at this scale is still fine — the guard in quantize()
+  // rejects values that could not even be stored individually.
+  EXPECT_DOUBLE_EQ(q.dequantize(a), 1.0);
+  EXPECT_THROW((void)q.quantize(8.0, rng), lsa::QuantError);
+}
+
+TEST(Staleness, RealWeightsMatchPaperDefinitions) {
+  lsa::quant::StalenessPolicy constant{lsa::quant::StalenessKind::kConstant,
+                                       1.0};
+  lsa::quant::StalenessPolicy poly{lsa::quant::StalenessKind::kPolynomial,
+                                   1.0};
+  EXPECT_DOUBLE_EQ(constant.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(constant.weight(10), 1.0);
+  EXPECT_DOUBLE_EQ(poly.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(poly.weight(1), 0.5);
+  EXPECT_DOUBLE_EQ(poly.weight(3), 0.25);
+  // Monotone non-increasing.
+  for (std::uint64_t tau = 0; tau < 20; ++tau) {
+    EXPECT_GE(poly.weight(tau), poly.weight(tau + 1));
+  }
+}
+
+TEST(Staleness, QuantizedWeightsAreConsistentIntegers) {
+  lsa::quant::StalenessPolicy poly{lsa::quant::StalenessKind::kPolynomial,
+                                   1.0};
+  const std::uint64_t c_g = 1u << 6;
+  EXPECT_EQ(lsa::quant::quantized_staleness_weight(poly, 0, c_g), c_g);
+  EXPECT_EQ(lsa::quant::quantized_staleness_weight(poly, 1, c_g), c_g / 2);
+  // Deterministic: same input -> same weight (server and users must agree).
+  for (std::uint64_t tau = 0; tau < 12; ++tau) {
+    EXPECT_EQ(lsa::quant::quantized_staleness_weight(poly, tau, c_g),
+              lsa::quant::quantized_staleness_weight(poly, tau, c_g));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,360 @@
+// Byzantine-robust aggregation (§8 future work): rule-level properties
+// (permutation invariance, bounded influence, breakdown behaviour), the
+// grouped-secure construction's exactness without attackers, and its
+// resistance with them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/fp.h"
+#include "robust/aggregators.h"
+#include "robust/attacks.h"
+#include "robust/grouped_secure.h"
+
+namespace {
+
+namespace rb = lsa::robust;
+
+std::vector<std::vector<double>> make_cluster(std::size_t m, std::size_t d,
+                                              double center, double spread,
+                                              std::uint64_t seed) {
+  lsa::common::Xoshiro256ss rng(seed);
+  std::vector<std::vector<double>> xs(m, std::vector<double>(d));
+  for (auto& x : xs) {
+    for (auto& v : x) v = center + spread * rng.next_gaussian();
+  }
+  return xs;
+}
+
+double linf_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    m = std::max(m, std::abs(a[k] - b[k]));
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Rule-level properties.
+// ---------------------------------------------------------------------------
+
+TEST(RobustRules, AllRulesReturnTheCommonValueOnIdenticalInputs) {
+  const std::vector<std::vector<double>> xs(7, {1.5, -2.0, 0.25});
+  rb::CombineOptions opts;
+  opts.trim = 2;
+  opts.byzantine = 2;
+  for (const auto rule :
+       {rb::Rule::kMean, rb::Rule::kCoordinateMedian, rb::Rule::kTrimmedMean,
+        rb::Rule::kGeometricMedian, rb::Rule::kKrum, rb::Rule::kMultiKrum}) {
+    const auto out = rb::combine(rule, xs, opts);
+    ASSERT_EQ(out.size(), 3u) << rb::to_string(rule);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_NEAR(out[k], xs[0][k], 1e-9) << rb::to_string(rule);
+    }
+  }
+}
+
+TEST(RobustRules, PermutationInvariance) {
+  auto xs = make_cluster(9, 5, 0.0, 1.0, 42);
+  rb::CombineOptions opts;
+  opts.trim = 2;
+  opts.byzantine = 2;
+  for (const auto rule :
+       {rb::Rule::kMean, rb::Rule::kCoordinateMedian, rb::Rule::kTrimmedMean,
+        rb::Rule::kGeometricMedian, rb::Rule::kKrum, rb::Rule::kMultiKrum}) {
+    const auto before = rb::combine(rule, xs, opts);
+    auto shuffled = xs;
+    std::rotate(shuffled.begin(), shuffled.begin() + 4, shuffled.end());
+    std::swap(shuffled[0], shuffled[3]);
+    const auto after = rb::combine(rule, shuffled, opts);
+    for (std::size_t k = 0; k < before.size(); ++k) {
+      EXPECT_NEAR(before[k], after[k], 1e-9) << rb::to_string(rule);
+    }
+  }
+}
+
+TEST(RobustRules, MedianIgnoresMinorityOutliersMeanDoesNot) {
+  auto xs = make_cluster(9, 4, 1.0, 0.05, 7);
+  // 3 of 9 are wildly corrupted.
+  for (std::size_t i = 0; i < 3; ++i) {
+    xs[i] = std::vector<double>(4, 1e6);
+  }
+  const auto med = rb::coordinate_median(xs);
+  const auto avg = rb::mean(xs);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(med[k], 1.0, 0.5) << k;
+    EXPECT_GT(avg[k], 1e5) << k;  // mean is destroyed
+  }
+}
+
+TEST(RobustRules, TrimmedMeanDropsExactlyTheTails) {
+  // Column values 1..7 with trim 2: average of {3,4,5} = 4.
+  std::vector<std::vector<double>> xs;
+  for (int v = 1; v <= 7; ++v) xs.push_back({static_cast<double>(v)});
+  const auto out = rb::trimmed_mean(xs, 2);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_THROW((void)rb::trimmed_mean(xs, 4), lsa::ConfigError);
+}
+
+TEST(RobustRules, CoordinateMedianEvenCountAveragesMiddlePair) {
+  std::vector<std::vector<double>> xs{{1.0}, {9.0}, {3.0}, {5.0}};
+  EXPECT_DOUBLE_EQ(rb::coordinate_median(xs)[0], 4.0);  // (3+5)/2
+}
+
+TEST(RobustRules, GeometricMedianResistsHalfMinusOneOutliers) {
+  auto xs = make_cluster(11, 3, 0.0, 0.1, 9);
+  for (std::size_t i = 0; i < 5; ++i) {
+    xs[i] = std::vector<double>(3, 500.0);
+  }
+  const auto gm = rb::geometric_median(xs);
+  for (const double v : gm) EXPECT_LT(std::abs(v), 1.0);
+}
+
+TEST(RobustRules, GeometricMedianOfTwoPointsLiesOnSegment) {
+  // Any point on the segment minimizes the distance sum; Weiszfeld starts
+  // from the mean, which already is a minimizer — check it stays there.
+  const std::vector<std::vector<double>> xs{{0.0, 0.0}, {2.0, 2.0}};
+  const auto gm = rb::geometric_median(xs);
+  EXPECT_NEAR(gm[0], gm[1], 1e-9);
+  EXPECT_GE(gm[0], -1e-9);
+  EXPECT_LE(gm[0], 2.0 + 1e-9);
+}
+
+TEST(RobustRules, KrumSelectsAnHonestVectorUnderAttack) {
+  auto xs = make_cluster(9, 6, 2.0, 0.05, 11);
+  xs[1] = std::vector<double>(6, -400.0);
+  xs[5] = std::vector<double>(6, 777.0);
+  const auto pick = rb::krum(xs, /*f=*/2);
+  for (const double v : pick) EXPECT_NEAR(v, 2.0, 0.5);
+}
+
+TEST(RobustRules, MultiKrumAveragesOnlyCentralVectors) {
+  auto xs = make_cluster(9, 4, -1.0, 0.05, 13);
+  xs[0] = std::vector<double>(4, 1e5);
+  xs[8] = std::vector<double>(4, -1e5);
+  const auto out = rb::multi_krum(xs, /*f=*/2);
+  for (const double v : out) EXPECT_NEAR(v, -1.0, 0.5);
+}
+
+TEST(RobustRules, KrumRequiresEnoughVectors) {
+  const auto xs = make_cluster(6, 2, 0.0, 1.0, 15);
+  EXPECT_THROW((void)rb::krum(xs, 2), lsa::ConfigError);  // 6 < 2*2+3
+  EXPECT_NO_THROW((void)rb::krum(xs, 1));                 // 6 >= 2*1+3
+}
+
+TEST(RobustRules, ClipByNormOnlyShrinks) {
+  const std::vector<double> v{3.0, 4.0};  // norm 5
+  const auto clipped = rb::clip_by_norm(v, 2.5);
+  EXPECT_NEAR(clipped[0], 1.5, 1e-12);
+  EXPECT_NEAR(clipped[1], 2.0, 1e-12);
+  const auto untouched = rb::clip_by_norm(v, 10.0);
+  EXPECT_EQ(untouched, v);
+  EXPECT_THROW((void)rb::clip_by_norm(v, 0.0), lsa::ConfigError);
+}
+
+TEST(RobustRules, InconsistentLengthsRejected) {
+  std::vector<std::vector<double>> xs{{1.0, 2.0}, {1.0}};
+  EXPECT_THROW((void)rb::mean(xs), lsa::ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Attack harness.
+// ---------------------------------------------------------------------------
+
+TEST(Attacks, SignFlipScalesAndNegates) {
+  std::vector<double> u{1.0, -2.0};
+  rb::AttackConfig cfg;
+  cfg.kind = rb::Attack::kSignFlip;
+  cfg.scale = 3.0;
+  lsa::common::Xoshiro256ss rng(1);
+  rb::apply_attack(u, cfg, rng);
+  EXPECT_DOUBLE_EQ(u[0], -3.0);
+  EXPECT_DOUBLE_EQ(u[1], 6.0);
+}
+
+TEST(Attacks, ByzantineAssignmentConcentratedVsSpread) {
+  // 12 users, 3 groups of 4, 3 attackers.
+  const auto conc = rb::byzantine_assignment(12, 3, 3, /*spread=*/false);
+  // Concentrated: first three users (all in group 0).
+  EXPECT_TRUE(conc[0] && conc[1] && conc[2]);
+  EXPECT_EQ(std::count(conc.begin(), conc.end(), true), 3);
+
+  const auto spread = rb::byzantine_assignment(12, 3, 3, /*spread=*/true);
+  EXPECT_EQ(std::count(spread.begin(), spread.end(), true), 3);
+  // Spread: one per group (groups are {0..3}, {4..7}, {8..11}).
+  EXPECT_TRUE(spread[0]);
+  EXPECT_TRUE(spread[4]);
+  EXPECT_TRUE(spread[8]);
+}
+
+// ---------------------------------------------------------------------------
+// Grouped secure aggregation.
+// ---------------------------------------------------------------------------
+
+using F = lsa::field::Fp32;
+
+rb::GroupedConfig base_config(std::size_t n, std::size_t g, std::size_t d) {
+  rb::GroupedConfig cfg;
+  cfg.num_users = n;
+  cfg.num_groups = g;
+  cfg.model_dim = d;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(GroupedSecure, MeanRuleMatchesPlaintextAverage) {
+  auto cfg = base_config(12, 3, 20);
+  cfg.rule = rb::Rule::kMean;
+  rb::GroupedSecureAggregator<F> agg(cfg);
+
+  lsa::common::Xoshiro256ss rng(3);
+  std::vector<std::vector<double>> locals(12, std::vector<double>(20));
+  for (auto& l : locals) {
+    for (auto& v : l) v = rng.next_gaussian();
+  }
+  std::vector<bool> dropped(12, false);
+  dropped[7] = true;
+
+  const auto secure = agg.aggregate(locals, dropped);
+  std::vector<double> plain(20, 0.0);
+  for (std::size_t i = 0; i < 12; ++i) {
+    if (dropped[i]) continue;
+    for (std::size_t k = 0; k < 20; ++k) plain[k] += locals[i][k];
+  }
+  for (auto& v : plain) v /= 11.0;
+  EXPECT_LT(linf_dist(secure, plain), 1e-3);  // within quantization noise
+}
+
+TEST(GroupedSecure, MedianRuleNeutralizesAPoisonedGroup) {
+  auto cfg = base_config(12, 3, 8);
+  cfg.rule = rb::Rule::kCoordinateMedian;
+  rb::GroupedSecureAggregator<F> agg(cfg);
+
+  // Honest updates cluster near 1.0; group 0 is fully Byzantine.
+  std::vector<std::vector<double>> locals(12, std::vector<double>(8, 1.0));
+  for (std::size_t i = 0; i < 4; ++i) {
+    locals[i] = std::vector<double>(8, 300.0);
+  }
+  const std::vector<bool> dropped(12, false);
+
+  const auto robust_out = agg.aggregate(locals, dropped);
+  for (const double v : robust_out) EXPECT_NEAR(v, 1.0, 0.1);
+
+  cfg.rule = rb::Rule::kMean;
+  rb::GroupedSecureAggregator<F> plain(cfg);
+  const auto mean_out = plain.aggregate(locals, dropped);
+  for (const double v : mean_out) EXPECT_GT(v, 50.0);  // poisoned
+}
+
+TEST(GroupedSecure, SkipsGroupsThatCannotRecover) {
+  auto cfg = base_config(12, 3, 8);
+  cfg.rule = rb::Rule::kMean;
+  rb::GroupedSecureAggregator<F> agg(cfg);
+
+  std::vector<std::vector<double>> locals(12, std::vector<double>(8, 2.0));
+  std::vector<bool> dropped(12, false);
+  // Kill all of group 1 (users 4..7): unrecoverable, must be skipped.
+  for (std::size_t i = 4; i < 8; ++i) dropped[i] = true;
+
+  const auto out = agg.aggregate(locals, dropped);
+  for (const double v : out) EXPECT_NEAR(v, 2.0, 1e-3);
+}
+
+TEST(GroupedSecure, ThrowsWhenEveryGroupFails) {
+  auto cfg = base_config(8, 2, 4);
+  rb::GroupedSecureAggregator<F> agg(cfg);
+  const std::vector<std::vector<double>> locals(8,
+                                                std::vector<double>(4, 1.0));
+  const std::vector<bool> dropped(8, true);
+  EXPECT_THROW((void)agg.aggregate(locals, dropped), lsa::ProtocolError);
+}
+
+TEST(GroupedSecure, GroupAssignmentCoversAllUsersContiguously) {
+  auto cfg = base_config(13, 3, 4);  // uneven split: 4 + 4 + 5
+  rb::GroupedSecureAggregator<F> agg(cfg);
+  EXPECT_EQ(agg.group_of(0), 0u);
+  EXPECT_EQ(agg.group_of(3), 0u);
+  EXPECT_EQ(agg.group_of(4), 1u);
+  EXPECT_EQ(agg.group_of(8), 2u);
+  EXPECT_EQ(agg.group_of(12), 2u);
+  EXPECT_EQ(agg.group_params(2).num_users, 5u);
+  EXPECT_THROW((void)agg.group_of(13), lsa::ConfigError);
+}
+
+TEST(GroupedSecure, ConfigValidation) {
+  EXPECT_THROW(rb::GroupedSecureAggregator<F>(base_config(4, 3, 4)),
+               lsa::ConfigError);  // < 2 users per group
+  EXPECT_THROW(rb::GroupedSecureAggregator<F>(base_config(8, 0, 4)),
+               lsa::ConfigError);
+  auto cfg = base_config(8, 2, 0);
+  EXPECT_THROW((void)rb::GroupedSecureAggregator<F>{cfg}, lsa::ConfigError);
+}
+
+// Sign-flip attack across attacker budgets: grouped median keeps the
+// aggregate near honest; grouped mean degrades once any group is poisoned.
+class GroupedAttackSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroupedAttackSweep, MedianStaysNearHonestMean) {
+  const std::size_t num_byz = GetParam();
+  const std::size_t n = 20, g = 5, d = 10;
+
+  auto cfg = base_config(n, g, d);
+  cfg.rule = rb::Rule::kCoordinateMedian;
+  rb::GroupedSecureAggregator<F> agg(cfg);
+
+  lsa::common::Xoshiro256ss rng(17);
+  std::vector<std::vector<double>> locals(n, std::vector<double>(d));
+  for (auto& l : locals) {
+    for (auto& v : l) v = 1.0 + 0.05 * rng.next_gaussian();
+  }
+  // Concentrated attackers (fill whole groups first) — the favourable case
+  // group-wise robustness is designed for.
+  const auto byz = rb::byzantine_assignment(n, num_byz, g, false);
+  rb::AttackConfig atk;
+  atk.kind = rb::Attack::kConstant;
+  atk.scale = 1000.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (byz[i]) rb::apply_attack(locals[i], atk, rng);
+  }
+
+  const std::vector<bool> dropped(n, false);
+  const auto out = agg.aggregate(locals, dropped);
+  // Up to 2 fully-poisoned groups out of 5: median holds.
+  for (const double v : out) EXPECT_NEAR(v, 1.0, 0.2) << "B=" << num_byz;
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, GroupedAttackSweep,
+                         ::testing::Values(0, 2, 4, 8));
+
+TEST(GroupedSecure, SurvivesSimultaneousDropoutAndAttack) {
+  // The full adversarial mix: one group fully Byzantine, another group
+  // losing members to dropouts, the rest honest — the median of the
+  // surviving group averages must stay near the honest value.
+  const std::size_t n = 24, g = 4, d = 12;
+  auto cfg = base_config(n, g, d);
+  cfg.rule = rb::Rule::kCoordinateMedian;
+  rb::GroupedSecureAggregator<F> agg(cfg);
+
+  lsa::common::Xoshiro256ss rng(29);
+  std::vector<std::vector<double>> locals(n, std::vector<double>(d));
+  for (auto& l : locals) {
+    for (auto& v : l) v = -2.0 + 0.05 * rng.next_gaussian();
+  }
+  rb::AttackConfig atk;
+  atk.kind = rb::Attack::kSignFlip;
+  atk.scale = 100.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    rb::apply_attack(locals[i], atk, rng);  // group 0 fully Byzantine
+  }
+  std::vector<bool> dropped(n, false);
+  dropped[6] = true;  // one dropout in group 1 (within its tolerance)
+
+  const auto out = agg.aggregate(locals, dropped);
+  for (const double v : out) EXPECT_NEAR(v, -2.0, 0.2);
+}
+
+}  // namespace

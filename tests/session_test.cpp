@@ -1,0 +1,157 @@
+// Public API (core/session.h): end-to-end secure averaging through every
+// protocol, ledger exposure, and round-time estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/session.h"
+#include "field/random_field.h"
+
+namespace {
+
+std::vector<std::vector<double>> random_locals(std::size_t n, std::size_t d,
+                                               std::uint64_t seed) {
+  lsa::common::Xoshiro256ss rng(seed);
+  std::vector<std::vector<double>> locals(n);
+  for (auto& v : locals) {
+    v.resize(d);
+    for (auto& x : v) x = rng.next_gaussian();
+  }
+  return locals;
+}
+
+std::vector<double> plain_average(
+    const std::vector<std::vector<double>>& locals,
+    const std::vector<bool>& dropped) {
+  std::vector<double> avg(locals[0].size(), 0.0);
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    if (dropped[i]) continue;
+    ++survivors;
+    for (std::size_t k = 0; k < avg.size(); ++k) avg[k] += locals[i][k];
+  }
+  for (auto& v : avg) v /= static_cast<double>(survivors);
+  return avg;
+}
+
+class SessionAllProtocols
+    : public ::testing::TestWithParam<lsa::ProtocolKind> {};
+
+TEST_P(SessionAllProtocols, AverageMatchesPlaintext) {
+  lsa::SessionConfig cfg;
+  cfg.protocol = GetParam();
+  cfg.num_users = 10;
+  cfg.privacy = 3;
+  cfg.dropout = 2;
+  cfg.model_dim = 64;
+  cfg.seed = 5;
+  if (cfg.protocol == lsa::ProtocolKind::kSecAggPlus) {
+    cfg.graph_degree = 6;
+    cfg.graph_threshold = 2;
+  }
+  lsa::Session session(cfg);
+
+  auto locals = random_locals(10, 64, 6);
+  std::vector<bool> dropped(10, false);
+  dropped[2] = dropped[7] = true;
+
+  const auto secure = session.aggregate_average(locals, dropped);
+  const auto plain = plain_average(locals, dropped);
+  ASSERT_EQ(secure.size(), plain.size());
+  for (std::size_t k = 0; k < plain.size(); ++k) {
+    EXPECT_NEAR(secure[k], plain[k], 1e-4) << "coord " << k;
+  }
+  EXPECT_EQ(session.rounds_completed(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SessionAllProtocols,
+                         ::testing::Values(lsa::ProtocolKind::kSecAgg,
+                                           lsa::ProtocolKind::kSecAggPlus,
+                                           lsa::ProtocolKind::kLightSecAgg,
+                                           lsa::ProtocolKind::kFastSecAgg,
+                                           lsa::ProtocolKind::kZhaoSun));
+
+TEST(Session, LedgerAccumulatesAndEstimatesTime) {
+  lsa::SessionConfig cfg;
+  cfg.protocol = lsa::ProtocolKind::kLightSecAgg;
+  cfg.num_users = 8;
+  cfg.privacy = 2;
+  cfg.dropout = 2;
+  cfg.model_dim = 40;
+  lsa::Session session(cfg);
+
+  auto locals = random_locals(8, 40, 7);
+  std::vector<bool> dropped(8, false);
+  (void)session.aggregate_average(locals, dropped);
+
+  // Upload traffic: 8 users x 40 elements (d-scaled).
+  std::uint64_t upload = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    upload += session.ledger().sent_elems(lsa::net::Phase::kUpload, i, true);
+  }
+  EXPECT_EQ(upload, 8u * 40u);
+
+  // Timing estimate at full model scale: slower links -> slower rounds.
+  const auto cost = lsa::net::CostModel::paper_stack();
+  const auto t_4g = session.estimate_round_time(
+      cost, lsa::net::BandwidthProfile::lte_4g(), 1.2e6, 22.8);
+  const auto t_5g = session.estimate_round_time(
+      cost, lsa::net::BandwidthProfile::nr_5g(), 1.2e6, 22.8);
+  EXPECT_GT(t_4g.total_nonoverlapped(), t_5g.total_nonoverlapped());
+  EXPECT_GT(t_4g.offline, 0.0);
+  EXPECT_GT(t_4g.recovery, 0.0);
+  EXPECT_DOUBLE_EQ(t_4g.training, 22.8);
+
+  session.reset_ledger();
+  EXPECT_EQ(session.rounds_completed(), 0u);
+  EXPECT_THROW((void)session.estimate_round_time(
+                   cost, lsa::net::BandwidthProfile::nr_5g(), 1e6, 1.0),
+               lsa::ConfigError);
+}
+
+TEST(Session, FieldAggregationBypassesQuantization) {
+  lsa::SessionConfig cfg;
+  cfg.protocol = lsa::ProtocolKind::kLightSecAgg;
+  cfg.num_users = 6;
+  cfg.privacy = 2;
+  cfg.dropout = 1;
+  cfg.model_dim = 16;
+  lsa::Session session(cfg);
+
+  lsa::common::Xoshiro256ss rng(9);
+  std::vector<std::vector<lsa::Session::Field::rep>> inputs(6);
+  std::vector<lsa::Session::Field::rep> expected(16, 0);
+  std::vector<bool> dropped(6, false);
+  dropped[4] = true;
+  for (std::size_t i = 0; i < 6; ++i) {
+    inputs[i] = lsa::field::uniform_vector<lsa::Session::Field>(16, rng);
+    if (dropped[i]) continue;
+    for (std::size_t k = 0; k < 16; ++k) {
+      expected[k] = lsa::Session::Field::add(expected[k], inputs[i][k]);
+    }
+  }
+  EXPECT_EQ(session.aggregate_field(inputs, dropped), expected);
+}
+
+TEST(Session, InvalidConfigThrows) {
+  lsa::SessionConfig cfg;
+  cfg.num_users = 4;
+  cfg.privacy = 2;
+  cfg.dropout = 2;  // T + D = N
+  cfg.model_dim = 8;
+  EXPECT_THROW(lsa::Session s(cfg), lsa::ProtocolError);
+}
+
+TEST(Session, ProtocolNames) {
+  EXPECT_STREQ(lsa::protocol_name(lsa::ProtocolKind::kSecAgg), "SecAgg");
+  EXPECT_STREQ(lsa::protocol_name(lsa::ProtocolKind::kSecAggPlus), "SecAgg+");
+  EXPECT_STREQ(lsa::protocol_name(lsa::ProtocolKind::kFastSecAgg),
+               "FastSecAgg");
+  EXPECT_STREQ(lsa::protocol_name(lsa::ProtocolKind::kZhaoSun),
+               "ZhaoSun-TTP");
+  EXPECT_STREQ(lsa::protocol_name(lsa::ProtocolKind::kLightSecAgg),
+               "LightSecAgg");
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// Shamir secret sharing: reconstruction from any qualified subset, failure
+// below threshold, byte packing, and statistical privacy of t shares.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "crypto/shamir.h"
+#include "field/fp.h"
+#include "field/random_field.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using lsa::field::Fp61;
+
+struct ShamirCase {
+  std::size_t t, n;
+};
+
+class ShamirSweep : public ::testing::TestWithParam<ShamirCase> {};
+
+TEST_P(ShamirSweep, ReconstructFromEveryContiguousSubset) {
+  const auto [t, n] = GetParam();
+  lsa::common::Xoshiro256ss rng(t * 1000 + n);
+  lsa::crypto::ShamirScheme<Fp32> scheme(t, n);
+  auto secret = lsa::field::uniform_vector<Fp32>(7, rng);
+  auto shares = scheme.share(std::span<const Fp32::rep>(secret), rng);
+  ASSERT_EQ(shares.size(), n);
+
+  for (std::size_t start = 0; start + t + 1 <= n; ++start) {
+    std::vector<lsa::crypto::ShamirShare<Fp32>> subset(
+        shares.begin() + start, shares.begin() + start + t + 1);
+    EXPECT_EQ(scheme.reconstruct(subset), secret);
+  }
+}
+
+TEST_P(ShamirSweep, ReconstructFromRandomSubsets) {
+  const auto [t, n] = GetParam();
+  lsa::common::Xoshiro256ss rng(t * 77 + n);
+  lsa::crypto::ShamirScheme<Fp61> scheme(t, n);
+  auto secret = lsa::field::uniform_vector<Fp61>(3, rng);
+  auto shares = scheme.share(std::span<const Fp61::rep>(secret), rng);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      std::swap(order[i],
+                order[i + static_cast<std::size_t>(
+                              rng.next_below(order.size() - i))]);
+    }
+    std::vector<lsa::crypto::ShamirShare<Fp61>> subset;
+    for (std::size_t k = 0; k < t + 1; ++k) subset.push_back(shares[order[k]]);
+    EXPECT_EQ(scheme.reconstruct(subset), secret);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShamirSweep,
+    ::testing::Values(ShamirCase{1, 2}, ShamirCase{1, 3}, ShamirCase{2, 5},
+                      ShamirCase{3, 7}, ShamirCase{5, 11}, ShamirCase{7, 8},
+                      ShamirCase{10, 30}, ShamirCase{0, 4}));
+
+TEST(Shamir, TooFewSharesThrows) {
+  lsa::common::Xoshiro256ss rng(1);
+  lsa::crypto::ShamirScheme<Fp32> scheme(3, 6);
+  std::vector<Fp32::rep> secret = {42};
+  auto shares = scheme.share(std::span<const Fp32::rep>(secret), rng);
+  shares.resize(3);  // t shares only
+  EXPECT_THROW((void)scheme.reconstruct(shares), lsa::ProtocolError);
+}
+
+TEST(Shamir, BadParametersThrow) {
+  EXPECT_THROW(lsa::crypto::ShamirScheme<Fp32>(3, 3), lsa::Error);  // t >= n
+  EXPECT_THROW(lsa::crypto::ShamirScheme<Fp32>(0, 0), lsa::Error);
+}
+
+TEST(Shamir, ByteSecretsRoundTripBothFields) {
+  lsa::common::Xoshiro256ss rng(2);
+  std::vector<std::uint8_t> secret(32);
+  for (auto& b : secret) b = static_cast<std::uint8_t>(rng.next_u64());
+  {
+    lsa::crypto::ShamirScheme<Fp32> scheme(2, 5);
+    auto shares = scheme.share_bytes(secret, rng);
+    shares.erase(shares.begin());  // any 3 of 5
+    shares.resize(3);
+    EXPECT_EQ(scheme.reconstruct_bytes(shares, 32), secret);
+  }
+  {
+    lsa::crypto::ShamirScheme<Fp61> scheme(2, 5);
+    auto shares = scheme.share_bytes(secret, rng);
+    EXPECT_EQ(scheme.reconstruct_bytes(shares, 32), secret);
+  }
+}
+
+TEST(Shamir, TSharesAreStatisticallyIndependentOfSecret) {
+  // Share two very different secrets many times; the marginal distribution
+  // of any fixed share must look identical (here: mean over trials of the
+  // share value as a fraction of q stays near 1/2 for both, chi2 light).
+  lsa::common::Xoshiro256ss rng(3);
+  lsa::crypto::ShamirScheme<Fp32> scheme(2, 4);
+  constexpr int kTrials = 4000;
+  lsa::common::RunningStat share_of_zero, share_of_big;
+  std::vector<Fp32::rep> zero = {0};
+  std::vector<Fp32::rep> big = {Fp32::modulus - 1};
+  for (int i = 0; i < kTrials; ++i) {
+    auto s0 = scheme.share(std::span<const Fp32::rep>(zero), rng);
+    auto s1 = scheme.share(std::span<const Fp32::rep>(big), rng);
+    share_of_zero.add(static_cast<double>(s0[1].values[0]) /
+                      static_cast<double>(Fp32::modulus));
+    share_of_big.add(static_cast<double>(s1[1].values[0]) /
+                     static_cast<double>(Fp32::modulus));
+  }
+  // Uniform on [0,1): mean 0.5, stderr ~ 0.289/sqrt(4000) ~ 0.0046.
+  EXPECT_NEAR(share_of_zero.mean(), 0.5, 0.025);
+  EXPECT_NEAR(share_of_big.mean(), 0.5, 0.025);
+  EXPECT_NEAR(share_of_zero.mean(), share_of_big.mean(), 0.035);
+}
+
+TEST(SecretPack, RoundTripVariousLengths) {
+  lsa::common::Xoshiro256ss rng(4);
+  for (std::size_t len : {1u, 2u, 3u, 7u, 8u, 31u, 32u, 33u, 100u}) {
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto packed32 = lsa::crypto::pack_bytes<Fp32>(bytes);
+    EXPECT_EQ(lsa::crypto::unpack_bytes<Fp32>(
+                  std::span<const Fp32::rep>(packed32), len),
+              bytes);
+    const auto packed61 = lsa::crypto::pack_bytes<Fp61>(bytes);
+    EXPECT_EQ(lsa::crypto::unpack_bytes<Fp61>(
+                  std::span<const Fp61::rep>(packed61), len),
+              bytes);
+  }
+}
+
+TEST(SecretPack, ElementsStayCanonical) {
+  // 3 bytes per Fp32 element: max value 2^24 - 1 < q, never wraps.
+  EXPECT_EQ(lsa::crypto::bytes_per_element<Fp32>(), 3u);
+  EXPECT_EQ(lsa::crypto::bytes_per_element<Fp61>(), 7u);
+  std::vector<std::uint8_t> all_ff(30, 0xff);
+  for (auto e : lsa::crypto::pack_bytes<Fp32>(all_ff)) {
+    EXPECT_LT(static_cast<std::uint64_t>(e), Fp32::modulus);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error-correcting reconstruction (Berlekamp-Welch over the share points).
+// ---------------------------------------------------------------------------
+
+TEST(ShamirCorrected, CleanSharesReconstructWithEmptyCorruptionSet) {
+  lsa::common::Xoshiro256ss rng(41);
+  lsa::crypto::ShamirScheme<Fp32> scheme(/*t=*/3, /*n=*/12);
+  const auto secret = lsa::field::uniform_vector<Fp32>(9, rng);
+  const auto shares = scheme.share(std::span<const Fp32::rep>(secret), rng);
+  const auto out = scheme.reconstruct_corrected(shares);
+  EXPECT_EQ(out.secret, secret);
+  EXPECT_TRUE(out.corrupted_indices.empty());
+}
+
+TEST(ShamirCorrected, LocatesAndDiscardsFalsifiedShares) {
+  // t = 3, 12 shares: budget floor((12-4)/2) = 4 falsified shares.
+  lsa::common::Xoshiro256ss rng(43);
+  lsa::crypto::ShamirScheme<Fp32> scheme(3, 12);
+  const auto secret = lsa::field::uniform_vector<Fp32>(9, rng);
+  auto shares = scheme.share(std::span<const Fp32::rep>(secret), rng);
+  for (const std::size_t j : {1u, 5u, 8u, 10u}) {
+    for (auto& v : shares[j].values) v = lsa::field::uniform<Fp32>(rng);
+  }
+  const auto out = scheme.reconstruct_corrected(shares);
+  EXPECT_EQ(out.secret, secret);
+  EXPECT_EQ(out.corrupted_indices,
+            (std::vector<std::uint32_t>{2, 6, 9, 11}));  // 1-based indices
+}
+
+TEST(ShamirCorrected, SingleElementFalsificationIsLocated) {
+  lsa::common::Xoshiro256ss rng(47);
+  lsa::crypto::ShamirScheme<Fp32> scheme(2, 9);
+  const auto secret = lsa::field::uniform_vector<Fp32>(5, rng);
+  auto shares = scheme.share(std::span<const Fp32::rep>(secret), rng);
+  shares[4].values[3] = Fp32::add(shares[4].values[3], 1);
+  const auto out = scheme.reconstruct_corrected(shares);
+  EXPECT_EQ(out.secret, secret);
+  EXPECT_EQ(out.corrupted_indices, std::vector<std::uint32_t>{5});
+}
+
+TEST(ShamirCorrected, RefusesBeyondBudget) {
+  lsa::common::Xoshiro256ss rng(53);
+  lsa::crypto::ShamirScheme<Fp32> scheme(3, 10);  // budget = 3
+  const auto secret = lsa::field::uniform_vector<Fp32>(4, rng);
+  auto shares = scheme.share(std::span<const Fp32::rep>(secret), rng);
+  for (const std::size_t j : {0u, 2u, 4u, 6u}) {  // 4 > 3
+    for (auto& v : shares[j].values) v = lsa::field::uniform<Fp32>(rng);
+  }
+  EXPECT_THROW((void)scheme.reconstruct_corrected(shares),
+               lsa::CodingError);
+}
+
+TEST(ShamirCorrected, ExactThresholdSharesDegradeToPlainReconstruct) {
+  // m == t+1: zero redundancy, zero detection — same contract as the
+  // codec's corrected decode at exactly U responses.
+  lsa::common::Xoshiro256ss rng(59);
+  lsa::crypto::ShamirScheme<Fp32> scheme(3, 8);
+  const auto secret = lsa::field::uniform_vector<Fp32>(4, rng);
+  auto shares = scheme.share(std::span<const Fp32::rep>(secret), rng);
+  shares.resize(4);
+  const auto out = scheme.reconstruct_corrected(shares);
+  EXPECT_EQ(out.secret, secret);
+  EXPECT_TRUE(out.corrupted_indices.empty());
+}
+
+}  // namespace

@@ -1,0 +1,36 @@
+// Build smoke test: every substrate header compiles and basic ops work.
+#include <gtest/gtest.h>
+
+#include "coding/mask_codec.h"
+#include "common/rng.h"
+#include "crypto/key_agreement.h"
+#include "crypto/prg.h"
+#include "crypto/shamir.h"
+#include "field/fp.h"
+#include "quant/quantizer.h"
+#include "quant/staleness.h"
+
+namespace {
+
+using lsa::field::Fp32;
+
+TEST(Smoke, FieldRoundTrip) {
+  EXPECT_EQ(Fp32::add(Fp32::modulus - 1, 1), 0u);
+  EXPECT_EQ(Fp32::mul(Fp32::inv(7), 7), 1u);
+}
+
+TEST(Smoke, MaskCodecRoundTrip) {
+  lsa::common::Xoshiro256ss rng(42);
+  lsa::coding::MaskCodec<Fp32> codec(/*N=*/5, /*U=*/4, /*T=*/2, /*d=*/10);
+  auto mask = lsa::field::uniform_vector<Fp32>(10, rng);
+  auto shares = codec.encode(std::span<const Fp32::rep>(mask), rng);
+  ASSERT_EQ(shares.size(), 5u);
+  // Single-user "aggregate": decoding the shares must return the mask.
+  std::vector<std::size_t> owners = {0, 1, 2, 3};
+  std::vector<std::vector<Fp32::rep>> agg = {shares[0], shares[1], shares[2],
+                                             shares[3]};
+  auto decoded = codec.decode_aggregate(owners, agg);
+  EXPECT_EQ(decoded, mask);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Zhao-Sun TTP one-shot scheme (paper Appendix C): functional correctness
+// against the plaintext sum and against LightSecAgg on identical inputs,
+// plus the Table 6 storage/randomness counters against their closed forms.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/random_field.h"
+#include "protocol/lightsecagg.h"
+#include "protocol/zhao_sun.h"
+
+namespace {
+
+using F = lsa::field::Fp32;
+using rep = F::rep;
+using ZhaoSun = lsa::protocol::ZhaoSunOneShot<F>;
+
+std::vector<std::vector<rep>> random_inputs(std::size_t n, std::size_t d,
+                                            std::uint64_t seed) {
+  lsa::common::Xoshiro256ss rng(seed);
+  std::vector<std::vector<rep>> inputs(n);
+  for (auto& v : inputs) v = lsa::field::uniform_vector<F>(d, rng);
+  return inputs;
+}
+
+std::vector<rep> plaintext_sum(const std::vector<std::vector<rep>>& inputs,
+                               const std::vector<bool>& dropped) {
+  std::vector<rep> out(inputs[0].size(), F::zero);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (dropped[i]) continue;
+    lsa::field::add_inplace<F>(std::span<rep>(out),
+                               std::span<const rep>(inputs[i]));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Correctness over a parameter grid and dropout patterns.
+// ---------------------------------------------------------------------------
+
+class ZhaoSunRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t, std::size_t>> {
+};
+
+TEST_P(ZhaoSunRoundTrip, RecoversExactAggregate) {
+  const auto [n, t, u, num_drop] = GetParam();
+  lsa::protocol::Params params;
+  params.num_users = n;
+  params.privacy = t;
+  params.dropout = n - u;
+  params.target_survivors = u;
+  params.model_dim = 40;
+  ZhaoSun proto(params, /*ttp_seed=*/7);
+
+  const auto inputs = random_inputs(n, 40, 100 + n);
+  std::vector<bool> dropped(n, false);
+  for (std::size_t k = 0; k < num_drop; ++k) dropped[2 * k + 1] = true;
+
+  const auto got = proto.run_round(inputs, dropped);
+  EXPECT_EQ(got, plaintext_sum(inputs, dropped));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZhaoSunRoundTrip,
+    ::testing::Values(std::make_tuple(4, 1, 3, 0),
+                      std::make_tuple(4, 1, 3, 1),
+                      std::make_tuple(6, 2, 4, 2),
+                      std::make_tuple(8, 3, 5, 3),
+                      std::make_tuple(8, 2, 6, 1),
+                      std::make_tuple(10, 4, 6, 4),
+                      std::make_tuple(12, 5, 7, 5)));
+
+TEST(ZhaoSun, MatchesLightSecAggOnIdenticalInputs) {
+  lsa::protocol::Params params;
+  params.num_users = 8;
+  params.privacy = 2;
+  params.dropout = 3;
+  params.target_survivors = 5;
+  params.model_dim = 64;
+  ZhaoSun zs(params, 11);
+  lsa::protocol::LightSecAgg<F> lsa_proto(params, 12);
+
+  const auto inputs = random_inputs(8, 64, 5);
+  std::vector<bool> dropped(8, false);
+  dropped[0] = dropped[6] = true;
+
+  const auto a = zs.run_round(inputs, dropped);
+  const auto b = lsa_proto.run_round(inputs, dropped);
+  EXPECT_EQ(a, b);  // both equal the plaintext aggregate
+  EXPECT_EQ(a, plaintext_sum(inputs, dropped));
+}
+
+TEST(ZhaoSun, EveryDropoutPatternOfToleratedSizeWorks) {
+  // N = 6, U = 4: all C(6,0)+C(6,1)+C(6,2) = 22 patterns must succeed.
+  lsa::protocol::Params params;
+  params.num_users = 6;
+  params.privacy = 1;
+  params.dropout = 2;
+  params.target_survivors = 4;
+  params.model_dim = 16;
+  ZhaoSun proto(params, 3);
+  const auto inputs = random_inputs(6, 16, 9);
+
+  for (std::uint32_t pattern = 0; pattern < (1u << 6); ++pattern) {
+    if (std::popcount(pattern) > 2) continue;
+    std::vector<bool> dropped(6);
+    for (std::size_t i = 0; i < 6; ++i) dropped[i] = (pattern >> i) & 1;
+    const auto got = proto.run_round(inputs, dropped);
+    EXPECT_EQ(got, plaintext_sum(inputs, dropped)) << "pattern=" << pattern;
+  }
+}
+
+TEST(ZhaoSun, ThrowsWhenTooManyUsersDrop) {
+  lsa::protocol::Params params;
+  params.num_users = 6;
+  params.privacy = 1;
+  params.dropout = 2;
+  params.target_survivors = 4;
+  params.model_dim = 8;
+  ZhaoSun proto(params, 3);
+  const auto inputs = random_inputs(6, 8, 2);
+  std::vector<bool> dropped(6, false);
+  dropped[0] = dropped[1] = dropped[2] = true;  // only 3 < U = 4 survive
+  EXPECT_THROW((void)proto.run_round(inputs, dropped), lsa::ProtocolError);
+}
+
+TEST(ZhaoSun, RejectsLargeCohorts) {
+  lsa::protocol::Params params;
+  params.num_users = 32;
+  params.privacy = 8;
+  params.dropout = 8;
+  params.model_dim = 8;
+  EXPECT_THROW(ZhaoSun(params, 1), lsa::ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 counters: measured == closed form.
+// ---------------------------------------------------------------------------
+
+class ZhaoSunCounters
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(ZhaoSunCounters, MatchClosedForms) {
+  const auto [n, t, u] = GetParam();
+  lsa::protocol::Params params;
+  params.num_users = n;
+  params.privacy = t;
+  params.dropout = n - u;
+  params.target_survivors = u;
+  params.model_dim = 8;
+  ZhaoSun proto(params, 21);
+
+  EXPECT_EQ(proto.num_subsets(), ZhaoSun::predicted_num_subsets(n, u));
+  EXPECT_EQ(proto.total_randomness_symbols(),
+            static_cast<std::uint64_t>(n) * (u - t) +
+                static_cast<std::uint64_t>(t) * proto.num_subsets());
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(proto.storage_symbols(j),
+              ZhaoSun::predicted_storage_symbols(n, u, t))
+        << "user " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ZhaoSunCounters,
+                         ::testing::Values(std::make_tuple(4, 1, 3),
+                                           std::make_tuple(6, 2, 4),
+                                           std::make_tuple(8, 3, 5),
+                                           std::make_tuple(10, 4, 7),
+                                           std::make_tuple(12, 5, 9)));
+
+TEST(ZhaoSunCountersExplicit, SmallCaseByHand) {
+  // N = 4, U = 3, T = 1: subsets of size >= 3: C(4,3)+C(4,4) = 5.
+  // Randomness: 4*(3-1) + 1*5 = 13. Storage/user: (3-1) + C(3,2)+C(3,3)
+  // = 2 + 4 = 6.
+  lsa::protocol::Params params;
+  params.num_users = 4;
+  params.privacy = 1;
+  params.dropout = 1;
+  params.target_survivors = 3;
+  params.model_dim = 8;
+  ZhaoSun proto(params, 2);
+  EXPECT_EQ(proto.num_subsets(), 5u);
+  EXPECT_EQ(proto.total_randomness_symbols(), 13u);
+  EXPECT_EQ(proto.storage_symbols(0), 6u);
+}
+
+TEST(ZhaoSunCountersExplicit, StorageGrowsExponentiallyVsLightSecAggLinear) {
+  // The point of Table 6: Zhao-Sun per-user storage explodes with N while
+  // LightSecAgg's is (U-T) + N.
+  std::uint64_t prev = 0;
+  for (const std::size_t n : {8, 10, 12, 14}) {
+    const std::size_t t = n / 4, u = n / 2 + 1;
+    const auto zs = ZhaoSun::predicted_storage_symbols(n, u, t);
+    const auto lsa_sym = static_cast<std::uint64_t>(u - t + n);
+    EXPECT_GT(zs, 4 * lsa_sym) << "n=" << n;
+    if (prev != 0) EXPECT_GT(zs, 3 * prev) << "n=" << n;  // super-linear
+    prev = zs;
+  }
+}
+
+}  // namespace
