@@ -4,6 +4,8 @@
 // the timing simulation — run this binary to see what the simulator sees.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "coding/mask_codec.h"
 #include "coding/ntt.h"
 #include "coding/poly.h"
@@ -13,10 +15,13 @@
 #include "crypto/prg.h"
 #include "crypto/shamir.h"
 #include "field/field_vec.h"
+#include "field/flat_matrix.h"
 #include "field/fp.h"
 #include "field/goldilocks.h"
 #include "field/random_field.h"
 #include "quant/quantizer.h"
+#include "sys/exec_policy.h"
+#include "sys/thread_pool.h"
 
 namespace {
 
@@ -216,6 +221,293 @@ void BM_MaskDecodeAggregate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d));
 }
 BENCHMARK(BM_MaskDecodeAggregate)->Arg(20)->Arg(50)->Arg(100);
+
+// ---------------------------------------------------------------------------
+// Flat-arena engine vs the seed's nested-vector serial path.
+//
+// The "Seed*" benchmarks reproduce the seed implementation faithfully:
+//   * field multiplication via the generic `%` reduction
+//     (PrimeField::mul_reference — exactly the seed's mul),
+//   * per-user nested vector<vector> share storage,
+//   * one modular reduction per term in the encode/decode inner loops.
+// The "Flat*" benchmarks run the current engine: Barrett reduction, one
+// FlatMatrix arena, fused split-word accumulation kernels, optionally a
+// 4-thread pool. Run with --benchmark_format=json to feed the perf
+// trajectory; the headline ratio is
+//   BM_EncodeDecode_SeedNestedSerial/100/102400 over
+//   BM_EncodeDecode_FlatPool4/100/102400.
+
+/// The seed's field: identical layout/constants to PrimeField<Q>, but with
+/// the `%`-based product reduction the seed shipped.
+template <std::uint64_t Q>
+struct SeedRefField {
+  using Fast = lsa::field::PrimeField<Q>;
+  using rep = typename Fast::rep;
+  static constexpr std::uint64_t modulus = Q;
+  static constexpr rep zero = 0;
+  static constexpr rep one = 1;
+  static constexpr std::size_t element_bytes = sizeof(rep);
+  static constexpr rep add(rep a, rep b) { return Fast::add(a, b); }
+  static constexpr rep sub(rep a, rep b) { return Fast::sub(a, b); }
+  static constexpr rep neg(rep a) { return Fast::neg(a); }
+  static constexpr rep mul(rep a, rep b) { return Fast::mul_reference(a, b); }
+  static constexpr rep pow(rep a, std::uint64_t e) { return Fast::pow(a, e); }
+  static rep inv(rep a) { return Fast::inv(a); }
+  static constexpr rep from_u64(std::uint64_t v) { return Fast::from_u64(v); }
+};
+using Fp32Seed = SeedRefField<4294967291ull>;
+
+/// Seed-shape encode: nested segment vectors, one share vector per user,
+/// per-term mul/add axpy (the seed's encode_segments loop).
+template <class F>
+std::vector<std::vector<typename F::rep>> seed_encode(
+    std::size_t n, std::size_t u, std::size_t t, std::size_t d,
+    std::size_t seg, const std::vector<std::vector<typename F::rep>>& w_cols,
+    std::span<const typename F::rep> mask, lsa::common::Xoshiro256ss& rng) {
+  using rep = typename F::rep;
+  std::vector<std::vector<rep>> segments;
+  segments.reserve(u);
+  for (std::size_t k = 0; k < u - t; ++k) {
+    std::vector<rep> s(seg, F::zero);
+    const std::size_t off = k * seg;
+    const std::size_t m = std::min(seg, d - std::min(d, off));
+    for (std::size_t l = 0; l < m; ++l) s[l] = mask[off + l];
+    segments.push_back(std::move(s));
+  }
+  for (std::size_t k = 0; k < t; ++k) {
+    segments.push_back(lsa::field::uniform_vector<F>(seg, rng));
+  }
+  std::vector<std::vector<rep>> shares(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    shares[j].assign(seg, F::zero);
+    for (std::size_t k = 0; k < u; ++k) {
+      const rep c = w_cols[j][k];
+      const rep* src = segments[k].data();
+      rep* dst = shares[j].data();
+      for (std::size_t l = 0; l < seg; ++l) {
+        dst[l] = F::add(dst[l], F::mul(c, src[l]));
+      }
+    }
+  }
+  return shares;
+}
+
+/// Seed-shape one-shot decode: barycentric weights + the seed's blocked
+/// per-term GEMM (kBlock = 2048, one reduction per term).
+template <class F>
+std::vector<typename F::rep> seed_decode(
+    std::size_t u, std::size_t t, std::size_t d, std::size_t seg,
+    std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> betas,
+    const std::vector<std::vector<typename F::rep>>& shares) {
+  using rep = typename F::rep;
+  const auto w = lsa::coding::barycentric_weights<F>(xs, betas.first(u - t));
+  constexpr std::size_t kBlock = 2048;
+  std::vector<rep> out((u - t) * seg, F::zero);
+  for (std::size_t l0 = 0; l0 < seg; l0 += kBlock) {
+    const std::size_t l1 = std::min(l0 + kBlock, seg);
+    for (std::size_t k = 0; k < u - t; ++k) {
+      rep* dst = out.data() + k * seg;
+      for (std::size_t j = 0; j < u; ++j) {
+        const rep wkj = w[k][j];
+        if (wkj == F::zero) continue;
+        const rep* src = shares[j].data();
+        for (std::size_t l = l0; l < l1; ++l) {
+          dst[l] = F::add(dst[l], F::mul(wkj, src[l]));
+        }
+      }
+    }
+  }
+  out.resize(d);
+  return out;
+}
+
+/// Shared shapes for the per-user encode + server decode pipeline at the
+/// paper's ratios U = 0.7N, T = 0.5N.
+struct PipelineShape {
+  std::size_t n, u, t, d, seg;
+  explicit PipelineShape(const benchmark::State& state)
+      : n(static_cast<std::size_t>(state.range(0))),
+        u(7 * n / 10),
+        t(n / 2),
+        d(static_cast<std::size_t>(state.range(1))),
+        seg((d + (u - t) - 1) / (u - t)) {}
+};
+
+void BM_EncodeDecode_SeedNestedSerial(benchmark::State& state) {
+  using F = Fp32Seed;
+  const PipelineShape s(state);
+  lsa::common::Xoshiro256ss rng(12);
+  // The encoding matrix is identical math; reuse the codec's columns.
+  lsa::coding::MaskCodec<Fp32> codec(s.n, s.u, s.t, s.d);
+  std::vector<std::vector<F::rep>> w_cols(s.n);
+  std::vector<F::rep> xs(s.u), betas(s.u);
+  for (std::size_t j = 0; j < s.n; ++j) {
+    const auto col = codec.encoding_column(j);
+    w_cols[j].assign(col.begin(), col.end());
+  }
+  for (std::size_t k = 0; k < s.u; ++k) {
+    betas[k] = static_cast<F::rep>(k + 1);
+    xs[k] = static_cast<F::rep>(s.u + 1 + k);  // owners 0..U-1
+  }
+  const auto mask = lsa::field::uniform_vector<F>(s.d, rng);
+  for (auto _ : state) {
+    auto shares = seed_encode<F>(s.n, s.u, s.t, s.d, s.seg, w_cols,
+                                 std::span<const F::rep>(mask), rng);
+    shares.resize(s.u);
+    auto out = seed_decode<F>(s.u, s.t, s.d, s.seg,
+                              std::span<const F::rep>(xs),
+                              std::span<const F::rep>(betas), shares);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.d));
+}
+BENCHMARK(BM_EncodeDecode_SeedNestedSerial)
+    ->Args({100, 100 * 1024})
+    ->Args({100, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
+
+template <int NumThreads>
+void BM_EncodeDecode_Flat(benchmark::State& state) {
+  using F = Fp32;
+  const PipelineShape s(state);
+  lsa::common::Xoshiro256ss rng(12);
+  lsa::coding::MaskCodec<F> codec(s.n, s.u, s.t, s.d);
+  std::optional<lsa::sys::ThreadPool> pool;
+  lsa::sys::ExecPolicy pol{};
+  if (NumThreads > 1) {
+    pool.emplace(NumThreads);
+    pol.pool = &*pool;
+  }
+  const auto mask = lsa::field::uniform_vector<F>(s.d, rng);
+  std::vector<std::size_t> owners(s.u);
+  for (std::size_t j = 0; j < s.u; ++j) owners[j] = j;
+  lsa::field::FlatMatrix<F> arena(s.n, s.seg);
+  std::vector<const rep32*> rows(s.u);
+  for (auto _ : state) {
+    codec.encode_into(std::span<const rep32>(mask), rng, arena, 0, 1,
+                      pol.chunk_reps);
+    for (std::size_t j = 0; j < s.u; ++j) rows[j] = arena.row_ptr(j);
+    auto out = codec.decode_aggregate_rows(
+        owners, std::span<const rep32* const>(rows), pol);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.d));
+}
+void BM_EncodeDecode_FlatSerial(benchmark::State& state) {
+  BM_EncodeDecode_Flat<1>(state);
+}
+void BM_EncodeDecode_FlatPool4(benchmark::State& state) {
+  BM_EncodeDecode_Flat<4>(state);
+}
+BENCHMARK(BM_EncodeDecode_FlatSerial)
+    ->Args({100, 100 * 1024})
+    ->Args({100, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EncodeDecode_FlatPool4)
+    ->Args({100, 100 * 1024})
+    ->Args({100, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
+
+// Full protocol round (phase 1 encode for all N users + phase 3 responder
+// aggregation + one-shot decode) at a reduced shape — the end-to-end
+// version of the pipeline benchmarks above.
+void BM_RoundSeedNestedSerial(benchmark::State& state) {
+  using F = Fp32Seed;
+  const PipelineShape s(state);
+  lsa::common::Xoshiro256ss rng(13);
+  lsa::coding::MaskCodec<Fp32> codec(s.n, s.u, s.t, s.d);
+  std::vector<std::vector<F::rep>> w_cols(s.n);
+  for (std::size_t j = 0; j < s.n; ++j) {
+    const auto col = codec.encoding_column(j);
+    w_cols[j].assign(col.begin(), col.end());
+  }
+  std::vector<F::rep> xs(s.u), betas(s.u);
+  for (std::size_t k = 0; k < s.u; ++k) {
+    betas[k] = static_cast<F::rep>(k + 1);
+    xs[k] = static_cast<F::rep>(s.u + 1 + k);
+  }
+  std::vector<std::vector<F::rep>> masks(s.n);
+  for (auto& m : masks) m = lsa::field::uniform_vector<F>(s.d, rng);
+  for (auto _ : state) {
+    // held[j][i] = [~z_i]_j — the seed's nested N x N share matrix.
+    std::vector<std::vector<std::vector<F::rep>>> held(
+        s.n, std::vector<std::vector<F::rep>>(s.n));
+    for (std::size_t i = 0; i < s.n; ++i) {
+      auto shares = seed_encode<F>(s.n, s.u, s.t, s.d, s.seg, w_cols,
+                                   std::span<const F::rep>(masks[i]), rng);
+      for (std::size_t j = 0; j < s.n; ++j) held[j][i] = std::move(shares[j]);
+    }
+    std::vector<std::vector<F::rep>> agg(s.u);
+    for (std::size_t j = 0; j < s.u; ++j) {
+      agg[j].assign(s.seg, F::zero);
+      for (std::size_t i = 0; i < s.n; ++i) {
+        for (std::size_t l = 0; l < s.seg; ++l) {
+          agg[j][l] = F::add(agg[j][l], held[j][i][l]);
+        }
+      }
+    }
+    auto out = seed_decode<F>(s.u, s.t, s.d, s.seg,
+                              std::span<const F::rep>(xs),
+                              std::span<const F::rep>(betas), agg);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RoundSeedNestedSerial)
+    ->Args({50, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
+
+template <int NumThreads>
+void BM_RoundFlat(benchmark::State& state) {
+  using F = Fp32;
+  const PipelineShape s(state);
+  lsa::common::Xoshiro256ss rng(13);
+  lsa::coding::MaskCodec<F> codec(s.n, s.u, s.t, s.d);
+  std::optional<lsa::sys::ThreadPool> pool;
+  lsa::sys::ExecPolicy pol{};
+  if (NumThreads > 1) {
+    pool.emplace(NumThreads);
+    pol.pool = &*pool;
+  }
+  lsa::field::FlatMatrix<F> masks(s.n, s.d);
+  for (std::size_t i = 0; i < s.n; ++i) {
+    lsa::field::fill_uniform<F>(masks.row(i), rng);
+  }
+  std::vector<std::size_t> owners(s.u);
+  for (std::size_t j = 0; j < s.u; ++j) owners[j] = j;
+  std::vector<std::uint64_t> noise_seeds(s.n);
+  for (auto& v : noise_seeds) v = rng.next_u64();
+  lsa::field::FlatMatrix<F> agg(s.u, s.seg);
+  for (auto _ : state) {
+    auto arena = codec.encode_all(
+        masks,
+        [&](std::size_t i) {
+          return lsa::common::Xoshiro256ss(noise_seeds[i]);
+        },
+        pol);
+    agg.reset(s.u, s.seg);
+    pol.run(s.u, [&](std::size_t r) {
+      std::vector<const rep32*> rows(s.n);
+      for (std::size_t i = 0; i < s.n; ++i) {
+        rows[i] = arena.row_ptr(r * s.n + i);
+      }
+      lsa::field::add_accumulate_blocked<F>(
+          agg.row(r), std::span<const rep32* const>(rows), pol.chunk_reps);
+    });
+    auto out = codec.decode_aggregate(owners, agg, pol);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+void BM_RoundFlatSerial(benchmark::State& state) { BM_RoundFlat<1>(state); }
+void BM_RoundFlatPool4(benchmark::State& state) { BM_RoundFlat<4>(state); }
+BENCHMARK(BM_RoundFlatSerial)
+    ->Args({50, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RoundFlatPool4)
+    ->Args({50, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_QuantizeVector(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

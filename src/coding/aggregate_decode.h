@@ -10,14 +10,21 @@
 //                  beta (O(U^2 (U-T)) total) + O(U d) vector work. Reference.
 //   kBarycentric — barycentric weights (shared denominators M'(x_j)),
 //                  O(U^2 + U(U-T)) scalar work, then a cache-blocked
-//                  (U-T) x U x seg_len field GEMM. The practical default.
+//                  (U-T) x U x seg_len field GEMM (the fused
+//                  axpy_accumulate kernel of field/field_vec.h).
+//                  The practical default.
 //   kNtt         — fast interpolation + fast multipoint evaluation over a
 //                  subproduct tree, O(U log^2 U) *per coordinate* — the
 //                  complexity class the paper's Table 5 row assumes. Wins
 //                  when U is large and U-T small (high privacy T); the
 //                  crossover is measured in bench/ablation_decode_complexity.
 //
-// All three produce bit-identical results (tests/decode_strategy_test.cpp).
+// All kernels take the shares as *row views* (one pointer per responder) so
+// flat arenas (field/flat_matrix.h), nested vectors and wire buffers all
+// decode without copying, and accept a sys::ExecPolicy that fans the
+// coordinate range out across a thread pool. All three strategies produce
+// bit-identical results under every policy (tests/decode_strategy_test.cpp,
+// tests/parallel_codec_test.cpp).
 #pragma once
 
 #include <cstddef>
@@ -29,6 +36,7 @@
 #include "coding/poly.h"
 #include "common/error.h"
 #include "field/field_vec.h"
+#include "sys/exec_policy.h"
 
 namespace lsa::coding {
 
@@ -45,6 +53,17 @@ enum class DecodeStrategy {
     case DecodeStrategy::kNtt: return "ntt";
   }
   return "?";
+}
+
+/// Adapts a nested share container (anything whose elements expose data())
+/// to the row-view form the kernels consume.
+template <class F, class Rows>
+[[nodiscard]] std::vector<const typename F::rep*> share_row_ptrs(
+    const Rows& shares) {
+  std::vector<const typename F::rep*> rows;
+  rows.reserve(shares.size());
+  for (const auto& s : shares) rows.push_back(s.data());
+  return rows;
 }
 
 /// Evaluation-weight matrix W[k][j] such that g(betas[k]) = sum_j W[k][j] *
@@ -94,31 +113,33 @@ template <class F>
 }
 
 /// out[k*seg + l] = sum_j w[k][j] * shares[j][l] — a (U-T) x U x seg field
-/// GEMM, blocked over the coordinate dimension so each output row stays in
-/// cache while a share column block streams through.
+/// GEMM. Column blocks fan out over the policy; within a block each output
+/// row runs the fused axpy_accumulate kernel (split-word lazy accumulation
+/// on 32-bit fields).
 template <class F>
 [[nodiscard]] std::vector<typename F::rep> weighted_combine_blocked(
     const std::vector<std::vector<typename F::rep>>& w,
-    std::span<const std::vector<typename F::rep>> shares,
-    std::size_t seg_len) {
+    std::span<const typename F::rep* const> shares, std::size_t seg_len,
+    const lsa::sys::ExecPolicy& pol = {}) {
   using rep = typename F::rep;
-  constexpr std::size_t kBlock = 2048;  // reps per block: 8-16 KiB, L1-sized
   const std::size_t rows = w.size();
   std::vector<rep> out(rows * seg_len, F::zero);
-  for (std::size_t l0 = 0; l0 < seg_len; l0 += kBlock) {
-    const std::size_t l1 = std::min(l0 + kBlock, seg_len);
-    for (std::size_t k = 0; k < rows; ++k) {
-      rep* dst = out.data() + k * seg_len;
-      for (std::size_t j = 0; j < shares.size(); ++j) {
-        const rep wkj = w[k][j];
-        if (wkj == F::zero) continue;
-        const rep* src = shares[j].data();
-        for (std::size_t l = l0; l < l1; ++l) {
-          dst[l] = F::add(dst[l], F::mul(wkj, src[l]));
+  const std::size_t chunk =
+      pol.chunk_reps == 0 ? lsa::field::kDefaultChunkReps : pol.chunk_reps;
+  pol.run_blocked(
+      seg_len,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<const rep*> shifted(shares.size());
+        for (std::size_t j = 0; j < shares.size(); ++j) {
+          shifted[j] = shares[j] + begin;
         }
-      }
-    }
-  }
+        for (std::size_t k = 0; k < rows; ++k) {
+          std::span<rep> dst(out.data() + k * seg_len + begin, end - begin);
+          lsa::field::axpy_accumulate_blocked<F>(
+              dst, std::span<const rep>(w[k]), shifted, chunk);
+        }
+      },
+      chunk);
   return out;
 }
 
@@ -128,36 +149,38 @@ template <class F>
 [[nodiscard]] std::vector<typename F::rep> decode_eval_barycentric(
     std::span<const typename F::rep> xs,
     std::span<const typename F::rep> betas,
-    std::span<const std::vector<typename F::rep>> shares,
-    std::size_t seg_len) {
+    std::span<const typename F::rep* const> shares, std::size_t seg_len,
+    const lsa::sys::ExecPolicy& pol = {}) {
   const auto w = barycentric_weights<F>(xs, betas);
-  return weighted_combine_blocked<F>(w, shares, seg_len);
+  return weighted_combine_blocked<F>(w, shares, seg_len, pol);
 }
 
 /// kNtt kernel: per coordinate, fast-interpolate g from (xs, share column)
 /// and fast-evaluate it at the betas; both subproduct trees are built once
-/// and shared across all seg_len coordinates.
+/// and shared read-only across all seg_len coordinates (and all lanes).
 template <class F>
 [[nodiscard]] std::vector<typename F::rep> decode_eval_fast(
     std::span<const typename F::rep> xs,
     std::span<const typename F::rep> betas,
-    std::span<const std::vector<typename F::rep>> shares,
-    std::size_t seg_len) {
+    std::span<const typename F::rep* const> shares, std::size_t seg_len,
+    const lsa::sys::ExecPolicy& pol = {}) {
   using rep = typename F::rep;
   const std::size_t u = xs.size();
   SubproductTree<F> share_tree(xs);
   SubproductTree<F> beta_tree(betas);
 
   std::vector<rep> out(betas.size() * seg_len, F::zero);
-  std::vector<rep> column(u);
-  for (std::size_t l = 0; l < seg_len; ++l) {
-    for (std::size_t j = 0; j < u; ++j) column[j] = shares[j][l];
-    const auto g = share_tree.interpolate(column);
-    const auto vals = beta_tree.evaluate(g);
-    for (std::size_t k = 0; k < betas.size(); ++k) {
-      out[k * seg_len + l] = vals[k];
+  pol.run_blocked(seg_len, [&](std::size_t begin, std::size_t end) {
+    std::vector<rep> column(u);
+    for (std::size_t l = begin; l < end; ++l) {
+      for (std::size_t j = 0; j < u; ++j) column[j] = shares[j][l];
+      const auto g = share_tree.interpolate(column);
+      const auto vals = beta_tree.evaluate(g);
+      for (std::size_t k = 0; k < betas.size(); ++k) {
+        out[k * seg_len + l] = vals[k];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -166,39 +189,51 @@ template <class F>
 [[nodiscard]] std::vector<typename F::rep> decode_eval_lagrange(
     std::span<const typename F::rep> xs,
     std::span<const typename F::rep> betas,
-    std::span<const std::vector<typename F::rep>> shares,
-    std::size_t seg_len) {
+    std::span<const typename F::rep* const> shares, std::size_t seg_len,
+    const lsa::sys::ExecPolicy& pol = {}) {
   using rep = typename F::rep;
   std::vector<rep> out(betas.size() * seg_len, F::zero);
-  for (std::size_t k = 0; k < betas.size(); ++k) {
+  pol.run(betas.size(), [&](std::size_t k) {
     const auto w = lagrange_weights_at<F>(xs, betas[k]);
     std::span<rep> seg(out.data() + k * seg_len, seg_len);
-    for (std::size_t j = 0; j < xs.size(); ++j) {
-      lsa::field::axpy_inplace<F>(seg, w[j],
-                                  std::span<const rep>(shares[j]));
-    }
-  }
+    lsa::field::axpy_accumulate_blocked<F>(seg, std::span<const rep>(w),
+                                           shares, pol.chunk_reps);
+  });
   return out;
 }
 
-/// Strategy dispatch. kNtt is exact for every field (the subproduct tree
-/// falls back to schoolbook products), but only reaches its O(U log^2 U)
-/// complexity on NTT-capable fields such as field::Goldilocks.
+/// Strategy dispatch over share row views. kNtt is exact for every field
+/// (the subproduct tree falls back to schoolbook products), but only
+/// reaches its O(U log^2 U) complexity on NTT-capable fields such as
+/// field::Goldilocks.
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> decode_eval(
+    DecodeStrategy strategy, std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> betas,
+    std::span<const typename F::rep* const> shares, std::size_t seg_len,
+    const lsa::sys::ExecPolicy& pol = {}) {
+  switch (strategy) {
+    case DecodeStrategy::kLagrange:
+      return decode_eval_lagrange<F>(xs, betas, shares, seg_len, pol);
+    case DecodeStrategy::kBarycentric:
+      return decode_eval_barycentric<F>(xs, betas, shares, seg_len, pol);
+    case DecodeStrategy::kNtt:
+      return decode_eval_fast<F>(xs, betas, shares, seg_len, pol);
+  }
+  throw lsa::CodingError("decode_eval: unknown strategy");
+}
+
+/// Legacy adapter: nested-vector shares.
 template <class F>
 [[nodiscard]] std::vector<typename F::rep> decode_eval(
     DecodeStrategy strategy, std::span<const typename F::rep> xs,
     std::span<const typename F::rep> betas,
     std::span<const std::vector<typename F::rep>> shares,
     std::size_t seg_len) {
-  switch (strategy) {
-    case DecodeStrategy::kLagrange:
-      return decode_eval_lagrange<F>(xs, betas, shares, seg_len);
-    case DecodeStrategy::kBarycentric:
-      return decode_eval_barycentric<F>(xs, betas, shares, seg_len);
-    case DecodeStrategy::kNtt:
-      return decode_eval_fast<F>(xs, betas, shares, seg_len);
-  }
-  throw lsa::CodingError("decode_eval: unknown strategy");
+  const auto rows = share_row_ptrs<F>(shares);
+  return decode_eval<F>(strategy, xs, betas,
+                        std::span<const typename F::rep* const>(rows),
+                        seg_len);
 }
 
 }  // namespace lsa::coding

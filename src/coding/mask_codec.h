@@ -15,7 +15,7 @@
 // betas) is MDS: any U columns correspond to U evaluations of a degree-<U
 // polynomial, an invertible relation. It is T-private: the bottom T rows
 // evaluated at any T share points factor as diag · Cauchy · diag with all
-// factors invertible (tests/coding/mask_codec_test.cpp checks both properties
+// factors invertible (tests/coding_test.cpp checks both properties
 // exhaustively for small parameters).
 //
 // One-shot decoding. Because all users share W, aggregated shares
@@ -23,6 +23,22 @@
 // g = sum_{i in U1} f_i. From any U of them the server interpolates g and
 // reads the aggregate mask segments off g(beta_1..beta_{U-T}) — one shot,
 // independent of how many users dropped.
+//
+// Execution model. All hot paths run on flat arenas (field/flat_matrix.h)
+// and the fused blocked kernels of field/field_vec.h:
+//
+//   * encode_into writes one user's N shares into caller-chosen rows of a
+//     shared arena (disjoint rows -> safe to run one user per pool lane);
+//   * encode_all batches a whole round: arena row j*N + i holds [~z_i]_j,
+//     so holder j's shares form one contiguous row block for the
+//     aggregation pass;
+//   * decode_aggregate accepts share *row views* (flat arenas, nested
+//     vectors, wire buffers) and fans the coordinate range out over a
+//     sys::ExecPolicy.
+//
+// The legacy nested-vector APIs remain as thin adapters over the same
+// kernels, and every path is bit-identical to every other
+// (tests/parallel_codec_test.cpp).
 #pragma once
 
 #include <cstddef>
@@ -35,7 +51,9 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "field/field_vec.h"
+#include "field/flat_matrix.h"
 #include "field/random_field.h"
+#include "sys/exec_policy.h"
 
 namespace lsa::coding {
 
@@ -43,6 +61,7 @@ template <class F>
 class MaskCodec {
  public:
   using rep = typename F::rep;
+  using Matrix = lsa::field::FlatMatrix<F>;
 
   /// N users, target U surviving users, privacy T, mask length d.
   /// Requires U > T >= 0, U <= N, and N + U < q.
@@ -64,12 +83,14 @@ class MaskCodec {
       alpha_[j] = static_cast<rep>(u_ + 1 + j);
     }
 
-    // Encoding matrix W[k][j] = l_k(alpha_j), stored column-major so that
-    // encoding share j streams one contiguous column.
-    w_cols_.resize(n_);
+    // Encoding matrix W[k][j] = l_k(alpha_j), stored with one row per
+    // share index j (i.e. column-major in W) so encoding share j streams
+    // one contiguous coefficient row.
+    w_cols_.reset(n_, u_);
     for (std::size_t j = 0; j < n_; ++j) {
-      w_cols_[j] = lagrange_weights_at<F>(std::span<const rep>(beta_),
-                                          alpha_[j]);
+      const auto col = lagrange_weights_at<F>(std::span<const rep>(beta_),
+                                              alpha_[j]);
+      std::copy(col.begin(), col.end(), w_cols_.row(j).begin());
     }
   }
 
@@ -83,32 +104,162 @@ class MaskCodec {
 
   /// Column j of the encoding matrix (exposed for tests / analysis).
   [[nodiscard]] std::span<const rep> encoding_column(std::size_t j) const {
-    return w_cols_.at(j);
+    return w_cols_.row(j);
   }
 
-  /// Splits mask z into U-T segments (zero-padded) plus T noise segments
-  /// drawn from noise_rng, and encodes all N shares.
-  /// Returns shares[j] = [~z]_j of length segment_len().
+  // ---------------------------------------------------------------- encode
+
+  /// Encodes one user's mask into rows {base + j*stride, j = 0..N-1} of a
+  /// shared arena: out.row(base + j*stride) = [~z]_j. The U-T data
+  /// segments come from `mask` (zero-padded), the T noise segments are
+  /// drawn from noise_rng. Rows written are disjoint per (base, stride)
+  /// choice, so concurrent callers encoding different users into one
+  /// arena need no synchronization.
+  template <lsa::field::BitSource G>
+  void encode_into(std::span<const rep> mask, G& noise_rng, Matrix& out,
+                   std::size_t base = 0, std::size_t stride = 1,
+                   std::size_t chunk = 0) const {
+    Matrix segments(u_, seg_len_);
+    fill_data_segments(mask, segments);
+    for (std::size_t k = u_ - t_; k < u_; ++k) {
+      lsa::field::fill_uniform<F>(segments.row(k), noise_rng);
+    }
+    encode_segments_into(segments, out, base, stride, chunk);
+  }
+
+  /// Deterministic variant: caller supplies the T noise segments as the
+  /// rows of `noise`.
+  void encode_with_noise_into(std::span<const rep> mask, const Matrix& noise,
+                              Matrix& out, std::size_t base = 0,
+                              std::size_t stride = 1,
+                              std::size_t chunk = 0) const {
+    lsa::require<lsa::CodingError>(
+        noise.rows() == t_ && (t_ == 0 || noise.cols() == seg_len_),
+        "encode: need exactly T noise segments of segment_len");
+    Matrix segments(u_, seg_len_);
+    fill_data_segments(mask, segments);
+    for (std::size_t k = 0; k < t_; ++k) {
+      const auto src = noise.row(k);
+      std::copy(src.begin(), src.end(), segments.row(u_ - t_ + k).begin());
+    }
+    encode_segments_into(segments, out, base, stride, chunk);
+  }
+
+  /// Batch-encodes a whole round: masks.row(i) = z_i for all N users.
+  /// Returns the share arena with row j*N + i = [~z_i]_j — holder j's
+  /// shares are the contiguous row block [j*N, (j+1)*N). make_noise_rng(i)
+  /// must return the (value-typed) noise bit source for user i; users fan
+  /// out across pol.pool.
+  template <class RngFactory>
+  [[nodiscard]] Matrix encode_all(const Matrix& masks,
+                                  RngFactory&& make_noise_rng,
+                                  const lsa::sys::ExecPolicy& pol = {}) const {
+    lsa::require<lsa::CodingError>(masks.rows() == n_ && masks.cols() == d_,
+                                   "encode_all: masks must be N x d");
+    Matrix arena(n_ * n_, seg_len_);
+    pol.run(n_, [&](std::size_t i) {
+      auto rng = make_noise_rng(i);
+      encode_into(masks.row(i), rng, arena, /*base=*/i, /*stride=*/n_,
+                  pol.chunk_reps);
+    });
+    return arena;
+  }
+
+  /// Legacy nested-vector encode (one user). Same kernels, same bits.
   template <lsa::field::BitSource G>
   [[nodiscard]] std::vector<std::vector<rep>> encode(
       std::span<const rep> mask, G& noise_rng) const {
-    auto segments = make_segments(mask, noise_rng);
-    return encode_segments(segments);
+    Matrix out(n_, seg_len_);
+    encode_into(mask, noise_rng, out);
+    return rows_to_nested(out);
   }
 
-  /// Deterministic variant used by tests: caller supplies the noise segments.
+  /// Legacy deterministic variant used by tests: caller supplies the noise
+  /// segments as vectors.
   [[nodiscard]] std::vector<std::vector<rep>> encode_with_noise(
       std::span<const rep> mask,
       const std::vector<std::vector<rep>>& noise_segments) const {
     lsa::require<lsa::CodingError>(noise_segments.size() == t_,
                                    "encode: need exactly T noise segments");
-    std::vector<std::vector<rep>> segments = split_mask(mask);
-    for (const auto& ns : noise_segments) {
-      lsa::require<lsa::CodingError>(ns.size() == seg_len_,
+    Matrix noise(t_, seg_len_);
+    for (std::size_t k = 0; k < t_; ++k) {
+      lsa::require<lsa::CodingError>(noise_segments[k].size() == seg_len_,
                                      "encode: bad noise segment length");
-      segments.push_back(ns);
+      std::copy(noise_segments[k].begin(), noise_segments[k].end(),
+                noise.row(k).begin());
     }
-    return encode_segments(segments);
+    Matrix out(n_, seg_len_);
+    encode_with_noise_into(mask, noise, out);
+    return rows_to_nested(out);
+  }
+
+  // ---------------------------------------------------------------- decode
+
+  /// One-shot aggregate decode over share *row views*: share_owners[j] is
+  /// the 0-based user id whose aggregated share rows[j] (seg_len reps) is
+  /// given. Needs at least U distinct owners; uses the first U. Returns
+  /// the aggregate mask sum_{i in U1} z_i (length d). The decode kernel is
+  /// selectable (coding/aggregate_decode.h); all strategies are bit-exact,
+  /// kBarycentric is the practical default, kNtt realizes the paper's
+  /// O(U log U) complexity class on NTT-capable fields.
+  [[nodiscard]] std::vector<rep> decode_aggregate_rows(
+      std::span<const std::size_t> share_owners,
+      std::span<const rep* const> rows,
+      const lsa::sys::ExecPolicy& pol = {},
+      DecodeStrategy strategy = DecodeStrategy::kBarycentric) const {
+    lsa::require<lsa::ProtocolError>(
+        share_owners.size() == rows.size(),
+        "decode: owners/shares size mismatch");
+    lsa::require<lsa::ProtocolError>(
+        share_owners.size() >= u_,
+        "decode: fewer than U aggregated shares — unrecoverable round");
+
+    std::vector<rep> xs(u_);
+    for (std::size_t j = 0; j < u_; ++j) {
+      lsa::require<lsa::ProtocolError>(share_owners[j] < n_,
+                                       "decode: share owner out of range");
+      xs[j] = alpha_[share_owners[j]];
+    }
+    for (std::size_t a = 0; a < u_; ++a) {
+      for (std::size_t b = a + 1; b < u_; ++b) {
+        lsa::require<lsa::ProtocolError>(xs[a] != xs[b],
+                                         "decode: duplicate share owners");
+      }
+    }
+
+    // Evaluate the aggregate polynomial g at the U-T data slots.
+    std::span<const rep> data_betas(beta_.data(), u_ - t_);
+    auto out = decode_eval<F>(strategy, std::span<const rep>(xs), data_betas,
+                              rows.first(u_), seg_len_, pol);
+    out.resize(d_);  // drop zero padding
+    return out;
+  }
+
+  /// Flat-arena decode: agg_shares.row(j) is owner share_owners[j]'s
+  /// aggregated share.
+  [[nodiscard]] std::vector<rep> decode_aggregate(
+      std::span<const std::size_t> share_owners, const Matrix& agg_shares,
+      const lsa::sys::ExecPolicy& pol = {},
+      DecodeStrategy strategy = DecodeStrategy::kBarycentric) const {
+    lsa::require<lsa::ProtocolError>(
+        agg_shares.rows() == 0 || agg_shares.cols() == seg_len_,
+        "decode: bad share length");
+    const auto rows = agg_shares.row_ptrs();
+    return decode_aggregate_rows(share_owners,
+                                 std::span<const rep* const>(rows), pol,
+                                 strategy);
+  }
+
+  /// Legacy nested-vector decode.
+  [[nodiscard]] std::vector<rep> decode_aggregate(
+      std::span<const std::size_t> share_owners,
+      std::span<const std::vector<rep>> agg_shares,
+      DecodeStrategy strategy = DecodeStrategy::kBarycentric) const {
+    check_nested_lengths(agg_shares);
+    const auto rows = share_row_ptrs<F>(agg_shares);
+    return decode_aggregate_rows(share_owners,
+                                 std::span<const rep* const>(rows), {},
+                                 strategy);
   }
 
   /// Decodes twice from disjoint-as-possible share subsets and cross-checks
@@ -118,26 +269,51 @@ class MaskCodec {
   /// the first step toward the Byzantine-robust extension the paper lists
   /// as future work (§8): detect, don't yet correct.
   /// Requires at least U + 1 shares; throws CodingError on mismatch.
-  [[nodiscard]] std::vector<rep> decode_aggregate_verified(
+  [[nodiscard]] std::vector<rep> decode_aggregate_verified_rows(
       std::span<const std::size_t> share_owners,
-      std::span<const std::vector<rep>> agg_shares) const {
+      std::span<const rep* const> rows,
+      const lsa::sys::ExecPolicy& pol = {}) const {
+    lsa::require<lsa::ProtocolError>(
+        share_owners.size() == rows.size(),
+        "decode: owners/shares size mismatch");
     lsa::require<lsa::ProtocolError>(
         share_owners.size() >= u_ + 1,
         "verified decode: need at least U+1 shares for redundancy");
     // Subset A: first U shares. Subset B: last U shares (maximally shifted).
     const std::size_t shift = share_owners.size() - u_;
-    std::vector<std::size_t> owners_b(share_owners.begin() + shift,
-                                      share_owners.end());
-    std::vector<std::vector<rep>> shares_b(agg_shares.begin() + shift,
-                                           agg_shares.end());
-    auto a = decode_aggregate(share_owners.first(u_),
-                              agg_shares.first(u_));
-    auto b = decode_aggregate(owners_b, shares_b);
+    auto a = decode_aggregate_rows(share_owners.first(u_), rows.first(u_),
+                                   pol);
+    auto b = decode_aggregate_rows(share_owners.subspan(shift),
+                                   rows.subspan(shift), pol);
     lsa::require<lsa::CodingError>(
         a == b,
         "verified decode: redundant decodes disagree — share tampering or "
         "corruption detected");
     return a;
+  }
+
+  [[nodiscard]] std::vector<rep> decode_aggregate_verified(
+      std::span<const std::size_t> share_owners, const Matrix& agg_shares,
+      const lsa::sys::ExecPolicy& pol = {}) const {
+    lsa::require<lsa::ProtocolError>(
+        agg_shares.rows() == 0 || agg_shares.cols() == seg_len_,
+        "decode: bad share length");
+    const auto rows = agg_shares.row_ptrs();
+    return decode_aggregate_verified_rows(
+        share_owners, std::span<const rep* const>(rows), pol);
+  }
+
+  /// Legacy nested-vector verified decode.
+  [[nodiscard]] std::vector<rep> decode_aggregate_verified(
+      std::span<const std::size_t> share_owners,
+      std::span<const std::vector<rep>> agg_shares) const {
+    lsa::require<lsa::ProtocolError>(
+        share_owners.size() == agg_shares.size(),
+        "decode: owners/shares size mismatch");
+    check_nested_lengths(agg_shares);
+    const auto rows = share_row_ptrs<F>(agg_shares);
+    return decode_aggregate_verified_rows(
+        share_owners, std::span<const rep* const>(rows));
   }
 
   struct CorrectedAggregate {
@@ -208,88 +384,52 @@ class MaskCodec {
     return out;
   }
 
-  /// One-shot aggregate decode. share_owners[j] is the 0-based user id whose
-  /// aggregated share agg_shares[j] = sum_{i in U1} [~z_i]_{owner} is given.
-  /// Needs at least U distinct owners; uses the first U. Returns the
-  /// aggregate mask sum_{i in U1} z_i (length d). The decode kernel is
-  /// selectable (coding/aggregate_decode.h); all strategies are bit-exact,
-  /// kBarycentric is the practical default, kNtt realizes the paper's
-  /// O(U log U) complexity class on NTT-capable fields.
-  [[nodiscard]] std::vector<rep> decode_aggregate(
-      std::span<const std::size_t> share_owners,
-      std::span<const std::vector<rep>> agg_shares,
-      DecodeStrategy strategy = DecodeStrategy::kBarycentric) const {
-    lsa::require<lsa::ProtocolError>(
-        share_owners.size() == agg_shares.size(),
-        "decode: owners/shares size mismatch");
-    lsa::require<lsa::ProtocolError>(
-        share_owners.size() >= u_,
-        "decode: fewer than U aggregated shares — unrecoverable round");
-
-    std::vector<rep> xs(u_);
-    for (std::size_t j = 0; j < u_; ++j) {
-      lsa::require<lsa::ProtocolError>(share_owners[j] < n_,
-                                       "decode: share owner out of range");
-      xs[j] = alpha_[share_owners[j]];
-      lsa::require<lsa::ProtocolError>(agg_shares[j].size() == seg_len_,
-                                       "decode: bad share length");
-    }
-    for (std::size_t a = 0; a < u_; ++a) {
-      for (std::size_t b = a + 1; b < u_; ++b) {
-        lsa::require<lsa::ProtocolError>(xs[a] != xs[b],
-                                         "decode: duplicate share owners");
-      }
-    }
-
-    // Evaluate the aggregate polynomial g at the U-T data slots.
-    std::span<const rep> data_betas(beta_.data(), u_ - t_);
-    auto out = decode_eval<F>(strategy, std::span<const rep>(xs), data_betas,
-                              agg_shares.first(u_), seg_len_);
-    out.resize(d_);  // drop zero padding
-    return out;
-  }
-
  private:
-  [[nodiscard]] std::vector<std::vector<rep>> split_mask(
-      std::span<const rep> mask) const {
+  /// Rows [0, U-T) of `segments` <- mask split into seg_len pieces
+  /// (zero-padded); rows [U-T, U) are left untouched for the caller.
+  void fill_data_segments(std::span<const rep> mask, Matrix& segments) const {
     lsa::require<lsa::CodingError>(mask.size() == d_,
                                    "encode: mask length != d");
-    std::vector<std::vector<rep>> segments;
-    segments.reserve(u_);
     for (std::size_t k = 0; k < u_ - t_; ++k) {
-      std::vector<rep> seg(seg_len_, F::zero);
+      auto seg = segments.row(k);
       const std::size_t off = k * seg_len_;
       const std::size_t n = std::min(seg_len_, d_ - std::min(d_, off));
       for (std::size_t l = 0; l < n; ++l) seg[l] = mask[off + l];
-      segments.push_back(std::move(seg));
+      for (std::size_t l = n; l < seg_len_; ++l) seg[l] = F::zero;
     }
-    return segments;
   }
 
-  template <lsa::field::BitSource G>
-  [[nodiscard]] std::vector<std::vector<rep>> make_segments(
-      std::span<const rep> mask, G& noise_rng) const {
-    auto segments = split_mask(mask);
-    for (std::size_t k = 0; k < t_; ++k) {
-      segments.push_back(
-          lsa::field::uniform_vector<F>(seg_len_, noise_rng));
-    }
-    return segments;
-  }
-
-  [[nodiscard]] std::vector<std::vector<rep>> encode_segments(
-      const std::vector<std::vector<rep>>& segments) const {
-    std::vector<std::vector<rep>> shares(n_);
+  /// Share j <- sum_k W[k][j] * segments.row(k), via the fused axpy kernel.
+  void encode_segments_into(const Matrix& segments, Matrix& out,
+                            std::size_t base, std::size_t stride,
+                            std::size_t chunk) const {
+    lsa::require<lsa::CodingError>(out.cols() == seg_len_,
+                                   "encode: arena column width != seg_len");
+    lsa::require<lsa::CodingError>(
+        base + (n_ - 1) * stride < out.rows(),
+        "encode: arena too small for N share rows");
+    std::vector<const rep*> seg_rows(u_);
+    for (std::size_t k = 0; k < u_; ++k) seg_rows[k] = segments.row_ptr(k);
     for (std::size_t j = 0; j < n_; ++j) {
-      shares[j].assign(seg_len_, F::zero);
-      std::span<rep> dst(shares[j]);
-      const auto& col = w_cols_[j];
-      for (std::size_t k = 0; k < u_; ++k) {
-        lsa::field::axpy_inplace<F>(dst, col[k],
-                                    std::span<const rep>(segments[k]));
-      }
+      auto dst = out.row(base + j * stride);
+      std::fill(dst.begin(), dst.end(), F::zero);
+      lsa::field::axpy_accumulate_blocked<F>(
+          dst, w_cols_.row(j), std::span<const rep* const>(seg_rows), chunk);
     }
-    return shares;
+  }
+
+  [[nodiscard]] std::vector<std::vector<rep>> rows_to_nested(
+      const Matrix& m) const {
+    std::vector<std::vector<rep>> out(m.rows());
+    for (std::size_t j = 0; j < m.rows(); ++j) out[j] = m.row_copy(j);
+    return out;
+  }
+
+  void check_nested_lengths(std::span<const std::vector<rep>> shares) const {
+    for (const auto& s : shares) {
+      lsa::require<lsa::ProtocolError>(s.size() == seg_len_,
+                                       "decode: bad share length");
+    }
   }
 
   std::size_t n_;
@@ -299,7 +439,7 @@ class MaskCodec {
   std::size_t seg_len_ = 0;
   std::vector<rep> beta_;
   std::vector<rep> alpha_;
-  std::vector<std::vector<rep>> w_cols_;
+  Matrix w_cols_;  ///< row j = column j of W (the U coefficients of share j)
 };
 
 }  // namespace lsa::coding

@@ -18,6 +18,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "crypto/secret_pack.h"
+#include "field/flat_matrix.h"
 #include "field/random_field.h"
 
 namespace lsa::crypto {
@@ -166,12 +167,85 @@ class ShamirScheme {
     return out;
   }
 
+  /// Flat-arena variant of share(): writes share j's values into
+  /// out.row(base + j*stride) for j = 0..n-1. The evaluation index of that
+  /// row is implicitly j + 1 (pass it to reconstruct_rows). Identical
+  /// polynomial/RNG draw structure to share(); no per-share heap vectors —
+  /// a round's N x N share matrix becomes one allocation.
+  template <lsa::field::BitSource G>
+  void share_into(std::span<const rep> secret, G& rng,
+                  lsa::field::FlatMatrix<F>& out, std::size_t base,
+                  std::size_t stride) const {
+    lsa::require(out.cols() >= secret.size(),
+                 "shamir: arena columns too narrow for secret");
+    lsa::require(n_ == 0 || base + (n_ - 1) * stride < out.rows(),
+                 "shamir: arena too small for n share rows");
+    std::vector<rep> coeffs(t_ + 1);
+    for (std::size_t e = 0; e < secret.size(); ++e) {
+      coeffs[0] = secret[e];
+      for (std::size_t k = 1; k <= t_; ++k) {
+        coeffs[k] = lsa::field::uniform<F>(rng);
+      }
+      for (std::size_t j = 0; j < n_; ++j) {
+        // Horner evaluation at x = j+1.
+        const rep x = static_cast<rep>(j + 1);
+        rep acc = coeffs[t_];
+        for (std::size_t k = t_; k-- > 0;) {
+          acc = F::add(F::mul(acc, x), coeffs[k]);
+        }
+        out(base + j * stride, e) = acc;
+      }
+    }
+  }
+
+  /// Reconstructs from share *row views*: indices[j] is the 1-based
+  /// evaluation index of row rows[j]; every row holds `len` elements.
+  [[nodiscard]] std::vector<rep> reconstruct_rows(
+      std::span<const std::uint32_t> indices,
+      std::span<const rep* const> rows, std::size_t len) const {
+    lsa::require<lsa::ProtocolError>(
+        indices.size() == rows.size() && indices.size() >= t_ + 1,
+        "shamir: not enough shares to reconstruct");
+    const std::size_t m = t_ + 1;  // exactly t+1 suffice
+    std::vector<rep> xs(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      lsa::require<lsa::ProtocolError>(
+          indices[j] >= 1 && indices[j] <= n_,
+          "shamir: share index out of range");
+      xs[j] = static_cast<rep>(indices[j]);
+    }
+    const auto w = lsa::coding::lagrange_weights_at<F>(xs, F::zero);
+    std::vector<rep> secret(len, F::zero);
+    lsa::field::axpy_accumulate_blocked<F>(std::span<rep>(secret),
+                                           std::span<const rep>(w),
+                                           rows.first(m));
+    return secret;
+  }
+
+  /// Byte-secret variant of reconstruct_rows.
+  [[nodiscard]] std::vector<std::uint8_t> reconstruct_bytes_rows(
+      std::span<const std::uint32_t> indices,
+      std::span<const rep* const> rows, std::size_t packed_len,
+      std::size_t n_bytes) const {
+    const auto packed = reconstruct_rows(indices, rows, packed_len);
+    return unpack_bytes<F>(std::span<const rep>(packed), n_bytes);
+  }
+
   /// Convenience: share an arbitrary byte secret (packs it first).
   template <lsa::field::BitSource G>
   [[nodiscard]] std::vector<ShamirShare<F>> share_bytes(
       std::span<const std::uint8_t> secret, G& rng) const {
     const auto packed = pack_bytes<F>(secret);
     return share(std::span<const rep>(packed), rng);
+  }
+
+  /// Flat-arena variant of share_bytes.
+  template <lsa::field::BitSource G>
+  void share_bytes_into(std::span<const std::uint8_t> secret, G& rng,
+                        lsa::field::FlatMatrix<F>& out, std::size_t base,
+                        std::size_t stride) const {
+    const auto packed = pack_bytes<F>(secret);
+    share_into(std::span<const rep>(packed), rng, out, base, stride);
   }
 
   /// Convenience: reconstruct a byte secret of known length.

@@ -3,15 +3,37 @@
 // These loops are the hot path of every protocol phase (mask generation,
 // model masking, aggregate-mask accumulation), so they operate on raw rep
 // spans with no abstraction overhead; the compiler auto-vectorizes them.
+//
+// Beyond the plain elementwise kernels, this header provides the *fused
+// accumulation* kernels the flat-arena encode/decode engine is built on:
+//   add_accumulate_blocked   acc += sum_k rows[k]
+//   axpy_accumulate_blocked  acc += sum_k coeffs[k] * rows[k]
+// Both process the coordinate range in cache-sized blocks (the destination
+// block stays L1-resident while the source rows stream through), and for
+// 32-bit fields they use split-word lazy accumulation: each coefficient w
+// splits as w_hi * 2^16 + w_lo, the partial products w_lo * x < 2^48 and
+// w_hi * x < 2^48 accumulate in plain uint64 lanes (auto-vectorizable, no
+// per-term modular reduction), and ONE reduction per output element folds
+// the two lanes back into the field. This turns the U-term MDS encode and
+// the (U-T) x U decode GEMMs from one Barrett reduction per term into one
+// per output element — exact, bit-identical results (the field is
+// associative/commutative and the lazy sums never overflow; see
+// tests/flat_matrix_test.cpp for the parity checks).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/error.h"
 
 namespace lsa::field {
+
+/// Reps per cache block for the blocked kernels: 4096 * 4 B = 16 KiB of
+/// destination (u32 fields) — block plus lazy accumulators fit in L1.
+inline constexpr std::size_t kDefaultChunkReps = 4096;
 
 /// acc[i] = acc[i] + x[i] for all i.
 template <class F>
@@ -42,6 +64,148 @@ void axpy_inplace(std::span<typename F::rep> acc, typename F::rep s,
   lsa::require(acc.size() == x.size(), "field axpy: size mismatch");
   for (std::size_t i = 0; i < acc.size(); ++i) {
     acc[i] = F::add(acc[i], F::mul(s, x[i]));
+  }
+}
+
+/// acc[i] = acc[i] + x[i], traversed in chunk-sized blocks. Equivalent to
+/// add_inplace; the blocked form exists so call sites that interleave
+/// several kernels per block keep the destination L1-resident.
+template <class F>
+void add_inplace_chunked(std::span<typename F::rep> acc,
+                         std::span<const typename F::rep> x,
+                         std::size_t chunk = kDefaultChunkReps) {
+  lsa::require(acc.size() == x.size(), "field add: size mismatch");
+  if (chunk == 0) chunk = kDefaultChunkReps;
+  for (std::size_t l0 = 0; l0 < acc.size(); l0 += chunk) {
+    const std::size_t b = std::min(chunk, acc.size() - l0);
+    add_inplace<F>(acc.subspan(l0, b), x.subspan(l0, b));
+  }
+}
+
+/// acc[i] = acc[i] + s * x[i], traversed in chunk-sized blocks.
+template <class F>
+void axpy_inplace_chunked(std::span<typename F::rep> acc, typename F::rep s,
+                          std::span<const typename F::rep> x,
+                          std::size_t chunk = kDefaultChunkReps) {
+  lsa::require(acc.size() == x.size(), "field axpy: size mismatch");
+  if (chunk == 0) chunk = kDefaultChunkReps;
+  for (std::size_t l0 = 0; l0 < acc.size(); l0 += chunk) {
+    const std::size_t b = std::min(chunk, acc.size() - l0);
+    axpy_inplace<F>(acc.subspan(l0, b), s, x.subspan(l0, b));
+  }
+}
+
+namespace detail {
+/// Width of the split-word lazy accumulators: 2048 entries * 2 lanes *
+/// 8 B = 32 KiB of stack per call.
+inline constexpr std::size_t kLazyWidth = 2048;
+/// Terms accumulated before a fold: each partial product is < 2^48, and
+/// 2^15 * 2^48 = 2^63 keeps the u64 lanes clear of overflow.
+inline constexpr std::size_t kMaxLazyTerms = std::size_t{1} << 15;
+}  // namespace detail
+
+/// acc[l] += sum_k rows[k][l] for every l in [0, acc.size()); every row
+/// must have at least acc.size() readable elements. For 32-bit fields the
+/// column sums accumulate lazily in uint64 (a sum of up to 2^32 canonical
+/// u32 values cannot overflow) with one reduction per output element.
+template <class F>
+void add_accumulate_blocked(std::span<typename F::rep> acc,
+                            std::span<const typename F::rep* const> rows,
+                            std::size_t chunk = kDefaultChunkReps) {
+  using rep = typename F::rep;
+  if (rows.empty()) return;
+  if (chunk == 0) chunk = kDefaultChunkReps;
+  const std::size_t n = acc.size();
+  if constexpr (sizeof(rep) == 4) {
+    const std::size_t width = std::min(chunk, detail::kLazyWidth);
+    std::uint64_t sums[detail::kLazyWidth];
+    for (std::size_t l0 = 0; l0 < n; l0 += width) {
+      const std::size_t b = std::min(width, n - l0);
+      std::fill_n(sums, b, std::uint64_t{0});
+      for (const rep* const row : rows) {
+        const rep* src = row + l0;
+        for (std::size_t l = 0; l < b; ++l) sums[l] += src[l];
+      }
+      rep* dst = acc.data() + l0;
+      for (std::size_t l = 0; l < b; ++l) {
+        dst[l] = F::add(dst[l], F::from_u64(sums[l]));
+      }
+    }
+  } else {
+    for (std::size_t l0 = 0; l0 < n; l0 += chunk) {
+      const std::size_t l1 = std::min(l0 + chunk, n);
+      rep* dst = acc.data();
+      for (const rep* const row : rows) {
+        for (std::size_t l = l0; l < l1; ++l) dst[l] = F::add(dst[l], row[l]);
+      }
+    }
+  }
+}
+
+/// acc[l] += sum_k coeffs[k] * rows[k][l] — the fused MDS encode / decode /
+/// weighted-aggregation GEMV. 32-bit fields take the split-word lazy path
+/// described in the header comment; 64-bit fields run a blocked
+/// mul-and-add loop (Mersenne / Goldilocks reduction is already cheap).
+template <class F>
+void axpy_accumulate_blocked(std::span<typename F::rep> acc,
+                             std::span<const typename F::rep> coeffs,
+                             std::span<const typename F::rep* const> rows,
+                             std::size_t chunk = kDefaultChunkReps) {
+  using rep = typename F::rep;
+  lsa::require(coeffs.size() == rows.size(),
+               "axpy_accumulate: coeffs/rows size mismatch");
+  if (rows.empty()) return;
+  if (chunk == 0) chunk = kDefaultChunkReps;
+  const std::size_t n = acc.size();
+  if constexpr (sizeof(rep) == 4) {
+    const std::size_t width = std::min(chunk, detail::kLazyWidth);
+    std::uint64_t lo[detail::kLazyWidth];
+    std::uint64_t hi[detail::kLazyWidth];
+    for (std::size_t l0 = 0; l0 < n; l0 += width) {
+      const std::size_t b = std::min(width, n - l0);
+      std::fill_n(lo, b, std::uint64_t{0});
+      std::fill_n(hi, b, std::uint64_t{0});
+      rep* dst = acc.data() + l0;
+      const auto fold = [&] {
+        for (std::size_t l = 0; l < b; ++l) {
+          const std::uint64_t h = hi[l] % F::modulus;  // < 2^32
+          const std::uint64_t t = (h << 16) + lo[l];   // < 2^63 + 2^48
+          dst[l] = F::add(dst[l], F::from_u64(t));
+        }
+      };
+      std::size_t pending = 0;
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        if (pending == detail::kMaxLazyTerms) {
+          fold();
+          std::fill_n(lo, b, std::uint64_t{0});
+          std::fill_n(hi, b, std::uint64_t{0});
+          pending = 0;
+        }
+        ++pending;
+        const std::uint64_t wlo = coeffs[k] & 0xFFFFu;
+        const std::uint64_t whi = coeffs[k] >> 16;
+        const rep* src = rows[k] + l0;
+        for (std::size_t l = 0; l < b; ++l) {
+          const std::uint64_t x = src[l];
+          lo[l] += wlo * x;  // < 2^16 * 2^32 = 2^48 per term
+          hi[l] += whi * x;
+        }
+      }
+      fold();
+    }
+  } else {
+    for (std::size_t l0 = 0; l0 < n; l0 += chunk) {
+      const std::size_t l1 = std::min(l0 + chunk, n);
+      rep* dst = acc.data();
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        const rep w = coeffs[k];
+        if (w == F::zero) continue;
+        const rep* src = rows[k];
+        for (std::size_t l = l0; l < l1; ++l) {
+          dst[l] = F::add(dst[l], F::mul(w, src[l]));
+        }
+      }
+    }
   }
 }
 

@@ -1,0 +1,126 @@
+// Contiguous row-major arena of field elements.
+//
+// The share matrices of every protocol round used to be nested
+// vector<vector<...>> structures — ~N^2 heap allocations per round, with
+// rows scattered across the heap. FlatMatrix stores all rows in ONE
+// allocation and hands out span views, so
+//   * a round's whole share arena is a single malloc (reusable across
+//     rounds via reset(), which keeps capacity),
+//   * row accesses are pointer arithmetic, and adjacent rows are adjacent
+//     in memory — the layout the blocked kernels in field/field_vec.h
+//     stream over,
+//   * disjoint rows can be written concurrently without false sharing
+//     beyond at most one cache line per boundary.
+//
+// Layout conventions used by the coding/protocol layers are documented at
+// the call sites (e.g. coding::MaskCodec::encode_all stores share [~z_i]_j
+// at row j * N + i so each holder j owns one contiguous row block).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lsa::field {
+
+template <class F>
+class FlatMatrix {
+ public:
+  using rep = typename F::rep;
+
+  FlatMatrix() = default;
+
+  /// rows x cols arena, zero-initialized.
+  FlatMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, F::zero) {}
+
+  /// Reshapes to rows x cols and zero-fills. Keeps the existing allocation
+  /// when capacity suffices — the per-round reuse path of the protocols.
+  void reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, F::zero);
+  }
+
+  /// Reshapes WITHOUT clearing: for arenas whose rows are fully overwritten
+  /// right after (encode targets, PRG fills) — skips a whole-arena memset
+  /// per round. Elements carried over from the previous shape hold stale
+  /// values; only use when every row read was first written.
+  void reset_for_overwrite(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Drops all contents (shape becomes 0 x 0) but keeps capacity.
+  void clear() {
+    rows_ = 0;
+    cols_ = 0;
+    data_.clear();
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::span<rep> row(std::size_t r) {
+    lsa::require(r < rows_, "FlatMatrix::row: row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const rep> row(std::size_t r) const {
+    lsa::require(r < rows_, "FlatMatrix::row: row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] rep* row_ptr(std::size_t r) {
+    lsa::require(r < rows_, "FlatMatrix::row_ptr: row out of range");
+    return data_.data() + r * cols_;
+  }
+  [[nodiscard]] const rep* row_ptr(std::size_t r) const {
+    lsa::require(r < rows_, "FlatMatrix::row_ptr: row out of range");
+    return data_.data() + r * cols_;
+  }
+
+  [[nodiscard]] rep& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const rep& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// The whole arena as one span (rows are contiguous, row-major).
+  [[nodiscard]] std::span<rep> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const rep> flat() const {
+    return {data_.data(), data_.size()};
+  }
+
+  /// Detached copy of one row — for wire payloads and legacy APIs that
+  /// still traffic in std::vector.
+  [[nodiscard]] std::vector<rep> row_copy(std::size_t r) const {
+    const auto v = row(r);
+    return {v.begin(), v.end()};
+  }
+
+  /// One pointer per row, in row order — the row-view form the fused
+  /// kernels and decode entry points consume.
+  [[nodiscard]] std::vector<const rep*> row_ptrs() const {
+    std::vector<const rep*> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = data_.data() + r * cols_;
+    return out;
+  }
+
+  friend bool operator==(const FlatMatrix& a, const FlatMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<rep> data_;
+};
+
+}  // namespace lsa::field

@@ -60,6 +60,14 @@ class Goldilocks {
                      static_cast<std::uint64_t>(p));
   }
 
+  /// Reference product via generic 128-bit `%` — what the branch-light
+  /// reduce128 path is tested against (tests/barrett_test.cpp).
+  [[nodiscard]] static constexpr rep mul_reference(rep a, rep b) {
+    const unsigned __int128 p =
+        static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+    return static_cast<rep>(p % modulus);
+  }
+
   /// a^e via binary exponentiation. pow(0, 0) == 1 by convention.
   [[nodiscard]] static constexpr rep pow(rep a, std::uint64_t e) {
     rep base = a;

@@ -1,0 +1,69 @@
+// ExecPolicy-aware wrappers over the blocked field kernels.
+//
+// The fused kernels in field/field_vec.h are serial building blocks; this
+// header splits their coordinate range across a sys::ExecPolicy so protocol
+// hot loops (masked-model summation, aggregate-share accumulation, weighted
+// buffers) parallelize over disjoint column blocks. Results are bit-exact
+// regardless of policy: field addition is associative and every block is
+// written by exactly one task.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "field/field_vec.h"
+#include "sys/exec_policy.h"
+
+namespace lsa::field {
+
+namespace detail {
+/// Column-block grain: at least one kernel chunk per task, and no more
+/// than ~4 blocks per lane so claim overhead stays negligible.
+inline std::size_t column_grain(std::size_t n, const lsa::sys::ExecPolicy& pol) {
+  const std::size_t chunk =
+      pol.chunk_reps == 0 ? kDefaultChunkReps : pol.chunk_reps;
+  const std::size_t per_lane = (n + pol.lanes() - 1) / pol.lanes();
+  return std::max(chunk, (per_lane + 3) / 4);
+}
+}  // namespace detail
+
+/// acc[l] += sum_k rows[k][l], column blocks fanned out over pol.
+template <class F>
+void add_accumulate(std::span<typename F::rep> acc,
+                    std::span<const typename F::rep* const> rows,
+                    const lsa::sys::ExecPolicy& pol) {
+  if (rows.empty() || acc.empty()) return;
+  pol.run_blocked(
+      acc.size(),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<const typename F::rep*> shifted(rows.size());
+        for (std::size_t k = 0; k < rows.size(); ++k) {
+          shifted[k] = rows[k] + begin;
+        }
+        add_accumulate_blocked<F>(acc.subspan(begin, end - begin), shifted,
+                                  pol.chunk_reps);
+      },
+      detail::column_grain(acc.size(), pol));
+}
+
+/// acc[l] += sum_k coeffs[k] * rows[k][l], column blocks fanned out over pol.
+template <class F>
+void axpy_accumulate(std::span<typename F::rep> acc,
+                     std::span<const typename F::rep> coeffs,
+                     std::span<const typename F::rep* const> rows,
+                     const lsa::sys::ExecPolicy& pol) {
+  if (rows.empty() || acc.empty()) return;
+  pol.run_blocked(
+      acc.size(),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<const typename F::rep*> shifted(rows.size());
+        for (std::size_t k = 0; k < rows.size(); ++k) {
+          shifted[k] = rows[k] + begin;
+        }
+        axpy_accumulate_blocked<F>(acc.subspan(begin, end - begin), coeffs,
+                                   shifted, pol.chunk_reps);
+      },
+      detail::column_grain(acc.size(), pol));
+}
+
+}  // namespace lsa::field

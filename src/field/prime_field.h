@@ -15,6 +15,7 @@
 // which is a precondition violation checked with lsa::require.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <type_traits>
 
@@ -51,7 +52,53 @@ class PrimeField {
     return a == 0 ? 0 : static_cast<rep>(Q - a);
   }
 
+  /// True when Q = 2^k - 1 for some k in (32, 63) — e.g. Fp61's Mersenne
+  /// modulus — which admits shift-and-fold reduction of 128-bit products.
+  static constexpr bool is_mersenne =
+      Q > 0xFFFFFFFFull && std::has_single_bit(Q + 1) &&
+      std::bit_width(Q) <= 62;
+
+  /// floor(2^64 / Q), the Barrett constant for the 32-bit moduli. Q is an
+  /// odd prime, so it never divides 2^64 and floor((2^64 - 1) / Q) equals
+  /// floor(2^64 / Q) exactly.
+  static constexpr std::uint64_t barrett_magic = ~0ull / Q;
+
   [[nodiscard]] static constexpr rep mul(rep a, rep b) {
+    if constexpr (Q <= 0xFFFFFFFFull) {
+      // Barrett reduction of the 64-bit product x = a * b < Q^2:
+      //   qhat = floor(x * floor(2^64/Q) / 2^64)  in [floor(x/Q) - 1,
+      //                                               floor(x/Q)],
+      // so r = x - qhat * Q lies in [0, 2Q) and one conditional subtraction
+      // canonicalizes. (tests/barrett_test.cpp checks this exhaustively at
+      // every boundary against mul_reference.)
+      const std::uint64_t x = static_cast<std::uint64_t>(a) * b;
+      const std::uint64_t qhat = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(x) * barrett_magic) >> 64);
+      std::uint64_t r = x - qhat * Q;
+      if (r >= Q) r -= Q;
+      return static_cast<rep>(r);
+    } else if constexpr (is_mersenne) {
+      // Mersenne shift-and-fold: with Q = 2^k - 1, 2^k == 1 (mod Q), so the
+      // 2k-bit product folds as (p >> k) + (p & Q), twice, with one final
+      // conditional subtraction — no 128-bit division.
+      constexpr unsigned k = std::bit_width(Q);
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+      std::uint64_t s = (static_cast<std::uint64_t>(p) & Q) +
+                        static_cast<std::uint64_t>(p >> k);  // < 2^(k+1)
+      s = (s & Q) + (s >> k);                                // <= Q + 1
+      if (s >= Q) s -= Q;
+      return static_cast<rep>(s);
+    } else {
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+      return static_cast<rep>(p % Q);
+    }
+  }
+
+  /// Reference product via the generic `%` reduction — the kernel the fast
+  /// paths above are tested against (and the seed implementation of mul).
+  [[nodiscard]] static constexpr rep mul_reference(rep a, rep b) {
     if constexpr (Q <= 0xFFFFFFFFull) {
       return static_cast<rep>((static_cast<std::uint64_t>(a) * b) % Q);
     } else {

@@ -1,6 +1,13 @@
 // Bridges real-valued FL model vectors and the finite-field secure
 // aggregation protocols: quantize -> mask/aggregate in F_q -> demap -> average
 // (paper §4.1 "Masking and uploading" + App. F.3.2).
+//
+// Execution: the protocol round itself parallelizes through
+// protocol.params().exec. When that policy carries a pool, the per-user
+// quantization loop fans out too, with per-user sub-RNGs split off the
+// caller's quantize_rng (the split is drawn serially, so results are
+// deterministic for a fixed pool-or-not choice; the serial path is
+// unchanged from the legacy behavior).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,33 @@
 #include "quant/quantizer.h"
 
 namespace lsa::fl {
+
+namespace detail {
+/// Quantizes locals[i] -> field_inputs[i] for all users, serial or fanned
+/// out over the protocol's ExecPolicy (see header comment for RNG split).
+template <class F>
+void quantize_all(const lsa::quant::Quantizer<F>& quant,
+                  const std::vector<std::vector<double>>& locals,
+                  lsa::common::Xoshiro256ss& quantize_rng,
+                  const lsa::sys::ExecPolicy& pol,
+                  std::vector<std::vector<typename F::rep>>& field_inputs) {
+  const std::size_t n = locals.size();
+  if (!pol.parallel()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      field_inputs[i] = quant.quantize_vector(
+          std::span<const double>(locals[i]), quantize_rng);
+    }
+    return;
+  }
+  std::vector<std::uint64_t> seeds(n);
+  for (auto& s : seeds) s = quantize_rng.next_u64();
+  pol.run(n, [&](std::size_t i) {
+    lsa::common::Xoshiro256ss rng(seeds[i]);
+    field_inputs[i] =
+        quant.quantize_vector(std::span<const double>(locals[i]), rng);
+  });
+}
+}  // namespace detail
 
 /// Securely computes the *average* of the surviving users' real vectors via
 /// one protocol round.
@@ -34,9 +68,9 @@ template <class F>
   for (std::size_t i = 0; i < n; ++i) {
     lsa::require<lsa::ProtocolError>(locals[i].size() == d,
                                      "secure_average: bad vector length");
-    field_inputs[i] = quant.quantize_vector(
-        std::span<const double>(locals[i]), quantize_rng);
   }
+  detail::quantize_all<F>(quant, locals, quantize_rng,
+                          protocol.params().exec, field_inputs);
 
   const auto agg = protocol.run_round(field_inputs, dropped);
 

@@ -28,6 +28,8 @@
 #include "common/error.h"
 #include "crypto/prg.h"
 #include "field/field_vec.h"
+#include "field/flat_matrix.h"
+#include "field/parallel_vec.h"
 #include "field/random_field.h"
 #include "net/ledger.h"
 #include "protocol/params.h"
@@ -70,16 +72,17 @@ class AsyncLightSecAgg {
                                      "async: buffer size must be >= 1");
     codec_.emplace(params_.num_users, params_.target_survivors,
                    params_.privacy, params_.model_dim);
-    stores_.resize(params_.num_users);
   }
 
   [[nodiscard]] std::string_view name() const { return "AsyncLightSecAgg"; }
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] std::uint64_t buffer_size() const { return buffer_size_; }
 
-  /// User-side, offline: generates z_i^{(round)}, encodes it, distributes
-  /// shares to all users' stores, and returns the mask for local use.
-  /// Mirrors Appendix F.3.1 (timestamped share exchange).
+  /// User-side, offline: generates z_i^{(round)}, encodes it into one flat
+  /// arena (row j = [~z]_j, the share user j stores), and returns the mask
+  /// for local use. Mirrors Appendix F.3.1 (timestamped share exchange);
+  /// the simulation keeps one arena per (user, round) instead of N
+  /// per-holder heap vectors.
   std::vector<rep> generate_and_share_mask(std::size_t user,
                                            std::uint64_t round) {
     lsa::require<lsa::ProtocolError>(user < params_.num_users,
@@ -92,11 +95,15 @@ class AsyncLightSecAgg {
         round);
     lsa::crypto::Prg prg(seed);
     auto mask = lsa::field::uniform_vector<F>(d, prg);
-    auto shares = codec_->encode(std::span<const rep>(mask), prg);
-    for (std::size_t j = 0; j < params_.num_users; ++j) {
-      stores_[j][{user, round}] = std::move(shares[j]);
-      if (ledger_ != nullptr && j != user) {
-        ledger_->add_message(lsa::net::Phase::kOffline, user, j, seg, true);
+    lsa::field::FlatMatrix<F> arena(params_.num_users, seg);
+    codec_->encode_into(std::span<const rep>(mask), prg, arena, 0, 1,
+                        params_.exec.chunk_reps);
+    share_arenas_[{user, round}] = std::move(arena);
+    if (ledger_ != nullptr) {
+      for (std::size_t j = 0; j < params_.num_users; ++j) {
+        if (j != user) {
+          ledger_->add_message(lsa::net::Phase::kOffline, user, j, seg, true);
+        }
       }
     }
     if (ledger_ != nullptr) {
@@ -164,12 +171,20 @@ class AsyncLightSecAgg {
     lsa::require<lsa::ProtocolError>(
         weight_sum > 0, "async: all staleness weights rounded to zero");
 
-    // Weighted sum of masked updates (server side, in the field).
+    // Weighted sum of masked updates (server side, in the field) — one
+    // fused K-row weighted column sum over the buffer.
     std::vector<rep> acc(params_.model_dim, F::zero);
-    for (std::size_t b = 0; b < buffer_.size(); ++b) {
-      lsa::field::axpy_inplace<F>(std::span<rep>(acc),
-                                  F::from_u64(weights[b]),
-                                  std::span<const rep>(buffer_[b].masked));
+    {
+      std::vector<rep> coeffs(buffer_.size());
+      std::vector<const rep*> rows(buffer_.size());
+      for (std::size_t b = 0; b < buffer_.size(); ++b) {
+        coeffs[b] = F::from_u64(weights[b]);
+        rows[b] = buffer_[b].masked.data();
+      }
+      lsa::field::axpy_accumulate<F>(std::span<rep>(acc),
+                                     std::span<const rep>(coeffs),
+                                     std::span<const rep* const>(rows),
+                                     params_.exec);
     }
 
     // Recovery: each active user j returns sum_b w_b * [~z]_j for the
@@ -182,22 +197,32 @@ class AsyncLightSecAgg {
         responders.size() == u,
         "async: fewer than U active users — unrecoverable aggregation");
 
-    std::vector<std::vector<rep>> agg_shares;
-    agg_shares.reserve(u);
-    for (std::size_t j : responders) {
-      std::vector<rep> share_acc(seg, F::zero);
+    // Per responder j: sum_b w_b * [~z_{u_b}^{(t_b)}]_j — a fused weighted
+    // column sum over row j of each buffered update's share arena.
+    // Responders fan out over params.exec (disjoint output rows).
+    std::vector<rep> coeffs(buffer_.size());
+    std::vector<const lsa::field::FlatMatrix<F>*> arenas(buffer_.size());
+    for (std::size_t b = 0; b < buffer_.size(); ++b) {
+      coeffs[b] = F::from_u64(weights[b]);
+      const auto it =
+          share_arenas_.find({buffer_[b].user, buffer_[b].born_round});
+      lsa::require<lsa::ProtocolError>(
+          it != share_arenas_.end(),
+          "async: user is missing a timestamped encoded mask share");
+      arenas[b] = &it->second;
+    }
+    lsa::field::FlatMatrix<F> agg_shares(u, seg);
+    params_.exec.run(u, [&](std::size_t r) {
+      std::vector<const rep*> rows(buffer_.size());
       for (std::size_t b = 0; b < buffer_.size(); ++b) {
-        const auto it =
-            stores_[j].find({buffer_[b].user, buffer_[b].born_round});
-        lsa::require<lsa::ProtocolError>(
-            it != stores_[j].end(),
-            "async: user is missing a timestamped encoded mask share");
-        lsa::field::axpy_inplace<F>(std::span<rep>(share_acc),
-                                    F::from_u64(weights[b]),
-                                    std::span<const rep>(it->second));
+        rows[b] = arenas[b]->row_ptr(responders[r]);
       }
-      agg_shares.push_back(std::move(share_acc));
-      if (ledger_ != nullptr) {
+      lsa::field::axpy_accumulate_blocked<F>(
+          agg_shares.row(r), std::span<const rep>(coeffs),
+          std::span<const rep* const>(rows), params_.exec.chunk_reps);
+    });
+    if (ledger_ != nullptr) {
+      for (std::size_t j : responders) {
         ledger_->add_compute(
             lsa::net::Phase::kRecovery, j, lsa::net::CompKind::kFieldAddVec,
             static_cast<std::uint64_t>(buffer_.size()) * seg, true);
@@ -206,7 +231,8 @@ class AsyncLightSecAgg {
       }
     }
 
-    auto agg_mask = codec_->decode_aggregate(responders, agg_shares);
+    auto agg_mask =
+        codec_->decode_aggregate(responders, agg_shares, params_.exec);
     if (ledger_ != nullptr) {
       ledger_->add_compute(
           lsa::net::Phase::kRecovery, ledger_->server_id(),
@@ -216,11 +242,9 @@ class AsyncLightSecAgg {
     lsa::field::sub_inplace<F>(std::span<rep>(acc),
                                std::span<const rep>(agg_mask));
 
-    // Garbage-collect consumed shares.
+    // Garbage-collect consumed share arenas.
     for (const auto& upd : buffer_) {
-      for (std::size_t j = 0; j < n; ++j) {
-        stores_[j].erase({upd.user, upd.born_round});
-      }
+      share_arenas_.erase({upd.user, upd.born_round});
     }
     buffer_.clear();
 
@@ -235,10 +259,10 @@ class AsyncLightSecAgg {
   std::uint64_t master_seed_;
   lsa::net::Ledger* ledger_;
   std::optional<lsa::coding::MaskCodec<F>> codec_;
-  // stores_[j][(user, round)] = [~z_user^{(round)}]_j held by user j.
-  std::vector<std::map<std::pair<std::size_t, std::uint64_t>,
-                       std::vector<rep>>>
-      stores_;
+  /// share_arenas_[(user, round)].row(j) = [~z_user^{(round)}]_j held by
+  /// user j — one flat allocation per timestamped mask, not N vectors.
+  std::map<std::pair<std::size_t, std::uint64_t>, lsa::field::FlatMatrix<F>>
+      share_arenas_;
   std::deque<BufferedUpdate> buffer_;
 };
 

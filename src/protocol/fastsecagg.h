@@ -35,6 +35,7 @@
 #include "common/error.h"
 #include "crypto/prg.h"
 #include "field/field_vec.h"
+#include "field/flat_matrix.h"
 #include "net/ledger.h"
 #include "protocol/params.h"
 #include "protocol/secure_aggregator.h"
@@ -88,23 +89,25 @@ class FastSecAgg final : public SecureAggregator<F> {
         survivors.size() >= u,
         "fastsecagg: fewer than U = K + T survivors — unrecoverable round");
 
-    // ---- Phase 1 (online): ramp-share the models. held[j][i] = [x_i]_j.
+    // ---- Phase 1 (online): ramp-share the models into one flat arena,
+    // row j*N + i = [x_i]_j (holder j's shares are a contiguous block).
     // Logged in the Upload phase: the model must exist before it can be
-    // shared, so none of this work can overlap local training.
+    // shared, so none of this work can overlap local training. One encode
+    // task per user across params.exec.
     const std::uint64_t round = round_counter_++;
-    std::vector<std::vector<std::vector<rep>>> held(
-        n, std::vector<std::vector<rep>>(n));
-    for (std::size_t i = 0; i < n; ++i) {
+    const auto& pol = params_.exec;
+    held_.reset_for_overwrite(n * n, seg);
+    pol.run(n, [&](std::size_t i) {
       auto prg_seed = lsa::crypto::derive_subseed(
           lsa::crypto::seed_from_u64(seed_ ^
                                      (0xfa57ull + i * 0x9e3779b97f4a7c15ull)),
           round);
       lsa::crypto::Prg prg(prg_seed);
-      auto shares = codec_->encode(std::span<const rep>(inputs[i]), prg);
-      for (std::size_t j = 0; j < n; ++j) {
-        held[j][i] = std::move(shares[j]);
-      }
-      if (ledger_ != nullptr) {
+      codec_->encode_into(std::span<const rep>(inputs[i]), prg, held_,
+                          /*base=*/i, /*stride=*/n, pol.chunk_reps);
+    });
+    if (ledger_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
         ledger_->add_compute(lsa::net::Phase::kUpload, i,
                              lsa::net::CompKind::kPrgExpand,
                              static_cast<std::uint64_t>(t) * seg, true);
@@ -120,19 +123,24 @@ class FastSecAgg final : public SecureAggregator<F> {
     }
 
     // ---- Phase 2: aggregate-share upload from the survivors. ----
-    // Server announces U1; user j sums the shares of surviving users only.
+    // Server announces U1; user j sums the shares of surviving users only —
+    // one blocked streaming pass over its arena row block per responder.
     std::vector<std::size_t> responders(survivors.begin(),
                                         survivors.begin() + u);
-    std::vector<std::vector<rep>> agg_shares;
-    agg_shares.reserve(u);
-    for (const std::size_t j : responders) {
-      std::vector<rep> acc(seg, F::zero);
+    agg_shares_.reset(u, seg);
+    pol.run(u, [&](std::size_t r) {
+      const std::size_t j = responders[r];
+      std::vector<const rep*> rows;
+      rows.reserve(survivors.size());
       for (const std::size_t i : survivors) {
-        lsa::field::add_inplace<F>(std::span<rep>(acc),
-                                   std::span<const rep>(held[j][i]));
+        rows.push_back(held_.row_ptr(j * n + i));
       }
-      agg_shares.push_back(std::move(acc));
-      if (ledger_ != nullptr) {
+      lsa::field::add_accumulate_blocked<F>(
+          agg_shares_.row(r), std::span<const rep* const>(rows),
+          pol.chunk_reps);
+    });
+    if (ledger_ != nullptr) {
+      for (const std::size_t j : responders) {
         ledger_->add_compute(
             lsa::net::Phase::kRecovery, j, lsa::net::CompKind::kFieldAddVec,
             static_cast<std::uint64_t>(survivors.size()) * seg, true);
@@ -142,7 +150,7 @@ class FastSecAgg final : public SecureAggregator<F> {
     }
 
     // ---- Phase 3: one-shot decode of the aggregate *model*. ----
-    auto aggregate = codec_->decode_aggregate(responders, agg_shares);
+    auto aggregate = codec_->decode_aggregate(responders, agg_shares_, pol);
     if (ledger_ != nullptr) {
       ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
                            lsa::net::CompKind::kMaskDecode,
@@ -163,6 +171,9 @@ class FastSecAgg final : public SecureAggregator<F> {
   lsa::net::Ledger* ledger_;
   std::optional<lsa::coding::MaskCodec<F>> codec_;
   std::uint64_t round_counter_ = 0;
+  // Round arenas, reused across rounds (reset keeps capacity).
+  lsa::field::FlatMatrix<F> held_;        ///< row j*N + i = [x_i]_j
+  lsa::field::FlatMatrix<F> agg_shares_;  ///< row r = responder r's sum
 };
 
 }  // namespace lsa::protocol

@@ -16,6 +16,13 @@
 //   3. One-shot recovery: server announces U1; each surviving user j sends
 //      sum_{i in U1} [~z_i]_j; the server decodes from the first U responses
 //      and subtracts the aggregate mask.
+//
+// Data layout: the round's N x N share matrix lives in ONE flat arena
+// (field::FlatMatrix) with row j*N + i = [~z_i]_j — holder j's shares are a
+// contiguous row block, so phase 3's per-responder aggregation is a single
+// streaming pass. Masks occupy a second N x d arena. Both arenas are reused
+// across rounds (no per-round N^2 allocations), and phases 1-3 fan out over
+// params.exec (per-user encode tasks, blocked column sums, parallel decode).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +34,8 @@
 #include "common/error.h"
 #include "crypto/prg.h"
 #include "field/field_vec.h"
+#include "field/flat_matrix.h"
+#include "field/parallel_vec.h"
 #include "field/random_field.h"
 #include "net/ledger.h"
 #include "protocol/secure_aggregator.h"
@@ -70,6 +79,7 @@ class LightSecAgg final : public SecureAggregator<F> {
     const std::size_t u = params_.target_survivors;
     const std::size_t t = params_.privacy;
     const std::size_t seg = codec_->segment_len();
+    const auto& pol = params_.exec;
     lsa::require<lsa::ProtocolError>(inputs.size() == n,
                                      "lightsecagg: wrong number of inputs");
     lsa::require<lsa::ProtocolError>(dropped.size() == n,
@@ -86,22 +96,24 @@ class LightSecAgg final : public SecureAggregator<F> {
     const std::uint64_t round = round_counter_++;
 
     // ---- Phase 1: offline encoding and sharing of local masks. ----
-    // held_shares[j][i] = [~z_i]_j — what user j stores for user i.
-    std::vector<std::vector<std::vector<rep>>> held_shares(
-        n, std::vector<std::vector<rep>>(n));
-    std::vector<std::vector<rep>> mask(n);
-    for (std::size_t i = 0; i < n; ++i) {
+    // arena row j*N + i = [~z_i]_j — what user j stores for user i. One
+    // task per user: draw z_i and its T noise segments from the user's PRG
+    // (the same stream, in the same order, as the legacy per-user path)
+    // and write the N shares into the user's disjoint row set.
+    masks_.reset_for_overwrite(n, d);
+    held_.reset_for_overwrite(n * n, seg);
+    pol.run(n, [&](std::size_t i) {
       auto seed = lsa::crypto::derive_subseed(
           lsa::crypto::seed_from_u64(master_seed_ ^
                                      (0x115aull + i * 0x9e3779b97f4a7c15ull)),
           round);
       lsa::crypto::Prg prg(seed);
-      mask[i] = lsa::field::uniform_vector<F>(d, prg);
-      auto shares = codec_->encode(std::span<const rep>(mask[i]), prg);
-      for (std::size_t j = 0; j < n; ++j) {
-        held_shares[j][i] = std::move(shares[j]);
-      }
-      if (ledger_ != nullptr) {
+      lsa::field::fill_uniform<F>(masks_.row(i), prg);
+      codec_->encode_into(masks_.row(i), prg, held_, /*base=*/i,
+                          /*stride=*/n, pol.chunk_reps);
+    });
+    if (ledger_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
         // PRG: d mask elements + T noise segments.
         ledger_->add_compute(lsa::net::Phase::kOffline, i,
                              lsa::net::CompKind::kPrgExpand,
@@ -118,12 +130,21 @@ class LightSecAgg final : public SecureAggregator<F> {
     }
 
     // ---- Phase 2: masking and uploading of local models. ----
+    // sum_masked = sum_{i in U1} (x_i + z_i), as one fused 2|U1|-row
+    // column sum (field addition is associative: bit-identical to the
+    // legacy two-pass order).
     std::vector<rep> sum_masked(d, F::zero);
-    for (std::size_t i : survivors) {
-      auto masked = lsa::field::add<F>(std::span<const rep>(inputs[i]),
-                                       std::span<const rep>(mask[i]));
-      lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
-                                 std::span<const rep>(masked));
+    {
+      std::vector<const rep*> rows;
+      rows.reserve(2 * survivors.size());
+      for (std::size_t i : survivors) {
+        lsa::require<lsa::ProtocolError>(inputs[i].size() == d,
+                                         "lightsecagg: bad input length");
+        rows.push_back(inputs[i].data());
+        rows.push_back(masks_.row_ptr(i));
+      }
+      lsa::field::add_accumulate<F>(std::span<rep>(sum_masked),
+                                    std::span<const rep* const>(rows), pol);
     }
     if (ledger_ != nullptr) {
       for (std::size_t i = 0; i < n; ++i) {
@@ -137,21 +158,25 @@ class LightSecAgg final : public SecureAggregator<F> {
     // ---- Phase 3: one-shot aggregate-mask recovery. ----
     // Server notifies survivors of U1; each survivor j returns
     // sum_{i in U1} [~z_i]_j. The server decodes from the first U responses
-    // (U + 1 when verifying, to cross-check against tampering).
+    // (U + 1 when verifying, to cross-check against tampering). One task
+    // per responder: holder j's shares are the contiguous arena row block
+    // [j*N, (j+1)*N), filtered to the surviving owners.
     const std::size_t want =
         verify_redundant_ ? std::min(u + 1, survivors.size()) : u;
     std::vector<std::size_t> responders(survivors.begin(),
                                         survivors.begin() + want);
-    std::vector<std::vector<rep>> agg_shares;
-    agg_shares.reserve(u);
-    for (std::size_t j : responders) {
-      std::vector<rep> acc(seg, F::zero);
-      for (std::size_t i : survivors) {
-        lsa::field::add_inplace<F>(std::span<rep>(acc),
-                                   std::span<const rep>(held_shares[j][i]));
-      }
-      agg_shares.push_back(std::move(acc));
-      if (ledger_ != nullptr) {
+    agg_shares_.reset(want, seg);
+    pol.run(want, [&](std::size_t r) {
+      const std::size_t j = responders[r];
+      std::vector<const rep*> rows;
+      rows.reserve(survivors.size());
+      for (std::size_t i : survivors) rows.push_back(held_.row_ptr(j * n + i));
+      lsa::field::add_accumulate_blocked<F>(
+          agg_shares_.row(r), std::span<const rep* const>(rows),
+          pol.chunk_reps);
+    });
+    if (ledger_ != nullptr) {
+      for (std::size_t j : responders) {
         ledger_->add_compute(
             lsa::net::Phase::kRecovery, j, lsa::net::CompKind::kFieldAddVec,
             static_cast<std::uint64_t>(survivors.size()) * seg, true);
@@ -162,8 +187,8 @@ class LightSecAgg final : public SecureAggregator<F> {
 
     auto agg_mask =
         (verify_redundant_ && responders.size() > u)
-            ? codec_->decode_aggregate_verified(responders, agg_shares)
-            : codec_->decode_aggregate(responders, agg_shares);
+            ? codec_->decode_aggregate_verified(responders, agg_shares_, pol)
+            : codec_->decode_aggregate(responders, agg_shares_, pol);
     if (ledger_ != nullptr) {
       // Decode: U-T output segments, each a U-term combination (d*U work),
       // plus the barycentric weight computation — O(U^2) shared denominators
@@ -194,6 +219,10 @@ class LightSecAgg final : public SecureAggregator<F> {
   bool verify_redundant_ = false;
   std::optional<lsa::coding::MaskCodec<F>> codec_;
   std::uint64_t round_counter_ = 0;
+  // Round arenas, reused across rounds (reset keeps capacity).
+  lsa::field::FlatMatrix<F> masks_;       ///< row i = z_i
+  lsa::field::FlatMatrix<F> held_;        ///< row j*N + i = [~z_i]_j
+  lsa::field::FlatMatrix<F> agg_shares_;  ///< row r = responder r's sum
 };
 
 }  // namespace lsa::protocol

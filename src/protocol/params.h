@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/error.h"
+#include "sys/exec_policy.h"
 
 namespace lsa::protocol {
 
@@ -16,6 +17,11 @@ struct Params {
   std::size_t dropout = 0;         ///< D: tolerated dropped users
   std::size_t target_survivors = 0;  ///< U (LightSecAgg); 0 = pick default
   std::size_t model_dim = 0;       ///< d
+
+  /// How the round's data-parallel phases execute (per-user encode fan-out,
+  /// blocked share aggregation, one-shot decode). Default: serial, default
+  /// cache chunking — results are bit-identical under every policy.
+  lsa::sys::ExecPolicy exec{};
 
   /// Validates the common constraints and resolves U if left at 0.
   /// Default U = N - D (the most dropout-tolerant choice); callers tuning

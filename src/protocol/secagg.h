@@ -27,6 +27,8 @@
 #include "crypto/secret_pack.h"
 #include "crypto/shamir.h"
 #include "field/field_vec.h"
+#include "field/flat_matrix.h"
+#include "field/parallel_vec.h"
 #include "field/random_field.h"
 #include "net/ledger.h"
 #include "protocol/secure_aggregator.h"
@@ -92,18 +94,22 @@ class SecAgg final : public SecureAggregator<F> {
       }
     }
 
-    // Shamir-share every user's sk (8 bytes) and b seed (32 bytes).
+    // Shamir-share every user's sk (8 bytes) and b seed (32 bytes) into two
+    // flat arenas: row i*N + j = user j's share of user i's secret. One
+    // allocation per arena instead of N^2 per-share heap vectors; the draw
+    // order of the shared RNG is identical to the legacy nested path.
+    const std::size_t sk_len = elems_for_bytes(8);
+    const std::size_t b_len = elems_for_bytes(32);
     lsa::crypto::ShamirScheme<F> shamir(t, n);
-    // shares_sk[i][j]: user j's share of user i's sk.
-    std::vector<std::vector<lsa::crypto::ShamirShare<F>>> shares_sk(n);
-    std::vector<std::vector<lsa::crypto::ShamirShare<F>>> shares_b(n);
+    sk_shares_.reset_for_overwrite(n * n, sk_len);
+    b_shares_.reset_for_overwrite(n * n, b_len);
     {
       lsa::common::Xoshiro256ss share_rng(master_seed_ ^ (round * 7919 + 13));
       for (std::size_t i = 0; i < n; ++i) {
         std::array<std::uint8_t, 8> sk_bytes{};
         std::memcpy(sk_bytes.data(), &keys[i].secret, 8);
-        shares_sk[i] = shamir.share_bytes(sk_bytes, share_rng);
-        shares_b[i] = shamir.share_bytes(b_seed[i], share_rng);
+        shamir.share_bytes_into(sk_bytes, share_rng, sk_shares_, i * n, 1);
+        shamir.share_bytes_into(b_seed[i], share_rng, b_shares_, i * n, 1);
         if (ledger_ != nullptr) {
           const std::uint64_t sk_share = elems_for_bytes(8);
           const std::uint64_t b_share = elems_for_bytes(32);
@@ -121,22 +127,26 @@ class SecAgg final : public SecureAggregator<F> {
 
     // ---- Offline: mask generation (PRG expansion, overlappable). ----
     // mask_i = PRG(b_i) + sum_{j>i} PRG(a_ij) - sum_{j<i} PRG(a_ji)
-    std::vector<std::vector<rep>> mask(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      mask[i] = expand_seed(b_seed[i], d);
+    // Masks live in one N x d arena; users fan out over params.exec (each
+    // task only writes its own row).
+    const auto& pol = params_.exec;
+    masks_.reset_for_overwrite(n, d);
+    pol.run(n, [&](std::size_t i) {
+      expand_seed_into(b_seed[i], masks_.row(i));
+      std::vector<rep> z(d);
       for (std::size_t j = 0; j < n; ++j) {
         if (j == i) continue;
         const auto pair_seed = pairwise_round_seed(keys, i, j, round);
-        auto z = expand_seed(pair_seed, d);
+        expand_seed_into(pair_seed, std::span<rep>(z));
         if (i < j) {
-          lsa::field::add_inplace<F>(std::span<rep>(mask[i]),
-                                     std::span<const rep>(z));
+          lsa::field::add_inplace<F>(masks_.row(i), std::span<const rep>(z));
         } else {
-          lsa::field::sub_inplace<F>(std::span<rep>(mask[i]),
-                                     std::span<const rep>(z));
+          lsa::field::sub_inplace<F>(masks_.row(i), std::span<const rep>(z));
         }
       }
-      if (ledger_ != nullptr) {
+    });
+    if (ledger_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
         ledger_->add_compute(lsa::net::Phase::kOffline, i,
                              lsa::net::CompKind::kPrgExpand,
                              static_cast<std::uint64_t>(n) * d, true);
@@ -147,12 +157,19 @@ class SecAgg final : public SecureAggregator<F> {
     }
 
     // ---- Upload: masked models (all users, worst-case dropouts). ----
+    // One fused 2|U1|-row column sum (associative, bit-identical).
     std::vector<rep> sum_masked(d, F::zero);
-    for (std::size_t i : survivors) {
-      auto masked = lsa::field::add<F>(std::span<const rep>(inputs[i]),
-                                       std::span<const rep>(mask[i]));
-      lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
-                                 std::span<const rep>(masked));
+    {
+      std::vector<const rep*> rows;
+      rows.reserve(2 * survivors.size());
+      for (std::size_t i : survivors) {
+        lsa::require<lsa::ProtocolError>(inputs[i].size() == d,
+                                         "secagg: bad input length");
+        rows.push_back(inputs[i].data());
+        rows.push_back(masks_.row_ptr(i));
+      }
+      lsa::field::add_accumulate<F>(std::span<rep>(sum_masked),
+                                    std::span<const rep* const>(rows), pol);
     }
     if (ledger_ != nullptr) {
       for (std::size_t i = 0; i < n; ++i) {
@@ -179,12 +196,15 @@ class SecAgg final : public SecureAggregator<F> {
       }
     }
 
-    // Remove private masks PRG(b_i) of survivors.
+    // Remove private masks PRG(b_i) of survivors. One reusable scratch row
+    // replaces the per-seed heap vector of the legacy path.
+    std::vector<rep> z_scratch(d);
     for (std::size_t i : survivors) {
-      auto b_rec = reconstruct_seed(shamir, shares_b[i], survivors, t);
-      auto nb = expand_seed(b_rec, d);
+      const auto b_rec =
+          reconstruct_seed(shamir, b_shares_, i, survivors, b_len);
+      expand_seed_into(b_rec, std::span<rep>(z_scratch));
       lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
-                                 std::span<const rep>(nb));
+                                 std::span<const rep>(z_scratch));
       if (ledger_ != nullptr) {
         ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
                              lsa::net::CompKind::kShamirRecon,
@@ -200,20 +220,20 @@ class SecAgg final : public SecureAggregator<F> {
     for (std::size_t dct = 0; dct < n; ++dct) {
       if (!dropped[dct]) continue;
       const std::uint64_t sk_rec =
-          reconstruct_sk(shamir, shares_sk[dct], survivors, t);
+          reconstruct_sk(shamir, sk_shares_, dct, survivors, sk_len);
       lsa::require<lsa::ProtocolError>(sk_rec == keys[dct].secret,
                                        "secagg: sk reconstruction mismatch");
       for (std::size_t i : survivors) {
         const auto pair_seed = pairwise_round_seed(keys, dct, i, round);
-        auto z = expand_seed(pair_seed, d);
+        expand_seed_into(pair_seed, std::span<rep>(z_scratch));
         // Survivor i's upload contains +PRG(a_{i,dct}) when i < dct and
         // -PRG(a_{dct,i}) when i > dct; subtract/add accordingly.
         if (i < dct) {
           lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
-                                     std::span<const rep>(z));
+                                     std::span<const rep>(z_scratch));
         } else {
           lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
-                                     std::span<const rep>(z));
+                                     std::span<const rep>(z_scratch));
         }
       }
       if (ledger_ != nullptr) {
@@ -251,38 +271,54 @@ class SecAgg final : public SecureAggregator<F> {
     return lsa::crypto::derive_subseed(base, round);
   }
 
-  [[nodiscard]] static std::vector<rep> expand_seed(
-      const lsa::crypto::Seed& seed, std::size_t d) {
+  static void expand_seed_into(const lsa::crypto::Seed& seed,
+                               std::span<rep> out) {
     lsa::crypto::Prg prg(seed);
-    return lsa::field::uniform_vector<F>(d, prg);
+    lsa::field::fill_uniform<F>(out, prg);
+  }
+
+  /// First T+1 surviving share rows of secret `owner` from a flat arena
+  /// (row owner*N + j = user j's share), as (1-based indices, row ptrs).
+  void gather_survivor_rows(const lsa::field::FlatMatrix<F>& arena,
+                            std::size_t owner,
+                            const std::vector<std::size_t>& survivors,
+                            std::vector<std::uint32_t>& indices,
+                            std::vector<const rep*>& rows) const {
+    const std::size_t n = params_.num_users;
+    const std::size_t t = params_.privacy;
+    indices.clear();
+    rows.clear();
+    for (std::size_t j : survivors) {
+      indices.push_back(static_cast<std::uint32_t>(j + 1));
+      rows.push_back(arena.row_ptr(owner * n + j));
+      if (indices.size() == t + 1) break;
+    }
   }
 
   /// Reconstructs a 32-byte seed from the first T+1 survivors' shares.
-  [[nodiscard]] static lsa::crypto::Seed reconstruct_seed(
+  [[nodiscard]] lsa::crypto::Seed reconstruct_seed(
       const lsa::crypto::ShamirScheme<F>& shamir,
-      const std::vector<lsa::crypto::ShamirShare<F>>& all_shares,
-      const std::vector<std::size_t>& survivors, std::size_t t) {
-    std::vector<lsa::crypto::ShamirShare<F>> got;
-    for (std::size_t j : survivors) {
-      got.push_back(all_shares[j]);
-      if (got.size() == t + 1) break;
-    }
-    const auto bytes = shamir.reconstruct_bytes(got, 32);
+      const lsa::field::FlatMatrix<F>& arena, std::size_t owner,
+      const std::vector<std::size_t>& survivors, std::size_t b_len) const {
+    std::vector<std::uint32_t> indices;
+    std::vector<const rep*> rows;
+    gather_survivor_rows(arena, owner, survivors, indices, rows);
+    const auto bytes = shamir.reconstruct_bytes_rows(
+        indices, std::span<const rep* const>(rows), b_len, 32);
     lsa::crypto::Seed s{};
     std::copy(bytes.begin(), bytes.end(), s.begin());
     return s;
   }
 
-  [[nodiscard]] static std::uint64_t reconstruct_sk(
+  [[nodiscard]] std::uint64_t reconstruct_sk(
       const lsa::crypto::ShamirScheme<F>& shamir,
-      const std::vector<lsa::crypto::ShamirShare<F>>& all_shares,
-      const std::vector<std::size_t>& survivors, std::size_t t) {
-    std::vector<lsa::crypto::ShamirShare<F>> got;
-    for (std::size_t j : survivors) {
-      got.push_back(all_shares[j]);
-      if (got.size() == t + 1) break;
-    }
-    const auto bytes = shamir.reconstruct_bytes(got, 8);
+      const lsa::field::FlatMatrix<F>& arena, std::size_t owner,
+      const std::vector<std::size_t>& survivors, std::size_t sk_len) const {
+    std::vector<std::uint32_t> indices;
+    std::vector<const rep*> rows;
+    gather_survivor_rows(arena, owner, survivors, indices, rows);
+    const auto bytes = shamir.reconstruct_bytes_rows(
+        indices, std::span<const rep* const>(rows), sk_len, 8);
     std::uint64_t sk = 0;
     std::memcpy(&sk, bytes.data(), 8);
     return sk;
@@ -292,6 +328,10 @@ class SecAgg final : public SecureAggregator<F> {
   std::uint64_t master_seed_;
   lsa::net::Ledger* ledger_;
   std::uint64_t round_counter_ = 0;
+  // Round arenas, reused across rounds (reset keeps capacity).
+  lsa::field::FlatMatrix<F> masks_;      ///< row i = mask_i
+  lsa::field::FlatMatrix<F> sk_shares_;  ///< row i*N + j = [sk_i]_j
+  lsa::field::FlatMatrix<F> b_shares_;   ///< row i*N + j = [b_i]_j
 };
 
 }  // namespace lsa::protocol

@@ -25,6 +25,8 @@
 #include "crypto/secret_pack.h"
 #include "crypto/shamir.h"
 #include "field/field_vec.h"
+#include "field/flat_matrix.h"
+#include "field/parallel_vec.h"
 #include "field/random_field.h"
 #include "net/ledger.h"
 #include "protocol/comm_graph.h"
@@ -113,37 +115,49 @@ class SecAggPlus final : public SecureAggregator<F> {
       }
     }
 
-    // Shamir shares within each neighborhood. share_of[i] maps neighbor j
-    // (by position in nbrs[i]) to its share of user i's secrets.
-    std::vector<std::vector<lsa::crypto::ShamirShare<F>>> shares_sk(n);
-    std::vector<std::vector<lsa::crypto::ShamirShare<F>>> shares_b(n);
+    // Shamir shares within each neighborhood, flattened into two arenas:
+    // row i*max_deg + pos = the share held by neighbor nbrs[i][pos] (with
+    // 1-based evaluation index pos+1, as in the legacy nested layout).
+    const std::size_t sk_len = static_cast<std::size_t>(sk_share);
+    const std::size_t b_len = static_cast<std::size_t>(b_share);
+    std::size_t max_deg = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_deg = std::max(max_deg, nbrs[i].size());
+    }
+    sk_shares_.reset_for_overwrite(n * max_deg, sk_len);
+    b_shares_.reset_for_overwrite(n * max_deg, b_len);
     {
       lsa::common::Xoshiro256ss share_rng(master_seed_ ^ (round * 104729 + 7));
       for (std::size_t i = 0; i < n; ++i) {
         lsa::crypto::ShamirScheme<F> shamir(threshold_, nbrs[i].size());
         std::array<std::uint8_t, 8> sk_bytes{};
         std::memcpy(sk_bytes.data(), &keys[i].secret, 8);
-        shares_sk[i] = shamir.share_bytes(sk_bytes, share_rng);
-        shares_b[i] = shamir.share_bytes(b_seed[i], share_rng);
+        shamir.share_bytes_into(sk_bytes, share_rng, sk_shares_, i * max_deg,
+                                1);
+        shamir.share_bytes_into(b_seed[i], share_rng, b_shares_, i * max_deg,
+                                1);
       }
     }
 
     // ---- Offline: mask generation over the sparse graph. ----
-    std::vector<std::vector<rep>> mask(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      mask[i] = expand_seed(b_seed[i], d);
+    // Masks live in one N x d arena; users fan out over params.exec.
+    const auto& pol = params_.exec;
+    masks_.reset_for_overwrite(n, d);
+    pol.run(n, [&](std::size_t i) {
+      expand_seed_into(b_seed[i], masks_.row(i));
+      std::vector<rep> z(d);
       for (std::size_t j : nbrs[i]) {
         const auto pair_seed = pairwise_round_seed(keys, i, j, round);
-        auto z = expand_seed(pair_seed, d);
+        expand_seed_into(pair_seed, std::span<rep>(z));
         if (i < j) {
-          lsa::field::add_inplace<F>(std::span<rep>(mask[i]),
-                                     std::span<const rep>(z));
+          lsa::field::add_inplace<F>(masks_.row(i), std::span<const rep>(z));
         } else {
-          lsa::field::sub_inplace<F>(std::span<rep>(mask[i]),
-                                     std::span<const rep>(z));
+          lsa::field::sub_inplace<F>(masks_.row(i), std::span<const rep>(z));
         }
       }
-      if (ledger_ != nullptr) {
+    });
+    if (ledger_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
         ledger_->add_compute(
             lsa::net::Phase::kOffline, i, lsa::net::CompKind::kPrgExpand,
             static_cast<std::uint64_t>(nbrs[i].size() + 1) * d, true);
@@ -154,12 +168,20 @@ class SecAggPlus final : public SecureAggregator<F> {
     }
 
     // ---- Upload. ----
+    // One fused 2|U1|-row column sum (associative, bit-identical).
     std::vector<rep> sum_masked(d, F::zero);
-    for (std::size_t i : survivors) {
-      auto masked = lsa::field::add<F>(std::span<const rep>(inputs[i]),
-                                       std::span<const rep>(mask[i]));
-      lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
-                                 std::span<const rep>(masked));
+    {
+      std::vector<const rep*> acc_rows;
+      acc_rows.reserve(2 * survivors.size());
+      for (std::size_t i : survivors) {
+        lsa::require<lsa::ProtocolError>(inputs[i].size() == d,
+                                         "secagg+: bad input length");
+        acc_rows.push_back(inputs[i].data());
+        acc_rows.push_back(masks_.row_ptr(i));
+      }
+      lsa::field::add_accumulate<F>(std::span<rep>(sum_masked),
+                                    std::span<const rep* const>(acc_rows),
+                                    pol);
     }
     if (ledger_ != nullptr) {
       for (std::size_t i = 0; i < n; ++i) {
@@ -185,17 +207,17 @@ class SecAggPlus final : public SecureAggregator<F> {
     }
 
     // Remove private masks of survivors (reconstructed from neighbors).
+    std::vector<rep> z_scratch(d);
     for (std::size_t i : survivors) {
       lsa::crypto::ShamirScheme<F> shamir(threshold_, nbrs[i].size());
-      auto b_rec = reconstruct_bytes_from_neighbors(shamir, shares_b[i],
-                                                    nbrs[i], dropped, 32,
-                                                    "secagg+: cannot recover "
-                                                    "a survivor's b seed");
+      auto b_rec = reconstruct_bytes_from_neighbors(
+          shamir, b_shares_, i * max_deg, b_len, nbrs[i], dropped, 32,
+          "secagg+: cannot recover a survivor's b seed");
       lsa::crypto::Seed s{};
       std::copy(b_rec.begin(), b_rec.end(), s.begin());
-      auto nb = expand_seed(s, d);
+      expand_seed_into(s, std::span<rep>(z_scratch));
       lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
-                                 std::span<const rep>(nb));
+                                 std::span<const rep>(z_scratch));
       if (ledger_ != nullptr) {
         ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
                              lsa::net::CompKind::kShamirRecon,
@@ -213,7 +235,7 @@ class SecAggPlus final : public SecureAggregator<F> {
       if (!dropped[dct]) continue;
       lsa::crypto::ShamirScheme<F> shamir(threshold_, nbrs[dct].size());
       auto sk_bytes = reconstruct_bytes_from_neighbors(
-          shamir, shares_sk[dct], nbrs[dct], dropped, 8,
+          shamir, sk_shares_, dct * max_deg, sk_len, nbrs[dct], dropped, 8,
           "secagg+: cannot recover a dropped user's key — "
           "too many neighbors dropped");
       std::uint64_t sk_rec = 0;
@@ -224,13 +246,13 @@ class SecAggPlus final : public SecureAggregator<F> {
       for (std::size_t i : nbrs[dct]) {
         if (dropped[i]) continue;
         const auto pair_seed = pairwise_round_seed(keys, dct, i, round);
-        auto z = expand_seed(pair_seed, d);
+        expand_seed_into(pair_seed, std::span<rep>(z_scratch));
         if (i < dct) {
           lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
-                                     std::span<const rep>(z));
+                                     std::span<const rep>(z_scratch));
         } else {
           lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
-                                     std::span<const rep>(z));
+                                     std::span<const rep>(z_scratch));
         }
         ++n_resid;
       }
@@ -265,29 +287,33 @@ class SecAggPlus final : public SecureAggregator<F> {
     return lsa::crypto::derive_subseed(base, round);
   }
 
-  [[nodiscard]] static std::vector<rep> expand_seed(
-      const lsa::crypto::Seed& seed, std::size_t d) {
+  static void expand_seed_into(const lsa::crypto::Seed& seed,
+                               std::span<rep> out) {
     lsa::crypto::Prg prg(seed);
-    return lsa::field::uniform_vector<F>(d, prg);
+    lsa::field::fill_uniform<F>(out, prg);
   }
 
-  /// Collects threshold+1 shares held by surviving neighbors and
-  /// reconstructs; throws ProtocolError when too few survive.
+  /// Collects threshold+1 share rows (arena rows base+pos, evaluation index
+  /// pos+1) held by surviving neighbors and reconstructs; throws
+  /// ProtocolError when too few survive.
   [[nodiscard]] std::vector<std::uint8_t> reconstruct_bytes_from_neighbors(
       const lsa::crypto::ShamirScheme<F>& shamir,
-      const std::vector<lsa::crypto::ShamirShare<F>>& all_shares,
-      const std::vector<std::size_t>& neighbor_ids,
+      const lsa::field::FlatMatrix<F>& arena, std::size_t base,
+      std::size_t packed_len, const std::vector<std::size_t>& neighbor_ids,
       const std::vector<bool>& dropped, std::size_t n_bytes,
       const char* failure_msg) const {
-    std::vector<lsa::crypto::ShamirShare<F>> got;
+    std::vector<std::uint32_t> indices;
+    std::vector<const rep*> rows;
     for (std::size_t pos = 0; pos < neighbor_ids.size(); ++pos) {
       if (dropped[neighbor_ids[pos]]) continue;
-      got.push_back(all_shares[pos]);
-      if (got.size() == threshold_ + 1) break;
+      indices.push_back(static_cast<std::uint32_t>(pos + 1));
+      rows.push_back(arena.row_ptr(base + pos));
+      if (indices.size() == threshold_ + 1) break;
     }
-    lsa::require<lsa::ProtocolError>(got.size() >= threshold_ + 1,
+    lsa::require<lsa::ProtocolError>(indices.size() >= threshold_ + 1,
                                      failure_msg);
-    return shamir.reconstruct_bytes(got, n_bytes);
+    return shamir.reconstruct_bytes_rows(
+        indices, std::span<const rep* const>(rows), packed_len, n_bytes);
   }
 
   Params params_;
@@ -296,6 +322,10 @@ class SecAggPlus final : public SecureAggregator<F> {
   CommGraph graph_;
   std::size_t threshold_ = 0;
   std::uint64_t round_counter_ = 0;
+  // Round arenas, reused across rounds (reset keeps capacity).
+  lsa::field::FlatMatrix<F> masks_;      ///< row i = mask_i
+  lsa::field::FlatMatrix<F> sk_shares_;  ///< row i*max_deg + pos
+  lsa::field::FlatMatrix<F> b_shares_;   ///< row i*max_deg + pos
 };
 
 }  // namespace lsa::protocol

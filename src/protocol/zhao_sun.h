@@ -33,6 +33,8 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "field/field_vec.h"
+#include "field/flat_matrix.h"
+#include "field/parallel_vec.h"
 #include "field/random_field.h"
 #include "protocol/params.h"
 #include "protocol/secure_aggregator.h"
@@ -60,31 +62,39 @@ class ZhaoSunOneShot final : public SecureAggregator<F> {
     codec_.emplace(n, u, params_.privacy, d);
 
     // --- TTP setup. ---
+    // Masks live in one N x d arena; each subset's encode runs through a
+    // reused flat scratch arena (the per-subset *storage* stays per-user —
+    // the exponential blow-up is the point of Table 6).
     lsa::common::Xoshiro256ss rng(ttp_seed);
-    masks_.resize(n);
-    for (auto& z : masks_) z = lsa::field::uniform_vector<F>(d, rng);
+    masks_.reset(n, d);
+    for (std::size_t i = 0; i < n; ++i) {
+      lsa::field::fill_uniform<F>(masks_.row(i), rng);
+    }
 
     shares_.resize(n);
     const std::size_t seg = codec_->segment_len();
+    lsa::field::FlatMatrix<F> noise(params_.privacy, seg);
+    lsa::field::FlatMatrix<F> encoded(n, seg);
+    std::vector<rep> agg(d);
     const std::uint32_t full = (1u << n) - 1;  // n <= kMaxUsers = 20
     for (std::uint32_t set = 1; set <= full; ++set) {
       const auto members = members_of(set);
       if (members.size() < u) continue;
       ++num_subsets_;
 
-      std::vector<rep> agg(d, F::zero);
-      for (const std::size_t i : members) {
-        lsa::field::add_inplace<F>(std::span<rep>(agg),
-                                   std::span<const rep>(masks_[i]));
+      std::fill(agg.begin(), agg.end(), F::zero);
+      std::vector<const rep*> rows;
+      rows.reserve(members.size());
+      for (const std::size_t i : members) rows.push_back(masks_.row_ptr(i));
+      lsa::field::add_accumulate_blocked<F>(std::span<rep>(agg),
+                                            std::span<const rep* const>(rows));
+      for (std::size_t k = 0; k < params_.privacy; ++k) {
+        lsa::field::fill_uniform<F>(noise.row(k), rng);
       }
-      std::vector<std::vector<rep>> noise(params_.privacy);
-      for (auto& ns : noise) {
-        ns = lsa::field::uniform_vector<F>(seg, rng);
-      }
-      auto encoded = codec_->encode_with_noise(std::span<const rep>(agg),
-                                               noise);
+      codec_->encode_with_noise_into(std::span<const rep>(agg), noise,
+                                     encoded);
       for (const std::size_t j : members) {
-        shares_[j].emplace(set, std::move(encoded[j]));
+        shares_[j].emplace(set, encoded.row_copy(j));
       }
     }
   }
@@ -117,28 +127,38 @@ class ZhaoSunOneShot final : public SecureAggregator<F> {
         survivors.size() >= u,
         "zhao-sun: fewer than U survivors — unrecoverable round");
 
-    // Masking & upload (identical to LightSecAgg's phase 2).
+    // Masking & upload (identical to LightSecAgg's phase 2): one fused
+    // 2|U1|-row column sum over the inputs and the mask arena rows.
     std::vector<rep> sum_masked(d, F::zero);
-    for (const std::size_t i : survivors) {
-      auto masked = lsa::field::add<F>(std::span<const rep>(inputs[i]),
-                                       std::span<const rep>(masks_[i]));
-      lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
-                                 std::span<const rep>(masked));
+    {
+      std::vector<const rep*> rows;
+      rows.reserve(2 * survivors.size());
+      for (const std::size_t i : survivors) {
+        lsa::require<lsa::ProtocolError>(inputs[i].size() == d,
+                                         "zhao-sun: bad input length");
+        rows.push_back(inputs[i].data());
+        rows.push_back(masks_.row_ptr(i));
+      }
+      lsa::field::add_accumulate<F>(std::span<rep>(sum_masked),
+                                    std::span<const rep* const>(rows),
+                                    params_.exec);
     }
 
-    // One-shot recovery from the pre-distributed shares for this exact set.
+    // One-shot recovery from the pre-distributed shares for this exact set
+    // (decoded straight off the stored rows, no copies).
     std::vector<std::size_t> responders(survivors.begin(),
                                         survivors.begin() + u);
-    std::vector<std::vector<rep>> agg_shares;
-    agg_shares.reserve(u);
+    std::vector<const rep*> share_rows;
+    share_rows.reserve(u);
     for (const std::size_t j : responders) {
       const auto it = shares_[j].find(set);
       lsa::require<lsa::ProtocolError>(
           it != shares_[j].end(),
           "zhao-sun: TTP did not pre-distribute a share for this set");
-      agg_shares.push_back(it->second);
+      share_rows.push_back(it->second.data());
     }
-    auto agg_mask = codec_->decode_aggregate(responders, agg_shares);
+    auto agg_mask = codec_->decode_aggregate_rows(
+        responders, std::span<const rep* const>(share_rows), params_.exec);
     lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
                                std::span<const rep>(agg_mask));
     return sum_masked;
@@ -207,7 +227,7 @@ class ZhaoSunOneShot final : public SecureAggregator<F> {
 
   Params params_;
   std::optional<lsa::coding::MaskCodec<F>> codec_;
-  std::vector<std::vector<rep>> masks_;
+  lsa::field::FlatMatrix<F> masks_;  ///< row i = z_i
   /// shares_[j][set_bitmask] = user j's pre-stored share for that set.
   std::vector<std::unordered_map<std::uint32_t, std::vector<rep>>> shares_;
   std::uint64_t num_subsets_ = 0;

@@ -53,7 +53,12 @@ class AsyncUserDevice final : public Party {
         router_(router) {}
 
   [[nodiscard]] std::uint32_t id() const { return id_; }
-  [[nodiscard]] std::size_t stored_shares() const { return store_.size(); }
+  /// Number of stored (owner, born_round) shares across retained rounds.
+  [[nodiscard]] std::size_t stored_shares() const {
+    std::size_t c = 0;
+    for (const auto& [born, bank] : store_) c += bank.count();
+    return c;
+  }
 
   /// Finishes a local update born at global round t_i: timestamped mask
   /// sharing (offline) + masked upload. The mask is derived
@@ -67,10 +72,13 @@ class AsyncUserDevice final : public Party {
         born_round);
     lsa::crypto::Prg prg(seed);
     auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
-    auto shares = codec_.encode(std::span<const rep>(mask), prg);
+    // Encode all N shares into the reused flat arena, then ship rows.
+    enc_.reset_for_overwrite(params_.num_users, codec_.segment_len());
+    codec_.encode_into(std::span<const rep>(mask), prg, enc_, 0, 1,
+                       params_.exec.chunk_reps);
     for (std::uint32_t j = 0; j < params_.num_users; ++j) {
       if (j == id_) {
-        store_[{id_, born_round}] = std::move(shares[j]);
+        bank_for(born_round).put(id_, enc_.row(j));
         continue;
       }
       Message m;
@@ -78,7 +86,7 @@ class AsyncUserDevice final : public Party {
       m.sender = id_;
       m.receiver = j;
       m.round = born_round;
-      m.payload = std::move(shares[j]);
+      m.payload = enc_.row_copy(j);
       router_.send(m);
     }
     Message up;
@@ -96,23 +104,35 @@ class AsyncUserDevice final : public Party {
         lsa::require<lsa::ProtocolError>(
             m.payload.size() == codec_.segment_len(),
             "async user: bad encoded share length");
-        store_[{m.sender, m.round}] = m.payload;
+        bank_for(m.round).put(m.sender, m.payload);
         break;
       case MsgType::kBufferManifest: {
         // Payload: triples (user, born_round, weight), see the server.
+        // One fused weighted column sum across the manifested share rows.
         lsa::require<lsa::ProtocolError>(m.payload.size() % 3 == 0,
                                          "async user: bad manifest shape");
         std::vector<rep> acc(codec_.segment_len(), Fp::zero);
-        for (std::size_t e = 0; e < m.payload.size(); e += 3) {
-          const std::uint32_t user = m.payload[e];
-          const std::uint64_t born = m.payload[e + 1];
-          const rep weight = m.payload[e + 2];
-          const auto it = store_.find({user, born});
-          lsa::require<lsa::ProtocolError>(
-              it != store_.end(),
-              "async user: missing timestamped share for manifest entry");
-          lsa::field::axpy_inplace<Fp>(std::span<rep>(acc), weight,
-                                       std::span<const rep>(it->second));
+        {
+          std::vector<rep> coeffs;
+          std::vector<const rep*> rows;
+          coeffs.reserve(m.payload.size() / 3);
+          rows.reserve(m.payload.size() / 3);
+          for (std::size_t e = 0; e < m.payload.size(); e += 3) {
+            const std::uint32_t user = m.payload[e];
+            const std::uint64_t born = m.payload[e + 1];
+            lsa::require<lsa::ProtocolError>(
+                user < params_.num_users,
+                "async user: manifest user id out of range");
+            const auto it = store_.find(born);
+            lsa::require<lsa::ProtocolError>(
+                it != store_.end() && it->second.has(user),
+                "async user: missing timestamped share for manifest entry");
+            coeffs.push_back(m.payload[e + 2]);
+            rows.push_back(it->second.rows.row_ptr(user));
+          }
+          lsa::field::axpy_accumulate_blocked<Fp>(
+              std::span<rep>(acc), std::span<const rep>(coeffs),
+              std::span<const rep* const>(rows), params_.exec.chunk_reps);
         }
         Message reply;
         reply.type = MsgType::kWeightedShares;
@@ -123,7 +143,10 @@ class AsyncUserDevice final : public Party {
         router_.send(reply);
         // The manifested shares are consumed.
         for (std::size_t e = 0; e < m.payload.size(); e += 3) {
-          store_.erase({m.payload[e], m.payload[e + 1]});
+          const auto it = store_.find(m.payload[e + 1]);
+          if (it == store_.end()) continue;
+          it->second.present[m.payload[e]] = 0;
+          if (it->second.count() == 0) store_.erase(it);
         }
         break;
       }
@@ -140,12 +163,20 @@ class AsyncUserDevice final : public Party {
   }
 
  private:
+  ShareBank<Fp>& bank_for(std::uint64_t born_round) {
+    return ShareBank<Fp>::get_or_create(store_, born_round,
+                                        params_.num_users,
+                                        codec_.segment_len());
+  }
+
   std::uint32_t id_;
   lsa::protocol::Params params_;
   lsa::coding::MaskCodec<Fp> codec_;
   std::uint64_t master_seed_;
   Router& router_;
-  std::map<std::pair<std::uint32_t, std::uint64_t>, std::vector<rep>> store_;
+  /// store_[born_round].rows.row(u) = [~z_u^{(born)}]_this held here.
+  std::map<std::uint64_t, ShareBank<Fp>> store_;
+  lsa::field::FlatMatrix<Fp> enc_;  ///< encode arena, reused per update
   std::optional<std::vector<rep>> last_result_;
 };
 
@@ -245,22 +276,32 @@ class AsyncAggregationServer final : public Party {
         "async server: fewer than U weighted-share responses");
 
     std::vector<rep> acc(params_.model_dim, Fp::zero);
-    for (std::size_t e = 0; e < manifest_.size(); e += 3) {
-      const rep w = manifest_[e + 2];
-      // Buffer order matches manifest order by construction.
-      lsa::field::axpy_inplace<Fp>(
-          std::span<rep>(acc), w,
-          std::span<const rep>(buffer_[e / 3].masked));
+    {
+      // Buffer order matches manifest order by construction; one fused
+      // weighted column sum across the MANIFESTED updates only (an upload
+      // that arrived after begin_recovery sits in the buffer but has no
+      // manifest entry and must be ignored, as in the legacy loop).
+      const std::size_t k = manifest_.size() / 3;
+      std::vector<rep> coeffs(k);
+      std::vector<const rep*> rows(k);
+      for (std::size_t e = 0; e < manifest_.size(); e += 3) {
+        coeffs[e / 3] = manifest_[e + 2];
+        rows[e / 3] = buffer_[e / 3].masked.data();
+      }
+      lsa::field::axpy_accumulate_blocked<Fp>(
+          std::span<rep>(acc), std::span<const rep>(coeffs),
+          std::span<const rep* const>(rows), params_.exec.chunk_reps);
     }
 
     std::vector<std::size_t> owners;
-    std::vector<std::vector<rep>> payloads;
+    std::vector<const rep*> share_rows;
     for (const auto& [user, vec] : weighted_shares_) {
       if (owners.size() == params_.target_survivors) break;
       owners.push_back(user);
-      payloads.push_back(vec);
+      share_rows.push_back(vec.data());
     }
-    auto agg_mask = codec_.decode_aggregate(owners, payloads);
+    auto agg_mask = codec_.decode_aggregate_rows(
+        owners, std::span<const rep* const>(share_rows), params_.exec);
     lsa::field::sub_inplace<Fp>(std::span<rep>(acc),
                                 std::span<const rep>(agg_mask));
 

@@ -22,6 +22,7 @@
 #include "common/error.h"
 #include "crypto/prg.h"
 #include "field/field_vec.h"
+#include "field/flat_matrix.h"
 #include "field/random_field.h"
 #include "protocol/params.h"
 #include "runtime/router.h"
@@ -33,6 +34,42 @@ class Party {
  public:
   virtual ~Party() = default;
   virtual void handle(const Message& m) = 0;
+};
+
+/// Per-round flat store of length-`cols` payload rows keyed by sender: one
+/// arena allocation instead of one heap vector per (sender, round). The
+/// presence bitmap distinguishes "row never arrived" from "row of zeros".
+template <class F>
+struct ShareBank {
+  lsa::field::FlatMatrix<F> rows;
+  std::vector<std::uint8_t> present;
+
+  ShareBank() = default;
+  ShareBank(std::size_t n_rows, std::size_t cols)
+      : rows(n_rows, cols), present(n_rows, 0) {}
+
+  void put(std::size_t r, std::span<const typename F::rep> payload) {
+    auto dst = rows.row(r);
+    std::copy(payload.begin(), payload.end(), dst.begin());
+    present[r] = 1;
+  }
+  [[nodiscard]] bool has(std::size_t r) const { return present[r] != 0; }
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (const auto p : present) c += p;
+    return c;
+  }
+
+  /// Find-or-create the bank for `key` in a per-round store.
+  static ShareBank& get_or_create(std::map<std::uint64_t, ShareBank>& store,
+                                  std::uint64_t key, std::size_t n_rows,
+                                  std::size_t cols) {
+    auto it = store.find(key);
+    if (it == store.end()) {
+      it = store.emplace(key, ShareBank(n_rows, cols)).first;
+    }
+    return it->second;
+  }
 };
 
 /// One edge device running LightSecAgg.
@@ -64,9 +101,8 @@ class UserDevice final : public Party {
                                      "user: wrong model dimension");
     if (round >= kShareRetentionRounds) {
       const std::uint64_t horizon = round - kShareRetentionRounds;
-      std::erase_if(store_, [&](const auto& kv) {
-        return kv.first.second <= horizon;
-      });
+      std::erase_if(store_,
+                    [&](const auto& kv) { return kv.first <= horizon; });
     }
     auto seed = lsa::crypto::derive_subseed(
         lsa::crypto::seed_from_u64(master_seed_ ^
@@ -74,10 +110,14 @@ class UserDevice final : public Party {
         round);
     lsa::crypto::Prg prg(seed);
     auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
-    auto shares = codec_.encode(std::span<const rep>(mask), prg);
+    // Encode all N shares into the reused flat arena (row j = [~z]_j),
+    // then ship rows — no per-share heap vectors on the send path.
+    enc_.reset_for_overwrite(params_.num_users, codec_.segment_len());
+    codec_.encode_into(std::span<const rep>(mask), prg, enc_, 0, 1,
+                       params_.exec.chunk_reps);
     for (std::uint32_t j = 0; j < params_.num_users; ++j) {
       if (j == id_) {
-        store_[{j, round}] = std::move(shares[j]);
+        bank_for(round).put(j, enc_.row(j));
         continue;
       }
       Message m;
@@ -85,7 +125,7 @@ class UserDevice final : public Party {
       m.sender = id_;
       m.receiver = j;
       m.round = round;
-      m.payload = std::move(shares[j]);
+      m.payload = enc_.row_copy(j);
       router_.send(m);
     }
     Message up;
@@ -109,22 +149,30 @@ class UserDevice final : public Party {
         lsa::require<lsa::ProtocolError>(
             m.payload.size() == codec_.segment_len(),
             "user: bad encoded share length");
-        store_[{m.sender, m.round}] = m.payload;
+        bank_for(m.round).put(m.sender, m.payload);
         break;
       case MsgType::kSurvivorSet: {
         // Payload: N entries of 0/1. Aggregate the stored shares of the
-        // surviving set and return them to the server.
+        // surviving set (one fused pass over the round bank's rows) and
+        // return them to the server.
         lsa::require<lsa::ProtocolError>(
             m.payload.size() == params_.num_users,
             "user: bad survivor bitmap");
         std::vector<rep> acc(codec_.segment_len(), Fp::zero);
-        for (std::uint32_t i = 0; i < params_.num_users; ++i) {
-          if (m.payload[i] == 0) continue;
-          const auto it = store_.find({i, m.round});
-          lsa::require<lsa::ProtocolError>(
-              it != store_.end(), "user: missing share for survivor");
-          lsa::field::add_inplace<Fp>(std::span<rep>(acc),
-                                      std::span<const rep>(it->second));
+        {
+          const auto it = store_.find(m.round);
+          std::vector<const rep*> rows;
+          rows.reserve(params_.num_users);
+          for (std::uint32_t i = 0; i < params_.num_users; ++i) {
+            if (m.payload[i] == 0) continue;
+            lsa::require<lsa::ProtocolError>(
+                it != store_.end() && it->second.has(i),
+                "user: missing share for survivor");
+            rows.push_back(it->second.rows.row_ptr(i));
+          }
+          lsa::field::add_accumulate_blocked<Fp>(
+              std::span<rep>(acc), std::span<const rep* const>(rows),
+              params_.exec.chunk_reps);
         }
         if (byzantine_) {
           // Arbitrary falsification; any nonzero offset breaks the
@@ -141,9 +189,7 @@ class UserDevice final : public Party {
         reply.payload = std::move(acc);
         router_.send(reply);
         // Shares for this round are consumed.
-        std::erase_if(store_, [&](const auto& kv) {
-          return kv.first.second == m.round;
-        });
+        store_.erase(m.round);
         break;
       }
       case MsgType::kAggregateResult:
@@ -157,16 +203,28 @@ class UserDevice final : public Party {
   [[nodiscard]] const std::optional<std::vector<rep>>& last_result() const {
     return last_result_;
   }
-  [[nodiscard]] std::size_t stored_shares() const { return store_.size(); }
+  /// Number of stored (owner, round) shares across all retained rounds.
+  [[nodiscard]] std::size_t stored_shares() const {
+    std::size_t c = 0;
+    for (const auto& [round, bank] : store_) c += bank.count();
+    return c;
+  }
 
  private:
+  ShareBank<Fp>& bank_for(std::uint64_t round) {
+    return ShareBank<Fp>::get_or_create(store_, round, params_.num_users,
+                                        codec_.segment_len());
+  }
+
   std::uint32_t id_;
   lsa::protocol::Params params_;
   lsa::coding::MaskCodec<Fp> codec_;
   std::uint64_t master_seed_;
   Router& router_;
   bool byzantine_ = false;
-  std::map<std::pair<std::uint32_t, std::uint64_t>, std::vector<rep>> store_;
+  /// store_[round].rows.row(i) = [~z_i]_round held by this device.
+  std::map<std::uint64_t, ShareBank<Fp>> store_;
+  lsa::field::FlatMatrix<Fp> enc_;  ///< encode arena, reused per round
   std::optional<std::vector<rep>> last_result_;
 };
 
@@ -193,13 +251,14 @@ class AggregationServer final : public Party {
         lsa::require<lsa::ProtocolError>(
             m.payload.size() == params_.model_dim,
             "server: bad masked model length");
-        masked_[m.round][m.sender] = m.payload;
+        bank_for(masked_, m.round, params_.model_dim).put(m.sender, m.payload);
         break;
       case MsgType::kAggregatedShares:
         lsa::require<lsa::ProtocolError>(
             m.payload.size() == codec_.segment_len(),
             "server: bad aggregated share length");
-        agg_shares_[m.round][m.sender] = m.payload;
+        bank_for(agg_shares_, m.round, codec_.segment_len())
+            .put(m.sender, m.payload);
         break;
       default:
         throw lsa::ProtocolError("server: unexpected message type");
@@ -211,10 +270,13 @@ class AggregationServer final : public Party {
   void begin_recovery(std::uint64_t round) {
     const auto it = masked_.find(round);
     lsa::require<lsa::ProtocolError>(
-        it != masked_.end() && it->second.size() >= params_.target_survivors,
+        it != masked_.end() &&
+            it->second.count() >= params_.target_survivors,
         "server: fewer than U masked models arrived");
     std::vector<rep> bitmap(params_.num_users, Fp::zero);
-    for (const auto& [user, vec] : it->second) bitmap[user] = Fp::one;
+    for (std::uint32_t i = 0; i < params_.num_users; ++i) {
+      if (it->second.has(i)) bitmap[i] = Fp::one;
+    }
     for (std::uint32_t j = 0; j < params_.num_users; ++j) {
       Message m;
       m.type = MsgType::kSurvivorSet;
@@ -229,36 +291,51 @@ class AggregationServer final : public Party {
   /// Completes the round once at least U aggregated shares arrived:
   /// one-shot decode, subtract, broadcast the aggregate. Returns it.
   [[nodiscard]] std::vector<rep> finish_round(std::uint64_t round) {
-    auto& shares = agg_shares_[round];
+    const auto sit = agg_shares_.find(round);
     lsa::require<lsa::ProtocolError>(
-        shares.size() >= params_.target_survivors,
+        sit != agg_shares_.end() &&
+            sit->second.count() >= params_.target_survivors,
         "server: fewer than U aggregated-share responses — "
         "unrecoverable round");
+    const auto& shares = sit->second;
     std::vector<std::size_t> owners;
-    std::vector<std::vector<rep>> payloads;
-    for (const auto& [user, vec] : shares) {
+    std::vector<const rep*> rows;
+    for (std::uint32_t user = 0; user < params_.num_users; ++user) {
+      if (!shares.has(user)) continue;
       // Byzantine-tolerant mode keeps every response: the extras beyond U
       // are the redundancy the error-correcting decode spends.
       if (!byzantine_tolerant_ && owners.size() == params_.target_survivors) {
         break;
       }
       owners.push_back(user);
-      payloads.push_back(vec);
+      rows.push_back(shares.rows.row_ptr(user));
     }
     std::vector<rep> agg_mask;
     if (byzantine_tolerant_) {
+      std::vector<std::vector<rep>> payloads;
+      payloads.reserve(owners.size());
+      for (const std::size_t user : owners) {
+        payloads.push_back(shares.rows.row_copy(user));
+      }
       auto corrected = codec_.decode_aggregate_corrected(owners, payloads);
       agg_mask = std::move(corrected.aggregate);
       last_corrupted_.assign(corrected.corrupted_owners.begin(),
                              corrected.corrupted_owners.end());
     } else {
-      agg_mask = codec_.decode_aggregate(owners, payloads);
+      agg_mask = codec_.decode_aggregate_rows(
+          owners, std::span<const rep* const>(rows), params_.exec);
     }
 
     std::vector<rep> result(params_.model_dim, Fp::zero);
-    for (const auto& [user, vec] : masked_.at(round)) {
-      lsa::field::add_inplace<Fp>(std::span<rep>(result),
-                                  std::span<const rep>(vec));
+    {
+      const auto& models = masked_.at(round);
+      std::vector<const rep*> model_rows;
+      for (std::uint32_t user = 0; user < params_.num_users; ++user) {
+        if (models.has(user)) model_rows.push_back(models.rows.row_ptr(user));
+      }
+      lsa::field::add_accumulate_blocked<Fp>(
+          std::span<rep>(result), std::span<const rep* const>(model_rows),
+          params_.exec.chunk_reps);
     }
     lsa::field::sub_inplace<Fp>(std::span<rep>(result),
                                 std::span<const rep>(agg_mask));
@@ -282,7 +359,9 @@ class AggregationServer final : public Party {
     std::vector<std::uint32_t> out;
     const auto it = masked_.find(round);
     if (it == masked_.end()) return out;
-    for (const auto& [user, vec] : it->second) out.push_back(user);
+    for (std::uint32_t i = 0; i < params_.num_users; ++i) {
+      if (it->second.has(i)) out.push_back(i);
+    }
     return out;
   }
 
@@ -293,14 +372,21 @@ class AggregationServer final : public Party {
   }
 
  private:
+  ShareBank<Fp>& bank_for(std::map<std::uint64_t, ShareBank<Fp>>& store,
+                          std::uint64_t round, std::size_t cols) {
+    return ShareBank<Fp>::get_or_create(store, round, params_.num_users,
+                                        cols);
+  }
+
   lsa::protocol::Params params_;
   lsa::coding::MaskCodec<Fp> codec_;
   Router& router_;
   bool byzantine_tolerant_ = false;
   std::vector<std::size_t> last_corrupted_;
-  std::map<std::uint64_t, std::map<std::uint32_t, std::vector<rep>>> masked_;
-  std::map<std::uint64_t, std::map<std::uint32_t, std::vector<rep>>>
-      agg_shares_;
+  /// masked_[round].rows.row(i) = user i's masked model for that round.
+  std::map<std::uint64_t, ShareBank<Fp>> masked_;
+  /// agg_shares_[round].rows.row(j) = responder j's aggregated share.
+  std::map<std::uint64_t, ShareBank<Fp>> agg_shares_;
 };
 
 /// Owns a router, N user devices and the server; pumps messages to

@@ -1,0 +1,57 @@
+// Execution policy threaded through the coding/protocol layers.
+//
+// An ExecPolicy bundles the (optional, non-owning) thread pool that
+// data-parallel loops run on and the cache-block size the fused kernels in
+// field/field_vec.h traverse with. Default-constructed it means "serial,
+// default chunking" — every API that accepts one behaves exactly like the
+// legacy single-threaded path (the parity tests in
+// tests/parallel_codec_test.cpp pin this down bit-for-bit).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sys/thread_pool.h"
+
+namespace lsa::sys {
+
+struct ExecPolicy {
+  /// Pool to fan work out on; nullptr = run inline on the calling thread.
+  ThreadPool* pool = nullptr;
+  /// Reps per cache block for the blocked field kernels (0 = kernel
+  /// default). 4096 u32 reps = 16 KiB: destination block + lazy
+  /// accumulators stay L1-resident.
+  std::size_t chunk_reps = 4096;
+
+  [[nodiscard]] bool parallel() const {
+    return pool != nullptr && pool->size() > 1;
+  }
+  [[nodiscard]] std::size_t lanes() const {
+    return pool == nullptr ? 1 : pool->size();
+  }
+
+  /// Runs fn(i) for i in [0, n): on the pool when present, inline otherwise.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn,
+           std::size_t grain = 0) const {
+    if (pool == nullptr || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    pool->parallel_for(n, fn, grain);
+  }
+
+  /// Runs fn(begin, end) over [0, n) in blocks: grain-sized on the pool,
+  /// one inline call otherwise (callers chunk internally via chunk_reps).
+  void run_blocked(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& fn,
+                   std::size_t grain = 0) const {
+    if (n == 0) return;
+    if (pool == nullptr) {
+      fn(0, n);
+      return;
+    }
+    pool->parallel_for_blocked(n, fn, grain);
+  }
+};
+
+}  // namespace lsa::sys

@@ -1,5 +1,6 @@
 #include "sys/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace lsa::sys {
@@ -35,23 +36,43 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for_blocked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (n == 0) return;
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (8 * workers_.size()));
+  const std::size_t nblocks = (n + grain - 1) / grain;
+  const std::size_t lanes = std::min(nblocks, workers_.size());
+  if (lanes <= 1) {
+    // One lane of work: run inline, no queue round-trip.
+    fn(0, n);
+    return;
+  }
   std::atomic<std::size_t> next{0};
   std::vector<std::future<void>> futs;
-  const std::size_t lanes = std::min(n, workers_.size());
   futs.reserve(lanes);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     futs.push_back(submit([&] {
       for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        fn(i);
+        const std::size_t b = next.fetch_add(1);
+        if (b >= nblocks) return;
+        const std::size_t begin = b * grain;
+        fn(begin, std::min(begin + grain, n));
       }
     }));
   }
   for (auto& f : futs) f.get();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_blocked(
+      n,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      grain);
 }
 
 }  // namespace lsa::sys

@@ -39,7 +39,21 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// Work is dispatched in grain-sized index blocks claimed from a shared
+  /// atomic cursor — one enqueue per lane, not one per index — so
+  /// fine-grained per-chunk kernels don't drown in queue/future overhead.
+  /// grain == 0 picks max(1, n / (8 * threads)): enough blocks for load
+  /// balancing, few enough that claiming is negligible.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Block form of parallel_for: fn(begin, end) per claimed block. Use this
+  /// when the body is itself a vector kernel — it avoids the per-index
+  /// std::function call entirely.
+  void parallel_for_blocked(
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 0);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 

@@ -1,0 +1,170 @@
+// Fast modular-reduction paths of PrimeField::mul (Barrett for the 32-bit
+// moduli, Mersenne shift-and-fold for 2^61 - 1) and Goldilocks::mul
+// (branch-light 2^64-2^32+1 reduction), checked against the reference `%`
+// implementation at every boundary the reduction analysis cares about,
+// plus exhaustive small-modulus sweeps and bulk random sampling.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/goldilocks.h"
+#include "field/prime_field.h"
+#include "field/random_field.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using lsa::field::Fp61;
+using lsa::field::Goldilocks;
+using lsa::field::PrimeField;
+
+template <class F>
+class FastMul : public ::testing::Test {};
+
+using FastMulFields = ::testing::Types<Fp32, Fp61, Goldilocks>;
+TYPED_TEST_SUITE(FastMul, FastMulFields);
+
+/// Representative boundary values for a modulus Q: the edges of the rep
+/// range, the 16/32-bit split points of the lazy-accumulation kernels, and
+/// values around sqrt(Q) (largest products just below/above Q).
+template <class F>
+std::vector<typename F::rep> boundary_values() {
+  using rep = typename F::rep;
+  const std::uint64_t q = F::modulus;
+  std::vector<std::uint64_t> raw = {
+      0, 1, 2, 3, q - 1, q - 2, q - 3, q / 2, q / 2 + 1, q / 2 - 1,
+      (1ull << 16) - 1, 1ull << 16, (1ull << 16) + 1,
+      (1ull << 31) - 1, 1ull << 31, (1ull << 32) - 1,
+  };
+  // isqrt(q) neighborhood: products a*b near q itself.
+  std::uint64_t r = 1;
+  while ((r + 1) * (r + 1) <= q && (r + 1) < (1ull << 32)) ++r;
+  for (std::uint64_t dlt = 0; dlt <= 2; ++dlt) {
+    raw.push_back(r - dlt);
+    raw.push_back(r + dlt);
+  }
+  std::vector<rep> out;
+  for (const auto v : raw) {
+    if (v < q) out.push_back(static_cast<rep>(v));
+  }
+  return out;
+}
+
+TYPED_TEST(FastMul, BoundaryCrossProductMatchesReference) {
+  using F = TypeParam;
+  const auto vals = boundary_values<F>();
+  for (const auto a : vals) {
+    for (const auto b : vals) {
+      ASSERT_EQ(F::mul(a, b), F::mul_reference(a, b))
+          << "a=" << static_cast<std::uint64_t>(a)
+          << " b=" << static_cast<std::uint64_t>(b);
+    }
+  }
+}
+
+TYPED_TEST(FastMul, RandomPairsMatchReference) {
+  using F = TypeParam;
+  lsa::common::Xoshiro256ss rng(0xba44e77);
+  for (int i = 0; i < 200000; ++i) {
+    const auto a = lsa::field::uniform<F>(rng);
+    const auto b = lsa::field::uniform<F>(rng);
+    ASSERT_EQ(F::mul(a, b), F::mul_reference(a, b))
+        << "a=" << static_cast<std::uint64_t>(a)
+        << " b=" << static_cast<std::uint64_t>(b);
+  }
+}
+
+TYPED_TEST(FastMul, RandomTimesBoundaryMatchesReference) {
+  using F = TypeParam;
+  lsa::common::Xoshiro256ss rng(0x5eed);
+  const auto vals = boundary_values<F>();
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = lsa::field::uniform<F>(rng);
+    for (const auto b : vals) {
+      ASSERT_EQ(F::mul(a, b), F::mul_reference(a, b));
+    }
+  }
+}
+
+// The Barrett path is generic over Q <= 2^32; sweep ALL pairs for small
+// moduli (the full multiplication table) so every qhat rounding case is hit.
+template <std::uint64_t Q>
+void exhaustive_sweep() {
+  using F = PrimeField<Q>;
+  for (std::uint64_t a = 0; a < Q; ++a) {
+    for (std::uint64_t b = a; b < Q; ++b) {
+      const auto fast = F::mul(static_cast<typename F::rep>(a),
+                               static_cast<typename F::rep>(b));
+      const auto ref = F::mul_reference(static_cast<typename F::rep>(a),
+                                        static_cast<typename F::rep>(b));
+      ASSERT_EQ(fast, ref) << "Q=" << Q << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(BarrettExhaustive, SmallModuli) {
+  exhaustive_sweep<3>();
+  exhaustive_sweep<5>();
+  exhaustive_sweep<7>();
+  exhaustive_sweep<251>();
+  exhaustive_sweep<257>();
+  exhaustive_sweep<751>();
+}
+
+TEST(BarrettExhaustive, MediumMersennePrime) {
+  // 2^13 - 1 = 8191: full table still feasible, exercises a Q where
+  // products span the whole 26-bit range.
+  exhaustive_sweep<8191>();
+}
+
+TEST(BarrettBoundary, LargestProductsAtFp32) {
+  // (Q-1)^2 is the largest 64-bit product the Barrett path ever reduces;
+  // walk the extreme corner densely.
+  using F = Fp32;
+  const std::uint64_t q = F::modulus;
+  for (std::uint64_t da = 0; da < 64; ++da) {
+    for (std::uint64_t db = 0; db < 64; ++db) {
+      const auto a = static_cast<F::rep>(q - 1 - da);
+      const auto b = static_cast<F::rep>(q - 1 - db);
+      ASSERT_EQ(F::mul(a, b), F::mul_reference(a, b));
+    }
+  }
+}
+
+TEST(MersenneBoundary, LargestProductsAtFp61) {
+  using F = Fp61;
+  const std::uint64_t q = F::modulus;
+  for (std::uint64_t da = 0; da < 64; ++da) {
+    for (std::uint64_t db = 0; db < 64; ++db) {
+      const auto a = static_cast<F::rep>(q - 1 - da);
+      const auto b = static_cast<F::rep>(q - 1 - db);
+      ASSERT_EQ(F::mul(a, b), F::mul_reference(a, b));
+    }
+  }
+}
+
+TEST(FastMulStatic, PathSelection) {
+  // Fp32 must take Barrett (not Mersenne), Fp61 must take Mersenne.
+  static_assert(!Fp32::is_mersenne);
+  static_assert(Fp61::is_mersenne);
+  // Barrett magic is floor(2^64 / Q) exactly (Q odd -> never divides 2^64).
+  static_assert(Fp32::barrett_magic == ~0ull / Fp32::modulus);
+  SUCCEED();
+}
+
+TEST(FastMulConstexpr, CompileTimeEvaluation) {
+  // The fast paths must stay constexpr-usable (NTT twiddle tables, static
+  // asserts elsewhere depend on it).
+  static_assert(Fp32::mul(Fp32::modulus - 1, Fp32::modulus - 1) ==
+                Fp32::mul_reference(Fp32::modulus - 1, Fp32::modulus - 1));
+  static_assert(Fp61::mul(Fp61::modulus - 2, Fp61::modulus - 3) ==
+                Fp61::mul_reference(Fp61::modulus - 2, Fp61::modulus - 3));
+  static_assert(Goldilocks::mul(Goldilocks::modulus - 1, 12345u) ==
+                Goldilocks::mul_reference(Goldilocks::modulus - 1, 12345u));
+  SUCCEED();
+}
+
+}  // namespace
