@@ -12,9 +12,17 @@
 // scales linearly with model size, while Shamir-sharing a 32-byte seed does
 // not. This lets benches execute the protocols at a reduced model dimension
 // and extrapolate exactly the d-linear parts (see CostModel::scaled_time).
+//
+// Thread safety: the ledger is sharded per (phase, entity) into independent
+// relaxed-atomic counters, so protocols may log from INSIDE parallel
+// regions (one lane per user is the natural sharding — each lane touches
+// only its own entity's slots, and even colliding entities are safe).
+// Increments are exact integer adds, so totals are bit-identical to a
+// serial run regardless of interleaving (tests/net_test.cpp hammers this).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -47,61 +55,68 @@ inline constexpr std::size_t kNumCompKinds = 8;
 /// Entity ids: users are 0..N-1; the server is entity N.
 class Ledger {
  public:
-  explicit Ledger(std::size_t num_users)
-      : n_(num_users),
-        msg_elems_(kNumPhases,
-                   std::vector<std::array<std::uint64_t, 2>>(
-                       num_users + 1, std::array<std::uint64_t, 2>{})),
-        msg_count_(kNumPhases, std::vector<std::uint64_t>(num_users + 1, 0)),
-        recv_elems_(kNumPhases,
-                    std::vector<std::array<std::uint64_t, 2>>(
-                        num_users + 1, std::array<std::uint64_t, 2>{})),
-        comp_elems_(
-            kNumPhases,
-            std::vector<std::array<std::uint64_t, 2 * kNumCompKinds>>(
-                num_users + 1,
-                std::array<std::uint64_t, 2 * kNumCompKinds>{})) {}
+  explicit Ledger(std::size_t num_users) : n_(num_users) {
+    const std::size_t entities = num_users + 1;
+    msg_elems_.reserve(kNumPhases);
+    msg_count_.reserve(kNumPhases);
+    recv_elems_.reserve(kNumPhases);
+    comp_elems_.reserve(kNumPhases);
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      // Atomics are neither copyable nor movable: size every per-phase
+      // shard in place (value-initialized atomics are zero).
+      msg_elems_.emplace_back(entities);
+      msg_count_.emplace_back(entities);
+      recv_elems_.emplace_back(entities);
+      comp_elems_.emplace_back(entities);
+    }
+  }
 
   [[nodiscard]] std::size_t num_users() const { return n_; }
   [[nodiscard]] std::size_t server_id() const { return n_; }
 
-  /// Records a message of n_elems field elements from -> to.
+  /// Records a message of n_elems field elements from -> to. Safe to call
+  /// concurrently from any thread.
   void add_message(Phase phase, std::size_t from, std::size_t to,
                    std::uint64_t n_elems, bool scales_with_d) {
     const auto p = static_cast<std::size_t>(phase);
     check_entity(from);
     check_entity(to);
-    msg_elems_[p][from][scales_with_d ? 1 : 0] += n_elems;
-    msg_count_[p][from] += 1;
-    recv_elems_[p][to][scales_with_d ? 1 : 0] += n_elems;
+    const std::size_t s = scales_with_d ? 1 : 0;
+    msg_elems_[p][from][s].fetch_add(n_elems, std::memory_order_relaxed);
+    msg_count_[p][from].fetch_add(1, std::memory_order_relaxed);
+    recv_elems_[p][to][s].fetch_add(n_elems, std::memory_order_relaxed);
   }
 
-  /// Records n_elems units of computation of `kind` at `entity`.
+  /// Records n_elems units of computation of `kind` at `entity`. Safe to
+  /// call concurrently from any thread.
   void add_compute(Phase phase, std::size_t entity, CompKind kind,
                    std::uint64_t n_elems, bool scales_with_d) {
     const auto p = static_cast<std::size_t>(phase);
     check_entity(entity);
     const std::size_t slot =
         static_cast<std::size_t>(kind) * 2 + (scales_with_d ? 1 : 0);
-    comp_elems_[p][entity][slot] += n_elems;
+    comp_elems_[p][entity][slot].fetch_add(n_elems,
+                                           std::memory_order_relaxed);
   }
 
   /// Elements sent by `entity` in `phase`; index 0 = fixed, 1 = d-scaled.
   [[nodiscard]] std::uint64_t sent_elems(Phase phase, std::size_t entity,
                                          bool scaled) const {
-    return msg_elems_[static_cast<std::size_t>(phase)][entity]
-                     [scaled ? 1 : 0];
+    return msg_elems_[static_cast<std::size_t>(phase)][entity][scaled ? 1 : 0]
+        .load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t recv_elems_of(Phase phase, std::size_t entity,
                                             bool scaled) const {
     return recv_elems_[static_cast<std::size_t>(phase)][entity]
-                      [scaled ? 1 : 0];
+                      [scaled ? 1 : 0]
+        .load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t messages_sent(Phase phase,
                                             std::size_t entity) const {
-    return msg_count_[static_cast<std::size_t>(phase)][entity];
+    return msg_count_[static_cast<std::size_t>(phase)][entity].load(
+        std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t compute_elems(Phase phase, std::size_t entity,
@@ -109,7 +124,8 @@ class Ledger {
                                             bool scaled) const {
     const std::size_t slot =
         static_cast<std::size_t>(kind) * 2 + (scaled ? 1 : 0);
-    return comp_elems_[static_cast<std::size_t>(phase)][entity][slot];
+    return comp_elems_[static_cast<std::size_t>(phase)][entity][slot].load(
+        std::memory_order_relaxed);
   }
 
   /// Max over users of elements sent in a phase (the slowest user's load).
@@ -132,13 +148,16 @@ class Ledger {
 
   void reset() {
     for (auto& per_phase : msg_elems_)
-      for (auto& e : per_phase) e = {0, 0};
+      for (auto& e : per_phase)
+        for (auto& a : e) a.store(0, std::memory_order_relaxed);
     for (auto& per_phase : recv_elems_)
-      for (auto& e : per_phase) e = {0, 0};
+      for (auto& e : per_phase)
+        for (auto& a : e) a.store(0, std::memory_order_relaxed);
     for (auto& per_phase : msg_count_)
-      for (auto& e : per_phase) e = 0;
+      for (auto& e : per_phase) e.store(0, std::memory_order_relaxed);
     for (auto& per_phase : comp_elems_)
-      for (auto& e : per_phase) e.fill(0);
+      for (auto& e : per_phase)
+        for (auto& a : e) a.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -146,14 +165,16 @@ class Ledger {
     lsa::require(e <= n_, "ledger: entity id out of range");
   }
 
+  using Pair = std::array<std::atomic<std::uint64_t>, 2>;
+  using CompSlots = std::array<std::atomic<std::uint64_t>, 2 * kNumCompKinds>;
+
   std::size_t n_;
   // [phase][entity][fixed/scaled]
-  std::vector<std::vector<std::array<std::uint64_t, 2>>> msg_elems_;
-  std::vector<std::vector<std::uint64_t>> msg_count_;
-  std::vector<std::vector<std::array<std::uint64_t, 2>>> recv_elems_;
+  std::vector<std::vector<Pair>> msg_elems_;
+  std::vector<std::vector<std::atomic<std::uint64_t>>> msg_count_;
+  std::vector<std::vector<Pair>> recv_elems_;
   // [phase][entity][kind*2 + fixed/scaled]
-  std::vector<std::vector<std::array<std::uint64_t, 2 * kNumCompKinds>>>
-      comp_elems_;
+  std::vector<std::vector<CompSlots>> comp_elems_;
 };
 
 }  // namespace lsa::net

@@ -31,6 +31,7 @@
 #include "field/parallel_vec.h"
 #include "field/random_field.h"
 #include "net/ledger.h"
+#include "protocol/recovery_batch.h"
 #include "protocol/secure_aggregator.h"
 
 namespace lsa::protocol {
@@ -196,15 +197,18 @@ class SecAgg final : public SecureAggregator<F> {
       }
     }
 
-    // Remove private masks PRG(b_i) of survivors. One reusable scratch row
-    // replaces the per-seed heap vector of the legacy path.
-    std::vector<rep> z_scratch(d);
+    // Seed reconstruction stays serial (cheap, O(T) field ops per secret);
+    // the d-linear PRG re-expansions are collected as jobs and batched
+    // through the pool (recovery_batch.h) — bit-identical to the legacy
+    // expand-one-apply-one loop because modular +/- is exact.
+    std::vector<detail::SeedExpansion> jobs;
+    jobs.reserve(survivors.size() * (1 + (n - survivors.size())));
+
+    // Remove private masks PRG(b_i) of survivors.
     for (std::size_t i : survivors) {
       const auto b_rec =
           reconstruct_seed(shamir, b_shares_, i, survivors, b_len);
-      expand_seed_into(b_rec, std::span<rep>(z_scratch));
-      lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
-                                 std::span<const rep>(z_scratch));
+      jobs.push_back({b_rec, /*negate=*/true});
       if (ledger_ != nullptr) {
         ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
                              lsa::net::CompKind::kShamirRecon,
@@ -224,17 +228,10 @@ class SecAgg final : public SecureAggregator<F> {
       lsa::require<lsa::ProtocolError>(sk_rec == keys[dct].secret,
                                        "secagg: sk reconstruction mismatch");
       for (std::size_t i : survivors) {
-        const auto pair_seed = pairwise_round_seed(keys, dct, i, round);
-        expand_seed_into(pair_seed, std::span<rep>(z_scratch));
         // Survivor i's upload contains +PRG(a_{i,dct}) when i < dct and
         // -PRG(a_{dct,i}) when i > dct; subtract/add accordingly.
-        if (i < dct) {
-          lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
-                                     std::span<const rep>(z_scratch));
-        } else {
-          lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
-                                     std::span<const rep>(z_scratch));
-        }
+        jobs.push_back({pairwise_round_seed(keys, dct, i, round),
+                        /*negate=*/i < dct});
       }
       if (ledger_ != nullptr) {
         ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
@@ -253,6 +250,8 @@ class SecAgg final : public SecureAggregator<F> {
             static_cast<std::uint64_t>(survivors.size()) * d, true);
       }
     }
+    detail::apply_seed_expansions<F>(jobs, std::span<rep>(sum_masked),
+                                     recovery_scratch_, pol);
 
     return sum_masked;
   }
@@ -332,6 +331,7 @@ class SecAgg final : public SecureAggregator<F> {
   lsa::field::FlatMatrix<F> masks_;      ///< row i = mask_i
   lsa::field::FlatMatrix<F> sk_shares_;  ///< row i*N + j = [sk_i]_j
   lsa::field::FlatMatrix<F> b_shares_;   ///< row i*N + j = [b_i]_j
+  lsa::field::FlatMatrix<F> recovery_scratch_;  ///< batched PRG expansions
 };
 
 }  // namespace lsa::protocol

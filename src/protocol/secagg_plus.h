@@ -30,6 +30,7 @@
 #include "field/random_field.h"
 #include "net/ledger.h"
 #include "protocol/comm_graph.h"
+#include "protocol/recovery_batch.h"
 #include "protocol/secure_aggregator.h"
 
 namespace lsa::protocol {
@@ -206,8 +207,12 @@ class SecAggPlus final : public SecureAggregator<F> {
       }
     }
 
+    // Seed reconstruction stays serial (cheap); the d-linear PRG
+    // re-expansions are collected as jobs and batched through the pool
+    // (recovery_batch.h) — bit-identical to the legacy serial loop.
+    std::vector<detail::SeedExpansion> jobs;
+
     // Remove private masks of survivors (reconstructed from neighbors).
-    std::vector<rep> z_scratch(d);
     for (std::size_t i : survivors) {
       lsa::crypto::ShamirScheme<F> shamir(threshold_, nbrs[i].size());
       auto b_rec = reconstruct_bytes_from_neighbors(
@@ -215,9 +220,7 @@ class SecAggPlus final : public SecureAggregator<F> {
           "secagg+: cannot recover a survivor's b seed");
       lsa::crypto::Seed s{};
       std::copy(b_rec.begin(), b_rec.end(), s.begin());
-      expand_seed_into(s, std::span<rep>(z_scratch));
-      lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
-                                 std::span<const rep>(z_scratch));
+      jobs.push_back({s, /*negate=*/true});
       if (ledger_ != nullptr) {
         ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
                              lsa::net::CompKind::kShamirRecon,
@@ -245,15 +248,8 @@ class SecAggPlus final : public SecureAggregator<F> {
       std::size_t n_resid = 0;
       for (std::size_t i : nbrs[dct]) {
         if (dropped[i]) continue;
-        const auto pair_seed = pairwise_round_seed(keys, dct, i, round);
-        expand_seed_into(pair_seed, std::span<rep>(z_scratch));
-        if (i < dct) {
-          lsa::field::sub_inplace<F>(std::span<rep>(sum_masked),
-                                     std::span<const rep>(z_scratch));
-        } else {
-          lsa::field::add_inplace<F>(std::span<rep>(sum_masked),
-                                     std::span<const rep>(z_scratch));
-        }
+        jobs.push_back({pairwise_round_seed(keys, dct, i, round),
+                        /*negate=*/i < dct});
         ++n_resid;
       }
       if (ledger_ != nullptr) {
@@ -270,6 +266,9 @@ class SecAggPlus final : public SecureAggregator<F> {
                              static_cast<std::uint64_t>(n_resid) * d, true);
       }
     }
+
+    detail::apply_seed_expansions<F>(jobs, std::span<rep>(sum_masked),
+                                     recovery_scratch_, pol);
 
     return sum_masked;
   }
@@ -326,6 +325,7 @@ class SecAggPlus final : public SecureAggregator<F> {
   lsa::field::FlatMatrix<F> masks_;      ///< row i = mask_i
   lsa::field::FlatMatrix<F> sk_shares_;  ///< row i*max_deg + pos
   lsa::field::FlatMatrix<F> b_shares_;   ///< row i*max_deg + pos
+  lsa::field::FlatMatrix<F> recovery_scratch_;  ///< batched PRG expansions
 };
 
 }  // namespace lsa::protocol

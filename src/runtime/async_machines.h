@@ -33,6 +33,7 @@
 #include "quant/staleness.h"
 #include "runtime/machines.h"  // Party
 #include "runtime/router.h"
+#include "runtime/transport.h"
 #include "runtime/wire.h"
 
 namespace lsa::runtime {
@@ -44,13 +45,13 @@ class AsyncUserDevice final : public Party {
   using rep = Fp::rep;
 
   AsyncUserDevice(std::uint32_t id, const lsa::protocol::Params& params,
-                  std::uint64_t master_seed, Router& router)
+                  std::uint64_t master_seed, Transport& transport)
       : id_(id),
         params_(params),
         codec_(params.num_users, params.target_survivors, params.privacy,
                params.model_dim),
         master_seed_(master_seed),
-        router_(router) {}
+        transport_(transport) {}
 
   [[nodiscard]] std::uint32_t id() const { return id_; }
   /// Number of stored (owner, born_round) shares across retained rounds.
@@ -81,81 +82,21 @@ class AsyncUserDevice final : public Party {
         bank_for(born_round).put(id_, enc_.row(j));
         continue;
       }
-      Message m;
-      m.type = MsgType::kEncodedMaskShare;
-      m.sender = id_;
-      m.receiver = j;
-      m.round = born_round;
-      m.payload = enc_.row_copy(j);
-      router_.send(m);
+      transport_.send_row(MsgType::kEncodedMaskShare, id_, j, born_round,
+                          enc_.row(j));
     }
-    Message up;
-    up.type = MsgType::kMaskedModel;
-    up.sender = id_;
-    up.receiver = static_cast<std::uint32_t>(params_.num_users);
-    up.round = born_round;
-    up.payload = lsa::field::add<Fp>(update, std::span<const rep>(mask));
-    router_.send(up);
+    const auto masked =
+        lsa::field::add<Fp>(update, std::span<const rep>(mask));
+    transport_.send_row(MsgType::kMaskedModel, id_,
+                        static_cast<std::uint32_t>(params_.num_users),
+                        born_round, std::span<const rep>(masked));
   }
 
   void handle(const Message& m) override {
-    switch (m.type) {
-      case MsgType::kEncodedMaskShare:
-        lsa::require<lsa::ProtocolError>(
-            m.payload.size() == codec_.segment_len(),
-            "async user: bad encoded share length");
-        bank_for(m.round).put(m.sender, m.payload);
-        break;
-      case MsgType::kBufferManifest: {
-        // Payload: triples (user, born_round, weight), see the server.
-        // One fused weighted column sum across the manifested share rows.
-        lsa::require<lsa::ProtocolError>(m.payload.size() % 3 == 0,
-                                         "async user: bad manifest shape");
-        std::vector<rep> acc(codec_.segment_len(), Fp::zero);
-        {
-          std::vector<rep> coeffs;
-          std::vector<const rep*> rows;
-          coeffs.reserve(m.payload.size() / 3);
-          rows.reserve(m.payload.size() / 3);
-          for (std::size_t e = 0; e < m.payload.size(); e += 3) {
-            const std::uint32_t user = m.payload[e];
-            const std::uint64_t born = m.payload[e + 1];
-            lsa::require<lsa::ProtocolError>(
-                user < params_.num_users,
-                "async user: manifest user id out of range");
-            const auto it = store_.find(born);
-            lsa::require<lsa::ProtocolError>(
-                it != store_.end() && it->second.has(user),
-                "async user: missing timestamped share for manifest entry");
-            coeffs.push_back(m.payload[e + 2]);
-            rows.push_back(it->second.rows.row_ptr(user));
-          }
-          lsa::field::axpy_accumulate_blocked<Fp>(
-              std::span<rep>(acc), std::span<const rep>(coeffs),
-              std::span<const rep* const>(rows), params_.exec.chunk_reps);
-        }
-        Message reply;
-        reply.type = MsgType::kWeightedShares;
-        reply.sender = id_;
-        reply.receiver = static_cast<std::uint32_t>(params_.num_users);
-        reply.round = m.round;  // the aggregation round `now`
-        reply.payload = std::move(acc);
-        router_.send(reply);
-        // The manifested shares are consumed.
-        for (std::size_t e = 0; e < m.payload.size(); e += 3) {
-          const auto it = store_.find(m.payload[e + 1]);
-          if (it == store_.end()) continue;
-          it->second.present[m.payload[e]] = 0;
-          if (it->second.count() == 0) store_.erase(it);
-        }
-        break;
-      }
-      case MsgType::kAggregateResult:
-        last_result_ = m.payload;
-        break;
-      default:
-        throw lsa::ProtocolError("async user: unexpected message type");
-    }
+    on_payload(m.type, m.sender, m.round, m.payload);
+  }
+  void handle_view(const lsa::transport::FrameView& f) override {
+    on_payload(f.type, f.sender, f.round, f.payload);
   }
 
   [[nodiscard]] const std::optional<std::vector<rep>>& last_result() const {
@@ -163,6 +104,64 @@ class AsyncUserDevice final : public Party {
   }
 
  private:
+  void on_payload(MsgType type, std::uint32_t sender, std::uint64_t round,
+                  std::span<const rep> payload) {
+    switch (type) {
+      case MsgType::kEncodedMaskShare:
+        lsa::require<lsa::ProtocolError>(
+            payload.size() == codec_.segment_len(),
+            "async user: bad encoded share length");
+        bank_for(round).put(sender, payload);
+        break;
+      case MsgType::kBufferManifest: {
+        // Payload: triples (user, born_round, weight), see the server.
+        // One fused weighted column sum across the manifested share rows.
+        lsa::require<lsa::ProtocolError>(payload.size() % 3 == 0,
+                                         "async user: bad manifest shape");
+        std::vector<rep> acc(codec_.segment_len(), Fp::zero);
+        {
+          std::vector<rep> coeffs;
+          std::vector<const rep*> rows;
+          coeffs.reserve(payload.size() / 3);
+          rows.reserve(payload.size() / 3);
+          for (std::size_t e = 0; e < payload.size(); e += 3) {
+            const std::uint32_t user = payload[e];
+            const std::uint64_t born = payload[e + 1];
+            lsa::require<lsa::ProtocolError>(
+                user < params_.num_users,
+                "async user: manifest user id out of range");
+            const auto it = store_.find(born);
+            lsa::require<lsa::ProtocolError>(
+                it != store_.end() && it->second.has(user),
+                "async user: missing timestamped share for manifest entry");
+            coeffs.push_back(payload[e + 2]);
+            rows.push_back(it->second.rows.row_ptr(user));
+          }
+          lsa::field::axpy_accumulate_blocked<Fp>(
+              std::span<rep>(acc), std::span<const rep>(coeffs),
+              std::span<const rep* const>(rows), params_.exec.chunk_reps);
+        }
+        transport_.send_row(MsgType::kWeightedShares, id_,
+                            static_cast<std::uint32_t>(params_.num_users),
+                            round,  // the aggregation round `now`
+                            std::span<const rep>(acc));
+        // The manifested shares are consumed.
+        for (std::size_t e = 0; e < payload.size(); e += 3) {
+          const auto it = store_.find(payload[e + 1]);
+          if (it == store_.end()) continue;
+          it->second.present[payload[e]] = 0;
+          if (it->second.count() == 0) store_.erase(it);
+        }
+        break;
+      }
+      case MsgType::kAggregateResult:
+        last_result_.emplace(payload.begin(), payload.end());
+        break;
+      default:
+        throw lsa::ProtocolError("async user: unexpected message type");
+    }
+  }
+
   ShareBank<Fp>& bank_for(std::uint64_t born_round) {
     return ShareBank<Fp>::get_or_create(store_, born_round,
                                         params_.num_users,
@@ -173,7 +172,7 @@ class AsyncUserDevice final : public Party {
   lsa::protocol::Params params_;
   lsa::coding::MaskCodec<Fp> codec_;
   std::uint64_t master_seed_;
-  Router& router_;
+  Transport& transport_;
   /// store_[born_round].rows.row(u) = [~z_u^{(born)}]_this held here.
   std::map<std::uint64_t, ShareBank<Fp>> store_;
   lsa::field::FlatMatrix<Fp> enc_;  ///< encode arena, reused per update
@@ -194,14 +193,14 @@ class AsyncAggregationServer final : public Party {
   AsyncAggregationServer(const lsa::protocol::Params& params,
                          std::size_t buffer_k,
                          lsa::quant::StalenessPolicy staleness,
-                         std::uint64_t c_g, Router& router)
+                         std::uint64_t c_g, Transport& transport)
       : params_(params),
         buffer_k_(buffer_k),
         staleness_(staleness),
         c_g_(c_g),
         codec_(params.num_users, params.target_survivors, params.privacy,
                params.model_dim),
-        router_(router) {
+        transport_(transport) {
     lsa::require<lsa::ConfigError>(buffer_k_ >= 1,
                                    "async server: buffer K must be >= 1");
   }
@@ -212,22 +211,10 @@ class AsyncAggregationServer final : public Party {
   }
 
   void handle(const Message& m) override {
-    switch (m.type) {
-      case MsgType::kMaskedModel:
-        lsa::require<lsa::ProtocolError>(
-            m.payload.size() == params_.model_dim,
-            "async server: bad masked update length");
-        buffer_.push_back({m.sender, m.round, m.payload});
-        break;
-      case MsgType::kWeightedShares:
-        lsa::require<lsa::ProtocolError>(
-            m.payload.size() == codec_.segment_len(),
-            "async server: bad weighted share length");
-        weighted_shares_[m.sender] = m.payload;
-        break;
-      default:
-        throw lsa::ProtocolError("async server: unexpected message type");
-    }
+    on_payload(m.type, m.sender, m.round, m.payload);
+  }
+  void handle_view(const lsa::transport::FrameView& f) override {
+    on_payload(f.type, f.sender, f.round, f.payload);
   }
 
   /// Broadcasts the buffer manifest at aggregation round `now`: the users
@@ -255,15 +242,10 @@ class AsyncAggregationServer final : public Party {
     lsa::require<lsa::ProtocolError>(
         weight_sum_ > 0, "async server: all weights rounded to zero");
     weighted_shares_.clear();
-    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
-      Message m;
-      m.type = MsgType::kBufferManifest;
-      m.sender = static_cast<std::uint32_t>(params_.num_users);
-      m.receiver = j;
-      m.round = now;
-      m.payload = manifest;
-      router_.send(m);
-    }
+    transport_.broadcast_row(MsgType::kBufferManifest,
+                             static_cast<std::uint32_t>(params_.num_users),
+                             now, std::span<const rep>(manifest),
+                             static_cast<std::uint32_t>(params_.num_users));
     manifest_ = std::move(manifest);
   }
 
@@ -305,15 +287,10 @@ class AsyncAggregationServer final : public Party {
     lsa::field::sub_inplace<Fp>(std::span<rep>(acc),
                                 std::span<const rep>(agg_mask));
 
-    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
-      Message m;
-      m.type = MsgType::kAggregateResult;
-      m.sender = static_cast<std::uint32_t>(params_.num_users);
-      m.receiver = j;
-      m.round = now;
-      m.payload = acc;
-      router_.send(m);
-    }
+    transport_.broadcast_row(MsgType::kAggregateResult,
+                             static_cast<std::uint32_t>(params_.num_users),
+                             now, std::span<const rep>(acc),
+                             static_cast<std::uint32_t>(params_.num_users));
     buffer_.clear();
     weighted_shares_.clear();
     manifest_.clear();
@@ -321,6 +298,27 @@ class AsyncAggregationServer final : public Party {
   }
 
  private:
+  void on_payload(MsgType type, std::uint32_t sender, std::uint64_t round,
+                  std::span<const rep> payload) {
+    switch (type) {
+      case MsgType::kMaskedModel:
+        lsa::require<lsa::ProtocolError>(
+            payload.size() == params_.model_dim,
+            "async server: bad masked update length");
+        buffer_.push_back(
+            {sender, round, std::vector<rep>(payload.begin(), payload.end())});
+        break;
+      case MsgType::kWeightedShares:
+        lsa::require<lsa::ProtocolError>(
+            payload.size() == codec_.segment_len(),
+            "async server: bad weighted share length");
+        weighted_shares_[sender].assign(payload.begin(), payload.end());
+        break;
+      default:
+        throw lsa::ProtocolError("async server: unexpected message type");
+    }
+  }
+
   struct Buffered {
     std::uint32_t user = 0;
     std::uint64_t born_round = 0;
@@ -332,7 +330,7 @@ class AsyncAggregationServer final : public Party {
   lsa::quant::StalenessPolicy staleness_;
   std::uint64_t c_g_;
   lsa::coding::MaskCodec<Fp> codec_;
-  Router& router_;
+  Transport& transport_;
   std::vector<Buffered> buffer_;
   std::vector<rep> manifest_;
   std::uint64_t weight_sum_ = 0;

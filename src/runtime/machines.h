@@ -3,7 +3,7 @@
 // Complements src/protocol/lightsecagg.h (the orchestrated implementation
 // used for tests/cost accounting) with the *system* shape of the paper's
 // Fig. 4: every user and the server is an isolated object that only reacts
-// to serialized messages delivered by the Router. This layer exercises
+// to serialized messages delivered by a Transport. This layer exercises
 // realistic failure semantics:
 //
 //   * "delayed, not dropped" (paper footnote 3 / proof of Thm. 1): a user
@@ -11,6 +11,11 @@
 //     aggregate — its mask is recovered from the shares held by others;
 //   * the server decides U1 from what actually arrived, not from a script;
 //   * recovery succeeds from ANY U responding users.
+//
+// All handlers consume *payload views* (on_payload): under the legacy
+// Router they see Message::payload via a span, under the concurrent
+// zero-copy transport they see a span aliasing the pooled frame buffer and
+// copy exactly once — straight into their ShareBank arena row.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +31,9 @@
 #include "field/random_field.h"
 #include "protocol/params.h"
 #include "runtime/router.h"
+#include "runtime/transport.h"
 #include "runtime/wire.h"
+#include "transport/frame.h"
 
 namespace lsa::runtime {
 
@@ -34,6 +41,12 @@ class Party {
  public:
   virtual ~Party() = default;
   virtual void handle(const Message& m) = 0;
+  /// Zero-copy delivery entry. Default materializes a Message (one counted
+  /// payload copy); the sync machines override their payload handlers to
+  /// consume the view directly.
+  virtual void handle_view(const lsa::transport::FrameView& f) {
+    handle(lsa::transport::to_message(f));
+  }
 };
 
 /// Per-round flat store of length-`cols` payload rows keyed by sender: one
@@ -79,19 +92,19 @@ class UserDevice final : public Party {
   using rep = Fp::rep;
 
   UserDevice(std::uint32_t id, const lsa::protocol::Params& params,
-             std::uint64_t master_seed, Router& router)
+             std::uint64_t master_seed, Transport& transport)
       : id_(id),
         params_(params),
         codec_(params.num_users, params.target_survivors, params.privacy,
                params.model_dim),
         master_seed_(master_seed),
-        router_(router) {}
+        transport_(transport) {}
 
   [[nodiscard]] std::uint32_t id() const { return id_; }
 
   /// Phase 1 + 2: generate and share the encoded mask, upload the masked
   /// model. (In the real system these are pipelined with training; here the
-  /// router's FIFO order preserves the phase structure.)
+  /// transport's FIFO order preserves the phase structure.)
   /// Shares older than this many rounds are purged at round start — a user
   /// that crashed mid-recovery must not hoard stale shares forever.
   static constexpr std::uint64_t kShareRetentionRounds = 2;
@@ -111,7 +124,8 @@ class UserDevice final : public Party {
     lsa::crypto::Prg prg(seed);
     auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
     // Encode all N shares into the reused flat arena (row j = [~z]_j),
-    // then ship rows — no per-share heap vectors on the send path.
+    // then ship rows straight off the arena — no per-share heap vectors
+    // and, under a zero-copy transport, no intermediate payload copies.
     enc_.reset_for_overwrite(params_.num_users, codec_.segment_len());
     codec_.encode_into(std::span<const rep>(mask), prg, enc_, 0, 1,
                        params_.exec.chunk_reps);
@@ -120,21 +134,14 @@ class UserDevice final : public Party {
         bank_for(round).put(j, enc_.row(j));
         continue;
       }
-      Message m;
-      m.type = MsgType::kEncodedMaskShare;
-      m.sender = id_;
-      m.receiver = j;
-      m.round = round;
-      m.payload = enc_.row_copy(j);
-      router_.send(m);
+      transport_.send_row(MsgType::kEncodedMaskShare, id_, j, round,
+                          enc_.row(j));
     }
-    Message up;
-    up.type = MsgType::kMaskedModel;
-    up.sender = id_;
-    up.receiver = static_cast<std::uint32_t>(params_.num_users);  // server
-    up.round = round;
-    up.payload = lsa::field::add<Fp>(model, std::span<const rep>(mask));
-    router_.send(up);
+    const auto masked =
+        lsa::field::add<Fp>(model, std::span<const rep>(mask));
+    transport_.send_row(MsgType::kMaskedModel, id_,
+                        static_cast<std::uint32_t>(params_.num_users), round,
+                        std::span<const rep>(masked));
   }
 
   /// Marks this device Byzantine: it keeps the protocol's message framing
@@ -144,27 +151,46 @@ class UserDevice final : public Party {
   void set_byzantine(bool on) { byzantine_ = on; }
 
   void handle(const Message& m) override {
-    switch (m.type) {
+    on_payload(m.type, m.sender, m.round, m.payload);
+  }
+  void handle_view(const lsa::transport::FrameView& f) override {
+    on_payload(f.type, f.sender, f.round, f.payload);
+  }
+
+  [[nodiscard]] const std::optional<std::vector<rep>>& last_result() const {
+    return last_result_;
+  }
+  /// Number of stored (owner, round) shares across all retained rounds.
+  [[nodiscard]] std::size_t stored_shares() const {
+    std::size_t c = 0;
+    for (const auto& [round, bank] : store_) c += bank.count();
+    return c;
+  }
+
+ private:
+  void on_payload(MsgType type, std::uint32_t sender, std::uint64_t round,
+                  std::span<const rep> payload) {
+    switch (type) {
       case MsgType::kEncodedMaskShare:
         lsa::require<lsa::ProtocolError>(
-            m.payload.size() == codec_.segment_len(),
+            payload.size() == codec_.segment_len(),
             "user: bad encoded share length");
-        bank_for(m.round).put(m.sender, m.payload);
+        bank_for(round).put(sender, payload);
         break;
       case MsgType::kSurvivorSet: {
         // Payload: N entries of 0/1. Aggregate the stored shares of the
         // surviving set (one fused pass over the round bank's rows) and
         // return them to the server.
         lsa::require<lsa::ProtocolError>(
-            m.payload.size() == params_.num_users,
+            payload.size() == params_.num_users,
             "user: bad survivor bitmap");
         std::vector<rep> acc(codec_.segment_len(), Fp::zero);
         {
-          const auto it = store_.find(m.round);
+          const auto it = store_.find(round);
           std::vector<const rep*> rows;
           rows.reserve(params_.num_users);
           for (std::uint32_t i = 0; i < params_.num_users; ++i) {
-            if (m.payload[i] == 0) continue;
+            if (payload[i] == 0) continue;
             lsa::require<lsa::ProtocolError>(
                 it != store_.end() && it->second.has(i),
                 "user: missing share for survivor");
@@ -181,36 +207,21 @@ class UserDevice final : public Party {
             acc[k] = Fp::add(acc[k], Fp::from_u64(0x0bad + 7 * k + id_));
           }
         }
-        Message reply;
-        reply.type = MsgType::kAggregatedShares;
-        reply.sender = id_;
-        reply.receiver = static_cast<std::uint32_t>(params_.num_users);
-        reply.round = m.round;
-        reply.payload = std::move(acc);
-        router_.send(reply);
+        transport_.send_row(MsgType::kAggregatedShares, id_,
+                            static_cast<std::uint32_t>(params_.num_users),
+                            round, std::span<const rep>(acc));
         // Shares for this round are consumed.
-        store_.erase(m.round);
+        store_.erase(round);
         break;
       }
       case MsgType::kAggregateResult:
-        last_result_ = m.payload;
+        last_result_.emplace(payload.begin(), payload.end());
         break;
       default:
         throw lsa::ProtocolError("user: unexpected message type");
     }
   }
 
-  [[nodiscard]] const std::optional<std::vector<rep>>& last_result() const {
-    return last_result_;
-  }
-  /// Number of stored (owner, round) shares across all retained rounds.
-  [[nodiscard]] std::size_t stored_shares() const {
-    std::size_t c = 0;
-    for (const auto& [round, bank] : store_) c += bank.count();
-    return c;
-  }
-
- private:
   ShareBank<Fp>& bank_for(std::uint64_t round) {
     return ShareBank<Fp>::get_or_create(store_, round, params_.num_users,
                                         codec_.segment_len());
@@ -220,7 +231,7 @@ class UserDevice final : public Party {
   lsa::protocol::Params params_;
   lsa::coding::MaskCodec<Fp> codec_;
   std::uint64_t master_seed_;
-  Router& router_;
+  Transport& transport_;
   bool byzantine_ = false;
   /// store_[round].rows.row(i) = [~z_i]_round held by this device.
   std::map<std::uint64_t, ShareBank<Fp>> store_;
@@ -228,7 +239,9 @@ class UserDevice final : public Party {
   std::optional<std::vector<rep>> last_result_;
 };
 
-/// The aggregation server.
+/// The aggregation server state machine (one cohort). The multi-session
+/// sharded server in src/server/aggregation_server.h runs many of these
+/// concurrently, one per session.
 class AggregationServer final : public Party {
  public:
   using Fp = lsa::field::Fp32;
@@ -237,32 +250,19 @@ class AggregationServer final : public Party {
   /// byzantine_tolerant: recovery uses ALL arrived aggregated shares and
   /// the error-correcting decode — up to floor((responses - U)/2) falsified
   /// shares are located, discarded and reported via last_corrupted().
-  AggregationServer(const lsa::protocol::Params& params, Router& router,
+  AggregationServer(const lsa::protocol::Params& params, Transport& transport,
                     bool byzantine_tolerant = false)
       : params_(params),
         codec_(params.num_users, params.target_survivors, params.privacy,
                params.model_dim),
-        router_(router),
+        transport_(transport),
         byzantine_tolerant_(byzantine_tolerant) {}
 
   void handle(const Message& m) override {
-    switch (m.type) {
-      case MsgType::kMaskedModel:
-        lsa::require<lsa::ProtocolError>(
-            m.payload.size() == params_.model_dim,
-            "server: bad masked model length");
-        bank_for(masked_, m.round, params_.model_dim).put(m.sender, m.payload);
-        break;
-      case MsgType::kAggregatedShares:
-        lsa::require<lsa::ProtocolError>(
-            m.payload.size() == codec_.segment_len(),
-            "server: bad aggregated share length");
-        bank_for(agg_shares_, m.round, codec_.segment_len())
-            .put(m.sender, m.payload);
-        break;
-      default:
-        throw lsa::ProtocolError("server: unexpected message type");
-    }
+    on_payload(m.type, m.sender, m.round, m.payload);
+  }
+  void handle_view(const lsa::transport::FrameView& f) override {
+    on_payload(f.type, f.sender, f.round, f.payload);
   }
 
   /// Ends the upload phase: U1 = everyone whose masked model arrived.
@@ -277,15 +277,10 @@ class AggregationServer final : public Party {
     for (std::uint32_t i = 0; i < params_.num_users; ++i) {
       if (it->second.has(i)) bitmap[i] = Fp::one;
     }
-    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
-      Message m;
-      m.type = MsgType::kSurvivorSet;
-      m.sender = static_cast<std::uint32_t>(params_.num_users);
-      m.receiver = j;
-      m.round = round;
-      m.payload = bitmap;
-      router_.send(m);
-    }
+    transport_.broadcast_row(MsgType::kSurvivorSet,
+                             static_cast<std::uint32_t>(params_.num_users),
+                             round, std::span<const rep>(bitmap),
+                             static_cast<std::uint32_t>(params_.num_users));
   }
 
   /// Completes the round once at least U aggregated shares arrived:
@@ -340,15 +335,10 @@ class AggregationServer final : public Party {
     lsa::field::sub_inplace<Fp>(std::span<rep>(result),
                                 std::span<const rep>(agg_mask));
 
-    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
-      Message m;
-      m.type = MsgType::kAggregateResult;
-      m.sender = static_cast<std::uint32_t>(params_.num_users);
-      m.receiver = j;
-      m.round = round;
-      m.payload = result;
-      router_.send(m);
-    }
+    transport_.broadcast_row(MsgType::kAggregateResult,
+                             static_cast<std::uint32_t>(params_.num_users),
+                             round, std::span<const rep>(result),
+                             static_cast<std::uint32_t>(params_.num_users));
     masked_.erase(round);
     agg_shares_.erase(round);
     return result;
@@ -372,6 +362,27 @@ class AggregationServer final : public Party {
   }
 
  private:
+  void on_payload(MsgType type, std::uint32_t sender, std::uint64_t round,
+                  std::span<const rep> payload) {
+    switch (type) {
+      case MsgType::kMaskedModel:
+        lsa::require<lsa::ProtocolError>(
+            payload.size() == params_.model_dim,
+            "server: bad masked model length");
+        bank_for(masked_, round, params_.model_dim).put(sender, payload);
+        break;
+      case MsgType::kAggregatedShares:
+        lsa::require<lsa::ProtocolError>(
+            payload.size() == codec_.segment_len(),
+            "server: bad aggregated share length");
+        bank_for(agg_shares_, round, codec_.segment_len())
+            .put(sender, payload);
+        break;
+      default:
+        throw lsa::ProtocolError("server: unexpected message type");
+    }
+  }
+
   ShareBank<Fp>& bank_for(std::map<std::uint64_t, ShareBank<Fp>>& store,
                           std::uint64_t round, std::size_t cols) {
     return ShareBank<Fp>::get_or_create(store, round, params_.num_users,
@@ -380,7 +391,7 @@ class AggregationServer final : public Party {
 
   lsa::protocol::Params params_;
   lsa::coding::MaskCodec<Fp> codec_;
-  Router& router_;
+  Transport& transport_;
   bool byzantine_tolerant_ = false;
   std::vector<std::size_t> last_corrupted_;
   /// masked_[round].rows.row(i) = user i's masked model for that round.

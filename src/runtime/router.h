@@ -4,6 +4,11 @@
 // router, which delivers them (optionally dropping frames from "crashed"
 // parties or corrupting payloads, for fault-injection tests). Delivery is
 // FIFO per (sender, receiver) link, matching a TCP-like transport.
+//
+// Router is the legacy *adapter* face of the transport seam
+// (runtime/transport.h): single-threaded, one global FIFO deque, every
+// payload copied through Message vectors. The concurrent, zero-copy engine
+// is transport::ConcurrentRouter; both drive the same state machines.
 #pragma once
 
 #include <cstdint>
@@ -12,11 +17,12 @@
 #include <vector>
 
 #include "common/error.h"
+#include "runtime/transport.h"
 #include "runtime/wire.h"
 
 namespace lsa::runtime {
 
-class Router {
+class Router final : public Transport {
  public:
   /// num_parties includes the server; party ids are 0..num_parties-1.
   explicit Router(std::size_t num_parties) : down_(num_parties, false) {}
@@ -44,11 +50,37 @@ class Router {
   void set_fault_hook(FaultHook hook) { hook_ = std::move(hook); }
 
   /// Serializes and enqueues a message (dropped if the sender is down).
-  void send(const Message& m) {
+  void send(const Message& m) override {
     lsa::require(m.sender < down_.size() && m.receiver < down_.size(),
                  "router: endpoint out of range");
     if (down_[m.sender]) return;
     auto frame = serialize(m);
+    if (hook_ && !hook_(frame)) return;
+    queue_.push_back(std::move(frame));
+    ++sent_;
+  }
+
+  /// Row-view send: serializes straight from the view into the frame (ONE
+  /// counted payload copy — matching the pre-Transport-seam cost, where
+  /// payload vectors were moved into the Message), skipping the default
+  /// adapter's intermediate Message materialization.
+  void send_row(MsgType type, std::uint32_t sender, std::uint32_t receiver,
+                std::uint64_t round,
+                std::span<const lsa::field::Fp32::rep> payload) override {
+    lsa::require(sender < down_.size() && receiver < down_.size(),
+                 "router: endpoint out of range");
+    if (down_[sender]) return;
+    std::vector<std::uint8_t> frame(kHeaderBytes + 4 * payload.size());
+    const std::uint32_t crc = crc32(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(payload.data()),
+        4 * payload.size()));
+    write_header(frame.data(), type, sender, receiver, round,
+                 static_cast<std::uint32_t>(payload.size()), crc);
+    if (!payload.empty()) {
+      std::memcpy(frame.data() + kHeaderBytes, payload.data(),
+                  4 * payload.size());
+    }
+    lsa::transport::counters().note_copy(4 * payload.size());
     if (hook_ && !hook_(frame)) return;
     queue_.push_back(std::move(frame));
     ++sent_;

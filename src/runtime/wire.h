@@ -9,8 +9,15 @@
 //   [u16 type][u16 flags][u32 sender][u32 receiver][u64 round]
 //   [u32 payload_elems][u32 crc32(payload)][payload: u32 field reps]
 //
+// The header is exactly 7 words (28 bytes), so the payload region of a
+// word-aligned frame buffer is itself word-aligned — the property the
+// zero-copy span views in src/transport/frame.h rely on.
+//
 // The CRC lets the runtime reject corrupted frames (tested by fault
-// injection in tests/runtime_test.cpp).
+// injection in tests/runtime_test.cpp and tests/fuzz_wire_test.cpp). The
+// production crc32 is table-driven slice-by-8 (~8 bytes per table round
+// instead of 1 bit); crc32_reference keeps the bitwise definition as the
+// tested ground truth.
 #pragma once
 
 #include <array>
@@ -21,6 +28,7 @@
 
 #include "common/error.h"
 #include "field/fp.h"
+#include "transport/stats.h"
 
 namespace lsa::runtime {
 
@@ -43,8 +51,10 @@ struct Message {
   std::vector<lsa::field::Fp32::rep> payload;
 };
 
-/// CRC-32 (IEEE 802.3 polynomial, bitwise implementation).
-[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+/// CRC-32 (IEEE 802.3 polynomial, bitwise implementation). Kept as the
+/// ground-truth reference the table-driven crc32 is tested against.
+[[nodiscard]] inline std::uint32_t crc32_reference(
+    std::span<const std::uint8_t> data) {
   std::uint32_t crc = 0xFFFFFFFFu;
   for (std::uint8_t byte : data) {
     crc ^= byte;
@@ -55,30 +65,92 @@ struct Message {
   return ~crc;
 }
 
-inline constexpr std::size_t kHeaderBytes = 2 + 2 + 4 + 4 + 8 + 4 + 4;
+namespace detail {
 
-[[nodiscard]] inline std::vector<std::uint8_t> serialize(const Message& m) {
-  std::vector<std::uint8_t> buf(kHeaderBytes + 4 * m.payload.size());
-  std::uint8_t* p = buf.data();
+/// 8 slice tables: kCrcTables[0] is the classic byte table; table k folds a
+/// byte that sits k positions ahead of the CRC window.
+consteval std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c >> 1) ^ (0xEDB88320u & (0u - (c & 1u)));
+    }
+    t[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+    }
+  }
+  return t;
+}
+
+inline constexpr auto kCrcTables = make_crc_tables();
+
+}  // namespace detail
+
+/// CRC-32, slice-by-8: consumes 8 bytes per iteration via 8 parallel table
+/// lookups. Bit-identical to crc32_reference on every input
+/// (tests/fuzz_wire_test.cpp fuzzes parity on random + boundary inputs).
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  const auto& t = detail::kCrcTables;
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+inline constexpr std::size_t kHeaderBytes = 2 + 2 + 4 + 4 + 8 + 4 + 4;
+static_assert(kHeaderBytes % 4 == 0, "payload must stay word-aligned");
+
+/// Writes the 28-byte header into `p` (caller guarantees capacity). The
+/// CRC slot is filled by the caller once the payload bytes are in place.
+inline void write_header(std::uint8_t* p, MsgType type, std::uint32_t sender,
+                         std::uint32_t receiver, std::uint64_t round,
+                         std::uint32_t payload_elems, std::uint32_t crc) {
   auto put16 = [&p](std::uint16_t v) { std::memcpy(p, &v, 2); p += 2; };
   auto put32 = [&p](std::uint32_t v) { std::memcpy(p, &v, 4); p += 4; };
   auto put64 = [&p](std::uint64_t v) { std::memcpy(p, &v, 8); p += 8; };
-  put16(static_cast<std::uint16_t>(m.type));
+  put16(static_cast<std::uint16_t>(type));
   put16(0);  // flags (reserved)
-  put32(m.sender);
-  put32(m.receiver);
-  put64(m.round);
-  put32(static_cast<std::uint32_t>(m.payload.size()));
-  std::uint8_t* crc_slot = p;
-  put32(0);  // crc placeholder
-  std::memcpy(p, m.payload.data(), 4 * m.payload.size());
-  const std::uint32_t crc =
-      crc32(std::span<const std::uint8_t>(p, 4 * m.payload.size()));
-  std::memcpy(crc_slot, &crc, 4);
-  return buf;
+  put32(sender);
+  put32(receiver);
+  put64(round);
+  put32(payload_elems);
+  put32(crc);
 }
 
-[[nodiscard]] inline Message deserialize(
+/// Header fields of a validated frame.
+struct WireHeader {
+  MsgType type = MsgType::kEncodedMaskShare;
+  std::uint32_t sender = 0;
+  std::uint32_t receiver = 0;
+  std::uint64_t round = 0;
+  std::uint32_t payload_elems = 0;
+};
+
+/// The one wire validator both the legacy deserializer and the zero-copy
+/// frame parser go through: checks header/payload truncation and the
+/// payload CRC, throws ProtocolError on any mismatch. The payload bytes
+/// live at buf[kHeaderBytes ..] untouched; canonicality is checked by the
+/// caller on its own representation (vector or span view).
+[[nodiscard]] inline WireHeader read_header_checked(
     std::span<const std::uint8_t> buf) {
   lsa::require<lsa::ProtocolError>(buf.size() >= kHeaderBytes,
                                    "wire: truncated header");
@@ -86,27 +158,68 @@ inline constexpr std::size_t kHeaderBytes = 2 + 2 + 4 + 4 + 8 + 4 + 4;
   auto get16 = [&p] { std::uint16_t v; std::memcpy(&v, p, 2); p += 2; return v; };
   auto get32 = [&p] { std::uint32_t v; std::memcpy(&v, p, 4); p += 4; return v; };
   auto get64 = [&p] { std::uint64_t v; std::memcpy(&v, p, 8); p += 8; return v; };
-  Message m;
-  m.type = static_cast<MsgType>(get16());
+  WireHeader h;
+  h.type = static_cast<MsgType>(get16());
   (void)get16();  // flags
-  m.sender = get32();
-  m.receiver = get32();
-  m.round = get64();
-  const std::uint32_t n = get32();
+  h.sender = get32();
+  h.receiver = get32();
+  h.round = get64();
+  h.payload_elems = get32();
   const std::uint32_t crc_expected = get32();
   lsa::require<lsa::ProtocolError>(
-      buf.size() == kHeaderBytes + 4ull * n, "wire: truncated payload");
+      buf.size() == kHeaderBytes + 4ull * h.payload_elems,
+      "wire: truncated payload");
   const std::uint32_t crc_actual =
-      crc32(std::span<const std::uint8_t>(p, 4ull * n));
+      crc32(std::span<const std::uint8_t>(p, 4ull * h.payload_elems));
   lsa::require<lsa::ProtocolError>(crc_actual == crc_expected,
                                    "wire: payload CRC mismatch");
-  m.payload.resize(n);
-  std::memcpy(m.payload.data(), p, 4ull * n);
-  for (auto v : m.payload) {
-    lsa::require<lsa::ProtocolError>(
-        lsa::field::Fp32::is_canonical(v),
-        "wire: non-canonical field element");
+  return h;
+}
+
+/// Canonicality scan shared by both payload representations: branchless
+/// accumulate (auto-vectorizes), one require at the end off the throw path.
+inline void check_canonical_payload(
+    std::span<const lsa::field::Fp32::rep> payload) {
+  bool canonical = true;
+  for (const auto v : payload) {
+    canonical &= lsa::field::Fp32::is_canonical(v);
   }
+  lsa::require<lsa::ProtocolError>(canonical,
+                                   "wire: non-canonical field element");
+}
+
+[[nodiscard]] inline std::vector<std::uint8_t> serialize(const Message& m) {
+  std::vector<std::uint8_t> buf(kHeaderBytes + 4 * m.payload.size());
+  const std::uint32_t crc = crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(m.payload.data()),
+      4 * m.payload.size()));
+  write_header(buf.data(), m.type, m.sender, m.receiver, m.round,
+               static_cast<std::uint32_t>(m.payload.size()), crc);
+  if (!m.payload.empty()) {
+    std::memcpy(buf.data() + kHeaderBytes, m.payload.data(),
+                4 * m.payload.size());
+  }
+  // This memcpy out of an intermediate Message::payload vector is exactly
+  // the copy the zero-copy frame path eliminates — account for it.
+  lsa::transport::counters().note_copy(4 * m.payload.size());
+  return buf;
+}
+
+[[nodiscard]] inline Message deserialize(
+    std::span<const std::uint8_t> buf) {
+  const WireHeader h = read_header_checked(buf);
+  Message m;
+  m.type = h.type;
+  m.sender = h.sender;
+  m.receiver = h.receiver;
+  m.round = h.round;
+  m.payload.resize(h.payload_elems);
+  if (h.payload_elems > 0) {
+    std::memcpy(m.payload.data(), buf.data() + kHeaderBytes,
+                4ull * h.payload_elems);
+  }
+  lsa::transport::counters().note_copy(4ull * h.payload_elems);
+  check_canonical_payload(m.payload);
   return m;
 }
 

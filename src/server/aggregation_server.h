@@ -1,0 +1,243 @@
+// Session-sharded aggregation server over the concurrent transport.
+//
+// The paper's system (Fig. 4) is one server terminating N user connections
+// for one cohort. A production deployment multiplexes MANY cohorts —
+// independent rounds at different parameters, different tenants — through
+// one process. This server owns that multiplexing:
+//
+//   * a Session is one cohort: N UserDevice state machines + one
+//     runtime::AggregationServer wired over a transport::ConcurrentRouter
+//     (per-receiver MPSC mailboxes, pooled zero-copy frames). The session
+//     owns its arenas; nothing is shared between sessions but the thread
+//     pool and the instrumentation counters;
+//   * sessions are sharded session_id % num_shards; run_rounds() executes
+//     one task per shard on the sys::ThreadPool, each shard driving its
+//     sessions' rounds to completion serially while the shards proceed
+//     concurrently;
+//   * within a session, the round phases fan out over the session's
+//     ExecPolicy: user start_round (encode + zero-copy share fan-out) runs
+//     one user per lane — genuinely concurrent MPSC sends — and delivery
+//     pumps one receiver mailbox per lane. ThreadPool::parallel_for is
+//     nested-safe (the caller participates in block claiming), so shard
+//     tasks and intra-session fan-out may share one pool.
+//
+// Determinism: every reduction in the state machines is ordered by user
+// *index*, never by arrival order, and field arithmetic is exact — so a
+// session's aggregate is bit-identical to the single-threaded
+// runtime::Network run at the same seed, whatever the interleaving
+// (asserted in tests/transport_test.cpp and bench/bench_transport.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "protocol/params.h"
+#include "runtime/machines.h"
+#include "sys/exec_policy.h"
+#include "sys/thread_pool.h"
+#include "transport/concurrent_router.h"
+
+namespace lsa::server {
+
+struct SessionConfig {
+  lsa::protocol::Params params;  ///< exec drives intra-session fan-out too
+  std::uint64_t seed = 1;
+  /// Per-receiver mailbox bound; 0 = deep enough for a full phase fan-in
+  /// (2N + slack) so a single-threaded drive never blocks on backpressure.
+  std::size_t queue_capacity = 0;
+  bool byzantine_tolerant = false;
+};
+
+/// One cohort: the state machines, their router, and the round driver.
+class Session {
+ public:
+  using Fp = lsa::field::Fp32;
+  using rep = Fp::rep;
+
+  explicit Session(SessionConfig cfg)
+      : cfg_(std::move(cfg)),
+        router_(cfg_.params.num_users + 1,
+                cfg_.queue_capacity == 0 ? 2 * cfg_.params.num_users + 16
+                                         : cfg_.queue_capacity) {
+    cfg_.params.validate_and_resolve();
+    // A phase fan-in can enqueue up to 2N frames into one mailbox before
+    // any pump runs; a smaller bound would deadlock the (possibly only)
+    // driving thread on backpressure with nobody left to drain.
+    lsa::require<lsa::ProtocolError>(
+        cfg_.queue_capacity == 0 ||
+            cfg_.queue_capacity >= 2 * cfg_.params.num_users + 2,
+        "session: queue_capacity below the phase fan-in bound (2N + 2)");
+    server_ = std::make_unique<lsa::runtime::AggregationServer>(
+        cfg_.params, router_, cfg_.byzantine_tolerant);
+    for (std::uint32_t i = 0; i < cfg_.params.num_users; ++i) {
+      users_.push_back(std::make_unique<lsa::runtime::UserDevice>(
+          i, cfg_.params, cfg_.seed, router_));
+    }
+  }
+
+  [[nodiscard]] const lsa::protocol::Params& params() const {
+    return cfg_.params;
+  }
+  [[nodiscard]] lsa::transport::ConcurrentRouter& router() { return router_; }
+  [[nodiscard]] lsa::runtime::UserDevice& user(std::size_t i) {
+    return *users_.at(i);
+  }
+  [[nodiscard]] lsa::runtime::AggregationServer& server() { return *server_; }
+
+  /// One full round, same phase structure and same failure semantics as
+  /// runtime::Network::run_round (crash-after-upload users are "delayed,
+  /// not dropped"). Bit-identical to the Network result at equal seed.
+  [[nodiscard]] std::vector<rep> run_round(
+      std::uint64_t round, const std::vector<std::vector<rep>>& models,
+      const std::vector<std::size_t>& crash_after_upload) {
+    const std::size_t n = cfg_.params.num_users;
+    lsa::require<lsa::ProtocolError>(models.size() == n,
+                                     "session: wrong number of models");
+    const auto& pol = cfg_.params.exec;
+    // Offline + upload: one user per lane; their share fan-outs are
+    // concurrent zero-copy sends into the per-receiver mailboxes.
+    pol.run(n, [&](std::size_t i) {
+      users_[i]->start_round(round,
+                             std::span<const rep>(models[i]));
+    });
+    pump();
+    for (const auto i : crash_after_upload) router_.crash(i);
+    server_->begin_recovery(round);
+    pump();  // survivor set out, aggregated shares back
+    auto result = server_->finish_round(round);
+    pump();  // result broadcast
+    return result;
+  }
+
+  /// Delivers until every mailbox is quiet. Each receiver's mailbox drains
+  /// on one lane (a Party handles its own messages serially; distinct
+  /// parties are independent). Re-pumps until messages sent by handlers
+  /// (e.g. survivor-set replies) are delivered too.
+  void pump() {
+    const auto& pol = cfg_.params.exec;
+    const std::size_t endpoints = cfg_.params.num_users + 1;
+    do {
+      pol.run(endpoints, [&](std::size_t r) {
+        lsa::transport::Inbound in;
+        while (router_.try_recv(r, in)) {
+          party(r).handle_view(in.view);
+          in.buf.reset();  // recycle before the next pop
+        }
+      });
+    } while (!router_.idle());
+  }
+
+ private:
+  [[nodiscard]] lsa::runtime::Party& party(std::size_t r) {
+    return r == cfg_.params.num_users
+               ? static_cast<lsa::runtime::Party&>(*server_)
+               : *users_[r];
+  }
+
+  SessionConfig cfg_;
+  lsa::transport::ConcurrentRouter router_;
+  std::unique_ptr<lsa::runtime::AggregationServer> server_;
+  std::vector<std::unique_ptr<lsa::runtime::UserDevice>> users_;
+};
+
+/// The multi-session front end: owns sessions, shards them across the
+/// pool, and runs batches of rounds concurrently.
+class AggregationServer {
+ public:
+  using Fp = Session::Fp;
+  using rep = Session::rep;
+
+  /// pool == nullptr runs everything inline (serial reference behavior).
+  /// num_shards == 0 picks the pool width (or 1 when inline).
+  explicit AggregationServer(lsa::sys::ThreadPool* pool = nullptr,
+                             std::size_t num_shards = 0)
+      : pool_(pool),
+        num_shards_(num_shards != 0 ? num_shards
+                    : pool != nullptr ? pool->size()
+                                      : 1) {}
+
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+  [[nodiscard]] std::size_t num_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::uint64_t rounds_completed() const {
+    return rounds_completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers a cohort; returns its session id (shard = id % num_shards).
+  std::uint64_t open_session(SessionConfig cfg) {
+    const std::uint64_t id = next_id_++;
+    sessions_.emplace(id, std::make_unique<Session>(std::move(cfg)));
+    return id;
+  }
+
+  [[nodiscard]] Session& session(std::uint64_t id) {
+    const auto it = sessions_.find(id);
+    lsa::require(it != sessions_.end(), "server: unknown session id");
+    return *it->second;
+  }
+
+  void close_session(std::uint64_t id) {
+    lsa::require(sessions_.erase(id) == 1, "server: unknown session id");
+  }
+
+  /// One round of one session. Models are referenced, not copied — they
+  /// must outlive the run_rounds() call that executes the work.
+  struct RoundWork {
+    std::uint64_t session_id = 0;
+    std::uint64_t round = 0;
+    const std::vector<std::vector<rep>>* models = nullptr;
+    std::vector<std::size_t> crash_after_upload;
+  };
+
+  /// Executes a batch of rounds, sessions sharded across the pool. Results
+  /// come back in work order. The first failure (e.g. an unrecoverable
+  /// round) is rethrown after every shard has finished its batch.
+  [[nodiscard]] std::vector<std::vector<rep>> run_rounds(
+      const std::vector<RoundWork>& works) {
+    std::vector<std::vector<rep>> results(works.size());
+    std::vector<std::exception_ptr> errors(works.size());
+    // Work items grouped by shard, preserving relative order per shard.
+    std::vector<std::vector<std::size_t>> by_shard(num_shards_);
+    for (std::size_t w = 0; w < works.size(); ++w) {
+      by_shard[works[w].session_id % num_shards_].push_back(w);
+    }
+    auto run_shard = [&](std::size_t s) {
+      for (const std::size_t w : by_shard[s]) {
+        const RoundWork& work = works[w];
+        try {
+          lsa::require(work.models != nullptr, "server: null model batch");
+          results[w] = session(work.session_id)
+                           .run_round(work.round, *work.models,
+                                      work.crash_after_upload);
+          rounds_completed_.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      }
+    };
+    if (pool_ == nullptr || num_shards_ <= 1) {
+      for (std::size_t s = 0; s < num_shards_; ++s) run_shard(s);
+    } else {
+      // One block per shard; the pool's nested-safe parallel_for lets the
+      // sessions' own ExecPolicy fan out on the same pool underneath.
+      pool_->parallel_for(num_shards_, run_shard, /*grain=*/1);
+    }
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return results;
+  }
+
+ private:
+  lsa::sys::ThreadPool* pool_;
+  std::size_t num_shards_;
+  std::uint64_t next_id_ = 0;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::atomic<std::uint64_t> rounds_completed_{0};
+};
+
+}  // namespace lsa::server

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 namespace lsa::sys {
 
@@ -36,32 +38,100 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Shared state of one parallel_for_blocked region. Heap-held via
+/// shared_ptr so helper tasks that get scheduled AFTER the region already
+/// finished (the caller drained every block itself) can still safely look
+/// at the cursor and exit.
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::size_t nblocks = 0;
+  std::size_t grain = 0;
+  std::size_t n = 0;
+  /// Only dereferenced for a successfully claimed block, which can only
+  /// happen while the caller is still waiting — the referent outlives every
+  /// use (see claim loop).
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr error;
+
+  /// Claims blocks until the cursor runs dry. Returns true if this call
+  /// completed the final block.
+  bool claim_loop() {
+    bool finished_last = false;
+    for (;;) {
+      const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= nblocks) return finished_last;
+      const std::size_t begin = b * grain;
+      try {
+        (*fn)(begin, std::min(begin + grain, n));
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == nblocks) {
+        finished_last = true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for_blocked(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t grain) {
   if (n == 0) return;
   if (grain == 0) grain = std::max<std::size_t>(1, n / (8 * workers_.size()));
   const std::size_t nblocks = (n + grain - 1) / grain;
-  const std::size_t lanes = std::min(nblocks, workers_.size());
-  if (lanes <= 1) {
-    // One lane of work: run inline, no queue round-trip.
+  if (nblocks <= 1) {
+    // One block of work: run inline, no queue round-trip.
     fn(0, n);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::future<void>> futs;
-  futs.reserve(lanes);
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    futs.push_back(submit([&] {
-      for (;;) {
-        const std::size_t b = next.fetch_add(1);
-        if (b >= nblocks) return;
-        const std::size_t begin = b * grain;
-        fn(begin, std::min(begin + grain, n));
-      }
-    }));
+
+  // The calling thread participates in block claiming, so this is safe to
+  // invoke from INSIDE a pool worker: even if every helper task starves
+  // behind other queued work (e.g. nested parallel regions saturating the
+  // pool), the caller drains all blocks itself and the region terminates.
+  // Straggler helpers that run later find the cursor exhausted and exit.
+  auto state = std::make_shared<ForState>();
+  state->nblocks = nblocks;
+  state->grain = grain;
+  state->n = n;
+  state->fn = &fn;
+
+  const std::size_t helpers =
+      std::min(nblocks - 1, workers_.size());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back([state] {
+        if (state->claim_loop()) {
+          std::lock_guard<std::mutex> lk2(state->mu);
+          state->all_done.notify_all();
+        }
+      });
+    }
   }
-  for (auto& f : futs) f.get();
+  cv_.notify_all();
+
+  (void)state->claim_loop();
+  if (state->done.load(std::memory_order_acquire) < nblocks) {
+    std::unique_lock<std::mutex> lk(state->mu);
+    state->all_done.wait(lk, [&] {
+      return state->done.load(std::memory_order_acquire) >= nblocks;
+    });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    err = state->error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(std::size_t n,

@@ -1,0 +1,288 @@
+// Thread-safe MPSC message plane: sharded per-receiver mailboxes over
+// pooled zero-copy frames.
+//
+// Design (the concurrent counterpart of runtime::Router):
+//
+//   * one bounded mailbox per receiver — senders are many (MPSC), the
+//     receiver's consumer is one at a time, and the per-mailbox mutex gives
+//     per-(sender, receiver) FIFO for free because each sender enqueues its
+//     own frames in program order;
+//   * backpressure: send blocks on a not-full condition when a mailbox is
+//     at capacity (a crashed receiver unblocks its senders — frames to the
+//     dead are dropped, not queued);
+//   * zero-copy: send_row frames straight from the caller's row view into
+//     a pooled ref-counted buffer (transport/frame.h); try_recv validates
+//     in place and hands back a payload span aliasing that buffer;
+//   * fault semantics match the legacy Router: sends from crashed parties
+//     are dropped silently, frames addressed to a party that crashes are
+//     discarded undelivered, revive() re-admits, and an optional fault
+//     hook may mutate or drop any frame before it is enqueued
+//     (fuzz/corruption testing — parse_frame throws on delivery).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "runtime/transport.h"
+#include "runtime/wire.h"
+#include "transport/buffer_pool.h"
+#include "transport/frame.h"
+
+namespace lsa::transport {
+
+/// A delivered frame: the validated view plus the buffer keeping it alive.
+struct Inbound {
+  BufferRef buf;
+  FrameView view;
+};
+
+class ConcurrentRouter final : public lsa::runtime::Transport {
+ public:
+  /// num_parties includes the server; party ids are 0..num_parties-1.
+  /// queue_capacity bounds each receiver's mailbox (backpressure); 0 picks
+  /// a default deep enough for a full offline fan-in from every peer.
+  explicit ConcurrentRouter(std::size_t num_parties,
+                            std::size_t queue_capacity = 0)
+      : capacity_(queue_capacity == 0
+                      ? std::max<std::size_t>(64, 4 * num_parties)
+                      : queue_capacity),
+        down_(num_parties) {
+    boxes_.reserve(num_parties);
+    for (std::size_t i = 0; i < num_parties; ++i) {
+      boxes_.push_back(std::make_unique<Mailbox>());
+    }
+  }
+
+  [[nodiscard]] std::size_t num_parties() const { return boxes_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const { return capacity_; }
+  [[nodiscard]] BufferPool& pool() { return pool_; }
+
+  // ------------------------------------------------------------- liveness
+
+  /// Marks a party crashed: its future sends are dropped, its undelivered
+  /// mailbox is discarded, and senders blocked on its mailbox unblock.
+  void crash(std::size_t party) {
+    check_party(party);
+    down_[party].store(1, std::memory_order_relaxed);
+    Mailbox& box = *boxes_[party];
+    std::deque<Entry> discarded;
+    {
+      std::lock_guard<std::mutex> lk(box.mu);
+      discarded.swap(box.q);
+    }
+    dropped_.fetch_add(discarded.size(), std::memory_order_relaxed);
+    box.not_full.notify_all();
+    // Consumers blocked in recv_wait on this receiver must observe the
+    // crash immediately, not at timeout granularity.
+    box.not_empty.notify_all();
+  }
+
+  void revive(std::size_t party) {
+    check_party(party);
+    down_[party].store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool is_down(std::size_t party) const {
+    check_party(party);
+    return down_[party].load(std::memory_order_relaxed) != 0;
+  }
+
+  // ---------------------------------------------------------------- faults
+
+  /// Called on every frame's bytes before enqueue (the buffer is exclusive
+  /// at that point); may mutate them (corruption testing) or return false
+  /// to drop the frame (lossy-link testing). Set before traffic starts.
+  using FaultHook = std::function<bool(std::span<std::uint8_t>)>;
+  void set_fault_hook(FaultHook hook) { hook_ = std::move(hook); }
+
+  // ----------------------------------------------------------------- send
+
+  /// Zero-copy send: frames the row view straight into a pooled buffer.
+  void send_row(lsa::runtime::MsgType type, std::uint32_t sender,
+                std::uint32_t receiver, std::uint64_t round,
+                std::span<const lsa::field::Fp32::rep> payload) override {
+    check_party(sender);
+    check_party(receiver);
+    if (is_down(sender)) return;
+    BufferRef frame =
+        build_frame(pool_, type, sender, receiver, round, payload);
+    enqueue(receiver, std::move(frame));
+  }
+
+  /// Legacy adapter: frames a materialized Message (one counted copy out
+  /// of the intermediate payload vector).
+  void send(const lsa::runtime::Message& m) override {
+    counters().note_copy(4 * m.payload.size());
+    send_row(m.type, m.sender, m.receiver, m.round,
+             std::span<const lsa::field::Fp32::rep>(m.payload));
+  }
+
+  /// Receiver field of shared broadcast frames (handlers dispatch on their
+  /// own mailbox, never on the header's receiver).
+  static constexpr std::uint32_t kBroadcastReceiver = 0xFFFFFFFFu;
+
+  /// Broadcast: the payload is framed ONCE into one ref-counted buffer
+  /// (receiver field = kBroadcastReceiver) shared across every live
+  /// mailbox — no per-receiver payload writes or CRC passes.
+  void broadcast_row(lsa::runtime::MsgType type, std::uint32_t sender,
+                     std::uint64_t round,
+                     std::span<const lsa::field::Fp32::rep> payload,
+                     std::uint32_t num_receivers) override {
+    check_party(sender);
+    lsa::require(num_receivers <= boxes_.size(),
+                 "router: broadcast fan-out out of range");
+    if (is_down(sender)) return;
+    BufferRef frame = build_frame(pool_, type, sender, kBroadcastReceiver,
+                                  round, payload);
+    if (hook_ && !hook_(frame.bytes())) {
+      dropped_.fetch_add(num_receivers, std::memory_order_relaxed);
+      return;
+    }
+    for (std::uint32_t j = 0; j < num_receivers; ++j) {
+      enqueue_built(j, frame);  // shared ref, one buffer
+    }
+  }
+
+  /// Re-injects a prebuilt frame (receiver read from its header bytes).
+  /// No sender-liveness check — the caller owns that policy.
+  void send_frame(BufferRef frame) {
+    lsa::require<lsa::ProtocolError>(
+        frame && frame.size_bytes() >= lsa::runtime::kHeaderBytes,
+        "router: undersized frame");
+    std::uint32_t receiver = 0;
+    std::memcpy(&receiver, frame.bytes().data() + 8, 4);
+    check_party(receiver);
+    enqueue(receiver, std::move(frame));
+  }
+
+  // ----------------------------------------------------------------- recv
+
+  /// Pops and validates the receiver's next frame. Returns false when the
+  /// mailbox is empty (or the receiver is down). Throws ProtocolError on a
+  /// corrupted frame — the frame is consumed either way.
+  [[nodiscard]] bool try_recv(std::size_t receiver, Inbound& out) {
+    check_party(receiver);
+    if (is_down(receiver)) return false;
+    Mailbox& box = *boxes_[receiver];
+    Entry e;
+    {
+      std::lock_guard<std::mutex> lk(box.mu);
+      if (box.q.empty()) return false;
+      e = std::move(box.q.front());
+      box.q.pop_front();
+    }
+    box.not_full.notify_one();
+    out.buf = std::move(e.buf);
+    out.view = parse_frame(out.buf);  // throws on corruption
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Blocking variant: waits up to `timeout` for a frame. Returns false on
+  /// timeout or when the receiver is down.
+  [[nodiscard]] bool recv_wait(std::size_t receiver, Inbound& out,
+                               std::chrono::milliseconds timeout) {
+    check_party(receiver);
+    Mailbox& box = *boxes_[receiver];
+    {
+      std::unique_lock<std::mutex> lk(box.mu);
+      if (!box.not_empty.wait_for(lk, timeout, [&] {
+            return !box.q.empty() || is_down(receiver);
+          })) {
+        return false;
+      }
+    }
+    return try_recv(receiver, out);
+  }
+
+  /// True when every mailbox is empty.
+  [[nodiscard]] bool idle() const {
+    for (const auto& box : boxes_) {
+      std::lock_guard<std::mutex> lk(box->mu);
+      if (!box->q.empty()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t frames_sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of any mailbox depth (bounded by queue_capacity).
+  [[nodiscard]] std::size_t max_queue_depth() const {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    BufferRef buf;
+  };
+  struct Mailbox {
+    mutable std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<Entry> q;
+  };
+
+  void check_party(std::size_t p) const {
+    lsa::require(p < boxes_.size(), "router: endpoint out of range");
+  }
+
+  void enqueue(std::size_t receiver, BufferRef frame) {
+    if (hook_ && !hook_(frame.bytes())) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    enqueue_built(receiver, std::move(frame));
+  }
+
+  /// Post-hook enqueue; broadcast fan-out shares one frame across calls.
+  void enqueue_built(std::size_t receiver, BufferRef frame) {
+    Mailbox& box = *boxes_[receiver];
+    {
+      std::unique_lock<std::mutex> lk(box.mu);
+      box.not_full.wait(lk, [&] {
+        return box.q.size() < capacity_ || is_down(receiver);
+      });
+      if (is_down(receiver)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      box.q.push_back(Entry{std::move(frame)});
+      const std::size_t depth = box.q.size();
+      std::size_t seen = max_depth_.load(std::memory_order_relaxed);
+      while (depth > seen &&
+             !max_depth_.compare_exchange_weak(seen, depth,
+                                               std::memory_order_relaxed)) {
+      }
+    }
+    box.not_empty.notify_one();
+    sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity_;
+  std::vector<std::atomic<std::uint8_t>> down_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  BufferPool pool_;
+  FaultHook hook_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::size_t> max_depth_{0};
+};
+
+}  // namespace lsa::transport

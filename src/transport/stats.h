@@ -1,0 +1,69 @@
+// Global transport instrumentation counters.
+//
+// The zero-copy claim of the transport layer ("outbound frames are built
+// once, straight from arena rows") is enforced by measurement, not by
+// convention: every path that materializes an intermediate payload vector
+// (legacy Message construction, serialize() of a Message) bumps the
+// payload-copy counters, while the frame builder only bumps the framed-byte
+// counters. tests/transport_test.cpp and bench/bench_transport.cpp assert
+// that a round driven through the concurrent transport performs ZERO
+// intermediate payload copies on the send side.
+//
+// Counters are process-global relaxed atomics: cheap enough to leave on in
+// release builds, and exact because every increment is a plain add.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lsa::transport {
+
+struct Counters {
+  /// Frames built directly from row views (the zero-copy send path).
+  std::atomic<std::uint64_t> frames_built{0};
+  /// Payload bytes written by the frame builder (the single framing write).
+  std::atomic<std::uint64_t> payload_bytes_framed{0};
+  /// Intermediate payload copies (Message vectors materialized, serialize()
+  /// memcpys from Message::payload) — the copies the legacy path performs.
+  std::atomic<std::uint64_t> payload_copies{0};
+  std::atomic<std::uint64_t> payload_bytes_copied{0};
+  /// Pool traffic: fresh heap allocations vs recycled buffers.
+  std::atomic<std::uint64_t> pool_allocs{0};
+  std::atomic<std::uint64_t> pool_reuses{0};
+
+  void note_copy(std::uint64_t bytes) {
+    payload_copies.fetch_add(1, std::memory_order_relaxed);
+    payload_bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void note_framed(std::uint64_t bytes) {
+    frames_built.fetch_add(1, std::memory_order_relaxed);
+    payload_bytes_framed.fetch_add(bytes, std::memory_order_relaxed);
+  }
+};
+
+inline Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+/// Point-in-time snapshot for before/after deltas in tests and benches.
+struct CountersSnapshot {
+  std::uint64_t frames_built;
+  std::uint64_t payload_bytes_framed;
+  std::uint64_t payload_copies;
+  std::uint64_t payload_bytes_copied;
+  std::uint64_t pool_allocs;
+  std::uint64_t pool_reuses;
+};
+
+inline CountersSnapshot snapshot() {
+  const auto& c = counters();
+  return {c.frames_built.load(std::memory_order_relaxed),
+          c.payload_bytes_framed.load(std::memory_order_relaxed),
+          c.payload_copies.load(std::memory_order_relaxed),
+          c.payload_bytes_copied.load(std::memory_order_relaxed),
+          c.pool_allocs.load(std::memory_order_relaxed),
+          c.pool_reuses.load(std::memory_order_relaxed)};
+}
+
+}  // namespace lsa::transport

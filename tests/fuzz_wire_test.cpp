@@ -9,12 +9,42 @@
 #include "protocol/lightsecagg.h"
 #include "runtime/machines.h"
 #include "runtime/wire.h"
+#include "transport/buffer_pool.h"
+#include "transport/frame.h"
 
 namespace {
 
 using namespace lsa::runtime;
 using lsa::field::Fp32;
 using rep = Fp32::rep;
+
+TEST(Crc32, SliceBy8MatchesBitwiseReferenceOnBoundaryInputs) {
+  // Known answer: CRC32("123456789") = 0xCBF43926.
+  const char* check = "123456789";
+  const std::span<const std::uint8_t> check_span(
+      reinterpret_cast<const std::uint8_t*>(check), 9);
+  EXPECT_EQ(crc32(check_span), 0xCBF43926u);
+  EXPECT_EQ(crc32_reference(check_span), 0xCBF43926u);
+
+  // Boundary shapes: empty, every length straddling the 8-byte slicing
+  // granularity, constant fills.
+  for (std::size_t len = 0; len <= 40; ++len) {
+    for (const std::uint8_t fill : {0x00, 0xFF, 0x5A}) {
+      std::vector<std::uint8_t> buf(len, fill);
+      EXPECT_EQ(crc32(buf), crc32_reference(buf)) << "len " << len;
+    }
+  }
+}
+
+TEST(Crc32, SliceBy8MatchesBitwiseReferenceOnRandomInputs) {
+  lsa::common::Xoshiro256ss rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t len = rng.next_below(513);
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    ASSERT_EQ(crc32(buf), crc32_reference(buf)) << "trial " << trial;
+  }
+}
 
 TEST(FuzzWire, RandomBytesNeverCrash) {
   lsa::common::Xoshiro256ss rng(1);
@@ -69,6 +99,84 @@ TEST(FuzzWire, LengthFieldMutationsRejected) {
     mutated[20] = static_cast<std::uint8_t>(mutated[20] + delta);
     EXPECT_THROW((void)deserialize(mutated), lsa::ProtocolError);
   }
+}
+
+TEST(FuzzPooledFrames, RandomBytesNeverAccepted) {
+  lsa::transport::BufferPool pool;
+  lsa::common::Xoshiro256ss rng(5);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t len = rng.next_below(200);
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto frame = lsa::transport::frame_from_bytes(pool, buf);
+    try {
+      const auto view = lsa::transport::parse_frame(frame);
+      if (!view.payload.empty()) ++accepted;
+    } catch (const lsa::Error&) {
+      // expected
+    }
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(FuzzPooledFrames, TruncationBitFlipsAndBadLengthsRejected) {
+  lsa::transport::BufferPool pool;
+  const std::vector<rep> payload = {10, 20, 30, 40, 50};
+  const auto frame =
+      lsa::transport::build_frame(pool, MsgType::kMaskedModel, 3, 9, 77,
+                                  std::span<const rep>(payload));
+  const auto bytes = frame.bytes();
+  const std::vector<std::uint8_t> good(bytes.begin(), bytes.end());
+
+  // Sanity: the untampered frame parses.
+  EXPECT_NO_THROW((void)lsa::transport::parse_frame(frame));
+
+  // Truncation at every boundary.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, kHeaderBytes - 1, kHeaderBytes,
+        good.size() - 4, good.size() - 1}) {
+    const auto cut = lsa::transport::frame_from_bytes(
+        pool, std::span<const std::uint8_t>(good.data(), keep));
+    EXPECT_THROW((void)lsa::transport::parse_frame(cut), lsa::ProtocolError)
+        << "kept " << keep;
+  }
+
+  // Payload bit flips (CRC) — every byte, two bit positions.
+  for (std::size_t pos = kHeaderBytes; pos < good.size(); ++pos) {
+    for (const std::uint8_t bit : {0x01, 0x80}) {
+      auto mutated = good;
+      mutated[pos] ^= bit;
+      const auto f = lsa::transport::frame_from_bytes(pool, mutated);
+      EXPECT_THROW((void)lsa::transport::parse_frame(f), lsa::ProtocolError)
+          << "payload byte " << pos << " bit " << int(bit);
+    }
+  }
+
+  // Length-field tampering (offset 20).
+  for (const int delta : {1, 2, 255}) {
+    auto mutated = good;
+    mutated[20] = static_cast<std::uint8_t>(mutated[20] + delta);
+    const auto f = lsa::transport::frame_from_bytes(pool, mutated);
+    EXPECT_THROW((void)lsa::transport::parse_frame(f), lsa::ProtocolError);
+  }
+
+  // CRC-field tampering.
+  auto mutated = good;
+  mutated[24] ^= 0x01;
+  const auto f = lsa::transport::frame_from_bytes(pool, mutated);
+  EXPECT_THROW((void)lsa::transport::parse_frame(f), lsa::ProtocolError);
+
+  // Non-canonical payload element, CRC fixed up to match: the canonicality
+  // scan must still reject it.
+  auto noncanon = good;
+  const std::uint32_t bad = 0xFFFFFFFFu;  // >= q = 2^32 - 5
+  std::memcpy(noncanon.data() + kHeaderBytes, &bad, 4);
+  const std::uint32_t fixed_crc = crc32(std::span<const std::uint8_t>(
+      noncanon.data() + kHeaderBytes, noncanon.size() - kHeaderBytes));
+  std::memcpy(noncanon.data() + 24, &fixed_crc, 4);
+  const auto f2 = lsa::transport::frame_from_bytes(pool, noncanon);
+  EXPECT_THROW((void)lsa::transport::parse_frame(f2), lsa::ProtocolError);
 }
 
 TEST(FuzzNetwork, CorruptingRouterFramesFailsLoudlyNotWrongly) {

@@ -5,6 +5,7 @@
 #include "net/cost_model.h"
 #include "net/ledger.h"
 #include "net/round_sim.h"
+#include "sys/thread_pool.h"
 
 namespace {
 
@@ -34,6 +35,53 @@ TEST(Ledger, MessageAndComputeAccounting) {
   ledger.reset();
   EXPECT_EQ(ledger.sent_elems(Phase::kOffline, 0, true), 0u);
   EXPECT_EQ(ledger.messages_sent(Phase::kOffline, 0), 0u);
+}
+
+TEST(Ledger, ConcurrentLoggingMatchesSerialTotalsExactly) {
+  // The sharded atomic counters must make logging from inside parallel
+  // regions exact: hammer one ledger from many lanes (including colliding
+  // entities) and compare every slot against a serially built reference.
+  constexpr std::size_t kUsers = 8;
+  constexpr std::size_t kIters = 2000;
+  Ledger concurrent(kUsers);
+  Ledger serial(kUsers);
+
+  auto log_one = [](Ledger& ledger, std::size_t i) {
+    const auto phase = static_cast<Phase>(i % kNumPhases);
+    const std::size_t from = i % kUsers;
+    const std::size_t to = (i * 7 + 3) % (kUsers + 1);
+    ledger.add_message(phase, from, to, 10 + i % 13, i % 2 == 0);
+    ledger.add_compute(phase, to,
+                       static_cast<CompKind>(i % kNumCompKinds), 1 + i % 5,
+                       i % 3 == 0);
+  };
+  for (std::size_t i = 0; i < kIters; ++i) log_one(serial, i);
+  {
+    lsa::sys::ThreadPool pool(4);
+    pool.parallel_for(kIters,
+                      [&](std::size_t i) { log_one(concurrent, i); });
+  }
+
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    for (std::size_t e = 0; e <= kUsers; ++e) {
+      for (const bool scaled : {false, true}) {
+        EXPECT_EQ(concurrent.sent_elems(phase, e, scaled),
+                  serial.sent_elems(phase, e, scaled));
+        EXPECT_EQ(concurrent.recv_elems_of(phase, e, scaled),
+                  serial.recv_elems_of(phase, e, scaled));
+        for (std::size_t k = 0; k < kNumCompKinds; ++k) {
+          EXPECT_EQ(concurrent.compute_elems(phase, e,
+                                             static_cast<CompKind>(k),
+                                             scaled),
+                    serial.compute_elems(phase, e, static_cast<CompKind>(k),
+                                         scaled));
+        }
+      }
+      EXPECT_EQ(concurrent.messages_sent(phase, e),
+                serial.messages_sent(phase, e));
+    }
+  }
 }
 
 TEST(Ledger, RejectsUnknownEntities) {

@@ -19,6 +19,8 @@
 #include "field/goldilocks.h"
 #include "field/random_field.h"
 #include "protocol/lightsecagg.h"
+#include "protocol/secagg.h"
+#include "protocol/secagg_plus.h"
 #include "sys/exec_policy.h"
 #include "sys/thread_pool.h"
 
@@ -238,6 +240,115 @@ TYPED_TEST(CodecParity, LightSecAggRoundIdenticalWithAndWithoutPool) {
                                std::span<const rep>(inputs[i]));
   }
   EXPECT_EQ(serial_out, expect);
+}
+
+TEST(RecoveryBatchParity, SecAggRoundIdenticalWithAndWithoutPool) {
+  // The recovery phase batches its PRG re-expansions (survivor private
+  // masks + dropped users' residual pairwise masks) through the pool; the
+  // result must be bit-identical to the serial expand-one-apply-one loop.
+  using F = Fp32;
+  using rep = F::rep;
+  lsa::protocol::Params params;
+  params.num_users = 9;
+  params.privacy = 2;
+  params.dropout = 3;
+  params.model_dim = 41;
+
+  lsa::common::Xoshiro256ss rng(13);
+  std::vector<std::vector<rep>> inputs(params.num_users);
+  for (auto& v : inputs) {
+    v = lsa::field::uniform_vector<F>(params.model_dim, rng);
+  }
+  std::vector<bool> dropped(params.num_users, false);
+  dropped[0] = dropped[5] = dropped[8] = true;  // full D dropouts
+
+  lsa::protocol::SecAgg<F> serial(params, /*master_seed=*/31);
+  const auto serial_out = serial.run_round(inputs, dropped);
+
+  lsa::sys::ThreadPool pool(4);
+  auto par_params = params;
+  par_params.exec = lsa::sys::ExecPolicy{&pool, 128};
+  lsa::protocol::SecAgg<F> parallel(par_params, /*master_seed=*/31);
+  const auto parallel_out = parallel.run_round(inputs, dropped);
+
+  EXPECT_EQ(serial_out, parallel_out);
+
+  std::vector<rep> expect(params.model_dim, F::zero);
+  for (std::size_t i = 0; i < params.num_users; ++i) {
+    if (dropped[i]) continue;
+    lsa::field::add_inplace<F>(std::span<rep>(expect),
+                               std::span<const rep>(inputs[i]));
+  }
+  EXPECT_EQ(serial_out, expect);
+}
+
+TEST(RecoveryBatchParity, SecAggPlusRoundIdenticalWithAndWithoutPool) {
+  using F = Fp32;
+  using rep = F::rep;
+  lsa::protocol::Params params;
+  params.num_users = 16;
+  params.privacy = 1;
+  params.dropout = 2;
+  params.model_dim = 29;
+
+  lsa::common::Xoshiro256ss rng(17);
+  std::vector<std::vector<rep>> inputs(params.num_users);
+  for (auto& v : inputs) {
+    v = lsa::field::uniform_vector<F>(params.model_dim, rng);
+  }
+  std::vector<bool> dropped(params.num_users, false);
+  dropped[3] = dropped[11] = true;
+
+  lsa::protocol::SecAggPlus<F> serial(params, /*master_seed=*/53);
+  const auto serial_out = serial.run_round(inputs, dropped);
+
+  lsa::sys::ThreadPool pool(3);
+  auto par_params = params;
+  par_params.exec = lsa::sys::ExecPolicy{&pool, 64};
+  lsa::protocol::SecAggPlus<F> parallel(par_params, /*master_seed=*/53);
+  const auto parallel_out = parallel.run_round(inputs, dropped);
+
+  EXPECT_EQ(serial_out, parallel_out);
+
+  std::vector<rep> expect(params.model_dim, F::zero);
+  for (std::size_t i = 0; i < params.num_users; ++i) {
+    if (dropped[i]) continue;
+    lsa::field::add_inplace<F>(std::span<rep>(expect),
+                               std::span<const rep>(inputs[i]));
+  }
+  EXPECT_EQ(serial_out, expect);
+}
+
+TEST(RecoveryBatchParity, MultiRoundParityWithChurn) {
+  // Several rounds with different dropout patterns: the reused batch
+  // scratch arena must not leak state between rounds.
+  using F = Fp32;
+  using rep = F::rep;
+  lsa::protocol::Params params;
+  params.num_users = 7;
+  params.privacy = 1;
+  params.dropout = 2;
+  params.model_dim = 23;
+
+  lsa::sys::ThreadPool pool(4);
+  auto par_params = params;
+  par_params.exec = lsa::sys::ExecPolicy{&pool, 32};
+  lsa::protocol::SecAgg<F> serial(params, /*master_seed=*/71);
+  lsa::protocol::SecAgg<F> parallel(par_params, /*master_seed=*/71);
+
+  lsa::common::Xoshiro256ss rng(23);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::vector<rep>> inputs(params.num_users);
+    for (auto& v : inputs) {
+      v = lsa::field::uniform_vector<F>(params.model_dim, rng);
+    }
+    std::vector<bool> dropped(params.num_users, false);
+    if (round > 0) dropped[round % params.num_users] = true;
+    if (round > 2) dropped[(round * 3) % params.num_users] = true;
+    EXPECT_EQ(serial.run_round(inputs, dropped),
+              parallel.run_round(inputs, dropped))
+        << "round " << round;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,458 @@
+// Concurrent transport subsystem: pooled ref-counted buffers, zero-copy
+// framing, the MPSC ConcurrentRouter (per-link FIFO, backpressure,
+// crash/revive, fault hooks), and the session-sharded multi-session
+// AggregationServer — whose concurrent rounds must be bit-identical to the
+// single-threaded runtime::Network, including dropout at the U boundary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/random_field.h"
+#include "runtime/machines.h"
+#include "server/aggregation_server.h"
+#include "sys/thread_pool.h"
+#include "transport/buffer_pool.h"
+#include "transport/concurrent_router.h"
+#include "transport/frame.h"
+
+namespace {
+
+using namespace lsa::transport;
+using lsa::field::Fp32;
+using lsa::runtime::Message;
+using lsa::runtime::MsgType;
+using rep = Fp32::rep;
+
+// ---------------------------------------------------------------- buffers
+
+TEST(BufferPool, RecyclesBlocksAndCountsRefs) {
+  BufferPool pool(/*max_retained=*/4);
+  const auto before = snapshot();
+  BufferRef a = pool.acquire(100);
+  EXPECT_EQ(a.size_bytes(), 100u);
+  EXPECT_EQ(a.ref_count(), 1u);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  {
+    BufferRef b = a;  // shared, not copied
+    EXPECT_EQ(a.ref_count(), 2u);
+    EXPECT_EQ(pool.outstanding(), 1u);
+  }
+  EXPECT_EQ(a.ref_count(), 1u);
+  a.reset();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.retained(), 1u);
+
+  // Re-acquiring must reuse the retained block, even at a larger size.
+  BufferRef c = pool.acquire(200);
+  EXPECT_EQ(c.size_bytes(), 200u);
+  const auto after = snapshot();
+  EXPECT_EQ(after.pool_allocs - before.pool_allocs, 1u);
+  EXPECT_EQ(after.pool_reuses - before.pool_reuses, 1u);
+}
+
+TEST(BufferPool, RefsMayOutliveThePool) {
+  BufferRef survivor;
+  {
+    BufferPool pool(2);
+    survivor = pool.acquire(64);
+    survivor.bytes()[0] = 0xAB;
+  }
+  // The pool object is gone; the block (and its core) must still be alive.
+  EXPECT_EQ(survivor.bytes()[0], 0xAB);
+  survivor.reset();  // releases into the orphaned core, which frees it
+}
+
+TEST(BufferPool, FreelistIsBounded) {
+  BufferPool pool(/*max_retained=*/2);
+  std::vector<BufferRef> refs;
+  for (int i = 0; i < 5; ++i) refs.push_back(pool.acquire(32));
+  refs.clear();
+  EXPECT_LE(pool.retained(), 2u);
+}
+
+// ----------------------------------------------------------------- frames
+
+TEST(Frame, ByteCompatibleWithLegacyWireFormat) {
+  Message m;
+  m.type = MsgType::kAggregatedShares;
+  m.sender = 7;
+  m.receiver = 12;
+  m.round = 0xdeadbeefULL;
+  m.payload = {0, 1, 4294967290u, 42};
+  const auto legacy = lsa::runtime::serialize(m);
+
+  BufferPool pool;
+  const auto frame = build_frame(pool, m.type, m.sender, m.receiver, m.round,
+                                 std::span<const rep>(m.payload));
+  ASSERT_EQ(frame.size_bytes(), legacy.size());
+  const auto bytes = frame.bytes();
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), legacy.begin()));
+
+  const auto view = parse_frame(frame);
+  EXPECT_EQ(view.type, m.type);
+  EXPECT_EQ(view.sender, m.sender);
+  EXPECT_EQ(view.receiver, m.receiver);
+  EXPECT_EQ(view.round, m.round);
+  EXPECT_TRUE(std::equal(view.payload.begin(), view.payload.end(),
+                         m.payload.begin()));
+}
+
+TEST(Frame, PayloadViewAliasesTheBuffer) {
+  BufferPool pool;
+  const std::vector<rep> payload = {1, 2, 3};
+  const auto frame = build_frame(pool, MsgType::kMaskedModel, 0, 1, 0,
+                                 std::span<const rep>(payload));
+  const auto view = parse_frame(frame);
+  const auto* words =
+      reinterpret_cast<const std::uint32_t*>(frame.bytes().data());
+  EXPECT_EQ(view.payload.data(), words + kHeaderWords);
+}
+
+TEST(Frame, BuildCountsZeroPayloadCopies) {
+  BufferPool pool;
+  const std::vector<rep> payload(256, 5);
+  const auto before = snapshot();
+  const auto frame = build_frame(pool, MsgType::kMaskedModel, 0, 1, 0,
+                                 std::span<const rep>(payload));
+  const auto view = parse_frame(frame);
+  (void)view;
+  const auto after = snapshot();
+  EXPECT_EQ(after.payload_copies - before.payload_copies, 0u);
+  EXPECT_EQ(after.frames_built - before.frames_built, 1u);
+  EXPECT_EQ(after.payload_bytes_framed - before.payload_bytes_framed,
+            4 * payload.size());
+}
+
+// ----------------------------------------------------------------- router
+
+TEST(ConcurrentRouter, PerLinkFifoUnderConcurrentSenders) {
+  constexpr std::size_t kSenders = 4;
+  constexpr std::size_t kFrames = 200;
+  ConcurrentRouter router(kSenders + 1, /*queue_capacity=*/64);
+  const std::uint32_t receiver = kSenders;
+
+  std::vector<std::thread> senders;
+  for (std::uint32_t s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      for (std::uint32_t k = 0; k < kFrames; ++k) {
+        const std::vector<rep> payload = {s, k};
+        router.send_row(MsgType::kMaskedModel, s, receiver, 0,
+                        std::span<const rep>(payload));
+      }
+    });
+  }
+  std::vector<std::uint32_t> next_expected(kSenders, 0);
+  std::size_t got = 0;
+  Inbound in;
+  while (got < kSenders * kFrames) {
+    if (!router.recv_wait(receiver, in, std::chrono::milliseconds(2000))) {
+      break;
+    }
+    ASSERT_EQ(in.view.payload.size(), 2u);
+    const std::uint32_t s = in.view.payload[0];
+    const std::uint32_t k = in.view.payload[1];
+    EXPECT_EQ(k, next_expected[s]) << "per-link FIFO violated for sender "
+                                   << s;
+    next_expected[s] = k + 1;
+    ++got;
+  }
+  for (auto& t : senders) t.join();
+  EXPECT_EQ(got, kSenders * kFrames);
+  EXPECT_TRUE(router.idle());
+  EXPECT_LE(router.max_queue_depth(), 64u);
+}
+
+TEST(ConcurrentRouter, BackpressureBoundsQueueDepthAndBlocksSenders) {
+  ConcurrentRouter router(2, /*queue_capacity=*/4);
+  std::atomic<int> sent{0};
+  std::thread producer([&] {
+    const std::vector<rep> payload = {9};
+    for (int k = 0; k < 64; ++k) {
+      router.send_row(MsgType::kMaskedModel, 0, 1, 0,
+                      std::span<const rep>(payload));
+      sent.fetch_add(1);
+    }
+  });
+  // Give the producer time to fill the bounded mailbox and block.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(sent.load(), 5);  // capacity 4 in flight + 1 in the send call
+  int drained = 0;
+  Inbound in;
+  while (drained < 64) {
+    if (!router.recv_wait(1, in, std::chrono::milliseconds(2000))) break;
+    ++drained;
+  }
+  producer.join();
+  EXPECT_EQ(drained, 64);
+  EXPECT_EQ(sent.load(), 64);
+  EXPECT_LE(router.max_queue_depth(), 4u);
+}
+
+TEST(ConcurrentRouter, CrashDropsAndReviveReadmits) {
+  ConcurrentRouter router(3);
+  const std::vector<rep> payload = {1};
+  auto send01 = [&] {
+    router.send_row(MsgType::kMaskedModel, 0, 1, 0,
+                    std::span<const rep>(payload));
+  };
+  send01();
+  router.crash(1);  // discards the undelivered frame
+  EXPECT_TRUE(router.idle());
+  send01();  // dropped: receiver down
+  EXPECT_TRUE(router.idle());
+  router.crash(0);
+  router.revive(1);
+  send01();  // dropped: sender down
+  EXPECT_TRUE(router.idle());
+  router.revive(0);
+  send01();
+  Inbound in;
+  ASSERT_TRUE(router.try_recv(1, in));
+  EXPECT_EQ(in.view.payload[0], 1u);
+  EXPECT_EQ(router.frames_dropped(), 2u);
+}
+
+TEST(ConcurrentRouter, CrashUnblocksBackpressuredSenders) {
+  ConcurrentRouter router(2, /*queue_capacity=*/2);
+  std::thread producer([&] {
+    const std::vector<rep> payload = {7};
+    for (int k = 0; k < 32; ++k) {
+      router.send_row(MsgType::kMaskedModel, 0, 1, 0,
+                      std::span<const rep>(payload));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  router.crash(1);  // the producer must not stay wedged
+  producer.join();
+  EXPECT_TRUE(router.idle());
+}
+
+TEST(ConcurrentRouter, BroadcastSharesOneRefCountedFrame) {
+  constexpr std::size_t kReceivers = 5;
+  ConcurrentRouter router(kReceivers + 1);
+  const std::uint32_t server = kReceivers;
+  const std::vector<rep> payload(128, 3);
+  const auto before = snapshot();
+  router.broadcast_row(MsgType::kSurvivorSet, server, 4,
+                       std::span<const rep>(payload), kReceivers);
+  const auto after = snapshot();
+  // ONE frame built (one payload write + one CRC), shared by all mailboxes.
+  EXPECT_EQ(after.frames_built - before.frames_built, 1u);
+  EXPECT_EQ(after.payload_bytes_framed - before.payload_bytes_framed,
+            4 * payload.size());
+  EXPECT_EQ(router.frames_sent(), kReceivers);
+
+  Inbound first;
+  ASSERT_TRUE(router.try_recv(0, first));
+  // The other receivers' queue entries share the same block.
+  EXPECT_EQ(first.buf.ref_count(), kReceivers);
+  for (std::size_t r = 1; r < kReceivers; ++r) {
+    Inbound in;
+    ASSERT_TRUE(router.try_recv(r, in));
+    EXPECT_EQ(in.view.payload.data(), first.view.payload.data());
+    EXPECT_EQ(in.view.receiver, ConcurrentRouter::kBroadcastReceiver);
+    EXPECT_TRUE(std::equal(in.view.payload.begin(), in.view.payload.end(),
+                           payload.begin()));
+  }
+  EXPECT_EQ(first.buf.ref_count(), 1u);  // only `first` still holds it
+}
+
+TEST(ConcurrentRouter, CrashWakesBlockedReceiver) {
+  ConcurrentRouter router(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread crasher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    router.crash(1);
+  });
+  Inbound in;
+  EXPECT_FALSE(router.recv_wait(1, in, std::chrono::milliseconds(5000)));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  crasher.join();
+  // Must return on the crash notification, not at timeout granularity.
+  EXPECT_LT(waited, std::chrono::milliseconds(2000));
+}
+
+TEST(ConcurrentRouter, FaultHookCorruptionSurfacesAtDelivery) {
+  ConcurrentRouter router(2);
+  router.set_fault_hook([](std::span<std::uint8_t> bytes) {
+    if (bytes.size() > lsa::runtime::kHeaderBytes) {
+      bytes[lsa::runtime::kHeaderBytes] ^= 0x10;
+    }
+    return true;
+  });
+  const std::vector<rep> payload = {1, 2, 3};
+  router.send_row(MsgType::kMaskedModel, 0, 1, 0,
+                  std::span<const rep>(payload));
+  Inbound in;
+  EXPECT_THROW((void)router.try_recv(1, in), lsa::ProtocolError);
+  EXPECT_TRUE(router.idle());  // the corrupted frame was consumed
+}
+
+// --------------------------------------------------------------- sessions
+
+lsa::protocol::Params session_params(std::size_t n, std::size_t t,
+                                     std::size_t u, std::size_t d) {
+  lsa::protocol::Params p;
+  p.num_users = n;
+  p.privacy = t;
+  p.dropout = n - u;
+  p.target_survivors = u;
+  p.model_dim = d;
+  return p;
+}
+
+std::vector<std::vector<rep>> random_models(std::size_t n, std::size_t d,
+                                            std::uint64_t seed) {
+  lsa::common::Xoshiro256ss rng(seed);
+  std::vector<std::vector<rep>> models(n);
+  for (auto& m : models) m = lsa::field::uniform_vector<Fp32>(d, rng);
+  return models;
+}
+
+TEST(Session, BitIdenticalToSingleThreadedNetworkWithDropouts) {
+  // 7 users, U = 5, two crash after upload — dropout at the U boundary
+  // (exactly U responders). The concurrent session must reproduce the
+  // Network aggregate bit for bit, including the delayed-user semantics.
+  const auto p = session_params(7, 2, 5, 33);
+  const auto models = random_models(7, 33, 42);
+
+  lsa::runtime::Network net(p, /*seed=*/9);
+  const auto expected = net.run_round(0, models, {1, 4});
+
+  lsa::sys::ThreadPool pool(4);
+  auto pp = p;
+  pp.exec.pool = &pool;
+  lsa::server::Session session(lsa::server::SessionConfig{.params = pp,
+                                                          .seed = 9});
+  const auto got = session.run_round(0, models, {1, 4});
+  EXPECT_EQ(got, expected);
+  // Crashed users never saw the result; live users did.
+  EXPECT_FALSE(session.user(1).last_result().has_value());
+  ASSERT_TRUE(session.user(0).last_result().has_value());
+  EXPECT_EQ(*session.user(0).last_result(), expected);
+}
+
+TEST(Session, SendSideIsZeroCopy) {
+  const auto p = session_params(6, 1, 4, 24);
+  const auto models = random_models(6, 24, 3);
+  lsa::server::Session session(
+      lsa::server::SessionConfig{.params = p, .seed = 5});
+  const auto before = snapshot();
+  (void)session.run_round(0, models, {});
+  const auto after = snapshot();
+  EXPECT_EQ(after.payload_copies - before.payload_copies, 0u)
+      << "a send-side intermediate payload copy sneaked in";
+  EXPECT_GT(after.frames_built - before.frames_built, 0u);
+}
+
+TEST(Session, RejectsDeadlockProneQueueCapacity) {
+  // A mailbox bound below the phase fan-in would wedge the driving thread
+  // on backpressure with nobody left to drain; the session must refuse it.
+  auto p = session_params(6, 1, 4, 8);
+  EXPECT_THROW(lsa::server::Session(lsa::server::SessionConfig{
+                   .params = p, .seed = 1, .queue_capacity = 4}),
+               lsa::ProtocolError);
+  // The documented floor (2N + 2) is accepted and works.
+  lsa::server::Session ok(lsa::server::SessionConfig{
+      .params = p, .seed = 1, .queue_capacity = 14});
+  const auto models = random_models(6, 8, 2);
+  EXPECT_EQ(ok.run_round(0, models, {}),
+            lsa::runtime::Network(p, 1).run_round(0, models, {}));
+}
+
+TEST(Session, TooManyCrashesFailLoudly) {
+  const auto p = session_params(6, 1, 5, 8);
+  const auto models = random_models(6, 8, 10);
+  lsa::server::Session session(
+      lsa::server::SessionConfig{.params = p, .seed = 9});
+  EXPECT_THROW((void)session.run_round(0, models, {0, 1}),
+               lsa::ProtocolError);
+}
+
+TEST(AggregationServer, MultiSessionRoundsMatchSerialReference) {
+  // 6 sessions with different parameters/seeds run concurrently across
+  // shards; every aggregate must equal its single-threaded Network
+  // reference, including sessions with dropouts at the U boundary.
+  lsa::sys::ThreadPool pool(4);
+  lsa::server::AggregationServer server(&pool, /*num_shards=*/4);
+
+  struct Spec {
+    lsa::protocol::Params params;
+    std::uint64_t seed;
+    std::vector<std::size_t> crash;
+  };
+  std::vector<Spec> specs;
+  for (std::uint64_t k = 0; k < 6; ++k) {
+    const std::size_t n = 5 + k;
+    const std::size_t u = n - 2;
+    Spec s{session_params(n, 1 + k % 2, u, 16 + 8 * k), 100 + k, {}};
+    if (k % 2 == 0) s.crash = {k % n, (k + 2) % n};  // exactly U respond
+    specs.push_back(std::move(s));
+  }
+
+  std::vector<std::vector<std::vector<rep>>> model_sets;
+  std::vector<std::vector<rep>> expected;
+  for (const auto& s : specs) {
+    model_sets.push_back(
+        random_models(s.params.num_users, s.params.model_dim, s.seed * 7));
+  }
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    lsa::runtime::Network net(specs[k].params, specs[k].seed);
+    expected.push_back(net.run_round(0, model_sets[k], specs[k].crash));
+  }
+
+  std::vector<lsa::server::AggregationServer::RoundWork> works;
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    auto pp = specs[k].params;
+    pp.exec.pool = &pool;  // intra-session fan-out shares the shard pool
+    const auto id = server.open_session(
+        lsa::server::SessionConfig{.params = pp, .seed = specs[k].seed});
+    works.push_back({id, 0, &model_sets[k], specs[k].crash});
+  }
+  const auto results = server.run_rounds(works);
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    EXPECT_EQ(results[k], expected[k]) << "session " << k;
+  }
+  EXPECT_EQ(server.rounds_completed(), specs.size());
+}
+
+TEST(AggregationServer, MultiRoundMultiSessionWithRejoins) {
+  lsa::sys::ThreadPool pool(3);
+  lsa::server::AggregationServer server(&pool, 2);
+  const auto p = session_params(5, 1, 4, 12);
+  const auto id0 = server.open_session(
+      lsa::server::SessionConfig{.params = p, .seed = 21});
+  const auto id1 = server.open_session(
+      lsa::server::SessionConfig{.params = p, .seed = 22});
+
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    for (std::size_t u = 0; u < 5; ++u) {
+      server.session(id0).router().revive(u);
+      server.session(id1).router().revive(u);
+    }
+    const auto models0 = random_models(5, 12, 500 + round);
+    const auto models1 = random_models(5, 12, 600 + round);
+    lsa::runtime::Network ref0(p, 21);
+    lsa::runtime::Network ref1(p, 22);
+    // References replay all prior rounds so per-round PRG states line up.
+    std::vector<std::vector<rep>> exp0, exp1;
+    for (std::uint64_t r = 0; r <= round; ++r) {
+      for (std::size_t u = 0; u < 5; ++u) ref0.router().revive(u);
+      for (std::size_t u = 0; u < 5; ++u) ref1.router().revive(u);
+      exp0.push_back(ref0.run_round(r, random_models(5, 12, 500 + r),
+                                    {r % 5}));
+      exp1.push_back(ref1.run_round(r, random_models(5, 12, 600 + r), {}));
+    }
+    const auto results = server.run_rounds(
+        {{id0, round, &models0, {round % 5}}, {id1, round, &models1, {}}});
+    EXPECT_EQ(results[0], exp0.back()) << "round " << round;
+    EXPECT_EQ(results[1], exp1.back()) << "round " << round;
+  }
+}
+
+}  // namespace
