@@ -2,23 +2,36 @@
 // complexity at server O(d U logU / (U-T))").
 //
 // The paper's decode-complexity row assumes *fast* polynomial interpolation.
-// This bench runs all three implemented kernels on the real C++ field
-// arithmetic and locates the crossover:
+// This bench runs every implemented kernel on the real C++ field arithmetic
+// and locates the crossovers:
 //
-//   lagrange     O(U^2 (U-T)) scalar + O(U d) vector     (reference)
-//   barycentric  O(U^2)       scalar + blocked O(U d)    (practical default)
-//   ntt          O(d U log^2 U / (U-T)) total            (the paper's class)
+//   lagrange     O(U^2 (U-T)) scalar + O(U d) vector        (reference)
+//   barycentric  O(U^2)       scalar + blocked lazy O(U d)  (GEMM default)
+//   ntt          O(d U log^2 U / (U-T)) with per-coordinate Newton
+//                inversions and allocations                  (legacy)
+//   batched-ntt  same complexity class, but the subproduct trees, Newton
+//                inverses, twiddle/operand transforms are built once per
+//                (xs, betas) plan and all coordinates stream through
+//                (coding/decode_plan.h)                      (the plane)
 //
-// Total naive work is O(U d) regardless of the T split, while the fast path
-// costs O(c log^2 U / (U-T)) *relative* to it — so the NTT kernel can only
-// win when U - T exceeds ~c log^2 U, i.e. cohorts of thousands of users.
-// The tables below make that constant c measurable.
+// Part 0 measures the 64-bit axpy kernel substrate itself: per-term
+// Barrett/Mersenne/Goldilocks reduction vs Shoup precomputed-operand
+// multiplies vs the shipped 3-limb lazy accumulation.
+//
+// Output: human tables on stdout plus a machine-readable BENCH_decode.json
+// (bench_common.h::JsonReport) for the cross-PR perf trajectory and the CI
+// regression gate. `--smoke` shrinks the sweep to one CI-sized point;
+// `--json <path>` overrides the output file.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "coding/aggregate_decode.h"
 #include "common/timer.h"
+#include "field/fp.h"
 #include "field/goldilocks.h"
 
 namespace {
@@ -31,6 +44,7 @@ struct DecodeInputs {
   std::vector<rep> xs;
   std::vector<rep> betas;
   std::vector<std::vector<rep>> shares;
+  std::vector<const rep*> rows;
   std::size_t seg_len = 0;
 };
 
@@ -49,8 +63,10 @@ DecodeInputs make_inputs(std::size_t u, std::size_t t, std::size_t d,
   }
   lsa::common::Xoshiro256ss rng(seed);
   in.shares.resize(u);
-  for (auto& s : in.shares) {
-    s = lsa::field::uniform_vector<F>(in.seg_len, rng);
+  in.rows.resize(u);
+  for (std::size_t j = 0; j < u; ++j) {
+    in.shares[j] = lsa::field::uniform_vector<F>(in.seg_len, rng);
+    in.rows[j] = in.shares[j].data();
   }
   return in;
 }
@@ -60,67 +76,228 @@ double time_decode(DecodeStrategy strategy, const DecodeInputs& in,
   lsa::common::Stopwatch sw;
   for (int r = 0; r < reps; ++r) {
     const auto out = lsa::coding::decode_eval<F>(
-        strategy, in.xs, in.betas, in.shares, in.seg_len);
+        strategy, in.xs, in.betas,
+        std::span<const rep* const>(in.rows), in.seg_len);
     volatile auto sink = out[0];
     (void)sink;
   }
   return sw.elapsed_sec() / reps;
 }
 
+/// Streaming time of a REUSED plan (setup excluded — the per-session
+/// plan-cache steady state), plus the one-time setup cost.
+struct PlanTiming {
+  double setup_s = 0.0;
+  double stream_s = 0.0;
+};
+
+PlanTiming time_plan(DecodeStrategy strategy, const DecodeInputs& in,
+                     int reps) {
+  lsa::coding::BatchedDecodePlan<F> plan{
+      std::span<const rep>(in.xs), std::span<const rep>(in.betas)};
+  std::span<const rep* const> rows(in.rows);
+  // First run pays the lazy setup.
+  auto out = plan.run(strategy, rows, in.seg_len, {});
+  PlanTiming pt;
+  pt.setup_s = plan.barycentric_setup_seconds() +
+               plan.batched_setup_seconds();
+  lsa::common::Stopwatch sw;
+  for (int r = 0; r < reps; ++r) {
+    out = plan.run(strategy, rows, in.seg_len, {});
+    volatile auto sink = out[0];
+    (void)sink;
+  }
+  pt.stream_s = sw.elapsed_sec() / reps;
+  return pt;
+}
+
+// ---- Part 0: the 64-bit axpy substrate (per-term reduction vs Shoup vs
+// the shipped lazy kernel). ----
+template <class Field>
+void bench_axpy(const char* field_name, std::size_t u, std::size_t n,
+                int reps, lsa::bench::JsonReport& json) {
+  using frep = typename Field::rep;
+  lsa::common::Xoshiro256ss rng(91);
+  std::vector<frep> coeffs(u);
+  std::vector<std::vector<frep>> rows(u);
+  std::vector<const frep*> rp(u);
+  for (auto& c : coeffs) c = lsa::field::uniform<Field>(rng);
+  for (std::size_t k = 0; k < u; ++k) {
+    rows[k] = lsa::field::uniform_vector<Field>(n, rng);
+    rp[k] = rows[k].data();
+  }
+  std::vector<frep> acc(n, Field::zero);
+
+  // Best-of-3 trials per kernel: single timings at this scale jitter by
+  // >10% on shared machines, and the CI gate reads these numbers.
+  const auto best_of = [&](auto&& body) {
+    double best = 1e300;
+    for (int trial = 0; trial < 3; ++trial) {
+      lsa::common::Stopwatch sw;
+      for (int r = 0; r < reps; ++r) body();
+      best = std::min(best, sw.elapsed_sec() / reps);
+    }
+    return best;
+  };
+
+  const double t_mul = best_of([&] {
+    for (std::size_t k = 0; k < u; ++k) {
+      for (std::size_t l = 0; l < n; ++l) {
+        acc[l] = Field::add(acc[l], Field::mul(coeffs[k], rp[k][l]));
+      }
+    }
+  });
+
+  const auto shoup =
+      lsa::field::shoup_precompute_vec<Field>(std::span<const frep>(coeffs));
+  const double t_shoup = best_of([&] {
+    lsa::field::axpy_accumulate_blocked_pre<Field>(
+        std::span<frep>(acc), std::span<const frep>(coeffs),
+        std::span<const frep>(shoup), std::span<const frep* const>(rp));
+  });
+
+  const double t_shipped = best_of([&] {
+    lsa::field::axpy_accumulate_blocked<Field>(
+        std::span<frep>(acc), std::span<const frep>(coeffs),
+        std::span<const frep* const>(rp));
+  });
+  volatile frep sink = acc[0];
+  (void)sink;
+
+  std::printf("%-12s | %10.4f %10.4f %10.4f | %9.2fx %9.2fx\n", field_name,
+              t_mul, t_shoup, t_shipped, t_mul / t_shoup, t_mul / t_shipped);
+  json.add(std::string("axpy_") + field_name,
+           {{"u", double(u)},
+            {"n", double(n)},
+            {"per_term_reduction_s", t_mul},
+            {"shoup_s", t_shoup},
+            {"shipped_s", t_shipped},
+            {"shoup_speedup", t_mul / t_shoup},
+            {"shipped_speedup", t_mul / t_shipped}});
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsa::bench;
-  print_header(
-      "Ablation — aggregate-decode kernel (Goldilocks field, real kernels)\n"
-      "lagrange = reference; barycentric = optimized quadratic;\n"
-      "ntt = fast interpolation (the paper's O(U log U) class)");
+  bool smoke = false;
+  std::string json_path = "BENCH_decode.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
+    }
+  }
+  JsonReport json("decode");
 
-  std::printf("\nPart 1 — U sweep at T = U/2 (paper's privacy point), d = 2^15\n");
-  std::printf("%-8s %-8s %-8s | %12s %12s %12s | %10s\n", "U", "U-T", "seg",
-              "lagrange(s)", "barycen.(s)", "ntt(s)", "ntt/bary");
-  const std::size_t d = 32768;
-  for (const std::size_t u : {64u, 128u, 256u, 512u, 1024u}) {
+  print_header(
+      "Ablation — aggregate-decode kernels (Goldilocks field, real kernels)\n"
+      "lagrange = reference; barycentric = lazy GEMM (practical default);\n"
+      "ntt = legacy per-coordinate fast path; batched = plan-cached decode\n"
+      "plane (the paper's O(U log U) class with setup amortized)");
+
+  std::printf(
+      "\nPart 0 — 64-bit axpy substrate, U=128 rows x 32k reps:\n"
+      "per-term reduction (Barrett/Mersenne/Goldilocks) vs Shoup\n"
+      "precomputed-operand vs the SHIPPED kernel (3-limb lazy\n"
+      "accumulation, or Shoup where it measures fastest — Mersenne)\n");
+  std::printf("%-12s | %10s %10s %10s | %9s %9s\n", "field", "per-term(s)",
+              "shoup(s)", "shipped(s)", "shoup", "shipped");
+  {
+    const std::size_t an = smoke ? (1u << 13) : (1u << 15);
+    const int areps = smoke ? 3 : 10;
+    bench_axpy<lsa::field::Goldilocks>("goldilocks", 128, an, areps, json);
+    bench_axpy<lsa::field::Fp61>("fp61", 128, an, areps, json);
+  }
+
+  std::printf(
+      "\nPart 1 — U sweep at T = U/2 (paper's privacy point), d = %s\n",
+      smoke ? "2^17 (smoke)" : "2^17");
+  std::printf("%-6s %-6s %-6s | %10s %10s %10s %10s %10s | %9s %9s\n", "U",
+              "U-T", "seg", "lagr.(s)", "bary(s)", "ntt(s)", "batch(s)",
+              "setup(s)", "ntt/batch", "bary/batch");
+  const std::size_t d = 1u << 17;
+  double min_batched_speedup = 1e300;
+  const std::vector<std::size_t> us =
+      smoke ? std::vector<std::size_t>{64}
+            : std::vector<std::size_t>{64, 128, 256, 512, 1024};
+  for (const std::size_t u : us) {
     const std::size_t t = u / 2;
     const auto in = make_inputs(u, t, d, 17 + u);
-    const int reps = u <= 256 ? 3 : 1;
-    // The reference kernel is O(U^2 (U-T)) in scalar work — ~27 s at
-    // U = 1024 — so it is only timed where it is realistically usable.
-    const double tl =
-        u <= 512 ? time_decode(DecodeStrategy::kLagrange, in, reps) : -1.0;
+    const int reps = smoke ? 1 : (u <= 256 ? 3 : 1);
+    // The reference kernel is O(U^2 (U-T)) scalar — only timed where it
+    // is realistically usable.
+    const double tl = (!smoke && u <= 256)
+                          ? time_decode(DecodeStrategy::kLagrange, in, 1)
+                          : -1.0;
     const double tb = time_decode(DecodeStrategy::kBarycentric, in, reps);
     const double tn = time_decode(DecodeStrategy::kNtt, in, reps);
-    if (tl >= 0) {
-      std::printf("%-8zu %-8zu %-8zu | %12.4f %12.4f %12.4f | %9.2fx\n", u,
-                  u - t, in.seg_len, tl, tb, tn, tn / tb);
-    } else {
-      std::printf("%-8zu %-8zu %-8zu | %12s %12.4f %12.4f | %9.2fx\n", u,
-                  u - t, in.seg_len, "(skipped)", tb, tn, tn / tb);
+    const auto pb = time_plan(DecodeStrategy::kBatchedNtt, in, reps);
+    const double speedup = tn / pb.stream_s;
+    if (in.seg_len >= 4096) {
+      min_batched_speedup = std::min(min_batched_speedup, speedup);
+    }
+    std::printf(
+        "%-6zu %-6zu %-6zu | %10s %10.4f %10.4f %10.4f %10.4f | %8.2fx "
+        "%8.2fx\n",
+        u, u - t, in.seg_len,
+        tl >= 0 ? std::to_string(tl).substr(0, 6).c_str() : "(skip)", tb, tn,
+        pb.stream_s, pb.setup_s, speedup, tb / pb.stream_s);
+    json.add("sweep_u" + std::to_string(u),
+             {{"u", double(u)},
+              {"num_betas", double(u - t)},
+              {"seg_len", double(in.seg_len)},
+              {"lagrange_s", tl},
+              {"barycentric_s", tb},
+              {"ntt_percoord_s", tn},
+              {"batched_stream_s", pb.stream_s},
+              {"batched_setup_s", pb.setup_s},
+              {"batched_vs_ntt_speedup", speedup}});
+  }
+  json.add("summary", {{"min_batched_vs_ntt_speedup_seg4096plus",
+                        min_batched_speedup}});
+
+  if (!smoke) {
+    std::printf(
+        "\nPart 2 — U-T sweep at U = 512, d = 2^13: the batched kernel's\n"
+        "cost is ~flat in U-T while the GEMM's grows linearly — the kAuto\n"
+        "crossover (decode_plan.h::resolve) comes from this table.\n");
+    std::printf("%-6s %-6s %-6s | %10s %10s %10s | %9s | %s\n", "U", "U-T",
+                "seg", "bary(s)", "ntt(s)", "batch(s)", "bary/batch",
+                "kAuto picks");
+    for (const std::size_t num_seg : {64u, 128u, 256u, 384u}) {
+      const std::size_t u = 512;
+      const std::size_t t = u - num_seg;
+      const auto in = make_inputs(u, t, 1u << 13, 31 + num_seg);
+      const double tb = time_decode(DecodeStrategy::kBarycentric, in, 1);
+      const double tn = time_decode(DecodeStrategy::kNtt, in, 1);
+      const auto pb = time_plan(DecodeStrategy::kBatchedNtt, in, 1);
+      lsa::coding::BatchedDecodePlan<F> probe{
+          std::span<const rep>(in.xs), std::span<const rep>(in.betas)};
+      const auto picked =
+          probe.resolve(DecodeStrategy::kAuto, in.seg_len);
+      std::printf("%-6zu %-6zu %-6zu | %10.4f %10.4f %10.4f | %8.2fx | %s\n",
+                  u, num_seg, in.seg_len, tb, tn, pb.stream_s,
+                  tb / pb.stream_s, lsa::coding::to_string(picked));
+      json.add("seg_sweep_nb" + std::to_string(num_seg),
+               {{"u", double(u)},
+                {"num_betas", double(num_seg)},
+                {"seg_len", double(in.seg_len)},
+                {"barycentric_s", tb},
+                {"ntt_percoord_s", tn},
+                {"batched_stream_s", pb.stream_s},
+                {"auto_picks_batched",
+                 picked == DecodeStrategy::kBatchedNtt ? 1.0 : 0.0}});
     }
   }
 
   std::printf(
-      "\nPart 2 — segment sweep at U = 512, d = 2^13: the NTT kernel's cost\n"
-      "is ~flat in U-T while the quadratic kernels' scalar work grows.\n");
-  std::printf("%-8s %-8s %-8s | %12s %12s %12s | %10s\n", "U", "U-T", "seg",
-              "lagrange(s)", "barycen.(s)", "ntt(s)", "ntt/bary");
-  for (const std::size_t num_seg : {4u, 16u, 64u, 256u}) {
-    const std::size_t u = 512;
-    const std::size_t t = u - num_seg;
-    const auto in = make_inputs(u, t, 8192, 31 + num_seg);
-    const double tl = time_decode(DecodeStrategy::kLagrange, in, 1);
-    const double tb = time_decode(DecodeStrategy::kBarycentric, in, 1);
-    const double tn = time_decode(DecodeStrategy::kNtt, in, 1);
-    std::printf("%-8zu %-8zu %-8zu | %12.4f %12.4f %12.4f | %9.2fx\n", u,
-                u - t, in.seg_len, tl, tb, tn, tn / tb);
-  }
-
-  std::printf(
-      "\nReading: barycentric dominates at the paper's scales (N <= 200 =>\n"
-      "U <= 140): the quadratic kernel's O(U d) vector work is unavoidable\n"
-      "for every strategy, and the fast path's per-coordinate transforms\n"
-      "only amortize once U - T > c log^2 U (c measured above). The paper's\n"
-      "O(U logU / (U-T) d) decode row is therefore an asymptotic statement;\n"
-      "at cross-device scales the right kernel is the blocked quadratic.\n");
+      "\nReading: the batched plane holds a constant-factor win over the\n"
+      "per-coordinate fast path everywhere (precomputed Newton inverses,\n"
+      "cached operand transforms, no per-coordinate allocation). Against\n"
+      "the lazy GEMM its asymptotic edge needs U-T > ~4.5 log2(U)^2 —\n"
+      "thousands-of-users cohorts at the paper's T = U/2 point — which is\n"
+      "exactly what DecodeStrategy::kAuto encodes.\n");
+  json.write(json_path);
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -183,6 +184,54 @@ inline constexpr double kPaperMsgOverheadS = 0.0;
   o.per_msg_overhead_s = kPaperMsgOverheadS;
   return o;
 }
+
+/// Machine-readable bench output: one {"bench": ..., "records": [...]}
+/// JSON object per file, each record a name plus a flat map of numeric
+/// fields. CI archives these files (BENCH_decode.json, BENCH_transport.json)
+/// so the perf trajectory is tracked across PRs, and the Release smoke step
+/// gates on them (bench/check_decode_regression.py).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void add(std::string name,
+           std::vector<std::pair<std::string, double>> fields) {
+    records_.push_back({std::move(name), std::move(fields)});
+  }
+
+  /// Writes the report; returns false (with a note on stderr) on I/O
+  /// failure so benches can keep printing their tables regardless.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"records\": [", bench_.c_str());
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "%s\n  {\"name\": \"%s\"", r == 0 ? "" : ",",
+                   records_[r].name.c_str());
+      for (const auto& [key, value] : records_[r].fields) {
+        std::fprintf(f, ", \"%s\": %.17g", key.c_str(), value);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("\n[json] wrote %s (%zu records)\n", path.c_str(),
+                records_.size());
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string bench_;
+  std::vector<Record> records_;
+};
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "field/flat_matrix.h"
 #include "field/random_field.h"
@@ -200,6 +201,7 @@ void print_row(const char* name, std::uint64_t frames, double secs,
 }  // namespace
 
 int main(int argc, char** argv) {
+  lsa::bench::JsonReport json("transport");
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100;
   const std::size_t d =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000;
@@ -261,6 +263,14 @@ int main(int argc, char** argv) {
               zc_fps / legacy_fps,
               zc_fps >= 5.0 * legacy_fps ? "(>=5x target met)"
                                          : "(<5x target MISSED)");
+  json.add("fanout", {{"n", double(n)},
+                      {"d", double(d)},
+                      {"seed_router_fps", legacy_fps},
+                      {"slice8_router_fps",
+                       double(frames_per_cohort) / router_secs},
+                      {"zero_copy_fps", zc_fps},
+                      {"zero_copy_speedup", zc_fps / legacy_fps},
+                      {"zero_copy_payload_copies", double(zc_copies)}});
 
   // Sharded plane: one cohort per pool worker, aggregate throughput.
   {
@@ -280,6 +290,10 @@ int main(int argc, char** argv) {
         static_cast<double>(frames_per_cohort * hw) / sharded_secs;
     std::printf("  sharded speedup over the legacy (seed) Router: %.2fx\n",
                 sharded_fps / legacy_fps);
+    json.add("fanout_sharded", {{"workers", double(hw)},
+                                {"fps", sharded_fps},
+                                {"speedup_vs_seed",
+                                 sharded_fps / legacy_fps}});
   }
 
   // [2] full multi-session rounds through the sharded server, checked
@@ -355,6 +369,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("  aggregates bit-identical to the serial reference: OK\n");
+    json.add("multi_session",
+             {{"sessions", double(n_sessions)},
+              {"serial_s", serial_secs},
+              {"sharded_s", sharded_secs},
+              {"speedup", serial_secs / sharded_secs},
+              {"send_side_payload_copies",
+               double(after.payload_copies - before.payload_copies)}});
   }
+  json.write("BENCH_transport.json");
   return 0;
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_decode.json (ablation_decode_complexity --smoke).
+
+Compares the recorded speedups against the checked-in tolerances in
+bench/decode_tolerance.json and exits non-zero on regression. Tolerances
+are deliberately loose relative to the measured numbers (CI machines are
+noisy); they exist to catch order-of-magnitude regressions in the decode
+plane, not single-digit drift.
+
+Usage: check_decode_regression.py BENCH_decode.json decode_tolerance.json
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+    with open(sys.argv[2]) as f:
+        tol = json.load(f)
+
+    records = {r["name"]: r for r in bench["records"]}
+    failures = []
+
+    def require(name, field, minimum):
+        rec = records.get(name)
+        if rec is None or field not in rec:
+            failures.append(f"missing record {name}.{field}")
+            return
+        value = rec[field]
+        status = "ok" if value >= minimum else "REGRESSION"
+        print(f"{name}.{field}: {value:.3f} (min {minimum}) {status}")
+        if value < minimum:
+            failures.append(f"{name}.{field} = {value:.3f} < {minimum}")
+
+    require("summary", "min_batched_vs_ntt_speedup_seg4096plus",
+            tol["min_batched_vs_ntt_speedup"])
+    require("axpy_goldilocks", "shoup_speedup",
+            tol["min_shoup_axpy_speedup_goldilocks"])
+    require("axpy_fp61", "shoup_speedup", tol["min_shoup_axpy_speedup_fp61"])
+    require("axpy_goldilocks", "shipped_speedup",
+            tol["min_shipped_axpy_speedup_goldilocks"])
+    require("axpy_fp61", "shipped_speedup",
+            tol["min_shipped_axpy_speedup_fp61"])
+
+    if failures:
+        print("\nDecode-plane perf regression detected:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nAll decode-plane perf gates passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ using F = lsa::field::Fp32;
 struct Prediction {
   std::size_t u = 0;
   lsa::net::RoundBreakdown rb;
+  lsa::coding::MaskCodec<F>::DecodeStats decode;
 };
 
 Prediction predict(std::size_t n, std::size_t t, std::size_t u,
@@ -63,6 +64,7 @@ Prediction predict(std::size_t n, std::size_t t, std::size_t u,
                         static_cast<double>(d_real) /
                             static_cast<double>(d_sim),
                         train_s);
+  out.decode = proto.codec().last_decode_stats();
   return out;
 }
 
@@ -85,8 +87,9 @@ int main() {
       "LightSecAgg parameter plan: N = %zu, T = %zu, dropout budget D = "
       "%zu\nmodel d = %zu, train = %.1fs, 320 Mb/s\n\n",
       n, t, d_budget, d_real, train_s);
-  std::printf("%-6s %-10s | %9s %9s %9s %9s | %10s\n", "U", "seg=d/(U-T)",
-              "offline", "upload", "recovery", "total", "note");
+  std::printf("%-6s %-10s | %9s %9s %9s %9s | %-11s %10s | %s\n", "U",
+              "seg=d/(U-T)", "offline", "upload", "recovery", "total",
+              "decode", "setup+strm", "note");
 
   std::vector<std::size_t> sweep;
   for (std::size_t u = t + 1; u < n - d_budget; u += 3) sweep.push_back(u);
@@ -102,9 +105,16 @@ int main() {
       best = pred;
       best_total = total;
     }
-    std::printf("%-6zu %-10zu | %9.1f %9.1f %9.1f %9.1f | %10s\n", u,
-                (d_real + (u - t) - 1) / (u - t), pred.rb.offline,
+    // The decode column shows what kAuto resolved to on the functional run
+    // and the plan-setup vs streaming split (setup amortizes across rounds
+    // with a stable survivor set).
+    char split[32];
+    std::snprintf(split, sizeof(split), "%.2f+%.2fms",
+                  pred.decode.setup_s * 1e3, pred.decode.stream_s * 1e3);
+    std::printf("%-6zu %-10zu | %9.1f %9.1f %9.1f %9.1f | %-11s %10s | %s\n",
+                u, (d_real + (u - t) - 1) / (u - t), pred.rb.offline,
                 pred.rb.upload, pred.rb.recovery, total,
+                lsa::coding::to_string(pred.decode.used), split,
                 u == t + 1 ? "min (U=T+1)" : "");
   }
   std::printf(

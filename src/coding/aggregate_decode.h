@@ -3,26 +3,36 @@
 // The one-shot recovery step of LightSecAgg reduces to: given the aggregate
 // polynomial g (degree < U) through U known share points xs, evaluate g at
 // the U-T data slots betas — for every one of the seg_len mask coordinates.
-// Three interchangeable kernels implement this, trading scalar precomputation
-// against per-coordinate cost:
+// The interchangeable kernels trade scalar precomputation against
+// per-coordinate cost:
 //
 //   kLagrange    — textbook Lagrange weights per beta, O(U^2) scalar work per
 //                  beta (O(U^2 (U-T)) total) + O(U d) vector work. Reference.
 //   kBarycentric — barycentric weights (shared denominators M'(x_j)),
 //                  O(U^2 + U(U-T)) scalar work, then a cache-blocked
 //                  (U-T) x U x seg_len field GEMM (the fused
-//                  axpy_accumulate kernel of field/field_vec.h).
-//                  The practical default.
-//   kNtt         — fast interpolation + fast multipoint evaluation over a
-//                  subproduct tree, O(U log^2 U) *per coordinate* — the
-//                  complexity class the paper's Table 5 row assumes. Wins
-//                  when U is large and U-T small (high privacy T); the
-//                  crossover is measured in bench/ablation_decode_complexity.
+//                  axpy_accumulate kernel of field/field_vec.h: split-word
+//                  lazy accumulation on 32-bit fields, 3-limb lazy or
+//                  Shoup on 64-bit fields).
+//   kNtt         — legacy per-coordinate fast interpolation + multipoint
+//                  evaluation over a subproduct tree, O(U log^2 U) per
+//                  coordinate with per-coordinate Newton inversions and
+//                  allocations. Kept as the tested reference for the
+//                  batched plane.
+//   kBatchedNtt  — the batched decode plane (coding/decode_plan.h): the
+//                  subproduct trees, Newton inverses, twiddle and operand
+//                  transforms are built once per (xs, betas) plan and all
+//                  seg_len coordinates stream through cache-blocked batched
+//                  interpolation + evaluation — the paper's Table 5
+//                  complexity class with setup amortized across the block
+//                  (and across rounds when the plan is cached).
+//   kAuto        — picks kBarycentric / kBatchedNtt from (U, U-T, seg_len)
+//                  using the measured crossover (decode_plan.h::resolve).
 //
 // All kernels take the shares as *row views* (one pointer per responder) so
 // flat arenas (field/flat_matrix.h), nested vectors and wire buffers all
 // decode without copying, and accept a sys::ExecPolicy that fans the
-// coordinate range out across a thread pool. All three strategies produce
+// coordinate range out across a thread pool. All strategies produce
 // bit-identical results under every policy (tests/decode_strategy_test.cpp,
 // tests/parallel_codec_test.cpp).
 #pragma once
@@ -31,6 +41,8 @@
 #include <span>
 #include <vector>
 
+#include "coding/decode_plan.h"
+#include "coding/decode_strategy.h"
 #include "coding/lagrange.h"
 #include "coding/ntt.h"
 #include "coding/poly.h"
@@ -39,21 +51,6 @@
 #include "sys/exec_policy.h"
 
 namespace lsa::coding {
-
-enum class DecodeStrategy {
-  kLagrange,
-  kBarycentric,
-  kNtt,
-};
-
-[[nodiscard]] constexpr const char* to_string(DecodeStrategy s) {
-  switch (s) {
-    case DecodeStrategy::kLagrange: return "lagrange";
-    case DecodeStrategy::kBarycentric: return "barycentric";
-    case DecodeStrategy::kNtt: return "ntt";
-  }
-  return "?";
-}
 
 /// Adapts a nested share container (anything whose elements expose data())
 /// to the row-view form the kernels consume.
@@ -64,83 +61,6 @@ template <class F, class Rows>
   rows.reserve(shares.size());
   for (const auto& s : shares) rows.push_back(s.data());
   return rows;
-}
-
-/// Evaluation-weight matrix W[k][j] such that g(betas[k]) = sum_j W[k][j] *
-/// g(xs[j]) for any polynomial g of degree < |xs|, computed barycentrically:
-///   W[k][j] = M(beta_k) / (M'(x_j) * (beta_k - x_j)),
-/// with one shared O(|xs|^2) pass for the M'(x_j) and O(|xs|) per beta.
-/// Preconditions: xs pairwise distinct; no beta coincides with an x.
-template <class F>
-[[nodiscard]] std::vector<std::vector<typename F::rep>> barycentric_weights(
-    std::span<const typename F::rep> xs,
-    std::span<const typename F::rep> betas) {
-  using rep = typename F::rep;
-  const std::size_t u = xs.size();
-  lsa::require<lsa::CodingError>(u > 0, "barycentric: no share points");
-
-  // M'(x_j) = prod_{m != j} (x_j - x_m), inverted in one batch.
-  std::vector<rep> mprime_inv(u, F::one);
-  for (std::size_t j = 0; j < u; ++j) {
-    for (std::size_t m = 0; m < u; ++m) {
-      if (m == j) continue;
-      const rep diff = F::sub(xs[j], xs[m]);
-      lsa::require<lsa::CodingError>(diff != F::zero,
-                                     "barycentric: duplicate share points");
-      mprime_inv[j] = F::mul(mprime_inv[j], diff);
-    }
-  }
-  lsa::field::batch_inv_inplace<F>(std::span<rep>(mprime_inv));
-
-  std::vector<std::vector<rep>> w(betas.size());
-  std::vector<rep> diff_inv(u);
-  for (std::size_t k = 0; k < betas.size(); ++k) {
-    rep m_at_beta = F::one;
-    for (std::size_t j = 0; j < u; ++j) {
-      const rep diff = F::sub(betas[k], xs[j]);
-      lsa::require<lsa::CodingError>(
-          diff != F::zero, "barycentric: beta coincides with share point");
-      m_at_beta = F::mul(m_at_beta, diff);
-      diff_inv[j] = diff;
-    }
-    lsa::field::batch_inv_inplace<F>(std::span<rep>(diff_inv));
-    w[k].resize(u);
-    for (std::size_t j = 0; j < u; ++j) {
-      w[k][j] = F::mul(m_at_beta, F::mul(mprime_inv[j], diff_inv[j]));
-    }
-  }
-  return w;
-}
-
-/// out[k*seg + l] = sum_j w[k][j] * shares[j][l] — a (U-T) x U x seg field
-/// GEMM. Column blocks fan out over the policy; within a block each output
-/// row runs the fused axpy_accumulate kernel (split-word lazy accumulation
-/// on 32-bit fields).
-template <class F>
-[[nodiscard]] std::vector<typename F::rep> weighted_combine_blocked(
-    const std::vector<std::vector<typename F::rep>>& w,
-    std::span<const typename F::rep* const> shares, std::size_t seg_len,
-    const lsa::sys::ExecPolicy& pol = {}) {
-  using rep = typename F::rep;
-  const std::size_t rows = w.size();
-  std::vector<rep> out(rows * seg_len, F::zero);
-  const std::size_t chunk =
-      pol.chunk_reps == 0 ? lsa::field::kDefaultChunkReps : pol.chunk_reps;
-  pol.run_blocked(
-      seg_len,
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<const rep*> shifted(shares.size());
-        for (std::size_t j = 0; j < shares.size(); ++j) {
-          shifted[j] = shares[j] + begin;
-        }
-        for (std::size_t k = 0; k < rows; ++k) {
-          std::span<rep> dst(out.data() + k * seg_len + begin, end - begin);
-          lsa::field::axpy_accumulate_blocked<F>(
-              dst, std::span<const rep>(w[k]), shifted, chunk);
-        }
-      },
-      chunk);
-  return out;
 }
 
 /// kBarycentric kernel: weights + blocked GEMM. Returns the (U-T) segments
@@ -155,9 +75,11 @@ template <class F>
   return weighted_combine_blocked<F>(w, shares, seg_len, pol);
 }
 
-/// kNtt kernel: per coordinate, fast-interpolate g from (xs, share column)
-/// and fast-evaluate it at the betas; both subproduct trees are built once
-/// and shared read-only across all seg_len coordinates (and all lanes).
+/// Legacy kNtt kernel: per coordinate, fast-interpolate g from (xs, share
+/// column) and fast-evaluate it at the betas; the subproduct trees are
+/// shared read-only across all seg_len coordinates, but every coordinate
+/// re-runs the divrem Newton inversions and re-allocates intermediates —
+/// the per-coordinate cost the batched plane amortizes away.
 template <class F>
 [[nodiscard]] std::vector<typename F::rep> decode_eval_fast(
     std::span<const typename F::rep> xs,
@@ -202,9 +124,11 @@ template <class F>
   return out;
 }
 
-/// Strategy dispatch over share row views. kNtt is exact for every field
-/// (the subproduct tree falls back to schoolbook products), but only
-/// reaches its O(U log^2 U) complexity on NTT-capable fields such as
+/// Strategy dispatch over share row views. kAuto and kBatchedNtt build a
+/// transient BatchedDecodePlan (callers that decode the same survivor set
+/// repeatedly should hold a plan — or use MaskCodec, which caches plans
+/// per session). All strategies are exact for every field; the transforms
+/// only reach their fast complexity on NTT-capable fields such as
 /// field::Goldilocks.
 template <class F>
 [[nodiscard]] std::vector<typename F::rep> decode_eval(
@@ -219,6 +143,11 @@ template <class F>
       return decode_eval_barycentric<F>(xs, betas, shares, seg_len, pol);
     case DecodeStrategy::kNtt:
       return decode_eval_fast<F>(xs, betas, shares, seg_len, pol);
+    case DecodeStrategy::kBatchedNtt:
+    case DecodeStrategy::kAuto: {
+      BatchedDecodePlan<F> plan(xs, betas);
+      return plan.run(strategy, shares, seg_len, pol);
+    }
   }
   throw lsa::CodingError("decode_eval: unknown strategy");
 }

@@ -1,0 +1,839 @@
+// Batched segment-block decode plane (paper §5.2, Table 5).
+//
+// The legacy kNtt kernel (coding/aggregate_decode.h) walks the subproduct
+// tree once per mask coordinate: every coordinate re-runs Newton inversions
+// inside poly_divrem, re-transforms the fixed tree polynomials and
+// re-allocates every intermediate. A BatchedDecodePlan does all of that
+// ONCE per (xs, betas) pair:
+//
+//   * both subproduct trees are built once, and every tree node is
+//     annotated with the Newton inverse of its reversed polynomial
+//     (the poly_divrem precomputation) at the node's fixed operating size;
+//   * every fixed product operand (node polynomials, Newton inverses) is
+//     forward-transformed once into cached NTT evaluations, with Shoup
+//     precomputed operands for the pointwise passes;
+//   * all transforms run through precomputed-twiddle NttPlan tables
+//     (coding/ntt.h) shared across the whole segment block;
+//   * the barycentric weight matrix is built once for the plan's GEMM
+//     strategy.
+//
+// Streaming then pushes all seg_len coordinates through cache-blocked
+// batched interpolation + multipoint evaluation — fixed-size dense
+// polynomial arithmetic with zero allocations per coordinate — fanned out
+// over a sys::ExecPolicy. Every value produced is the exact field result,
+// so the plan is bit-identical to the per-coordinate kernels under every
+// policy (tests/decode_strategy_test.cpp).
+//
+// Plans are meant to be cached per session keyed on the survivor set
+// (coding/mask_codec.h): repeated rounds with the same (xs, betas) pay the
+// setup once and stream at marginal cost.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "coding/decode_strategy.h"
+#include "coding/lagrange.h"
+#include "coding/ntt.h"
+#include "coding/poly.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "field/field_vec.h"
+#include "field/flat_matrix.h"
+#include "sys/exec_policy.h"
+
+namespace lsa::coding {
+
+/// Evaluation-weight matrix W[k][j] such that g(betas[k]) = sum_j W[k][j] *
+/// g(xs[j]) for any polynomial g of degree < |xs|, computed barycentrically:
+///   W[k][j] = M(beta_k) / (M'(x_j) * (beta_k - x_j)),
+/// with one shared O(|xs|^2) pass for the M'(x_j) and O(|xs|) per beta.
+/// Preconditions: xs pairwise distinct; no beta coincides with an x.
+template <class F>
+[[nodiscard]] std::vector<std::vector<typename F::rep>> barycentric_weights(
+    std::span<const typename F::rep> xs,
+    std::span<const typename F::rep> betas) {
+  using rep = typename F::rep;
+  const std::size_t u = xs.size();
+  lsa::require<lsa::CodingError>(u > 0, "barycentric: no share points");
+
+  // M'(x_j) = prod_{m != j} (x_j - x_m), inverted in one batch.
+  std::vector<rep> mprime_inv(u, F::one);
+  for (std::size_t j = 0; j < u; ++j) {
+    for (std::size_t m = 0; m < u; ++m) {
+      if (m == j) continue;
+      const rep diff = F::sub(xs[j], xs[m]);
+      lsa::require<lsa::CodingError>(diff != F::zero,
+                                     "barycentric: duplicate share points");
+      mprime_inv[j] = F::mul(mprime_inv[j], diff);
+    }
+  }
+  lsa::field::batch_inv_inplace<F>(std::span<rep>(mprime_inv));
+
+  std::vector<std::vector<rep>> w(betas.size());
+  std::vector<rep> diff_inv(u);
+  for (std::size_t k = 0; k < betas.size(); ++k) {
+    rep m_at_beta = F::one;
+    for (std::size_t j = 0; j < u; ++j) {
+      const rep diff = F::sub(betas[k], xs[j]);
+      lsa::require<lsa::CodingError>(
+          diff != F::zero, "barycentric: beta coincides with share point");
+      m_at_beta = F::mul(m_at_beta, diff);
+      diff_inv[j] = diff;
+    }
+    lsa::field::batch_inv_inplace<F>(std::span<rep>(diff_inv));
+    w[k].resize(u);
+    for (std::size_t j = 0; j < u; ++j) {
+      w[k][j] = F::mul(m_at_beta, F::mul(mprime_inv[j], diff_inv[j]));
+    }
+  }
+  return w;
+}
+
+/// out[k*seg + l] = sum_j w[k][j] * shares[j][l] — a (U-T) x U x seg field
+/// GEMM. Column blocks fan out over the policy; within a block each output
+/// row runs the fused axpy_accumulate kernel (split-word lazy accumulation
+/// on 32-bit fields, 3-limb lazy accumulation on 64-bit fields). The
+/// row_at callable maps a weight-row index to a span (shared by the
+/// nested-vector kernel and the plan's FlatMatrix weights).
+template <class F, class RowAt>
+[[nodiscard]] std::vector<typename F::rep> weighted_combine_rows_blocked(
+    RowAt&& row_at, std::size_t num_rows,
+    std::span<const typename F::rep* const> shares, std::size_t seg_len,
+    const lsa::sys::ExecPolicy& pol = {}) {
+  using rep = typename F::rep;
+  std::vector<rep> out(num_rows * seg_len, F::zero);
+  const std::size_t chunk =
+      pol.chunk_reps == 0 ? lsa::field::kDefaultChunkReps : pol.chunk_reps;
+  pol.run_blocked(
+      seg_len,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<const rep*> shifted(shares.size());
+        for (std::size_t j = 0; j < shares.size(); ++j) {
+          shifted[j] = shares[j] + begin;
+        }
+        for (std::size_t k = 0; k < num_rows; ++k) {
+          std::span<rep> dst(out.data() + k * seg_len + begin, end - begin);
+          lsa::field::axpy_accumulate_blocked<F>(dst, row_at(k), shifted,
+                                                 chunk);
+        }
+      },
+      chunk);
+  return out;
+}
+
+template <class F>
+[[nodiscard]] std::vector<typename F::rep> weighted_combine_blocked(
+    const std::vector<std::vector<typename F::rep>>& w,
+    std::span<const typename F::rep* const> shares, std::size_t seg_len,
+    const lsa::sys::ExecPolicy& pol = {}) {
+  using rep = typename F::rep;
+  return weighted_combine_rows_blocked<F>(
+      [&](std::size_t k) { return std::span<const rep>(w[k]); }, w.size(),
+      shares, seg_len, pol);
+}
+
+/// Builds the subproduct tree / twiddle / weight tables for one (xs, betas)
+/// pair once and streams any number of coordinates through them. See the
+/// header comment for the full design.
+template <class F>
+class BatchedDecodePlan {
+ public:
+  using rep = typename F::rep;
+
+  /// Coordinates gathered per streaming block: each responder row
+  /// contributes a contiguous 16-element run per gather, amortizing the
+  /// per-coordinate strided column reads across cache lines.
+  static constexpr std::size_t kGatherBlock = 16;
+
+  BatchedDecodePlan(std::span<const rep> xs, std::span<const rep> betas)
+      : xs_(xs.begin(), xs.end()), betas_(betas.begin(), betas.end()) {
+    lsa::require<lsa::CodingError>(!xs_.empty(), "decode plan: no points");
+    lsa::require<lsa::CodingError>(!betas_.empty(), "decode plan: no betas");
+  }
+
+  [[nodiscard]] std::span<const rep> xs() const { return xs_; }
+  [[nodiscard]] std::span<const rep> betas() const { return betas_; }
+
+  /// Resolves kAuto to a concrete strategy from the plan shape and the
+  /// segment length; concrete strategies pass through unchanged.
+  [[nodiscard]] DecodeStrategy resolve(DecodeStrategy s,
+                                       std::size_t seg_len) const {
+    if (s != DecodeStrategy::kAuto) return s;
+    if constexpr (!NttCapable<F>) {
+      (void)seg_len;
+      return DecodeStrategy::kBarycentric;
+    } else {
+      // Measured crossover (bench/ablation_decode_complexity; README
+      // records the sweep): the batched pipeline streams one coordinate in
+      // ~c*U*log2(U)^2 lazy-product ops against the lazy GEMM's U*(U-T),
+      // and on this library's kernels the fast path wins once U-T exceeds
+      // about 4.5*log2(U)^2 (~390 at U = 512, ~450 at U = 1024 — matching
+      // the measured winners at seg_len >= 2048). For very short segment
+      // blocks the GEMM's per-row loop overhead stops amortizing and the
+      // crossover drops to ~2*log2(U)^2 (Part 2 of the bench). Below
+      // U = 512 the GEMM wins everywhere measured.
+      const std::size_t u = xs_.size();
+      const std::size_t nb = betas_.size();
+      if (u < 512) return DecodeStrategy::kBarycentric;
+      const std::size_t log2u = std::bit_width(u) - 1;
+      if (2 * nb >= 9 * log2u * log2u) return DecodeStrategy::kBatchedNtt;
+      if (seg_len <= 64 && 2 * nb >= 4 * log2u * log2u) {
+        return DecodeStrategy::kBatchedNtt;
+      }
+      return DecodeStrategy::kBarycentric;
+    }
+  }
+
+  /// Streams all seg_len coordinates of the given strategy into a fresh
+  /// output vector of |betas| * seg_len reps (row k = values at betas[k]).
+  [[nodiscard]] std::vector<rep> run(DecodeStrategy s,
+                                     std::span<const rep* const> shares,
+                                     std::size_t seg_len,
+                                     const lsa::sys::ExecPolicy& pol) const {
+    lsa::require<lsa::CodingError>(shares.size() == xs_.size(),
+                                   "decode plan: wrong share count");
+    switch (resolve(s, seg_len)) {
+      case DecodeStrategy::kBarycentric:
+        return run_barycentric(shares, seg_len, pol);
+      case DecodeStrategy::kBatchedNtt:
+        return run_batched(shares, seg_len, pol);
+      default:
+        throw lsa::CodingError("decode plan: unsupported strategy");
+    }
+  }
+
+  /// One-time-setup cost already paid by this plan, per component (0 until
+  /// the corresponding strategy first runs). Exposed so callers can report
+  /// the setup-vs-streaming amortization (examples/protocol_comparison).
+  [[nodiscard]] double barycentric_setup_seconds() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return bary_ ? bary_->setup_s : 0.0;
+  }
+  [[nodiscard]] double batched_setup_seconds() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return fast_ ? fast_->setup_s : 0.0;
+  }
+
+  // ------------------------------------------------------------- GEMM path
+
+  [[nodiscard]] std::vector<rep> run_barycentric(
+      std::span<const rep* const> shares, std::size_t seg_len,
+      const lsa::sys::ExecPolicy& pol) const {
+    const Bary& b = bary();
+    return weighted_combine_rows_blocked<F>(
+        [&](std::size_t k) { return b.w.row(k); }, betas_.size(), shares,
+        seg_len, pol);
+  }
+
+  // ---------------------------------------------------- batched fast path
+
+  [[nodiscard]] std::vector<rep> run_batched(
+      std::span<const rep* const> shares, std::size_t seg_len,
+      const lsa::sys::ExecPolicy& pol) const {
+    const Fast& f = fast();
+    const std::size_t nb = betas_.size();
+    std::vector<rep> out(nb * seg_len, F::zero);
+    pol.run_blocked(seg_len, [&](std::size_t begin, std::size_t end) {
+      Workspace ws(f, xs_.size(), nb);
+      for (std::size_t l0 = begin; l0 < end; l0 += kGatherBlock) {
+        const std::size_t b = std::min(kGatherBlock, end - l0);
+        // Block gather: row j's [l0, l0+b) run is contiguous.
+        for (std::size_t j = 0; j < shares.size(); ++j) {
+          const rep* src = shares[j] + l0;
+          for (std::size_t i = 0; i < b; ++i) {
+            ws.colmat[i * xs_.size() + j] = src[i];
+          }
+        }
+        for (std::size_t i = 0; i < b; ++i) {
+          decode_one(f, std::span<const rep>(ws.colmat).subspan(
+                            i * xs_.size(), xs_.size()),
+                     ws);
+          for (std::size_t k = 0; k < nb; ++k) {
+            out[k * seg_len + l0 + i] = ws.eval_out[k];
+          }
+        }
+      }
+    });
+    return out;
+  }
+
+ private:
+  // --------------------------------------------------------- shared setup
+
+  struct Bary {
+    lsa::field::FlatMatrix<F> w;  ///< (U-T) x U weight matrix
+    double setup_s = 0.0;
+  };
+
+  /// One fixed product operand (a node polynomial or a Newton inverse),
+  /// optionally cached as NTT evaluations at a fixed size (with Shoup
+  /// tables for the pointwise passes; the schoolbook path accumulates raw
+  /// 128-bit products lazily and needs no precomputation).
+  struct Operand {
+    std::vector<rep> coeffs;       ///< truncated operand, schoolbook form
+    unsigned log_n = 0;            ///< transform size when cached
+    std::vector<rep> evals;        ///< forward NTT at 2^log_n (empty = none)
+    std::vector<rep> evals_shoup;  ///< Shoup table of evals
+  };
+
+  // The streamed matvec / schoolbook kernels never reduce per term: full
+  // products accumulate into 3-limb (192-bit) lazy values — one widening
+  // multiply plus carry adds per term, branch-free and free of
+  // data-dependent mispredictions — and ONE fold per output element
+  // reduces back into the field (field/field_vec.h: lazy192_accumulate /
+  // lazy192_fold). The fold reduces the exact sum, so results stay
+  // bit-identical to the mul-per-term kernels.
+  static void lazy_accumulate(std::uint64_t& lo, std::uint64_t& mi,
+                              std::uint64_t& hi, rep a, rep b) {
+    lsa::field::lazy192_accumulate<F>(lo, mi, hi, a, b);
+  }
+
+  [[nodiscard]] static rep lazy_fold(std::uint64_t lo, std::uint64_t mi,
+                                     std::uint64_t hi) {
+    return lsa::field::lazy192_fold<F>(lo, mi, hi);
+  }
+
+  struct Node {
+    std::size_t leaves = 0;  ///< points under this node
+    std::size_t lo = 0;      ///< first leaf index under this node
+    bool carry = false;      ///< unpaired node carried up one level
+    // Interpolation (share tree): cached sibling polynomials for
+    //   res = res_left * poly_right + res_right * poly_left.
+    std::size_t left_leaves = 0;
+    Operand poly_left, poly_right;  ///< cached at size bit_ceil(leaves)
+    // Evaluation (beta tree): fixed incoming size fs and, when fs >
+    // leaves, the divrem precomputation r = f mod poly:
+    std::size_t fs = 0;
+    std::size_t qlen = 0;        ///< fs - leaves (0 = pass-through)
+    Operand rb_inv;              ///< Newton inverse of rev(poly) mod x^qlen
+    Operand poly_low;            ///< poly mod x^leaves
+  };
+
+  /// Collapsed bottom-of-tree node: the last kBaseWidth-sized levels of
+  /// both trees are one precomputed matrix each — an m x m Lagrange-basis
+  /// matvec for interpolation (coeff i of M_node/(x - x_j) at [i][j]) and
+  /// an m x fs Vandermonde matvec for evaluation (betas[lo+k]^i at
+  /// [k][i]) — replacing dozens of tiny per-node products with one tight
+  /// Shoup loop per coordinate.
+  struct BaseNode {
+    std::size_t lo = 0;  ///< first leaf index
+    std::size_t m = 0;   ///< leaves (matrix rows)
+    std::size_t fs = 0;  ///< input length (matrix cols; m for interp)
+    std::vector<rep> mat;  ///< panel-major m x fs (see pack_panels)
+  };
+
+  struct Fast {
+    std::vector<BaseNode> interp_base;             ///< share-tree bottom
+    std::vector<std::vector<Node>> interp_levels;  ///< levels above base
+    std::vector<std::vector<Node>> eval_levels;    ///< top first, above base
+    std::vector<BaseNode> eval_base;               ///< beta-tree bottom
+    std::vector<rep> mprime_inv, mprime_inv_shoup;
+    std::map<unsigned, NttPlan<F>> ntts;  ///< per-size twiddle tables
+    std::size_t scratch_len = 0;          ///< max transform / poly size
+    double setup_s = 0.0;
+  };
+
+  struct Workspace {
+    std::vector<rep> colmat;              ///< gather block, B x U
+    std::vector<rep> interp_a, interp_b;  ///< ping-pong, size U
+    std::vector<rep> eval_a, eval_b;      ///< remainder ping-pong
+    std::vector<rep> eval_out;            ///< final values, size nb
+    std::vector<rep> t1, t2, t3;          ///< transform / product scratch
+    std::vector<std::uint64_t> lzlo, lzmi, lzhi;  ///< lazy product limbs
+    explicit Workspace(const Fast& f, std::size_t u, std::size_t nb)
+        : colmat(kGatherBlock * u),
+          interp_a(u),
+          interp_b(u),
+          eval_a(std::max(u, nb)),
+          eval_b(std::max(u, nb)),
+          eval_out(nb),
+          t1(f.scratch_len),
+          t2(f.scratch_len),
+          t3(f.scratch_len),
+          lzlo(f.scratch_len),
+          lzmi(f.scratch_len),
+          lzhi(f.scratch_len) {}
+  };
+
+  const Bary& bary() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!bary_) {
+      lsa::common::Stopwatch sw;
+      auto b = std::make_unique<Bary>();
+      const auto w = barycentric_weights<F>(std::span<const rep>(xs_),
+                                            std::span<const rep>(betas_));
+      b->w.reset(betas_.size(), xs_.size());
+      for (std::size_t k = 0; k < betas_.size(); ++k) {
+        std::copy(w[k].begin(), w[k].end(), b->w.row(k).begin());
+      }
+      b->setup_s = sw.elapsed_sec();
+      bary_ = std::move(b);
+    }
+    return *bary_;
+  }
+
+  // Product sizes at or above this use the cached-NTT path; below it the
+  // truncated schoolbook loop is cheaper (same crossover class as
+  // kNttThreshold, on the output length of the fixed-size products).
+  static constexpr std::size_t kPlanNttMinOut = 64;
+
+  /// Prepares `op` (already holding coeffs) for products of output length
+  /// out_len: caches the forward transform when profitable and records the
+  /// needed scratch in `f`.
+  static void finalize_operand(Fast& f, Operand& op, std::size_t out_len) {
+    f.scratch_len = std::max(f.scratch_len, out_len);
+    f.scratch_len = std::max(f.scratch_len, op.coeffs.size());
+    if constexpr (NttCapable<F>) {
+      if (out_len >= kPlanNttMinOut) {
+        const std::size_t n = std::bit_ceil(out_len);
+        const unsigned log_n =
+            static_cast<unsigned>(std::countr_zero(n));
+        if (log_n <= F::two_adicity) {
+          auto it = f.ntts.find(log_n);
+          if (it == f.ntts.end()) {
+            it = f.ntts.emplace(log_n, NttPlan<F>(log_n)).first;
+          }
+          op.log_n = log_n;
+          op.evals.assign(n, F::zero);
+          std::copy(op.coeffs.begin(), op.coeffs.end(), op.evals.begin());
+          it->second.forward(std::span<rep>(op.evals));
+          if constexpr (lsa::field::ShoupCapable<F>) {
+            op.evals_shoup = lsa::field::shoup_precompute_vec<F>(
+                std::span<const rep>(op.evals));
+          }
+          f.scratch_len = std::max(f.scratch_len, n);
+        }
+      }
+    }
+  }
+
+  const Fast& fast() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!fast_) {
+      lsa::common::Stopwatch sw;
+      auto f = std::make_unique<Fast>();
+      const std::size_t u = xs_.size();
+      const std::size_t nb = betas_.size();
+
+      // The existing SubproductTree supplies node polynomials and the
+      // barycentric denominators 1/M'(x_j); the plan annotates its shape.
+      SubproductTree<F> share_tree{std::span<const rep>(xs_)};
+      SubproductTree<F> beta_tree{std::span<const rep>(betas_)};
+      f->mprime_inv.assign(share_tree.barycentric_inverses().begin(),
+                           share_tree.barycentric_inverses().end());
+      if constexpr (lsa::field::ShoupCapable<F>) {
+        f->mprime_inv_shoup = lsa::field::shoup_precompute_vec<F>(
+            std::span<const rep>(f->mprime_inv));
+      }
+
+      // ---- Interpolation tree (combine bottom-up over xs). ----
+      // Tree levels up to kBaseLog collapse into per-node Lagrange-basis
+      // matrices; only the levels above are walked per coordinate.
+      const std::size_t ibase = std::min<std::size_t>(
+          kBaseLog, share_tree.num_levels() - 1);
+      {
+        std::size_t lo = 0;
+        f->interp_base.resize(share_tree.level_size(ibase));
+        for (std::size_t i = 0; i < f->interp_base.size(); ++i) {
+          BaseNode& bn = f->interp_base[i];
+          const auto& poly = share_tree.node_poly(ibase, i);
+          bn.m = poly.size() - 1;
+          bn.fs = bn.m;
+          bn.lo = lo;
+          lo += bn.m;
+          // Entry [c][j] = coefficient c of M_node / (x - xs[lo + j]):
+          // res = sum_j c_j * (basis poly j).
+          std::vector<std::vector<rep>> basis(bn.m);
+          for (std::size_t j = 0; j < bn.m; ++j) {
+            const std::vector<rep> leaf{F::neg(xs_[bn.lo + j]), F::one};
+            basis[j] = poly_divrem<F>(std::span<const rep>(poly),
+                                      std::span<const rep>(leaf))
+                           .quotient;
+            basis[j].resize(bn.m, F::zero);
+          }
+          pack_panels(bn, [&](std::size_t r, std::size_t c) {
+            return basis[c][r];
+          });
+        }
+      }
+      f->interp_levels.resize(share_tree.num_levels());
+      for (std::size_t lv = ibase + 1; lv < share_tree.num_levels(); ++lv) {
+        auto& level = f->interp_levels[lv];
+        level.resize(share_tree.level_size(lv));
+        std::size_t lo = 0;
+        for (std::size_t i = 0; i < level.size(); ++i) {
+          Node& nd = level[i];
+          nd.leaves = share_tree.node_poly(lv, i).size() - 1;
+          nd.lo = lo;
+          lo += nd.leaves;
+          const std::size_t prev = share_tree.level_size(lv - 1);
+          if (2 * i + 1 >= prev) {
+            nd.carry = true;
+            continue;
+          }
+          const auto& pl = share_tree.node_poly(lv - 1, 2 * i);
+          const auto& pr = share_tree.node_poly(lv - 1, 2 * i + 1);
+          nd.left_leaves = pl.size() - 1;
+          nd.poly_left.coeffs = pl;
+          nd.poly_right.coeffs = pr;
+          finalize_operand(*f, nd.poly_left, nd.leaves);
+          finalize_operand(*f, nd.poly_right, nd.leaves);
+        }
+      }
+
+      // ---- Evaluation tree (divrem top-down over betas), stored with the
+      // TOP level first so streaming walks it in order; levels at or
+      // below kBaseLog collapse into per-node Vandermonde matrices that
+      // evaluate the incoming remainder directly. ----
+      const std::size_t depth = beta_tree.num_levels();
+      const std::size_t ebase =
+          std::min<std::size_t>(kBaseLog, depth - 1);
+      f->eval_levels.resize(depth - 1 - ebase);
+      for (std::size_t lv = 0; lv < f->eval_levels.size(); ++lv) {
+        // eval_levels[e] holds tree level (depth - 1 - e).
+        const std::size_t tl = depth - 1 - lv;
+        auto& level = f->eval_levels[lv];
+        level.resize(beta_tree.level_size(tl));
+        std::size_t lo = 0;
+        for (std::size_t i = 0; i < level.size(); ++i) {
+          Node& nd = level[i];
+          nd.leaves = beta_tree.node_poly(tl, i).size() - 1;
+          nd.lo = lo;
+          lo += nd.leaves;
+          // Incoming size: U at the root, the parent's remainder size
+          // (its leaf count) below. A carry parent shares this node's
+          // polynomial, so its remainder already fits and the qlen == 0
+          // pass-through below handles it uniformly.
+          nd.fs = lv == 0 ? u : f->eval_levels[lv - 1][i / 2].leaves;
+          if (nd.fs <= nd.leaves) {
+            nd.qlen = 0;  // r = f unchanged
+            continue;
+          }
+          nd.qlen = nd.fs - nd.leaves;
+          const auto& poly = beta_tree.node_poly(tl, i);
+          // Newton inverse of the reversed (monic => unit constant term)
+          // node polynomial, to the quotient precision.
+          std::vector<rep> rev(poly.rbegin(), poly.rend());
+          nd.rb_inv.coeffs = poly_inverse_mod_xk<F>(
+              std::span<const rep>(rev), nd.qlen);
+          nd.rb_inv.coeffs.resize(nd.qlen, F::zero);
+          const std::size_t t = std::min(nd.fs, nd.qlen);
+          finalize_operand(*f, nd.rb_inv, t + nd.qlen - 1);
+          nd.poly_low.coeffs.assign(poly.begin(),
+                                    poly.begin() + nd.leaves);
+          finalize_operand(*f, nd.poly_low,
+                           std::min(nd.qlen, nd.leaves) + nd.leaves - 1);
+        }
+      }
+      {
+        std::size_t lo = 0;
+        f->eval_base.resize(beta_tree.level_size(ebase));
+        for (std::size_t i = 0; i < f->eval_base.size(); ++i) {
+          BaseNode& bn = f->eval_base[i];
+          bn.m = beta_tree.node_poly(ebase, i).size() - 1;
+          bn.lo = lo;
+          lo += bn.m;
+          bn.fs = f->eval_levels.empty()
+                      ? u
+                      : f->eval_levels.back()[i / 2].leaves;
+          // Entry [k][c] = betas[lo + k]^c: vals = V * f.
+          std::vector<rep> powers(bn.m * bn.fs);
+          for (std::size_t k = 0; k < bn.m; ++k) {
+            rep pw = F::one;
+            for (std::size_t c = 0; c < bn.fs; ++c) {
+              powers[k * bn.fs + c] = pw;
+              pw = F::mul(pw, betas_[bn.lo + k]);
+            }
+          }
+          pack_panels(bn, [&](std::size_t r, std::size_t c) {
+            return powers[r * bn.fs + c];
+          });
+        }
+      }
+      f->scratch_len = std::max(f->scratch_len, std::max(u, nb));
+      f->setup_s = sw.elapsed_sec();
+      fast_ = std::move(f);
+    }
+    return *fast_;
+  }
+
+  /// log2 of the collapsed bottom-of-tree width: tree levels 0..kBaseLog
+  /// (nodes of up to 2^kBaseLog leaves) run as one flat matvec each.
+  static constexpr std::size_t kBaseLog = 5;
+
+  /// Lanes per matvec panel: 4 independent accumulator triples hide the
+  /// carry-add latency while the panel-major layout keeps loads contiguous.
+  static constexpr std::size_t kMatLanes = 4;
+
+  /// out[r] = sum_c mat[r][c] * in[c] — the collapsed base-node kernel.
+  /// The matrix is stored panel-major (kMatLanes rows interleaved per
+  /// column: mat[(p*fs + c)*L + i] = M[p*L + i][c], zero-padded), the
+  /// classic GEMV microkernel shape, and every lane accumulates lazily in
+  /// 192 bits with one fold per output element.
+  static void matvec(const BaseNode& bn, const rep* in, rep* out) {
+    constexpr std::size_t L = kMatLanes;
+    const std::size_t panels = (bn.m + L - 1) / L;
+    for (std::size_t p = 0; p < panels; ++p) {
+      std::uint64_t lo[L] = {0, 0, 0, 0}, mi[L] = {0, 0, 0, 0},
+                    hi[L] = {0, 0, 0, 0};
+      const rep* panel = bn.mat.data() + p * bn.fs * L;
+      for (std::size_t c = 0; c < bn.fs; ++c) {
+        const rep a = in[c];
+        const rep* e = panel + c * L;
+        for (std::size_t i = 0; i < L; ++i) {
+          lazy_accumulate(lo[i], mi[i], hi[i], a, e[i]);
+        }
+      }
+      const std::size_t rmax = std::min(L, bn.m - p * L);
+      for (std::size_t i = 0; i < rmax; ++i) {
+        out[p * L + i] = lazy_fold(lo[i], mi[i], hi[i]);
+      }
+    }
+  }
+
+  /// Fills a BaseNode's panel-major matrix from a row-major accessor.
+  template <class At>
+  static void pack_panels(BaseNode& bn, At&& at) {
+    constexpr std::size_t L = kMatLanes;
+    const std::size_t panels = (bn.m + L - 1) / L;
+    bn.mat.assign(panels * bn.fs * L, F::zero);
+    for (std::size_t r = 0; r < bn.m; ++r) {
+      for (std::size_t c = 0; c < bn.fs; ++c) {
+        bn.mat[((r / L) * bn.fs + c) * L + (r % L)] = at(r, c);
+      }
+    }
+  }
+
+  // ------------------------------------------------------- streaming core
+
+  /// Truncated schoolbook product accumulated into the workspace's lazy
+  /// limb arrays (call lazy_zero first, fold with lazy_fold_out after;
+  /// several products may share one zero/fold pair — the fused
+  /// interpolation combine does).
+  static void schoolbook_into(std::span<const rep> a, const Operand& op,
+                              std::size_t out_len, Workspace& ws) {
+    const std::size_t jlim = std::min(op.coeffs.size(), out_len);
+    for (std::size_t j = 0; j < jlim; ++j) {
+      const rep b = op.coeffs[j];
+      if (b == F::zero) continue;
+      const std::size_t imax = std::min(a.size(), out_len - j);
+      std::uint64_t* lo = ws.lzlo.data() + j;
+      std::uint64_t* mi = ws.lzmi.data() + j;
+      std::uint64_t* hi = ws.lzhi.data() + j;
+      for (std::size_t i = 0; i < imax; ++i) {
+        lazy_accumulate(lo[i], mi[i], hi[i], a[i], b);
+      }
+    }
+  }
+
+  static void lazy_zero(Workspace& ws, std::size_t out_len) {
+    std::fill_n(ws.lzlo.begin(), out_len, 0);
+    std::fill_n(ws.lzmi.begin(), out_len, 0);
+    std::fill_n(ws.lzhi.begin(), out_len, 0);
+  }
+
+  static void lazy_fold_out(const Workspace& ws, rep* out,
+                            std::size_t out_len) {
+    for (std::size_t i = 0; i < out_len; ++i) {
+      out[i] = lazy_fold(ws.lzlo[i], ws.lzmi[i], ws.lzhi[i]);
+    }
+  }
+
+  /// out[0..out_len) = low out_len coefficients of a * op, where a has la
+  /// live coefficients. Dispatches to the cached transform (scratch:
+  /// ws.t1) or the lazy truncated schoolbook loop as decided at setup.
+  static void mul_trunc(const Fast& f, std::span<const rep> a,
+                        const Operand& op, rep* out, std::size_t out_len,
+                        Workspace& ws) {
+    if (!op.evals.empty()) {
+      std::vector<rep>& scratch = ws.t1;
+      const NttPlan<F>& plan = f.ntts.at(op.log_n);
+      const std::size_t n = plan.size();
+      std::fill(scratch.begin(), scratch.begin() + n, F::zero);
+      std::copy(a.begin(), a.end(), scratch.begin());
+      std::span<rep> buf(scratch.data(), n);
+      plan.forward(buf);
+      if constexpr (lsa::field::ShoupCapable<F>) {
+        for (std::size_t i = 0; i < n; ++i) {
+          scratch[i] = F::mul_shoup(scratch[i], op.evals[i],
+                                    op.evals_shoup[i]);
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          scratch[i] = F::mul(scratch[i], op.evals[i]);
+        }
+      }
+      plan.inverse(buf);
+      std::copy(scratch.begin(), scratch.begin() + out_len, out);
+      return;
+    }
+    lazy_zero(ws, out_len);
+    schoolbook_into(a, op, out_len, ws);
+    lazy_fold_out(ws, out, out_len);
+  }
+
+  /// Interpolation combine for one node: res[0..leaves) =
+  /// left * poly_right + right * poly_left, fused through one inverse
+  /// transform when cached.
+  static void combine_node(const Fast& f, const Node& nd,
+                           std::span<const rep> left,
+                           std::span<const rep> right, rep* res,
+                           Workspace& ws) {
+    const std::size_t out_len = nd.leaves;
+    if (!nd.poly_right.evals.empty() && !nd.poly_left.evals.empty() &&
+        nd.poly_right.log_n == nd.poly_left.log_n) {
+      const NttPlan<F>& plan = f.ntts.at(nd.poly_right.log_n);
+      const std::size_t n = plan.size();
+      std::fill(ws.t1.begin(), ws.t1.begin() + n, F::zero);
+      std::copy(left.begin(), left.end(), ws.t1.begin());
+      std::fill(ws.t2.begin(), ws.t2.begin() + n, F::zero);
+      std::copy(right.begin(), right.end(), ws.t2.begin());
+      std::span<rep> b1(ws.t1.data(), n), b2(ws.t2.data(), n);
+      plan.forward(b1);
+      plan.forward(b2);
+      if constexpr (lsa::field::ShoupCapable<F>) {
+        for (std::size_t i = 0; i < n; ++i) {
+          ws.t1[i] = F::add(
+              F::mul_shoup(ws.t1[i], nd.poly_right.evals[i],
+                           nd.poly_right.evals_shoup[i]),
+              F::mul_shoup(ws.t2[i], nd.poly_left.evals[i],
+                           nd.poly_left.evals_shoup[i]));
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          ws.t1[i] = F::add(F::mul(ws.t1[i], nd.poly_right.evals[i]),
+                            F::mul(ws.t2[i], nd.poly_left.evals[i]));
+        }
+      }
+      plan.inverse(b1);
+      std::copy(ws.t1.begin(), ws.t1.begin() + out_len, res);
+      return;
+    }
+    if (nd.poly_right.evals.empty() && nd.poly_left.evals.empty()) {
+      // Fused schoolbook combine: both products share one lazy
+      // accumulation and a single fold into the result slot.
+      lazy_zero(ws, out_len);
+      schoolbook_into(left, nd.poly_right, out_len, ws);
+      schoolbook_into(right, nd.poly_left, out_len, ws);
+      lazy_fold_out(ws, res, out_len);
+      return;
+    }
+    mul_trunc(f, left, nd.poly_right, res, out_len, ws);
+    mul_trunc(f, right, nd.poly_left, ws.t3.data(), out_len, ws);
+    for (std::size_t i = 0; i < out_len; ++i) {
+      res[i] = F::add(res[i], ws.t3[i]);
+    }
+  }
+
+  /// One coordinate: column -> interpolate over xs -> evaluate at betas.
+  /// Leaves the |betas| values in ws.eval_out[0..nb).
+  void decode_one(const Fast& f, std::span<const rep> column,
+                  Workspace& ws) const {
+    const std::size_t u = xs_.size();
+
+    // Leaf coefficients c_j = y_j / M'(x_j).
+    for (std::size_t j = 0; j < u; ++j) {
+      if constexpr (lsa::field::ShoupCapable<F>) {
+        ws.interp_a[j] = F::mul_shoup(column[j], f.mprime_inv[j],
+                                      f.mprime_inv_shoup[j]);
+      } else {
+        ws.interp_a[j] = F::mul(column[j], f.mprime_inv[j]);
+      }
+    }
+    // Collapsed bottom levels, then combine up the remaining share-tree
+    // levels (positional ping-pong buffers).
+    rep* prev = ws.interp_b.data();
+    rep* cur = ws.interp_a.data();
+    for (const BaseNode& bn : f.interp_base) {
+      matvec(bn, ws.interp_a.data() + bn.lo, prev + bn.lo);
+    }
+    for (std::size_t lv = 0; lv < f.interp_levels.size(); ++lv) {
+      if (f.interp_levels[lv].empty()) continue;  // at or below the base
+      for (const Node& nd : f.interp_levels[lv]) {
+        if (nd.carry) {
+          std::copy(prev + nd.lo, prev + nd.lo + nd.leaves, cur + nd.lo);
+          continue;
+        }
+        combine_node(f, nd,
+                     std::span<const rep>(prev + nd.lo, nd.left_leaves),
+                     std::span<const rep>(prev + nd.lo + nd.left_leaves,
+                                          nd.leaves - nd.left_leaves),
+                     cur + nd.lo, ws);
+      }
+      std::swap(prev, cur);
+    }
+    // prev now holds the interpolation result (nominal size U); walk the
+    // beta tree top-down into ws.eval_out.
+    eval_walk(f, prev, ws);
+  }
+
+  /// Top-down divrem walk over the beta tree's upper levels, then the
+  /// collapsed Vandermonde base evaluates each final remainder straight
+  /// into ws.eval_out.
+  void eval_walk(const Fast& f, const rep* interp, Workspace& ws) const {
+    rep* bufs[2] = {ws.eval_a.data(), ws.eval_b.data()};
+    for (std::size_t lv = 0; lv < f.eval_levels.size(); ++lv) {
+      rep* cur = bufs[lv % 2];
+      const rep* prevbuf = bufs[(lv + 1) % 2];
+      const auto& level = f.eval_levels[lv];
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        const Node& nd = level[i];
+        const rep* in =
+            lv == 0 ? interp : prevbuf + f.eval_levels[lv - 1][i / 2].lo;
+        reduce_node(f, nd, in, cur + nd.lo, ws);
+      }
+    }
+    const std::size_t nlv = f.eval_levels.size();
+    const rep* lastbuf = nlv == 0 ? interp : bufs[(nlv - 1) % 2];
+    for (std::size_t i = 0; i < f.eval_base.size(); ++i) {
+      const BaseNode& bn = f.eval_base[i];
+      const rep* in = nlv == 0
+                          ? interp
+                          : lastbuf + f.eval_levels[nlv - 1][i / 2].lo;
+      matvec(bn, in, ws.eval_out.data() + bn.lo);
+    }
+  }
+
+  /// r = f mod node.poly with the node's fixed sizes: f has nd.fs nominal
+  /// coefficients, r gets nd.leaves (zero-padded). Pass-through when the
+  /// incoming size already fits.
+  void reduce_node(const Fast& f, const Node& nd, const rep* in, rep* out,
+                   Workspace& ws) const {
+    if (nd.qlen == 0) {
+      std::copy(in, in + nd.fs, out);
+      std::fill(out + nd.fs, out + nd.leaves, F::zero);
+      return;
+    }
+    const std::size_t qlen = nd.qlen;
+    const std::size_t t = std::min(nd.fs, qlen);
+    // rev(f) truncated to the quotient precision: top t coefficients.
+    for (std::size_t i = 0; i < t; ++i) ws.t2[i] = in[nd.fs - 1 - i];
+    // rq = rev(f) * rb_inv mod x^qlen.
+    mul_trunc(f, std::span<const rep>(ws.t2.data(), t), nd.rb_inv,
+              ws.t3.data(), qlen, ws);
+    // q = reverse(rq).
+    for (std::size_t i = 0; i < qlen; ++i) ws.t2[i] = ws.t3[qlen - 1 - i];
+    // bq mod x^leaves, using q mod x^leaves and poly mod x^leaves.
+    const std::size_t qt = std::min(qlen, nd.leaves);
+    mul_trunc(f, std::span<const rep>(ws.t2.data(), qt), nd.poly_low,
+              ws.t3.data(), nd.leaves, ws);
+    for (std::size_t i = 0; i < nd.leaves; ++i) {
+      out[i] = F::sub(in[i], ws.t3[i]);
+    }
+  }
+
+  std::vector<rep> xs_, betas_;
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<Bary> bary_;
+  mutable std::unique_ptr<Fast> fast_;
+};
+
+}  // namespace lsa::coding

@@ -1,0 +1,31 @@
+// Decode-strategy selector shared by the coding layer and protocol::Params.
+//
+// Lives in its own tiny header so protocol/params.h can carry a strategy
+// knob without pulling the full decode plane into every translation unit.
+#pragma once
+
+namespace lsa::coding {
+
+/// Server-side aggregate-decode kernel selection (coding/aggregate_decode.h
+/// documents the complexity trade-offs; coding/decode_plan.h implements the
+/// plan-based strategies).
+enum class DecodeStrategy {
+  kLagrange,     ///< textbook per-beta weights — reference kernel
+  kBarycentric,  ///< shared-denominator weights + blocked GEMM
+  kNtt,          ///< legacy per-coordinate fast interpolate/evaluate
+  kBatchedNtt,   ///< plan-cached batched fast interpolate/evaluate
+  kAuto,         ///< pick kBarycentric / kBatchedNtt from (U, T, seg_len)
+};
+
+[[nodiscard]] constexpr const char* to_string(DecodeStrategy s) {
+  switch (s) {
+    case DecodeStrategy::kLagrange: return "lagrange";
+    case DecodeStrategy::kBarycentric: return "barycentric";
+    case DecodeStrategy::kNtt: return "ntt";
+    case DecodeStrategy::kBatchedNtt: return "batched-ntt";
+    case DecodeStrategy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+}  // namespace lsa::coding

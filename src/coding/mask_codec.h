@@ -36,20 +36,34 @@
 //     vectors, wire buffers) and fans the coordinate range out over a
 //     sys::ExecPolicy.
 //
+// Decoding is plan-based: the codec keeps a per-instance cache of
+// coding::BatchedDecodePlan keyed on the survivor point set, so repeated
+// rounds with the same survivors pay the subproduct-tree / twiddle /
+// weight-table setup once and stream at marginal cost (the codec lives for
+// a session, making this a per-session cache). The default strategy kAuto
+// picks the GEMM or the batched fast path from (U, U-T, seg_len) via the
+// measured crossover; last_decode_stats() reports what ran and how the
+// time split between plan setup and streaming.
+//
 // The legacy nested-vector APIs remain as thin adapters over the same
 // kernels, and every path is bit-identical to every other
 // (tests/parallel_codec_test.cpp).
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "coding/aggregate_decode.h"
+#include "coding/decode_plan.h"
 #include "coding/error_correction.h"
 #include "coding/lagrange.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "field/field_vec.h"
 #include "field/flat_matrix.h"
 #include "field/random_field.h"
@@ -195,18 +209,36 @@ class MaskCodec {
 
   // ---------------------------------------------------------------- decode
 
+  /// What the last decode on this codec actually did: the requested and
+  /// resolved strategy, whether the per-session plan cache already held
+  /// the survivor set's plan, and the setup-vs-streaming time split (the
+  /// amortization the plan cache buys).
+  struct DecodeStats {
+    DecodeStrategy requested = DecodeStrategy::kAuto;
+    DecodeStrategy used = DecodeStrategy::kAuto;
+    bool plan_reused = false;
+    double setup_s = 0.0;   ///< plan setup paid by this decode (0 on reuse)
+    double stream_s = 0.0;  ///< coordinate streaming time
+  };
+
+  [[nodiscard]] DecodeStats last_decode_stats() const {
+    std::lock_guard<std::mutex> lk(plans_->mu);
+    return plans_->last_stats;
+  }
+
   /// One-shot aggregate decode over share *row views*: share_owners[j] is
   /// the 0-based user id whose aggregated share rows[j] (seg_len reps) is
   /// given. Needs at least U distinct owners; uses the first U. Returns
   /// the aggregate mask sum_{i in U1} z_i (length d). The decode kernel is
-  /// selectable (coding/aggregate_decode.h); all strategies are bit-exact,
-  /// kBarycentric is the practical default, kNtt realizes the paper's
-  /// O(U log U) complexity class on NTT-capable fields.
+  /// selectable (coding/decode_strategy.h); all strategies are bit-exact.
+  /// kAuto (the default) picks the GEMM or the batched fast path from the
+  /// measured crossover; plan-based strategies hit this codec's plan cache
+  /// keyed on the survivor set.
   [[nodiscard]] std::vector<rep> decode_aggregate_rows(
       std::span<const std::size_t> share_owners,
       std::span<const rep* const> rows,
       const lsa::sys::ExecPolicy& pol = {},
-      DecodeStrategy strategy = DecodeStrategy::kBarycentric) const {
+      DecodeStrategy strategy = DecodeStrategy::kAuto) const {
     lsa::require<lsa::ProtocolError>(
         share_owners.size() == rows.size(),
         "decode: owners/shares size mismatch");
@@ -229,8 +261,30 @@ class MaskCodec {
 
     // Evaluate the aggregate polynomial g at the U-T data slots.
     std::span<const rep> data_betas(beta_.data(), u_ - t_);
-    auto out = decode_eval<F>(strategy, std::span<const rep>(xs), data_betas,
-                              rows.first(u_), seg_len_, pol);
+    DecodeStats stats;
+    stats.requested = strategy;
+    std::vector<rep> out;
+    lsa::common::Stopwatch sw;
+    if (strategy == DecodeStrategy::kLagrange ||
+        strategy == DecodeStrategy::kNtt) {
+      // Reference kernels: never plan-cached.
+      stats.used = strategy;
+      out = decode_eval<F>(strategy, std::span<const rep>(xs), data_betas,
+                           rows.first(u_), seg_len_, pol);
+      stats.stream_s = sw.elapsed_sec();
+    } else {
+      auto [plan, reused] = plan_for(xs);
+      stats.plan_reused = reused;
+      stats.used = plan->resolve(strategy, seg_len_);
+      const double setup_before = plan_setup_seconds(*plan);
+      out = plan->run(stats.used, rows.first(u_), seg_len_, pol);
+      stats.setup_s = plan_setup_seconds(*plan) - setup_before;
+      stats.stream_s = sw.elapsed_sec() - stats.setup_s;
+    }
+    {
+      std::lock_guard<std::mutex> lk(plans_->mu);
+      plans_->last_stats = stats;
+    }
     out.resize(d_);  // drop zero padding
     return out;
   }
@@ -240,7 +294,7 @@ class MaskCodec {
   [[nodiscard]] std::vector<rep> decode_aggregate(
       std::span<const std::size_t> share_owners, const Matrix& agg_shares,
       const lsa::sys::ExecPolicy& pol = {},
-      DecodeStrategy strategy = DecodeStrategy::kBarycentric) const {
+      DecodeStrategy strategy = DecodeStrategy::kAuto) const {
     lsa::require<lsa::ProtocolError>(
         agg_shares.rows() == 0 || agg_shares.cols() == seg_len_,
         "decode: bad share length");
@@ -254,7 +308,7 @@ class MaskCodec {
   [[nodiscard]] std::vector<rep> decode_aggregate(
       std::span<const std::size_t> share_owners,
       std::span<const std::vector<rep>> agg_shares,
-      DecodeStrategy strategy = DecodeStrategy::kBarycentric) const {
+      DecodeStrategy strategy = DecodeStrategy::kAuto) const {
     check_nested_lengths(agg_shares);
     const auto rows = share_row_ptrs<F>(agg_shares);
     return decode_aggregate_rows(share_owners,
@@ -432,6 +486,44 @@ class MaskCodec {
     }
   }
 
+  /// Cached plans never outnumber the distinct survivor sets a session
+  /// realistically sees; the cap only bounds adversarial churn.
+  static constexpr std::size_t kMaxCachedPlans = 32;
+
+  /// Per-session decode-plan cache, keyed on the survivor share points
+  /// (the betas are fixed per codec). Held behind a shared_ptr so the
+  /// codec stays copyable; copies share the cache, which is correct —
+  /// they share the parameters that determine every plan.
+  struct PlanCache {
+    std::mutex mu;
+    std::map<std::vector<rep>, std::shared_ptr<BatchedDecodePlan<F>>> plans;
+    DecodeStats last_stats;
+  };
+
+  /// Returns the cached plan for this survivor point set (building and
+  /// inserting it if absent) and whether it was already cached.
+  [[nodiscard]] std::pair<std::shared_ptr<BatchedDecodePlan<F>>, bool>
+  plan_for(const std::vector<rep>& xs) const {
+    std::lock_guard<std::mutex> lk(plans_->mu);
+    auto it = plans_->plans.find(xs);
+    if (it != plans_->plans.end()) return {it->second, true};
+    if (plans_->plans.size() >= kMaxCachedPlans) {
+      // Evict one entry rather than clearing: a churny session keeps its
+      // other hot plans instead of re-paying every setup at once.
+      plans_->plans.erase(plans_->plans.begin());
+    }
+    auto plan = std::make_shared<BatchedDecodePlan<F>>(
+        std::span<const rep>(xs),
+        std::span<const rep>(beta_.data(), u_ - t_));
+    plans_->plans.emplace(xs, plan);
+    return {plan, false};
+  }
+
+  [[nodiscard]] static double plan_setup_seconds(
+      const BatchedDecodePlan<F>& plan) {
+    return plan.barycentric_setup_seconds() + plan.batched_setup_seconds();
+  }
+
   std::size_t n_;
   std::size_t u_;
   std::size_t t_;
@@ -440,6 +532,7 @@ class MaskCodec {
   std::vector<rep> beta_;
   std::vector<rep> alpha_;
   Matrix w_cols_;  ///< row j = column j of W (the U coefficients of share j)
+  std::shared_ptr<PlanCache> plans_ = std::make_shared<PlanCache>();
 };
 
 }  // namespace lsa::coding

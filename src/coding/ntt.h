@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "field/field_vec.h"
 
 namespace lsa::coding {
 
@@ -133,6 +134,104 @@ template <NttCapable F>
 /// Size threshold below which schoolbook beats the transform (measured on
 /// this library's kernels; the exact value only shifts constants).
 inline constexpr std::size_t kNttThreshold = 64;
+
+/// Precomputed transform of one fixed size: the full twiddle table (with
+/// Shoup precomputed operands when the field supports them) is built once
+/// and reused across every transform of that size — the "block NTT" engine
+/// of the batched decode plane. ntt_inplace/intt_inplace above recompute
+/// each twiddle by a running product per call; this class produces the
+/// exact same twiddle values (exact field arithmetic), so forward/inverse
+/// are bit-identical to them on every input.
+template <class F>
+class NttPlan {
+ public:
+  using rep = typename F::rep;
+
+  explicit NttPlan(unsigned log_n) : log_n_(log_n), n_(std::size_t{1} << log_n) {
+    // Unconstrained as a *type* so strategy tables can name NttPlan<F> for
+    // any field; constructing one requires the NTT hooks.
+    static_assert(NttCapable<F>, "NttPlan needs an NTT-capable field");
+    lsa::require<lsa::CodingError>(log_n <= F::two_adicity,
+                                   "ntt plan: size exceeds 2-adicity");
+    // Stage s (m = 2^s) uses omega(s)^j for j < m/2, stored at offset
+    // m/2 - 1 — the same running-product values ntt_inplace generates.
+    tw_.resize(n_ > 0 ? n_ - 1 : 0);
+    for (unsigned s = 1; s <= log_n_; ++s) {
+      const std::size_t half = std::size_t{1} << (s - 1);
+      const rep wm = F::omega(s);
+      rep w = F::one;
+      for (std::size_t j = 0; j < half; ++j) {
+        tw_[half - 1 + j] = w;
+        w = F::mul(w, wm);
+      }
+    }
+    if constexpr (lsa::field::ShoupCapable<F>) {
+      tw_shoup_ = lsa::field::shoup_precompute_vec<F>(
+          std::span<const rep>(tw_));
+    }
+    n_inv_ = n_ > 0 ? F::inv(F::from_u64(static_cast<std::uint64_t>(n_)))
+                    : F::one;
+    if constexpr (lsa::field::ShoupCapable<F>) {
+      n_inv_shoup_ = F::shoup_precompute(n_inv_);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] unsigned log_size() const { return log_n_; }
+
+  /// In-place forward transform; bit-identical to ntt_inplace.
+  void forward(std::span<rep> a) const {
+    lsa::require<lsa::CodingError>(a.size() == n_, "ntt plan: size mismatch");
+    if (n_ <= 1) return;
+    bit_reverse_permute<F>(a);
+    for (unsigned s = 1; s <= log_n_; ++s) {
+      const std::size_t m = std::size_t{1} << s;
+      const std::size_t half = m / 2;
+      const rep* tw = tw_.data() + (half - 1);
+      if constexpr (lsa::field::ShoupCapable<F>) {
+        const rep* twp = tw_shoup_.data() + (half - 1);
+        for (std::size_t k = 0; k < n_; k += m) {
+          for (std::size_t j = 0; j < half; ++j) {
+            const rep t = F::mul_shoup(a[k + j + half], tw[j], twp[j]);
+            const rep u = a[k + j];
+            a[k + j] = F::add(u, t);
+            a[k + j + half] = F::sub(u, t);
+          }
+        }
+      } else {
+        for (std::size_t k = 0; k < n_; k += m) {
+          for (std::size_t j = 0; j < half; ++j) {
+            const rep t = F::mul(tw[j], a[k + j + half]);
+            const rep u = a[k + j];
+            a[k + j] = F::add(u, t);
+            a[k + j + half] = F::sub(u, t);
+          }
+        }
+      }
+    }
+  }
+
+  /// In-place inverse transform; bit-identical to intt_inplace.
+  void inverse(std::span<rep> a) const {
+    lsa::require<lsa::CodingError>(a.size() == n_, "ntt plan: size mismatch");
+    if (n_ <= 1) return;
+    forward(a);
+    std::reverse(a.begin() + 1, a.end());
+    if constexpr (lsa::field::ShoupCapable<F>) {
+      for (auto& x : a) x = F::mul_shoup(x, n_inv_, n_inv_shoup_);
+    } else {
+      for (auto& x : a) x = F::mul(x, n_inv_);
+    }
+  }
+
+ private:
+  unsigned log_n_;
+  std::size_t n_;
+  std::vector<rep> tw_;        ///< stage-major twiddles (n - 1 entries)
+  std::vector<rep> tw_shoup_;  ///< Shoup precomputation of tw_
+  rep n_inv_ = F::one;
+  rep n_inv_shoup_ = F::one;
+};
 
 /// Polynomial product with automatic algorithm selection. For fields without
 /// NTT structure this is always schoolbook — correct, just quadratic.

@@ -264,6 +264,20 @@ class SubproductTree {
     return mprime_inv_;
   }
 
+  // Read-only structural access for the batched decode plane
+  // (coding/decode_plan.h), which annotates every node with precomputed
+  // Newton inverses and cached transforms. Level 0 is the leaves; node i
+  // at `level` has children 2i and 2i+1 at level-1 (the last node carries
+  // up unpaired when the level has odd size).
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+  [[nodiscard]] std::size_t level_size(std::size_t level) const {
+    return levels_[level].size();
+  }
+  [[nodiscard]] const std::vector<rep>& node_poly(std::size_t level,
+                                                  std::size_t i) const {
+    return levels_[level][i];
+  }
+
   /// Fast multipoint evaluation: returns { f(x_j) } for all j.
   [[nodiscard]] std::vector<rep> evaluate(std::span<const rep> f) const {
     std::vector<rep> out(xs_.size(), F::zero);

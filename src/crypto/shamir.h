@@ -198,13 +198,21 @@ class ShamirScheme {
     }
   }
 
-  /// Reconstructs from share *row views*: indices[j] is the 1-based
-  /// evaluation index of row rows[j]; every row holds `len` elements.
-  [[nodiscard]] std::vector<rep> reconstruct_rows(
-      std::span<const std::uint32_t> indices,
-      std::span<const rep* const> rows, std::size_t len) const {
+  /// Precomputed reconstruction weights for one fixed responder set — the
+  /// plan-based recovery path. SecAgg/SecAgg+ reconstruct one secret per
+  /// user against the same survivor set, so the O(m^2) Lagrange-weight
+  /// computation (plus its Shoup table on 64-bit fields) is paid once per
+  /// round instead of once per secret.
+  struct ReconstructionPlan {
+    std::vector<rep> weights;        ///< Lagrange weights at x = 0
+    std::vector<rep> weights_shoup;  ///< Shoup table (Shoup fields only)
+  };
+
+  /// Builds the weights for the first t+1 of `indices` (1-based, distinct).
+  [[nodiscard]] ReconstructionPlan make_reconstruction_plan(
+      std::span<const std::uint32_t> indices) const {
     lsa::require<lsa::ProtocolError>(
-        indices.size() == rows.size() && indices.size() >= t_ + 1,
+        indices.size() >= t_ + 1,
         "shamir: not enough shares to reconstruct");
     const std::size_t m = t_ + 1;  // exactly t+1 suffice
     std::vector<rep> xs(m);
@@ -214,12 +222,47 @@ class ShamirScheme {
           "shamir: share index out of range");
       xs[j] = static_cast<rep>(indices[j]);
     }
-    const auto w = lsa::coding::lagrange_weights_at<F>(xs, F::zero);
+    ReconstructionPlan plan;
+    plan.weights = lsa::coding::lagrange_weights_at<F>(
+        std::span<const rep>(xs), F::zero);
+    if constexpr (lsa::field::ShoupCapable<F>) {
+      plan.weights_shoup = lsa::field::shoup_precompute_vec<F>(
+          std::span<const rep>(plan.weights));
+    }
+    return plan;
+  }
+
+  /// Plan-based reconstruction: rows[j] must correspond to the j-th index
+  /// the plan was built from.
+  [[nodiscard]] std::vector<rep> reconstruct_rows(
+      const ReconstructionPlan& plan, std::span<const rep* const> rows,
+      std::size_t len) const {
+    const std::size_t m = plan.weights.size();
+    lsa::require<lsa::ProtocolError>(rows.size() >= m,
+                                     "shamir: fewer rows than plan weights");
     std::vector<rep> secret(len, F::zero);
-    lsa::field::axpy_accumulate_blocked<F>(std::span<rep>(secret),
-                                           std::span<const rep>(w),
-                                           rows.first(m));
+    if constexpr (lsa::field::ShoupCapable<F>) {
+      lsa::field::axpy_accumulate_blocked_pre<F>(
+          std::span<rep>(secret), std::span<const rep>(plan.weights),
+          std::span<const rep>(plan.weights_shoup), rows.first(m));
+    } else {
+      lsa::field::axpy_accumulate_blocked<F>(
+          std::span<rep>(secret), std::span<const rep>(plan.weights),
+          rows.first(m));
+    }
     return secret;
+  }
+
+  /// Reconstructs from share *row views*: indices[j] is the 1-based
+  /// evaluation index of row rows[j]; every row holds `len` elements.
+  /// One-shot adapter over the plan path (same kernels, same bits).
+  [[nodiscard]] std::vector<rep> reconstruct_rows(
+      std::span<const std::uint32_t> indices,
+      std::span<const rep* const> rows, std::size_t len) const {
+    lsa::require<lsa::ProtocolError>(
+        indices.size() == rows.size(),
+        "shamir: indices/rows size mismatch");
+    return reconstruct_rows(make_reconstruction_plan(indices), rows, len);
   }
 
   /// Byte-secret variant of reconstruct_rows.
@@ -228,6 +271,14 @@ class ShamirScheme {
       std::span<const rep* const> rows, std::size_t packed_len,
       std::size_t n_bytes) const {
     const auto packed = reconstruct_rows(indices, rows, packed_len);
+    return unpack_bytes<F>(std::span<const rep>(packed), n_bytes);
+  }
+
+  /// Plan-based byte-secret reconstruction.
+  [[nodiscard]] std::vector<std::uint8_t> reconstruct_bytes_rows(
+      const ReconstructionPlan& plan, std::span<const rep* const> rows,
+      std::size_t packed_len, std::size_t n_bytes) const {
+    const auto packed = reconstruct_rows(plan, rows, packed_len);
     return unpack_bytes<F>(std::span<const rep>(packed), n_bytes);
   }
 

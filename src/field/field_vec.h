@@ -35,6 +35,57 @@ namespace lsa::field {
 /// destination (u32 fields) — block plus lazy accumulators fit in L1.
 inline constexpr std::size_t kDefaultChunkReps = 4096;
 
+/// Fields exposing Shoup precomputed-operand multiplication: a fixed
+/// operand s is preprocessed once (one wide division) into s_pre, after
+/// which every mul_shoup(a, s, s_pre) replaces the full Barrett/Mersenne/
+/// Goldilocks reduction with one high-half product and one conditional
+/// subtraction. This is the fast path of the 64-bit axpy kernels below and
+/// of the precomputed-twiddle NTT (coding/ntt.h).
+template <class F>
+concept ShoupCapable = requires(typename F::rep a) {
+  { F::has_shoup } -> std::convertible_to<bool>;
+  { F::shoup_precompute(a) } -> std::convertible_to<typename F::rep>;
+  { F::mul_shoup(a, a, a) } -> std::convertible_to<typename F::rep>;
+};
+
+/// Row length below which the per-coefficient shoup_precompute division is
+/// not worth amortizing and the kernels keep the plain mul.
+inline constexpr std::size_t kShoupMinReps = 16;
+
+/// Whether the Shoup precomputed-operand multiply is the measured winner
+/// for this field's streaming axpy kernels. On the Mersenne 64-bit rep the
+/// Shoup form (one high product + one conditional subtraction) beats the
+/// shift-and-fold reduction by ~1.2x; on Goldilocks the branch-free
+/// reduce128 multiply and the 3-limb lazy accumulation both beat it
+/// (bench/ablation_decode_complexity Part 0 keeps the comparison honest).
+template <class F>
+inline constexpr bool kPrefersShoupAxpy = [] {
+  if constexpr (requires { F::is_mersenne; }) {
+    return static_cast<bool>(F::is_mersenne);
+  } else {
+    return false;
+  }
+}();
+
+/// Shoup precomputation of a whole coefficient vector (one table per GEMM
+/// row / twiddle set; build once, reuse across every streamed element).
+template <ShoupCapable F>
+void shoup_precompute_into(std::span<const typename F::rep> coeffs,
+                           std::span<typename F::rep> out) {
+  lsa::require(coeffs.size() == out.size(), "shoup table: size mismatch");
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    out[i] = F::shoup_precompute(coeffs[i]);
+  }
+}
+
+template <ShoupCapable F>
+[[nodiscard]] std::vector<typename F::rep> shoup_precompute_vec(
+    std::span<const typename F::rep> coeffs) {
+  std::vector<typename F::rep> out(coeffs.size());
+  shoup_precompute_into<F>(coeffs, std::span<typename F::rep>(out));
+  return out;
+}
+
 /// acc[i] = acc[i] + x[i] for all i.
 template <class F>
 void add_inplace(std::span<typename F::rep> acc,
@@ -58,10 +109,22 @@ void scale_inplace(std::span<typename F::rep> acc, typename F::rep s) {
 }
 
 /// acc[i] = acc[i] + s * x[i] for all i (the MDS encode/decode inner loop).
+/// Fields where Shoup wins (kPrefersShoupAxpy) precompute s once and run
+/// the cheap precomputed-operand multiply per element — bit-identical to
+/// F::mul.
 template <class F>
 void axpy_inplace(std::span<typename F::rep> acc, typename F::rep s,
                   std::span<const typename F::rep> x) {
   lsa::require(acc.size() == x.size(), "field axpy: size mismatch");
+  if constexpr (ShoupCapable<F> && kPrefersShoupAxpy<F>) {
+    if (F::has_shoup && acc.size() >= kShoupMinReps) {
+      const typename F::rep s_pre = F::shoup_precompute(s);
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = F::add(acc[i], F::mul_shoup(x[i], s, s_pre));
+      }
+      return;
+    }
+  }
   for (std::size_t i = 0; i < acc.size(); ++i) {
     acc[i] = F::add(acc[i], F::mul(s, x[i]));
   }
@@ -102,7 +165,47 @@ inline constexpr std::size_t kLazyWidth = 2048;
 /// Terms accumulated before a fold: each partial product is < 2^48, and
 /// 2^15 * 2^48 = 2^63 keeps the u64 lanes clear of overflow.
 inline constexpr std::size_t kMaxLazyTerms = std::size_t{1} << 15;
+/// Width of the 3-limb lazy accumulators for 64-bit fields: 1024 entries *
+/// 3 limbs * 8 B = 24 KiB of stack per call.
+inline constexpr std::size_t kLazy192Width = 1024;
 }  // namespace detail
+
+/// 2^64 mod p and 2^128 mod p — the fold constants of the 192-bit lazy
+/// accumulation scheme below.
+template <class F>
+inline constexpr typename F::rep kResidue64 =
+    F::add(F::from_u64(~0ull), F::one);
+template <class F>
+inline constexpr typename F::rep kResidue128 =
+    F::mul(kResidue64<F>, kResidue64<F>);
+
+/// Adds the full product a * b to a 3-limb (192-bit) lazy accumulator —
+/// one widening multiply plus carry adds, branch-free (no data-dependent
+/// reduction per term). The hi limb grows at most one carry per term, so
+/// any term count below 2^64 is safe.
+template <class F>
+constexpr void lazy192_accumulate(std::uint64_t& lo, std::uint64_t& mi,
+                                  std::uint64_t& hi, typename F::rep a,
+                                  typename F::rep b) {
+  const unsigned __int128 pr = static_cast<unsigned __int128>(a) * b;
+  const std::uint64_t plo = static_cast<std::uint64_t>(pr);
+  const std::uint64_t phi = static_cast<std::uint64_t>(pr >> 64);
+  const std::uint64_t c1 = __builtin_add_overflow(lo, plo, &lo) ? 1u : 0u;
+  // phi <= 2^64 - 2, so phi + c1 cannot wrap.
+  hi += __builtin_add_overflow(mi, phi + c1, &mi) ? 1u : 0u;
+}
+
+/// Folds a 3-limb lazy accumulator back into the field: the exact value
+/// hi*2^128 + mi*2^64 + lo reduced mod p — bit-identical to having
+/// reduced every term.
+template <class F>
+[[nodiscard]] constexpr typename F::rep lazy192_fold(std::uint64_t lo,
+                                                     std::uint64_t mi,
+                                                     std::uint64_t hi) {
+  return F::add(
+      F::mul(F::from_u64(hi), kResidue128<F>),
+      F::add(F::mul(F::from_u64(mi), kResidue64<F>), F::from_u64(lo)));
+}
 
 /// acc[l] += sum_k rows[k][l] for every l in [0, acc.size()); every row
 /// must have at least acc.size() readable elements. For 32-bit fields the
@@ -142,10 +245,41 @@ void add_accumulate_blocked(std::span<typename F::rep> acc,
   }
 }
 
+namespace detail {
+/// The 64-bit axpy-accumulate inner loops with Shoup precomputed operands:
+/// shoup[k] = F::shoup_precompute(coeffs[k]), built once per GEMM row set
+/// and amortized over every streamed element.
+template <class F>
+void axpy_accumulate_shoup(std::span<typename F::rep> acc,
+                           std::span<const typename F::rep> coeffs,
+                           std::span<const typename F::rep> shoup,
+                           std::span<const typename F::rep* const> rows,
+                           std::size_t chunk) {
+  using rep = typename F::rep;
+  const std::size_t n = acc.size();
+  for (std::size_t l0 = 0; l0 < n; l0 += chunk) {
+    const std::size_t l1 = std::min(l0 + chunk, n);
+    rep* dst = acc.data();
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const rep w = coeffs[k];
+      if (w == F::zero) continue;
+      const rep wp = shoup[k];
+      const rep* src = rows[k];
+      for (std::size_t l = l0; l < l1; ++l) {
+        dst[l] = F::add(dst[l], F::mul_shoup(src[l], w, wp));
+      }
+    }
+  }
+}
+}  // namespace detail
+
 /// acc[l] += sum_k coeffs[k] * rows[k][l] — the fused MDS encode / decode /
 /// weighted-aggregation GEMV. 32-bit fields take the split-word lazy path
-/// described in the header comment; 64-bit fields run a blocked
-/// mul-and-add loop (Mersenne / Goldilocks reduction is already cheap).
+/// described in the header comment; 64-bit Mersenne fields precompute each
+/// coefficient's Shoup operand once per call (the measured winner there);
+/// the remaining 64-bit fields accumulate full 128-bit products into
+/// 3-limb lazy lanes (lazy192_accumulate) with ONE fold per output
+/// element — no per-term reduction at all.
 template <class F>
 void axpy_accumulate_blocked(std::span<typename F::rep> acc,
                              std::span<const typename F::rep> coeffs,
@@ -194,19 +328,64 @@ void axpy_accumulate_blocked(std::span<typename F::rep> acc,
       fold();
     }
   } else {
-    for (std::size_t l0 = 0; l0 < n; l0 += chunk) {
-      const std::size_t l1 = std::min(l0 + chunk, n);
-      rep* dst = acc.data();
+    if constexpr (ShoupCapable<F> && kPrefersShoupAxpy<F>) {
+      if (F::has_shoup && n >= kShoupMinReps) {
+        std::vector<rep> shoup(coeffs.size());
+        shoup_precompute_into<F>(coeffs, std::span<rep>(shoup));
+        detail::axpy_accumulate_shoup<F>(acc, coeffs,
+                                         std::span<const rep>(shoup), rows,
+                                         chunk);
+        return;
+      }
+    }
+    const std::size_t width = std::min(chunk, detail::kLazy192Width);
+    std::uint64_t lo[detail::kLazy192Width];
+    std::uint64_t mi[detail::kLazy192Width];
+    std::uint64_t hi[detail::kLazy192Width];
+    for (std::size_t l0 = 0; l0 < n; l0 += width) {
+      const std::size_t b = std::min(width, n - l0);
+      std::fill_n(lo, b, std::uint64_t{0});
+      std::fill_n(mi, b, std::uint64_t{0});
+      std::fill_n(hi, b, std::uint64_t{0});
       for (std::size_t k = 0; k < rows.size(); ++k) {
         const rep w = coeffs[k];
         if (w == F::zero) continue;
-        const rep* src = rows[k];
-        for (std::size_t l = l0; l < l1; ++l) {
-          dst[l] = F::add(dst[l], F::mul(w, src[l]));
+        const rep* src = rows[k] + l0;
+        for (std::size_t l = 0; l < b; ++l) {
+          lazy192_accumulate<F>(lo[l], mi[l], hi[l], w, src[l]);
         }
+      }
+      rep* dst = acc.data() + l0;
+      for (std::size_t l = 0; l < b; ++l) {
+        dst[l] = F::add(dst[l], lazy192_fold<F>(lo[l], mi[l], hi[l]));
       }
     }
   }
+}
+
+/// Precomputed-table variant for callers that reuse one coefficient set
+/// across many calls with SHORT rows (the cached Shamir reconstruction
+/// plan): shoup[k] must equal F::shoup_precompute(coeffs[k]). The table
+/// makes the Shoup path free of its per-call division cost, so it is used
+/// for every 64-bit Shoup field here; 32-bit fields keep their split-word
+/// path. Bit-identical to the plain overload.
+template <ShoupCapable F>
+void axpy_accumulate_blocked_pre(std::span<typename F::rep> acc,
+                                 std::span<const typename F::rep> coeffs,
+                                 std::span<const typename F::rep> shoup,
+                                 std::span<const typename F::rep* const> rows,
+                                 std::size_t chunk = kDefaultChunkReps) {
+  lsa::require(coeffs.size() == rows.size() && shoup.size() == rows.size(),
+               "axpy_accumulate: coeffs/shoup/rows size mismatch");
+  if (rows.empty()) return;
+  if (chunk == 0) chunk = kDefaultChunkReps;
+  if constexpr (sizeof(typename F::rep) == 8) {
+    if (F::has_shoup) {
+      detail::axpy_accumulate_shoup<F>(acc, coeffs, shoup, rows, chunk);
+      return;
+    }
+  }
+  axpy_accumulate_blocked<F>(acc, coeffs, rows, chunk);
 }
 
 /// Returns a + b (new vector).

@@ -96,6 +96,49 @@ class PrimeField {
     }
   }
 
+  /// True when mul_shoup below is a genuine precomputed-operand fast path
+  /// (moduli of at most 63 bits; wider moduli would need a two-word
+  /// remainder and are not used by this library's PrimeField instances).
+  static constexpr bool has_shoup = std::bit_width(Q) <= 63;
+
+  /// Shoup precomputation for a fixed operand s: floor(s * 2^W / Q) with
+  /// W the rep width. Costs one wide division — amortize it over many
+  /// mul_shoup calls with the same s (a GEMM row, an NTT twiddle table).
+  [[nodiscard]] static constexpr rep shoup_precompute(rep s) {
+    if constexpr (Q <= 0xFFFFFFFFull) {
+      return static_cast<rep>((static_cast<std::uint64_t>(s) << 32) / Q);
+    } else {
+      return static_cast<rep>((static_cast<unsigned __int128>(s) << 64) / Q);
+    }
+  }
+
+  /// Precomputed-operand product a * s with s_pre = shoup_precompute(s):
+  /// qhat = floor(s_pre * a / 2^W) is floor(s*a/Q) or one less, so
+  /// r = s*a - qhat*Q lies in [0, 2Q) and one conditional subtraction
+  /// canonicalizes — no per-call wide reduction. Bit-identical to mul
+  /// (tests/shoup_test.cpp checks every boundary exhaustively).
+  [[nodiscard]] static constexpr rep mul_shoup(rep a, rep s, rep s_pre) {
+    if constexpr (Q <= 0xFFFFFFFFull) {
+      const std::uint64_t qhat =
+          (static_cast<std::uint64_t>(s_pre) * a) >> 32;
+      // 2Q can exceed 2^32, so keep the remainder in 64 bits.
+      std::uint64_t r =
+          static_cast<std::uint64_t>(s) * a - qhat * Q;
+      if (r >= Q) r -= Q;
+      return static_cast<rep>(r);
+    } else if constexpr (has_shoup) {
+      const std::uint64_t qhat = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(s_pre) * a) >> 64);
+      // r < 2Q < 2^64: the subtraction cannot wrap.
+      std::uint64_t r = s * a - qhat * Q;
+      if (r >= Q) r -= Q;
+      return static_cast<rep>(r);
+    } else {
+      (void)s_pre;
+      return mul(a, s);
+    }
+  }
+
   /// Reference product via the generic `%` reduction — the kernel the fast
   /// paths above are tested against (and the seed implementation of mul).
   [[nodiscard]] static constexpr rep mul_reference(rep a, rep b) {

@@ -105,9 +105,9 @@ class FastSecAgg final : public SecureAggregator<F> {
       lsa::crypto::Prg prg(prg_seed);
       codec_->encode_into(std::span<const rep>(inputs[i]), prg, held_,
                           /*base=*/i, /*stride=*/n, pol.chunk_reps);
-    });
-    if (ledger_ != nullptr) {
-      for (std::size_t i = 0; i < n; ++i) {
+      // Per-user ledger entries logged from inside the parallel encode
+      // loop (sharded atomic ledger: totals exact under any interleaving).
+      if (ledger_ != nullptr) {
         ledger_->add_compute(lsa::net::Phase::kUpload, i,
                              lsa::net::CompKind::kPrgExpand,
                              static_cast<std::uint64_t>(t) * seg, true);
@@ -120,7 +120,7 @@ class FastSecAgg final : public SecureAggregator<F> {
           }
         }
       }
-    }
+    });
 
     // ---- Phase 2: aggregate-share upload from the survivors. ----
     // Server announces U1; user j sums the shares of surviving users only —
@@ -138,19 +138,18 @@ class FastSecAgg final : public SecureAggregator<F> {
       lsa::field::add_accumulate_blocked<F>(
           agg_shares_.row(r), std::span<const rep* const>(rows),
           pol.chunk_reps);
-    });
-    if (ledger_ != nullptr) {
-      for (const std::size_t j : responders) {
+      if (ledger_ != nullptr) {
         ledger_->add_compute(
             lsa::net::Phase::kRecovery, j, lsa::net::CompKind::kFieldAddVec,
             static_cast<std::uint64_t>(survivors.size()) * seg, true);
         ledger_->add_message(lsa::net::Phase::kRecovery, j,
                              ledger_->server_id(), seg, true);
       }
-    }
+    });
 
     // ---- Phase 3: one-shot decode of the aggregate *model*. ----
-    auto aggregate = codec_->decode_aggregate(responders, agg_shares_, pol);
+    auto aggregate = codec_->decode_aggregate(responders, agg_shares_, pol,
+                                              params_.decode);
     if (ledger_ != nullptr) {
       ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
                            lsa::net::CompKind::kMaskDecode,

@@ -99,7 +99,10 @@ class LightSecAgg final : public SecureAggregator<F> {
     // arena row j*N + i = [~z_i]_j — what user j stores for user i. One
     // task per user: draw z_i and its T noise segments from the user's PRG
     // (the same stream, in the same order, as the legacy per-user path)
-    // and write the N shares into the user's disjoint row set.
+    // and write the N shares into the user's disjoint row set. Per-user
+    // ledger entries are logged from INSIDE the parallel region — the
+    // sharded relaxed-atomic ledger makes the totals exact regardless of
+    // interleaving (tests/net_test.cpp pins them at large N).
     masks_.reset_for_overwrite(n, d);
     held_.reset_for_overwrite(n * n, seg);
     pol.run(n, [&](std::size_t i) {
@@ -111,9 +114,7 @@ class LightSecAgg final : public SecureAggregator<F> {
       lsa::field::fill_uniform<F>(masks_.row(i), prg);
       codec_->encode_into(masks_.row(i), prg, held_, /*base=*/i,
                           /*stride=*/n, pol.chunk_reps);
-    });
-    if (ledger_ != nullptr) {
-      for (std::size_t i = 0; i < n; ++i) {
+      if (ledger_ != nullptr) {
         // PRG: d mask elements + T noise segments.
         ledger_->add_compute(lsa::net::Phase::kOffline, i,
                              lsa::net::CompKind::kPrgExpand,
@@ -127,7 +128,7 @@ class LightSecAgg final : public SecureAggregator<F> {
           ledger_->add_message(lsa::net::Phase::kOffline, i, j, seg, true);
         }
       }
-    }
+    });
 
     // ---- Phase 2: masking and uploading of local models. ----
     // sum_masked = sum_{i in U1} (x_i + z_i), as one fused 2|U1|-row
@@ -174,21 +175,20 @@ class LightSecAgg final : public SecureAggregator<F> {
       lsa::field::add_accumulate_blocked<F>(
           agg_shares_.row(r), std::span<const rep* const>(rows),
           pol.chunk_reps);
-    });
-    if (ledger_ != nullptr) {
-      for (std::size_t j : responders) {
+      if (ledger_ != nullptr) {
         ledger_->add_compute(
             lsa::net::Phase::kRecovery, j, lsa::net::CompKind::kFieldAddVec,
             static_cast<std::uint64_t>(survivors.size()) * seg, true);
         ledger_->add_message(lsa::net::Phase::kRecovery, j,
                              ledger_->server_id(), seg, true);
       }
-    }
+    });
 
     auto agg_mask =
         (verify_redundant_ && responders.size() > u)
             ? codec_->decode_aggregate_verified(responders, agg_shares_, pol)
-            : codec_->decode_aggregate(responders, agg_shares_, pol);
+            : codec_->decode_aggregate(responders, agg_shares_, pol,
+                                       params_.decode);
     if (ledger_ != nullptr) {
       // Decode: U-T output segments, each a U-term combination (d*U work),
       // plus the barycentric weight computation — O(U^2) shared denominators

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "coding/decode_strategy.h"
 #include "common/error.h"
 #include "sys/exec_policy.h"
 
@@ -22,6 +23,12 @@ struct Params {
   /// blocked share aggregation, one-shot decode). Default: serial, default
   /// cache chunking — results are bit-identical under every policy.
   lsa::sys::ExecPolicy exec{};
+
+  /// Server-side decode kernel. kAuto picks barycentric GEMM or the
+  /// batched-NTT plane from (U, T, seg_len); every choice is bit-identical
+  /// (coding/decode_strategy.h). Plans are cached per session keyed on the
+  /// survivor set, so repeated rounds pay setup once.
+  lsa::coding::DecodeStrategy decode = lsa::coding::DecodeStrategy::kAuto;
 
   /// Validates the common constraints and resolves U if left at 0.
   /// Default U = N - D (the most dropout-tolerant choice); callers tuning

@@ -204,10 +204,22 @@ class SecAgg final : public SecureAggregator<F> {
     std::vector<detail::SeedExpansion> jobs;
     jobs.reserve(survivors.size() * (1 + (n - survivors.size())));
 
+    // One reconstruction plan per round: every secret reconstructs against
+    // the same first-T+1 survivor set, so the Lagrange weights (and their
+    // Shoup table) are computed once here instead of once per secret.
+    std::vector<std::uint32_t> survivor_indices;
+    for (std::size_t j : survivors) {
+      survivor_indices.push_back(static_cast<std::uint32_t>(j + 1));
+      if (survivor_indices.size() == t + 1) break;
+    }
+    const auto recon_plan =
+        shamir.make_reconstruction_plan(survivor_indices);
+
     // Remove private masks PRG(b_i) of survivors.
     for (std::size_t i : survivors) {
       const auto b_rec =
-          reconstruct_seed(shamir, b_shares_, i, survivors, b_len);
+          reconstruct_seed(shamir, recon_plan, b_shares_, i, survivors,
+                           b_len);
       jobs.push_back({b_rec, /*negate=*/true});
       if (ledger_ != nullptr) {
         ledger_->add_compute(lsa::net::Phase::kRecovery, ledger_->server_id(),
@@ -223,8 +235,8 @@ class SecAgg final : public SecureAggregator<F> {
     // Cancel the residual pairwise masks of every dropped user.
     for (std::size_t dct = 0; dct < n; ++dct) {
       if (!dropped[dct]) continue;
-      const std::uint64_t sk_rec =
-          reconstruct_sk(shamir, sk_shares_, dct, survivors, sk_len);
+      const std::uint64_t sk_rec = reconstruct_sk(
+          shamir, recon_plan, sk_shares_, dct, survivors, sk_len);
       lsa::require<lsa::ProtocolError>(sk_rec == keys[dct].secret,
                                        "secagg: sk reconstruction mismatch");
       for (std::size_t i : survivors) {
@@ -294,16 +306,19 @@ class SecAgg final : public SecureAggregator<F> {
     }
   }
 
-  /// Reconstructs a 32-byte seed from the first T+1 survivors' shares.
+  /// Reconstructs a 32-byte seed from the first T+1 survivors' shares,
+  /// through the round's cached reconstruction plan (the survivor set is
+  /// the same for every secret of the round).
   [[nodiscard]] lsa::crypto::Seed reconstruct_seed(
       const lsa::crypto::ShamirScheme<F>& shamir,
+      const typename lsa::crypto::ShamirScheme<F>::ReconstructionPlan& plan,
       const lsa::field::FlatMatrix<F>& arena, std::size_t owner,
       const std::vector<std::size_t>& survivors, std::size_t b_len) const {
     std::vector<std::uint32_t> indices;
     std::vector<const rep*> rows;
     gather_survivor_rows(arena, owner, survivors, indices, rows);
     const auto bytes = shamir.reconstruct_bytes_rows(
-        indices, std::span<const rep* const>(rows), b_len, 32);
+        plan, std::span<const rep* const>(rows), b_len, 32);
     lsa::crypto::Seed s{};
     std::copy(bytes.begin(), bytes.end(), s.begin());
     return s;
@@ -311,13 +326,14 @@ class SecAgg final : public SecureAggregator<F> {
 
   [[nodiscard]] std::uint64_t reconstruct_sk(
       const lsa::crypto::ShamirScheme<F>& shamir,
+      const typename lsa::crypto::ShamirScheme<F>::ReconstructionPlan& plan,
       const lsa::field::FlatMatrix<F>& arena, std::size_t owner,
       const std::vector<std::size_t>& survivors, std::size_t sk_len) const {
     std::vector<std::uint32_t> indices;
     std::vector<const rep*> rows;
     gather_survivor_rows(arena, owner, survivors, indices, rows);
     const auto bytes = shamir.reconstruct_bytes_rows(
-        indices, std::span<const rep* const>(rows), sk_len, 8);
+        plan, std::span<const rep* const>(rows), sk_len, 8);
     std::uint64_t sk = 0;
     std::memcpy(&sk, bytes.data(), 8);
     return sk;

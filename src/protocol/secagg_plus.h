@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <map>
 #include <cstring>
 #include <string_view>
 #include <vector>
@@ -211,12 +212,16 @@ class SecAggPlus final : public SecureAggregator<F> {
     // re-expansions are collected as jobs and batched through the pool
     // (recovery_batch.h) — bit-identical to the legacy serial loop.
     std::vector<detail::SeedExpansion> jobs;
+    // Neighborhoods sharing a surviving-position pattern share one
+    // reconstruction plan for the whole round.
+    ReconPlanCache recon_plans;
 
     // Remove private masks of survivors (reconstructed from neighbors).
     for (std::size_t i : survivors) {
       lsa::crypto::ShamirScheme<F> shamir(threshold_, nbrs[i].size());
       auto b_rec = reconstruct_bytes_from_neighbors(
-          shamir, b_shares_, i * max_deg, b_len, nbrs[i], dropped, 32,
+          shamir, recon_plans, b_shares_, i * max_deg, b_len, nbrs[i],
+          dropped, 32,
           "secagg+: cannot recover a survivor's b seed");
       lsa::crypto::Seed s{};
       std::copy(b_rec.begin(), b_rec.end(), s.begin());
@@ -238,7 +243,8 @@ class SecAggPlus final : public SecureAggregator<F> {
       if (!dropped[dct]) continue;
       lsa::crypto::ShamirScheme<F> shamir(threshold_, nbrs[dct].size());
       auto sk_bytes = reconstruct_bytes_from_neighbors(
-          shamir, sk_shares_, dct * max_deg, sk_len, nbrs[dct], dropped, 8,
+          shamir, recon_plans, sk_shares_, dct * max_deg, sk_len, nbrs[dct],
+          dropped, 8,
           "secagg+: cannot recover a dropped user's key — "
           "too many neighbors dropped");
       std::uint64_t sk_rec = 0;
@@ -292,11 +298,18 @@ class SecAggPlus final : public SecureAggregator<F> {
     lsa::field::fill_uniform<F>(out, prg);
   }
 
+  /// Per-round cache of reconstruction plans keyed on the surviving
+  /// neighbor-position pattern: neighborhoods with the same dropout shape
+  /// share one Lagrange-weight computation (plan-based recovery).
+  using ReconPlanCache =
+      std::map<std::vector<std::uint32_t>,
+               typename lsa::crypto::ShamirScheme<F>::ReconstructionPlan>;
+
   /// Collects threshold+1 share rows (arena rows base+pos, evaluation index
-  /// pos+1) held by surviving neighbors and reconstructs; throws
-  /// ProtocolError when too few survive.
+  /// pos+1) held by surviving neighbors and reconstructs through the
+  /// round's plan cache; throws ProtocolError when too few survive.
   [[nodiscard]] std::vector<std::uint8_t> reconstruct_bytes_from_neighbors(
-      const lsa::crypto::ShamirScheme<F>& shamir,
+      const lsa::crypto::ShamirScheme<F>& shamir, ReconPlanCache& plans,
       const lsa::field::FlatMatrix<F>& arena, std::size_t base,
       std::size_t packed_len, const std::vector<std::size_t>& neighbor_ids,
       const std::vector<bool>& dropped, std::size_t n_bytes,
@@ -311,8 +324,13 @@ class SecAggPlus final : public SecureAggregator<F> {
     }
     lsa::require<lsa::ProtocolError>(indices.size() >= threshold_ + 1,
                                      failure_msg);
+    auto it = plans.find(indices);
+    if (it == plans.end()) {
+      it = plans.emplace(indices, shamir.make_reconstruction_plan(indices))
+               .first;
+    }
     return shamir.reconstruct_bytes_rows(
-        indices, std::span<const rep* const>(rows), packed_len, n_bytes);
+        it->second, std::span<const rep* const>(rows), packed_len, n_bytes);
   }
 
   Params params_;

@@ -283,7 +283,8 @@ class AsyncAggregationServer final : public Party {
       share_rows.push_back(vec.data());
     }
     auto agg_mask = codec_.decode_aggregate_rows(
-        owners, std::span<const rep* const>(share_rows), params_.exec);
+        owners, std::span<const rep* const>(share_rows), params_.exec,
+        params_.decode);
     lsa::field::sub_inplace<Fp>(std::span<rep>(acc),
                                 std::span<const rep>(agg_mask));
 

@@ -318,7 +318,8 @@ class AggregationServer final : public Party {
                              corrected.corrupted_owners.end());
     } else {
       agg_mask = codec_.decode_aggregate_rows(
-          owners, std::span<const rep* const>(rows), params_.exec);
+          owners, std::span<const rep* const>(rows), params_.exec,
+          params_.decode);
     }
 
     std::vector<rep> result(params_.model_dim, Fp::zero);

@@ -1,7 +1,8 @@
-// The three aggregate-decode kernels (lagrange / barycentric / ntt) must be
-// bit-identical on every parameter combination, and the codec must recover
-// exact aggregates through each of them — including on the NTT-friendly
-// Goldilocks field, where a full LightSecAgg round is also exercised.
+// The aggregate-decode kernels (lagrange / barycentric / ntt / batched-ntt)
+// must be bit-identical on every parameter combination — serial and
+// parallel, with and without plan reuse — and the codec must recover exact
+// aggregates through each of them, including on the NTT-friendly Goldilocks
+// field, where a full LightSecAgg round is also exercised.
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -15,6 +16,7 @@
 #include "field/goldilocks.h"
 #include "field/random_field.h"
 #include "protocol/lightsecagg.h"
+#include "sys/thread_pool.h"
 
 namespace {
 
@@ -24,7 +26,9 @@ using lsa::field::Goldilocks;
 
 constexpr DecodeStrategy kAll[] = {DecodeStrategy::kLagrange,
                                    DecodeStrategy::kBarycentric,
-                                   DecodeStrategy::kNtt};
+                                   DecodeStrategy::kNtt,
+                                   DecodeStrategy::kBatchedNtt,
+                                   DecodeStrategy::kAuto};
 
 // ---------------------------------------------------------------------------
 // Kernel-level equality on raw share matrices.
@@ -44,7 +48,8 @@ void expect_kernels_agree(std::size_t u, std::size_t num_betas,
   const auto ref = lsa::coding::decode_eval<F>(
       DecodeStrategy::kLagrange, xs, betas, shares, seg_len);
   for (const auto strategy :
-       {DecodeStrategy::kBarycentric, DecodeStrategy::kNtt}) {
+       {DecodeStrategy::kBarycentric, DecodeStrategy::kNtt,
+        DecodeStrategy::kBatchedNtt, DecodeStrategy::kAuto}) {
     const auto out =
         lsa::coding::decode_eval<F>(strategy, xs, betas, shares, seg_len);
     EXPECT_EQ(out, ref) << "strategy=" << lsa::coding::to_string(strategy)
@@ -71,6 +76,107 @@ TEST(DecodeStrategy, KernelsAgreeOnFp32) {
 
 TEST(DecodeStrategy, SingleShareSingleBeta) {
   expect_kernels_agree<Goldilocks>(1, 1, 5, 21);
+}
+
+// ---------------------------------------------------------------------------
+// BatchedDecodePlan: bit-parity against the per-coordinate kernels across
+// execution policies, plan reuse, and awkward tree shapes.
+// ---------------------------------------------------------------------------
+
+template <class F>
+void expect_plan_parity(std::size_t u, std::size_t num_betas,
+                        std::size_t seg_len, std::uint64_t seed) {
+  using rep = typename F::rep;
+  lsa::common::Xoshiro256ss rng(seed);
+  std::vector<rep> xs(u), betas(num_betas);
+  for (std::size_t j = 0; j < u; ++j) xs[j] = F::from_u64(1000 + 11 * j);
+  for (std::size_t k = 0; k < num_betas; ++k) betas[k] = F::from_u64(1 + k);
+  std::vector<std::vector<rep>> store(u);
+  std::vector<const rep*> rows(u);
+  for (std::size_t j = 0; j < u; ++j) {
+    store[j] = lsa::field::uniform_vector<F>(seg_len, rng);
+    rows[j] = store[j].data();
+  }
+  std::span<const rep* const> shares(rows);
+
+  const auto ref = lsa::coding::decode_eval_fast<F>(
+      std::span<const rep>(xs), std::span<const rep>(betas), shares,
+      seg_len);
+  const auto bary = lsa::coding::decode_eval_barycentric<F>(
+      std::span<const rep>(xs), std::span<const rep>(betas), shares,
+      seg_len);
+  ASSERT_EQ(bary, ref);
+
+  lsa::coding::BatchedDecodePlan<F> plan{std::span<const rep>(xs),
+                                         std::span<const rep>(betas)};
+  // Serial, first stream (pays setup).
+  EXPECT_EQ(plan.run(DecodeStrategy::kBatchedNtt, shares, seg_len, {}), ref)
+      << "u=" << u << " betas=" << num_betas << " seg=" << seg_len;
+  // Reused plan (cached trees/tables) must stream the same bits.
+  EXPECT_EQ(plan.run(DecodeStrategy::kBatchedNtt, shares, seg_len, {}), ref);
+  EXPECT_EQ(plan.run(DecodeStrategy::kBarycentric, shares, seg_len, {}),
+            ref);
+  // Parallel policies, including chunk sizes that split the gather blocks.
+  for (const std::size_t workers : {2ul, 4ul}) {
+    lsa::sys::ThreadPool pool(workers);
+    for (const std::size_t chunk : {0ul, 64ul, 1000ul}) {
+      lsa::sys::ExecPolicy pol{&pool, chunk};
+      EXPECT_EQ(plan.run(DecodeStrategy::kBatchedNtt, shares, seg_len, pol),
+                ref)
+          << "workers=" << workers << " chunk=" << chunk;
+      EXPECT_EQ(plan.run(DecodeStrategy::kBarycentric, shares, seg_len,
+                         pol),
+                ref);
+    }
+  }
+}
+
+TEST(BatchedDecodePlan, ParityOnGoldilocks) {
+  expect_plan_parity<Goldilocks>(4, 2, 16, 31);
+  expect_plan_parity<Goldilocks>(7, 3, 33, 32);    // odd U: carry-through
+  expect_plan_parity<Goldilocks>(16, 8, 128, 33);
+  expect_plan_parity<Goldilocks>(33, 5, 64, 34);   // odd tree both sides
+  expect_plan_parity<Goldilocks>(64, 32, 100, 35);
+  expect_plan_parity<Goldilocks>(100, 30, 64, 36);  // above NTT threshold
+  expect_plan_parity<Goldilocks>(96, 95, 40, 37);   // T = 1: tiny qlen
+  expect_plan_parity<Goldilocks>(80, 1, 40, 38);    // single beta
+  expect_plan_parity<Goldilocks>(1, 1, 9, 39);
+}
+
+TEST(BatchedDecodePlan, ParityOnNonNttFields) {
+  // Schoolbook products everywhere — still exact, still plan-cached.
+  expect_plan_parity<Fp32>(13, 6, 50, 41);
+  expect_plan_parity<Fp32>(32, 16, 33, 42);
+  expect_plan_parity<lsa::field::Fp61>(17, 7, 29, 43);
+}
+
+TEST(BatchedDecodePlan, AutoResolvesAndMatches) {
+  using F = Goldilocks;
+  using rep = F::rep;
+  lsa::common::Xoshiro256ss rng(51);
+  const std::size_t u = 40, nb = 16, seg = 64;
+  std::vector<rep> xs(u), betas(nb);
+  for (std::size_t j = 0; j < u; ++j) xs[j] = F::from_u64(500 + j);
+  for (std::size_t k = 0; k < nb; ++k) betas[k] = F::from_u64(1 + k);
+  std::vector<std::vector<rep>> store(u);
+  std::vector<const rep*> rows(u);
+  for (std::size_t j = 0; j < u; ++j) {
+    store[j] = lsa::field::uniform_vector<F>(seg, rng);
+    rows[j] = store[j].data();
+  }
+  lsa::coding::BatchedDecodePlan<F> plan{std::span<const rep>(xs),
+                                         std::span<const rep>(betas)};
+  const auto resolved = plan.resolve(DecodeStrategy::kAuto, seg);
+  EXPECT_TRUE(resolved == DecodeStrategy::kBarycentric ||
+              resolved == DecodeStrategy::kBatchedNtt);
+  EXPECT_EQ(plan.resolve(DecodeStrategy::kNtt, seg), DecodeStrategy::kNtt);
+  const auto got =
+      plan.run(DecodeStrategy::kAuto, std::span<const rep* const>(rows),
+               seg, {});
+  const auto ref = lsa::coding::decode_eval_lagrange<F>(
+      std::span<const rep>(xs), std::span<const rep>(betas),
+      std::span<const rep* const>(rows), seg);
+  EXPECT_EQ(got, ref);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,10 +1,14 @@
 // Ledger accounting, cost model arithmetic, and round-time simulation.
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/random_field.h"
 #include "net/bandwidth.h"
 #include "net/cost_model.h"
 #include "net/ledger.h"
 #include "net/round_sim.h"
+#include "protocol/lightsecagg.h"
 #include "sys/thread_pool.h"
 
 namespace {
@@ -184,6 +188,84 @@ TEST(Bandwidth, PresetsMatchPaperSettings) {
   EXPECT_DOUBLE_EQ(BandwidthProfile::measured_320mbps().user_uplink_bps,
                    320e6);
   EXPECT_DOUBLE_EQ(BandwidthProfile::nr_5g().user_uplink_bps, 802e6);
+}
+
+// LightSecAgg logs per-user ledger entries from INSIDE its parallel encode
+// and responder loops; the sharded atomic ledger must produce totals that
+// are exact and identical to a serial run at large N — pinned against the
+// closed-form per-phase counts.
+TEST(Ledger, ParallelProtocolLoggingExactTotalsAtLargeN) {
+  using F = lsa::field::Fp32;
+  using rep = F::rep;
+  const std::size_t n = 128, t = 40, drop = 20, d = 96;
+
+  lsa::protocol::Params base;
+  base.num_users = n;
+  base.privacy = t;
+  base.dropout = drop;
+  base.model_dim = d;
+
+  lsa::common::Xoshiro256ss rng(4242);
+  std::vector<std::vector<rep>> inputs(n);
+  for (auto& v : inputs) v = lsa::field::uniform_vector<F>(d, rng);
+  std::vector<bool> dropped(n, false);
+  for (std::size_t i = 0; i < drop; ++i) dropped[3 * i] = true;
+
+  Ledger serial_ledger(n);
+  {
+    lsa::protocol::LightSecAgg<F> proto(base, 9, &serial_ledger);
+    (void)proto.run_round(inputs, dropped);
+  }
+
+  lsa::sys::ThreadPool pool(4);
+  lsa::protocol::Params par = base;
+  par.exec = lsa::sys::ExecPolicy{&pool, 0};
+  Ledger par_ledger(n);
+  {
+    lsa::protocol::LightSecAgg<F> proto(par, 9, &par_ledger);
+    (void)proto.run_round(inputs, dropped);
+  }
+
+  const std::size_t u = n - drop;  // resolved U = N - D
+  const std::size_t seg = (d + (u - t) - 1) / (u - t);
+  for (std::size_t e = 0; e <= n; ++e) {
+    for (const auto ph : {Phase::kOffline, Phase::kUpload, Phase::kRecovery}) {
+      for (const bool scaled : {false, true}) {
+        EXPECT_EQ(par_ledger.sent_elems(ph, e, scaled),
+                  serial_ledger.sent_elems(ph, e, scaled))
+            << "entity " << e;
+        EXPECT_EQ(par_ledger.recv_elems_of(ph, e, scaled),
+                  serial_ledger.recv_elems_of(ph, e, scaled));
+        for (std::size_t k = 0; k < kNumCompKinds; ++k) {
+          EXPECT_EQ(par_ledger.compute_elems(ph, e, static_cast<CompKind>(k),
+                                             scaled),
+                    serial_ledger.compute_elems(ph, e,
+                                                static_cast<CompKind>(k),
+                                                scaled));
+        }
+      }
+    }
+    if (e < n) {
+      // Closed-form offline traffic: every user ships N-1 shares of seg
+      // elements, logged from the parallel encode loop.
+      EXPECT_EQ(par_ledger.sent_elems(Phase::kOffline, e, true),
+                (n - 1) * seg);
+      EXPECT_EQ(par_ledger.messages_sent(Phase::kOffline, e), n - 1);
+      // Closed-form offline compute: PRG d + T*seg, encode N*U*seg.
+      EXPECT_EQ(par_ledger.compute_elems(Phase::kOffline, e,
+                                         CompKind::kPrgExpand, true),
+                d + t * seg);
+      EXPECT_EQ(par_ledger.compute_elems(Phase::kOffline, e,
+                                         CompKind::kMaskEncode, true),
+                n * u * seg);
+    }
+  }
+  // Recovery: exactly U responders, one seg-length message each.
+  std::uint64_t recovery_msgs = 0;
+  for (std::size_t e = 0; e < n; ++e) {
+    recovery_msgs += par_ledger.messages_sent(Phase::kRecovery, e);
+  }
+  EXPECT_EQ(recovery_msgs, u);
 }
 
 }  // namespace

@@ -1,0 +1,141 @@
+// Shoup precomputed-operand multiplication must be bit-identical to the
+// reference product on both 64-bit fields (Goldilocks, Fp61) at every
+// boundary of the reduction algebra, and the Shoup-threaded axpy kernels
+// must reproduce the plain-mul kernels exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/field_vec.h"
+#include "field/fp.h"
+#include "field/goldilocks.h"
+#include "field/random_field.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using lsa::field::Fp61;
+using lsa::field::Goldilocks;
+
+// Values that stress every conditional in mul_shoup: the quotient-estimate
+// off-by-one (qhat = floor(s*a/p) - 1), the [p, 2p) canonicalization, and —
+// for Goldilocks — the 65-bit remainder carry that selects the 2^64 == eps
+// folding.
+template <class F>
+std::vector<typename F::rep> boundary_values() {
+  using rep = typename F::rep;
+  const std::uint64_t p = F::modulus;
+  std::vector<std::uint64_t> raw = {
+      0,      1,      2,      3,          5,          7,
+      p - 1,  p - 2,  p - 3,  p / 2,      p / 2 + 1,  p / 2 - 1,
+      p / 3,  2 * (p / 3)};
+  for (unsigned k = 1; k < 64; ++k) {
+    const std::uint64_t b = 1ull << k;
+    for (const std::uint64_t v : {b - 1, b, b + 1}) {
+      if (v < p) raw.push_back(v);
+    }
+  }
+  std::vector<rep> out;
+  for (const std::uint64_t v : raw) out.push_back(static_cast<rep>(v));
+  return out;
+}
+
+template <class F>
+void exhaustive_boundary_cross() {
+  const auto vals = boundary_values<F>();
+  for (const auto s : vals) {
+    const auto s_pre = F::shoup_precompute(s);
+    for (const auto a : vals) {
+      ASSERT_EQ(F::mul_shoup(a, s, s_pre), F::mul_reference(a, s))
+          << "a=" << +a << " s=" << +s;
+    }
+  }
+}
+
+TEST(Shoup, GoldilocksBoundaryExhaustive) {
+  exhaustive_boundary_cross<Goldilocks>();
+}
+
+TEST(Shoup, Fp61BoundaryExhaustive) { exhaustive_boundary_cross<Fp61>(); }
+
+TEST(Shoup, Fp32BoundaryExhaustive) { exhaustive_boundary_cross<Fp32>(); }
+
+template <class F>
+void randomized_parity(std::uint64_t seed, int iters) {
+  lsa::common::Xoshiro256ss rng(seed);
+  for (int i = 0; i < iters; ++i) {
+    const auto a = lsa::field::uniform<F>(rng);
+    const auto s = lsa::field::uniform<F>(rng);
+    const auto s_pre = F::shoup_precompute(s);
+    ASSERT_EQ(F::mul_shoup(a, s, s_pre), F::mul(a, s)) << "a=" << +a
+                                                       << " s=" << +s;
+  }
+}
+
+TEST(Shoup, GoldilocksRandomizedParity) {
+  randomized_parity<Goldilocks>(101, 500000);
+}
+
+TEST(Shoup, Fp61RandomizedParity) { randomized_parity<Fp61>(102, 500000); }
+
+// The Shoup-threaded axpy kernels must match a plain F::mul/F::add loop
+// bit-for-bit, across the kShoupMinReps threshold and for zero weights.
+template <class F>
+void axpy_kernel_parity(std::uint64_t seed) {
+  using rep = typename F::rep;
+  lsa::common::Xoshiro256ss rng(seed);
+  for (const std::size_t n : {1ul, 8ul, 16ul, 17ul, 100ul, 5000ul}) {
+    for (const std::size_t u : {1ul, 3ul, 9ul}) {
+      std::vector<std::vector<rep>> rows_store(u);
+      std::vector<const rep*> rows(u);
+      std::vector<rep> coeffs(u);
+      for (std::size_t k = 0; k < u; ++k) {
+        rows_store[k] = lsa::field::uniform_vector<F>(n, rng);
+        rows[k] = rows_store[k].data();
+        coeffs[k] = (k % 3 == 2) ? F::zero
+                                 : lsa::field::uniform<F>(rng);
+      }
+      const auto init = lsa::field::uniform_vector<F>(n, rng);
+
+      std::vector<rep> ref(init);
+      for (std::size_t k = 0; k < u; ++k) {
+        for (std::size_t l = 0; l < n; ++l) {
+          ref[l] = F::add(ref[l], F::mul(coeffs[k], rows_store[k][l]));
+        }
+      }
+
+      std::vector<rep> got(init);
+      lsa::field::axpy_accumulate_blocked<F>(
+          std::span<rep>(got), std::span<const rep>(coeffs),
+          std::span<const rep* const>(rows));
+      EXPECT_EQ(got, ref) << "accumulate n=" << n << " u=" << u;
+
+      const auto shoup = lsa::field::shoup_precompute_vec<F>(
+          std::span<const rep>(coeffs));
+      std::vector<rep> got_pre(init);
+      lsa::field::axpy_accumulate_blocked_pre<F>(
+          std::span<rep>(got_pre), std::span<const rep>(coeffs),
+          std::span<const rep>(shoup), std::span<const rep* const>(rows));
+      EXPECT_EQ(got_pre, ref) << "accumulate_pre n=" << n << " u=" << u;
+
+      std::vector<rep> got_axpy(init);
+      for (std::size_t k = 0; k < u; ++k) {
+        lsa::field::axpy_inplace<F>(std::span<rep>(got_axpy), coeffs[k],
+                                    std::span<const rep>(rows_store[k]));
+      }
+      EXPECT_EQ(got_axpy, ref) << "axpy_inplace n=" << n << " u=" << u;
+    }
+  }
+}
+
+TEST(Shoup, GoldilocksAxpyKernelsBitIdentical) {
+  axpy_kernel_parity<Goldilocks>(201);
+}
+
+TEST(Shoup, Fp61AxpyKernelsBitIdentical) { axpy_kernel_parity<Fp61>(202); }
+
+TEST(Shoup, Fp32AxpyKernelsBitIdentical) { axpy_kernel_parity<Fp32>(203); }
+
+}  // namespace
