@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_async.json (bench_async_server --smoke).
+
+Gates on the STRUCTURAL invariants of the unified session runtime rather
+than raw speed (CI machines are noisy): async aggregates bit-identical to
+the legacy single-threaded drive, zero send-side payload copies, and the
+survivor-set decode-plan cache actually hit on repeated cycles. A loose
+cycles/s floor catches order-of-magnitude throughput collapses.
+
+Usage: check_async_regression.py BENCH_async.json async_tolerance.json
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+    with open(sys.argv[2]) as f:
+        tol = json.load(f)
+
+    records = {r["name"]: r for r in bench["records"]}
+    failures = []
+
+    def check(name, field, ok, shown, rule):
+        status = "ok" if ok else "REGRESSION"
+        print(f"{name}.{field}: {shown} ({rule}) {status}")
+        if not ok:
+            failures.append(f"{name}.{field} = {shown} violates {rule}")
+
+    def require_min(name, field, minimum):
+        rec = records.get(name)
+        if rec is None or field not in rec:
+            failures.append(f"missing record {name}.{field}")
+            return
+        check(name, field, rec[field] >= minimum, f"{rec[field]:.3f}",
+              f"min {minimum}")
+
+    def require_max(name, field, maximum):
+        rec = records.get(name)
+        if rec is None or field not in rec:
+            failures.append(f"missing record {name}.{field}")
+            return
+        check(name, field, rec[field] <= maximum, f"{rec[field]:.3f}",
+              f"max {maximum}")
+
+    require_min("async_cycles", "bit_identical", 1)
+    require_max("async_cycles", "send_side_payload_copies",
+                tol["max_send_side_payload_copies"])
+    require_min("async_cycles", "decode_plan_reuses",
+                tol["min_decode_plan_reuses"])
+    require_min("async_cycles", "sharded_cycles_per_s",
+                tol["min_sharded_cycles_per_s"])
+    require_min("mixed_drive", "bit_identical", 1)
+    require_max("mixed_drive", "send_side_payload_copies",
+                tol["max_send_side_payload_copies"])
+
+    if failures:
+        print("\nAsync session-runtime regression detected:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nAll async session-runtime gates passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@
 #include "field/random_field.h"
 #include "protocol/params.h"
 #include "quant/staleness.h"
+#include "runtime/arrival_scheduler.h"
 #include "runtime/machines.h"  // Party
 #include "runtime/router.h"
 #include "runtime/transport.h"
@@ -209,6 +210,11 @@ class AsyncAggregationServer final : public Party {
   [[nodiscard]] bool buffer_full() const {
     return buffer_.size() >= buffer_k_;
   }
+  /// The session codec: exposes last_decode_stats() (plan-cache hit and the
+  /// setup-vs-stream split of the one-shot weighted recovery).
+  [[nodiscard]] const lsa::coding::MaskCodec<Fp>& codec() const {
+    return codec_;
+  }
 
   void handle(const Message& m) override {
     on_payload(m.type, m.sender, m.round, m.payload);
@@ -344,11 +350,9 @@ class AsyncNetwork {
   using Fp = lsa::field::Fp32;
   using rep = Fp::rep;
 
-  struct Arrival {
-    std::size_t user = 0;
-    std::uint64_t born_round = 0;  ///< t_i (staleness = now - t_i)
-    std::vector<rep> update;
-  };
+  /// t_i = born_round (staleness = now - t_i); shared with the arrival
+  /// scheduler so session and legacy drives consume identical patterns.
+  using Arrival = lsa::runtime::Arrival;
 
   AsyncNetwork(lsa::protocol::Params params, std::size_t buffer_k,
                lsa::quant::StalenessPolicy staleness, std::uint64_t c_g,

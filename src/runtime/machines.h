@@ -362,6 +362,12 @@ class AggregationServer final : public Party {
     return last_corrupted_;
   }
 
+  /// The session codec: exposes last_decode_stats() (which kernel ran,
+  /// plan-cache hit, setup-vs-stream split) for session telemetry.
+  [[nodiscard]] const lsa::coding::MaskCodec<Fp>& codec() const {
+    return codec_;
+  }
+
  private:
   void on_payload(MsgType type, std::uint32_t sender, std::uint64_t round,
                   std::span<const rep> payload) {

@@ -7,8 +7,10 @@
 #include "common/rng.h"
 #include "field/random_field.h"
 #include "protocol/lightsecagg.h"
+#include "quant/staleness.h"
 #include "runtime/machines.h"
 #include "runtime/wire.h"
+#include "server/aggregation_server.h"
 #include "transport/buffer_pool.h"
 #include "transport/frame.h"
 
@@ -177,6 +179,122 @@ TEST(FuzzPooledFrames, TruncationBitFlipsAndBadLengthsRejected) {
   std::memcpy(noncanon.data() + 24, &fixed_crc, 4);
   const auto f2 = lsa::transport::frame_from_bytes(pool, noncanon);
   EXPECT_THROW((void)lsa::transport::parse_frame(f2), lsa::ProtocolError);
+}
+
+TEST(FuzzPooledFrames, AsyncFrameTypesRoundTripAndRejectCorruption) {
+  // The async protocol's frame types through the pooled zero-copy framing
+  // path: a timestamped encoded mask share (the round field carries the
+  // BORN round — exercise the full 64-bit range), a buffer manifest of
+  // (user, born_round, weight) triples, and a weighted-share response.
+  // Each must round-trip byte-exactly and reject truncation, payload bit
+  // flips and length tampering, like the sync types.
+  lsa::transport::BufferPool pool;
+  struct Case {
+    MsgType type;
+    std::uint64_t round;
+    std::vector<rep> payload;
+  };
+  const std::vector<Case> cases = {
+      // [~z_i]_j at born round 2^40 + 3 (async rounds are true u64s).
+      {MsgType::kEncodedMaskShare, (1ull << 40) + 3, {7, 11, 4294967290u, 0}},
+      // Manifest triples: (user, born_round, quantized staleness weight).
+      {MsgType::kBufferManifest, 9, {0, 7, 64, 3, 8, 32, 5, 9, 64}},
+      // sum_b w_b [~z_{u_b}^{(t_b)}]_j — an ordinary share-length row.
+      {MsgType::kWeightedShares, 9, {1, 2, 3, 4, 5}},
+  };
+  for (const auto& c : cases) {
+    const auto frame = lsa::transport::build_frame(
+        pool, c.type, 3, 9, c.round, std::span<const rep>(c.payload));
+    const auto view = lsa::transport::parse_frame(frame);
+    EXPECT_EQ(view.type, c.type);
+    EXPECT_EQ(view.round, c.round);
+    ASSERT_EQ(view.payload.size(), c.payload.size());
+    EXPECT_TRUE(std::equal(view.payload.begin(), view.payload.end(),
+                           c.payload.begin()));
+
+    const auto bytes = frame.bytes();
+    const std::vector<std::uint8_t> good(bytes.begin(), bytes.end());
+    // Truncation at every interesting boundary.
+    for (const std::size_t keep :
+         {std::size_t{0}, kHeaderBytes - 1, kHeaderBytes, good.size() - 4,
+          good.size() - 1}) {
+      const auto cut = lsa::transport::frame_from_bytes(
+          pool, std::span<const std::uint8_t>(good.data(), keep));
+      EXPECT_THROW((void)lsa::transport::parse_frame(cut),
+                   lsa::ProtocolError)
+          << "type " << int(c.type) << " kept " << keep;
+    }
+    // Payload bit flips (CRC must catch every one).
+    for (std::size_t pos = kHeaderBytes; pos < good.size(); ++pos) {
+      for (const std::uint8_t bit : {0x01, 0x80}) {
+        auto mutated = good;
+        mutated[pos] ^= bit;
+        const auto f = lsa::transport::frame_from_bytes(pool, mutated);
+        EXPECT_THROW((void)lsa::transport::parse_frame(f),
+                     lsa::ProtocolError)
+            << "type " << int(c.type) << " byte " << pos;
+      }
+    }
+    // Length-field tampering (offset 20).
+    for (const int delta : {1, 255}) {
+      auto mutated = good;
+      mutated[20] = static_cast<std::uint8_t>(mutated[20] + delta);
+      const auto f = lsa::transport::frame_from_bytes(pool, mutated);
+      EXPECT_THROW((void)lsa::transport::parse_frame(f), lsa::ProtocolError);
+    }
+  }
+}
+
+TEST(FuzzAsyncSession, CorruptedAsyncFramesFailLoudlyNotWrongly) {
+  // Flip a payload bit in every 5th frame of an async buffer cycle driven
+  // through the zero-copy transport: the cycle must either complete with
+  // the EXACT staleness-weighted aggregate or throw — never return a wrong
+  // one. Covers the async types in flight (timestamped shares, manifest,
+  // weighted shares, result).
+  lsa::server::AsyncSessionConfig cfg;
+  cfg.params.num_users = 6;
+  cfg.params.privacy = 1;
+  cfg.params.dropout = 2;
+  cfg.params.target_survivors = 4;
+  cfg.params.model_dim = 16;
+  cfg.buffer_k = 3;
+  cfg.staleness = {lsa::quant::StalenessKind::kPolynomial, 1.0};
+  cfg.c_g = 1u << 6;
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    cfg.seed = 100 + seed;
+    lsa::server::AsyncSession session(cfg);
+    lsa::common::Xoshiro256ss rng(seed);
+    std::vector<lsa::runtime::Arrival> arrivals;
+    for (std::size_t b = 0; b < 3; ++b) {
+      arrivals.push_back(
+          {b + seed % 3, 5 + b,
+           lsa::field::uniform_vector<Fp32>(16, rng)});
+    }
+    std::vector<rep> expected(16, Fp32::zero);
+    for (const auto& a : arrivals) {
+      const auto w = lsa::quant::quantized_staleness_weight(
+          cfg.staleness, 8 - a.born_round, cfg.c_g);
+      lsa::field::axpy_inplace<Fp32>(std::span<rep>(expected),
+                                     Fp32::from_u64(w),
+                                     std::span<const rep>(a.update));
+    }
+    int count = 0;
+    session.router().set_fault_hook(
+        [&count](std::span<std::uint8_t> frame) {
+          if (++count % 5 == 0 &&
+              frame.size() > lsa::runtime::kHeaderBytes) {
+            frame[lsa::runtime::kHeaderBytes] ^= 0x10;
+          }
+          return true;
+        });
+    try {
+      const auto out = session.run_cycle(8, arrivals);
+      EXPECT_EQ(out.weighted_sum, expected) << "seed " << seed;
+    } catch (const lsa::Error&) {
+      // Loud failure is acceptable; silent corruption is not.
+    }
+  }
 }
 
 TEST(FuzzNetwork, CorruptingRouterFramesFailsLoudlyNotWrongly) {
