@@ -9,62 +9,34 @@ cycles/s floor catches order-of-magnitude throughput collapses.
 
 Usage: check_async_regression.py BENCH_async.json async_tolerance.json
 """
-import json
 import sys
+
+from check_common import Gate
 
 
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__)
         return 2
-    with open(sys.argv[1]) as f:
-        bench = json.load(f)
-    with open(sys.argv[2]) as f:
-        tol = json.load(f)
+    gate = Gate(sys.argv[1], sys.argv[2])
+    tol = gate.tolerance
 
-    records = {r["name"]: r for r in bench["records"]}
-    failures = []
-
-    def check(name, field, ok, shown, rule):
-        status = "ok" if ok else "REGRESSION"
-        print(f"{name}.{field}: {shown} ({rule}) {status}")
-        if not ok:
-            failures.append(f"{name}.{field} = {shown} violates {rule}")
-
-    def require_min(name, field, minimum):
-        rec = records.get(name)
-        if rec is None or field not in rec:
-            failures.append(f"missing record {name}.{field}")
-            return
-        check(name, field, rec[field] >= minimum, f"{rec[field]:.3f}",
-              f"min {minimum}")
-
-    def require_max(name, field, maximum):
-        rec = records.get(name)
-        if rec is None or field not in rec:
-            failures.append(f"missing record {name}.{field}")
-            return
-        check(name, field, rec[field] <= maximum, f"{rec[field]:.3f}",
-              f"max {maximum}")
-
-    require_min("async_cycles", "bit_identical", 1)
-    require_max("async_cycles", "send_side_payload_copies",
-                tol["max_send_side_payload_copies"])
-    require_min("async_cycles", "decode_plan_reuses",
-                tol["min_decode_plan_reuses"])
-    require_min("async_cycles", "sharded_cycles_per_s",
-                tol["min_sharded_cycles_per_s"])
-    require_min("mixed_drive", "bit_identical", 1)
-    require_max("mixed_drive", "send_side_payload_copies",
-                tol["max_send_side_payload_copies"])
-
-    if failures:
-        print("\nAsync session-runtime regression detected:")
-        for f in failures:
-            print(f"  - {f}")
-        return 1
-    print("\nAll async session-runtime gates passed.")
-    return 0
+    gate.require_min("async_cycles", "bit_identical", 1)
+    gate.require_max("async_cycles", "send_side_payload_copies",
+                     tol["max_send_side_payload_copies"])
+    gate.require_min("async_cycles", "decode_plan_reuses",
+                     tol["min_decode_plan_reuses"])
+    gate.require_min("async_cycles", "sharded_cycles_per_s",
+                     tol["min_sharded_cycles_per_s"])
+    gate.require_min("mixed_drive", "bit_identical", 1)
+    gate.require_max("mixed_drive", "send_side_payload_copies",
+                     tol["max_send_side_payload_copies"])
+    # Mailbox-strategy sweep: ring and mutex-deque must both reproduce the
+    # legacy drive; the ratio floor only catches the ring path collapsing.
+    gate.require_min("mailbox_strategies", "bit_identical", 1)
+    gate.require_min("mailbox_strategies", "ring_vs_mutex",
+                     tol["min_ring_vs_mutex"])
+    return gate.finish("async session-runtime")
 
 
 if __name__ == "__main__":

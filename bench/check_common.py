@@ -1,0 +1,54 @@
+"""Shared scaffolding for the bench regression gates.
+
+Each gate script (check_decode_regression.py, check_async_regression.py,
+check_transport_regression.py) loads a BENCH_*.json report and a checked-in
+tolerance file, then asserts per-record floors/ceilings. The loading,
+record lookup, and pass/fail reporting live here so the three gates cannot
+drift apart.
+"""
+import json
+
+
+class Gate:
+    """Floor/ceiling checks over one bench report's records."""
+
+    def __init__(self, bench_path: str, tolerance_path: str):
+        with open(bench_path) as f:
+            bench = json.load(f)
+        with open(tolerance_path) as f:
+            self.tolerance = json.load(f)
+        self.records = {r["name"]: r for r in bench["records"]}
+        self.failures = []
+
+    def _lookup(self, name, field):
+        rec = self.records.get(name)
+        if rec is None or field not in rec:
+            self.failures.append(f"missing record {name}.{field}")
+            return None
+        return rec[field]
+
+    def _check(self, name, field, value, ok, rule):
+        status = "ok" if ok else "REGRESSION"
+        print(f"{name}.{field}: {value:.3f} ({rule}) {status}")
+        if not ok:
+            self.failures.append(f"{name}.{field} = {value:.3f} violates {rule}")
+
+    def require_min(self, name, field, minimum):
+        value = self._lookup(name, field)
+        if value is not None:
+            self._check(name, field, value, value >= minimum, f"min {minimum}")
+
+    def require_max(self, name, field, maximum):
+        value = self._lookup(name, field)
+        if value is not None:
+            self._check(name, field, value, value <= maximum, f"max {maximum}")
+
+    def finish(self, what: str) -> int:
+        """Prints the verdict; returns the process exit code."""
+        if self.failures:
+            print(f"\n{what} regression detected:")
+            for f in self.failures:
+                print(f"  - {f}")
+            return 1
+        print(f"\nAll {what} gates passed.")
+        return 0

@@ -9,50 +9,29 @@ plane, not single-digit drift.
 
 Usage: check_decode_regression.py BENCH_decode.json decode_tolerance.json
 """
-import json
 import sys
+
+from check_common import Gate
 
 
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__)
         return 2
-    with open(sys.argv[1]) as f:
-        bench = json.load(f)
-    with open(sys.argv[2]) as f:
-        tol = json.load(f)
+    gate = Gate(sys.argv[1], sys.argv[2])
+    tol = gate.tolerance
 
-    records = {r["name"]: r for r in bench["records"]}
-    failures = []
-
-    def require(name, field, minimum):
-        rec = records.get(name)
-        if rec is None or field not in rec:
-            failures.append(f"missing record {name}.{field}")
-            return
-        value = rec[field]
-        status = "ok" if value >= minimum else "REGRESSION"
-        print(f"{name}.{field}: {value:.3f} (min {minimum}) {status}")
-        if value < minimum:
-            failures.append(f"{name}.{field} = {value:.3f} < {minimum}")
-
-    require("summary", "min_batched_vs_ntt_speedup_seg4096plus",
-            tol["min_batched_vs_ntt_speedup"])
-    require("axpy_goldilocks", "shoup_speedup",
-            tol["min_shoup_axpy_speedup_goldilocks"])
-    require("axpy_fp61", "shoup_speedup", tol["min_shoup_axpy_speedup_fp61"])
-    require("axpy_goldilocks", "shipped_speedup",
-            tol["min_shipped_axpy_speedup_goldilocks"])
-    require("axpy_fp61", "shipped_speedup",
-            tol["min_shipped_axpy_speedup_fp61"])
-
-    if failures:
-        print("\nDecode-plane perf regression detected:")
-        for f in failures:
-            print(f"  - {f}")
-        return 1
-    print("\nAll decode-plane perf gates passed.")
-    return 0
+    gate.require_min("summary", "min_batched_vs_ntt_speedup_seg4096plus",
+                     tol["min_batched_vs_ntt_speedup"])
+    gate.require_min("axpy_goldilocks", "shoup_speedup",
+                     tol["min_shoup_axpy_speedup_goldilocks"])
+    gate.require_min("axpy_fp61", "shoup_speedup",
+                     tol["min_shoup_axpy_speedup_fp61"])
+    gate.require_min("axpy_goldilocks", "shipped_speedup",
+                     tol["min_shipped_axpy_speedup_goldilocks"])
+    gate.require_min("axpy_fp61", "shipped_speedup",
+                     tol["min_shipped_axpy_speedup_fp61"])
+    return gate.finish("decode-plane perf")
 
 
 if __name__ == "__main__":

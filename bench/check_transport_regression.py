@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_transport.json (bench_transport --smoke).
+
+Gates on the STRUCTURAL invariants of the transport plane rather than raw
+speed (CI machines are noisy): zero send-side payload copies on every
+zero-copy path, sharded aggregates bit-identical to the serial Network
+under BOTH mailbox strategies (lock-free ring and the mutex-deque
+reference), a loose floor on the zero-copy speedup over the seed Router,
+and a loose floor on the fan-in contention sweep's ring-vs-mutex ratio —
+the knob that catches the lock-free ring path wedging or collapsing.
+
+Usage: check_transport_regression.py BENCH_transport.json transport_tolerance.json
+"""
+import sys
+
+from check_common import Gate
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    gate = Gate(sys.argv[1], sys.argv[2])
+    tol = gate.tolerance
+
+    gate.require_max("fanout", "zero_copy_payload_copies",
+                     tol["max_send_side_payload_copies"])
+    gate.require_min("fanout", "zero_copy_speedup",
+                     tol["min_zero_copy_speedup"])
+    for rec in ("multi_session", "multi_session_mutex"):
+        gate.require_min(rec, "bit_identical", 1)
+        gate.require_max(rec, "send_side_payload_copies",
+                         tol["max_send_side_payload_copies"])
+    gate.require_min(tol["fanin_record"], "ring_vs_mutex",
+                     tol["min_fanin_ring_vs_mutex"])
+    return gate.finish("transport-plane")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

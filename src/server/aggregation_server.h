@@ -124,10 +124,16 @@ class SessionBase {
   /// type derives the largest single-phase fan-in any one mailbox can see
   /// (its `fanin_bound`), and a configured bound below that would wedge
   /// the (possibly only) driving thread on backpressure with nobody left
-  /// to drain. 0 picks bound + headroom.
+  /// to drain. 0 picks bound + headroom — the SAME headroom the transport's
+  /// own fallback (ConcurrentRouter::default_capacity) adds, so a bare
+  /// router and a server-owned one resolve identically for a sync cohort
+  /// (static_assert below; every server-owned router is constructed
+  /// through this function).
   [[nodiscard]] static std::size_t resolve_queue_capacity(
       std::size_t configured, std::size_t fanin_bound) {
-    if (configured == 0) return fanin_bound + 14;
+    if (configured == 0) {
+      return fanin_bound + lsa::transport::ConcurrentRouter::kCapacityHeadroom;
+    }
     lsa::require<lsa::ProtocolError>(
         configured >= fanin_bound,
         "session: queue_capacity below this session type's phase fan-in "
@@ -199,6 +205,10 @@ struct SessionConfig {
   /// Per-receiver mailbox bound; 0 = the session type's fan-in bound plus
   /// headroom, so a single-threaded drive never blocks on backpressure.
   std::size_t queue_capacity = 0;
+  /// Mailbox engine for the session's router (lock-free ring by default;
+  /// the mutex deque is the tested reference — results are bit-identical).
+  lsa::transport::MailboxStrategy mailbox =
+      lsa::transport::default_mailbox_strategy();
   bool byzantine_tolerant = false;
 };
 
@@ -221,7 +231,8 @@ class Session final : public SessionBase {
       : cfg_(std::move(cfg)),
         router_(cfg_.params.num_users + 1,
                 resolve_queue_capacity(cfg_.queue_capacity,
-                                       fanin_bound(cfg_.params.num_users))) {
+                                       fanin_bound(cfg_.params.num_users)),
+                cfg_.mailbox) {
     cfg_.params.validate_and_resolve();
     server_ = std::make_unique<lsa::runtime::AggregationServer>(
         cfg_.params, router_, cfg_.byzantine_tolerant);
@@ -325,11 +336,36 @@ class Session final : public SessionBase {
   std::deque<QueuedRound> queue_;
 };
 
+// THE capacity agreement, checked in one place: the transport's fallback
+// (ConcurrentRouter::default_capacity, used when a bare router is built
+// with queue_capacity = 0) must equal what a sync session derives for the
+// same endpoint count — fanin_bound(N) + kCapacityHeadroom for N users +
+// 1 server. The old fallback (max(64, 4 * num_parties)) silently disagreed
+// with the session rule; any future drift fails this assert at compile
+// time. (Async sessions derive a DIFFERENT bound, max(N, arrivals) + 2 —
+// they always construct their router through resolve_queue_capacity, never
+// through the fallback.)
+static_assert(
+    lsa::transport::ConcurrentRouter::default_capacity(5 + 1) ==
+            Session::fanin_bound(5) +
+                lsa::transport::ConcurrentRouter::kCapacityHeadroom &&
+        lsa::transport::ConcurrentRouter::default_capacity(100 + 1) ==
+            Session::fanin_bound(100) +
+                lsa::transport::ConcurrentRouter::kCapacityHeadroom &&
+        lsa::transport::ConcurrentRouter::default_capacity(1000 + 1) ==
+            Session::fanin_bound(1000) +
+                lsa::transport::ConcurrentRouter::kCapacityHeadroom,
+    "transport default queue capacity diverged from the sync session's "
+    "resolve_queue_capacity rule");
+
 struct AsyncSessionConfig {
   lsa::protocol::Params params;  ///< exec drives intra-session fan-out too
   std::uint64_t seed = 1;
   /// Per-receiver mailbox bound; 0 = the async fan-in bound plus headroom.
   std::size_t queue_capacity = 0;
+  /// Mailbox engine for the session's router (see SessionConfig::mailbox).
+  lsa::transport::MailboxStrategy mailbox =
+      lsa::transport::default_mailbox_strategy();
   std::size_t buffer_k = 1;  ///< K: updates buffered before aggregating
   lsa::quant::StalenessPolicy staleness{};
   std::uint64_t c_g = 1u << 6;  ///< staleness-weight quantization (eq. 34)
@@ -372,7 +408,8 @@ class AsyncSession final : public SessionBase {
         router_(cfg_.params.num_users + 1,
                 resolve_queue_capacity(
                     cfg_.queue_capacity,
-                    fanin_bound(cfg_.params.num_users, max_arrivals_))) {
+                    fanin_bound(cfg_.params.num_users, max_arrivals_)),
+                cfg_.mailbox) {
     cfg_.params.validate_and_resolve();
     server_ = std::make_unique<lsa::runtime::AsyncAggregationServer>(
         cfg_.params, cfg_.buffer_k, cfg_.staleness, cfg_.c_g, router_);

@@ -4,9 +4,18 @@
 // Design (the concurrent counterpart of runtime::Router):
 //
 //   * one bounded mailbox per receiver — senders are many (MPSC), the
-//     receiver's consumer is one at a time, and the per-mailbox mutex gives
-//     per-(sender, receiver) FIFO for free because each sender enqueues its
-//     own frames in program order;
+//     receiver's consumer is one at a time. Two interchangeable mailbox
+//     strategies exist behind one contract (identical ordering, liveness,
+//     and counter semantics — tests pin them bit-identical):
+//       - kLockFreeRing (default): a bounded lock-free MPSC ring
+//         (transport/mpsc_ring.h — Vyukov slot sequencing, exact logical
+//         capacity, cached-head producers) with a futex-style parked-waiter
+//         fallback, so the contended fast path never takes a lock while
+//         recv_wait and backpressured send still SLEEP instead of spin;
+//       - kMutexDeque: the original mutex + condition_variable + deque
+//         mailbox, kept as the tested reference implementation;
+//   * per-link FIFO: each sender enqueues its own frames in program order —
+//     the ring's ticket claims (or the deque's lock) order them per link;
 //   * backpressure: send blocks on a not-full condition when a mailbox is
 //     at capacity (a crashed receiver unblocks its senders — frames to the
 //     dead are dropped, not queued);
@@ -18,6 +27,27 @@
 //     discarded undelivered, revive() re-admits, and an optional fault
 //     hook may mutate or drop any frame before it is enqueued
 //     (fuzz/corruption testing — parse_frame throws on delivery).
+//
+// Crash/revive fence: crash(party) must leave the mailbox empty AND keep it
+// empty until revive(), even against senders that passed their liveness
+// check concurrently with the crash (the frame they carry predates the
+// crash and must not survive into the revived session). Every enqueue
+// therefore passes through a per-mailbox `pushers` gate: the sender enters
+// the gate, re-checks down (seq_cst, Dekker-paired with crash's
+// down-store / gate-load), and only then enqueues; crash() stores down,
+// then drains the mailbox until it is empty and the gate is idle. At least
+// one side of the pair always observes the other, so a late frame is
+// either caught by the drain or dropped (and counted in frames_dropped)
+// by its own sender — post-revive mailboxes provably start empty.
+//
+// Parked-waiter invariant (both strategies): every wait predicate reads
+// state that is either mutated under the mailbox mutex (the deque) or
+// re-checked with seq_cst fences (ring occupancy, the down flag, whose
+// store precedes the waker's notify). Wakers that observe a nonzero
+// waiting count notify while holding the mutex, so a waiter is never
+// between its predicate evaluation and the wait when the notification
+// fires — the lost-wakeup window of notify-outside-lock is closed by
+// construction (hammered by tests/mailbox_stress_test.cpp under TSAN).
 #pragma once
 
 #include <atomic>
@@ -29,6 +59,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -36,6 +67,7 @@
 #include "runtime/wire.h"
 #include "transport/buffer_pool.h"
 #include "transport/frame.h"
+#include "transport/mpsc_ring.h"
 
 namespace lsa::transport {
 
@@ -45,55 +77,162 @@ struct Inbound {
   FrameView view;
 };
 
+/// Which mailbox engine a ConcurrentRouter runs on. The ring is the
+/// production path; the mutex deque is the reference both are tested
+/// against (serial == parallel == mutex-reference, bit-identical).
+enum class MailboxStrategy : std::uint8_t { kLockFreeRing, kMutexDeque };
+
+[[nodiscard]] constexpr const char* to_string(MailboxStrategy s) {
+  return s == MailboxStrategy::kLockFreeRing ? "lock-free-ring"
+                                             : "mutex-deque";
+}
+
+namespace detail {
+inline std::atomic<MailboxStrategy>& default_mailbox_strategy_slot() {
+  static std::atomic<MailboxStrategy> s{MailboxStrategy::kLockFreeRing};
+  return s;
+}
+}  // namespace detail
+
+/// Process-wide default for routers constructed without an explicit
+/// strategy (benches/tests flip it to drive both engines through the same
+/// higher-level code).
+[[nodiscard]] inline MailboxStrategy default_mailbox_strategy() {
+  return detail::default_mailbox_strategy_slot().load(
+      std::memory_order_relaxed);
+}
+inline void set_default_mailbox_strategy(MailboxStrategy s) {
+  detail::default_mailbox_strategy_slot().store(s,
+                                                std::memory_order_relaxed);
+}
+
 class ConcurrentRouter final : public lsa::runtime::Transport {
  public:
+  /// Headroom resolve-time defaults add on top of a derived fan-in bound —
+  /// THE shared constant: server::SessionBase::resolve_queue_capacity adds
+  /// the same headroom to its per-session-type bounds, and the router's own
+  /// fallback below must agree with the sync session's resolution (asserted
+  /// by static_assert in server/aggregation_server.h and by
+  /// tests/transport_test.cpp).
+  static constexpr std::size_t kCapacityHeadroom = 14;
+
+  /// Default mailbox bound for a router of `num_parties` endpoints (N users
+  /// + 1 server): the sync session's worst-case single-phase fan-in
+  /// (2N + 2) plus kCapacityHeadroom — identical to what
+  /// server::SessionBase::resolve_queue_capacity(0, Session::fanin_bound(N))
+  /// derives, so a bare router and a server-owned one agree.
+  [[nodiscard]] static constexpr std::size_t default_capacity(
+      std::size_t num_parties) {
+    const std::size_t users = num_parties > 0 ? num_parties - 1 : 0;
+    return 2 * users + 2 + kCapacityHeadroom;
+  }
+
+  /// Frame-buffer freelist bound when none is configured (per router).
+  static constexpr std::size_t kDefaultPoolRetain = 256;
+
   /// num_parties includes the server; party ids are 0..num_parties-1.
   /// queue_capacity bounds each receiver's mailbox (backpressure); 0 picks
-  /// a default deep enough for a full offline fan-in from every peer.
+  /// the derived default_capacity(num_parties). pool_retain bounds the
+  /// frame-buffer freelist (0 = kDefaultPoolRetain) — high-fan-in hosts
+  /// size it to the expected in-flight frame count so steady-state sends
+  /// never touch the allocator.
   explicit ConcurrentRouter(std::size_t num_parties,
-                            std::size_t queue_capacity = 0)
-      : capacity_(queue_capacity == 0
-                      ? std::max<std::size_t>(64, 4 * num_parties)
-                      : queue_capacity),
-        down_(num_parties) {
+                            std::size_t queue_capacity = 0,
+                            MailboxStrategy strategy =
+                                default_mailbox_strategy(),
+                            std::size_t pool_retain = 0)
+      : capacity_(queue_capacity == 0 ? default_capacity(num_parties)
+                                      : queue_capacity),
+        strategy_(strategy),
+        down_(num_parties),
+        pool_(pool_retain == 0 ? kDefaultPoolRetain : pool_retain) {
     boxes_.reserve(num_parties);
     for (std::size_t i = 0; i < num_parties; ++i) {
-      boxes_.push_back(std::make_unique<Mailbox>());
+      boxes_.push_back(std::make_unique<Mailbox>(capacity_, strategy_));
     }
   }
 
   [[nodiscard]] std::size_t num_parties() const { return boxes_.size(); }
   [[nodiscard]] std::size_t queue_capacity() const { return capacity_; }
+  [[nodiscard]] MailboxStrategy strategy() const { return strategy_; }
   [[nodiscard]] BufferPool& pool() { return pool_; }
 
   // ------------------------------------------------------------- liveness
 
   /// Marks a party crashed: its future sends are dropped, its undelivered
   /// mailbox is discarded, and senders blocked on its mailbox unblock.
+  /// Returns with the mailbox EMPTY and the enqueue gate idle (see the
+  /// crash/revive fence comment above): no frame sent before this call
+  /// completes can survive into a revived session; late racers are counted
+  /// in frames_dropped.
   void crash(std::size_t party) {
     check_party(party);
-    down_[party].store(1, std::memory_order_relaxed);
+    // seq_cst store: Dekker-pairs with the enqueue gate's pushers++ /
+    // down-load sequence, and happens-before every parked waiter's
+    // predicate re-evaluation (they lock the mailbox mutex below).
+    down_[party].store(1, std::memory_order_seq_cst);
     Mailbox& box = *boxes_[party];
-    std::deque<Entry> discarded;
-    {
-      std::lock_guard<std::mutex> lk(box.mu);
-      discarded.swap(box.q);
+    std::uint64_t discarded = 0;
+    if (strategy_ == MailboxStrategy::kMutexDeque) {
+      {
+        std::lock_guard<std::mutex> lk(box.mu);
+        discarded += box.q.size();
+        box.q.clear();
+      }
     }
-    dropped_.fetch_add(discarded.size(), std::memory_order_relaxed);
+    // Wake every parked producer and consumer. These first notifies may
+    // legally race a waiter that is between its predicate evaluation and
+    // its wait (the classic notify-outside-lock window) — that is
+    // HARMLESS for producers because the drain loop below cannot exit
+    // while one is parked (a parked producer holds the pushers gate) and
+    // re-notifies until it retires; consumers are re-notified under the
+    // lock after the drain, which closes the window for them (see the
+    // final notify below).
     box.not_full.notify_all();
+    box.not_empty.notify_all();
+    // Drain-until-fenced: keep emptying the mailbox until no enqueue is in
+    // flight (gate idle) and nothing is queued. A producer inside the gate
+    // either observed down (drops and retires) or its frame lands here.
+    BufferRef e;
+    for (;;) {
+      while (pop_raw(box, e)) {
+        ++discarded;
+        e.reset();
+      }
+      if (box.pushers.load(std::memory_order_seq_cst) == 0) {
+        if (!pop_raw(box, e)) break;  // gate idle AND empty: fenced
+        ++discarded;
+        e.reset();
+        continue;
+      }
+      // A gated sender is mid-enqueue or parked on backpressure: wake it
+      // (the drain above just made room; down makes it retire) and yield.
+      box.not_full.notify_all();
+      std::this_thread::yield();
+    }
+    dropped_.fetch_add(discarded, std::memory_order_relaxed);
     // Consumers blocked in recv_wait on this receiver must observe the
-    // crash immediately, not at timeout granularity.
+    // crash immediately, not at timeout granularity. The empty critical
+    // section fences against a consumer between its predicate evaluation
+    // (under box.mu) and its wait: after we pass through the mutex, any
+    // such consumer has either started waiting (the notify reaches it) or
+    // will re-evaluate its predicate after our down-store (mutex ordering
+    // makes it visible) and refuse to sleep.
+    { std::lock_guard<std::mutex> lk(box.mu); }
     box.not_empty.notify_all();
   }
 
   void revive(std::size_t party) {
     check_party(party);
-    down_[party].store(0, std::memory_order_relaxed);
+    down_[party].store(0, std::memory_order_seq_cst);
   }
 
   [[nodiscard]] bool is_down(std::size_t party) const {
     check_party(party);
-    return down_[party].load(std::memory_order_relaxed) != 0;
+    // seq_cst load: the enqueue gate relies on pushers++ ; down-load being
+    // Dekker-ordered against crash's down-store ; pushers-load (a plain
+    // load on x86/ARM — only the rare crash-side store pays a fence).
+    return down_[party].load(std::memory_order_seq_cst) != 0;
   }
 
   // ---------------------------------------------------------------- faults
@@ -173,15 +312,11 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     check_party(receiver);
     if (is_down(receiver)) return false;
     Mailbox& box = *boxes_[receiver];
-    Entry e;
-    {
-      std::lock_guard<std::mutex> lk(box.mu);
-      if (box.q.empty()) return false;
-      e = std::move(box.q.front());
-      box.q.pop_front();
-    }
-    box.not_full.notify_one();
-    out.buf = std::move(e.buf);
+    BufferRef buf;
+    if (!pop_raw(box, buf)) return false;
+    // Room just opened: release any producer parked on backpressure.
+    wake_if_waiting(box, box.waiting_producers, box.not_full);
+    out.buf = std::move(buf);
     out.view = parse_frame(out.buf);  // throws on corruption
     delivered_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -193,22 +328,30 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
                                std::chrono::milliseconds timeout) {
     check_party(receiver);
     Mailbox& box = *boxes_[receiver];
-    {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      if (is_down(receiver)) return false;
+      if (try_recv(receiver, out)) return true;
       std::unique_lock<std::mutex> lk(box.mu);
-      if (!box.not_empty.wait_for(lk, timeout, [&] {
-            return !box.q.empty() || is_down(receiver);
-          })) {
-        return false;
-      }
+      box.waiting_consumers.fetch_add(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const bool signaled = box.not_empty.wait_until(lk, deadline, [&] {
+        return box.has_frames(strategy_) || is_down(receiver);
+      });
+      box.waiting_consumers.fetch_sub(1, std::memory_order_relaxed);
+      if (!signaled) return false;  // timeout with nothing to deliver
     }
-    return try_recv(receiver, out);
   }
 
   /// True when every mailbox is empty.
   [[nodiscard]] bool idle() const {
     for (const auto& box : boxes_) {
-      std::lock_guard<std::mutex> lk(box->mu);
-      if (!box->q.empty()) return false;
+      if (strategy_ == MailboxStrategy::kLockFreeRing) {
+        if (!box->ring.empty_approx()) return false;
+      } else {
+        std::lock_guard<std::mutex> lk(box->mu);
+        if (!box->q.empty()) return false;
+      }
     }
     return true;
   }
@@ -226,20 +369,82 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
   [[nodiscard]] std::size_t max_queue_depth() const {
     return max_depth_.load(std::memory_order_relaxed);
   }
+  /// Senders currently parked on this receiver's backpressure (telemetry;
+  /// tests use it to wait for a sender to be provably blocked).
+  [[nodiscard]] std::uint32_t parked_senders(std::size_t party) const {
+    check_party(party);
+    return boxes_[party]->waiting_producers.load(std::memory_order_acquire);
+  }
 
  private:
   struct Entry {
     BufferRef buf;
   };
+
+  /// One receiver's inbox. The ring is the kLockFreeRing engine; the
+  /// mutex/cv pair doubles as the kMutexDeque engine's lock AND the ring
+  /// engine's parking lot (waiters sleep here only after the lock-free
+  /// path reports would-block — the fast path never touches it).
   struct Mailbox {
+    Mailbox(std::size_t capacity, MailboxStrategy strategy)
+        : ring(strategy == MailboxStrategy::kLockFreeRing ? capacity : 1) {}
+
+    MpscRing ring;
+    /// Enqueue gate (both strategies): nonzero while a sender is between
+    /// its down-check and enqueue completion. crash() spins this to zero.
+    std::atomic<std::size_t> pushers{0};
+    /// Parked-waiter counts: wakers skip the mutex entirely when zero.
+    std::atomic<std::uint32_t> waiting_producers{0};
+    std::atomic<std::uint32_t> waiting_consumers{0};
     mutable std::mutex mu;
     std::condition_variable not_empty;
     std::condition_variable not_full;
-    std::deque<Entry> q;
+    std::deque<Entry> q;  ///< kMutexDeque storage (unused by the ring)
+
+    /// Wake predicate: frames visible right now (callers hold mu; ring
+    /// occupancy is re-read with acquire loads each evaluation).
+    [[nodiscard]] bool has_frames(MailboxStrategy s) const {
+      return s == MailboxStrategy::kLockFreeRing ? ring.can_pop()
+                                                 : !q.empty();
+    }
   };
 
   void check_party(std::size_t p) const {
     lsa::require(p < boxes_.size(), "router: endpoint out of range");
+  }
+
+  /// Strategy-dispatched unvalidated pop (try_recv and the crash drain).
+  [[nodiscard]] bool pop_raw(Mailbox& box, BufferRef& out) {
+    if (strategy_ == MailboxStrategy::kLockFreeRing) {
+      return box.ring.try_pop(out);
+    }
+    std::lock_guard<std::mutex> lk(box.mu);
+    if (box.q.empty()) return false;
+    out = std::move(box.q.front().buf);
+    box.q.pop_front();
+    return true;
+  }
+
+  /// Notify-under-lock, gated on the waiter count: the seq_cst fence pairs
+  /// with the waiter's fence after its count increment, so either the
+  /// waker sees the count (and takes the lock, serializing with the
+  /// predicate evaluation) or the waiter's predicate sees the state change
+  /// — never neither (the lost-wakeup window). notify_ONE, not all: each
+  /// state change opens exactly one opportunity (one freed slot admits one
+  /// parked producer; one pushed frame satisfies the one consumer), and a
+  /// broadcast here is the thundering herd that flattens throughput at
+  /// high fan-in — hundreds of parked senders stampeding per pop. A waiter
+  /// whose opportunity is stolen by a non-parked racer just re-parks; the
+  /// thief consumed the slot, so no capacity is stranded and the next
+  /// state change re-notifies. Crash is the only broadcast (everyone must
+  /// observe down).
+  void wake_if_waiting(Mailbox& box, std::atomic<std::uint32_t>& count,
+                       std::condition_variable& cv) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (count.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard<std::mutex> lk(box.mu);
+      cv.notify_one();
+    }
   }
 
   void enqueue(std::size_t receiver, BufferRef frame) {
@@ -251,30 +456,64 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
   }
 
   /// Post-hook enqueue; broadcast fan-out shares one frame across calls.
+  /// Blocks (parked, not spinning) while the mailbox is at capacity.
   void enqueue_built(std::size_t receiver, BufferRef frame) {
     Mailbox& box = *boxes_[receiver];
-    {
-      std::unique_lock<std::mutex> lk(box.mu);
-      box.not_full.wait(lk, [&] {
-        return box.q.size() < capacity_ || is_down(receiver);
-      });
+    // Enter the crash-fence gate BEFORE the liveness check (see the
+    // class comment: crash() cannot complete while we are inside).
+    box.pushers.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
       if (is_down(receiver)) {
+        box.pushers.fetch_sub(1, std::memory_order_release);
         dropped_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      box.q.push_back(Entry{std::move(frame)});
-      const std::size_t depth = box.q.size();
-      std::size_t seen = max_depth_.load(std::memory_order_relaxed);
-      while (depth > seen &&
-             !max_depth_.compare_exchange_weak(seen, depth,
-                                               std::memory_order_relaxed)) {
+      if (push_raw(box, frame)) {
+        box.pushers.fetch_sub(1, std::memory_order_release);
+        wake_if_waiting(box, box.waiting_consumers, box.not_empty);
+        sent_.fetch_add(1, std::memory_order_relaxed);
+        return;
       }
+      // Full: park until the consumer makes room or the receiver crashes.
+      std::unique_lock<std::mutex> lk(box.mu);
+      box.waiting_producers.fetch_add(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      box.not_full.wait(lk, [&] {
+        return box_has_room(box) || is_down(receiver);
+      });
+      box.waiting_producers.fetch_sub(1, std::memory_order_relaxed);
     }
-    box.not_empty.notify_one();
-    sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Strategy-dispatched bounded push attempt; updates the depth
+  /// high-water mark on success.
+  [[nodiscard]] bool push_raw(Mailbox& box, BufferRef& frame) {
+    std::size_t depth = 0;
+    if (strategy_ == MailboxStrategy::kLockFreeRing) {
+      if (!box.ring.try_push(std::move(frame))) return false;
+      depth = box.ring.size_approx();
+    } else {
+      std::lock_guard<std::mutex> lk(box.mu);
+      if (box.q.size() >= capacity_) return false;
+      box.q.push_back(Entry{std::move(frame)});
+      depth = box.q.size();
+    }
+    std::size_t seen = max_depth_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !max_depth_.compare_exchange_weak(seen, depth,
+                                             std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool box_has_room(const Mailbox& box) const {
+    return strategy_ == MailboxStrategy::kLockFreeRing
+               ? box.ring.can_push()
+               : box.q.size() < capacity_;
   }
 
   std::size_t capacity_;
+  MailboxStrategy strategy_;
   std::vector<std::atomic<std::uint8_t>> down_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   BufferPool pool_;

@@ -1,0 +1,197 @@
+// Bounded lock-free MPSC ring buffer — the fast mailbox substrate of the
+// concurrent transport plane.
+//
+// Design (Vyukov bounded-queue slot sequencing, MPSC-tuned):
+//
+//   * storage is a power-of-two array of slots, each carrying an atomic
+//     sequence number that encodes whose turn the slot is: seq == pos means
+//     "free for the producer claiming ticket pos", seq == pos + 1 means
+//     "filled, ready for the consumer at ticket pos", seq == pos + period
+//     re-arms the slot for the next lap. Producers claim tickets with a CAS
+//     on tail_; the handoff to the consumer is the slot's release-store, so
+//     neither side ever takes a lock and per-sender FIFO follows from each
+//     sender's program-order ticket claims;
+//   * the LOGICAL capacity is enforced exactly (it is a protocol-level
+//     backpressure bound derived from the session's phase fan-in — see
+//     server::SessionBase::resolve_queue_capacity), independent of the
+//     power-of-two physical rounding. Producers check it against a shared
+//     CACHED copy of head_ and reload the real head_ only when the cached
+//     value says "full": in the steady state producers touch only tail_ and
+//     their slot, the consumer touches only head_ and its slot, and the
+//     cross-core head_/tail_ cache-line ping-pong of a naive ring never
+//     happens;
+//   * pop is ticket-CAS too (MPMC-safe on the consumer side) even though the
+//     steady state is single-consumer: the crash/revive path of
+//     ConcurrentRouter drains a mailbox from whatever thread called crash(),
+//     possibly racing the receiver's last try_recv, and that race must be
+//     safe without a lock;
+//   * the ring stores BufferRef by value: a popped entry transfers the
+//     frame's refcount to the caller, and destruction drains whatever is
+//     left so no pooled block leaks.
+//
+// Blocking (recv_wait, backpressured send) is NOT this class's job: the
+// ring only ever returns would-block, and ConcurrentRouter supplies the
+// futex-style parked-waiter fallback on top (see the Mailbox comment
+// there).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/error.h"
+#include "transport/buffer_pool.h"
+
+namespace lsa::transport {
+
+class MpscRing {
+ public:
+  /// `capacity` is the exact logical bound on queued entries (>= 1); the
+  /// physical slot array is the next power of two.
+  explicit MpscRing(std::size_t capacity)
+      : capacity_(capacity), mask_(pow2_at_least(capacity) - 1) {
+    lsa::require(capacity >= 1, "mpsc ring: zero capacity");
+    slots_ = std::make_unique<Slot[]>(mask_ + 1);
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  ~MpscRing() {
+    BufferRef e;
+    while (try_pop(e)) e.reset();
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Lock-free bounded push. Returns false when the ring holds `capacity()`
+  /// entries (the caller parks or drops; this never blocks or spins on a
+  /// full ring).
+  [[nodiscard]] bool try_push(BufferRef&& v) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      // Exact logical-capacity gate against the producers' cached head;
+      // reload the real head only when the cache claims full.
+      if (pos - head_cache_.load(std::memory_order_relaxed) >= capacity_) {
+        const std::size_t h = head_.load(std::memory_order_acquire);
+        head_cache_.store(h, std::memory_order_relaxed);
+        if (pos - h >= capacity_) return false;
+      }
+      Slot& s = slots_[pos & mask_];
+      const std::size_t seq = s.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          s.val = std::move(v);
+          s.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry with it.
+      } else if (diff < 0) {
+        // The slot is one lap behind: either physically full (capacity()
+        // is itself a power of two), or a concurrent popper — the
+        // receiver racing crash()'s drain — advanced head_ past this slot
+        // but has not re-armed its sequence yet. Both read as "no room
+        // right now"; the caller parks or retries.
+        return false;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Pop the oldest entry. Safe for concurrent callers (ticket CAS), which
+  /// the crash-drain path relies on; returns false when empty.
+  [[nodiscard]] bool try_pop(BufferRef& out) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::size_t seq = s.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(s.val);
+          // Re-arm the slot for the producer one lap ahead.
+          s.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty (or a producer is mid-write on this slot)
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// True when a pop would succeed right now (the parked consumer's wake
+  /// predicate; exact for the single live consumer).
+  [[nodiscard]] bool can_pop() const {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    const std::size_t seq = slots_[pos & mask_].seq.load(
+        std::memory_order_acquire);
+    return static_cast<std::intptr_t>(seq) -
+               static_cast<std::intptr_t>(pos + 1) >= 0;
+  }
+
+  /// True when a push could make progress right now: logical room AND the
+  /// current tail slot re-armed (a popper preempted between its head CAS
+  /// and the slot's re-arm store leaves tail - head < capacity while the
+  /// slot is still one lap behind — reporting "room" then would turn the
+  /// parked producer's wait into a relock/fail spin until the popper
+  /// resumes; the popper's own post-pop wake re-checks this predicate).
+  /// Still conservative under racing producers — a stale "room" just
+  /// re-runs try_push, which re-checks exactly.
+  [[nodiscard]] bool can_push() const {
+    const std::size_t pos = tail_.load(std::memory_order_relaxed);
+    if (pos - head_.load(std::memory_order_acquire) >= capacity_) {
+      return false;
+    }
+    const std::size_t seq =
+        slots_[pos & mask_].seq.load(std::memory_order_acquire);
+    return static_cast<std::intptr_t>(seq) -
+               static_cast<std::intptr_t>(pos) >=
+           0;
+  }
+
+  /// Entries currently queued (ticket distance). Exact when quiescent,
+  /// approximate mid-race; used for depth telemetry and idle checks.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    return t >= h ? t - h : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    BufferRef val;
+  };
+
+  [[nodiscard]] static constexpr std::size_t pow2_at_least(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::size_t capacity_;  ///< exact logical bound (backpressure contract)
+  std::size_t mask_;      ///< physical slots - 1 (power of two)
+  std::unique_ptr<Slot[]> slots_;
+  // Producers and the consumer live on separate cache lines; head_cache_
+  // sits with the producers (they are its only readers/writers).
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_cache_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace lsa::transport

@@ -1,0 +1,170 @@
+// Mailbox stress: hammers concurrent crash/revive/send/recv on ONE
+// receiver, under both mailbox strategies. Built for the TSAN CI job —
+// TSAN's happens-before tracking turns any lost synchronization in the
+// lock-free ring, the parked-waiter protocol, or the crash-fence gate into
+// a hard failure — but the test also asserts functional invariants that
+// hold in any build:
+//
+//   * frame conservation: every send_row call is eventually accounted as
+//     delivered or dropped, never lost and never duplicated;
+//   * per-link ordering: the sequence numbers a receiver observes from one
+//     sender are strictly increasing (crashes may punch holes, never
+//     reorder);
+//   * crash fencing: after the chaos stops and the receiver is revived, a
+//     full drain leaves the mailbox idle and the pool with zero
+//     outstanding buffers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "transport/concurrent_router.h"
+#include "transport/mpsc_ring.h"
+
+namespace {
+
+using namespace lsa::transport;
+using lsa::field::Fp32;
+using lsa::runtime::MsgType;
+using rep = Fp32::rep;
+
+// ------------------------------------------------------------- ring unit
+
+TEST(MpscRing, ExactLogicalCapacityAndFifoPerProducer) {
+  BufferPool pool;
+  MpscRing ring(/*capacity=*/3);  // physical rounds up to 4; logical stays 3
+  EXPECT_EQ(ring.capacity(), 3u);
+  for (int k = 0; k < 3; ++k) {
+    ASSERT_TRUE(ring.try_push(pool.acquire(8)));
+  }
+  EXPECT_FALSE(ring.try_push(pool.acquire(8)));  // exact bound, not 4
+  BufferRef out;
+  ASSERT_TRUE(ring.try_pop(out));
+  out.reset();
+  EXPECT_TRUE(ring.try_push(pool.acquire(8)));  // room re-opens
+  while (ring.try_pop(out)) out.reset();
+  EXPECT_TRUE(ring.empty_approx());
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(MpscRing, ConcurrentProducersPreserveProgramOrder) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 2000;
+  BufferPool pool;
+  MpscRing ring(64);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint32_t k = 0; k < kPerProducer; ++k) {
+        BufferRef buf = pool.acquire(8);
+        auto words = buf.words();
+        words[0] = static_cast<std::uint32_t>(p);
+        words[1] = k;
+        while (!ring.try_push(std::move(buf))) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::uint32_t> next(kProducers, 0);
+  std::size_t got = 0;
+  BufferRef out;
+  while (got < kProducers * kPerProducer) {
+    if (!ring.try_pop(out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const auto words = out.words();
+    ASSERT_LT(words[0], kProducers);
+    EXPECT_EQ(words[1], next[words[0]]) << "producer " << words[0];
+    next[words[0]] = words[1] + 1;
+    out.reset();
+    ++got;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(ring.empty_approx());
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+// ------------------------------------------------------------ chaos sweep
+
+void hammer_one_receiver(MailboxStrategy strategy) {
+  SCOPED_TRACE(to_string(strategy));
+  constexpr std::size_t kSenders = 3;
+  constexpr std::uint32_t kFramesPerSender = 1500;
+  constexpr std::uint32_t kCrashCycles = 60;
+  ConcurrentRouter router(kSenders + 1, /*queue_capacity=*/8, strategy);
+  const std::uint32_t receiver = kSenders;
+
+  std::vector<std::thread> senders;
+  for (std::uint32_t s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      for (std::uint32_t k = 0; k < kFramesPerSender; ++k) {
+        const std::vector<rep> payload = {s, k};
+        router.send_row(MsgType::kMaskedModel, s, receiver, 0,
+                        std::span<const rep>(payload));
+      }
+    });
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::uint32_t> next_min(kSenders, 0);
+  std::uint64_t received = 0;
+  std::thread consumer([&] {
+    Inbound in;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (router.recv_wait(receiver, in, std::chrono::milliseconds(1))) {
+        const std::uint32_t s = in.view.payload[0];
+        const std::uint32_t k = in.view.payload[1];
+        ASSERT_LT(s, kSenders);
+        // Per-link order: strictly increasing, holes allowed (crash drops).
+        ASSERT_GE(k, next_min[s]) << "reordered frame from sender " << s;
+        next_min[s] = k + 1;
+        in.buf.reset();
+        ++received;
+      }
+    }
+  });
+
+  // Chaos: crash/revive the receiver while senders and consumer run. Each
+  // crash() must return with the mailbox fenced empty.
+  for (std::uint32_t c = 0; c < kCrashCycles; ++c) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    router.crash(receiver);
+    Inbound in;
+    EXPECT_FALSE(router.try_recv(receiver, in));  // down => nothing delivered
+    router.revive(receiver);
+  }
+
+  for (auto& t : senders) t.join();
+  // Drain the tail (senders are done; whatever they enqueued last must be
+  // deliverable), then stop the consumer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+  router.revive(receiver);
+  Inbound in;
+  std::uint64_t tail = 0;
+  while (router.try_recv(receiver, in)) {
+    in.buf.reset();
+    ++tail;
+  }
+
+  // Conservation: every send_row call ended as a delivery or a counted
+  // drop (gate drops + crash drains), never lost or duplicated.
+  const std::uint64_t calls = kSenders * std::uint64_t{kFramesPerSender};
+  EXPECT_EQ(router.frames_delivered(), received + tail);
+  EXPECT_EQ(router.frames_delivered() + router.frames_dropped(), calls);
+  EXPECT_TRUE(router.idle());
+  EXPECT_EQ(router.pool().outstanding(), 0u);
+}
+
+TEST(MailboxStress, CrashReviveSendRecvOnOneReceiverRing) {
+  hammer_one_receiver(MailboxStrategy::kLockFreeRing);
+}
+
+TEST(MailboxStress, CrashReviveSendRecvOnOneReceiverMutex) {
+  hammer_one_receiver(MailboxStrategy::kMutexDeque);
+}
+
+}  // namespace

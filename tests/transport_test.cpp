@@ -292,6 +292,129 @@ TEST(ConcurrentRouter, FaultHookCorruptionSurfacesAtDelivery) {
   EXPECT_TRUE(router.idle());  // the corrupted frame was consumed
 }
 
+constexpr MailboxStrategy kBothStrategies[] = {
+    MailboxStrategy::kLockFreeRing, MailboxStrategy::kMutexDeque};
+
+TEST(ConcurrentRouter, FifoAndBackpressureHoldUnderBothStrategies) {
+  for (const auto strategy : kBothStrategies) {
+    SCOPED_TRACE(to_string(strategy));
+    constexpr std::size_t kSenders = 4;
+    constexpr std::size_t kFrames = 100;
+    ConcurrentRouter router(kSenders + 1, /*queue_capacity=*/8, strategy);
+    const std::uint32_t receiver = kSenders;
+    std::vector<std::thread> senders;
+    for (std::uint32_t s = 0; s < kSenders; ++s) {
+      senders.emplace_back([&, s] {
+        for (std::uint32_t k = 0; k < kFrames; ++k) {
+          const std::vector<rep> payload = {s, k};
+          router.send_row(MsgType::kMaskedModel, s, receiver, 0,
+                          std::span<const rep>(payload));
+        }
+      });
+    }
+    std::vector<std::uint32_t> next_expected(kSenders, 0);
+    std::size_t got = 0;
+    Inbound in;
+    while (got < kSenders * kFrames &&
+           router.recv_wait(receiver, in, std::chrono::milliseconds(2000))) {
+      const std::uint32_t s = in.view.payload[0];
+      EXPECT_EQ(in.view.payload[1], next_expected[s]);
+      next_expected[s] = in.view.payload[1] + 1;
+      ++got;
+    }
+    for (auto& t : senders) t.join();
+    EXPECT_EQ(got, kSenders * kFrames);
+    EXPECT_TRUE(router.idle());
+    EXPECT_LE(router.max_queue_depth(), 8u);
+  }
+}
+
+TEST(ConcurrentRouter, DefaultCapacityAgreesWithSyncSessionRule) {
+  // Satellite regression: the old fallback (max(64, 4 * num_parties))
+  // disagreed with SessionBase::resolve_queue_capacity. A bare router and
+  // a server-owned sync session router must now resolve identically.
+  for (const std::size_t n : {4u, 6u, 32u, 100u}) {
+    ConcurrentRouter bare(n + 1);
+    EXPECT_EQ(bare.queue_capacity(),
+              lsa::server::Session::fanin_bound(n) +
+                  ConcurrentRouter::kCapacityHeadroom)
+        << "n=" << n;
+  }
+  lsa::protocol::Params p;
+  p.num_users = 6;
+  p.privacy = 1;
+  p.dropout = 2;
+  p.target_survivors = 4;
+  p.model_dim = 8;
+  lsa::server::Session session(
+      lsa::server::SessionConfig{.params = p, .seed = 1});
+  ConcurrentRouter bare(6 + 1);
+  EXPECT_EQ(session.router().queue_capacity(), bare.queue_capacity());
+}
+
+TEST(ConcurrentRouter, CrashFencesParkedSenderOutOfRevivedMailbox) {
+  // Satellite regression (crash/revive enqueue race): a sender that passed
+  // its liveness check and is parked on backpressure when crash() runs
+  // must NOT slip its pre-crash frame into the mailbox after revive().
+  // crash() fences: it returns only when the enqueue gate is idle, so by
+  // the time revive() can run the late frame has been dropped and counted.
+  for (const auto strategy : kBothStrategies) {
+    SCOPED_TRACE(to_string(strategy));
+    ConcurrentRouter router(2, /*queue_capacity=*/2, strategy);
+    const std::vector<rep> payload = {5};
+    auto send01 = [&] {
+      router.send_row(MsgType::kMaskedModel, 0, 1, 0,
+                      std::span<const rep>(payload));
+    };
+    send01();
+    send01();  // mailbox now at capacity
+    std::thread late(send01);
+    // Wait until the late sender is provably parked on backpressure.
+    while (router.parked_senders(1) == 0) std::this_thread::yield();
+    router.crash(1);
+    router.revive(1);  // immediately — the historical race window
+    late.join();
+    // The revived mailbox must start empty: 2 drained + 1 late = 3 drops.
+    EXPECT_TRUE(router.idle());
+    Inbound in;
+    EXPECT_FALSE(router.try_recv(1, in));
+    EXPECT_EQ(router.frames_dropped(), 3u);
+    // Post-revive traffic flows normally.
+    send01();
+    ASSERT_TRUE(router.try_recv(1, in));
+    EXPECT_EQ(in.view.payload[0], 5u);
+  }
+}
+
+TEST(ConcurrentRouter, CrashAtExactCapacityUnblocksAllAndDrainsPool) {
+  // Satellite: queue full with blocked senders, then receiver crash —
+  // every sender unblocks, nothing is delivered post-crash, and every
+  // pooled frame buffer is returned (outstanding back to zero).
+  for (const auto strategy : kBothStrategies) {
+    SCOPED_TRACE(to_string(strategy));
+    constexpr std::size_t kCap = 3;
+    constexpr std::size_t kBlocked = 4;
+    ConcurrentRouter router(2, kCap, strategy);
+    const std::vector<rep> payload(16, 7);
+    auto send01 = [&] {
+      router.send_row(MsgType::kMaskedModel, 0, 1, 0,
+                      std::span<const rep>(payload));
+    };
+    for (std::size_t k = 0; k < kCap; ++k) send01();  // exactly full
+    EXPECT_EQ(router.pool().outstanding(), kCap);
+    std::vector<std::thread> blocked;
+    for (std::size_t k = 0; k < kBlocked; ++k) blocked.emplace_back(send01);
+    while (router.parked_senders(1) < kBlocked) std::this_thread::yield();
+    router.crash(1);
+    for (auto& t : blocked) t.join();
+    EXPECT_TRUE(router.idle());
+    EXPECT_EQ(router.frames_dropped(), kCap + kBlocked);
+    // No frame leaked from the pool: queued ones were drained by crash,
+    // parked ones were dropped by their own senders.
+    EXPECT_EQ(router.pool().outstanding(), 0u);
+  }
+}
+
 // --------------------------------------------------------------- sessions
 
 lsa::protocol::Params session_params(std::size_t n, std::size_t t,
@@ -334,6 +457,27 @@ TEST(Session, BitIdenticalToSingleThreadedNetworkWithDropouts) {
   EXPECT_FALSE(session.user(1).last_result().has_value());
   ASSERT_TRUE(session.user(0).last_result().has_value());
   EXPECT_EQ(*session.user(0).last_result(), expected);
+}
+
+TEST(Session, BothMailboxStrategiesBitIdenticalToNetwork) {
+  // The ring engine and the mutex reference must produce byte-for-byte the
+  // same aggregates as the serial runtime::Network — serial == parallel ==
+  // mutex-reference, including dropout at the U boundary.
+  const auto p = session_params(7, 2, 5, 40);
+  const auto models = random_models(7, 40, 77);
+  lsa::runtime::Network net(p, /*seed=*/13);
+  const auto expected = net.run_round(0, models, {2, 5});
+
+  lsa::sys::ThreadPool pool(4);
+  for (const auto strategy : kBothStrategies) {
+    SCOPED_TRACE(to_string(strategy));
+    auto pp = p;
+    pp.exec.pool = &pool;
+    lsa::server::Session session(lsa::server::SessionConfig{
+        .params = pp, .seed = 13, .mailbox = strategy});
+    EXPECT_EQ(session.router().strategy(), strategy);
+    EXPECT_EQ(session.run_round(0, models, {2, 5}), expected);
+  }
 }
 
 TEST(Session, SendSideIsZeroCopy) {
