@@ -30,9 +30,12 @@
 
 #include "bench_common.h"
 #include "coding/aggregate_decode.h"
+#include "coding/ntt.h"
 #include "common/timer.h"
 #include "field/fp.h"
 #include "field/goldilocks.h"
+#include "field/simd/dispatch.h"
+#include "field/simd/simd_policy.h"
 
 namespace {
 
@@ -176,6 +179,185 @@ void bench_axpy(const char* field_name, std::size_t u, std::size_t n,
             {"shipped_speedup", t_mul / t_shipped}});
 }
 
+// ---- Part 0b: the SIMD substrate — the same hot kernels under forced-
+// scalar vs runtime-dispatched vector kernels (field/simd/dispatch.h).
+// Speedups land in the "simd" JSON record and the CI gate floors the best
+// one (check_decode_regression.py; skipped when the host has no vector
+// ISA). ----
+
+/// Best-of-5 timing of `body` (reps iterations each) under the policy.
+template <class Body>
+double time_under_policy(lsa::field::simd::SimdPolicy pol, int reps,
+                         Body&& body) {
+  lsa::field::simd::ScopedSimdPolicy guard(pol);
+  double best = 1e300;
+  for (int trial = 0; trial < 5; ++trial) {
+    lsa::common::Stopwatch sw;
+    for (int r = 0; r < reps; ++r) body();
+    best = std::min(best, sw.elapsed_sec() / reps);
+  }
+  return best;
+}
+
+/// Scalar-vs-vector speedup of the fused axpy GEMM panel (the barycentric
+/// decode's inner kernel: lazy192 on 64-bit fields, split-word on 32-bit).
+template <class Field>
+double simd_axpy_speedup(const char* field_name, std::size_t u,
+                         std::size_t n, int reps,
+                         lsa::bench::JsonReport& json) {
+  namespace simd = lsa::field::simd;
+  using frep = typename Field::rep;
+  lsa::common::Xoshiro256ss rng(137);
+  std::vector<frep> coeffs(u);
+  std::vector<std::vector<frep>> rows(u);
+  std::vector<const frep*> rp(u);
+  for (auto& c : coeffs) c = lsa::field::uniform<Field>(rng);
+  for (std::size_t k = 0; k < u; ++k) {
+    rows[k] = lsa::field::uniform_vector<Field>(n, rng);
+    rp[k] = rows[k].data();
+  }
+  std::vector<frep> acc(n, Field::zero);
+  const auto run = [&] {
+    lsa::field::axpy_accumulate_blocked<Field>(
+        std::span<frep>(acc), std::span<const frep>(coeffs),
+        std::span<const frep* const>(rp));
+  };
+  const double t_scalar =
+      time_under_policy(simd::SimdPolicy::kForceScalar, reps, run);
+  const double t_vec = time_under_policy(simd::SimdPolicy::kAuto, reps, run);
+  volatile frep sink = acc[0];
+  (void)sink;
+  const double speedup = t_scalar / t_vec;
+  std::printf("axpy %-11s | %10.4f %10.4f | %8.2fx\n", field_name, t_scalar,
+              t_vec, speedup);
+  json.add(std::string("simd_axpy_") + field_name,
+           {{"u", double(u)},
+            {"n", double(n)},
+            {"scalar_s", t_scalar},
+            {"simd_s", t_vec},
+            {"speedup", speedup}});
+  return speedup;
+}
+
+/// Scalar-vs-vector speedup of the plan-cached NTT butterfly stream.
+double simd_ntt_speedup(unsigned log_n, int reps,
+                        lsa::bench::JsonReport& json) {
+  namespace simd = lsa::field::simd;
+  lsa::coding::NttPlan<F> plan(log_n);
+  lsa::common::Xoshiro256ss rng(139);
+  const auto data = lsa::field::uniform_vector<F>(std::size_t{1} << log_n,
+                                                  rng);
+  auto buf = data;
+  const auto run = [&] {
+    std::copy(data.begin(), data.end(), buf.begin());
+    plan.forward(std::span<rep>(buf));
+  };
+  const double t_scalar =
+      time_under_policy(simd::SimdPolicy::kForceScalar, reps, run);
+  const double t_vec = time_under_policy(simd::SimdPolicy::kAuto, reps, run);
+  volatile rep sink = buf[0];
+  (void)sink;
+  const double speedup = t_scalar / t_vec;
+  std::printf("ntt fwd 2^%-4u | %10.4f %10.4f | %8.2fx\n", log_n, t_scalar,
+              t_vec, speedup);
+  json.add("simd_ntt_forward",
+           {{"log_n", double(log_n)},
+            {"scalar_s", t_scalar},
+            {"simd_s", t_vec},
+            {"speedup", speedup}});
+  return speedup;
+}
+
+/// Scalar-vs-vector speedup of the lazy192 dot GEMM panel — the base-node
+/// matvec at the heart of the SoA decode stream (decode_plan.h's
+/// matvec_soa): each row dots `terms` coefficients against a block of
+/// kLaneBlock coordinate lanes, accumulating exactly in 192-bit limbs.
+double simd_dot_speedup(std::size_t terms, std::size_t lanes,
+                        std::size_t nrows, int reps,
+                        lsa::bench::JsonReport& json) {
+  namespace simd = lsa::field::simd;
+  lsa::common::Xoshiro256ss rng(141);
+  const auto mat = lsa::field::uniform_vector<F>(nrows * terms, rng);
+  const auto x = lsa::field::uniform_vector<F>(terms * lanes, rng);
+  std::vector<std::uint64_t> lo(nrows * lanes), mi(nrows * lanes),
+      hi(nrows * lanes);
+  const auto run = [&] {
+    if (const auto* vk = simd::u64_active()) {
+      for (std::size_t r = 0; r < nrows; ++r) {
+        vk->lazy192_dot(lo.data() + r * lanes, mi.data() + r * lanes,
+                        hi.data() + r * lanes, mat.data() + r * terms, 1,
+                        x.data(), terms, lanes);
+      }
+    } else {
+      // The same scalar fallback the decode plan uses when no vector
+      // kernel table is active.
+      for (std::size_t r = 0; r < nrows; ++r) {
+        std::uint64_t* l = lo.data() + r * lanes;
+        std::uint64_t* m = mi.data() + r * lanes;
+        std::uint64_t* h = hi.data() + r * lanes;
+        std::fill_n(l, lanes, 0);
+        std::fill_n(m, lanes, 0);
+        std::fill_n(h, lanes, 0);
+        for (std::size_t c = 0; c < terms; ++c) {
+          const auto b = mat[r * terms + c];
+          for (std::size_t ln = 0; ln < lanes; ++ln) {
+            lsa::field::lazy192_accumulate<F>(l[ln], m[ln], h[ln],
+                                              x[c * lanes + ln], b);
+          }
+        }
+      }
+    }
+  };
+  const double t_scalar =
+      time_under_policy(simd::SimdPolicy::kForceScalar, reps, run);
+  const double t_vec = time_under_policy(simd::SimdPolicy::kAuto, reps, run);
+  volatile std::uint64_t sink = lo[0];
+  (void)sink;
+  const double speedup = t_scalar / t_vec;
+  std::printf("dot panel %3zux%zu | %10.4f %10.4f | %8.2fx\n", terms, lanes,
+              t_scalar, t_vec, speedup);
+  json.add("simd_dot_goldilocks",
+           {{"terms", double(terms)},
+            {"lanes", double(lanes)},
+            {"rows", double(nrows)},
+            {"scalar_s", t_scalar},
+            {"simd_s", t_vec},
+            {"speedup", speedup}});
+  return speedup;
+}
+
+/// Scalar-vs-vector speedup of the SoA butterfly stream: forward_soa walks
+/// kLaneBlock coordinate lanes through each butterfly together, exactly as
+/// the batched decode plane streams them.
+double simd_ntt_soa_speedup(unsigned log_n, std::size_t lanes, int reps,
+                            lsa::bench::JsonReport& json) {
+  namespace simd = lsa::field::simd;
+  lsa::coding::NttPlan<F> plan(log_n);
+  lsa::common::Xoshiro256ss rng(143);
+  const auto data = lsa::field::uniform_vector<F>(
+      (std::size_t{1} << log_n) * lanes, rng);
+  auto buf = data;
+  const auto run = [&] {
+    std::copy(data.begin(), data.end(), buf.begin());
+    plan.forward_soa(std::span<rep>(buf), lanes);
+  };
+  const double t_scalar =
+      time_under_policy(simd::SimdPolicy::kForceScalar, reps, run);
+  const double t_vec = time_under_policy(simd::SimdPolicy::kAuto, reps, run);
+  volatile rep sink = buf[0];
+  (void)sink;
+  const double speedup = t_scalar / t_vec;
+  std::printf("ntt soa 2^%-2ux%zu | %10.4f %10.4f | %8.2fx\n", log_n, lanes,
+              t_scalar, t_vec, speedup);
+  json.add("simd_ntt_soa",
+           {{"log_n", double(log_n)},
+            {"lanes", double(lanes)},
+            {"scalar_s", t_scalar},
+            {"simd_s", t_vec},
+            {"speedup", speedup}});
+  return speedup;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,6 +390,42 @@ int main(int argc, char** argv) {
     const int areps = smoke ? 3 : 10;
     bench_axpy<lsa::field::Goldilocks>("goldilocks", 128, an, areps, json);
     bench_axpy<lsa::field::Fp61>("fp61", 128, an, areps, json);
+  }
+
+  {
+    namespace simd = lsa::field::simd;
+    std::printf(
+        "\nPart 0b — SIMD substrate (dispatch: %s, %zu-byte vectors):\n"
+        "forced-scalar vs runtime-dispatched vector kernels on the decode\n"
+        "plane's hot loops.\n",
+        simd::level_name(simd::detected_level()),
+        simd::vector_bytes(simd::detected_level()));
+    std::printf("%-14s | %10s %10s | %9s\n", "kernel", "scalar(s)",
+                "simd(s)", "speedup");
+    // Cache-resident shapes: the fused axpy panel streams 128 rows of 4k
+    // reps (~4 MB for 64-bit fields, L2/L3-resident across trials) so the
+    // measurement is compute-bound like the decode plane's per-segment
+    // panels, not DRAM-bandwidth-bound like a one-shot sweep.
+    const std::size_t an = 1u << 12;
+    const int areps = smoke ? 30 : 100;
+    double best = 0.0;
+    best = std::max(best, simd_axpy_speedup<lsa::field::Goldilocks>(
+                              "goldilocks", 128, an, areps, json));
+    best = std::max(best, simd_axpy_speedup<lsa::field::Fp61>(
+                              "fp61", 128, an, areps, json));
+    best = std::max(best, simd_axpy_speedup<lsa::field::Fp32>(
+                              "fp32", 128, an, areps, json));
+    best = std::max(best, simd_ntt_speedup(12, smoke ? 30 : 100, json));
+    best = std::max(best,
+                    simd_dot_speedup(32, 8, 512, smoke ? 100 : 400, json));
+    best = std::max(best, simd_ntt_soa_speedup(10, 8, smoke ? 40 : 150,
+                                               json));
+    std::printf("best kernel speedup: %.2fx\n", best);
+    json.add("simd",
+             {{"vector_bytes",
+               double(simd::vector_bytes(simd::detected_level()))},
+              {"best_kernel_speedup", best}},
+             {{"isa", std::string(simd::level_name(simd::detected_level()))}});
   }
 
   std::printf(

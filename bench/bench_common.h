@@ -197,7 +197,17 @@ class JsonReport {
 
   void add(std::string name,
            std::vector<std::pair<std::string, double>> fields) {
-    records_.push_back({std::move(name), std::move(fields)});
+    records_.push_back({std::move(name), std::move(fields), {}});
+  }
+
+  /// Record with string-valued fields alongside the numeric ones (e.g. the
+  /// SIMD dispatch report: {"isa": "avx512"}). Strings are written as JSON
+  /// string literals; keep values to plain identifiers (no escaping done).
+  void add(std::string name,
+           std::vector<std::pair<std::string, double>> fields,
+           std::vector<std::pair<std::string, std::string>> strings) {
+    records_.push_back({std::move(name), std::move(fields),
+                        std::move(strings)});
   }
 
   /// Writes the report; returns false (with a note on stderr) on I/O
@@ -212,6 +222,9 @@ class JsonReport {
     for (std::size_t r = 0; r < records_.size(); ++r) {
       std::fprintf(f, "%s\n  {\"name\": \"%s\"", r == 0 ? "" : ",",
                    records_[r].name.c_str());
+      for (const auto& [key, value] : records_[r].strings) {
+        std::fprintf(f, ", \"%s\": \"%s\"", key.c_str(), value.c_str());
+      }
       for (const auto& [key, value] : records_[r].fields) {
         std::fprintf(f, ", \"%s\": %.17g", key.c_str(), value);
       }
@@ -228,6 +241,7 @@ class JsonReport {
   struct Record {
     std::string name;
     std::vector<std::pair<std::string, double>> fields;
+    std::vector<std::pair<std::string, std::string>> strings;
   };
   std::string bench_;
   std::vector<Record> records_;

@@ -31,6 +31,16 @@ def main() -> int:
                      tol["min_shipped_axpy_speedup_goldilocks"])
     gate.require_min("axpy_fp61", "shipped_speedup",
                      tol["min_shipped_axpy_speedup_fp61"])
+
+    # SIMD substrate: floor the best scalar-vs-vector kernel speedup, but
+    # skip (don't fail) on hosts whose runtime dispatch resolved to scalar
+    # — there is nothing to compare against without AVX2/AVX-512/NEON.
+    simd = gate.records.get("simd")
+    if simd is not None and simd.get("isa") != "scalar":
+        gate.require_min("simd", "best_kernel_speedup",
+                         tol["min_simd_best_kernel_speedup"])
+    else:
+        print("skip: simd gate (runtime dispatch is scalar on this host)")
     return gate.finish("decode-plane perf")
 
 

@@ -4,7 +4,9 @@
 // the timing simulation — run this binary to see what the simulator sees.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <optional>
+#include <string>
 
 #include "coding/mask_codec.h"
 #include "coding/ntt.h"
@@ -19,6 +21,8 @@
 #include "field/fp.h"
 #include "field/goldilocks.h"
 #include "field/random_field.h"
+#include "field/simd/dispatch.h"
+#include "field/simd/simd_policy.h"
 #include "quant/quantizer.h"
 #include "sys/exec_policy.h"
 #include "sys/thread_pool.h"
@@ -509,6 +513,79 @@ BENCHMARK(BM_RoundFlatPool4)
     ->Args({50, 1 << 14})
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// SIMD substrate: the decode plane's two hottest kernels, as forced-scalar
+// vs runtime-dispatched pairs. The pair ratio is the per-host vectorization
+// win; the selected ISA and lane width are in the benchmark context
+// (simd_isa / simd_vector_bytes keys in the JSON output).
+// ---------------------------------------------------------------------------
+
+template <bool ForceScalar>
+void BM_SimdAxpyGemmPanel(benchmark::State& state) {
+  using F = Goldilocks;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t u = 128;
+  lsa::common::Xoshiro256ss rng(14);
+  std::vector<repg> coeffs(u);
+  std::vector<std::vector<repg>> rows(u);
+  std::vector<const repg*> rp(u);
+  for (auto& c : coeffs) c = lsa::field::uniform<F>(rng);
+  for (std::size_t k = 0; k < u; ++k) {
+    rows[k] = lsa::field::uniform_vector<F>(n, rng);
+    rp[k] = rows[k].data();
+  }
+  std::vector<repg> acc(n, F::zero);
+  const lsa::field::simd::ScopedSimdPolicy guard(
+      ForceScalar ? lsa::field::simd::SimdPolicy::kForceScalar
+                  : lsa::field::simd::SimdPolicy::kAuto);
+  for (auto _ : state) {
+    lsa::field::axpy_accumulate_blocked<F>(std::span<repg>(acc),
+                                           std::span<const repg>(coeffs),
+                                           std::span<const repg* const>(rp));
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(u * n));
+}
+void BM_SimdAxpyGemmPanel_Scalar(benchmark::State& state) {
+  BM_SimdAxpyGemmPanel<true>(state);
+}
+void BM_SimdAxpyGemmPanel_Dispatched(benchmark::State& state) {
+  BM_SimdAxpyGemmPanel<false>(state);
+}
+BENCHMARK(BM_SimdAxpyGemmPanel_Scalar)->Arg(1 << 12);
+BENCHMARK(BM_SimdAxpyGemmPanel_Dispatched)->Arg(1 << 12);
+
+template <bool ForceScalar>
+void BM_SimdNttButterflySoA(benchmark::State& state) {
+  const auto log_n = static_cast<unsigned>(state.range(0));
+  constexpr std::size_t kLanes = 8;  // decode plane's kLaneBlock
+  lsa::coding::NttPlan<Goldilocks> plan(log_n);
+  lsa::common::Xoshiro256ss rng(15);
+  const auto data = lsa::field::uniform_vector<Goldilocks>(
+      (std::size_t{1} << log_n) * kLanes, rng);
+  auto buf = data;
+  const lsa::field::simd::ScopedSimdPolicy guard(
+      ForceScalar ? lsa::field::simd::SimdPolicy::kForceScalar
+                  : lsa::field::simd::SimdPolicy::kAuto);
+  for (auto _ : state) {
+    std::copy(data.begin(), data.end(), buf.begin());
+    plan.forward_soa(std::span<repg>(buf), kLanes);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>((std::size_t{1} << log_n) * kLanes));
+}
+void BM_SimdNttButterflySoA_Scalar(benchmark::State& state) {
+  BM_SimdNttButterflySoA<true>(state);
+}
+void BM_SimdNttButterflySoA_Dispatched(benchmark::State& state) {
+  BM_SimdNttButterflySoA<false>(state);
+}
+BENCHMARK(BM_SimdNttButterflySoA_Scalar)->Arg(10);
+BENCHMARK(BM_SimdNttButterflySoA_Dispatched)->Arg(10);
+
 void BM_QuantizeVector(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   lsa::common::Xoshiro256ss rng(8);
@@ -525,4 +602,18 @@ BENCHMARK(BM_QuantizeVector)->Arg(1 << 14)->Arg(1 << 18);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  namespace simd = lsa::field::simd;
+  // Selected dispatch, reported once in the context block (and as
+  // "simd_isa"/"simd_vector_bytes" keys under "context" in JSON output).
+  benchmark::AddCustomContext("simd_isa",
+                              simd::level_name(simd::detected_level()));
+  benchmark::AddCustomContext(
+      "simd_vector_bytes",
+      std::to_string(simd::vector_bytes(simd::detected_level())));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -17,12 +17,17 @@
 //   * the barycentric weight matrix is built once for the plan's GEMM
 //     strategy.
 //
-// Streaming then pushes all seg_len coordinates through cache-blocked
-// batched interpolation + multipoint evaluation — fixed-size dense
-// polynomial arithmetic with zero allocations per coordinate — fanned out
-// over a sys::ExecPolicy. Every value produced is the exact field result,
-// so the plan is bit-identical to the per-coordinate kernels under every
-// policy (tests/decode_strategy_test.cpp).
+// Streaming then pushes all seg_len coordinates through the trees in
+// structure-of-arrays lane blocks: kLaneBlock coordinates interleave as
+// buf[coeff * kLaneBlock + lane] and walk the subproduct trees TOGETHER,
+// so every tree operation is a contiguous pass over lane blocks that maps
+// 1:1 onto the runtime-dispatched SIMD substrate (field/simd/dispatch.h)
+// — lazy 192-bit dot/axpy kernels for the matvecs and schoolbook
+// products, lane-blocked SoA NTTs for the cached transforms, Shoup row
+// scaling for the pointwise passes. Every value produced is the exact
+// field result, so the plan is bit-identical to the per-coordinate
+// kernels under every policy, strategy and dispatch level
+// (tests/decode_strategy_test.cpp).
 //
 // Plans are meant to be cached per session keyed on the survivor set
 // (coding/mask_codec.h): repeated rounds with the same (xs, betas) pay the
@@ -47,6 +52,7 @@
 #include "common/timer.h"
 #include "field/field_vec.h"
 #include "field/flat_matrix.h"
+#include "field/simd/dispatch.h"
 #include "sys/exec_policy.h"
 
 namespace lsa::coding {
@@ -148,10 +154,18 @@ class BatchedDecodePlan {
  public:
   using rep = typename F::rep;
 
-  /// Coordinates gathered per streaming block: each responder row
-  /// contributes a contiguous 16-element run per gather, amortizing the
-  /// per-coordinate strided column reads across cache lines.
-  static constexpr std::size_t kGatherBlock = 16;
+  /// Coordinate lanes streamed per structure-of-arrays block: every
+  /// polynomial buffer in the streaming core interleaves kLaneBlock
+  /// coordinates (buf[coeff * kLaneBlock + lane]) so each tree operation
+  /// walks contiguous lane blocks — the shape the SIMD substrate's vector
+  /// kernels consume directly (one AVX-512 vector, two AVX2 vectors or
+  /// four NEON vectors of 64-bit reps per block). The width is fixed
+  /// host-independently: the lane layout, and therefore every intermediate
+  /// and result, is identical on every ISA and under forced-scalar
+  /// dispatch. Tail blocks zero-pad the unused lanes (every streaming
+  /// operation is total, so padded lanes just compute throwaway values the
+  /// scatter skips).
+  static constexpr std::size_t kLaneBlock = 8;
 
   BatchedDecodePlan(std::span<const rep> xs, std::span<const rep> betas)
       : xs_(xs.begin(), xs.end()), betas_(betas.begin(), betas.end()) {
@@ -171,23 +185,30 @@ class BatchedDecodePlan {
       (void)seg_len;
       return DecodeStrategy::kBarycentric;
     } else {
-      // Measured crossover (bench/ablation_decode_complexity; README
-      // records the sweep): the batched pipeline streams one coordinate in
-      // ~c*U*log2(U)^2 lazy-product ops against the lazy GEMM's U*(U-T),
-      // and on this library's kernels the fast path wins once U-T exceeds
-      // about 4.5*log2(U)^2 (~390 at U = 512, ~450 at U = 1024 — matching
-      // the measured winners at seg_len >= 2048). For very short segment
-      // blocks the GEMM's per-row loop overhead stops amortizing and the
-      // crossover drops to ~2*log2(U)^2 (Part 2 of the bench). Below
-      // U = 512 the GEMM wins everywhere measured.
+      // Measured crossover, re-calibrated for the SoA lane-streamed plane
+      // (AVX-512 dev box, Goldilocks, best-of-3, seg in {32, 256, 2048},
+      // U in {128..1024}, U-T in {U/2, 7U/8}): the batched pipeline
+      // streams a lane block in ~c*U*log2(U)^2 lazy-product ops against
+      // the lazy GEMM's U*(U-T). The GEMM panels gain more from vector
+      // dispatch than the butterfly stream (~2.4x vs ~2.1x on the dev
+      // box), so the crossover sits higher when vector kernels are active:
+      // with 2*(U-T) against c*log2(U)^2, c ~ 10 vectorized (U = 1024,
+      // U-T = 512 ties; U-T = 896 batched wins 1.5-1.7x) and c ~ 12
+      // forced-scalar (U = 512, U-T = 448 barycentric still wins 1.3x;
+      // U = 1024, U-T = 512 ties). The old short-segment lowered threshold
+      // is gone: SoA streaming amortizes the subproduct-tree walk across
+      // kLaneBlock coordinates, so seg_len no longer shifts the winner
+      // (measured ratios at seg 32 match seg 2048 within ~15%). Below
+      // U = 512 the GEMM wins everywhere measured, in both dispatch modes.
+      (void)seg_len;
       const std::size_t u = xs_.size();
       const std::size_t nb = betas_.size();
       if (u < 512) return DecodeStrategy::kBarycentric;
       const std::size_t log2u = std::bit_width(u) - 1;
-      if (2 * nb >= 9 * log2u * log2u) return DecodeStrategy::kBatchedNtt;
-      if (seg_len <= 64 && 2 * nb >= 4 * log2u * log2u) {
-        return DecodeStrategy::kBatchedNtt;
-      }
+      const bool vectorized = lsa::field::simd::active_level() !=
+                              lsa::field::simd::Level::kScalar;
+      const std::size_t c = vectorized ? 10 : 12;
+      if (2 * nb >= c * log2u * log2u) return DecodeStrategy::kBatchedNtt;
       return DecodeStrategy::kBarycentric;
     }
   }
@@ -239,25 +260,28 @@ class BatchedDecodePlan {
       std::span<const rep* const> shares, std::size_t seg_len,
       const lsa::sys::ExecPolicy& pol) const {
     const Fast& f = fast();
+    const std::size_t u = xs_.size();
     const std::size_t nb = betas_.size();
+    constexpr std::size_t W = kLaneBlock;
     std::vector<rep> out(nb * seg_len, F::zero);
     pol.run_blocked(seg_len, [&](std::size_t begin, std::size_t end) {
-      Workspace ws(f, xs_.size(), nb);
-      for (std::size_t l0 = begin; l0 < end; l0 += kGatherBlock) {
-        const std::size_t b = std::min(kGatherBlock, end - l0);
-        // Block gather: row j's [l0, l0+b) run is contiguous.
-        for (std::size_t j = 0; j < shares.size(); ++j) {
+      Workspace ws(f, u, nb);
+      for (std::size_t l0 = begin; l0 < end; l0 += W) {
+        const std::size_t b = std::min(W, end - l0);
+        // SoA gather: lane l of share coefficient j lands at
+        // colmat[j*W + l]; row j's [l0, l0+b) run is contiguous. Tail
+        // lanes are zero-filled (see kLaneBlock).
+        for (std::size_t j = 0; j < u; ++j) {
           const rep* src = shares[j] + l0;
-          for (std::size_t i = 0; i < b; ++i) {
-            ws.colmat[i * xs_.size() + j] = src[i];
-          }
+          rep* dst = ws.colmat.data() + j * W;
+          for (std::size_t l = 0; l < b; ++l) dst[l] = src[l];
+          for (std::size_t l = b; l < W; ++l) dst[l] = F::zero;
         }
-        for (std::size_t i = 0; i < b; ++i) {
-          decode_one(f, std::span<const rep>(ws.colmat).subspan(
-                            i * xs_.size(), xs_.size()),
-                     ws);
-          for (std::size_t k = 0; k < nb; ++k) {
-            out[k * seg_len + l0 + i] = ws.eval_out[k];
+        decode_lanes(f, ws);
+        for (std::size_t k = 0; k < nb; ++k) {
+          const rep* vals = ws.eval_out.data() + k * W;
+          for (std::size_t l = 0; l < b; ++l) {
+            out[k * seg_len + l0 + l] = vals[l];
           }
         }
       }
@@ -321,13 +345,14 @@ class BatchedDecodePlan {
   /// both trees are one precomputed matrix each — an m x m Lagrange-basis
   /// matvec for interpolation (coeff i of M_node/(x - x_j) at [i][j]) and
   /// an m x fs Vandermonde matvec for evaluation (betas[lo+k]^i at
-  /// [k][i]) — replacing dozens of tiny per-node products with one tight
-  /// Shoup loop per coordinate.
+  /// [k][i]) — replacing dozens of tiny per-node products with one lazy
+  /// dot per (row, lane block).
   struct BaseNode {
     std::size_t lo = 0;  ///< first leaf index
     std::size_t m = 0;   ///< leaves (matrix rows)
     std::size_t fs = 0;  ///< input length (matrix cols; m for interp)
-    std::vector<rep> mat;  ///< panel-major m x fs (see pack_panels)
+    std::vector<rep> mat;  ///< row-major m x fs: each row is one dot's
+                           ///< coefficient stream (see matvec_soa)
   };
 
   struct Fast {
@@ -341,26 +366,29 @@ class BatchedDecodePlan {
     double setup_s = 0.0;
   };
 
+  // All streaming buffers are SoA over one lane block: a buffer holding n
+  // polynomial coefficients stores n * kLaneBlock reps, coefficient i's
+  // lanes contiguous at [i*kLaneBlock, (i+1)*kLaneBlock).
   struct Workspace {
-    std::vector<rep> colmat;              ///< gather block, B x U
-    std::vector<rep> interp_a, interp_b;  ///< ping-pong, size U
+    std::vector<rep> colmat;              ///< gathered lanes, U blocks
+    std::vector<rep> interp_a, interp_b;  ///< ping-pong, U blocks
     std::vector<rep> eval_a, eval_b;      ///< remainder ping-pong
-    std::vector<rep> eval_out;            ///< final values, size nb
+    std::vector<rep> eval_out;            ///< final values, nb blocks
     std::vector<rep> t1, t2, t3;          ///< transform / product scratch
     std::vector<std::uint64_t> lzlo, lzmi, lzhi;  ///< lazy product limbs
     explicit Workspace(const Fast& f, std::size_t u, std::size_t nb)
-        : colmat(kGatherBlock * u),
-          interp_a(u),
-          interp_b(u),
-          eval_a(std::max(u, nb)),
-          eval_b(std::max(u, nb)),
-          eval_out(nb),
-          t1(f.scratch_len),
-          t2(f.scratch_len),
-          t3(f.scratch_len),
-          lzlo(f.scratch_len),
-          lzmi(f.scratch_len),
-          lzhi(f.scratch_len) {}
+        : colmat(u * kLaneBlock),
+          interp_a(u * kLaneBlock),
+          interp_b(u * kLaneBlock),
+          eval_a(std::max(u, nb) * kLaneBlock),
+          eval_b(std::max(u, nb) * kLaneBlock),
+          eval_out(nb * kLaneBlock),
+          t1(f.scratch_len * kLaneBlock),
+          t2(f.scratch_len * kLaneBlock),
+          t3(f.scratch_len * kLaneBlock),
+          lzlo(f.scratch_len * kLaneBlock),
+          lzmi(f.scratch_len * kLaneBlock),
+          lzhi(f.scratch_len * kLaneBlock) {}
   };
 
   const Bary& bary() const {
@@ -459,9 +487,12 @@ class BatchedDecodePlan {
                            .quotient;
             basis[j].resize(bn.m, F::zero);
           }
-          pack_panels(bn, [&](std::size_t r, std::size_t c) {
-            return basis[c][r];
-          });
+          bn.mat.assign(bn.m * bn.fs, F::zero);
+          for (std::size_t r = 0; r < bn.m; ++r) {
+            for (std::size_t c = 0; c < bn.fs; ++c) {
+              bn.mat[r * bn.fs + c] = basis[c][r];
+            }
+          }
         }
       }
       f->interp_levels.resize(share_tree.num_levels());
@@ -544,18 +575,16 @@ class BatchedDecodePlan {
           bn.fs = f->eval_levels.empty()
                       ? u
                       : f->eval_levels.back()[i / 2].leaves;
-          // Entry [k][c] = betas[lo + k]^c: vals = V * f.
-          std::vector<rep> powers(bn.m * bn.fs);
+          // Entry [k][c] = betas[lo + k]^c: vals = V * f, already in the
+          // row-major dot layout.
+          bn.mat.assign(bn.m * bn.fs, F::zero);
           for (std::size_t k = 0; k < bn.m; ++k) {
             rep pw = F::one;
             for (std::size_t c = 0; c < bn.fs; ++c) {
-              powers[k * bn.fs + c] = pw;
+              bn.mat[k * bn.fs + c] = pw;
               pw = F::mul(pw, betas_[bn.lo + k]);
             }
           }
-          pack_panels(bn, [&](std::size_t r, std::size_t c) {
-            return powers[r * bn.fs + c];
-          });
         }
       }
       f->scratch_len = std::max(f->scratch_len, std::max(u, nb));
@@ -569,110 +598,161 @@ class BatchedDecodePlan {
   /// (nodes of up to 2^kBaseLog leaves) run as one flat matvec each.
   static constexpr std::size_t kBaseLog = 5;
 
-  /// Lanes per matvec panel: 4 independent accumulator triples hide the
-  /// carry-add latency while the panel-major layout keeps loads contiguous.
-  static constexpr std::size_t kMatLanes = 4;
-
-  /// out[r] = sum_c mat[r][c] * in[c] — the collapsed base-node kernel.
-  /// The matrix is stored panel-major (kMatLanes rows interleaved per
-  /// column: mat[(p*fs + c)*L + i] = M[p*L + i][c], zero-padded), the
-  /// classic GEMV microkernel shape, and every lane accumulates lazily in
-  /// 192 bits with one fold per output element.
-  static void matvec(const BaseNode& bn, const rep* in, rep* out) {
-    constexpr std::size_t L = kMatLanes;
-    const std::size_t panels = (bn.m + L - 1) / L;
-    for (std::size_t p = 0; p < panels; ++p) {
-      std::uint64_t lo[L] = {0, 0, 0, 0}, mi[L] = {0, 0, 0, 0},
-                    hi[L] = {0, 0, 0, 0};
-      const rep* panel = bn.mat.data() + p * bn.fs * L;
-      for (std::size_t c = 0; c < bn.fs; ++c) {
-        const rep a = in[c];
-        const rep* e = panel + c * L;
-        for (std::size_t i = 0; i < L; ++i) {
-          lazy_accumulate(lo[i], mi[i], hi[i], a, e[i]);
-        }
-      }
-      const std::size_t rmax = std::min(L, bn.m - p * L);
-      for (std::size_t i = 0; i < rmax; ++i) {
-        out[p * L + i] = lazy_fold(lo[i], mi[i], hi[i]);
-      }
+  /// Lazy192 vector kernel table when this field's rep is a 64-bit word
+  /// (the 3-limb limb arithmetic is modulus-free, so any 64-bit field
+  /// qualifies — including Goldilocks); null for 32-bit fields and under
+  /// scalar dispatch.
+  static const lsa::field::simd::U64Kernels* lazy_vk() {
+    if constexpr (sizeof(rep) == 8) {
+      return lsa::field::simd::u64_active();
+    } else {
+      return nullptr;
     }
   }
 
-  /// Fills a BaseNode's panel-major matrix from a row-major accessor.
-  template <class At>
-  static void pack_panels(BaseNode& bn, At&& at) {
-    constexpr std::size_t L = kMatLanes;
-    const std::size_t panels = (bn.m + L - 1) / L;
-    bn.mat.assign(panels * bn.fs * L, F::zero);
+  /// Collapsed base-node kernel over one SoA lane block: accumulates the
+  /// lazy 192-bit row sums
+  ///   out[r][lane] = sum_c mat[r][c] * in[c*W + lane]
+  /// into the workspace limb arrays at block offset (bn.lo + r). Each
+  /// row-major matrix row is one strided-coefficient dot against the
+  /// contiguous lane stream (simd: lazy192_dot overwrites the limbs, no
+  /// pre-zero needed on the vector path). The base nodes of a tree tile
+  /// their level exactly, so the caller folds the whole tiled span once
+  /// after every node ran (lazy_fold_out).
+  static void matvec_soa(const BaseNode& bn, const rep* in, Workspace& ws) {
+    constexpr std::size_t W = kLaneBlock;
+    const auto* vk = lazy_vk();
     for (std::size_t r = 0; r < bn.m; ++r) {
+      const rep* row = bn.mat.data() + r * bn.fs;
+      std::uint64_t* lo = ws.lzlo.data() + (bn.lo + r) * W;
+      std::uint64_t* mi = ws.lzmi.data() + (bn.lo + r) * W;
+      std::uint64_t* hi = ws.lzhi.data() + (bn.lo + r) * W;
+      if constexpr (sizeof(rep) == 8) {
+        if (vk) {
+          vk->lazy192_dot(lo, mi, hi, row, 1, in, bn.fs, W);
+          continue;
+        }
+      }
+      std::fill_n(lo, W, 0);
+      std::fill_n(mi, W, 0);
+      std::fill_n(hi, W, 0);
       for (std::size_t c = 0; c < bn.fs; ++c) {
-        bn.mat[((r / L) * bn.fs + c) * L + (r % L)] = at(r, c);
+        const rep b = row[c];
+        const rep* x = in + c * W;
+        for (std::size_t l = 0; l < W; ++l) {
+          lazy_accumulate(lo[l], mi[l], hi[l], x[l], b);
+        }
       }
     }
   }
 
   // ------------------------------------------------------- streaming core
 
-  /// Truncated schoolbook product accumulated into the workspace's lazy
-  /// limb arrays (call lazy_zero first, fold with lazy_fold_out after;
-  /// several products may share one zero/fold pair — the fused
-  /// interpolation combine does).
+  /// Truncated schoolbook product over one SoA lane block, accumulated
+  /// into the workspace's lazy limb arrays (call lazy_zero first, fold
+  /// with lazy_fold_out after; several products may share one zero/fold
+  /// pair — the fused interpolation combine does). `a` holds la lane
+  /// blocks; operand coefficient j contributes ONE contiguous
+  /// length-(imax*W) axpy into limb block j (simd: lazy192_axpy) instead
+  /// of the per-coordinate strided walk.
   static void schoolbook_into(std::span<const rep> a, const Operand& op,
                               std::size_t out_len, Workspace& ws) {
+    constexpr std::size_t W = kLaneBlock;
+    const std::size_t la = a.size() / W;
     const std::size_t jlim = std::min(op.coeffs.size(), out_len);
+    const auto* vk = lazy_vk();
     for (std::size_t j = 0; j < jlim; ++j) {
       const rep b = op.coeffs[j];
       if (b == F::zero) continue;
-      const std::size_t imax = std::min(a.size(), out_len - j);
-      std::uint64_t* lo = ws.lzlo.data() + j;
-      std::uint64_t* mi = ws.lzmi.data() + j;
-      std::uint64_t* hi = ws.lzhi.data() + j;
-      for (std::size_t i = 0; i < imax; ++i) {
+      const std::size_t imax = std::min(la, out_len - j);
+      std::uint64_t* lo = ws.lzlo.data() + j * W;
+      std::uint64_t* mi = ws.lzmi.data() + j * W;
+      std::uint64_t* hi = ws.lzhi.data() + j * W;
+      if constexpr (sizeof(rep) == 8) {
+        if (vk) {
+          vk->lazy192_axpy(lo, mi, hi, b, a.data(), imax * W);
+          continue;
+        }
+      }
+      for (std::size_t i = 0; i < imax * W; ++i) {
         lazy_accumulate(lo[i], mi[i], hi[i], a[i], b);
       }
     }
   }
 
-  static void lazy_zero(Workspace& ws, std::size_t out_len) {
-    std::fill_n(ws.lzlo.begin(), out_len, 0);
-    std::fill_n(ws.lzmi.begin(), out_len, 0);
-    std::fill_n(ws.lzhi.begin(), out_len, 0);
+  /// Zero / fold `count` coefficient blocks (count * W limb triples) of
+  /// the lazy arrays. The fold reduces each exact 192-bit sum to its
+  /// canonical field value (simd: fold192 on Goldilocks), so vector and
+  /// scalar folds are bit-identical by uniqueness of the canonical form.
+  static void lazy_zero(Workspace& ws, std::size_t count) {
+    std::fill_n(ws.lzlo.begin(), count * kLaneBlock, 0);
+    std::fill_n(ws.lzmi.begin(), count * kLaneBlock, 0);
+    std::fill_n(ws.lzhi.begin(), count * kLaneBlock, 0);
   }
 
   static void lazy_fold_out(const Workspace& ws, rep* out,
-                            std::size_t out_len) {
-    for (std::size_t i = 0; i < out_len; ++i) {
+                            std::size_t count) {
+    const std::size_t n = count * kLaneBlock;
+    if constexpr (lsa::field::simd::kIsGoldilocksField<F>) {
+      if (const auto* gk = lsa::field::simd::goldilocks_active()) {
+        gk->fold192(out, ws.lzlo.data(), ws.lzmi.data(), ws.lzhi.data(), n);
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
       out[i] = lazy_fold(ws.lzlo[i], ws.lzmi[i], ws.lzhi[i]);
     }
   }
 
-  /// out[0..out_len) = low out_len coefficients of a * op, where a has la
-  /// live coefficients. Dispatches to the cached transform (scratch:
-  /// ws.t1) or the lazy truncated schoolbook loop as decided at setup.
+  /// t[i*W + l] = t[i*W + l] * op.evals[i] — the pointwise pass of the
+  /// cached-transform product: one scalar evaluation scales all lanes of
+  /// its transform slot (simd: mul_shoup_rows).
+  static void pointwise_rows(rep* t, const Operand& op, std::size_t n) {
+    constexpr std::size_t W = kLaneBlock;
+    if constexpr (lsa::field::ShoupCapable<F>) {
+      if constexpr (lsa::field::simd::kIsGoldilocksField<F>) {
+        if (const auto* gk = lsa::field::simd::goldilocks_active()) {
+          gk->mul_shoup_rows(t, op.evals.data(), op.evals_shoup.data(), n,
+                             W);
+          return;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const rep e = op.evals[i];
+        const rep es = op.evals_shoup[i];
+        rep* row = t + i * W;
+        for (std::size_t l = 0; l < W; ++l) {
+          row[l] = F::mul_shoup(row[l], e, es);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const rep e = op.evals[i];
+        rep* row = t + i * W;
+        for (std::size_t l = 0; l < W; ++l) row[l] = F::mul(row[l], e);
+      }
+    }
+  }
+
+  /// out[0..out_len blocks) = low out_len coefficients (per lane) of
+  /// a * op, where a holds la live coefficient blocks in SoA order.
+  /// Dispatches to the cached transform (scratch: ws.t1, lane-blocked SoA
+  /// NTT) or the lazy truncated schoolbook loop as decided at setup.
   static void mul_trunc(const Fast& f, std::span<const rep> a,
                         const Operand& op, rep* out, std::size_t out_len,
                         Workspace& ws) {
+    constexpr std::size_t W = kLaneBlock;
     if (!op.evals.empty()) {
       std::vector<rep>& scratch = ws.t1;
       const NttPlan<F>& plan = f.ntts.at(op.log_n);
       const std::size_t n = plan.size();
-      std::fill(scratch.begin(), scratch.begin() + n, F::zero);
+      std::fill(scratch.begin(), scratch.begin() + n * W, F::zero);
       std::copy(a.begin(), a.end(), scratch.begin());
-      std::span<rep> buf(scratch.data(), n);
-      plan.forward(buf);
-      if constexpr (lsa::field::ShoupCapable<F>) {
-        for (std::size_t i = 0; i < n; ++i) {
-          scratch[i] = F::mul_shoup(scratch[i], op.evals[i],
-                                    op.evals_shoup[i]);
-        }
-      } else {
-        for (std::size_t i = 0; i < n; ++i) {
-          scratch[i] = F::mul(scratch[i], op.evals[i]);
-        }
-      }
-      plan.inverse(buf);
-      std::copy(scratch.begin(), scratch.begin() + out_len, out);
+      std::span<rep> buf(scratch.data(), n * W);
+      plan.forward_soa(buf, W);
+      pointwise_rows(scratch.data(), op, n);
+      plan.inverse_soa(buf, W);
+      std::copy(scratch.begin(), scratch.begin() + out_len * W, out);
       return;
     }
     lazy_zero(ws, out_len);
@@ -680,41 +760,31 @@ class BatchedDecodePlan {
     lazy_fold_out(ws, out, out_len);
   }
 
-  /// Interpolation combine for one node: res[0..leaves) =
+  /// Interpolation combine for one node: res[0..leaves blocks) =
   /// left * poly_right + right * poly_left, fused through one inverse
   /// transform when cached.
   static void combine_node(const Fast& f, const Node& nd,
                            std::span<const rep> left,
                            std::span<const rep> right, rep* res,
                            Workspace& ws) {
+    constexpr std::size_t W = kLaneBlock;
     const std::size_t out_len = nd.leaves;
     if (!nd.poly_right.evals.empty() && !nd.poly_left.evals.empty() &&
         nd.poly_right.log_n == nd.poly_left.log_n) {
       const NttPlan<F>& plan = f.ntts.at(nd.poly_right.log_n);
       const std::size_t n = plan.size();
-      std::fill(ws.t1.begin(), ws.t1.begin() + n, F::zero);
+      std::fill(ws.t1.begin(), ws.t1.begin() + n * W, F::zero);
       std::copy(left.begin(), left.end(), ws.t1.begin());
-      std::fill(ws.t2.begin(), ws.t2.begin() + n, F::zero);
+      std::fill(ws.t2.begin(), ws.t2.begin() + n * W, F::zero);
       std::copy(right.begin(), right.end(), ws.t2.begin());
-      std::span<rep> b1(ws.t1.data(), n), b2(ws.t2.data(), n);
-      plan.forward(b1);
-      plan.forward(b2);
-      if constexpr (lsa::field::ShoupCapable<F>) {
-        for (std::size_t i = 0; i < n; ++i) {
-          ws.t1[i] = F::add(
-              F::mul_shoup(ws.t1[i], nd.poly_right.evals[i],
-                           nd.poly_right.evals_shoup[i]),
-              F::mul_shoup(ws.t2[i], nd.poly_left.evals[i],
-                           nd.poly_left.evals_shoup[i]));
-        }
-      } else {
-        for (std::size_t i = 0; i < n; ++i) {
-          ws.t1[i] = F::add(F::mul(ws.t1[i], nd.poly_right.evals[i]),
-                            F::mul(ws.t2[i], nd.poly_left.evals[i]));
-        }
-      }
-      plan.inverse(b1);
-      std::copy(ws.t1.begin(), ws.t1.begin() + out_len, res);
+      std::span<rep> b1(ws.t1.data(), n * W), b2(ws.t2.data(), n * W);
+      plan.forward_soa(b1, W);
+      plan.forward_soa(b2, W);
+      pointwise_rows(ws.t1.data(), nd.poly_right, n);
+      pointwise_rows(ws.t2.data(), nd.poly_left, n);
+      lsa::field::add_inplace<F>(b1, std::span<const rep>(b2));
+      plan.inverse_soa(b1, W);
+      std::copy(ws.t1.begin(), ws.t1.begin() + out_len * W, res);
       return;
     }
     if (nd.poly_right.evals.empty() && nd.poly_left.evals.empty()) {
@@ -728,57 +798,83 @@ class BatchedDecodePlan {
     }
     mul_trunc(f, left, nd.poly_right, res, out_len, ws);
     mul_trunc(f, right, nd.poly_left, ws.t3.data(), out_len, ws);
-    for (std::size_t i = 0; i < out_len; ++i) {
-      res[i] = F::add(res[i], ws.t3[i]);
-    }
+    lsa::field::add_inplace<F>(
+        std::span<rep>(res, out_len * W),
+        std::span<const rep>(ws.t3.data(), out_len * W));
   }
 
-  /// One coordinate: column -> interpolate over xs -> evaluate at betas.
-  /// Leaves the |betas| values in ws.eval_out[0..nb).
-  void decode_one(const Fast& f, std::span<const rep> column,
-                  Workspace& ws) const {
+  /// One SoA lane block: W gathered columns -> interpolate over xs ->
+  /// evaluate at betas, all lanes walking the trees together. Leaves the
+  /// |betas| x W values in ws.eval_out.
+  void decode_lanes(const Fast& f, Workspace& ws) const {
+    constexpr std::size_t W = kLaneBlock;
     const std::size_t u = xs_.size();
 
-    // Leaf coefficients c_j = y_j / M'(x_j).
-    for (std::size_t j = 0; j < u; ++j) {
-      if constexpr (lsa::field::ShoupCapable<F>) {
-        ws.interp_a[j] = F::mul_shoup(column[j], f.mprime_inv[j],
-                                      f.mprime_inv_shoup[j]);
-      } else {
-        ws.interp_a[j] = F::mul(column[j], f.mprime_inv[j]);
+    // Leaf coefficients c_j = y_j / M'(x_j): one scalar weight scales all
+    // lanes of its block (simd: mul_shoup_rows).
+    std::copy(ws.colmat.begin(), ws.colmat.end(), ws.interp_a.begin());
+    if constexpr (lsa::field::ShoupCapable<F>) {
+      bool done = false;
+      if constexpr (lsa::field::simd::kIsGoldilocksField<F>) {
+        if (const auto* gk = lsa::field::simd::goldilocks_active()) {
+          gk->mul_shoup_rows(ws.interp_a.data(), f.mprime_inv.data(),
+                             f.mprime_inv_shoup.data(), u, W);
+          done = true;
+        }
+      }
+      if (!done) {
+        for (std::size_t j = 0; j < u; ++j) {
+          rep* row = ws.interp_a.data() + j * W;
+          for (std::size_t l = 0; l < W; ++l) {
+            row[l] = F::mul_shoup(row[l], f.mprime_inv[j],
+                                  f.mprime_inv_shoup[j]);
+          }
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < u; ++j) {
+        rep* row = ws.interp_a.data() + j * W;
+        for (std::size_t l = 0; l < W; ++l) {
+          row[l] = F::mul(row[l], f.mprime_inv[j]);
+        }
       }
     }
-    // Collapsed bottom levels, then combine up the remaining share-tree
-    // levels (positional ping-pong buffers).
+    // Collapsed bottom levels (the base nodes tile [0, u), so one fold
+    // covers them all), then combine up the remaining share-tree levels
+    // (positional ping-pong buffers).
     rep* prev = ws.interp_b.data();
     rep* cur = ws.interp_a.data();
     for (const BaseNode& bn : f.interp_base) {
-      matvec(bn, ws.interp_a.data() + bn.lo, prev + bn.lo);
+      matvec_soa(bn, ws.interp_a.data() + bn.lo * W, ws);
     }
+    lazy_fold_out(ws, prev, u);
     for (std::size_t lv = 0; lv < f.interp_levels.size(); ++lv) {
       if (f.interp_levels[lv].empty()) continue;  // at or below the base
       for (const Node& nd : f.interp_levels[lv]) {
         if (nd.carry) {
-          std::copy(prev + nd.lo, prev + nd.lo + nd.leaves, cur + nd.lo);
+          std::copy(prev + nd.lo * W, prev + (nd.lo + nd.leaves) * W,
+                    cur + nd.lo * W);
           continue;
         }
-        combine_node(f, nd,
-                     std::span<const rep>(prev + nd.lo, nd.left_leaves),
-                     std::span<const rep>(prev + nd.lo + nd.left_leaves,
-                                          nd.leaves - nd.left_leaves),
-                     cur + nd.lo, ws);
+        combine_node(
+            f, nd,
+            std::span<const rep>(prev + nd.lo * W, nd.left_leaves * W),
+            std::span<const rep>(prev + (nd.lo + nd.left_leaves) * W,
+                                 (nd.leaves - nd.left_leaves) * W),
+            cur + nd.lo * W, ws);
       }
       std::swap(prev, cur);
     }
-    // prev now holds the interpolation result (nominal size U); walk the
-    // beta tree top-down into ws.eval_out.
+    // prev now holds the interpolation result (nominal size U per lane);
+    // walk the beta tree top-down into ws.eval_out.
     eval_walk(f, prev, ws);
   }
 
   /// Top-down divrem walk over the beta tree's upper levels, then the
   /// collapsed Vandermonde base evaluates each final remainder straight
-  /// into ws.eval_out.
+  /// into ws.eval_out (the eval base nodes tile [0, nb), folded once).
   void eval_walk(const Fast& f, const rep* interp, Workspace& ws) const {
+    constexpr std::size_t W = kLaneBlock;
     rep* bufs[2] = {ws.eval_a.data(), ws.eval_b.data()};
     for (std::size_t lv = 0; lv < f.eval_levels.size(); ++lv) {
       rep* cur = bufs[lv % 2];
@@ -787,8 +883,9 @@ class BatchedDecodePlan {
       for (std::size_t i = 0; i < level.size(); ++i) {
         const Node& nd = level[i];
         const rep* in =
-            lv == 0 ? interp : prevbuf + f.eval_levels[lv - 1][i / 2].lo;
-        reduce_node(f, nd, in, cur + nd.lo, ws);
+            lv == 0 ? interp
+                    : prevbuf + f.eval_levels[lv - 1][i / 2].lo * W;
+        reduce_node(f, nd, in, cur + nd.lo * W, ws);
       }
     }
     const std::size_t nlv = f.eval_levels.size();
@@ -797,37 +894,46 @@ class BatchedDecodePlan {
       const BaseNode& bn = f.eval_base[i];
       const rep* in = nlv == 0
                           ? interp
-                          : lastbuf + f.eval_levels[nlv - 1][i / 2].lo;
-      matvec(bn, in, ws.eval_out.data() + bn.lo);
+                          : lastbuf + f.eval_levels[nlv - 1][i / 2].lo * W;
+      matvec_soa(bn, in, ws);
     }
+    lazy_fold_out(ws, ws.eval_out.data(), betas_.size());
   }
 
   /// r = f mod node.poly with the node's fixed sizes: f has nd.fs nominal
-  /// coefficients, r gets nd.leaves (zero-padded). Pass-through when the
-  /// incoming size already fits.
+  /// coefficient blocks, r gets nd.leaves (zero-padded). Pass-through
+  /// when the incoming size already fits. Coefficient reversals swap
+  /// whole lane blocks; lanes inside a block never move.
   void reduce_node(const Fast& f, const Node& nd, const rep* in, rep* out,
                    Workspace& ws) const {
+    constexpr std::size_t W = kLaneBlock;
     if (nd.qlen == 0) {
-      std::copy(in, in + nd.fs, out);
-      std::fill(out + nd.fs, out + nd.leaves, F::zero);
+      std::copy(in, in + nd.fs * W, out);
+      std::fill(out + nd.fs * W, out + nd.leaves * W, F::zero);
       return;
     }
     const std::size_t qlen = nd.qlen;
     const std::size_t t = std::min(nd.fs, qlen);
     // rev(f) truncated to the quotient precision: top t coefficients.
-    for (std::size_t i = 0; i < t; ++i) ws.t2[i] = in[nd.fs - 1 - i];
+    for (std::size_t i = 0; i < t; ++i) {
+      std::copy_n(in + (nd.fs - 1 - i) * W, W, ws.t2.data() + i * W);
+    }
     // rq = rev(f) * rb_inv mod x^qlen.
-    mul_trunc(f, std::span<const rep>(ws.t2.data(), t), nd.rb_inv,
+    mul_trunc(f, std::span<const rep>(ws.t2.data(), t * W), nd.rb_inv,
               ws.t3.data(), qlen, ws);
     // q = reverse(rq).
-    for (std::size_t i = 0; i < qlen; ++i) ws.t2[i] = ws.t3[qlen - 1 - i];
+    for (std::size_t i = 0; i < qlen; ++i) {
+      std::copy_n(ws.t3.data() + (qlen - 1 - i) * W, W,
+                  ws.t2.data() + i * W);
+    }
     // bq mod x^leaves, using q mod x^leaves and poly mod x^leaves.
     const std::size_t qt = std::min(qlen, nd.leaves);
-    mul_trunc(f, std::span<const rep>(ws.t2.data(), qt), nd.poly_low,
+    mul_trunc(f, std::span<const rep>(ws.t2.data(), qt * W), nd.poly_low,
               ws.t3.data(), nd.leaves, ws);
-    for (std::size_t i = 0; i < nd.leaves; ++i) {
-      out[i] = F::sub(in[i], ws.t3[i]);
-    }
+    std::copy(in, in + nd.leaves * W, out);
+    lsa::field::sub_inplace<F>(
+        std::span<rep>(out, nd.leaves * W),
+        std::span<const rep>(ws.t3.data(), nd.leaves * W));
   }
 
   std::vector<rep> xs_, betas_;

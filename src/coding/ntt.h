@@ -184,6 +184,21 @@ class NttPlan {
     lsa::require<lsa::CodingError>(a.size() == n_, "ntt plan: size mismatch");
     if (n_ <= 1) return;
     bit_reverse_permute<F>(a);
+    if constexpr (field::simd::kIsGoldilocksField<F>) {
+      if (const auto* vk = field::simd::goldilocks_active()) {
+        for (unsigned s = 1; s <= log_n_; ++s) {
+          const std::size_t m = std::size_t{1} << s;
+          const std::size_t half = m / 2;
+          const rep* tw = tw_.data() + (half - 1);
+          const rep* twp = tw_shoup_.data() + (half - 1);
+          for (std::size_t k = 0; k < n_; k += m) {
+            vk->butterfly_tw(a.data() + k, a.data() + k + half, tw, twp,
+                             half);
+          }
+        }
+        return;
+      }
+    }
     for (unsigned s = 1; s <= log_n_; ++s) {
       const std::size_t m = std::size_t{1} << s;
       const std::size_t half = m / 2;
@@ -217,6 +232,91 @@ class NttPlan {
     if (n_ <= 1) return;
     forward(a);
     std::reverse(a.begin() + 1, a.end());
+    if constexpr (field::simd::kIsGoldilocksField<F>) {
+      if (const auto* vk = field::simd::goldilocks_active()) {
+        vk->mul_shoup_inplace(a.data(), n_inv_, n_inv_shoup_, n_);
+        return;
+      }
+    }
+    if constexpr (lsa::field::ShoupCapable<F>) {
+      for (auto& x : a) x = F::mul_shoup(x, n_inv_, n_inv_shoup_);
+    } else {
+      for (auto& x : a) x = F::mul(x, n_inv_);
+    }
+  }
+
+  // ------------------------------------------------ SoA lane-block forms
+  //
+  // The batched decode plane streams kLaneBlock coordinates together in
+  // structure-of-arrays layout: a[j * lanes + l] holds coefficient j of
+  // lane l. The SoA transforms run the same butterfly schedule as
+  // forward/inverse with every element op applied per lane block, so lane l
+  // of the SoA result is bit-identical to forward/inverse of lane l alone.
+
+  /// In-place forward transform of `lanes` interleaved polynomials.
+  /// a.size() must be n_ * lanes.
+  void forward_soa(std::span<rep> a, std::size_t lanes) const {
+    lsa::require<lsa::CodingError>(a.size() == n_ * lanes,
+                                   "ntt plan: soa size mismatch");
+    if (n_ <= 1 || lanes == 0) return;
+    block_bit_reverse(a, lanes);
+    const field::simd::GoldilocksKernels* vk = nullptr;
+    if constexpr (field::simd::kIsGoldilocksField<F>) {
+      vk = field::simd::goldilocks_active();
+    }
+    for (unsigned s = 1; s <= log_n_; ++s) {
+      const std::size_t m = std::size_t{1} << s;
+      const std::size_t half = m / 2;
+      const rep* tw = tw_.data() + (half - 1);
+      const rep* twp =
+          tw_shoup_.empty() ? nullptr : tw_shoup_.data() + (half - 1);
+      for (std::size_t k = 0; k < n_; k += m) {
+        rep* ab = a.data() + k * lanes;
+        rep* bb = a.data() + (k + half) * lanes;
+        bool done = false;
+        if constexpr (field::simd::kIsGoldilocksField<F>) {
+          if (vk != nullptr) {
+            vk->butterfly_soa(ab, bb, tw, twp, half, lanes);
+            done = true;
+          }
+        }
+        if (!done) {
+          for (std::size_t j = 0; j < half; ++j) {
+            for (std::size_t l = 0; l < lanes; ++l) {
+              rep t;
+              if constexpr (lsa::field::ShoupCapable<F>) {
+                t = F::mul_shoup(bb[j * lanes + l], tw[j], twp[j]);
+              } else {
+                t = F::mul(tw[j], bb[j * lanes + l]);
+              }
+              const rep u = ab[j * lanes + l];
+              ab[j * lanes + l] = F::add(u, t);
+              bb[j * lanes + l] = F::sub(u, t);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// In-place inverse transform of `lanes` interleaved polynomials.
+  void inverse_soa(std::span<rep> a, std::size_t lanes) const {
+    lsa::require<lsa::CodingError>(a.size() == n_ * lanes,
+                                   "ntt plan: soa size mismatch");
+    if (n_ <= 1 || lanes == 0) return;
+    forward_soa(a, lanes);
+    // std::reverse(a.begin() + 1, a.end()) on each lane = reverse the
+    // block order of blocks 1..n-1 keeping each lane block intact.
+    for (std::size_t i = 1, j = n_ - 1; i < j; ++i, --j) {
+      std::swap_ranges(a.begin() + i * lanes, a.begin() + (i + 1) * lanes,
+                       a.begin() + j * lanes);
+    }
+    if constexpr (field::simd::kIsGoldilocksField<F>) {
+      if (const auto* vk = field::simd::goldilocks_active()) {
+        vk->mul_shoup_inplace(a.data(), n_inv_, n_inv_shoup_, n_ * lanes);
+        return;
+      }
+    }
     if constexpr (lsa::field::ShoupCapable<F>) {
       for (auto& x : a) x = F::mul_shoup(x, n_inv_, n_inv_shoup_);
     } else {
@@ -225,6 +325,19 @@ class NttPlan {
   }
 
  private:
+  /// bit_reverse_permute on whole lane blocks.
+  void block_bit_reverse(std::span<rep> a, std::size_t lanes) const {
+    for (std::size_t i = 1, j = 0; i < n_; ++i) {
+      std::size_t bit = n_ >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) {
+        std::swap_ranges(a.begin() + i * lanes, a.begin() + (i + 1) * lanes,
+                         a.begin() + j * lanes);
+      }
+    }
+  }
+
   unsigned log_n_;
   std::size_t n_;
   std::vector<rep> tw_;        ///< stage-major twiddles (n - 1 entries)

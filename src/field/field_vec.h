@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "field/simd/dispatch.h"
 
 namespace lsa::field {
 
@@ -86,11 +87,28 @@ template <ShoupCapable F>
   return out;
 }
 
-/// acc[i] = acc[i] + x[i] for all i.
+/// acc[i] = acc[i] + x[i] for all i. Routed to the runtime-dispatched SIMD
+/// kernel when the field has one (bit-identical; field/simd/dispatch.h).
 template <class F>
 void add_inplace(std::span<typename F::rep> acc,
                  std::span<const typename F::rep> x) {
   lsa::require(acc.size() == x.size(), "field add: size mismatch");
+  if constexpr (simd::kIsGoldilocksField<F>) {
+    if (const auto* k = simd::goldilocks_active()) {
+      k->add_mod(acc.data(), x.data(), acc.size());
+      return;
+    }
+  } else if constexpr (simd::kIsSimdU32Field<F>) {
+    if (const auto* k = simd::u32_active()) {
+      k->add_mod(acc.data(), x.data(), acc.size(), F::modulus);
+      return;
+    }
+  } else if constexpr (simd::kIsSimdU64Field<F>) {
+    if (const auto* k = simd::u64_active()) {
+      k->add_mod(acc.data(), x.data(), acc.size(), F::modulus);
+      return;
+    }
+  }
   for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = F::add(acc[i], x[i]);
 }
 
@@ -99,6 +117,22 @@ template <class F>
 void sub_inplace(std::span<typename F::rep> acc,
                  std::span<const typename F::rep> x) {
   lsa::require(acc.size() == x.size(), "field sub: size mismatch");
+  if constexpr (simd::kIsGoldilocksField<F>) {
+    if (const auto* k = simd::goldilocks_active()) {
+      k->sub_mod(acc.data(), x.data(), acc.size());
+      return;
+    }
+  } else if constexpr (simd::kIsSimdU32Field<F>) {
+    if (const auto* k = simd::u32_active()) {
+      k->sub_mod(acc.data(), x.data(), acc.size(), F::modulus);
+      return;
+    }
+  } else if constexpr (simd::kIsSimdU64Field<F>) {
+    if (const auto* k = simd::u64_active()) {
+      k->sub_mod(acc.data(), x.data(), acc.size(), F::modulus);
+      return;
+    }
+  }
   for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = F::sub(acc[i], x[i]);
 }
 
@@ -116,6 +150,27 @@ template <class F>
 void axpy_inplace(std::span<typename F::rep> acc, typename F::rep s,
                   std::span<const typename F::rep> x) {
   lsa::require(acc.size() == x.size(), "field axpy: size mismatch");
+  if constexpr (ShoupCapable<F> && kPrefersShoupAxpy<F> &&
+                simd::kIsSimdU64Field<F>) {
+    if (F::has_shoup && acc.size() >= kShoupMinReps) {
+      if (const auto* k = simd::u64_active()) {
+        k->shoup_axpy(acc.data(), x.data(), s, F::shoup_precompute(s),
+                      acc.size(), F::modulus);
+        return;
+      }
+    }
+  }
+  if constexpr (simd::kIsGoldilocksField<F>) {
+    // mul_shoup is bit-identical to mul, so the vector Shoup row applies
+    // even though the scalar path prefers the reduce128 multiply.
+    if (acc.size() >= kShoupMinReps) {
+      if (const auto* k = simd::goldilocks_active()) {
+        k->shoup_axpy(acc.data(), x.data(), s, F::shoup_precompute(s),
+                      acc.size());
+        return;
+      }
+    }
+  }
   if constexpr (ShoupCapable<F> && kPrefersShoupAxpy<F>) {
     if (F::has_shoup && acc.size() >= kShoupMinReps) {
       const typename F::rep s_pre = F::shoup_precompute(s);
@@ -220,6 +275,8 @@ void add_accumulate_blocked(std::span<typename F::rep> acc,
   if (chunk == 0) chunk = kDefaultChunkReps;
   const std::size_t n = acc.size();
   if constexpr (sizeof(rep) == 4) {
+    const auto* vk =
+        simd::kIsSimdU32Field<F> ? simd::u32_active() : nullptr;
     const std::size_t width = std::min(chunk, detail::kLazyWidth);
     std::uint64_t sums[detail::kLazyWidth];
     for (std::size_t l0 = 0; l0 < n; l0 += width) {
@@ -227,7 +284,11 @@ void add_accumulate_blocked(std::span<typename F::rep> acc,
       std::fill_n(sums, b, std::uint64_t{0});
       for (const rep* const row : rows) {
         const rep* src = row + l0;
-        for (std::size_t l = 0; l < b; ++l) sums[l] += src[l];
+        if (vk != nullptr) {
+          vk->accum_widen(sums, src, b);
+        } else {
+          for (std::size_t l = 0; l < b; ++l) sums[l] += src[l];
+        }
       }
       rep* dst = acc.data() + l0;
       for (std::size_t l = 0; l < b; ++l) {
@@ -237,9 +298,9 @@ void add_accumulate_blocked(std::span<typename F::rep> acc,
   } else {
     for (std::size_t l0 = 0; l0 < n; l0 += chunk) {
       const std::size_t l1 = std::min(l0 + chunk, n);
-      rep* dst = acc.data();
       for (const rep* const row : rows) {
-        for (std::size_t l = l0; l < l1; ++l) dst[l] = F::add(dst[l], row[l]);
+        add_inplace<F>(acc.subspan(l0, l1 - l0),
+                       std::span<const rep>(row + l0, l1 - l0));
       }
     }
   }
@@ -257,6 +318,13 @@ void axpy_accumulate_shoup(std::span<typename F::rep> acc,
                            std::size_t chunk) {
   using rep = typename F::rep;
   const std::size_t n = acc.size();
+  const simd::GoldilocksKernels* glk = nullptr;
+  const simd::U64Kernels* u64k = nullptr;
+  if constexpr (simd::kIsGoldilocksField<F>) {
+    glk = simd::goldilocks_active();
+  } else if constexpr (simd::kIsSimdU64Field<F>) {
+    u64k = simd::u64_active();
+  }
   for (std::size_t l0 = 0; l0 < n; l0 += chunk) {
     const std::size_t l1 = std::min(l0 + chunk, n);
     rep* dst = acc.data();
@@ -265,8 +333,14 @@ void axpy_accumulate_shoup(std::span<typename F::rep> acc,
       if (w == F::zero) continue;
       const rep wp = shoup[k];
       const rep* src = rows[k];
-      for (std::size_t l = l0; l < l1; ++l) {
-        dst[l] = F::add(dst[l], F::mul_shoup(src[l], w, wp));
+      if (glk != nullptr) {
+        glk->shoup_axpy(dst + l0, src + l0, w, wp, l1 - l0);
+      } else if (u64k != nullptr) {
+        u64k->shoup_axpy(dst + l0, src + l0, w, wp, l1 - l0, F::modulus);
+      } else {
+        for (std::size_t l = l0; l < l1; ++l) {
+          dst[l] = F::add(dst[l], F::mul_shoup(src[l], w, wp));
+        }
       }
     }
   }
@@ -292,6 +366,8 @@ void axpy_accumulate_blocked(std::span<typename F::rep> acc,
   if (chunk == 0) chunk = kDefaultChunkReps;
   const std::size_t n = acc.size();
   if constexpr (sizeof(rep) == 4) {
+    const auto* vk =
+        simd::kIsSimdU32Field<F> ? simd::u32_active() : nullptr;
     const std::size_t width = std::min(chunk, detail::kLazyWidth);
     std::uint64_t lo[detail::kLazyWidth];
     std::uint64_t hi[detail::kLazyWidth];
@@ -319,10 +395,15 @@ void axpy_accumulate_blocked(std::span<typename F::rep> acc,
         const std::uint64_t wlo = coeffs[k] & 0xFFFFu;
         const std::uint64_t whi = coeffs[k] >> 16;
         const rep* src = rows[k] + l0;
-        for (std::size_t l = 0; l < b; ++l) {
-          const std::uint64_t x = src[l];
-          lo[l] += wlo * x;  // < 2^16 * 2^32 = 2^48 per term
-          hi[l] += whi * x;
+        if (vk != nullptr) {
+          vk->axpy_split(lo, hi, src, static_cast<std::uint32_t>(wlo),
+                         static_cast<std::uint32_t>(whi), b);
+        } else {
+          for (std::size_t l = 0; l < b; ++l) {
+            const std::uint64_t x = src[l];
+            lo[l] += wlo * x;  // < 2^16 * 2^32 = 2^48 per term
+            hi[l] += whi * x;
+          }
         }
       }
       fold();
@@ -338,10 +419,19 @@ void axpy_accumulate_blocked(std::span<typename F::rep> acc,
         return;
       }
     }
+    const simd::U64Kernels* u64k = nullptr;
+    const simd::GoldilocksKernels* glk = nullptr;
+    if constexpr (simd::kIsGoldilocksField<F>) {
+      glk = simd::goldilocks_active();
+      u64k = simd::u64_active();  // lazy192 rows are modulus-free
+    } else if constexpr (simd::kIsSimdU64Field<F>) {
+      u64k = simd::u64_active();
+    }
     const std::size_t width = std::min(chunk, detail::kLazy192Width);
     std::uint64_t lo[detail::kLazy192Width];
     std::uint64_t mi[detail::kLazy192Width];
     std::uint64_t hi[detail::kLazy192Width];
+    std::uint64_t folded[detail::kLazy192Width];
     for (std::size_t l0 = 0; l0 < n; l0 += width) {
       const std::size_t b = std::min(width, n - l0);
       std::fill_n(lo, b, std::uint64_t{0});
@@ -351,13 +441,22 @@ void axpy_accumulate_blocked(std::span<typename F::rep> acc,
         const rep w = coeffs[k];
         if (w == F::zero) continue;
         const rep* src = rows[k] + l0;
-        for (std::size_t l = 0; l < b; ++l) {
-          lazy192_accumulate<F>(lo[l], mi[l], hi[l], w, src[l]);
+        if (u64k != nullptr) {
+          u64k->lazy192_axpy(lo, mi, hi, w, src, b);
+        } else {
+          for (std::size_t l = 0; l < b; ++l) {
+            lazy192_accumulate<F>(lo[l], mi[l], hi[l], w, src[l]);
+          }
         }
       }
       rep* dst = acc.data() + l0;
-      for (std::size_t l = 0; l < b; ++l) {
-        dst[l] = F::add(dst[l], lazy192_fold<F>(lo[l], mi[l], hi[l]));
+      if (glk != nullptr) {
+        glk->fold192(folded, lo, mi, hi, b);
+        glk->add_mod(dst, folded, b);
+      } else {
+        for (std::size_t l = 0; l < b; ++l) {
+          dst[l] = F::add(dst[l], lazy192_fold<F>(lo[l], mi[l], hi[l]));
+        }
       }
     }
   }

@@ -1,0 +1,31 @@
+// Internal linkage between the per-ISA kernel translation units and the
+// dispatch table resolver (field/simd/dispatch.cpp). Each ISA unit is
+// compiled with its own -m flags and guarded so only probed hosts ever
+// execute its code; the tables here are plain data, safe to reference from
+// the always-built dispatcher.
+#pragma once
+
+#include "field/simd/dispatch.h"
+
+namespace lsa::field::simd::detail {
+
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(LSA_HAVE_AVX2)
+extern const U32Kernels kU32Avx2;
+extern const U64Kernels kU64Avx2;
+extern const GoldilocksKernels kGoldilocksAvx2;
+#endif
+#if defined(LSA_HAVE_AVX512)
+extern const U32Kernels kU32Avx512;
+extern const U64Kernels kU64Avx512;
+extern const GoldilocksKernels kGoldilocksAvx512;
+#endif
+#endif  // x86_64
+
+#if defined(__aarch64__)
+extern const U32Kernels kU32Neon;
+extern const U64Kernels kU64Neon;
+extern const GoldilocksKernels kGoldilocksNeon;
+#endif
+
+}  // namespace lsa::field::simd::detail

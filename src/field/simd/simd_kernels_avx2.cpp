@@ -1,0 +1,536 @@
+// AVX2 implementations of the dispatch-table kernels (field/simd/dispatch.h).
+//
+// Compiled with -mavx2 in its own translation unit; every function here is
+// reached only through the dispatch tables after the runtime CPUID probe
+// confirmed AVX2, so no code in this file may be called (or have its
+// address-independent parts auto-vectorized into) other units. All helpers
+// are internal-linkage on purpose: an inline helper shared with the AVX-512
+// unit would let the linker keep whichever copy it saw last.
+//
+// Every kernel reproduces the scalar reference loop value-for-value: the
+// modular forms compute the same canonical representative (same conditional
+// subtractions on the same exact integers) and the lazy forms accumulate
+// the same exact 192-bit integer sums, so outputs are bit-identical to the
+// scalar templates in field/field_vec.h (tests/simd_kernel_test.cpp).
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(LSA_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "field/goldilocks.h"
+#include "field/simd/kernels_internal.h"
+
+namespace lsa::field::simd::detail {
+namespace {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using GL = lsa::field::Goldilocks;
+
+// ------------------------------------------------------- scalar reference
+// Tail loops run the exact scalar-kernel arithmetic at runtime modulus.
+
+inline u32 s_add32(u32 a, u32 b, u32 q) {
+  const u64 s = static_cast<u64>(a) + b;
+  return static_cast<u32>(s >= q ? s - q : s);
+}
+inline u32 s_sub32(u32 a, u32 b, u32 q) { return a >= b ? a - b : q - b + a; }
+inline u64 s_add64(u64 a, u64 b, u64 q) {
+  const u64 s = a + b;
+  return s >= q ? s - q : s;
+}
+inline u64 s_sub64(u64 a, u64 b, u64 q) { return a >= b ? a - b : q - b + a; }
+inline u64 s_mul_shoup64(u64 a, u64 w, u64 wp, u64 q) {
+  const u64 qhat = static_cast<u64>((static_cast<u128>(wp) * a) >> 64);
+  u64 r = w * a - qhat * q;
+  if (r >= q) r -= q;
+  return r;
+}
+inline void s_lazy192(u64& lo, u64& mi, u64& hi, u64 a, u64 b) {
+  const u128 pr = static_cast<u128>(a) * b;
+  const u64 plo = static_cast<u64>(pr);
+  const u64 phi = static_cast<u64>(pr >> 64);
+  const u64 c1 = __builtin_add_overflow(lo, plo, &lo) ? 1u : 0u;
+  hi += __builtin_add_overflow(mi, phi + c1, &mi) ? 1u : 0u;
+}
+
+// ------------------------------------------------------------ vector bits
+
+inline __m256i sign64() { return _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull)); }
+
+/// a < b (unsigned, per 64-bit lane) as an all-ones/-zero lane mask.
+inline __m256i lt_epu64(__m256i a, __m256i b) {
+  const __m256i s = sign64();
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, s), _mm256_xor_si256(a, s));
+}
+
+/// a >= q as a lane mask, with qm1s = (q-1) ^ sign precomputed.
+inline __m256i ge_q(__m256i a, __m256i qm1s) {
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign64()), qm1s);
+}
+
+/// Full 64x64 -> 128 product per lane via 32-bit cross products.
+inline void mul64wide(__m256i a, __m256i b, __m256i& hi, __m256i& lo) {
+  const __m256i m32 = _mm256_set1_epi64x(0xFFFFFFFFll);
+  const __m256i ah = _mm256_srli_epi64(a, 32);
+  const __m256i bh = _mm256_srli_epi64(b, 32);
+  const __m256i p0 = _mm256_mul_epu32(a, b);
+  const __m256i p1 = _mm256_mul_epu32(a, bh);
+  const __m256i p2 = _mm256_mul_epu32(ah, b);
+  const __m256i p3 = _mm256_mul_epu32(ah, bh);
+  const __m256i mid = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_srli_epi64(p0, 32), _mm256_and_si256(p1, m32)),
+      _mm256_and_si256(p2, m32));
+  lo = _mm256_or_si256(_mm256_slli_epi64(mid, 32), _mm256_and_si256(p0, m32));
+  hi = _mm256_add_epi64(
+      _mm256_add_epi64(p3, _mm256_srli_epi64(p1, 32)),
+      _mm256_add_epi64(_mm256_srli_epi64(p2, 32), _mm256_srli_epi64(mid, 32)));
+}
+
+inline __m256i mulhi64(__m256i a, __m256i b) {
+  __m256i hi, lo;
+  mul64wide(a, b, hi, lo);
+  return hi;
+}
+
+inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i p0 = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+                       _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));
+  return _mm256_add_epi64(p0, _mm256_slli_epi64(cross, 32));
+}
+
+// ------------------------------------------------------------ u32 kernels
+
+void u32_add_mod(u32* acc, const u32* x, std::size_t n, u32 q) {
+  const __m256i qv = _mm256_set1_epi32(static_cast<int>(q));
+  const __m256i s32 = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i qm1s = _mm256_xor_si256(
+      _mm256_set1_epi32(static_cast<int>(q - 1)), s32);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    __m256i s = _mm256_add_epi32(va, vx);
+    // wrapped 2^32 (true sum >= 2^32 > q) OR s >= q: subtract q once.
+    const __m256i wrap = _mm256_cmpgt_epi32(_mm256_xor_si256(va, s32),
+                                            _mm256_xor_si256(s, s32));
+    const __m256i ge = _mm256_cmpgt_epi32(_mm256_xor_si256(s, s32), qm1s);
+    s = _mm256_sub_epi32(
+        s, _mm256_and_si256(qv, _mm256_or_si256(wrap, ge)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), s);
+  }
+  for (; i < n; ++i) acc[i] = s_add32(acc[i], x[i], q);
+}
+
+void u32_sub_mod(u32* acc, const u32* x, std::size_t n, u32 q) {
+  const __m256i qv = _mm256_set1_epi32(static_cast<int>(q));
+  const __m256i s32 = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i borrow = _mm256_cmpgt_epi32(_mm256_xor_si256(vx, s32),
+                                              _mm256_xor_si256(va, s32));
+    const __m256i d = _mm256_add_epi32(_mm256_sub_epi32(va, vx),
+                                       _mm256_and_si256(qv, borrow));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), d);
+  }
+  for (; i < n; ++i) acc[i] = s_sub32(acc[i], x[i], q);
+}
+
+void u32_accum_widen(u64* sums, const u32* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sums + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sums + i),
+                        _mm256_add_epi64(s, x));
+  }
+  for (; i < n; ++i) sums[i] += src[i];
+}
+
+void u32_axpy_split(u64* lo, u64* hi, const u32* src, u32 wlo, u32 whi,
+                    std::size_t n) {
+  const __m256i vwlo = _mm256_set1_epi64x(static_cast<long long>(wlo));
+  const __m256i vwhi = _mm256_set1_epi64x(static_cast<long long>(whi));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+    const __m256i vlo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + i));
+    const __m256i vhi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(lo + i),
+        _mm256_add_epi64(vlo, _mm256_mul_epu32(x, vwlo)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(hi + i),
+        _mm256_add_epi64(vhi, _mm256_mul_epu32(x, vwhi)));
+  }
+  for (; i < n; ++i) {
+    const u64 x = src[i];
+    lo[i] += static_cast<u64>(wlo) * x;
+    hi[i] += static_cast<u64>(whi) * x;
+  }
+}
+
+// ------------------------------------------------------------ u64 kernels
+
+void u64_add_mod(u64* acc, const u64* x, std::size_t n, u64 q) {
+  const __m256i qv = _mm256_set1_epi64x(static_cast<long long>(q));
+  const __m256i qm1s = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(q - 1)), sign64());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    __m256i s = _mm256_add_epi64(va, vx);  // q < 2^63: cannot wrap
+    s = _mm256_sub_epi64(s, _mm256_and_si256(qv, ge_q(s, qm1s)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), s);
+  }
+  for (; i < n; ++i) acc[i] = s_add64(acc[i], x[i], q);
+}
+
+void u64_sub_mod(u64* acc, const u64* x, std::size_t n, u64 q) {
+  const __m256i qv = _mm256_set1_epi64x(static_cast<long long>(q));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i d = _mm256_add_epi64(
+        _mm256_sub_epi64(va, vx), _mm256_and_si256(qv, lt_epu64(va, vx)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), d);
+  }
+  for (; i < n; ++i) acc[i] = s_sub64(acc[i], x[i], q);
+}
+
+void u64_shoup_axpy(u64* acc, const u64* src, u64 w, u64 wp, std::size_t n,
+                    u64 q) {
+  const __m256i vw = _mm256_set1_epi64x(static_cast<long long>(w));
+  const __m256i vwp = _mm256_set1_epi64x(static_cast<long long>(wp));
+  const __m256i qv = _mm256_set1_epi64x(static_cast<long long>(q));
+  const __m256i qm1s = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(q - 1)), sign64());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i qhat = mulhi64(vwp, vx);
+    __m256i r =
+        _mm256_sub_epi64(mullo64(vw, vx), mullo64(qhat, qv));
+    r = _mm256_sub_epi64(r, _mm256_and_si256(qv, ge_q(r, qm1s)));
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    __m256i s = _mm256_add_epi64(va, r);
+    s = _mm256_sub_epi64(s, _mm256_and_si256(qv, ge_q(s, qm1s)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), s);
+  }
+  for (; i < n; ++i) {
+    acc[i] = s_add64(acc[i], s_mul_shoup64(src[i], w, wp, q), q);
+  }
+}
+
+/// One lazy-192 accumulation step on 4 lanes held in registers.
+inline void lazy192_step(__m256i plo, __m256i phi, __m256i& lo, __m256i& mi,
+                         __m256i& hi) {
+  lo = _mm256_add_epi64(lo, plo);
+  const __m256i c1 = lt_epu64(lo, plo);            // all-ones where carry
+  const __m256i addend = _mm256_sub_epi64(phi, c1);  // phi + 1 on carry
+  mi = _mm256_add_epi64(mi, addend);
+  const __m256i c2 = lt_epu64(mi, addend);
+  hi = _mm256_sub_epi64(hi, c2);
+}
+
+void u64_lazy192_axpy(u64* lo, u64* mi, u64* hi, u64 w, const u64* src,
+                      std::size_t n) {
+  const __m256i vw = _mm256_set1_epi64x(static_cast<long long>(w));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i phi, plo;
+    mul64wide(vw, vx, phi, plo);
+    __m256i vlo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + i));
+    __m256i vmi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mi + i));
+    __m256i vhi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + i));
+    lazy192_step(plo, phi, vlo, vmi, vhi);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + i), vlo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mi + i), vmi);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi + i), vhi);
+  }
+  for (; i < n; ++i) s_lazy192(lo[i], mi[i], hi[i], w, src[i]);
+}
+
+void u64_lazy192_dot(u64* lo, u64* mi, u64* hi, const u64* coeffs,
+                     std::size_t coeff_stride, const u64* x,
+                     std::size_t terms, std::size_t lanes) {
+  std::size_t l = 0;
+  for (; l + 4 <= lanes; l += 4) {
+    __m256i vlo = _mm256_setzero_si256();
+    __m256i vmi = _mm256_setzero_si256();
+    __m256i vhi = _mm256_setzero_si256();
+    for (std::size_t c = 0; c < terms; ++c) {
+      const __m256i vw = _mm256_set1_epi64x(
+          static_cast<long long>(coeffs[c * coeff_stride]));
+      const __m256i vx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(x + c * lanes + l));
+      __m256i phi, plo;
+      mul64wide(vw, vx, phi, plo);
+      lazy192_step(plo, phi, vlo, vmi, vhi);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + l), vlo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mi + l), vmi);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi + l), vhi);
+  }
+  for (; l < lanes; ++l) {
+    u64 slo = 0, smi = 0, shi = 0;
+    for (std::size_t c = 0; c < terms; ++c) {
+      s_lazy192(slo, smi, shi, coeffs[c * coeff_stride], x[c * lanes + l]);
+    }
+    lo[l] = slo;
+    mi[l] = smi;
+    hi[l] = shi;
+  }
+}
+
+// ----------------------------------------------------- Goldilocks kernels
+
+constexpr u64 kGlP = GL::modulus;
+constexpr u64 kGlEps = 0xFFFFFFFFull;  // 2^32 - 1 == 2^64 mod p
+constexpr u64 kGlR64 = kGlEps;         // 2^64 mod p
+constexpr u64 kGlR128 = GL::mul(kGlR64, kGlR64);  // 2^128 mod p
+constexpr u64 kGlR64Pre = GL::shoup_precompute(kGlR64);
+constexpr u64 kGlR128Pre = GL::shoup_precompute(kGlR128);
+
+inline __m256i gl_p() { return _mm256_set1_epi64x(static_cast<long long>(kGlP)); }
+inline __m256i gl_eps() { return _mm256_set1_epi64x(static_cast<long long>(kGlEps)); }
+inline __m256i gl_pm1s() {
+  return _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(kGlP - 1)), sign64());
+}
+
+inline __m256i gl_add(__m256i a, __m256i b) {
+  __m256i s = _mm256_add_epi64(a, b);
+  // wrapped 2^64: +2^64 == +eps (mod p); the fixup cannot wrap again.
+  s = _mm256_add_epi64(s, _mm256_and_si256(gl_eps(), lt_epu64(s, a)));
+  return _mm256_sub_epi64(s, _mm256_and_si256(gl_p(), ge_q(s, gl_pm1s())));
+}
+
+inline __m256i gl_sub(__m256i a, __m256i b) {
+  const __m256i d = _mm256_sub_epi64(a, b);
+  return _mm256_sub_epi64(d, _mm256_and_si256(gl_eps(), lt_epu64(a, b)));
+}
+
+/// mul_shoup(a, s, sp) per lane, valid for ANY u64 a (the Shoup bound
+/// r = s*a - qhat*p < 2p holds for arbitrary a; see Goldilocks::mul_shoup).
+inline __m256i gl_mul_shoup(__m256i a, __m256i vs, __m256i vsp) {
+  const __m256i qhat = mulhi64(vsp, a);
+  __m256i sa_hi, sa_lo;
+  mul64wide(vs, a, sa_hi, sa_lo);
+  // qeps = qhat * eps = (qhat << 32) - qhat as a 128-bit value.
+  const __m256i qsl = _mm256_slli_epi64(qhat, 32);
+  const __m256i qeps_lo = _mm256_sub_epi64(qsl, qhat);
+  const __m256i borrow = lt_epu64(qsl, qhat);
+  const __m256i qeps_hi =
+      _mm256_add_epi64(_mm256_srli_epi64(qhat, 32), borrow);  // -1 on borrow
+  // r128 = s*a + qeps - (qhat << 64); high word provably in {0, 1}.
+  __m256i r_lo = _mm256_add_epi64(sa_lo, qeps_lo);
+  const __m256i c1 = lt_epu64(r_lo, qeps_lo);
+  __m256i r_hi = _mm256_add_epi64(sa_hi, qeps_hi);
+  r_hi = _mm256_sub_epi64(r_hi, c1);  // +1 on carry
+  r_hi = _mm256_sub_epi64(r_hi, qhat);
+  // fold the 2^64 bit as +eps (cannot wrap or reach p), then canonicalize.
+  const __m256i fold_mask = _mm256_sub_epi64(_mm256_setzero_si256(), r_hi);
+  r_lo = _mm256_add_epi64(r_lo, _mm256_and_si256(gl_eps(), fold_mask));
+  return _mm256_sub_epi64(r_lo,
+                          _mm256_and_si256(gl_p(), ge_q(r_lo, gl_pm1s())));
+}
+
+void gl_add_mod(u64* acc, const u64* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), gl_add(va, vx));
+  }
+  for (; i < n; ++i) acc[i] = GL::add(acc[i], x[i]);
+}
+
+void gl_sub_mod(u64* acc, const u64* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), gl_sub(va, vx));
+  }
+  for (; i < n; ++i) acc[i] = GL::sub(acc[i], x[i]);
+}
+
+void gl_shoup_axpy(u64* acc, const u64* src, u64 w, u64 wp, std::size_t n) {
+  const __m256i vw = _mm256_set1_epi64x(static_cast<long long>(w));
+  const __m256i vwp = _mm256_set1_epi64x(static_cast<long long>(wp));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        gl_add(va, gl_mul_shoup(vx, vw, vwp)));
+  }
+  for (; i < n; ++i) acc[i] = GL::add(acc[i], GL::mul_shoup(src[i], w, wp));
+}
+
+void gl_mul_shoup_inplace(u64* a, u64 s, u64 sp, std::size_t n) {
+  const __m256i vs = _mm256_set1_epi64x(static_cast<long long>(s));
+  const __m256i vsp = _mm256_set1_epi64x(static_cast<long long>(sp));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        gl_mul_shoup(va, vs, vsp));
+  }
+  for (; i < n; ++i) a[i] = GL::mul_shoup(a[i], s, sp);
+}
+
+void gl_mul_shoup_rows(u64* a, const u64* s, const u64* sp, std::size_t rows,
+                       std::size_t lanes) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    gl_mul_shoup_inplace(a + r * lanes, s[r], sp[r], lanes);
+  }
+}
+
+void gl_fold192(u64* out, const u64* lo, const u64* mi, const u64* hi,
+                std::size_t n) {
+  const __m256i r64 = _mm256_set1_epi64x(static_cast<long long>(kGlR64));
+  const __m256i r64p = _mm256_set1_epi64x(static_cast<long long>(kGlR64Pre));
+  const __m256i r128 = _mm256_set1_epi64x(static_cast<long long>(kGlR128));
+  const __m256i r128p =
+      _mm256_set1_epi64x(static_cast<long long>(kGlR128Pre));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vlo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + i));
+    const __m256i vmi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mi + i));
+    const __m256i vhi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + i));
+    // from_u64(lo): one conditional subtraction (any u64 < 2p).
+    const __m256i lo_c = _mm256_sub_epi64(
+        vlo, _mm256_and_si256(gl_p(), ge_q(vlo, gl_pm1s())));
+    const __m256i t_mi = gl_mul_shoup(vmi, r64, r64p);
+    const __m256i t_hi = gl_mul_shoup(vhi, r128, r128p);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        gl_add(t_hi, gl_add(t_mi, lo_c)));
+  }
+  for (; i < n; ++i) {
+    out[i] = GL::add(
+        GL::mul(GL::from_u64(hi[i]), kGlR128),
+        GL::add(GL::mul(GL::from_u64(mi[i]), kGlR64), GL::from_u64(lo[i])));
+  }
+}
+
+void gl_butterfly_tw(u64* a, u64* b, const u64* tw, const u64* twp,
+                     std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i vtw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tw + j));
+    const __m256i vtwp =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(twp + j));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const __m256i vu =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + j));
+    const __m256i t = gl_mul_shoup(vb, vtw, vtwp);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + j), gl_add(vu, t));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(b + j), gl_sub(vu, t));
+  }
+  for (; j < n; ++j) {
+    const u64 t = GL::mul_shoup(b[j], tw[j], twp[j]);
+    const u64 u = a[j];
+    a[j] = GL::add(u, t);
+    b[j] = GL::sub(u, t);
+  }
+}
+
+void gl_butterfly_soa(u64* a, u64* b, const u64* tw, const u64* twp,
+                      std::size_t nj, std::size_t lanes) {
+  for (std::size_t j = 0; j < nj; ++j) {
+    const __m256i vtw = _mm256_set1_epi64x(static_cast<long long>(tw[j]));
+    const __m256i vtwp = _mm256_set1_epi64x(static_cast<long long>(twp[j]));
+    u64* aj = a + j * lanes;
+    u64* bj = b + j * lanes;
+    std::size_t l = 0;
+    for (; l + 4 <= lanes; l += 4) {
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bj + l));
+      const __m256i vu =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(aj + l));
+      const __m256i t = gl_mul_shoup(vb, vtw, vtwp);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(aj + l), gl_add(vu, t));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(bj + l), gl_sub(vu, t));
+    }
+    for (; l < lanes; ++l) {
+      const u64 t = GL::mul_shoup(bj[l], tw[j], twp[j]);
+      const u64 u = aj[l];
+      aj[l] = GL::add(u, t);
+      bj[l] = GL::sub(u, t);
+    }
+  }
+}
+
+}  // namespace
+
+const U32Kernels kU32Avx2 = {
+    &u32_add_mod,
+    &u32_sub_mod,
+    &u32_accum_widen,
+    &u32_axpy_split,
+};
+
+const U64Kernels kU64Avx2 = {
+    &u64_add_mod,
+    &u64_sub_mod,
+    &u64_shoup_axpy,
+    &u64_lazy192_axpy,
+    &u64_lazy192_dot,
+};
+
+const GoldilocksKernels kGoldilocksAvx2 = {
+    &gl_add_mod,
+    &gl_sub_mod,
+    &gl_shoup_axpy,
+    &gl_mul_shoup_inplace,
+    &gl_mul_shoup_rows,
+    &gl_fold192,
+    &gl_butterfly_tw,
+    &gl_butterfly_soa,
+};
+
+}  // namespace lsa::field::simd::detail
+
+#endif  // LSA_HAVE_AVX2
+#endif  // x86_64

@@ -1,0 +1,447 @@
+// AVX-512 (F + DQ) implementations of the dispatch-table kernels.
+//
+// Same contract as the AVX2 unit (simd_kernels_avx2.cpp): compiled with its
+// own -mavx512f -mavx512dq flags, reached only through the runtime-probed
+// dispatch tables, all helpers internal-linkage, every kernel bit-identical
+// to the scalar reference. AVX-512 buys native 64-bit low multiplies
+// (_mm512_mullo_epi64, DQ) and unsigned compares into mask registers, so
+// the carry chains use masked add/sub instead of the AVX2 sign-flip trick.
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(LSA_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "field/goldilocks.h"
+#include "field/simd/kernels_internal.h"
+
+namespace lsa::field::simd::detail {
+namespace {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using GL = lsa::field::Goldilocks;
+
+// ------------------------------------------------------- scalar reference
+
+inline u32 s_add32(u32 a, u32 b, u32 q) {
+  const u64 s = static_cast<u64>(a) + b;
+  return static_cast<u32>(s >= q ? s - q : s);
+}
+inline u32 s_sub32(u32 a, u32 b, u32 q) { return a >= b ? a - b : q - b + a; }
+inline u64 s_add64(u64 a, u64 b, u64 q) {
+  const u64 s = a + b;
+  return s >= q ? s - q : s;
+}
+inline u64 s_sub64(u64 a, u64 b, u64 q) { return a >= b ? a - b : q - b + a; }
+inline u64 s_mul_shoup64(u64 a, u64 w, u64 wp, u64 q) {
+  const u64 qhat = static_cast<u64>((static_cast<u128>(wp) * a) >> 64);
+  u64 r = w * a - qhat * q;
+  if (r >= q) r -= q;
+  return r;
+}
+inline void s_lazy192(u64& lo, u64& mi, u64& hi, u64 a, u64 b) {
+  const u128 pr = static_cast<u128>(a) * b;
+  const u64 plo = static_cast<u64>(pr);
+  const u64 phi = static_cast<u64>(pr >> 64);
+  const u64 c1 = __builtin_add_overflow(lo, plo, &lo) ? 1u : 0u;
+  hi += __builtin_add_overflow(mi, phi + c1, &mi) ? 1u : 0u;
+}
+
+// ------------------------------------------------------------ vector bits
+
+inline __m512i one64() { return _mm512_set1_epi64(1); }
+
+/// High 64 bits of the unsigned 64x64 product per lane (32-bit cross
+/// products; the low half comes from native _mm512_mullo_epi64 instead).
+inline __m512i mulhi64(__m512i a, __m512i b) {
+  const __m512i m32 = _mm512_set1_epi64(0xFFFFFFFFll);
+  const __m512i ah = _mm512_srli_epi64(a, 32);
+  const __m512i bh = _mm512_srli_epi64(b, 32);
+  const __m512i p0 = _mm512_mul_epu32(a, b);
+  const __m512i p1 = _mm512_mul_epu32(a, bh);
+  const __m512i p2 = _mm512_mul_epu32(ah, b);
+  const __m512i p3 = _mm512_mul_epu32(ah, bh);
+  const __m512i mid = _mm512_add_epi64(
+      _mm512_add_epi64(_mm512_srli_epi64(p0, 32), _mm512_and_si512(p1, m32)),
+      _mm512_and_si512(p2, m32));
+  return _mm512_add_epi64(
+      _mm512_add_epi64(p3, _mm512_srli_epi64(p1, 32)),
+      _mm512_add_epi64(_mm512_srli_epi64(p2, 32), _mm512_srli_epi64(mid, 32)));
+}
+
+// ------------------------------------------------------------ u32 kernels
+
+void u32_add_mod(u32* acc, const u32* x, std::size_t n, u32 q) {
+  const __m512i qv = _mm512_set1_epi32(static_cast<int>(q));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i va = _mm512_loadu_si512(acc + i);
+    const __m512i vx = _mm512_loadu_si512(x + i);
+    __m512i s = _mm512_add_epi32(va, vx);
+    // wrapped 2^32 (true sum >= 2^32 > q) OR s >= q: subtract q once.
+    const __mmask16 red = _mm512_cmplt_epu32_mask(s, va) |
+                          _mm512_cmpge_epu32_mask(s, qv);
+    s = _mm512_mask_sub_epi32(s, red, s, qv);
+    _mm512_storeu_si512(acc + i, s);
+  }
+  for (; i < n; ++i) acc[i] = s_add32(acc[i], x[i], q);
+}
+
+void u32_sub_mod(u32* acc, const u32* x, std::size_t n, u32 q) {
+  const __m512i qv = _mm512_set1_epi32(static_cast<int>(q));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i va = _mm512_loadu_si512(acc + i);
+    const __m512i vx = _mm512_loadu_si512(x + i);
+    const __mmask16 borrow = _mm512_cmplt_epu32_mask(va, vx);
+    __m512i d = _mm512_sub_epi32(va, vx);
+    d = _mm512_mask_add_epi32(d, borrow, d, qv);
+    _mm512_storeu_si512(acc + i, d);
+  }
+  for (; i < n; ++i) acc[i] = s_sub32(acc[i], x[i], q);
+}
+
+void u32_accum_widen(u64* sums, const u32* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_cvtepu32_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm512_storeu_si512(sums + i,
+                        _mm512_add_epi64(_mm512_loadu_si512(sums + i), x));
+  }
+  for (; i < n; ++i) sums[i] += src[i];
+}
+
+void u32_axpy_split(u64* lo, u64* hi, const u32* src, u32 wlo, u32 whi,
+                    std::size_t n) {
+  const __m512i vwlo = _mm512_set1_epi64(static_cast<long long>(wlo));
+  const __m512i vwhi = _mm512_set1_epi64(static_cast<long long>(whi));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_cvtepu32_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm512_storeu_si512(
+        lo + i, _mm512_add_epi64(_mm512_loadu_si512(lo + i),
+                                 _mm512_mul_epu32(x, vwlo)));
+    _mm512_storeu_si512(
+        hi + i, _mm512_add_epi64(_mm512_loadu_si512(hi + i),
+                                 _mm512_mul_epu32(x, vwhi)));
+  }
+  for (; i < n; ++i) {
+    const u64 x = src[i];
+    lo[i] += static_cast<u64>(wlo) * x;
+    hi[i] += static_cast<u64>(whi) * x;
+  }
+}
+
+// ------------------------------------------------------------ u64 kernels
+
+void u64_add_mod(u64* acc, const u64* x, std::size_t n, u64 q) {
+  const __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i s = _mm512_add_epi64(_mm512_loadu_si512(acc + i),
+                                 _mm512_loadu_si512(x + i));  // no wrap
+    s = _mm512_mask_sub_epi64(s, _mm512_cmpge_epu64_mask(s, qv), s, qv);
+    _mm512_storeu_si512(acc + i, s);
+  }
+  for (; i < n; ++i) acc[i] = s_add64(acc[i], x[i], q);
+}
+
+void u64_sub_mod(u64* acc, const u64* x, std::size_t n, u64 q) {
+  const __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(acc + i);
+    const __m512i vx = _mm512_loadu_si512(x + i);
+    __m512i d = _mm512_sub_epi64(va, vx);
+    d = _mm512_mask_add_epi64(d, _mm512_cmplt_epu64_mask(va, vx), d, qv);
+    _mm512_storeu_si512(acc + i, d);
+  }
+  for (; i < n; ++i) acc[i] = s_sub64(acc[i], x[i], q);
+}
+
+void u64_shoup_axpy(u64* acc, const u64* src, u64 w, u64 wp, std::size_t n,
+                    u64 q) {
+  const __m512i vw = _mm512_set1_epi64(static_cast<long long>(w));
+  const __m512i vwp = _mm512_set1_epi64(static_cast<long long>(wp));
+  const __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vx = _mm512_loadu_si512(src + i);
+    const __m512i qhat = mulhi64(vwp, vx);
+    __m512i r = _mm512_sub_epi64(_mm512_mullo_epi64(vw, vx),
+                                 _mm512_mullo_epi64(qhat, qv));
+    r = _mm512_mask_sub_epi64(r, _mm512_cmpge_epu64_mask(r, qv), r, qv);
+    __m512i s = _mm512_add_epi64(_mm512_loadu_si512(acc + i), r);
+    s = _mm512_mask_sub_epi64(s, _mm512_cmpge_epu64_mask(s, qv), s, qv);
+    _mm512_storeu_si512(acc + i, s);
+  }
+  for (; i < n; ++i) {
+    acc[i] = s_add64(acc[i], s_mul_shoup64(src[i], w, wp, q), q);
+  }
+}
+
+/// One lazy-192 accumulation step on 8 lanes held in registers.
+inline void lazy192_step(__m512i plo, __m512i phi, __m512i& lo, __m512i& mi,
+                         __m512i& hi) {
+  lo = _mm512_add_epi64(lo, plo);
+  const __mmask8 c1 = _mm512_cmplt_epu64_mask(lo, plo);
+  const __m512i addend = _mm512_mask_add_epi64(phi, c1, phi, one64());
+  mi = _mm512_add_epi64(mi, addend);
+  const __mmask8 c2 = _mm512_cmplt_epu64_mask(mi, addend);
+  hi = _mm512_mask_add_epi64(hi, c2, hi, one64());
+}
+
+void u64_lazy192_axpy(u64* lo, u64* mi, u64* hi, u64 w, const u64* src,
+                      std::size_t n) {
+  const __m512i vw = _mm512_set1_epi64(static_cast<long long>(w));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vx = _mm512_loadu_si512(src + i);
+    const __m512i plo = _mm512_mullo_epi64(vw, vx);
+    const __m512i phi = mulhi64(vw, vx);
+    __m512i vlo = _mm512_loadu_si512(lo + i);
+    __m512i vmi = _mm512_loadu_si512(mi + i);
+    __m512i vhi = _mm512_loadu_si512(hi + i);
+    lazy192_step(plo, phi, vlo, vmi, vhi);
+    _mm512_storeu_si512(lo + i, vlo);
+    _mm512_storeu_si512(mi + i, vmi);
+    _mm512_storeu_si512(hi + i, vhi);
+  }
+  for (; i < n; ++i) s_lazy192(lo[i], mi[i], hi[i], w, src[i]);
+}
+
+void u64_lazy192_dot(u64* lo, u64* mi, u64* hi, const u64* coeffs,
+                     std::size_t coeff_stride, const u64* x,
+                     std::size_t terms, std::size_t lanes) {
+  std::size_t l = 0;
+  for (; l + 8 <= lanes; l += 8) {
+    __m512i vlo = _mm512_setzero_si512();
+    __m512i vmi = _mm512_setzero_si512();
+    __m512i vhi = _mm512_setzero_si512();
+    for (std::size_t c = 0; c < terms; ++c) {
+      const __m512i vw =
+          _mm512_set1_epi64(static_cast<long long>(coeffs[c * coeff_stride]));
+      const __m512i vx = _mm512_loadu_si512(x + c * lanes + l);
+      lazy192_step(_mm512_mullo_epi64(vw, vx), mulhi64(vw, vx), vlo, vmi,
+                   vhi);
+    }
+    _mm512_storeu_si512(lo + l, vlo);
+    _mm512_storeu_si512(mi + l, vmi);
+    _mm512_storeu_si512(hi + l, vhi);
+  }
+  for (; l < lanes; ++l) {
+    u64 slo = 0, smi = 0, shi = 0;
+    for (std::size_t c = 0; c < terms; ++c) {
+      s_lazy192(slo, smi, shi, coeffs[c * coeff_stride], x[c * lanes + l]);
+    }
+    lo[l] = slo;
+    mi[l] = smi;
+    hi[l] = shi;
+  }
+}
+
+// ----------------------------------------------------- Goldilocks kernels
+
+constexpr u64 kGlP = GL::modulus;
+constexpr u64 kGlEps = 0xFFFFFFFFull;  // 2^32 - 1 == 2^64 mod p
+constexpr u64 kGlR64 = kGlEps;
+constexpr u64 kGlR128 = GL::mul(kGlR64, kGlR64);  // 2^128 mod p
+constexpr u64 kGlR64Pre = GL::shoup_precompute(kGlR64);
+constexpr u64 kGlR128Pre = GL::shoup_precompute(kGlR128);
+
+inline __m512i gl_p() { return _mm512_set1_epi64(static_cast<long long>(kGlP)); }
+inline __m512i gl_eps() {
+  return _mm512_set1_epi64(static_cast<long long>(kGlEps));
+}
+
+inline __m512i gl_add(__m512i a, __m512i b) {
+  __m512i s = _mm512_add_epi64(a, b);
+  // wrapped 2^64: +2^64 == +eps (mod p); the fixup cannot wrap again.
+  s = _mm512_mask_add_epi64(s, _mm512_cmplt_epu64_mask(s, a), s, gl_eps());
+  return _mm512_mask_sub_epi64(s, _mm512_cmpge_epu64_mask(s, gl_p()), s,
+                               gl_p());
+}
+
+inline __m512i gl_sub(__m512i a, __m512i b) {
+  const __mmask8 borrow = _mm512_cmplt_epu64_mask(a, b);
+  const __m512i d = _mm512_sub_epi64(a, b);
+  return _mm512_mask_sub_epi64(d, borrow, d, gl_eps());
+}
+
+/// mul_shoup(a, s, sp) per lane, valid for ANY u64 a (see the AVX2 unit).
+inline __m512i gl_mul_shoup(__m512i a, __m512i vs, __m512i vsp) {
+  const __m512i qhat = mulhi64(vsp, a);
+  const __m512i sa_lo = _mm512_mullo_epi64(vs, a);
+  const __m512i sa_hi = mulhi64(vs, a);
+  // qeps = qhat * eps = (qhat << 32) - qhat as a 128-bit value.
+  const __m512i qsl = _mm512_slli_epi64(qhat, 32);
+  const __m512i qeps_lo = _mm512_sub_epi64(qsl, qhat);
+  const __mmask8 borrow = _mm512_cmplt_epu64_mask(qsl, qhat);
+  __m512i qeps_hi = _mm512_srli_epi64(qhat, 32);
+  qeps_hi = _mm512_mask_sub_epi64(qeps_hi, borrow, qeps_hi, one64());
+  // r128 = s*a + qeps - (qhat << 64); high word provably in {0, 1}.
+  __m512i r_lo = _mm512_add_epi64(sa_lo, qeps_lo);
+  const __mmask8 c1 = _mm512_cmplt_epu64_mask(r_lo, qeps_lo);
+  __m512i r_hi = _mm512_add_epi64(sa_hi, qeps_hi);
+  r_hi = _mm512_mask_add_epi64(r_hi, c1, r_hi, one64());
+  r_hi = _mm512_sub_epi64(r_hi, qhat);
+  // fold the 2^64 bit as +eps (cannot wrap or reach p), then canonicalize.
+  const __mmask8 fold = _mm512_test_epi64_mask(r_hi, r_hi);
+  r_lo = _mm512_mask_add_epi64(r_lo, fold, r_lo, gl_eps());
+  return _mm512_mask_sub_epi64(r_lo, _mm512_cmpge_epu64_mask(r_lo, gl_p()),
+                               r_lo, gl_p());
+}
+
+void gl_add_mod(u64* acc, const u64* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(acc + i, gl_add(_mm512_loadu_si512(acc + i),
+                                        _mm512_loadu_si512(x + i)));
+  }
+  for (; i < n; ++i) acc[i] = GL::add(acc[i], x[i]);
+}
+
+void gl_sub_mod(u64* acc, const u64* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(acc + i, gl_sub(_mm512_loadu_si512(acc + i),
+                                        _mm512_loadu_si512(x + i)));
+  }
+  for (; i < n; ++i) acc[i] = GL::sub(acc[i], x[i]);
+}
+
+void gl_shoup_axpy(u64* acc, const u64* src, u64 w, u64 wp, std::size_t n) {
+  const __m512i vw = _mm512_set1_epi64(static_cast<long long>(w));
+  const __m512i vwp = _mm512_set1_epi64(static_cast<long long>(wp));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i t = gl_mul_shoup(_mm512_loadu_si512(src + i), vw, vwp);
+    _mm512_storeu_si512(acc + i, gl_add(_mm512_loadu_si512(acc + i), t));
+  }
+  for (; i < n; ++i) acc[i] = GL::add(acc[i], GL::mul_shoup(src[i], w, wp));
+}
+
+void gl_mul_shoup_inplace(u64* a, u64 s, u64 sp, std::size_t n) {
+  const __m512i vs = _mm512_set1_epi64(static_cast<long long>(s));
+  const __m512i vsp = _mm512_set1_epi64(static_cast<long long>(sp));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(a + i,
+                        gl_mul_shoup(_mm512_loadu_si512(a + i), vs, vsp));
+  }
+  for (; i < n; ++i) a[i] = GL::mul_shoup(a[i], s, sp);
+}
+
+void gl_mul_shoup_rows(u64* a, const u64* s, const u64* sp, std::size_t rows,
+                       std::size_t lanes) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    gl_mul_shoup_inplace(a + r * lanes, s[r], sp[r], lanes);
+  }
+}
+
+void gl_fold192(u64* out, const u64* lo, const u64* mi, const u64* hi,
+                std::size_t n) {
+  const __m512i r64 = _mm512_set1_epi64(static_cast<long long>(kGlR64));
+  const __m512i r64p = _mm512_set1_epi64(static_cast<long long>(kGlR64Pre));
+  const __m512i r128 = _mm512_set1_epi64(static_cast<long long>(kGlR128));
+  const __m512i r128p = _mm512_set1_epi64(static_cast<long long>(kGlR128Pre));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vlo = _mm512_loadu_si512(lo + i);
+    // from_u64(lo): one conditional subtraction (any u64 < 2p).
+    const __m512i lo_c = _mm512_mask_sub_epi64(
+        vlo, _mm512_cmpge_epu64_mask(vlo, gl_p()), vlo, gl_p());
+    const __m512i t_mi = gl_mul_shoup(_mm512_loadu_si512(mi + i), r64, r64p);
+    const __m512i t_hi =
+        gl_mul_shoup(_mm512_loadu_si512(hi + i), r128, r128p);
+    _mm512_storeu_si512(out + i, gl_add(t_hi, gl_add(t_mi, lo_c)));
+  }
+  for (; i < n; ++i) {
+    out[i] = GL::add(
+        GL::mul(GL::from_u64(hi[i]), kGlR128),
+        GL::add(GL::mul(GL::from_u64(mi[i]), kGlR64), GL::from_u64(lo[i])));
+  }
+}
+
+void gl_butterfly_tw(u64* a, u64* b, const u64* tw, const u64* twp,
+                     std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i vtw = _mm512_loadu_si512(tw + j);
+    const __m512i vtwp = _mm512_loadu_si512(twp + j);
+    const __m512i vb = _mm512_loadu_si512(b + j);
+    const __m512i vu = _mm512_loadu_si512(a + j);
+    const __m512i t = gl_mul_shoup(vb, vtw, vtwp);
+    _mm512_storeu_si512(a + j, gl_add(vu, t));
+    _mm512_storeu_si512(b + j, gl_sub(vu, t));
+  }
+  for (; j < n; ++j) {
+    const u64 t = GL::mul_shoup(b[j], tw[j], twp[j]);
+    const u64 u = a[j];
+    a[j] = GL::add(u, t);
+    b[j] = GL::sub(u, t);
+  }
+}
+
+void gl_butterfly_soa(u64* a, u64* b, const u64* tw, const u64* twp,
+                      std::size_t nj, std::size_t lanes) {
+  for (std::size_t j = 0; j < nj; ++j) {
+    const __m512i vtw = _mm512_set1_epi64(static_cast<long long>(tw[j]));
+    const __m512i vtwp = _mm512_set1_epi64(static_cast<long long>(twp[j]));
+    u64* aj = a + j * lanes;
+    u64* bj = b + j * lanes;
+    std::size_t l = 0;
+    for (; l + 8 <= lanes; l += 8) {
+      const __m512i vb = _mm512_loadu_si512(bj + l);
+      const __m512i vu = _mm512_loadu_si512(aj + l);
+      const __m512i t = gl_mul_shoup(vb, vtw, vtwp);
+      _mm512_storeu_si512(aj + l, gl_add(vu, t));
+      _mm512_storeu_si512(bj + l, gl_sub(vu, t));
+    }
+    for (; l < lanes; ++l) {
+      const u64 t = GL::mul_shoup(bj[l], tw[j], twp[j]);
+      const u64 u = aj[l];
+      aj[l] = GL::add(u, t);
+      bj[l] = GL::sub(u, t);
+    }
+  }
+}
+
+}  // namespace
+
+const U32Kernels kU32Avx512 = {
+    &u32_add_mod,
+    &u32_sub_mod,
+    &u32_accum_widen,
+    &u32_axpy_split,
+};
+
+const U64Kernels kU64Avx512 = {
+    &u64_add_mod,
+    &u64_sub_mod,
+    &u64_shoup_axpy,
+    &u64_lazy192_axpy,
+    &u64_lazy192_dot,
+};
+
+const GoldilocksKernels kGoldilocksAvx512 = {
+    &gl_add_mod,
+    &gl_sub_mod,
+    &gl_shoup_axpy,
+    &gl_mul_shoup_inplace,
+    &gl_mul_shoup_rows,
+    &gl_fold192,
+    &gl_butterfly_tw,
+    &gl_butterfly_soa,
+};
+
+}  // namespace lsa::field::simd::detail
+
+#endif  // LSA_HAVE_AVX512
+#endif  // x86_64

@@ -1,0 +1,53 @@
+// SIMD execution policy threaded through the protocol layers.
+//
+// A SimdPolicy says whether the runtime-dispatched vector kernels
+// (field/simd/dispatch.h) may be used or whether the scalar branch-free
+// reference path must run instead. It rides alongside sys::ExecPolicy in
+// protocol::Params: kAuto picks the best ISA the CPUID probe found, while
+// kForceScalar pins the bit-parity reference — the same observable results
+// (every vector kernel is bit-identical to scalar; the switch exists for
+// debugging, benchmarking the substrate and the CI scalar leg).
+//
+// The policy is carried in a thread-local so nested library layers need no
+// extra parameters; ExecPolicy::run/run_blocked re-establish the caller's
+// policy inside pool workers, and ScopedSimdPolicy restores on scope exit.
+// This header is dependency-free on purpose: sys/exec_policy.h includes it.
+#pragma once
+
+#include <cstdint>
+
+namespace lsa::field::simd {
+
+enum class SimdPolicy : std::uint8_t {
+  kAuto = 0,         ///< use the best ISA found by the runtime probe
+  kForceScalar = 1,  ///< pin the scalar branch-free reference kernels
+};
+
+namespace detail {
+inline thread_local SimdPolicy t_thread_policy = SimdPolicy::kAuto;
+}  // namespace detail
+
+/// The calling thread's current policy (kAuto unless a scope set it).
+[[nodiscard]] inline SimdPolicy thread_policy() {
+  return detail::t_thread_policy;
+}
+
+inline void set_thread_policy(SimdPolicy p) { detail::t_thread_policy = p; }
+
+/// RAII scope: installs a policy on this thread, restores the previous one
+/// on exit. Protocol run_round / server session steps open one of these
+/// from Params::simd; ExecPolicy opens one per pool task.
+class ScopedSimdPolicy {
+ public:
+  explicit ScopedSimdPolicy(SimdPolicy p) : saved_(thread_policy()) {
+    set_thread_policy(p);
+  }
+  ~ScopedSimdPolicy() { set_thread_policy(saved_); }
+  ScopedSimdPolicy(const ScopedSimdPolicy&) = delete;
+  ScopedSimdPolicy& operator=(const ScopedSimdPolicy&) = delete;
+
+ private:
+  SimdPolicy saved_;
+};
+
+}  // namespace lsa::field::simd

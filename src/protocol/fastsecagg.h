@@ -72,6 +72,7 @@ class FastSecAgg final : public SecureAggregator<F> {
   [[nodiscard]] std::vector<rep> run_round(
       const std::vector<std::vector<rep>>& inputs,
       const std::vector<bool>& dropped) override {
+    const lsa::field::simd::ScopedSimdPolicy simd_guard(params_.simd);
     const std::size_t n = params_.num_users;
     const std::size_t u = params_.target_survivors;
     const std::size_t t = params_.privacy;

@@ -5,6 +5,7 @@
 
 #include "coding/decode_strategy.h"
 #include "common/error.h"
+#include "field/simd/simd_policy.h"
 #include "sys/exec_policy.h"
 
 namespace lsa::protocol {
@@ -29,6 +30,15 @@ struct Params {
   /// (coding/decode_strategy.h). Plans are cached per session keyed on the
   /// survivor set, so repeated rounds pay setup once.
   lsa::coding::DecodeStrategy decode = lsa::coding::DecodeStrategy::kAuto;
+
+  /// SIMD kernel dispatch for every field op this round touches. kAuto
+  /// uses the best ISA the host supports (field/simd/dispatch.h);
+  /// kForceScalar pins the branch-free scalar reference kernels — results
+  /// are bit-identical either way, so this is a debugging/benchmark knob,
+  /// not a correctness one. Protocol run_round entries establish the
+  /// policy on the calling thread and ExecPolicy re-establishes it inside
+  /// pool workers.
+  lsa::field::simd::SimdPolicy simd = lsa::field::simd::SimdPolicy::kAuto;
 
   /// Validates the common constraints and resolves U if left at 0.
   /// Default U = N - D (the most dropout-tolerant choice); callers tuning

@@ -69,6 +69,7 @@ class SecAggPlus final : public SecureAggregator<F> {
   [[nodiscard]] std::vector<rep> run_round(
       const std::vector<std::vector<rep>>& inputs,
       const std::vector<bool>& dropped) override {
+    const lsa::field::simd::ScopedSimdPolicy simd_guard(params_.simd);
     const std::size_t n = params_.num_users;
     const std::size_t d = params_.model_dim;
     lsa::require<lsa::ProtocolError>(inputs.size() == n,

@@ -107,6 +107,7 @@ class ZhaoSunOneShot final : public SecureAggregator<F> {
   [[nodiscard]] std::vector<rep> run_round(
       const std::vector<std::vector<rep>>& inputs,
       const std::vector<bool>& dropped) override {
+    const lsa::field::simd::ScopedSimdPolicy simd_guard(params_.simd);
     const std::size_t n = params_.num_users;
     const std::size_t d = params_.model_dim;
     const std::size_t u = params_.target_survivors;

@@ -449,6 +449,7 @@ class Network {
   [[nodiscard]] std::vector<rep> run_round(
       std::uint64_t round, const std::vector<std::vector<rep>>& models,
       const std::vector<std::size_t>& crash_after_upload) {
+    const lsa::field::simd::ScopedSimdPolicy simd_guard(params_.simd);
     lsa::require<lsa::ProtocolError>(models.size() == params_.num_users,
                                      "network: wrong number of models");
     for (std::uint32_t i = 0; i < params_.num_users; ++i) {

@@ -257,6 +257,7 @@ class Session final : public SessionBase {
   [[nodiscard]] std::vector<rep> run_round(
       std::uint64_t round, const std::vector<std::vector<rep>>& models,
       const std::vector<std::size_t>& crash_after_upload) {
+    const lsa::field::simd::ScopedSimdPolicy simd_guard(cfg_.params.simd);
     const std::size_t n = cfg_.params.num_users;
     lsa::require<lsa::ProtocolError>(models.size() == n,
                                      "session: wrong number of models");
@@ -444,6 +445,7 @@ class AsyncSession final : public SessionBase {
   [[nodiscard]] Output run_cycle(
       std::uint64_t now, const std::vector<Arrival>& arrivals,
       const std::vector<std::size_t>& crash_before_recovery = {}) {
+    const lsa::field::simd::ScopedSimdPolicy simd_guard(cfg_.params.simd);
     const auto& pol = cfg_.params.exec;
     // One arrival per lane when the users are distinct (each lane owns its
     // user's machine); repeated users share state and must stay serial.

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "field/simd/simd_policy.h"
 #include "sys/thread_pool.h"
 
 namespace lsa::sys {
@@ -31,17 +32,29 @@ struct ExecPolicy {
   }
 
   /// Runs fn(i) for i in [0, n): on the pool when present, inline otherwise.
+  /// The calling thread's SIMD dispatch policy (field/simd/simd_policy.h)
+  /// is captured and re-established inside every pool worker, so a caller
+  /// that pinned forced-scalar dispatch keeps it across the fan-out — the
+  /// pool's threads otherwise run whatever policy they last saw.
   void run(std::size_t n, const std::function<void(std::size_t)>& fn,
            std::size_t grain = 0) const {
     if (pool == nullptr || n <= 1) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
-    pool->parallel_for(n, fn, grain);
+    const lsa::field::simd::SimdPolicy sp = lsa::field::simd::thread_policy();
+    pool->parallel_for(
+        n,
+        [&fn, sp](std::size_t i) {
+          lsa::field::simd::ScopedSimdPolicy guard(sp);
+          fn(i);
+        },
+        grain);
   }
 
   /// Runs fn(begin, end) over [0, n) in blocks: grain-sized on the pool,
   /// one inline call otherwise (callers chunk internally via chunk_reps).
+  /// Same SIMD-policy capture as run().
   void run_blocked(std::size_t n,
                    const std::function<void(std::size_t, std::size_t)>& fn,
                    std::size_t grain = 0) const {
@@ -50,7 +63,14 @@ struct ExecPolicy {
       fn(0, n);
       return;
     }
-    pool->parallel_for_blocked(n, fn, grain);
+    const lsa::field::simd::SimdPolicy sp = lsa::field::simd::thread_policy();
+    pool->parallel_for_blocked(
+        n,
+        [&fn, sp](std::size_t begin, std::size_t end) {
+          lsa::field::simd::ScopedSimdPolicy guard(sp);
+          fn(begin, end);
+        },
+        grain);
   }
 };
 

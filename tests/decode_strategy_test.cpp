@@ -15,6 +15,8 @@
 #include "field/fp.h"
 #include "field/goldilocks.h"
 #include "field/random_field.h"
+#include "field/simd/dispatch.h"
+#include "field/simd/simd_policy.h"
 #include "protocol/lightsecagg.h"
 #include "sys/thread_pool.h"
 
@@ -177,6 +179,108 @@ TEST(BatchedDecodePlan, AutoResolvesAndMatches) {
       std::span<const rep>(xs), std::span<const rep>(betas),
       std::span<const rep* const>(rows), seg);
   EXPECT_EQ(got, ref);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch: the auto-dispatched vector kernels and the forced-scalar
+// reference must stream bit-identical results under every strategy, field
+// and execution policy (the substrate's core contract).
+// ---------------------------------------------------------------------------
+
+template <class F>
+void expect_simd_scalar_parity(std::size_t u, std::size_t num_betas,
+                               std::size_t seg_len, std::uint64_t seed) {
+  namespace simd = lsa::field::simd;
+  using rep = typename F::rep;
+  lsa::common::Xoshiro256ss rng(seed);
+  std::vector<rep> xs(u), betas(num_betas);
+  for (std::size_t j = 0; j < u; ++j) xs[j] = F::from_u64(2000 + 13 * j);
+  for (std::size_t k = 0; k < num_betas; ++k) betas[k] = F::from_u64(1 + k);
+  std::vector<std::vector<rep>> store(u);
+  std::vector<const rep*> rows(u);
+  for (std::size_t j = 0; j < u; ++j) {
+    store[j] = lsa::field::uniform_vector<F>(seg_len, rng);
+    rows[j] = store[j].data();
+  }
+  std::span<const rep* const> shares(rows);
+  lsa::coding::BatchedDecodePlan<F> plan{std::span<const rep>(xs),
+                                         std::span<const rep>(betas)};
+  for (const auto strategy :
+       {DecodeStrategy::kBarycentric, DecodeStrategy::kBatchedNtt}) {
+    std::vector<rep> scalar_out;
+    {
+      simd::ScopedSimdPolicy guard(simd::SimdPolicy::kForceScalar);
+      EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+      scalar_out = plan.run(strategy, shares, seg_len, {});
+    }
+    std::vector<rep> auto_out;
+    {
+      simd::ScopedSimdPolicy guard(simd::SimdPolicy::kAuto);
+      auto_out = plan.run(strategy, shares, seg_len, {});
+    }
+    EXPECT_EQ(auto_out, scalar_out)
+        << "strategy=" << lsa::coding::to_string(strategy) << " u=" << u
+        << " betas=" << num_betas << " seg=" << seg_len << " isa="
+        << simd::level_name(simd::detected_level());
+    // A pool fan-out must inherit the caller's forced-scalar policy.
+    lsa::sys::ThreadPool pool(3);
+    lsa::sys::ExecPolicy pol{&pool, 64};
+    {
+      simd::ScopedSimdPolicy guard(simd::SimdPolicy::kForceScalar);
+      EXPECT_EQ(plan.run(strategy, shares, seg_len, pol), scalar_out);
+    }
+    {
+      simd::ScopedSimdPolicy guard(simd::SimdPolicy::kAuto);
+      EXPECT_EQ(plan.run(strategy, shares, seg_len, pol), scalar_out);
+    }
+  }
+}
+
+TEST(SimdDispatchParity, PlanStreamsOnGoldilocks) {
+  expect_simd_scalar_parity<Goldilocks>(4, 2, 16, 61);
+  expect_simd_scalar_parity<Goldilocks>(7, 3, 33, 62);
+  expect_simd_scalar_parity<Goldilocks>(33, 5, 61, 63);   // odd tail lanes
+  expect_simd_scalar_parity<Goldilocks>(64, 32, 100, 64);
+  expect_simd_scalar_parity<Goldilocks>(100, 30, 24, 65);
+}
+
+TEST(SimdDispatchParity, PlanStreamsOnOtherFields) {
+  expect_simd_scalar_parity<Fp32>(13, 6, 50, 71);
+  expect_simd_scalar_parity<Fp32>(32, 16, 33, 72);
+  expect_simd_scalar_parity<lsa::field::Fp61>(17, 7, 29, 73);
+  expect_simd_scalar_parity<lsa::field::Fp61>(48, 24, 70, 74);
+}
+
+// Protocol-level: a full round with Params::simd forced scalar equals the
+// auto-dispatched round bit-for-bit across dropout patterns.
+TEST(SimdDispatchParity, LightSecAggRoundMatchesForcedScalar) {
+  using F = Goldilocks;
+  using rep = F::rep;
+  for (const std::uint64_t seed : {201ull, 202ull, 203ull}) {
+    lsa::common::Xoshiro256ss rng(seed);
+    lsa::protocol::Params params;
+    params.num_users = 10;
+    params.privacy = 2;
+    params.dropout = 3;
+    params.model_dim = 48;
+    std::vector<std::vector<rep>> inputs(params.num_users);
+    for (auto& x : inputs) {
+      x = lsa::field::uniform_vector<F>(params.model_dim, rng);
+    }
+    std::vector<bool> dropped(params.num_users, false);
+    for (std::size_t i = 0; i < params.dropout; ++i) {
+      dropped[rng.next_below(params.num_users)] = true;
+    }
+
+    params.simd = lsa::field::simd::SimdPolicy::kForceScalar;
+    lsa::protocol::LightSecAgg<F> scalar_proto(params, /*master_seed=*/7);
+    const auto scalar_agg = scalar_proto.run_round(inputs, dropped);
+
+    params.simd = lsa::field::simd::SimdPolicy::kAuto;
+    lsa::protocol::LightSecAgg<F> auto_proto(params, /*master_seed=*/7);
+    EXPECT_EQ(auto_proto.run_round(inputs, dropped), scalar_agg)
+        << "seed=" << seed;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,476 @@
+// Every SIMD dispatch-table kernel must be bit-identical to the scalar
+// reference on every available ISA level — exhaustively at the reduction
+// boundaries (values next to the modulus, the Goldilocks epsilon region,
+// products near 2^61 - 1), under all-lane carry patterns in the lazy-192
+// limbs, and at every tail remainder shorter than one vector register.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/goldilocks.h"
+#include "field/random_field.h"
+#include "field/simd/dispatch.h"
+
+namespace {
+
+using lsa::field::Fp32;
+using lsa::field::Fp61;
+using lsa::field::Goldilocks;
+namespace simd = lsa::field::simd;
+using simd::Level;
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/// Non-scalar levels this host can actually execute (scalar needs no table).
+std::vector<Level> vector_levels() {
+  std::vector<Level> out;
+  for (Level l : {Level::kNeon, Level::kAvx2, Level::kAvx512}) {
+    if (simd::level_available(l)) out.push_back(l);
+  }
+  return out;
+}
+
+/// Lengths that cover empty, sub-vector tails, exact multiples and odd
+/// remainders for every lane width up to AVX-512's 16 u32 lanes.
+std::vector<std::size_t> tail_lengths() {
+  std::vector<std::size_t> n;
+  for (std::size_t i = 0; i <= 35; ++i) n.push_back(i);
+  n.push_back(100);
+  n.push_back(257);
+  return n;
+}
+
+/// The scalar lazy-192 accumulation step (field_vec.h semantics).
+void lazy192_ref(u64& lo, u64& mi, u64& hi, u64 a, u64 b) {
+  const u128 pr = static_cast<u128>(a) * b;
+  const u64 plo = static_cast<u64>(pr);
+  const u64 phi = static_cast<u64>(pr >> 64);
+  const u64 c1 = __builtin_add_overflow(lo, plo, &lo) ? 1u : 0u;
+  hi += __builtin_add_overflow(mi, phi + c1, &mi) ? 1u : 0u;
+}
+
+template <class F>
+std::vector<typename F::rep> boundary_elements() {
+  using rep = typename F::rep;
+  const u64 p = F::modulus;
+  std::vector<u64> raw = {0, 1, 2, 3, p - 1, p - 2, p - 3,
+                          p / 2, p / 2 + 1, p / 3};
+  for (unsigned k = 1; k < 64; ++k) {
+    const u64 b = 1ull << k;
+    for (const u64 v : {b - 1, b, b + 1}) {
+      if (v < p) raw.push_back(v);
+    }
+  }
+  std::vector<rep> out;
+  for (const u64 v : raw) out.push_back(static_cast<rep>(v));
+  return out;
+}
+
+/// A length-n vector cycling through boundary elements, shifted so paired
+/// operands cross every (a near-edge, b near-edge) combination over n.
+template <class F>
+std::vector<typename F::rep> boundary_vec(std::size_t n, std::size_t phase) {
+  const auto b = boundary_elements<F>();
+  std::vector<typename F::rep> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = b[(i * 7 + phase) % b.size()];
+  return out;
+}
+
+// --------------------------------------------------------------- u32 table
+
+TEST(SimdKernel, U32AddSubModBoundaries) {
+  for (Level level : vector_levels()) {
+    const auto* k = simd::u32_kernels(level);
+    ASSERT_NE(k, nullptr) << simd::level_name(level);
+    for (std::size_t n : tail_lengths()) {
+      for (std::size_t phase = 0; phase < 5; ++phase) {
+        const auto a0 = boundary_vec<Fp32>(n, phase);
+        const auto x = boundary_vec<Fp32>(n, phase + 11);
+        auto got = a0;
+        k->add_mod(got.data(), x.data(), n, Fp32::modulus);
+        auto want = a0;
+        for (std::size_t i = 0; i < n; ++i) want[i] = Fp32::add(want[i], x[i]);
+        ASSERT_EQ(got, want) << simd::level_name(level) << " add n=" << n;
+
+        got = a0;
+        k->sub_mod(got.data(), x.data(), n, Fp32::modulus);
+        want = a0;
+        for (std::size_t i = 0; i < n; ++i) want[i] = Fp32::sub(want[i], x[i]);
+        ASSERT_EQ(got, want) << simd::level_name(level) << " sub n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, U32AccumWidenAndAxpySplit) {
+  lsa::common::Xoshiro256ss rng(42);
+  for (Level level : vector_levels()) {
+    const auto* k = simd::u32_kernels(level);
+    ASSERT_NE(k, nullptr);
+    for (std::size_t n : tail_lengths()) {
+      const auto src = boundary_vec<Fp32>(n, 3);
+      // accum_widen: start sums near u64 range the real kernel reaches
+      // (at most 2^15 summands of values < 2^32 — no wrap by contract).
+      std::vector<u64> sums(n);
+      for (auto& s : sums) s = rng.next_u64() >> 17;
+      auto got = sums;
+      k->accum_widen(got.data(), src.data(), n);
+      auto want = sums;
+      for (std::size_t i = 0; i < n; ++i) want[i] += src[i];
+      ASSERT_EQ(got, want) << simd::level_name(level) << " widen n=" << n;
+
+      // axpy_split: wlo/whi < 2^16 per the split-word contract.
+      const u32 wlo = 0xFFFFu, whi = 0xFFFEu;
+      std::vector<u64> lo(n), hi(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        lo[i] = rng.next_u64() >> 17;
+        hi[i] = rng.next_u64() >> 17;
+      }
+      auto glo = lo, ghi = hi;
+      k->axpy_split(glo.data(), ghi.data(), src.data(), wlo, whi, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        lo[i] += static_cast<u64>(wlo) * src[i];
+        hi[i] += static_cast<u64>(whi) * src[i];
+      }
+      ASSERT_EQ(glo, lo) << simd::level_name(level) << " split-lo n=" << n;
+      ASSERT_EQ(ghi, hi) << simd::level_name(level) << " split-hi n=" << n;
+    }
+  }
+}
+
+// --------------------------------------------------------------- u64 table
+
+TEST(SimdKernel, U64AddSubModBoundaries) {
+  for (Level level : vector_levels()) {
+    const auto* k = simd::u64_kernels(level);
+    ASSERT_NE(k, nullptr);
+    for (std::size_t n : tail_lengths()) {
+      for (std::size_t phase = 0; phase < 5; ++phase) {
+        const auto a0 = boundary_vec<Fp61>(n, phase);
+        const auto x = boundary_vec<Fp61>(n, phase + 13);
+        auto got = a0;
+        k->add_mod(got.data(), x.data(), n, Fp61::modulus);
+        auto want = a0;
+        for (std::size_t i = 0; i < n; ++i) want[i] = Fp61::add(want[i], x[i]);
+        ASSERT_EQ(got, want) << simd::level_name(level) << " add n=" << n;
+
+        got = a0;
+        k->sub_mod(got.data(), x.data(), n, Fp61::modulus);
+        want = a0;
+        for (std::size_t i = 0; i < n; ++i) want[i] = Fp61::sub(want[i], x[i]);
+        ASSERT_EQ(got, want) << simd::level_name(level) << " sub n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, U64ShoupAxpyBoundaries) {
+  const auto weights = boundary_elements<Fp61>();
+  for (Level level : vector_levels()) {
+    const auto* k = simd::u64_kernels(level);
+    ASSERT_NE(k, nullptr);
+    for (std::size_t wi = 0; wi < weights.size(); wi += 3) {
+      const u64 w = weights[wi];
+      const u64 wp = Fp61::shoup_precompute(w);
+      for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{19},
+                            std::size_t{64}}) {
+        const auto a0 = boundary_vec<Fp61>(n, wi);
+        const auto x = boundary_vec<Fp61>(n, wi + 5);
+        auto got = a0;
+        k->shoup_axpy(got.data(), x.data(), w, wp, n, Fp61::modulus);
+        auto want = a0;
+        for (std::size_t i = 0; i < n; ++i) {
+          want[i] = Fp61::add(want[i], Fp61::mul_shoup(x[i], w, wp));
+        }
+        ASSERT_EQ(got, want)
+            << simd::level_name(level) << " w=" << w << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, U64Lazy192AxpyAllLaneCarry) {
+  lsa::common::Xoshiro256ss rng(7);
+  for (Level level : vector_levels()) {
+    const auto* k = simd::u64_kernels(level);
+    ASSERT_NE(k, nullptr);
+    for (std::size_t n : tail_lengths()) {
+      // Limbs are raw integers; force the carry chain in every lane at once
+      // (lo = mi = ~0), then a mixed random pattern.
+      for (int pattern = 0; pattern < 2; ++pattern) {
+        std::vector<u64> lo(n), mi(n), hi(n), src(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          lo[i] = pattern == 0 ? ~0ull : rng.next_u64();
+          mi[i] = pattern == 0 ? ~0ull : rng.next_u64();
+          hi[i] = pattern == 0 ? 1ull : (rng.next_u64() >> 2);
+          src[i] = pattern == 0 ? ~0ull : rng.next_u64();
+        }
+        const u64 w = pattern == 0 ? ~0ull : rng.next_u64();
+        auto glo = lo, gmi = mi, ghi = hi;
+        k->lazy192_axpy(glo.data(), gmi.data(), ghi.data(), w, src.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          lazy192_ref(lo[i], mi[i], hi[i], w, src[i]);
+        }
+        ASSERT_EQ(glo, lo) << simd::level_name(level) << " lo n=" << n;
+        ASSERT_EQ(gmi, mi) << simd::level_name(level) << " mi n=" << n;
+        ASSERT_EQ(ghi, hi) << simd::level_name(level) << " hi n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, U64Lazy192DotStridedMatvec) {
+  lsa::common::Xoshiro256ss rng(11);
+  for (Level level : vector_levels()) {
+    const auto* k = simd::u64_kernels(level);
+    ASSERT_NE(k, nullptr);
+    for (std::size_t lanes : {std::size_t{1}, std::size_t{5}, std::size_t{8},
+                              std::size_t{13}, std::size_t{16},
+                              std::size_t{19}}) {
+      for (std::size_t terms : {std::size_t{1}, std::size_t{3},
+                                std::size_t{32}}) {
+        for (std::size_t stride : {std::size_t{1}, std::size_t{4}}) {
+          std::vector<u64> coeffs(terms * stride), x(terms * lanes);
+          for (auto& c : coeffs) c = rng.next_u64();
+          for (auto& v : x) v = rng.next_u64();
+          std::vector<u64> glo(lanes, 0xAA), gmi(lanes, 0xBB),
+              ghi(lanes, 0xCC);  // dot overwrites — garbage must vanish
+          k->lazy192_dot(glo.data(), gmi.data(), ghi.data(), coeffs.data(),
+                         stride, x.data(), terms, lanes);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            u64 lo = 0, mi = 0, hi = 0;
+            for (std::size_t c = 0; c < terms; ++c) {
+              lazy192_ref(lo, mi, hi, coeffs[c * stride], x[c * lanes + l]);
+            }
+            ASSERT_EQ(glo[l], lo) << simd::level_name(level) << " l=" << l;
+            ASSERT_EQ(gmi[l], mi) << simd::level_name(level) << " l=" << l;
+            ASSERT_EQ(ghi[l], hi) << simd::level_name(level) << " l=" << l;
+          }
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- Goldilocks table
+
+TEST(SimdKernel, GoldilocksAddSubEpsilonRegion) {
+  for (Level level : vector_levels()) {
+    const auto* k = simd::goldilocks_kernels(level);
+    ASSERT_NE(k, nullptr);
+    for (std::size_t n : tail_lengths()) {
+      for (std::size_t phase = 0; phase < 5; ++phase) {
+        const auto a0 = boundary_vec<Goldilocks>(n, phase);
+        const auto x = boundary_vec<Goldilocks>(n, phase + 17);
+        auto got = a0;
+        k->add_mod(got.data(), x.data(), n);
+        auto want = a0;
+        for (std::size_t i = 0; i < n; ++i) {
+          want[i] = Goldilocks::add(want[i], x[i]);
+        }
+        ASSERT_EQ(got, want) << simd::level_name(level) << " add n=" << n;
+
+        got = a0;
+        k->sub_mod(got.data(), x.data(), n);
+        want = a0;
+        for (std::size_t i = 0; i < n; ++i) {
+          want[i] = Goldilocks::sub(want[i], x[i]);
+        }
+        ASSERT_EQ(got, want) << simd::level_name(level) << " sub n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, GoldilocksShoupKernelsBoundaries) {
+  const auto weights = boundary_elements<Goldilocks>();
+  for (Level level : vector_levels()) {
+    const auto* k = simd::goldilocks_kernels(level);
+    ASSERT_NE(k, nullptr);
+    for (std::size_t wi = 0; wi < weights.size(); wi += 3) {
+      const u64 w = weights[wi];
+      const u64 wp = Goldilocks::shoup_precompute(w);
+      for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{19},
+                            std::size_t{64}}) {
+        const auto a0 = boundary_vec<Goldilocks>(n, wi);
+        const auto x = boundary_vec<Goldilocks>(n, wi + 5);
+
+        auto got = a0;
+        k->shoup_axpy(got.data(), x.data(), w, wp, n);
+        auto want = a0;
+        for (std::size_t i = 0; i < n; ++i) {
+          want[i] = Goldilocks::add(want[i],
+                                    Goldilocks::mul_shoup(x[i], w, wp));
+        }
+        ASSERT_EQ(got, want)
+            << simd::level_name(level) << " axpy w=" << w << " n=" << n;
+
+        got = x;
+        k->mul_shoup_inplace(got.data(), w, wp, n);
+        want = x;
+        for (std::size_t i = 0; i < n; ++i) {
+          want[i] = Goldilocks::mul_shoup(want[i], w, wp);
+        }
+        ASSERT_EQ(got, want)
+            << simd::level_name(level) << " mul w=" << w << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, GoldilocksMulShoupRows) {
+  lsa::common::Xoshiro256ss rng(23);
+  for (Level level : vector_levels()) {
+    const auto* k = simd::goldilocks_kernels(level);
+    ASSERT_NE(k, nullptr);
+    const std::size_t rows = 9, lanes = 11;
+    std::vector<u64> s(rows), sp(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      s[r] = lsa::field::uniform<Goldilocks>(rng);
+      sp[r] = Goldilocks::shoup_precompute(s[r]);
+    }
+    auto a = lsa::field::uniform_vector<Goldilocks>(rows * lanes, rng);
+    auto got = a;
+    k->mul_shoup_rows(got.data(), s.data(), sp.data(), rows, lanes);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        a[r * lanes + l] = Goldilocks::mul_shoup(a[r * lanes + l], s[r], sp[r]);
+      }
+    }
+    ASSERT_EQ(got, a) << simd::level_name(level);
+  }
+}
+
+TEST(SimdKernel, GoldilocksFold192RawLimbs) {
+  constexpr u64 kR64 = 0xFFFFFFFFull;  // 2^64 mod p
+  const u64 kR128 = Goldilocks::mul(kR64, kR64);
+  lsa::common::Xoshiro256ss rng(31);
+  for (Level level : vector_levels()) {
+    const auto* k = simd::goldilocks_kernels(level);
+    ASSERT_NE(k, nullptr);
+    for (std::size_t n : tail_lengths()) {
+      // Raw limbs take any u64 value, including >= p and all-ones.
+      std::vector<u64> lo(n), mi(n), hi(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        lo[i] = i % 3 == 0 ? ~0ull : rng.next_u64();
+        mi[i] = i % 3 == 1 ? ~0ull : rng.next_u64();
+        hi[i] = i % 3 == 2 ? ~0ull : rng.next_u64();
+      }
+      std::vector<u64> got(n, 0xDD);
+      k->fold192(got.data(), lo.data(), mi.data(), hi.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const u64 want = Goldilocks::add(
+            Goldilocks::mul(Goldilocks::from_u64(hi[i]), kR128),
+            Goldilocks::add(Goldilocks::mul(Goldilocks::from_u64(mi[i]), kR64),
+                            Goldilocks::from_u64(lo[i])));
+        ASSERT_EQ(got[i], want)
+            << simd::level_name(level) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, GoldilocksButterflies) {
+  lsa::common::Xoshiro256ss rng(47);
+  for (Level level : vector_levels()) {
+    const auto* k = simd::goldilocks_kernels(level);
+    ASSERT_NE(k, nullptr);
+    for (std::size_t n : tail_lengths()) {
+      std::vector<u64> tw(n), twp(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        tw[j] = lsa::field::uniform<Goldilocks>(rng);
+        twp[j] = Goldilocks::shoup_precompute(tw[j]);
+      }
+      const auto a0 = lsa::field::uniform_vector<Goldilocks>(n, rng);
+      const auto b0 = lsa::field::uniform_vector<Goldilocks>(n, rng);
+
+      auto ga = a0, gb = b0;
+      k->butterfly_tw(ga.data(), gb.data(), tw.data(), twp.data(), n);
+      auto wa = a0, wb = b0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const u64 t = Goldilocks::mul_shoup(wb[j], tw[j], twp[j]);
+        const u64 u = wa[j];
+        wa[j] = Goldilocks::add(u, t);
+        wb[j] = Goldilocks::sub(u, t);
+      }
+      ASSERT_EQ(ga, wa) << simd::level_name(level) << " tw-a n=" << n;
+      ASSERT_EQ(gb, wb) << simd::level_name(level) << " tw-b n=" << n;
+    }
+
+    // SoA form: scalar twiddle per lane block, odd lane counts included.
+    for (std::size_t lanes : {std::size_t{1}, std::size_t{5}, std::size_t{8},
+                              std::size_t{11}, std::size_t{16}}) {
+      const std::size_t nj = 6;
+      std::vector<u64> tw(nj), twp(nj);
+      for (std::size_t j = 0; j < nj; ++j) {
+        tw[j] = lsa::field::uniform<Goldilocks>(rng);
+        twp[j] = Goldilocks::shoup_precompute(tw[j]);
+      }
+      const auto a0 = lsa::field::uniform_vector<Goldilocks>(nj * lanes, rng);
+      const auto b0 = lsa::field::uniform_vector<Goldilocks>(nj * lanes, rng);
+      auto ga = a0, gb = b0;
+      k->butterfly_soa(ga.data(), gb.data(), tw.data(), twp.data(), nj, lanes);
+      auto wa = a0, wb = b0;
+      for (std::size_t j = 0; j < nj; ++j) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const u64 t =
+              Goldilocks::mul_shoup(wb[j * lanes + l], tw[j], twp[j]);
+          const u64 u = wa[j * lanes + l];
+          wa[j * lanes + l] = Goldilocks::add(u, t);
+          wb[j * lanes + l] = Goldilocks::sub(u, t);
+        }
+      }
+      ASSERT_EQ(ga, wa) << simd::level_name(level) << " soa lanes=" << lanes;
+      ASSERT_EQ(gb, wb) << simd::level_name(level) << " soa lanes=" << lanes;
+    }
+  }
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(SimdKernel, PolicyForcesScalarLevel) {
+  const Level base = simd::active_level();
+  {
+    simd::ScopedSimdPolicy forced(simd::SimdPolicy::kForceScalar);
+    EXPECT_EQ(simd::active_level(), Level::kScalar);
+    EXPECT_EQ(simd::goldilocks_active(), nullptr);
+    EXPECT_EQ(simd::u32_active(), nullptr);
+    EXPECT_EQ(simd::u64_active(), nullptr);
+    {
+      simd::ScopedSimdPolicy nested(simd::SimdPolicy::kAuto);
+      EXPECT_EQ(simd::active_level(), base);
+    }
+    EXPECT_EQ(simd::active_level(), Level::kScalar);
+  }
+  EXPECT_EQ(simd::active_level(), base);
+}
+
+TEST(SimdKernel, DispatchTablesConsistent) {
+  // Scalar never has a table; unavailable levels never return one.
+  EXPECT_EQ(simd::u32_kernels(Level::kScalar), nullptr);
+  EXPECT_EQ(simd::u64_kernels(Level::kScalar), nullptr);
+  EXPECT_EQ(simd::goldilocks_kernels(Level::kScalar), nullptr);
+  for (Level l : {Level::kNeon, Level::kAvx2, Level::kAvx512}) {
+    if (!simd::level_available(l)) {
+      EXPECT_EQ(simd::u32_kernels(l), nullptr) << simd::level_name(l);
+      EXPECT_EQ(simd::u64_kernels(l), nullptr) << simd::level_name(l);
+      EXPECT_EQ(simd::goldilocks_kernels(l), nullptr) << simd::level_name(l);
+    } else {
+      // An available level exposes fully-populated tables.
+      const auto* k = simd::goldilocks_kernels(l);
+      ASSERT_NE(k, nullptr) << simd::level_name(l);
+      EXPECT_NE(k->butterfly_soa, nullptr);
+      EXPECT_NE(simd::u32_kernels(l), nullptr);
+      EXPECT_NE(simd::u64_kernels(l), nullptr);
+    }
+  }
+  EXPECT_LE(simd::vector_bytes(simd::detected_level()),
+            simd::vector_bytes(Level::kAvx512));
+}
+
+}  // namespace
