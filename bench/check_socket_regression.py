@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_socket.json (bench_socket --smoke).
+
+Gates the STRUCTURAL invariants of the socket plane rather than raw speed
+(CI machines are noisy): zero send-side payload copies on the relay and
+full-round paths (frames writev straight from pooled buffers), full rounds
+over UDS and TCP bit-identical to the serial Network reference, and a very
+loose floor on UDS relay throughput relative to the in-process mailbox
+baseline — a wedge detector (event loop spinning, accidental per-frame
+syscall storms), not a performance target.
+
+Usage: check_socket_regression.py BENCH_socket.json socket_tolerance.json
+"""
+import sys
+
+from check_common import Gate
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    gate = Gate(sys.argv[1], sys.argv[2])
+    tol = gate.tolerance
+
+    for rec in ("relay_uds", "relay_tcp"):
+        gate.require_max(rec, "send_payload_copies",
+                         tol["max_send_side_payload_copies"])
+    gate.require_min("relay_uds", "vs_inproc_fps_ratio",
+                     tol["min_uds_vs_inproc_fps_ratio"])
+    for rec in ("rounds_uds", "rounds_tcp"):
+        gate.require_min(rec, "bit_identical", 1)
+        gate.require_max(rec, "send_payload_copies",
+                         tol["max_send_side_payload_copies"])
+    return gate.finish("socket-plane")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

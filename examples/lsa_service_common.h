@@ -1,0 +1,108 @@
+// Shared bits of the socket-service example pair (lsa_serverd / lsa_client).
+//
+// The crucial piece is service_model(): the deterministic per-(user, round)
+// model both sides derive from the SAME --seed flag. The daemon's --verify
+// mode replays the whole cohort through the serial runtime::Network
+// reference with models from this generator, so the client processes and
+// the in-process reference are guaranteed to aggregate the same inputs —
+// any mismatch is a transport/protocol bug, never a data-generation one.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "crypto/prg.h"
+#include "field/fp.h"
+#include "field/random_field.h"
+
+namespace lsa::examples {
+
+/// The deterministic model user `user` trains in round `round`. Seeded
+/// independently of the protocol's mask seeds (different domain constant),
+/// so models and masks never correlate.
+inline std::vector<lsa::field::Fp32::rep> service_model(
+    std::uint64_t master_seed, std::uint32_t user, std::uint64_t round,
+    std::size_t dim) {
+  auto seed = lsa::crypto::derive_subseed(
+      lsa::crypto::seed_from_u64(master_seed ^
+                                 (0x5eedull + user * 0x9e3779b97f4a7c15ull)),
+      round);
+  lsa::crypto::Prg prg(seed);
+  return lsa::field::uniform_vector<lsa::field::Fp32>(dim, prg);
+}
+
+/// Tiny --flag value parser: flags are "--name value" pairs, every flag
+/// has a value, unknown flags are fatal (typos must not silently become
+/// defaults in a service wrapper).
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; i += 2) {
+      const std::string name = argv[i];
+      if (name.rfind("--", 0) != 0) {
+        fail("expected --flag, got '" + name + "'");
+      }
+      kv_.emplace_back(name.substr(2), argv[i + 1]);
+    }
+    if (argc >= 2 && (argc % 2) == 0) {
+      fail("flag '" + std::string(argv[argc - 1]) + "' is missing a value");
+    }
+  }
+
+  [[nodiscard]] std::string str(const std::string& name,
+                                const std::string& fallback) {
+    for (auto& [k, v] : kv_) {
+      if (k == name) {
+        used_.push_back(k);
+        return v;
+      }
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] std::uint64_t u64(const std::string& name,
+                                  std::uint64_t fallback) {
+    const std::string v = str(name, "");
+    if (v.empty()) return fallback;
+    char* end = nullptr;
+    const unsigned long long out = std::strtoull(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      fail("flag --" + name + " needs a number, got '" + v + "'");
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool boolean(const std::string& name, bool fallback) {
+    const std::string v = str(name, "");
+    if (v.empty()) return fallback;
+    if (v == "1" || v == "true" || v == "on") return true;
+    if (v == "0" || v == "false" || v == "off") return false;
+    fail("flag --" + name + " needs 0/1/true/false, got '" + v + "'");
+    return fallback;  // unreachable
+  }
+
+  /// Call after all lookups: any flag never consumed is a typo.
+  void reject_unknown() {
+    for (auto& [k, v] : kv_) {
+      bool seen = false;
+      for (auto& u : used_) {
+        if (u == k) seen = true;
+      }
+      if (!seen) fail("unknown flag --" + k);
+    }
+  }
+
+ private:
+  [[noreturn]] static void fail(const std::string& msg) {
+    std::cerr << "error: " << msg << "\n";
+    std::exit(64);  // EX_USAGE
+  }
+
+  std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::string> used_;
+};
+
+}  // namespace lsa::examples

@@ -41,6 +41,13 @@ enum class MsgType : std::uint16_t {
   // Asynchronous protocol (App. F; runtime/async_machines.h):
   kBufferManifest = 6,     ///< server -> users: (user, t_i, weight) triples
   kWeightedShares = 7,     ///< user j -> server: sum_b w_b [~z_{u_b}^(t_b)]_j
+  // Socket transport session control (transport/socket/socket_transport.h).
+  // These never reach the protocol state machines: the hub consumes kHello
+  // to bind a connection to (session, user) and the client endpoint consumes
+  // kWelcome to complete its handshake. Payloads are canonical field reps
+  // like every other frame so the one wire validator covers them too.
+  kSessionHello = 8,       ///< client -> hub: bind connection (round = session)
+  kSessionWelcome = 9,     ///< hub -> client: binding accepted (echoed identity)
 };
 
 struct Message {

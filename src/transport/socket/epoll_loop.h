@@ -1,0 +1,77 @@
+// Thin RAII wrapper over a Linux epoll instance.
+//
+// The socket backend is a single-threaded event loop: one epoll fd watches
+// the listener plus every connection, and the owning thread alternates
+// between epoll_wait and frame processing. Interest is level-triggered —
+// correctness over syscall count: a connection that still has readable
+// bytes or queued writes simply shows up again on the next wait, so the
+// processing code never needs the drain-to-EAGAIN discipline edge-triggered
+// mode would force on every path.
+#pragma once
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/error.h"
+
+namespace lsa::transport::socket {
+
+class EpollLoop {
+ public:
+  EpollLoop() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    lsa::require<lsa::Error>(epfd_ >= 0, "socket: epoll_create1 failed");
+  }
+  ~EpollLoop() {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// `tag` comes back in epoll_event::data.u64 (we tag with the fd).
+  void add(int fd, std::uint32_t events, std::uint64_t tag) {
+    ctl(EPOLL_CTL_ADD, fd, events, tag);
+  }
+  void mod(int fd, std::uint32_t events, std::uint64_t tag) {
+    ctl(EPOLL_CTL_MOD, fd, events, tag);
+  }
+  void del(int fd) {
+    epoll_event ev{};
+    if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev) < 0 && errno != ENOENT &&
+        errno != EBADF) {
+      throw lsa::Error(std::string("socket: epoll_ctl(DEL): ") +
+                       std::strerror(errno));
+    }
+  }
+
+  /// Fills `out` with ready events; returns how many (0 on timeout).
+  [[nodiscard]] int wait(std::span<epoll_event> out, int timeout_ms) {
+    while (true) {
+      const int n = ::epoll_wait(epfd_, out.data(),
+                                 static_cast<int>(out.size()), timeout_ms);
+      if (n >= 0) return n;
+      if (errno == EINTR) continue;
+      throw lsa::Error(std::string("socket: epoll_wait: ") +
+                       std::strerror(errno));
+    }
+  }
+
+ private:
+  void ctl(int op, int fd, std::uint32_t events, std::uint64_t tag) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epfd_, op, fd, &ev) < 0) {
+      throw lsa::Error(std::string("socket: epoll_ctl: ") +
+                       std::strerror(errno));
+    }
+  }
+
+  int epfd_ = -1;
+};
+
+}  // namespace lsa::transport::socket

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Tier-1 smoke of the standalone service pair: lsa_serverd + N lsa_client
+# PROCESSES over a Unix-domain socket, 2 full rounds, one client dropping
+# after its round-0 upload (delayed-not-dropped). The daemon's --verify
+# replays the cohort through the serial runtime::Network reference and
+# exits nonzero unless every aggregate is bit-identical — so this script
+# only has to orchestrate processes and collect exit codes.
+#
+# Usage: service_smoke.sh <path-to-lsa_serverd> <path-to-lsa_client>
+set -u
+
+SERVERD="$1"
+CLIENT="$2"
+
+USERS=4
+PRIVACY=1
+DROPOUT=1
+DIM=256
+ROUNDS=2
+SEED=42
+
+WORK="$(mktemp -d)"
+SOCK="$WORK/lsa.sock"
+cleanup() {
+  [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$SERVERD" --listen "uds://$SOCK" \
+  --users $USERS --privacy $PRIVACY --dropout $DROPOUT \
+  --dim $DIM --rounds $ROUNDS --seed $SEED \
+  --verify 1 --timeout-s 120 > "$WORK/serverd.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the socket to appear (the daemon prints after binding).
+for _ in $(seq 1 200); do
+  [ -S "$SOCK" ] && break
+  sleep 0.05
+done
+if [ ! -S "$SOCK" ]; then
+  echo "FAIL: daemon never bound $SOCK" >&2
+  cat "$WORK/serverd.log" >&2
+  exit 1
+fi
+
+CLIENT_PIDS=()
+for u in $(seq 0 $((USERS - 1))); do
+  DROP_ARGS=()
+  # Client 3 drops right after its round-0 upload and reconnects for
+  # round 1 — the crash/revive mapping exercised end-to-end.
+  [ "$u" -eq 3 ] && DROP_ARGS=(--drop-round 0)
+  "$CLIENT" --connect "uds://$SOCK" --session 0 --user "$u" \
+    --users $USERS --privacy $PRIVACY --dropout $DROPOUT \
+    --dim $DIM --rounds $ROUNDS --seed $SEED --timeout-s 120 \
+    "${DROP_ARGS[@]}" > "$WORK/client$u.log" 2>&1 &
+  CLIENT_PIDS+=($!)
+done
+
+RC=0
+for i in $(seq 0 $((USERS - 1))); do
+  if ! wait "${CLIENT_PIDS[$i]}"; then
+    echo "FAIL: client $i exited nonzero" >&2
+    RC=1
+  fi
+done
+if ! wait "$SERVER_PID"; then
+  echo "FAIL: lsa_serverd exited nonzero (mismatch/timeout/copies)" >&2
+  RC=1
+fi
+SERVER_PID=""
+
+if [ "$RC" -ne 0 ]; then
+  echo "---- serverd.log ----" >&2
+  cat "$WORK/serverd.log" >&2
+  for u in $(seq 0 $((USERS - 1))); do
+    echo "---- client$u.log ----" >&2
+    cat "$WORK/client$u.log" >&2
+  done
+  exit 1
+fi
+
+grep -q "verified bit-identical" "$WORK/serverd.log" || {
+  echo "FAIL: daemon log missing verification line" >&2
+  cat "$WORK/serverd.log" >&2
+  exit 1
+}
+echo "service_smoke: $USERS clients x $ROUNDS rounds over UDS verified"
+exit 0

@@ -1,0 +1,435 @@
+// Real-socket transport backend: epoll loop, framed TCP/UDS connections,
+// session handshake, and the RemoteSession phase machine. The load-bearing
+// claim is bit-identity: N client PROCESSES (here: threads with their own
+// SocketTransport instances, which is the same code path minus fork) must
+// produce byte-for-byte the aggregates of the serial runtime::Network at
+// the same seed and dropout pattern — including dropout at the U boundary
+// and a mid-round disconnect -> reconnect — with ZERO send-side payload
+// copies on the socket plane.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/prg.h"
+#include "field/random_field.h"
+#include "protocol/params.h"
+#include "runtime/machines.h"
+#include "server/remote_session.h"
+#include "transport/frame.h"
+#include "transport/socket/socket_addr.h"
+#include "transport/socket/socket_transport.h"
+#include "transport/stats.h"
+
+namespace {
+
+using namespace lsa::transport::socket;
+using lsa::field::Fp32;
+using lsa::runtime::MsgType;
+using lsa::runtime::Network;
+using lsa::runtime::UserDevice;
+using lsa::server::RemoteSession;
+using lsa::server::RemoteSessionConfig;
+using rep = Fp32::rep;
+
+std::vector<rep> model_for(std::uint64_t seed, std::uint32_t user,
+                           std::uint64_t round, std::size_t dim) {
+  auto sub = lsa::crypto::derive_subseed(
+      lsa::crypto::seed_from_u64(seed ^ (0x5eedull +
+                                         user * 0x9e3779b97f4a7c15ull)),
+      round);
+  lsa::crypto::Prg prg(sub);
+  return lsa::field::uniform_vector<Fp32>(dim, prg);
+}
+
+std::string fresh_uds_path(int tag) {
+  return "/tmp/lsa_stt_" + std::to_string(::getpid()) + "_" +
+         std::to_string(tag) + ".sock";
+}
+
+// Pumps hub and a set of clients until `pred` holds (single-threaded
+// interleaving — every endpoint polled non-blocking, bounded).
+template <class Pred>
+void settle(SocketTransport* hub, std::vector<SocketTransport*> clients,
+            Pred&& pred, int max_iters = 2000) {
+  for (int i = 0; i < max_iters; ++i) {
+    if (pred()) return;
+    if (hub != nullptr) hub->poll(1);
+    for (auto* c : clients) {
+      if (c != nullptr) c->poll(0);
+    }
+  }
+  FAIL() << "settle: condition not reached";
+}
+
+// ------------------------------------------------- full-round bit-identity
+
+// N client threads run 3 full rounds against a daemon-shaped hub; round 1
+// drops users {4,5} AFTER upload (delayed-not-dropped at the U boundary:
+// the four stayers — exactly U of them — carry the recovery). Aggregates
+// must be bit-identical to the serial Network reference, and the socket
+// phase must not copy a single payload byte on the send side.
+void run_full_rounds(const std::string& listen_url, int uds_tag) {
+  lsa::protocol::Params params;
+  params.num_users = 6;
+  params.privacy = 1;
+  params.dropout = 2;
+  params.model_dim = 120;
+  params.validate_and_resolve();
+  ASSERT_EQ(params.target_survivors, 4u);
+
+  const std::uint64_t kSeed = 2024;
+  const std::uint64_t kRounds = 3;
+  const std::uint64_t kDropRound = 1;
+
+  std::vector<std::vector<std::vector<rep>>> models(kRounds);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (std::uint32_t u = 0; u < params.num_users; ++u) {
+      models[r].push_back(model_for(kSeed, u, r, params.model_dim));
+    }
+  }
+
+  const auto before = lsa::transport::snapshot();
+
+  const SocketAddr listen_addr = SocketAddr::parse(listen_url);
+  auto hub = SocketTransport::listen(listen_addr);
+  SocketAddr client_addr = listen_addr;
+  if (listen_addr.kind == SocketAddr::Kind::kTcp) {
+    client_addr.port = hub->tcp_port();
+  }
+  (void)uds_tag;
+
+  RemoteSessionConfig cfg;
+  cfg.params = params;
+  cfg.rounds = kRounds;
+  RemoteSession sess(*hub, /*session_id=*/0, cfg);
+
+  std::vector<std::thread> threads;
+  std::vector<std::atomic<bool>> ok(params.num_users);
+  for (auto& o : ok) o.store(false);
+
+  for (std::uint32_t u = 0; u < params.num_users; ++u) {
+    threads.emplace_back([&, u] {
+      auto t = SocketTransport::connect(client_addr, 0, u,
+                                        static_cast<std::uint32_t>(
+                                            params.num_users));
+      UserDevice dev(u, params, kSeed, *t);
+      const bool dropper = (u == 4 || u == 5);
+      std::int64_t result_round = -1;
+      t->set_sink([&](const Inbound& in) {
+        // The hub parks the drop round's survivor bitmap while a dropper
+        // is down and flushes it on reconnect — a round this client
+        // abandoned (and whose shares its dead connection may have
+        // eaten). Skip it; the session does not wait on droppers.
+        if (dropper && in.view.type == MsgType::kSurvivorSet &&
+            in.view.round == kDropRound) {
+          return;
+        }
+        if (in.view.type == MsgType::kSurvivorSet) {
+          // Decline a recovery request we cannot satisfy: shares can
+          // only be missing when our link broke mid-round (a TCP close
+          // eats frames in flight), and the session never waits on a
+          // user whose link broke mid-round — crash semantics, not an
+          // error.
+          try {
+            dev.handle_view(in.view);
+          } catch (const lsa::ProtocolError&) {
+          }
+          return;
+        }
+        dev.handle_view(in.view);
+        if (in.view.type == MsgType::kAggregateResult) {
+          result_round = static_cast<std::int64_t>(in.view.round);
+        }
+      });
+      for (std::uint64_t r = 0; r < kRounds; ++r) {
+        if (!t->connected()) t->reconnect();
+        dev.start_round(r, models[r][u]);
+        if (dropper && r == kDropRound) {
+          t->flush_pending(10'000);
+          t->disconnect();
+          continue;
+        }
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(30);
+        while (result_round < static_cast<std::int64_t>(r)) {
+          t->poll(5);
+          if (result_round >= static_cast<std::int64_t>(r)) break;
+          if (!t->connected() ||
+              std::chrono::steady_clock::now() >= deadline) {
+            return;  // ok stays false
+          }
+        }
+      }
+      ok[u].store(true);
+    });
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!sess.done() && std::chrono::steady_clock::now() < deadline) {
+    hub->poll(20);
+  }
+  EXPECT_TRUE(sess.done());
+  // Keep pumping the hub while the clients drain their result frames —
+  // the last broadcast may still sit in write queues when done() flips.
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  auto all_ok = [&] {
+    for (auto& o : ok) {
+      if (!o.load()) return false;
+    }
+    return true;
+  };
+  while (!all_ok() && std::chrono::steady_clock::now() < drain_deadline) {
+    hub->poll(10);
+  }
+  for (auto& th : threads) th.join();
+  for (std::uint32_t u = 0; u < params.num_users; ++u) {
+    EXPECT_TRUE(ok[u].load()) << "client " << u << " failed";
+  }
+  ASSERT_EQ(sess.aggregates().size(), kRounds);
+
+  // Counter-enforced zero-copy: the whole socket phase (hub + 6 clients)
+  // built frames straight from arena rows and relayed by refcount. Taken
+  // BEFORE the reference drive (the legacy Router path copies by design).
+  const auto mid = lsa::transport::snapshot();
+  EXPECT_EQ(mid.payload_copies - before.payload_copies, 0u);
+
+  Network net(params, kSeed);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    std::vector<std::size_t> crashed;
+    for (std::uint32_t u = 0; u < params.num_users; ++u) {
+      net.router().revive(u);
+      if (sess.responders(r)[u] == 0) crashed.push_back(u);
+    }
+    if (r == kDropRound) {
+      // Deterministic regardless of reconnect timing: a user whose link
+      // broke mid-round is never waited on again while that round's
+      // traffic may have died with the link (unsafe_until_), so exactly
+      // the four stayers — U of them — answer the drop round's recovery.
+      EXPECT_EQ(sess.responders(r),
+                (std::vector<std::uint8_t>{1, 1, 1, 1, 0, 0}));
+    } else if (r == 0) {
+      EXPECT_TRUE(crashed.empty()) << "round " << r;
+    } else {
+      // Post-drop rounds: the stayers always answer, but a dropper may
+      // legitimately sit this one out too — fast stayers bank round-r
+      // traffic ahead, so the dropper's old link can have eaten round-r
+      // shares and the unsafe_until_ fence then covers round r as well.
+      // Either way the aggregate is crash-set-independent (checked below
+      // bit-exactly against the reference with the same crashed set).
+      for (std::uint32_t u = 0; u < 4; ++u) {
+        EXPECT_EQ(sess.responders(r)[u], 1) << "stayer " << u << " round "
+                                            << r;
+      }
+    }
+    const auto want = net.run_round(r, models[r], crashed);
+    EXPECT_EQ(want, sess.aggregates()[r]) << "round " << r;
+  }
+}
+
+TEST(SocketTransport, FullRoundsBitIdenticalOverUds) {
+  run_full_rounds("uds://" + fresh_uds_path(1), 1);
+}
+
+TEST(SocketTransport, FullRoundsBitIdenticalOverTcp) {
+  run_full_rounds("tcp://127.0.0.1:0", 2);
+}
+
+// ------------------------------------- mid-round disconnect -> reconnect
+
+// Single-threaded interleaved drive: user 3 uploads, then drops while the
+// round is in flight (its model stays in the aggregate — delayed, not
+// dropped), reconnects before the round finishes (a revive: it still gets
+// the result broadcast), and participates fully in the next round.
+TEST(SocketTransport, MidRoundDisconnectReconnectMapsToCrashRevive) {
+  lsa::protocol::Params params;
+  params.num_users = 4;
+  params.privacy = 1;
+  params.dropout = 1;
+  params.model_dim = 60;
+  params.validate_and_resolve();
+  ASSERT_EQ(params.target_survivors, 3u);
+
+  const std::uint64_t kSeed = 777;
+  std::vector<std::vector<std::vector<rep>>> models(2);
+  for (std::uint64_t r = 0; r < 2; ++r) {
+    for (std::uint32_t u = 0; u < params.num_users; ++u) {
+      models[r].push_back(model_for(kSeed, u, r, params.model_dim));
+    }
+  }
+
+  const SocketAddr addr = SocketAddr::parse("uds://" + fresh_uds_path(3));
+  auto hub = SocketTransport::listen(addr);
+  RemoteSessionConfig cfg;
+  cfg.params = params;
+  cfg.rounds = 2;
+  RemoteSession sess(*hub, 0, cfg);
+
+  std::vector<std::unique_ptr<SocketTransport>> cts;
+  std::vector<std::unique_ptr<UserDevice>> devs;
+  std::vector<std::int64_t> result_round(params.num_users, -1);
+  for (std::uint32_t u = 0; u < params.num_users; ++u) {
+    cts.push_back(SocketTransport::connect(
+        addr, 0, u, static_cast<std::uint32_t>(params.num_users)));
+    devs.push_back(std::make_unique<UserDevice>(u, params, kSeed, *cts[u]));
+    cts[u]->set_sink([&, u](const Inbound& in) {
+      devs[u]->handle_view(in.view);
+      if (in.view.type == MsgType::kAggregateResult) {
+        result_round[u] = static_cast<std::int64_t>(in.view.round);
+      }
+    });
+  }
+  auto all = [&] {
+    std::vector<SocketTransport*> v;
+    for (auto& c : cts) v.push_back(c.get());
+    return v;
+  };
+
+  // Round 0: everyone uploads; user 3 drops right after its upload is on
+  // the wire, without ever polling (it must not see the survivor bitmap).
+  for (std::uint32_t u = 0; u < params.num_users; ++u) {
+    devs[u]->start_round(0, models[0][u]);
+  }
+  cts[3]->flush_pending(5'000);
+  cts[3]->disconnect();
+  // Hub collects 4 models, sees the EOF, begins recovery with the three
+  // live users waiting; frames aimed at user 3 while it is down are
+  // parked for its rebind (store-and-forward), and whatever sat on the
+  // dead connection's write queue drains like crash(). Only the hub is
+  // pumped here — the survivors must not respond yet, so the round is
+  // still in flight when user 3 comes back.
+  settle(hub.get(), {}, [&] {
+    return sess.phase() == RemoteSession::Phase::kRecover;
+  });
+  // Reconnect BEFORE the round finishes: a revive. Not re-added to the
+  // in-flight wait set — even though the parked bitmap reaches it on
+  // rebind, its answer is ignored — but live again, so the result
+  // broadcast reaches it.
+  cts[3]->reconnect();
+  settle(hub.get(), {cts[3].get()}, [&] { return hub->is_up(0, 3); });
+  EXPECT_EQ(hub->stats().revives, 1u);
+  EXPECT_EQ(sess.phase(), RemoteSession::Phase::kRecover);
+  settle(hub.get(), all(), [&] { return sess.current_round() > 0; });
+  ASSERT_EQ(sess.aggregates().size(), 1u);
+  // The join/down windows forced the hub to park at least one frame, and
+  // exactly one connection (user 3's first) was torn down.
+  EXPECT_GE(hub->stats().frames_parked, 1u);
+  EXPECT_EQ(hub->stats().disconnects, 1u);
+  // Delayed, not dropped: responders were {0,1,2} but the aggregate
+  // includes user 3's model.
+  EXPECT_EQ(sess.responders(0),
+            (std::vector<std::uint8_t>{1, 1, 1, 0}));
+  settle(hub.get(), all(), [&] {
+    return result_round[0] == 0 && result_round[3] == 0;
+  });
+
+  // Round 1: the revived user participates fully.
+  for (std::uint32_t u = 0; u < params.num_users; ++u) {
+    devs[u]->start_round(1, models[1][u]);
+  }
+  settle(hub.get(), all(), [&] { return sess.done(); });
+  ASSERT_EQ(sess.aggregates().size(), 2u);
+  EXPECT_EQ(sess.responders(1),
+            (std::vector<std::uint8_t>{1, 1, 1, 1}));
+
+  Network net(params, kSeed);
+  const auto want0 = net.run_round(0, models[0], {3});
+  EXPECT_EQ(want0, sess.aggregates()[0]);
+  net.router().revive(3);
+  const auto want1 = net.run_round(1, models[1], {});
+  EXPECT_EQ(want1, sess.aggregates()[1]);
+}
+
+// ----------------------------------------- broadcast buffer ownership
+
+// A hub broadcast to K live connections builds exactly ONE frame; every
+// write queue holds a reference to the same pooled block, and the last
+// queue to drain recycles it.
+TEST(SocketTransport, BroadcastSharesOneBufferAcrossQueues) {
+  const SocketAddr addr = SocketAddr::parse("uds://" + fresh_uds_path(4));
+  auto hub = SocketTransport::listen(addr);
+  SessionHooks hooks;  // pure frame plumbing, no session machine
+  hooks.on_frame = [](const Inbound&) {};
+  hooks.on_bind = [](std::uint32_t, bool) {};
+  hooks.on_disconnect = [](std::uint32_t) {};
+  lsa::runtime::Transport& out =
+      hub->register_session(7, 3, std::move(hooks));
+
+  std::vector<std::unique_ptr<SocketTransport>> cts;
+  std::vector<std::vector<rep>> got(3);
+  for (std::uint32_t u = 0; u < 3; ++u) {
+    cts.push_back(SocketTransport::connect(addr, 7, u, 3));
+    cts[u]->set_sink([&, u](const Inbound& in) {
+      got[u].assign(in.view.payload.begin(), in.view.payload.end());
+    });
+  }
+  settle(hub.get(), {cts[0].get(), cts[1].get(), cts[2].get()}, [&] {
+    return hub->is_up(7, 0) && hub->is_up(7, 1) && hub->is_up(7, 2);
+  });
+
+  hub->pause_writes(true);
+  const std::vector<rep> payload = {1, 2, 3, 4, 5};
+  const auto before = lsa::transport::snapshot();
+  out.broadcast_row(MsgType::kAggregateResult, 3, /*round=*/0,
+                    std::span<const rep>(payload), 3);
+  const auto after = lsa::transport::snapshot();
+
+  EXPECT_EQ(after.frames_built - before.frames_built, 1u);
+  EXPECT_EQ(after.payload_copies - before.payload_copies, 0u);
+  EXPECT_EQ(hub->queued_frames(7), 3u);
+  // One block, three queue references.
+  EXPECT_EQ(hub->pool().outstanding(), 1u);
+  EXPECT_EQ(hub->queued_front_ref_count(7, 0), 3u);
+  EXPECT_EQ(hub->queued_front_ref_count(7, 1), 3u);
+  EXPECT_EQ(hub->queued_front_ref_count(7, 2), 3u);
+
+  hub->pause_writes(false);
+  settle(hub.get(), {cts[0].get(), cts[1].get(), cts[2].get()}, [&] {
+    return got[0].size() == 5 && got[1].size() == 5 && got[2].size() == 5;
+  });
+  for (std::uint32_t u = 0; u < 3; ++u) EXPECT_EQ(got[u], payload);
+  // All queues drained: the last release recycled the block.
+  EXPECT_EQ(hub->pool().outstanding(), 0u);
+}
+
+// -------------------------------------------------- handshake rejection
+
+TEST(SocketTransport, RejectsBadHandshakes) {
+  const SocketAddr addr = SocketAddr::parse("uds://" + fresh_uds_path(5));
+  auto hub = SocketTransport::listen(addr);
+  SessionHooks hooks;
+  hooks.on_frame = [](const Inbound&) {};
+  hooks.on_bind = [](std::uint32_t, bool) {};
+  hooks.on_disconnect = [](std::uint32_t) {};
+  (void)hub->register_session(1, 2, std::move(hooks));
+
+  // Unknown session.
+  {
+    auto c = SocketTransport::connect(addr, /*session=*/99, 0, 2);
+    settle(hub.get(), {c.get()}, [&] { return !c->connected(); });
+    EXPECT_FALSE(c->handshaken());
+  }
+  // User id out of range for the session.
+  {
+    auto c = SocketTransport::connect(addr, 1, /*user=*/5, 2);
+    settle(hub.get(), {c.get()}, [&] { return !c->connected(); });
+    EXPECT_FALSE(c->handshaken());
+  }
+  EXPECT_GE(hub->stats().protocol_errors, 2u);
+  // A well-formed handshake still works afterwards.
+  {
+    auto c = SocketTransport::connect(addr, 1, 0, 2);
+    settle(hub.get(), {c.get()}, [&] { return c->handshaken(); });
+    EXPECT_TRUE(hub->is_up(1, 0));
+  }
+}
+
+}  // namespace
