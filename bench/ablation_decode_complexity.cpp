@@ -25,11 +25,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "coding/aggregate_decode.h"
+#include "coding/mask_codec.h"
 #include "coding/ntt.h"
 #include "common/timer.h"
 #include "field/fp.h"
@@ -112,6 +114,19 @@ PlanTiming time_plan(DecodeStrategy strategy, const DecodeInputs& in,
   }
   pt.stream_s = sw.elapsed_sec() / reps;
   return pt;
+}
+
+/// Forces BOTH lazy components (barycentric weight matrix + batched
+/// subproduct-tree plane) of a plan by running each strategy once, and
+/// returns the total setup seconds those builds paid.
+double force_setup(lsa::coding::BatchedDecodePlan<F>& plan,
+                   const DecodeInputs& in) {
+  std::span<const rep* const> rows(in.rows);
+  auto out = plan.run(DecodeStrategy::kBarycentric, rows, in.seg_len, {});
+  out = plan.run(DecodeStrategy::kBatchedNtt, rows, in.seg_len, {});
+  volatile auto sink = out[0];
+  (void)sink;
+  return plan.barycentric_setup_seconds() + plan.batched_setup_seconds();
 }
 
 // ---- Part 0: the 64-bit axpy substrate (per-term reduction vs Shoup vs
@@ -508,6 +523,134 @@ int main(int argc, char** argv) {
                  picked == DecodeStrategy::kBatchedNtt ? 1.0 : 0.0}});
     }
   }
+
+  // ---- Part 3: plan maintenance — full rebuild vs incremental patch.
+  // A steady cohort's survivor set churns by a point or two between
+  // rounds; the per-session plan cache (coding/mask_codec.h) patches the
+  // cached plan (BatchedDecodePlan::patched_from — one-point barycentric
+  // weight identities plus the dirtied root-to-leaf subproduct-tree
+  // paths) instead of rebuilding it. This part measures that split and
+  // pins the patched plan bit-identical to a from-scratch build (hard
+  // FAIL on mismatch). U = 512 stays in the smoke sweep: the CI gate
+  // floors the churn-2 speedup at U >= 512
+  // (decode_tolerance.json::min_patch_vs_rebuild_speedup).
+  std::printf(
+      "\nPart 3 — plan maintenance at T = U/2: full setup rebuild vs\n"
+      "patched_from churn-1/churn-2 (both components, best of 3)\n");
+  std::printf("%-6s | %10s %10s %10s %8s | %9s\n", "U", "build(s)",
+              "patch1(s)", "patch2(s)", "nodes", "rebuild/p2");
+  double min_patch_speedup = 1e300;
+  {
+    using Plan = lsa::coding::BatchedDecodePlan<F>;
+    using Repl = Plan::PointReplacement;
+    const std::vector<std::size_t> pus =
+        smoke ? std::vector<std::size_t>{512}
+              : std::vector<std::size_t>{64, 256, 512, 1024};
+    for (const std::size_t u : pus) {
+      const std::size_t t = u / 2;
+      const auto in = make_inputs(u, t, 1u << 12, 47 + u);
+      // Replacement values clear of the xs range [u+2, 2u+2) and the
+      // betas [1, u-t].
+      const rep v1 = F::from_u64(4 * u + 11);
+      const rep v2 = F::from_u64(4 * u + 12);
+      const int trials = 3;
+      double build_s = 1e300, patch1_s = 1e300, patch2_s = 1e300;
+      std::shared_ptr<Plan> base;
+      for (int tr = 0; tr < trials; ++tr) {
+        auto fresh = std::make_shared<Plan>(std::span<const rep>(in.xs),
+                                            std::span<const rep>(in.betas));
+        build_s = std::min(build_s, force_setup(*fresh, in));
+        base = std::move(fresh);
+      }
+      std::shared_ptr<Plan> patched2;
+      for (int tr = 0; tr < trials; ++tr) {
+        const Repl one[] = {{0, v1}};
+        lsa::common::Stopwatch sw;
+        auto p = Plan::patched_from(*base, std::span<const Repl>(one));
+        patch1_s = std::min(patch1_s, sw.elapsed_sec());
+        (void)p;
+        const Repl two[] = {{0, v1}, {u / 2, v2}};
+        sw.reset();
+        patched2 = Plan::patched_from(*base, std::span<const Repl>(two));
+        patch2_s = std::min(patch2_s, sw.elapsed_sec());
+      }
+      // Bit-identity: the churn-2 patched plan must stream exactly the
+      // bits a from-scratch plan over the patched points does.
+      {
+        auto xs2 = in.xs;
+        xs2[0] = v1;
+        xs2[u / 2] = v2;
+        Plan fresh2{std::span<const rep>(xs2),
+                    std::span<const rep>(in.betas)};
+        std::span<const rep* const> rows(in.rows);
+        for (const auto s :
+             {DecodeStrategy::kBarycentric, DecodeStrategy::kBatchedNtt}) {
+          if (patched2->run(s, rows, in.seg_len, {}) !=
+              fresh2.run(s, rows, in.seg_len, {})) {
+            std::printf("FAIL: U=%zu churn-2 patched plan is not "
+                        "bit-identical to a fresh build (%s)\n",
+                        u, lsa::coding::to_string(s));
+            return 1;
+          }
+        }
+      }
+      const double speedup = build_s / patch2_s;
+      if (u >= 512) min_patch_speedup = std::min(min_patch_speedup, speedup);
+      std::printf("%-6zu | %10.5f %10.5f %10.5f %8zu | %8.2fx\n", u, build_s,
+                  patch1_s, patch2_s, patched2->patched_nodes(), speedup);
+      json.add("plan_patch_u" + std::to_string(u),
+               {{"u", double(u)},
+                {"num_betas", double(u - t)},
+                {"full_build_s", build_s},
+                {"patch1_s", patch1_s},
+                {"patch2_s", patch2_s},
+                {"patched_nodes", double(patched2->patched_nodes())},
+                {"patch2_vs_rebuild_speedup", speedup}});
+    }
+  }
+  // Steady-state proxy through the codec's plan cache: ten decodes of the
+  // SAME survivor set must pay exactly one full plan build — the
+  // zero-setup invariant persistent cohorts rely on (plan builds track
+  // cohort epochs, not rounds).
+  std::uint64_t steady_builds = 0, steady_patches = 0;
+  {
+    const std::size_t cu = 64, ct = cu / 2, cd = 1u << 10;
+    lsa::coding::MaskCodec<F> codec(cu + 4, cu, ct, cd);
+    const std::size_t seg = (cd + (cu - ct) - 1) / (cu - ct);
+    lsa::common::Xoshiro256ss rng(53);
+    std::vector<std::vector<rep>> shares(cu);
+    std::vector<const rep*> rows(cu);
+    std::vector<std::size_t> owners(cu);
+    for (std::size_t j = 0; j < cu; ++j) {
+      shares[j] = lsa::field::uniform_vector<F>(seg, rng);
+      rows[j] = shares[j].data();
+      owners[j] = j;
+    }
+    for (int r = 0; r < 10; ++r) {
+      const auto out = codec.decode_aggregate_rows(
+          std::span<const std::size_t>(owners),
+          std::span<const rep* const>(rows), {},
+          DecodeStrategy::kBatchedNtt);
+      volatile auto sink = out[0];
+      (void)sink;
+    }
+    const auto st = codec.last_decode_stats();
+    steady_builds = st.full_builds;
+    steady_patches = st.incremental_patches;
+    std::printf("steady state: 10 same-set decodes -> %llu full builds, "
+                "%llu patches (plan builds track epochs, not rounds)\n",
+                static_cast<unsigned long long>(steady_builds),
+                static_cast<unsigned long long>(steady_patches));
+    if (steady_builds != 1 || steady_patches != 0 || !st.plan_reused) {
+      std::printf("FAIL: steady-state decode re-ran plan setup\n");
+      return 1;
+    }
+  }
+  json.add("plan_maintenance",
+           {{"min_patch_vs_rebuild_speedup", min_patch_speedup},
+            {"steady_state_decodes", 10.0},
+            {"steady_state_full_builds", double(steady_builds)},
+            {"steady_state_incremental_patches", double(steady_patches)}});
 
   std::printf(
       "\nReading: the batched plane holds a constant-factor win over the\n"

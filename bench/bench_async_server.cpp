@@ -363,6 +363,148 @@ int main(int argc, char** argv) {
             {"mutex_cycles_per_s", total_cycles / mutex_secs},
             {"ring_vs_mutex", mutex_secs / server_secs},
             {"bit_identical", 1.0}});
+
+  // [5] Steady-state persistent cohorts (params.persistent_cohort): the
+  // offline mask encode + share distribution run ONCE per cohort epoch;
+  // every later round is masked-upload -> fan-in -> cached-plan decode
+  // only. Aggregates stay bit-identical to the per-round protocol (the
+  // epoch masks cancel exactly either way), so the comparison below is a
+  // hard check, not a tolerance. The gate
+  // (check_async_regression.py::steady_state) enforces the zero-setup
+  // invariant: offline encodes and plan builds track cohort EPOCHS, not
+  // rounds.
+  const std::size_t ss_rounds = smoke ? 6 : 10;
+  std::printf("\n[5] steady-state persistent cohort: %zu sync rounds, "
+              "stable membership\n", ss_rounds);
+  double ss_offline_per_user = 0, ss_plan_builds = 0;
+  double legacy_round_secs = 0, persist_round_secs = 0;
+  {
+    auto pp = su.params;
+    lsa::server::Session legacy_sess(
+        lsa::server::SessionConfig{.params = pp, .seed = su.seed(0)});
+    pp.persistent_cohort = true;
+    lsa::server::Session persist_sess(
+        lsa::server::SessionConfig{.params = pp, .seed = su.seed(0)});
+    std::vector<std::vector<std::vector<rep>>> round_models(ss_rounds);
+    for (std::size_t r = 0; r < ss_rounds; ++r) {
+      lsa::common::Xoshiro256ss mrng(7000 + r);
+      round_models[r].resize(n);
+      for (auto& m : round_models[r]) {
+        m = lsa::field::uniform_vector<Fp32>(d, mrng);
+      }
+    }
+    std::vector<std::vector<rep>> legacy_out(ss_rounds);
+    {
+      const auto t0 = Clock::now();
+      for (std::size_t r = 0; r < ss_rounds; ++r) {
+        legacy_out[r] = legacy_sess.run_round(r, round_models[r], {});
+      }
+      legacy_round_secs = seconds_since(t0) / double(ss_rounds);
+    }
+    {
+      const auto t0 = Clock::now();
+      for (std::size_t r = 0; r < ss_rounds; ++r) {
+        if (persist_sess.run_round(r, round_models[r], {}) != legacy_out[r]) {
+          std::printf("FAIL: persistent-cohort round %zu differs from the "
+                      "per-round session\n", r);
+          return 1;
+        }
+      }
+      persist_round_secs = seconds_since(t0) / double(ss_rounds);
+    }
+    const auto pst = persist_sess.stats();
+    const auto lst = legacy_sess.stats();
+    ss_offline_per_user = double(pst.offline_encodes) / double(n);
+    ss_plan_builds = double(pst.decode_plan_builds);
+    std::printf("  per-round session:  %8.4f s/round, %llu offline encodes\n",
+                legacy_round_secs,
+                static_cast<unsigned long long>(lst.offline_encodes));
+    std::printf("  persistent cohort:  %8.4f s/round, %llu offline encodes, "
+                "%llu plan builds (%.2fx per round)\n",
+                persist_round_secs,
+                static_cast<unsigned long long>(pst.offline_encodes),
+                static_cast<unsigned long long>(pst.decode_plan_builds),
+                legacy_round_secs / persist_round_secs);
+    std::printf("  aggregates bit-identical to the per-round protocol: OK\n");
+    if (pst.offline_encodes != n || pst.decode_plan_builds != 1 ||
+        pst.decode_plan_reuses != ss_rounds - 1) {
+      std::printf("FAIL: persistent cohort re-ran per-epoch setup "
+                  "(%llu encodes, %llu builds, %llu reuses)\n",
+                  static_cast<unsigned long long>(pst.offline_encodes),
+                  static_cast<unsigned long long>(pst.decode_plan_builds),
+                  static_cast<unsigned long long>(pst.decode_plan_reuses));
+      return 1;
+    }
+  }
+  // The async leg: the same scheduled cohort as session 0 in [1], run in
+  // persistent mode — each arriving user pays its offline encode on its
+  // FIRST manifested update only, and every buffered weighted aggregate
+  // must still match the legacy per-update drive bit for bit.
+  std::uint64_t async_persist_encodes = 0, async_legacy_encodes = 0;
+  {
+    lsa::sys::ThreadPool pool(hw);
+    lsa::server::AggregationServer server(&pool);
+    lsa::server::AsyncSessionConfig cfg;
+    cfg.params = su.params;
+    cfg.params.exec.pool = &pool;
+    cfg.params.persistent_cohort = true;
+    cfg.seed = su.seed(0);
+    cfg.buffer_k = su.buffer_k;
+    cfg.staleness = su.staleness;
+    cfg.c_g = su.c_g;
+    cfg.schedule = su.schedule(0);
+    const auto id = server.open_async_session(cfg);
+    server.async_session(id).enqueue_scheduled_cycles(cycles);
+    server.drive();
+    const auto& outs = server.async_session(id).outputs();
+    for (std::size_t c = 0; c < cycles; ++c) {
+      if (outs[c].weighted_sum != expected[0][c].weighted_sum ||
+          outs[c].weight_sum != expected[0][c].weight_sum) {
+        std::printf("FAIL: persistent async cycle %zu differs from the "
+                    "legacy drive\n", c);
+        return 1;
+      }
+    }
+    async_persist_encodes = server.async_session(id).stats().offline_encodes;
+  }
+  {
+    // Legacy encode count for the same schedule: one per submitted update.
+    lsa::sys::ThreadPool pool(hw);
+    lsa::server::AggregationServer server(&pool);
+    lsa::server::AsyncSessionConfig cfg;
+    cfg.params = su.params;
+    cfg.params.exec.pool = &pool;
+    cfg.seed = su.seed(0);
+    cfg.buffer_k = su.buffer_k;
+    cfg.staleness = su.staleness;
+    cfg.c_g = su.c_g;
+    cfg.schedule = su.schedule(0);
+    const auto id = server.open_async_session(cfg);
+    server.async_session(id).enqueue_scheduled_cycles(cycles);
+    server.drive();
+    async_legacy_encodes = server.async_session(id).stats().offline_encodes;
+  }
+  std::printf("  async leg: %llu offline encodes persistent vs %llu "
+              "per-update (<= one per arriving user), bit-identical: OK\n",
+              static_cast<unsigned long long>(async_persist_encodes),
+              static_cast<unsigned long long>(async_legacy_encodes));
+  if (async_persist_encodes > n ||
+      async_persist_encodes > async_legacy_encodes) {
+    std::printf("FAIL: persistent async cohort re-encoded epoch shares\n");
+    return 1;
+  }
+  json.add("steady_state",
+           {{"n", double(n)},
+            {"rounds", double(ss_rounds)},
+            {"offline_encodes_per_user", ss_offline_per_user},
+            {"plan_builds", ss_plan_builds},
+            {"legacy_round_s", legacy_round_secs},
+            {"persistent_round_s", persist_round_secs},
+            {"round_speedup_vs_per_round",
+             legacy_round_secs / persist_round_secs},
+            {"async_offline_encodes", double(async_persist_encodes)},
+            {"async_legacy_offline_encodes", double(async_legacy_encodes)},
+            {"bit_identical", 1.0}});
   json.write(json_path);
   return 0;
 }

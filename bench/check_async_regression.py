@@ -36,6 +36,15 @@ def main() -> int:
     gate.require_min("mailbox_strategies", "bit_identical", 1)
     gate.require_min("mailbox_strategies", "ring_vs_mutex",
                      tol["min_ring_vs_mutex"])
+    # Steady-state persistent cohorts ([5]): zero-setup invariant — the
+    # offline encode runs once per user per cohort epoch and the
+    # survivor-set plan is built once (builds track epochs, not rounds),
+    # with aggregates bit-identical to the per-round protocol.
+    gate.require_min("steady_state", "bit_identical", 1)
+    gate.require_max("steady_state", "offline_encodes_per_user",
+                     tol["max_steady_state_offline_encodes_per_user"])
+    gate.require_max("steady_state", "plan_builds",
+                     tol["max_steady_state_plan_builds"])
     return gate.finish("async session-runtime")
 
 

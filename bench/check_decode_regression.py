@@ -32,6 +32,15 @@ def main() -> int:
     gate.require_min("axpy_fp61", "shipped_speedup",
                      tol["min_shipped_axpy_speedup_fp61"])
 
+    # Plan maintenance (Part 3): small-churn survivor sets must patch the
+    # cached plan meaningfully faster than a full rebuild at U >= 512, and
+    # the steady state must pay exactly one full build for repeated
+    # decodes of the same survivor set (builds track epochs, not rounds).
+    gate.require_min("plan_maintenance", "min_patch_vs_rebuild_speedup",
+                     tol["min_patch_vs_rebuild_speedup"])
+    gate.require_max("plan_maintenance", "steady_state_full_builds",
+                     tol["max_steady_state_full_builds"])
+
     # SIMD substrate: floor the best scalar-vs-vector kernel speedup, but
     # skip (don't fail) on hosts whose runtime dispatch resolved to scalar
     # — there is nothing to compare against without AVX2/AVX-512/NEON.

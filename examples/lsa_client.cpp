@@ -47,6 +47,10 @@ int run(int argc, char** argv) {
   params.dropout = flags.u64("dropout", 2);
   params.target_survivors = flags.u64("survivors", 0);
   params.model_dim = flags.u64("dim", 1024);
+  // Steady-state cohort mode: offline encode + share distribution happen
+  // once (epoch 0); rounds 1+ are masked-upload only. Pass the same value
+  // to lsa_serverd so its --verify reference replays the same variant.
+  params.persistent_cohort = flags.boolean("persistent", false);
   const std::uint64_t rounds = flags.u64("rounds", 1);
   const std::uint64_t seed = flags.u64("seed", 42);
   const std::uint64_t drop_round = flags.u64("drop-round", ~0ull);

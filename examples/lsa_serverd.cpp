@@ -48,6 +48,10 @@ int serve(int argc, char** argv) {
   params.dropout = flags.u64("dropout", 2);
   params.target_survivors = flags.u64("survivors", 0);
   params.model_dim = flags.u64("dim", 1024);
+  // Steady-state cohort mode: clients share-distribute once per epoch.
+  // Must match the clients' --persistent flag so the --verify reference
+  // replays the same protocol variant.
+  params.persistent_cohort = flags.boolean("persistent", false);
   const std::uint64_t rounds = flags.u64("rounds", 1);
   const std::uint64_t num_sessions = flags.u64("sessions", 1);
   const std::uint64_t seed = flags.u64("seed", 42);

@@ -176,6 +176,97 @@ class BatchedDecodePlan {
   [[nodiscard]] std::span<const rep> xs() const { return xs_; }
   [[nodiscard]] std::span<const rep> betas() const { return betas_; }
 
+  // ---------------------------------------------- incremental maintenance
+
+  /// One survivor-point replacement for patched_from: xs[pos] becomes
+  /// `value`. The betas are fixed per codec; only share points churn.
+  struct PointReplacement {
+    std::size_t pos = 0;
+    rep value{};
+  };
+
+  /// True when this plan came out of patched_from rather than a fresh
+  /// build, and how many subproduct-tree nodes the patch re-multiplied.
+  [[nodiscard]] bool patched() const { return patched_; }
+  [[nodiscard]] std::size_t patched_nodes() const { return patched_nodes_; }
+
+  /// Small-churn plan maintenance: builds the plan for base.xs() with the
+  /// replacements applied, PATCHING whichever components the base already
+  /// built instead of rebuilding them from scratch:
+  ///
+  ///   * barycentric weights update via the one-point multiply/divide
+  ///     identity — replacing x_p = o with v scales W[k][j] (j != p) by
+  ///     (beta_k - v)/(beta_k - o) * (x_j - o)/(x_j - v) and column p by
+  ///     M'_old(o)/M'_new(v) (the beta factors cancel against the
+  ///     refreshed numerator M(beta_k)): O(U * nb) multiplies plus one
+  ///     batched inversion, no O(U^2) M' pass;
+  ///   * the batched fast path refreshes the barycentric denominators by
+  ///     the same identity and re-multiplies ONLY the root-to-leaf
+  ///     subproduct-tree path through leaf p — one collapsed base matrix
+  ///     plus O(log U) ancestor operands, re-deriving their cached NTT
+  ///     transforms; the beta-side evaluation tree depends only on the
+  ///     betas and is copied verbatim, as is every untouched share node.
+  ///
+  /// Every patched value is the exact canonical field element a
+  /// from-scratch build over the same points produces (products of the
+  /// same monic linear factors in any association order, and
+  /// algebraically equal weight updates, land on identical bits), so a
+  /// patched plan decodes bit-identically to a fresh BatchedDecodePlan —
+  /// tests/decode_plan_patch_test.cpp sweeps this exhaustively.
+  ///
+  /// Replacements apply sequentially; each new value must stay distinct
+  /// from every other current point and every beta. The patched plan
+  /// keeps the base's point ORDER (only the replaced slots change) so the
+  /// dirtied tree paths stay narrow; callers permute share rows to
+  /// plan-xs order (coding/mask_codec.h does). Components the base never
+  /// built stay unbuilt and would be built lazily from the new points.
+  /// Each patched component's setup_s is the patch time, so setup
+  /// accounting reflects what was actually paid.
+  [[nodiscard]] static std::shared_ptr<BatchedDecodePlan> patched_from(
+      const BatchedDecodePlan& base, std::span<const PointReplacement> reps) {
+    std::lock_guard<std::mutex> lk(base.mu_);
+    std::vector<rep> new_xs = base.xs_;
+    for (const auto& r : reps) {
+      lsa::require<lsa::CodingError>(r.pos < new_xs.size(),
+                                     "plan patch: position out of range");
+      for (std::size_t m = 0; m < new_xs.size(); ++m) {
+        lsa::require<lsa::CodingError>(m == r.pos || r.value != new_xs[m],
+                                       "plan patch: duplicate points");
+      }
+      for (const rep b : base.betas_) {
+        lsa::require<lsa::CodingError>(
+            r.value != b, "plan patch: point collides with beta");
+      }
+      new_xs[r.pos] = r.value;
+    }
+    auto plan = std::make_shared<BatchedDecodePlan>(
+        std::span<const rep>(new_xs), std::span<const rep>(base.betas_));
+    plan->patched_ = true;
+    if (base.bary_) {
+      lsa::common::Stopwatch sw;
+      auto b = std::make_unique<Bary>(*base.bary_);
+      std::vector<rep> cur = base.xs_;
+      for (const auto& r : reps) {
+        patch_bary_one(*b, cur, base.betas_, r.pos, r.value);
+        cur[r.pos] = r.value;
+      }
+      b->setup_s = sw.elapsed_sec();
+      plan->bary_ = std::move(b);
+    }
+    if (base.fast_) {
+      lsa::common::Stopwatch sw;
+      auto f = std::make_unique<Fast>(*base.fast_);
+      std::vector<rep> cur = base.xs_;
+      for (const auto& r : reps) {
+        plan->patched_nodes_ += patch_fast_one(*f, cur, r.pos, r.value);
+        cur[r.pos] = r.value;
+      }
+      f->setup_s = sw.elapsed_sec();
+      plan->fast_ = std::move(f);
+    }
+    return plan;
+  }
+
   /// Resolves kAuto to a concrete strategy from the plan shape and the
   /// segment length; concrete strategies pass through unchanged.
   [[nodiscard]] DecodeStrategy resolve(DecodeStrategy s,
@@ -936,10 +1027,146 @@ class BatchedDecodePlan {
         std::span<const rep>(ws.t3.data(), nd.leaves * W));
   }
 
+  // ------------------------------------------------- incremental patching
+
+  /// Applies one replacement xs[p]: o -> v to a copied barycentric
+  /// component; cur_xs still holds o at p. See patched_from for the
+  /// identity. One batched inversion covers every divisor: slots [0, u)
+  /// hold x_j - v (and, at p, M'_new(v)); slots [u, u + nb) hold
+  /// beta_k - o.
+  static void patch_bary_one(Bary& b, std::span<const rep> cur_xs,
+                             std::span<const rep> betas, std::size_t p,
+                             rep v) {
+    const std::size_t u = cur_xs.size();
+    const std::size_t nb = betas.size();
+    const rep o = cur_xs[p];
+    std::vector<rep> inv(u + nb);
+    rep mprime_old_p = F::one;  ///< M'_old(o) = prod_{m != p} (o - x_m)
+    rep mprime_new_p = F::one;  ///< M'_new(v) = prod_{m != p} (v - x_m)
+    for (std::size_t m = 0; m < u; ++m) {
+      if (m == p) continue;
+      mprime_old_p = F::mul(mprime_old_p, F::sub(o, cur_xs[m]));
+      mprime_new_p = F::mul(mprime_new_p, F::sub(v, cur_xs[m]));
+    }
+    for (std::size_t j = 0; j < u; ++j) {
+      inv[j] = j == p ? mprime_new_p : F::sub(cur_xs[j], v);
+    }
+    for (std::size_t k = 0; k < nb; ++k) inv[u + k] = F::sub(betas[k], o);
+    lsa::field::batch_inv_inplace<F>(std::span<rep>(inv));
+    // colfac[j] = (x_j - o)/(x_j - v); colfac[p] = M'_old(o)/M'_new(v) and
+    // takes NO row factor (the beta factors cancel for the moved point).
+    std::vector<rep> colfac(u);
+    for (std::size_t j = 0; j < u; ++j) {
+      colfac[j] = j == p ? F::mul(mprime_old_p, inv[p])
+                         : F::mul(F::sub(cur_xs[j], o), inv[j]);
+    }
+    for (std::size_t k = 0; k < nb; ++k) {
+      const rep rowfac = F::mul(F::sub(betas[k], v), inv[u + k]);
+      auto row = b.w.row(k);
+      for (std::size_t j = 0; j < u; ++j) {
+        row[j] = F::mul(row[j],
+                        j == p ? colfac[p] : F::mul(rowfac, colfac[j]));
+      }
+    }
+  }
+
+  /// Applies one replacement xs[p]: o -> v to a copied fast component:
+  /// barycentric denominators by the multiply/divide identity, then the
+  /// root-to-leaf interpolation-tree path through leaf p (the beta-side
+  /// eval tree never references the xs). Returns the number of
+  /// re-multiplied tree nodes.
+  static std::size_t patch_fast_one(Fast& f, std::span<const rep> cur_xs,
+                                    std::size_t p, rep v) {
+    const std::size_t u = cur_xs.size();
+    const rep o = cur_xs[p];
+    std::vector<rep> inv(u);
+    rep mprime_new_p = F::one;
+    for (std::size_t m = 0; m < u; ++m) {
+      if (m == p) continue;
+      mprime_new_p = F::mul(mprime_new_p, F::sub(v, cur_xs[m]));
+    }
+    for (std::size_t j = 0; j < u; ++j) {
+      inv[j] = j == p ? mprime_new_p : F::sub(cur_xs[j], v);
+    }
+    lsa::field::batch_inv_inplace<F>(std::span<rep>(inv));
+    for (std::size_t j = 0; j < u; ++j) {
+      f.mprime_inv[j] =
+          j == p ? inv[p]
+                 : F::mul(f.mprime_inv[j],
+                          F::mul(F::sub(cur_xs[j], o), inv[j]));
+    }
+    if constexpr (lsa::field::ShoupCapable<F>) {
+      f.mprime_inv_shoup = lsa::field::shoup_precompute_vec<F>(
+          std::span<const rep>(f.mprime_inv));
+    }
+
+    // Rebuild the collapsed base node containing leaf p: its polynomial
+    // is the product of its leaf linears (exact ring products are
+    // association-independent, so this matches the tree build bit for
+    // bit), and its Lagrange-basis matrix the same quotients the builder
+    // derives.
+    std::size_t bi = 0;
+    while (!(f.interp_base[bi].lo <= p &&
+             p < f.interp_base[bi].lo + f.interp_base[bi].m)) {
+      ++bi;
+    }
+    BaseNode& bn = f.interp_base[bi];
+    const auto leaf_x = [&](std::size_t j) {
+      return bn.lo + j == p ? v : cur_xs[bn.lo + j];
+    };
+    std::vector<rep> node_poly{F::one};
+    for (std::size_t j = 0; j < bn.m; ++j) {
+      const std::vector<rep> leaf{F::neg(leaf_x(j)), F::one};
+      node_poly = polymul<F>(std::span<const rep>(node_poly),
+                             std::span<const rep>(leaf));
+    }
+    for (std::size_t j = 0; j < bn.m; ++j) {
+      const std::vector<rep> leaf{F::neg(leaf_x(j)), F::one};
+      auto basis = poly_divrem<F>(std::span<const rep>(node_poly),
+                                  std::span<const rep>(leaf))
+                       .quotient;
+      basis.resize(bn.m, F::zero);
+      for (std::size_t r = 0; r < bn.m; ++r) {
+        bn.mat[r * bn.fs + j] = basis[r];
+      }
+    }
+    std::size_t patched = 1;
+
+    // Walk the ancestors: overwrite the dirty child operand at each
+    // stored node, refresh its cached transform, and re-multiply the
+    // node's polynomial for the next level. Carried nodes store nothing —
+    // the child polynomial passes through.
+    std::vector<rep> cur_poly = std::move(node_poly);
+    std::size_t child = bi;
+    for (std::size_t lv = 0; lv < f.interp_levels.size(); ++lv) {
+      auto& level = f.interp_levels[lv];
+      if (level.empty()) continue;  // at or below the collapsed base
+      const std::size_t pi = child / 2;
+      Node& nd = level[pi];
+      if (nd.carry) {
+        child = pi;
+        continue;
+      }
+      Operand& op = child % 2 == 0 ? nd.poly_left : nd.poly_right;
+      op.coeffs = cur_poly;
+      op.log_n = 0;
+      op.evals.clear();
+      op.evals_shoup.clear();
+      finalize_operand(f, op, nd.leaves);
+      cur_poly = polymul<F>(std::span<const rep>(nd.poly_left.coeffs),
+                            std::span<const rep>(nd.poly_right.coeffs));
+      ++patched;
+      child = pi;
+    }
+    return patched;
+  }
+
   std::vector<rep> xs_, betas_;
   mutable std::mutex mu_;
   mutable std::unique_ptr<Bary> bary_;
   mutable std::unique_ptr<Fast> fast_;
+  bool patched_ = false;
+  std::size_t patched_nodes_ = 0;
 };
 
 }  // namespace lsa::coding

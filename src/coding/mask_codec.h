@@ -36,22 +36,30 @@
 //     vectors, wire buffers) and fans the coordinate range out over a
 //     sys::ExecPolicy.
 //
-// Decoding is plan-based: the codec keeps a per-instance cache of
-// coding::BatchedDecodePlan keyed on the survivor point set, so repeated
-// rounds with the same survivors pay the subproduct-tree / twiddle /
-// weight-table setup once and stream at marginal cost (the codec lives for
-// a session, making this a per-session cache). The default strategy kAuto
-// picks the GEMM or the batched fast path from (U, U-T, seg_len) via the
-// measured crossover; last_decode_stats() reports what ran and how the
-// time split between plan setup and streaming.
+// Decoding is plan-based: the codec keeps a per-instance LRU cache of
+// coding::BatchedDecodePlan keyed on the SORTED survivor point set (hash
+// precomputed once per lookup), so repeated rounds with the same survivors
+// pay the subproduct-tree / twiddle / weight-table setup once and stream
+// at marginal cost (the codec lives for a session, making this a
+// per-session cache). Under small survivor churn the cache patches instead
+// of rebuilding: a requested set differing from a cached plan's by at most
+// kMaxPatchChurn points goes through BatchedDecodePlan::patched_from —
+// only the dirtied root-to-leaf tree paths and the barycentric weight
+// updates are recomputed, bit-identical to a fresh build. The default
+// strategy kAuto picks the GEMM or the batched fast path from (U, U-T,
+// seg_len) via the measured crossover; last_decode_stats() reports what
+// ran, the setup-vs-stream split, and the cumulative full-build / patch /
+// eviction counters.
 //
 // The legacy nested-vector APIs remain as thin adapters over the same
 // kernels, and every path is bit-identical to every other
 // (tests/parallel_codec_test.cpp).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <map>
+#include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -211,20 +219,42 @@ class MaskCodec {
 
   /// What the last decode on this codec actually did: the requested and
   /// resolved strategy, whether the per-session plan cache already held
-  /// the survivor set's plan, and the setup-vs-streaming time split (the
-  /// amortization the plan cache buys).
+  /// the survivor set's plan (or patched a small-churn neighbor), and the
+  /// setup-vs-streaming time split (the amortization the cache buys). The
+  /// trailing counters are cumulative over the codec's lifetime — the
+  /// plan-maintenance telemetry sessions fold into their stats.
   struct DecodeStats {
     DecodeStrategy requested = DecodeStrategy::kAuto;
     DecodeStrategy used = DecodeStrategy::kAuto;
     bool plan_reused = false;
-    double setup_s = 0.0;   ///< plan setup paid by this decode (0 on reuse)
+    bool plan_patched = false;      ///< this decode patched a cached plan
+    std::size_t patched_nodes = 0;  ///< tree nodes the patch re-multiplied
+    double setup_s = 0.0;   ///< plan setup/patch paid by this decode
     double stream_s = 0.0;  ///< coordinate streaming time
+    std::uint64_t full_builds = 0;          ///< cumulative from-scratch plans
+    std::uint64_t incremental_patches = 0;  ///< cumulative patched plans
+    std::uint64_t evictions = 0;            ///< cumulative LRU evictions
   };
 
   [[nodiscard]] DecodeStats last_decode_stats() const {
     std::lock_guard<std::mutex> lk(plans_->mu);
     return plans_->last_stats;
   }
+
+  /// Plan-cache bound: cached plans never outnumber the distinct survivor
+  /// sets a session realistically sees; the cap only bounds adversarial
+  /// churn (least-recently-used plans evict first).
+  static constexpr std::size_t kMaxCachedPlans = 32;
+
+  /// Patch-vs-rebuild crossover: a requested survivor set differing from a
+  /// cached plan's by at most this many points is patched
+  /// (BatchedDecodePlan::patched_from) instead of rebuilt. The measured
+  /// crossover (bench/ablation_decode_complexity, plan-maintenance part)
+  /// puts the patch ahead of a full rebuild at EVERY U for churn <= 2 —
+  /// the margin grows with U (>= 3x at U >= 512, floored in
+  /// bench/decode_tolerance.json) — so kAuto maintenance pins the bound at
+  /// the churn the one-point identities patch cheaply.
+  static constexpr std::size_t kMaxPatchChurn = 2;
 
   /// One-shot aggregate decode over share *row views*: share_owners[j] is
   /// the 0-based user id whose aggregated share rows[j] (seg_len reps) is
@@ -273,16 +303,45 @@ class MaskCodec {
                            rows.first(u_), seg_len_, pol);
       stats.stream_s = sw.elapsed_sec();
     } else {
-      auto [plan, reused] = plan_for(xs);
-      stats.plan_reused = reused;
-      stats.used = plan->resolve(strategy, seg_len_);
-      const double setup_before = plan_setup_seconds(*plan);
-      out = plan->run(stats.used, rows.first(u_), seg_len_, pol);
-      stats.setup_s = plan_setup_seconds(*plan) - setup_before;
+      // Canonical cache key: the sorted survivor points (the decode result
+      // is order-independent — the interpolant is unique and every kernel
+      // returns canonical field elements). order[a] = incoming row index
+      // of the a-th smallest point.
+      std::vector<std::uint32_t> order(u_);
+      for (std::size_t j = 0; j < u_; ++j) {
+        order[j] = static_cast<std::uint32_t>(j);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return xs[a] < xs[b];
+                });
+      std::vector<rep> sorted_xs(u_);
+      for (std::size_t a = 0; a < u_; ++a) sorted_xs[a] = xs[order[a]];
+      auto found = plan_for(std::move(sorted_xs));
+      stats.plan_reused = found.reused;
+      stats.plan_patched = found.patched;
+      stats.patched_nodes = found.patched_nodes;
+      // Rows in the plan's own point order: patched plans keep their
+      // base's order, fresh plans the sorted key (empty perm = identity).
+      std::vector<const rep*> plan_rows(u_);
+      for (std::size_t j = 0; j < u_; ++j) {
+        const std::size_t s = found.perm.empty() ? j : found.perm[j];
+        plan_rows[j] = rows[order[s]];
+      }
+      stats.used = found.plan->resolve(strategy, seg_len_);
+      const double setup_before = plan_setup_seconds(*found.plan);
+      out = found.plan->run(stats.used,
+                            std::span<const rep* const>(plan_rows), seg_len_,
+                            pol);
+      stats.setup_s =
+          found.patch_s + plan_setup_seconds(*found.plan) - setup_before;
       stats.stream_s = sw.elapsed_sec() - stats.setup_s;
     }
     {
       std::lock_guard<std::mutex> lk(plans_->mu);
+      stats.full_builds = plans_->full_builds;
+      stats.incremental_patches = plans_->incremental_patches;
+      stats.evictions = plans_->evictions;
       plans_->last_stats = stats;
     }
     out.resize(d_);  // drop zero padding
@@ -486,37 +545,159 @@ class MaskCodec {
     }
   }
 
-  /// Cached plans never outnumber the distinct survivor sets a session
-  /// realistically sees; the cap only bounds adversarial churn.
-  static constexpr std::size_t kMaxCachedPlans = 32;
+  /// One cached plan. key_xs is the SORTED survivor point set with its
+  /// hash precomputed at insert time — a lookup hashes the incoming key
+  /// once and compares hashes before any vector comparison. perm maps
+  /// plan-xs order to key order (plan->xs()[j] == key_xs[perm[j]]); empty
+  /// means identity (fresh plans are built from the sorted key; patched
+  /// plans inherit their base's order with replaced slots).
+  struct CacheEntry {
+    std::size_t hash = 0;
+    std::vector<rep> key_xs;
+    std::vector<std::uint32_t> perm;
+    std::shared_ptr<BatchedDecodePlan<F>> plan;
+  };
 
-  /// Per-session decode-plan cache, keyed on the survivor share points
-  /// (the betas are fixed per codec). Held behind a shared_ptr so the
+  /// Per-session decode-plan cache (front = most recently used; a small
+  /// LRU bounded by kMaxCachedPlans). Held behind a shared_ptr so the
   /// codec stays copyable; copies share the cache, which is correct —
   /// they share the parameters that determine every plan.
   struct PlanCache {
     std::mutex mu;
-    std::map<std::vector<rep>, std::shared_ptr<BatchedDecodePlan<F>>> plans;
+    std::list<CacheEntry> entries;
+    std::uint64_t full_builds = 0;
+    std::uint64_t incremental_patches = 0;
+    std::uint64_t evictions = 0;
     DecodeStats last_stats;
   };
 
-  /// Returns the cached plan for this survivor point set (building and
-  /// inserting it if absent) and whether it was already cached.
-  [[nodiscard]] std::pair<std::shared_ptr<BatchedDecodePlan<F>>, bool>
-  plan_for(const std::vector<rep>& xs) const {
-    std::lock_guard<std::mutex> lk(plans_->mu);
-    auto it = plans_->plans.find(xs);
-    if (it != plans_->plans.end()) return {it->second, true};
-    if (plans_->plans.size() >= kMaxCachedPlans) {
-      // Evict one entry rather than clearing: a churny session keeps its
-      // other hot plans instead of re-paying every setup at once.
-      plans_->plans.erase(plans_->plans.begin());
+  struct PlanLookup {
+    std::shared_ptr<BatchedDecodePlan<F>> plan;
+    std::vector<std::uint32_t> perm;  ///< plan order -> sorted-key order
+    bool reused = false;
+    bool patched = false;
+    std::size_t patched_nodes = 0;
+    double patch_s = 0.0;  ///< time spent patching (0 on hit / full build)
+  };
+
+  [[nodiscard]] static std::size_t hash_points(std::span<const rep> xs) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const rep x : xs) {
+      h ^= static_cast<std::uint64_t>(x) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
     }
-    auto plan = std::make_shared<BatchedDecodePlan<F>>(
-        std::span<const rep>(xs),
-        std::span<const rep>(beta_.data(), u_ - t_));
-    plans_->plans.emplace(xs, plan);
-    return {plan, false};
+    return static_cast<std::size_t>(h);
+  }
+
+  /// Elements of sorted `a` not present in sorted `b` (== vice versa for
+  /// equal sizes); returns limit + 1 as soon as the count exceeds limit.
+  [[nodiscard]] static std::size_t churn_between(std::span<const rep> a,
+                                                 std::span<const rep> b,
+                                                 std::size_t limit) {
+    std::size_t ia = 0, ib = 0, c = 0;
+    while (ia < a.size() && ib < b.size()) {
+      if (a[ia] == b[ib]) {
+        ++ia;
+        ++ib;
+      } else if (a[ia] < b[ib]) {
+        if (++c > limit) return limit + 1;
+        ++ia;
+      } else {
+        ++ib;
+      }
+    }
+    c += a.size() - ia;
+    return c > limit ? limit + 1 : c;
+  }
+
+  /// Returns the plan for this SORTED survivor point set: an exact cache
+  /// hit (moved to the LRU front), else a patch of the closest cached
+  /// plan within kMaxPatchChurn replacements, else a fresh build. The
+  /// incoming key is hashed exactly once.
+  [[nodiscard]] PlanLookup plan_for(std::vector<rep> sorted_xs) const {
+    const std::size_t h = hash_points(std::span<const rep>(sorted_xs));
+    std::lock_guard<std::mutex> lk(plans_->mu);
+    auto& entries = plans_->entries;
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->hash != h || it->key_xs != sorted_xs) continue;
+      entries.splice(entries.begin(), entries, it);
+      return {it->plan, it->perm, true, false, 0, 0.0};
+    }
+    // Miss: scan (in LRU order) for the closest patchable base.
+    const CacheEntry* base = nullptr;
+    std::size_t best_churn = kMaxPatchChurn + 1;
+    for (const auto& e : entries) {
+      const std::size_t c = churn_between(
+          std::span<const rep>(e.key_xs), std::span<const rep>(sorted_xs),
+          kMaxPatchChurn);
+      if (c > 0 && c < best_churn) {
+        best_churn = c;
+        base = &e;
+        if (c == 1) break;
+      }
+    }
+    PlanLookup out;
+    if (base != nullptr) {
+      lsa::common::Stopwatch sw;
+      // Pair the points leaving the base's set with the points entering,
+      // in sorted order, and locate each leaver in the base plan's own
+      // (not necessarily sorted) point order.
+      std::vector<rep> removed, added;
+      removed.reserve(best_churn);
+      added.reserve(best_churn);
+      std::size_t ia = 0, ib = 0;
+      const auto& k = base->key_xs;
+      while (ia < k.size() || ib < sorted_xs.size()) {
+        if (ia < k.size() && ib < sorted_xs.size() &&
+            k[ia] == sorted_xs[ib]) {
+          ++ia;
+          ++ib;
+        } else if (ib >= sorted_xs.size() ||
+                   (ia < k.size() && k[ia] < sorted_xs[ib])) {
+          removed.push_back(k[ia++]);
+        } else {
+          added.push_back(sorted_xs[ib++]);
+        }
+      }
+      const auto base_xs = base->plan->xs();
+      std::vector<typename BatchedDecodePlan<F>::PointReplacement> reps(
+          removed.size());
+      for (std::size_t r = 0; r < removed.size(); ++r) {
+        std::size_t pos = 0;
+        while (base_xs[pos] != removed[r]) ++pos;
+        reps[r] = {pos, added[r]};
+      }
+      out.plan = BatchedDecodePlan<F>::patched_from(
+          *base->plan,
+          std::span<const typename BatchedDecodePlan<F>::PointReplacement>(
+              reps));
+      out.patched = true;
+      out.patched_nodes = out.plan->patched_nodes();
+      out.patch_s = sw.elapsed_sec();
+      const auto pxs = out.plan->xs();
+      out.perm.resize(pxs.size());
+      for (std::size_t j = 0; j < pxs.size(); ++j) {
+        out.perm[j] = static_cast<std::uint32_t>(
+            std::lower_bound(sorted_xs.begin(), sorted_xs.end(), pxs[j]) -
+            sorted_xs.begin());
+      }
+      ++plans_->incremental_patches;
+    } else {
+      out.plan = std::make_shared<BatchedDecodePlan<F>>(
+          std::span<const rep>(sorted_xs),
+          std::span<const rep>(beta_.data(), u_ - t_));
+      ++plans_->full_builds;
+    }
+    entries.push_front(CacheEntry{h, std::move(sorted_xs), out.perm,
+                                  out.plan});
+    if (entries.size() > kMaxCachedPlans) {
+      // Evict the least-recently-used entry rather than clearing: a
+      // churny session keeps its other hot plans instead of re-paying
+      // every setup at once.
+      entries.pop_back();
+      ++plans_->evictions;
+    }
+    return out;
   }
 
   [[nodiscard]] static double plan_setup_seconds(

@@ -31,6 +31,20 @@ struct Params {
   /// survivor set, so repeated rounds pay setup once.
   lsa::coding::DecodeStrategy decode = lsa::coding::DecodeStrategy::kAuto;
 
+  /// Steady-state cohort mode (ACCESS-FL-style, see README "Steady-state
+  /// cohorts"): user devices run offline encoding + mask-share
+  /// distribution ONCE per cohort epoch instead of once per round, and
+  /// every subsequent round is only masked-upload -> fan-in -> cached/
+  /// patched-plan decode. Within an epoch a device reuses one epoch mask
+  /// (derived from (seed, id, epoch)), which the decode cancels exactly —
+  /// aggregates stay bit-identical to per-round mode — at the documented
+  /// privacy trade: the server can difference consecutive masked uploads
+  /// of a stable cohort member. Epochs advance on membership change
+  /// (Session::advance_epoch fans out to the devices), re-triggering the
+  /// offline setup. Server machines need no flag — they already key state
+  /// per round and shares by the wire round field (the epoch, for shares).
+  bool persistent_cohort = false;
+
   /// SIMD kernel dispatch for every field op this round touches. kAuto
   /// uses the best ISA the host supports (field/simd/dispatch.h);
   /// kForceScalar pins the branch-free scalar reference kernels — results

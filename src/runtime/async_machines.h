@@ -65,9 +65,41 @@ class AsyncUserDevice final : public Party {
   /// Finishes a local update born at global round t_i: timestamped mask
   /// sharing (offline) + masked upload. The mask is derived
   /// deterministically from (seed, id, born_round), mirroring App. F.3.1.
+  /// In persistent-cohort mode the mask is instead derived from
+  /// (seed, id, epoch) and its shares are distributed once per epoch under
+  /// wire round = epoch; subsequent updates are masked-upload only.
   void submit_update(std::uint64_t born_round, std::span<const rep> update) {
     lsa::require<lsa::ProtocolError>(update.size() == params_.model_dim,
                                      "async user: wrong update dimension");
+    if (params_.persistent_cohort) {
+      auto seed = lsa::crypto::derive_subseed(
+          lsa::crypto::seed_from_u64(
+              master_seed_ ^ (0xae90c4ull + id_ * 0x9e3779b97f4a7c15ull)),
+          epoch_);
+      lsa::crypto::Prg prg(seed);
+      auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
+      if (!epoch_setup_done_) {
+        enc_.reset_for_overwrite(params_.num_users, codec_.segment_len());
+        codec_.encode_into(std::span<const rep>(mask), prg, enc_, 0, 1,
+                           params_.exec.chunk_reps);
+        ++offline_encodes_;
+        for (std::uint32_t j = 0; j < params_.num_users; ++j) {
+          if (j == id_) {
+            bank_for(epoch_).put(id_, enc_.row(j));
+            continue;
+          }
+          transport_.send_row(MsgType::kEncodedMaskShare, id_, j, epoch_,
+                              enc_.row(j));
+        }
+        epoch_setup_done_ = true;
+      }
+      const auto masked =
+          lsa::field::add<Fp>(update, std::span<const rep>(mask));
+      transport_.send_row(MsgType::kMaskedModel, id_,
+                          static_cast<std::uint32_t>(params_.num_users),
+                          born_round, std::span<const rep>(masked));
+      return;
+    }
     auto seed = lsa::crypto::derive_subseed(
         lsa::crypto::seed_from_u64(master_seed_ ^
                                    (0xa511ull + id_ * 0x9e3779b97f4a7c15ull)),
@@ -78,6 +110,7 @@ class AsyncUserDevice final : public Party {
     enc_.reset_for_overwrite(params_.num_users, codec_.segment_len());
     codec_.encode_into(std::span<const rep>(mask), prg, enc_, 0, 1,
                        params_.exec.chunk_reps);
+    ++offline_encodes_;
     for (std::uint32_t j = 0; j < params_.num_users; ++j) {
       if (j == id_) {
         bank_for(born_round).put(id_, enc_.row(j));
@@ -91,6 +124,18 @@ class AsyncUserDevice final : public Party {
     transport_.send_row(MsgType::kMaskedModel, id_,
                         static_cast<std::uint32_t>(params_.num_users),
                         born_round, std::span<const rep>(masked));
+  }
+
+  /// Persistent-cohort epoch advance (membership change): next
+  /// submit_update re-runs offline encoding + share distribution.
+  void advance_epoch() {
+    ++epoch_;
+    epoch_setup_done_ = false;
+    store_.clear();
+  }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t offline_encodes() const {
+    return offline_encodes_;
   }
 
   void handle(const Message& m) override {
@@ -131,7 +176,10 @@ class AsyncUserDevice final : public Party {
             lsa::require<lsa::ProtocolError>(
                 user < params_.num_users,
                 "async user: manifest user id out of range");
-            const auto it = store_.find(born);
+            // Persistent mode: every manifested update reuses its owner's
+            // epoch mask, so all shares live under the epoch key.
+            const auto it =
+                store_.find(params_.persistent_cohort ? epoch_ : born);
             lsa::require<lsa::ProtocolError>(
                 it != store_.end() && it->second.has(user),
                 "async user: missing timestamped share for manifest entry");
@@ -146,12 +194,15 @@ class AsyncUserDevice final : public Party {
                             static_cast<std::uint32_t>(params_.num_users),
                             round,  // the aggregation round `now`
                             std::span<const rep>(acc));
-        // The manifested shares are consumed.
-        for (std::size_t e = 0; e < payload.size(); e += 3) {
-          const auto it = store_.find(payload[e + 1]);
-          if (it == store_.end()) continue;
-          it->second.present[payload[e]] = 0;
-          if (it->second.count() == 0) store_.erase(it);
+        // The manifested shares are consumed — except in persistent mode,
+        // where epoch shares serve every round until advance_epoch().
+        if (!params_.persistent_cohort) {
+          for (std::size_t e = 0; e < payload.size(); e += 3) {
+            const auto it = store_.find(payload[e + 1]);
+            if (it == store_.end()) continue;
+            it->second.present[payload[e]] = 0;
+            if (it->second.count() == 0) store_.erase(it);
+          }
         }
         break;
       }
@@ -174,10 +225,14 @@ class AsyncUserDevice final : public Party {
   lsa::coding::MaskCodec<Fp> codec_;
   std::uint64_t master_seed_;
   Transport& transport_;
-  /// store_[born_round].rows.row(u) = [~z_u^{(born)}]_this held here.
+  /// store_[born_round].rows.row(u) = [~z_u^{(born)}]_this held here
+  /// (keyed by epoch instead of born round in persistent-cohort mode).
   std::map<std::uint64_t, ShareBank<Fp>> store_;
   lsa::field::FlatMatrix<Fp> enc_;  ///< encode arena, reused per update
   std::optional<std::vector<rep>> last_result_;
+  std::uint64_t epoch_ = 0;          ///< persistent-cohort epoch counter
+  bool epoch_setup_done_ = false;    ///< offline setup done for epoch_
+  std::uint64_t offline_encodes_ = 0;
 };
 
 /// The buffered asynchronous aggregation server.

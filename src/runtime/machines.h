@@ -112,6 +112,31 @@ class UserDevice final : public Party {
   void start_round(std::uint64_t round, std::span<const rep> model) {
     lsa::require<lsa::ProtocolError>(model.size() == params_.model_dim,
                                      "user: wrong model dimension");
+    if (params_.persistent_cohort) {
+      // Steady-state cohort (params.persistent_cohort): one epoch mask,
+      // encoded and distributed once per epoch; every later round of the
+      // epoch is masked upload only. The epoch tag differs from the
+      // per-round tag so the two modes never share mask streams. Reusing
+      // the mask across rounds is what buys the zero-setup round — the
+      // decode cancels it exactly, so aggregates stay bit-identical to
+      // per-round mode (privacy trade documented in README).
+      auto seed = lsa::crypto::derive_subseed(
+          lsa::crypto::seed_from_u64(
+              master_seed_ ^ (0xe90c4ull + id_ * 0x9e3779b97f4a7c15ull)),
+          epoch_);
+      lsa::crypto::Prg prg(seed);
+      auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
+      if (!epoch_setup_done_) {
+        distribute_shares(epoch_, std::span<const rep>(mask), prg);
+        epoch_setup_done_ = true;
+      }
+      const auto masked =
+          lsa::field::add<Fp>(model, std::span<const rep>(mask));
+      transport_.send_row(MsgType::kMaskedModel, id_,
+                          static_cast<std::uint32_t>(params_.num_users),
+                          round, std::span<const rep>(masked));
+      return;
+    }
     if (round >= kShareRetentionRounds) {
       const std::uint64_t horizon = round - kShareRetentionRounds;
       std::erase_if(store_,
@@ -123,25 +148,28 @@ class UserDevice final : public Party {
         round);
     lsa::crypto::Prg prg(seed);
     auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
-    // Encode all N shares into the reused flat arena (row j = [~z]_j),
-    // then ship rows straight off the arena — no per-share heap vectors
-    // and, under a zero-copy transport, no intermediate payload copies.
-    enc_.reset_for_overwrite(params_.num_users, codec_.segment_len());
-    codec_.encode_into(std::span<const rep>(mask), prg, enc_, 0, 1,
-                       params_.exec.chunk_reps);
-    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
-      if (j == id_) {
-        bank_for(round).put(j, enc_.row(j));
-        continue;
-      }
-      transport_.send_row(MsgType::kEncodedMaskShare, id_, j, round,
-                          enc_.row(j));
-    }
+    distribute_shares(round, std::span<const rep>(mask), prg);
     const auto masked =
         lsa::field::add<Fp>(model, std::span<const rep>(mask));
     transport_.send_row(MsgType::kMaskedModel, id_,
                         static_cast<std::uint32_t>(params_.num_users), round,
                         std::span<const rep>(masked));
+  }
+
+  /// Cohort membership changed: forget the old epoch's banked shares and
+  /// re-trigger the offline setup on the next start_round. No-op protocol
+  /// impact outside persistent-cohort mode.
+  void advance_epoch() {
+    ++epoch_;
+    epoch_setup_done_ = false;
+    store_.clear();
+  }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Offline encode + share fan-outs performed: one per round normally,
+  /// one per epoch in persistent-cohort mode (the steady-state invariant
+  /// the session tests and bench gates enforce).
+  [[nodiscard]] std::uint64_t offline_encodes() const {
+    return offline_encodes_;
   }
 
   /// Marks this device Byzantine: it keeps the protocol's message framing
@@ -168,6 +196,33 @@ class UserDevice final : public Party {
   }
 
  private:
+  /// Offline phase: encode the mask's N shares into the reused flat arena
+  /// (row j = [~z]_j) and ship rows straight off the arena — no per-share
+  /// heap vectors and, under a zero-copy transport, no intermediate
+  /// payload copies. Our own row banks under `key`: the round normally,
+  /// the epoch in persistent-cohort mode (receivers bank by the wire
+  /// round field, which carries the same key).
+  void distribute_shares(std::uint64_t key, std::span<const rep> mask,
+                         lsa::crypto::Prg& prg) {
+    enc_.reset_for_overwrite(params_.num_users, codec_.segment_len());
+    codec_.encode_into(mask, prg, enc_, 0, 1, params_.exec.chunk_reps);
+    ++offline_encodes_;
+    for (std::uint32_t j = 0; j < params_.num_users; ++j) {
+      if (j == id_) {
+        bank_for(key).put(j, enc_.row(j));
+        continue;
+      }
+      transport_.send_row(MsgType::kEncodedMaskShare, id_, j, key,
+                          enc_.row(j));
+    }
+  }
+
+  /// Which share bank a survivor request for `round` reads: rounds map to
+  /// the current epoch's bank in persistent-cohort mode.
+  [[nodiscard]] std::uint64_t share_key(std::uint64_t round) const {
+    return params_.persistent_cohort ? epoch_ : round;
+  }
+
   void on_payload(MsgType type, std::uint32_t sender, std::uint64_t round,
                   std::span<const rep> payload) {
     switch (type) {
@@ -186,7 +241,7 @@ class UserDevice final : public Party {
             "user: bad survivor bitmap");
         std::vector<rep> acc(codec_.segment_len(), Fp::zero);
         {
-          const auto it = store_.find(round);
+          const auto it = store_.find(share_key(round));
           std::vector<const rep*> rows;
           rows.reserve(params_.num_users);
           for (std::uint32_t i = 0; i < params_.num_users; ++i) {
@@ -210,8 +265,10 @@ class UserDevice final : public Party {
         transport_.send_row(MsgType::kAggregatedShares, id_,
                             static_cast<std::uint32_t>(params_.num_users),
                             round, std::span<const rep>(acc));
-        // Shares for this round are consumed.
-        store_.erase(round);
+        // Shares for this round are consumed — except in persistent
+        // mode, where the epoch bank serves every round until the
+        // membership changes (advance_epoch clears it).
+        if (!params_.persistent_cohort) store_.erase(round);
         break;
       }
       case MsgType::kAggregateResult:
@@ -233,10 +290,14 @@ class UserDevice final : public Party {
   std::uint64_t master_seed_;
   Transport& transport_;
   bool byzantine_ = false;
-  /// store_[round].rows.row(i) = [~z_i]_round held by this device.
+  /// store_[round].rows.row(i) = [~z_i]_round held by this device (keyed
+  /// by epoch instead of round in persistent-cohort mode).
   std::map<std::uint64_t, ShareBank<Fp>> store_;
   lsa::field::FlatMatrix<Fp> enc_;  ///< encode arena, reused per round
   std::optional<std::vector<rep>> last_result_;
+  std::uint64_t epoch_ = 0;          ///< persistent-cohort epoch counter
+  bool epoch_setup_done_ = false;    ///< offline setup done for epoch_
+  std::uint64_t offline_encodes_ = 0;
 };
 
 /// The aggregation server state machine (one cohort). The multi-session

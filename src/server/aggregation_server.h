@@ -84,13 +84,21 @@ struct SessionStats {
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_dropped = 0;
   /// One-shot decode telemetry accumulated over the session's steps: how
-  /// often the survivor-set plan cache hit, and the setup-vs-stream split.
+  /// often the survivor-set plan cache hit exactly, hit a ≤2-churn neighbor
+  /// (incremental patch), or built from scratch — plus the LRU eviction
+  /// count and the setup-vs-stream split.
   std::uint64_t decode_plan_builds = 0;
   std::uint64_t decode_plan_reuses = 0;
+  std::uint64_t decode_plan_patches = 0;
+  std::uint64_t decode_evictions = 0;
   double decode_setup_s = 0.0;
   double decode_stream_s = 0.0;
   lsa::coding::DecodeStrategy last_decode_used =
       lsa::coding::DecodeStrategy::kAuto;
+  /// Offline encode + share-distribution passes summed over the cohort's
+  /// devices. In persistent-cohort mode a stable cohort shows exactly N
+  /// (one per device per epoch); in per-round mode it grows every round.
+  std::uint64_t offline_encodes = 0;
 };
 
 /// One cohort as seen by the shard driver: queued steps (whole rounds for
@@ -163,11 +171,14 @@ class SessionBase {
   /// Folds one decode's stats into the session telemetry.
   void note_step(const lsa::coding::MaskCodec<Fp>::DecodeStats& st) {
     ++steps_;
-    if (st.plan_reused) {
+    if (st.plan_patched) {
+      ++plan_patches_;
+    } else if (st.plan_reused) {
       ++plan_reuses_;
     } else {
       ++plan_builds_;
     }
+    evictions_ = st.evictions;  // cumulative over the codec's lifetime
     setup_s_ += st.setup_s;
     stream_s_ += st.stream_s;
     last_used_ = st.used;
@@ -183,6 +194,8 @@ class SessionBase {
     out.frames_dropped = r.frames_dropped();
     out.decode_plan_builds = plan_builds_;
     out.decode_plan_reuses = plan_reuses_;
+    out.decode_plan_patches = plan_patches_;
+    out.decode_evictions = evictions_;
     out.decode_setup_s = setup_s_;
     out.decode_stream_s = stream_s_;
     out.last_decode_used = last_used_;
@@ -194,6 +207,8 @@ class SessionBase {
   std::uint64_t steps_ = 0;
   std::uint64_t plan_builds_ = 0;
   std::uint64_t plan_reuses_ = 0;
+  std::uint64_t plan_patches_ = 0;
+  std::uint64_t evictions_ = 0;
   double setup_s_ = 0.0;
   double stream_s_ = 0.0;
   lsa::coding::DecodeStrategy last_used_ = lsa::coding::DecodeStrategy::kAuto;
@@ -250,6 +265,13 @@ class Session final : public SessionBase {
     return *users_.at(i);
   }
   [[nodiscard]] lsa::runtime::AggregationServer& server() { return *server_; }
+
+  /// Persistent-cohort membership change: every device advances its epoch
+  /// and re-runs offline setup on its next round. No-op per device when
+  /// the session is not in persistent mode (the flag gates the fast path).
+  void advance_epoch() {
+    for (auto& u : users_) u->advance_epoch();
+  }
 
   /// One full round, same phase structure and same failure semantics as
   /// runtime::Network::run_round (crash-after-upload users are "delayed,
@@ -320,6 +342,7 @@ class Session final : public SessionBase {
   [[nodiscard]] SessionStats stats() const override {
     SessionStats out;
     fill_common_stats(out, router_);
+    for (const auto& u : users_) out.offline_encodes += u->offline_encodes();
     return out;
   }
 
@@ -437,6 +460,11 @@ class AsyncSession final : public SessionBase {
     return *scheduler_;
   }
 
+  /// Persistent-cohort membership change (see Session::advance_epoch).
+  void advance_epoch() {
+    for (auto& u : users_) u->advance_epoch();
+  }
+
   /// One buffer cycle at aggregation round `now`: the arrivals submit
   /// their (stale) updates, `crash_before_recovery` users go silent, and
   /// the server manifests/aggregates once the buffer is full. Same phase
@@ -526,6 +554,7 @@ class AsyncSession final : public SessionBase {
   [[nodiscard]] SessionStats stats() const override {
     SessionStats out;
     fill_common_stats(out, router_);
+    for (const auto& u : users_) out.offline_encodes += u->offline_encodes();
     return out;
   }
 
@@ -700,6 +729,8 @@ class AggregationServer {
     std::uint64_t frames_delivered = 0;
     std::uint64_t decode_plan_builds = 0;
     std::uint64_t decode_plan_reuses = 0;
+    std::uint64_t decode_plan_patches = 0;
+    std::uint64_t offline_encodes = 0;
     double decode_setup_s = 0.0;
     double decode_stream_s = 0.0;
     std::vector<SessionStats> per_session;  ///< ordered by session id
@@ -716,6 +747,8 @@ class AggregationServer {
       out.frames_delivered += s.frames_delivered;
       out.decode_plan_builds += s.decode_plan_builds;
       out.decode_plan_reuses += s.decode_plan_reuses;
+      out.decode_plan_patches += s.decode_plan_patches;
+      out.offline_encodes += s.offline_encodes;
       out.decode_setup_s += s.decode_setup_s;
       out.decode_stream_s += s.decode_stream_s;
     }

@@ -328,4 +328,60 @@ TEST(MixedServer, OneDriveRunsSyncAndAsyncCohortsDeterministically) {
   }
 }
 
+// ---------------------------------------------------- persistent cohorts
+
+TEST(AsyncSession, PersistentCohortStableCyclesSetUpOncePerArriver) {
+  // 10 buffer cycles with the same four arrivers: each device runs its
+  // offline encode + timestamped share distribution exactly once (epoch
+  // 0), the decode plan is built once, and every cycle's weighted
+  // aggregate is bit-identical to the per-update (non-persistent) session
+  // AND to the plaintext weighted-sum reference.
+  constexpr std::size_t kCycles = 10;
+  const auto base = async_config(/*seed=*/91, /*sched_seed=*/3);
+  auto pcfg = base;
+  pcfg.params.persistent_cohort = true;
+  lsa::server::AsyncSession persistent(pcfg);
+  lsa::server::AsyncSession legacy(base);
+
+  for (std::uint64_t c = 0; c < kCycles; ++c) {
+    const std::uint64_t now = c + 2;
+    const std::vector<Arrival> arrivals{
+        {0, now - 2, random_update(4000 + 10 * c)},
+        {1, now - 1, random_update(4001 + 10 * c)},
+        {2, now, random_update(4002 + 10 * c)},
+        {3, now - 1, random_update(4003 + 10 * c)}};
+    persistent.enqueue_cycle({now, arrivals, {}});
+    persistent.step();
+    legacy.enqueue_cycle({now, arrivals, {}});
+    legacy.step();
+    const auto& got = persistent.outputs().back();
+    EXPECT_EQ(got.weighted_sum, legacy.outputs().back().weighted_sum)
+        << "cycle " << c;
+    EXPECT_EQ(got.weighted_sum,
+              expected_weighted_sum(arrivals, now, base.staleness))
+        << "cycle " << c;
+  }
+
+  const auto st = persistent.stats();
+  EXPECT_EQ(st.offline_encodes, 4u);  // once per arriving device, NOT 40
+  EXPECT_EQ(st.decode_plan_builds, 1u);
+  EXPECT_EQ(st.decode_plan_reuses, kCycles - 1);
+  EXPECT_EQ(legacy.stats().offline_encodes, 4u * kCycles);
+  // Epoch shares are retained, not consumed per manifest.
+  EXPECT_GT(persistent.user(5).stored_shares(), 0u);
+
+  // Membership change: the next arrival of each device re-runs setup once.
+  persistent.advance_epoch();
+  const std::uint64_t now = kCycles + 2;
+  const std::vector<Arrival> arrivals{{0, now, random_update(5000)},
+                                      {1, now, random_update(5001)},
+                                      {2, now, random_update(5002)},
+                                      {3, now, random_update(5003)}};
+  persistent.enqueue_cycle({now, arrivals, {}});
+  persistent.step();
+  EXPECT_EQ(persistent.outputs().back().weighted_sum,
+            expected_weighted_sum(arrivals, now, base.staleness));
+  EXPECT_EQ(persistent.stats().offline_encodes, 8u);
+}
+
 }  // namespace

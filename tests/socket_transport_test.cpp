@@ -432,4 +432,111 @@ TEST(SocketTransport, RejectsBadHandshakes) {
   }
 }
 
+// ------------------------------------------------- persistent cohorts
+
+TEST(SocketTransport, PersistentCohortTenRoundsOverUds) {
+  // A stable 10-round persistent cohort over real sockets: every client
+  // device runs its offline encode + share distribution exactly once
+  // (counter-enforced per device), the hub-side decode builds its plan
+  // exactly once, and every aggregate is bit-identical to the serial
+  // Network reference running the same persistent protocol.
+  lsa::protocol::Params params;
+  params.num_users = 5;
+  params.privacy = 1;
+  params.dropout = 1;
+  params.model_dim = 48;
+  params.persistent_cohort = true;
+  params.validate_and_resolve();
+
+  const std::uint64_t kSeed = 4242;
+  const std::uint64_t kRounds = 10;
+
+  std::vector<std::vector<std::vector<rep>>> models(kRounds);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (std::uint32_t u = 0; u < params.num_users; ++u) {
+      models[r].push_back(model_for(kSeed, u, r, params.model_dim));
+    }
+  }
+
+  const SocketAddr addr = SocketAddr::parse("uds://" + fresh_uds_path(6));
+  auto hub = SocketTransport::listen(addr);
+  RemoteSessionConfig cfg;
+  cfg.params = params;
+  cfg.rounds = kRounds;
+  RemoteSession sess(*hub, /*session_id=*/0, cfg);
+
+  std::vector<std::thread> threads;
+  std::vector<std::atomic<std::uint64_t>> encodes(params.num_users);
+  std::vector<std::atomic<bool>> ok(params.num_users);
+  for (auto& o : ok) o.store(false);
+
+  for (std::uint32_t u = 0; u < params.num_users; ++u) {
+    threads.emplace_back([&, u] {
+      auto t = SocketTransport::connect(
+          addr, 0, u, static_cast<std::uint32_t>(params.num_users));
+      UserDevice dev(u, params, kSeed, *t);
+      std::int64_t result_round = -1;
+      t->set_sink([&](const Inbound& in) {
+        dev.handle_view(in.view);
+        if (in.view.type == MsgType::kAggregateResult) {
+          result_round = static_cast<std::int64_t>(in.view.round);
+        }
+      });
+      for (std::uint64_t r = 0; r < kRounds; ++r) {
+        dev.start_round(r, models[r][u]);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(30);
+        while (result_round < static_cast<std::int64_t>(r)) {
+          t->poll(5);
+          if (result_round >= static_cast<std::int64_t>(r)) break;
+          if (!t->connected() ||
+              std::chrono::steady_clock::now() >= deadline) {
+            return;  // ok stays false
+          }
+        }
+      }
+      encodes[u].store(dev.offline_encodes());
+      ok[u].store(true);
+    });
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!sess.done() && std::chrono::steady_clock::now() < deadline) {
+    hub->poll(20);
+  }
+  EXPECT_TRUE(sess.done());
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  auto all_ok = [&] {
+    for (auto& o : ok) {
+      if (!o.load()) return false;
+    }
+    return true;
+  };
+  while (!all_ok() && std::chrono::steady_clock::now() < drain_deadline) {
+    hub->poll(10);
+  }
+  for (auto& th : threads) th.join();
+
+  for (std::uint32_t u = 0; u < params.num_users; ++u) {
+    ASSERT_TRUE(ok[u].load()) << "client " << u << " failed";
+    // THE steady-state invariant: one offline setup per device for the
+    // whole 10-round run, not one per round.
+    EXPECT_EQ(encodes[u].load(), 1u) << "client " << u;
+  }
+  // Zero plan rebuilds after round 1 on the hub side.
+  const auto st = sess.machine().codec().last_decode_stats();
+  EXPECT_EQ(st.full_builds, 1u);
+  EXPECT_EQ(st.incremental_patches, 0u);
+  EXPECT_TRUE(st.plan_reused);
+
+  ASSERT_EQ(sess.aggregates().size(), kRounds);
+  Network net(params, kSeed);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(net.run_round(r, models[r], {}), sess.aggregates()[r])
+        << "round " << r;
+  }
+}
+
 }  // namespace

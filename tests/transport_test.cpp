@@ -599,4 +599,111 @@ TEST(AggregationServer, MultiRoundMultiSessionWithRejoins) {
   }
 }
 
+// ---------------------------------------------------- persistent cohorts
+
+/// Elementwise Fp32 sum of all models — the ground-truth aggregate when
+/// every user uploads (crash-after-upload users are delayed, not dropped).
+std::vector<rep> model_sum(const std::vector<std::vector<rep>>& models) {
+  std::vector<rep> acc(models[0].size(), Fp32::zero);
+  for (const auto& m : models) {
+    lsa::field::add_inplace<Fp32>(std::span<rep>(acc),
+                                  std::span<const rep>(m));
+  }
+  return acc;
+}
+
+TEST(Session, PersistentCohortTenStableRoundsSetUpOnce) {
+  // A stable 10-round persistent cohort: exactly one offline encode +
+  // share distribution per user, one plan build, nine exact-plan reuses —
+  // and every aggregate bit-identical to the per-round (non-persistent)
+  // session over the same models.
+  constexpr std::size_t kN = 7, kRounds = 10;
+  auto p = session_params(kN, 2, 5, 33);
+  auto pp = p;
+  pp.persistent_cohort = true;
+  lsa::server::Session persistent(
+      lsa::server::SessionConfig{.params = pp, .seed = 9});
+  lsa::server::Session legacy(
+      lsa::server::SessionConfig{.params = p, .seed = 9});
+
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    const auto models = random_models(kN, 33, 1000 + r);
+    const auto got = persistent.run_round(r, models, {});
+    EXPECT_EQ(got, legacy.run_round(r, models, {})) << "round " << r;
+    EXPECT_EQ(got, model_sum(models)) << "round " << r;
+  }
+
+  const auto st = persistent.stats();
+  EXPECT_EQ(st.offline_encodes, kN);  // once per user, NOT per round
+  EXPECT_EQ(st.decode_plan_builds, 1u);
+  EXPECT_EQ(st.decode_plan_reuses, kRounds - 1);
+  EXPECT_EQ(st.decode_plan_patches, 0u);
+  // The per-round session paid the setup every round.
+  EXPECT_EQ(legacy.stats().offline_encodes, kN * kRounds);
+}
+
+TEST(Session, PersistentCohortEpochAdvanceRetriggersSetup) {
+  constexpr std::size_t kN = 6, kD = 16;
+  auto p = session_params(kN, 1, 4, kD);
+  p.persistent_cohort = true;
+  lsa::server::Session session(
+      lsa::server::SessionConfig{.params = p, .seed = 4});
+
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    const auto models = random_models(kN, kD, 30 + r);
+    EXPECT_EQ(session.run_round(r, models, {}), model_sum(models));
+  }
+  EXPECT_EQ(session.stats().offline_encodes, kN);
+  EXPECT_EQ(session.user(0).epoch(), 0u);
+
+  // Membership change: epoch advances, devices re-run offline setup once.
+  session.advance_epoch();
+  EXPECT_EQ(session.user(0).epoch(), 1u);
+  for (std::uint64_t r = 3; r < 6; ++r) {
+    const auto models = random_models(kN, kD, 30 + r);
+    EXPECT_EQ(session.run_round(r, models, {}), model_sum(models));
+  }
+  const auto st = session.stats();
+  EXPECT_EQ(st.offline_encodes, 2 * kN);  // one setup per epoch per user
+  EXPECT_EQ(st.decode_plan_builds, 1u);   // survivor set never changed
+}
+
+TEST(Session, PersistentCohortChurnSoakHundredRounds) {
+  // 100 rounds with a randomized crash-after-upload pattern: survivor-set
+  // churn exercises exact reuse, incremental patching AND full rebuilds.
+  // Every aggregate must equal the ground-truth model sum (delayed, not
+  // dropped), the offline setup must never re-run, and the plan counters
+  // must account for every round exactly.
+  constexpr std::size_t kN = 10, kU = 7, kD = 24, kRounds = 100;
+  auto p = session_params(kN, 2, kU, kD);
+  p.persistent_cohort = true;
+  lsa::server::Session session(
+      lsa::server::SessionConfig{.params = p, .seed = 77});
+  lsa::common::Xoshiro256ss rng(555);
+
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (std::size_t u = 0; u < kN; ++u) session.router().revive(u);
+    // 0-3 distinct users crash after uploading (D = N - U = 3).
+    std::vector<std::size_t> crash;
+    const std::size_t k = rng.next_u64() % 4;
+    while (crash.size() < k) {
+      const std::size_t c = rng.next_u64() % kN;
+      if (std::find(crash.begin(), crash.end(), c) == crash.end()) {
+        crash.push_back(c);
+      }
+    }
+    const auto models = random_models(kN, kD, 9000 + r);
+    ASSERT_EQ(session.run_round(r, models, crash), model_sum(models))
+        << "round " << r;
+  }
+
+  const auto st = session.stats();
+  EXPECT_EQ(st.offline_encodes, kN);  // setup never re-ran
+  EXPECT_EQ(st.decode_plan_builds + st.decode_plan_patches +
+                st.decode_plan_reuses,
+            kRounds);
+  EXPECT_GE(st.decode_plan_patches, 1u);  // ±1/±2 churn occurred
+  EXPECT_GE(st.decode_plan_reuses, 1u);
+}
+
 }  // namespace
