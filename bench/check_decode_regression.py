@@ -38,6 +38,8 @@ def main() -> int:
     # decodes of the same survivor set (builds track epochs, not rounds).
     gate.require_min("plan_maintenance", "min_patch_vs_rebuild_speedup",
                      tol["min_patch_vs_rebuild_speedup"])
+    gate.require_min("plan_maintenance", "min_patch8_vs_rebuild_speedup",
+                     tol["min_patch8_vs_rebuild_speedup"])
     gate.require_max("plan_maintenance", "steady_state_full_builds",
                      tol["max_steady_state_full_builds"])
 

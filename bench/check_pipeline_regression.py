@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_pipeline.json (bench_pipeline --smoke).
+
+Asserts the pipelined (Params::pipeline == 2) drive still overlaps the
+offline stage with the previous round's online stage on the latency-bound
+shape: a rounds/s floor vs the depth-1 serial reference, an overlap-ratio
+floor (offline wall time actually hidden), and the bit-identity flag the
+bench hard-checks before writing the report. Tolerances live in
+bench/pipeline_tolerance.json and are loose relative to the measured
+numbers (CI machines are noisy); they catch the pipeline collapsing back
+to serial, not single-digit drift.
+
+Usage: check_pipeline_regression.py BENCH_pipeline.json pipeline_tolerance.json
+"""
+import sys
+
+from check_common import Gate
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    gate = Gate(sys.argv[1], sys.argv[2])
+    tol = gate.tolerance
+
+    gate.require_min("pipeline_overlap", "depth2_vs_depth1_speedup",
+                     tol["min_depth2_vs_depth1_speedup"])
+    gate.require_min("pipeline_overlap", "overlap_ratio",
+                     tol["min_overlap_ratio"])
+    gate.require_min("pipeline_overlap", "bit_identical",
+                     tol["min_bit_identical"])
+    gate.require_min("pipeline_compute_only", "bit_identical",
+                     tol["min_bit_identical"])
+    return gate.finish("pipelined-rounds perf")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -248,13 +248,17 @@ class MaskCodec {
 
   /// Patch-vs-rebuild crossover: a requested survivor set differing from a
   /// cached plan's by at most this many points is patched
-  /// (BatchedDecodePlan::patched_from) instead of rebuilt. The measured
-  /// crossover (bench/ablation_decode_complexity, plan-maintenance part)
-  /// puts the patch ahead of a full rebuild at EVERY U for churn <= 2 —
-  /// the margin grows with U (>= 3x at U >= 512, floored in
-  /// bench/decode_tolerance.json) — so kAuto maintenance pins the bound at
-  /// the churn the one-point identities patch cheaply.
-  static constexpr std::size_t kMaxPatchChurn = 2;
+  /// (BatchedDecodePlan::patched_from) instead of rebuilt. Patch cost is
+  /// ~linear in churn while a rebuild is flat, so the measured
+  /// patch-vs-rebuild speedup (bench/ablation_decode_complexity,
+  /// plan-maintenance part) tracks ~20/churn uniformly across
+  /// U in [64, 1024]: ~20x at churn 1, ~10x at 2, ~5.5x at 4, ~2.7-3x at
+  /// 8, ~1.9x at 12, ~1.45x at 16, break-even near churn ~20. The bound
+  /// sits at 8 — the largest churn that keeps a comfortable >= 2.7x
+  /// margin at every U (floored in bench/decode_tolerance.json); beyond
+  /// it the shrinking win stops covering cache-pollution risk from
+  /// heavily-diverged bases.
+  static constexpr std::size_t kMaxPatchChurn = 8;
 
   /// One-shot aggregate decode over share *row views*: share_owners[j] is
   /// the 0-based user id whose aggregated share rows[j] (seg_len reps) is

@@ -18,6 +18,7 @@
 // copy exactly once — straight into their ShareBank arena row.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -73,7 +74,16 @@ struct ShareBank {
     return c;
   }
 
-  /// Find-or-create the bank for `key` in a per-round store.
+  /// Re-dimensions the bank for reuse: the row arena is resized without
+  /// zeroing (put() overwrites whole rows) and the presence bitmap clears.
+  void reset(std::size_t n_rows, std::size_t cols) {
+    rows.reset_for_overwrite(n_rows, cols);
+    present.assign(n_rows, 0);
+  }
+
+  /// Find-or-create the bank for `key` in a map-keyed store (the async
+  /// machines bank by born-round, which is unbounded — they keep the map;
+  /// the sync machines use the parity BankRing below).
   static ShareBank& get_or_create(std::map<std::uint64_t, ShareBank>& store,
                                   std::uint64_t key, std::size_t n_rows,
                                   std::size_t cols) {
@@ -83,6 +93,77 @@ struct ShareBank {
     }
     return it->second;
   }
+};
+
+/// Two-slot, parity-indexed ring of ShareBanks — the double-buffered
+/// per-round share store behind pipelined round execution
+/// (protocol::Params::pipeline == 2, README "Pipelined rounds"). Slot
+/// `key % 2` holds the bank for `key`; keying a new round onto a slot
+/// retires the slot's previous round (the old map-based store purged at
+/// the same 2-round horizon). The ownership rule that makes concurrent
+/// stages race-free: `prepare()` (the only operation that re-keys a slot
+/// and touches its allocations) runs serially BEFORE a stage pair
+/// launches, so everything inside a concurrent wave — banking arriving
+/// rows, reading another round's slot, dropping a consumed round of the
+/// other parity — only reads slot keys and writes disjoint rows.
+template <class F>
+class BankRing {
+ public:
+  static constexpr std::uint64_t kUnkeyed = ~std::uint64_t{0};
+  /// Rounds simultaneously representable; equals the pipeline-depth cap.
+  static constexpr std::uint64_t kDepth = 2;
+
+  /// Points the parity slot at `key`, clearing its presence bitmap (the
+  /// row arena is recycled). Idempotent when the slot is already keyed to
+  /// `key` — a no-op read, which is what every mid-wave caller hits.
+  ShareBank<F>& prepare(std::uint64_t key, std::size_t n_rows,
+                        std::size_t cols) {
+    Slot& s = slots_[key % kDepth];
+    if (s.key != key) {
+      s.key = key;
+      s.bank.reset(n_rows, cols);
+    }
+    return s.bank;
+  }
+
+  /// The bank for `key`, or nullptr once it was dropped or its slot was
+  /// re-keyed by a newer round of the same parity.
+  [[nodiscard]] ShareBank<F>* find(std::uint64_t key) {
+    Slot& s = slots_[key % kDepth];
+    return s.key == key ? &s.bank : nullptr;
+  }
+  [[nodiscard]] const ShareBank<F>* find(std::uint64_t key) const {
+    const Slot& s = slots_[key % kDepth];
+    return s.key == key ? &s.bank : nullptr;
+  }
+
+  /// Marks `key` consumed; its slot's allocations stay for reuse. Touches
+  /// only `key`'s parity slot, so it may run concurrently with accesses to
+  /// the other slot.
+  void drop(std::uint64_t key) {
+    Slot& s = slots_[key % kDepth];
+    if (s.key == key) s.key = kUnkeyed;
+  }
+
+  void clear() {
+    for (auto& s : slots_) s.key = kUnkeyed;
+  }
+
+  /// Rows present across live (still-keyed) slots.
+  [[nodiscard]] std::size_t live_count() const {
+    std::size_t c = 0;
+    for (const auto& s : slots_) {
+      if (s.key != kUnkeyed) c += s.bank.count();
+    }
+    return c;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kUnkeyed;
+    ShareBank<F> bank;
+  };
+  std::array<Slot, kDepth> slots_;
 };
 
 /// One edge device running LightSecAgg.
@@ -102,16 +183,40 @@ class UserDevice final : public Party {
 
   [[nodiscard]] std::uint32_t id() const { return id_; }
 
-  /// Phase 1 + 2: generate and share the encoded mask, upload the masked
-  /// model. (In the real system these are pipelined with training; here the
-  /// transport's FIFO order preserves the phase structure.)
-  /// Shares older than this many rounds are purged at round start — a user
-  /// that crashed mid-recovery must not hoard stale shares forever.
-  static constexpr std::uint64_t kShareRetentionRounds = 2;
+  /// Rounds simultaneously representable in the parity-ring share store —
+  /// shares two rounds back are retired when their ring slot re-keys, so a
+  /// user that crashed mid-recovery never hoards stale shares. Equals
+  /// BankRing::kDepth and caps Params::pipeline.
+  static constexpr std::uint64_t kShareRetentionRounds = BankRing<Fp>::kDepth;
 
+  /// Serial pre-stage hook for the pipelined driver: keys the share-store
+  /// slot for `round` (the epoch's slot in persistent-cohort mode),
+  /// retiring the slot's previous round. Idempotent — once keyed, the
+  /// concurrent offline/online stages of a wave only read slot keys and
+  /// write disjoint bank rows (see BankRing), so the driver calls this for
+  /// round r+1 BEFORE launching offline(r+1) alongside online(r).
+  void prepare_round(std::uint64_t round) {
+    store_.prepare(share_key(round), params_.num_users,
+                   codec_.segment_len());
+  }
+
+  /// Phase 1 + 2: generate and share the encoded mask, upload the masked
+  /// model. One whole serial round-start — the depth-1 reference path. The
+  /// pipelined server drives the two halves (start_round_offline /
+  /// upload_masked) as separate stages instead.
   void start_round(std::uint64_t round, std::span<const rep> model) {
-    lsa::require<lsa::ProtocolError>(model.size() == params_.model_dim,
-                                     "user: wrong model dimension");
+    start_round_offline(round);
+    upload_masked(round, model);
+  }
+
+  /// OfflineStage: everything model-independent (paper §6, Fig. 5 —
+  /// pipelinable with training and, here, with the previous round's
+  /// fan-in/decode). Generates the round mask, encodes and distributes its
+  /// shares, and stashes the mask in the round's parity slot for the
+  /// matching upload_masked(). Sends only — never pumps — so it can run
+  /// while the previous round's online stage drains mailboxes.
+  void start_round_offline(std::uint64_t round) {
+    prepare_round(round);
     if (params_.persistent_cohort) {
       // Steady-state cohort (params.persistent_cohort): one epoch mask,
       // encoded and distributed once per epoch; every later round of the
@@ -125,32 +230,37 @@ class UserDevice final : public Party {
               master_seed_ ^ (0xe90c4ull + id_ * 0x9e3779b97f4a7c15ull)),
           epoch_);
       lsa::crypto::Prg prg(seed);
-      auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
+      auto& mask = stash_mask(round);
+      mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
       if (!epoch_setup_done_) {
         distribute_shares(epoch_, std::span<const rep>(mask), prg);
         epoch_setup_done_ = true;
       }
-      const auto masked =
-          lsa::field::add<Fp>(model, std::span<const rep>(mask));
-      transport_.send_row(MsgType::kMaskedModel, id_,
-                          static_cast<std::uint32_t>(params_.num_users),
-                          round, std::span<const rep>(masked));
       return;
-    }
-    if (round >= kShareRetentionRounds) {
-      const std::uint64_t horizon = round - kShareRetentionRounds;
-      std::erase_if(store_,
-                    [&](const auto& kv) { return kv.first <= horizon; });
     }
     auto seed = lsa::crypto::derive_subseed(
         lsa::crypto::seed_from_u64(master_seed_ ^
                                    (0xde51ceull + id_ * 0x9e3779b97f4a7c15ull)),
         round);
     lsa::crypto::Prg prg(seed);
-    auto mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
+    auto& mask = stash_mask(round);
+    mask = lsa::field::uniform_vector<Fp>(params_.model_dim, prg);
     distribute_shares(round, std::span<const rep>(mask), prg);
-    const auto masked =
-        lsa::field::add<Fp>(model, std::span<const rep>(mask));
+  }
+
+  /// OnlineStage entry: masks the (model-dependent) update with the mask
+  /// stashed by start_round_offline(round) and uploads it. The stash lives
+  /// in the round's parity slot, so rounds r and r+1 upload/prepare
+  /// concurrently without touching each other's mask.
+  void upload_masked(std::uint64_t round, std::span<const rep> model) {
+    lsa::require<lsa::ProtocolError>(model.size() == params_.model_dim,
+                                     "user: wrong model dimension");
+    const auto slot = round % kShareRetentionRounds;
+    lsa::require<lsa::ProtocolError>(
+        pending_mask_round_[slot] == round,
+        "user: masked upload without a pending offline mask for this round");
+    const auto masked = lsa::field::add<Fp>(
+        model, std::span<const rep>(pending_mask_[slot]));
     transport_.send_row(MsgType::kMaskedModel, id_,
                         static_cast<std::uint32_t>(params_.num_users), round,
                         std::span<const rep>(masked));
@@ -163,6 +273,7 @@ class UserDevice final : public Party {
     ++epoch_;
     epoch_setup_done_ = false;
     store_.clear();
+    pending_mask_round_.fill(BankRing<Fp>::kUnkeyed);
   }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   /// Offline encode + share fan-outs performed: one per round normally,
@@ -190,9 +301,7 @@ class UserDevice final : public Party {
   }
   /// Number of stored (owner, round) shares across all retained rounds.
   [[nodiscard]] std::size_t stored_shares() const {
-    std::size_t c = 0;
-    for (const auto& [round, bank] : store_) c += bank.count();
-    return c;
+    return store_.live_count();
   }
 
  private:
@@ -241,15 +350,15 @@ class UserDevice final : public Party {
             "user: bad survivor bitmap");
         std::vector<rep> acc(codec_.segment_len(), Fp::zero);
         {
-          const auto it = store_.find(share_key(round));
+          const auto* bank = store_.find(share_key(round));
           std::vector<const rep*> rows;
           rows.reserve(params_.num_users);
           for (std::uint32_t i = 0; i < params_.num_users; ++i) {
             if (payload[i] == 0) continue;
             lsa::require<lsa::ProtocolError>(
-                it != store_.end() && it->second.has(i),
+                bank != nullptr && bank->has(i),
                 "user: missing share for survivor");
-            rows.push_back(it->second.rows.row_ptr(i));
+            rows.push_back(bank->rows.row_ptr(i));
           }
           lsa::field::add_accumulate_blocked<Fp>(
               std::span<rep>(acc), std::span<const rep* const>(rows),
@@ -267,8 +376,10 @@ class UserDevice final : public Party {
                             round, std::span<const rep>(acc));
         // Shares for this round are consumed — except in persistent
         // mode, where the epoch bank serves every round until the
-        // membership changes (advance_epoch clears it).
-        if (!params_.persistent_cohort) store_.erase(round);
+        // membership changes (advance_epoch clears it). drop() touches
+        // only this round's parity slot, so the next round's offline
+        // stage may be banking into the other slot concurrently.
+        if (!params_.persistent_cohort) store_.drop(round);
         break;
       }
       case MsgType::kAggregateResult:
@@ -279,9 +390,20 @@ class UserDevice final : public Party {
     }
   }
 
+  /// The arrival-side bank for a wire `round` tag. prepare() is idempotent:
+  /// in serial drives it lazily keys the slot on first touch; under the
+  /// pipelined driver the slot was pre-keyed (prepare_round) so this is a
+  /// read-only lookup even while stages overlap.
   ShareBank<Fp>& bank_for(std::uint64_t round) {
-    return ShareBank<Fp>::get_or_create(store_, round, params_.num_users,
-                                        codec_.segment_len());
+    return store_.prepare(round, params_.num_users, codec_.segment_len());
+  }
+
+  /// Claims the parity mask stash for `round` (overwriting the round two
+  /// back, whose upload has long happened).
+  std::vector<rep>& stash_mask(std::uint64_t round) {
+    const auto slot = round % kShareRetentionRounds;
+    pending_mask_round_[slot] = round;
+    return pending_mask_[slot];
   }
 
   std::uint32_t id_;
@@ -290,10 +412,16 @@ class UserDevice final : public Party {
   std::uint64_t master_seed_;
   Transport& transport_;
   bool byzantine_ = false;
-  /// store_[round].rows.row(i) = [~z_i]_round held by this device (keyed
-  /// by epoch instead of round in persistent-cohort mode).
-  std::map<std::uint64_t, ShareBank<Fp>> store_;
+  /// store_.find(key)->rows.row(i) = [~z_i]_key held by this device (keyed
+  /// by epoch instead of round in persistent-cohort mode). Parity ring:
+  /// two rounds in flight max, older slots retire on re-key.
+  BankRing<Fp> store_;
   lsa::field::FlatMatrix<Fp> enc_;  ///< encode arena, reused per round
+  /// Mask generated by the offline stage, parity-slotted per round,
+  /// consumed by the matching upload_masked.
+  std::array<std::vector<rep>, kShareRetentionRounds> pending_mask_;
+  std::array<std::uint64_t, kShareRetentionRounds> pending_mask_round_{
+      BankRing<Fp>::kUnkeyed, BankRing<Fp>::kUnkeyed};
   std::optional<std::vector<rep>> last_result_;
   std::uint64_t epoch_ = 0;          ///< persistent-cohort epoch counter
   bool epoch_setup_done_ = false;    ///< offline setup done for epoch_
@@ -329,14 +457,14 @@ class AggregationServer final : public Party {
   /// Ends the upload phase: U1 = everyone whose masked model arrived.
   /// Broadcasts the survivor set so users return aggregated shares.
   void begin_recovery(std::uint64_t round) {
-    const auto it = masked_.find(round);
+    const auto* models = masked_.find(round);
     lsa::require<lsa::ProtocolError>(
-        it != masked_.end() &&
-            it->second.count() >= params_.target_survivors,
+        models != nullptr &&
+            models->count() >= params_.target_survivors,
         "server: fewer than U masked models arrived");
     std::vector<rep> bitmap(params_.num_users, Fp::zero);
     for (std::uint32_t i = 0; i < params_.num_users; ++i) {
-      if (it->second.has(i)) bitmap[i] = Fp::one;
+      if (models->has(i)) bitmap[i] = Fp::one;
     }
     transport_.broadcast_row(MsgType::kSurvivorSet,
                              static_cast<std::uint32_t>(params_.num_users),
@@ -347,13 +475,13 @@ class AggregationServer final : public Party {
   /// Completes the round once at least U aggregated shares arrived:
   /// one-shot decode, subtract, broadcast the aggregate. Returns it.
   [[nodiscard]] std::vector<rep> finish_round(std::uint64_t round) {
-    const auto sit = agg_shares_.find(round);
+    const auto* sbank = agg_shares_.find(round);
     lsa::require<lsa::ProtocolError>(
-        sit != agg_shares_.end() &&
-            sit->second.count() >= params_.target_survivors,
+        sbank != nullptr &&
+            sbank->count() >= params_.target_survivors,
         "server: fewer than U aggregated-share responses — "
         "unrecoverable round");
-    const auto& shares = sit->second;
+    const auto& shares = *sbank;
     std::vector<std::size_t> owners;
     std::vector<const rep*> rows;
     for (std::uint32_t user = 0; user < params_.num_users; ++user) {
@@ -385,10 +513,14 @@ class AggregationServer final : public Party {
 
     std::vector<rep> result(params_.model_dim, Fp::zero);
     {
-      const auto& models = masked_.at(round);
+      const auto* models = masked_.find(round);
+      lsa::require<lsa::ProtocolError>(models != nullptr,
+                                       "server: round state already retired");
       std::vector<const rep*> model_rows;
       for (std::uint32_t user = 0; user < params_.num_users; ++user) {
-        if (models.has(user)) model_rows.push_back(models.rows.row_ptr(user));
+        if (models->has(user)) {
+          model_rows.push_back(models->rows.row_ptr(user));
+        }
       }
       lsa::field::add_accumulate_blocked<Fp>(
           std::span<rep>(result), std::span<const rep* const>(model_rows),
@@ -401,18 +533,18 @@ class AggregationServer final : public Party {
                              static_cast<std::uint32_t>(params_.num_users),
                              round, std::span<const rep>(result),
                              static_cast<std::uint32_t>(params_.num_users));
-    masked_.erase(round);
-    agg_shares_.erase(round);
+    masked_.drop(round);
+    agg_shares_.drop(round);
     return result;
   }
 
   /// Users whose masked model arrived for `round` (the de-facto U1).
   [[nodiscard]] std::vector<std::uint32_t> arrived(std::uint64_t round) const {
     std::vector<std::uint32_t> out;
-    const auto it = masked_.find(round);
-    if (it == masked_.end()) return out;
+    const auto* models = masked_.find(round);
+    if (models == nullptr) return out;
     for (std::uint32_t i = 0; i < params_.num_users; ++i) {
-      if (it->second.has(i)) out.push_back(i);
+      if (models->has(i)) out.push_back(i);
     }
     return out;
   }
@@ -451,10 +583,9 @@ class AggregationServer final : public Party {
     }
   }
 
-  ShareBank<Fp>& bank_for(std::map<std::uint64_t, ShareBank<Fp>>& store,
-                          std::uint64_t round, std::size_t cols) {
-    return ShareBank<Fp>::get_or_create(store, round, params_.num_users,
-                                        cols);
+  ShareBank<Fp>& bank_for(BankRing<Fp>& store, std::uint64_t round,
+                          std::size_t cols) {
+    return store.prepare(round, params_.num_users, cols);
   }
 
   lsa::protocol::Params params_;
@@ -462,10 +593,14 @@ class AggregationServer final : public Party {
   Transport& transport_;
   bool byzantine_tolerant_ = false;
   std::vector<std::size_t> last_corrupted_;
-  /// masked_[round].rows.row(i) = user i's masked model for that round.
-  std::map<std::uint64_t, ShareBank<Fp>> masked_;
-  /// agg_shares_[round].rows.row(j) = responder j's aggregated share.
-  std::map<std::uint64_t, ShareBank<Fp>> agg_shares_;
+  /// masked_.find(r)->rows.row(i) = user i's masked model for round r.
+  /// Parity ring: uploads for round r+1 may bank into the other slot while
+  /// round r is still mid-recovery (two rounds in flight under pipelining;
+  /// the server machine itself is only ever touched by one online stage
+  /// and its own mailbox lane, both serial per session).
+  BankRing<Fp> masked_;
+  /// agg_shares_.find(r)->rows.row(j) = responder j's aggregated share.
+  BankRing<Fp> agg_shares_;
 };
 
 /// Owns a router, N user devices and the server; pumps messages to

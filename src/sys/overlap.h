@@ -1,15 +1,21 @@
 // Overlapped execution of local training and the offline mask phase (§6,
 // Fig. 5). The two workloads are independent — mask generation does not read
-// the model — so the paper runs them in separate processes. Here they run in
-// separate threads (no Python GIL to dodge in C++); run_overlapped returns
-// real measured wall times for both schedules.
+// the model — so the paper runs them in separate processes. Here the offline
+// task is scheduled as a stage on the session's ExecPolicy pool (the same
+// pool the round's data-parallel phases fan out on) while training runs on
+// the calling thread; run_overlapped returns real measured wall times for
+// both schedules. The caller's SIMD dispatch policy is captured and
+// re-established inside the offline stage, exactly like ExecPolicy::run
+// does for its pool lanes — a caller that pinned forced-scalar dispatch
+// keeps it across the overlap.
 #pragma once
 
 #include <functional>
-#include <future>
 #include <thread>
 
 #include "common/timer.h"
+#include "field/simd/simd_policy.h"
+#include "sys/exec_policy.h"
 
 namespace lsa::sys {
 
@@ -28,22 +34,40 @@ struct OverlapTiming {
 };
 
 /// Runs `training` and `offline` once each, concurrently, measuring both the
-/// individual task times and the combined wall time.
+/// individual task times and the combined wall time. With a pooled policy
+/// the offline stage is submitted to `pol.pool` (one worker slot, no
+/// detached thread); a poolless policy falls back to one dedicated joined
+/// thread so the overlap survives serial configurations. Either way the
+/// offline stage re-establishes the caller's SIMD policy.
 inline OverlapTiming run_overlapped(const std::function<void()>& training,
-                                    const std::function<void()>& offline) {
+                                    const std::function<void()>& offline,
+                                    const ExecPolicy& pol = {}) {
   OverlapTiming t;
-  lsa::common::Stopwatch total;
-  auto fut = std::async(std::launch::async, [&] {
+  const lsa::field::simd::SimdPolicy sp = lsa::field::simd::thread_policy();
+  auto offline_stage = [&t, &offline, sp] {
+    const lsa::field::simd::ScopedSimdPolicy guard(sp);
     lsa::common::Stopwatch sw;
     offline();
     t.offline_s = sw.elapsed_sec();
-  });
-  {
-    lsa::common::Stopwatch sw;
-    training();
-    t.training_s = sw.elapsed_sec();
+  };
+  lsa::common::Stopwatch total;
+  if (pol.pool != nullptr) {
+    auto fut = pol.pool->submit(offline_stage);
+    {
+      lsa::common::Stopwatch sw;
+      training();
+      t.training_s = sw.elapsed_sec();
+    }
+    fut.get();
+  } else {
+    std::thread offline_thread(offline_stage);
+    {
+      lsa::common::Stopwatch sw;
+      training();
+      t.training_s = sw.elapsed_sec();
+    }
+    offline_thread.join();
   }
-  fut.get();
   t.overlapped_total_s = total.elapsed_sec();
   return t;
 }

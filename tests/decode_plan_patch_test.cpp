@@ -1,10 +1,12 @@
 // Incremental decode-plan maintenance must be invisible in the output:
-// BatchedDecodePlan::patched_from applied to ±1/±2 survivor churn has to
-// land on the SAME BITS as a from-scratch plan over the same points, for
-// both the barycentric GEMM and the batched-NTT streaming path — swept
-// exhaustively at small U and randomized at U = 257 (carry nodes). The
-// MaskCodec layer on top must route small-churn survivor sets through the
-// patch, keep its plan cache LRU-bounded, and keep the telemetry counters
+// BatchedDecodePlan::patched_from applied to survivor churn up to the
+// codec bound (MaskCodec::kMaxPatchChurn = 8) has to land on the SAME
+// BITS as a from-scratch plan over the same points, for both the
+// barycentric GEMM and the batched-NTT streaming path — swept
+// exhaustively at churn 1/2 at small U, randomized at U = 257 (carry
+// nodes) and at churn 3..8. The MaskCodec layer on top must route churn
+// <= 8 survivor sets through the patch, rebuild above the bound, keep
+// its plan cache LRU-bounded, and keep the telemetry counters
 // (full_builds / incremental_patches / evictions) honest.
 #include <gtest/gtest.h>
 
@@ -157,6 +159,32 @@ TEST(DecodePlanPatch, RandomizedDoubleChurnU257) {
   }
 }
 
+TEST(DecodePlanPatch, RandomizedChurnUpToBoundU64) {
+  // Churn 3..8 (kMaxPatchChurn) at U = 64: random distinct positions,
+  // patched plan must stay bit-identical to a fresh build on both paths.
+  PatchFixture<Goldilocks> fx(64, 16, 8, /*seed=*/64);
+  lsa::common::Xoshiro256ss rng(4242);
+  std::size_t next_val = 0;
+  for (std::size_t churn = 3;
+       churn <= lsa::coding::MaskCodec<Goldilocks>::kMaxPatchChurn; ++churn) {
+    for (std::size_t trial = 0; trial < 20; ++trial) {
+      std::vector<std::size_t> pos;
+      while (pos.size() < churn) {
+        const std::size_t p = rng.next_u64() % 64;
+        if (std::find(pos.begin(), pos.end(), p) == pos.end()) {
+          pos.push_back(p);
+        }
+      }
+      std::vector<Plan<Goldilocks>::PointReplacement> reps;
+      reps.reserve(churn);
+      for (const std::size_t p : pos) {
+        reps.push_back({p, fx.fresh_value(next_val++)});
+      }
+      expect_patch_bit_identical(fx, reps);
+    }
+  }
+}
+
 TEST(DecodePlanPatch, NonNttFieldPatchesBarycentric) {
   // Fp32 has no NTT plane; the patched plan must still match fresh on the
   // GEMM path (patched_from only patches what the base built).
@@ -280,19 +308,79 @@ TEST(MaskCodecPatch, SmallChurnRoutesThroughPatch) {
                 owners2, std::span<const GRep* const>(data.rows), {},
                 DecodeStrategy::kLagrange));
 
-  // Churn 3 exceeds kMaxPatchChurn: full rebuild.
+  // Churn 3 is still within kMaxPatchChurn (= 8): patched too.
   std::vector<std::size_t> owners3(kU);
   std::iota(owners3.begin(), owners3.end(), 0);
   owners3[0] = 30;
   owners3[1] = 31;
   owners3[2] = 32;
-  (void)codec.decode_aggregate_rows(owners3,
-                                    std::span<const GRep* const>(data.rows),
-                                    {}, DecodeStrategy::kBatchedNtt);
+  const auto patched3 = codec.decode_aggregate_rows(
+      owners3, std::span<const GRep* const>(data.rows), {},
+      DecodeStrategy::kBatchedNtt);
+  st = codec.last_decode_stats();
+  EXPECT_TRUE(st.plan_patched);
+  EXPECT_FALSE(st.plan_reused);
+  EXPECT_EQ(st.full_builds, 1u);
+  EXPECT_EQ(st.incremental_patches, 3u);
+  EXPECT_EQ(patched3,
+            codec.decode_aggregate_rows(
+                owners3, std::span<const GRep* const>(data.rows), {},
+                DecodeStrategy::kLagrange));
+}
+
+TEST(MaskCodecPatch, ChurnBoundaryPatchesAtEightRebuildsAtNine) {
+  // kU = 16 so churn can exceed the bound. A set differing from the
+  // cached base by exactly kMaxPatchChurn (8) members is patched and
+  // bit-identical to the kLagrange reference; one more leaver (churn 9
+  // against every cached set) forces a full rebuild.
+  constexpr std::size_t kN = 256, kU = 16, kT = 4, kD = 64;
+  static_assert(Codec::kMaxPatchChurn == 8,
+                "boundary sets below assume the churn bound is 8");
+  Codec codec(kN, kU, kT, kD);
+  lsa::common::Xoshiro256ss rng(17);
+  CodecRows data(kU, codec.segment_len(), rng);
+
+  std::vector<std::size_t> base(kU);
+  std::iota(base.begin(), base.end(), 0);  // {0..15}
+  (void)codec.decode_aggregate_rows(
+      base, std::span<const GRep* const>(data.rows), {},
+      DecodeStrategy::kBatchedNtt);
+  auto st = codec.last_decode_stats();
+  EXPECT_EQ(st.full_builds, 1u);
+
+  // Replace members 0..7 -> {100..107}: churn 8 == bound, patched.
+  std::vector<std::size_t> at_bound(kU);
+  std::iota(at_bound.begin(), at_bound.end(), 0);
+  for (std::size_t i = 0; i < 8; ++i) at_bound[i] = 100 + i;
+  const auto got8 = codec.decode_aggregate_rows(
+      at_bound, std::span<const GRep* const>(data.rows), {},
+      DecodeStrategy::kBatchedNtt);
+  st = codec.last_decode_stats();
+  EXPECT_TRUE(st.plan_patched);
+  EXPECT_EQ(st.full_builds, 1u);
+  EXPECT_EQ(st.incremental_patches, 1u);
+  EXPECT_EQ(got8,
+            codec.decode_aggregate_rows(
+                at_bound, std::span<const GRep* const>(data.rows), {},
+                DecodeStrategy::kLagrange));
+
+  // Replace members 0..8 -> {200..208}: churn 9 against the base AND
+  // churn 9 against the churn-8 set (they share only {9..15}) — rebuild.
+  std::vector<std::size_t> over_bound(kU);
+  std::iota(over_bound.begin(), over_bound.end(), 0);
+  for (std::size_t i = 0; i < 9; ++i) over_bound[i] = 200 + i;
+  const auto got9 = codec.decode_aggregate_rows(
+      over_bound, std::span<const GRep* const>(data.rows), {},
+      DecodeStrategy::kBatchedNtt);
   st = codec.last_decode_stats();
   EXPECT_FALSE(st.plan_patched);
   EXPECT_FALSE(st.plan_reused);
   EXPECT_EQ(st.full_builds, 2u);
+  EXPECT_EQ(st.incremental_patches, 1u);
+  EXPECT_EQ(got9,
+            codec.decode_aggregate_rows(
+                over_bound, std::span<const GRep* const>(data.rows), {},
+                DecodeStrategy::kLagrange));
 }
 
 TEST(MaskCodecPatch, DecodeOrderIndependentAcrossPatchedPlans) {
@@ -321,10 +409,11 @@ TEST(MaskCodecPatch, DecodeOrderIndependentAcrossPatchedPlans) {
 }
 
 TEST(MaskCodecPatch, LruBoundAndEvictionCounter) {
-  // Survivor sets sliding by 4 have pairwise churn >= 3 vs every other
-  // set, so every lookup is a full build; the cache must stay bounded at
-  // kMaxCachedPlans and count each eviction.
-  constexpr std::size_t kN = 200, kU = 8, kT = 2, kD = 16;
+  // Pairwise-DISJOINT survivor sets (sliding by a whole kU = 16) have
+  // churn 16 > kMaxPatchChurn vs every other set, so every lookup is a
+  // full build; the cache must stay bounded at kMaxCachedPlans and count
+  // each eviction.
+  constexpr std::size_t kN = 680, kU = 16, kT = 4, kD = 16;
   constexpr std::size_t kSets = Codec::kMaxCachedPlans + 8;
   Codec codec(kN, kU, kT, kD);
   lsa::common::Xoshiro256ss rng(11);
@@ -332,7 +421,7 @@ TEST(MaskCodecPatch, LruBoundAndEvictionCounter) {
 
   for (std::size_t s = 0; s < kSets; ++s) {
     std::vector<std::size_t> owners(kU);
-    std::iota(owners.begin(), owners.end(), 4 * s);
+    std::iota(owners.begin(), owners.end(), kU * s);
     (void)codec.decode_aggregate_rows(
         owners, std::span<const GRep* const>(data.rows), {});
   }
@@ -352,7 +441,7 @@ TEST(MaskCodecPatch, LruBoundAndEvictionCounter) {
 
   // The most recent set is still resident: exact hit, no build.
   std::vector<std::size_t> last(kU);
-  std::iota(last.begin(), last.end(), 4 * (kSets - 1));
+  std::iota(last.begin(), last.end(), kU * (kSets - 1));
   (void)codec.decode_aggregate_rows(
       last, std::span<const GRep* const>(data.rows), {});
   st = codec.last_decode_stats();

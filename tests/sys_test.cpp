@@ -120,4 +120,39 @@ TEST(Overlap, ConcurrentTrainingAndOfflineSavesTime) {
   EXPECT_GT(t.speedup(), 1.3);
 }
 
+TEST(Overlap, PooledPolicyOverlapsOnTheSessionPool) {
+  // With an ExecPolicy pool the offline task is a pool stage (no detached
+  // thread); the overlap timing contract is the same as the poolless path.
+  ThreadPool pool(2);
+  ExecPolicy pol;
+  pol.pool = &pool;
+  auto busy = [](int ms) {
+    return [ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  };
+  const auto t = run_overlapped(busy(60), busy(50), pol);
+  EXPECT_GE(t.training_s, 0.055);
+  EXPECT_GE(t.offline_s, 0.045);
+  EXPECT_LT(t.overlapped_total_s, 0.095);
+  EXPECT_GT(t.speedup(), 1.3);
+}
+
+TEST(Overlap, OfflineStageInheritsCallerSimdPolicy) {
+  // A caller that pinned forced-scalar dispatch must see it inside the
+  // offline task on BOTH schedules — the pool worker's own thread policy
+  // must not leak through.
+  namespace simd = lsa::field::simd;
+  ThreadPool pool(2);
+  for (const bool use_pool : {false, true}) {
+    ExecPolicy pol;
+    if (use_pool) pol.pool = &pool;
+    const simd::ScopedSimdPolicy guard(simd::SimdPolicy::kForceScalar);
+    simd::SimdPolicy seen = simd::SimdPolicy::kAuto;
+    run_overlapped([] {}, [&seen] { seen = simd::thread_policy(); }, pol);
+    EXPECT_EQ(seen, simd::SimdPolicy::kForceScalar) << "use_pool="
+                                                    << use_pool;
+  }
+}
+
 }  // namespace

@@ -706,4 +706,338 @@ TEST(Session, PersistentCohortChurnSoakHundredRounds) {
   EXPECT_GE(st.decode_plan_reuses, 1u);
 }
 
+// ------------------------------------------------------- pipelined rounds
+//
+// Params::pipeline == 2 splits a sync round into an offline stage (mask
+// gen + encode + share distribution) and an online stage (upload fan-in,
+// recovery, decode); the shard driver overlaps round r's online stage
+// with round r+1's offline stage. The contract under test: aggregates are
+// BIT-IDENTICAL to the depth-1 serial reference (and to runtime::Network)
+// under every dropout pattern, and the pipeline telemetry is honest.
+
+/// Queues `rounds.size()` rounds of one sync session on a 1-shard server
+/// and drives them in a single batch (the pipelined path when
+/// params.pipeline == 2, the legacy serial loop otherwise).
+std::vector<std::vector<rep>> drive_batched_rounds(
+    lsa::sys::ThreadPool& pool, const lsa::protocol::Params& p,
+    std::uint64_t seed,
+    const std::vector<std::vector<std::vector<rep>>>& model_sets,
+    const std::vector<std::vector<std::size_t>>& crashes,
+    lsa::server::SessionStats* stats_out = nullptr, bool persistent = false) {
+  lsa::server::AggregationServer server(&pool, /*num_shards=*/1);
+  auto pp = p;
+  pp.exec.pool = &pool;
+  pp.persistent_cohort = persistent;
+  const auto id = server.open_session(
+      lsa::server::SessionConfig{.params = pp, .seed = seed});
+  std::vector<lsa::server::AggregationServer::RoundWork> works;
+  for (std::size_t r = 0; r < model_sets.size(); ++r) {
+    works.push_back({id, r, &model_sets[r], crashes[r]});
+  }
+  auto results = server.run_rounds(works);
+  if (stats_out != nullptr) *stats_out = server.session(id).stats();
+  return results;
+}
+
+TEST(PipelinedSession, DepthTwoBitIdenticalAcrossDropoutsNoRevive) {
+  // Four queued rounds with crashes accumulating to D = 2 and no revive:
+  // round 1 kills user 1 mid-pipeline (its round-2 offline stage races
+  // the crash), round 2 kills user 4, round 3 runs at the U boundary with
+  // exactly U = 5 live users. Depth 2 must match depth 1 must match the
+  // serial Network, bit for bit, every round.
+  const auto p = session_params(7, 2, 5, 33);
+  constexpr std::size_t kRounds = 4;
+  const std::vector<std::vector<std::size_t>> crashes = {{}, {1}, {4}, {}};
+  std::vector<std::vector<std::vector<rep>>> model_sets;
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    model_sets.push_back(random_models(7, 33, 7000 + r));
+  }
+
+  lsa::runtime::Network net(p, /*seed=*/31);
+  std::vector<std::vector<rep>> expected;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    expected.push_back(net.run_round(r, model_sets[r], crashes[r]));
+  }
+
+  lsa::sys::ThreadPool pool(4);
+  for (const std::size_t depth : {1u, 2u}) {
+    SCOPED_TRACE("pipeline depth " + std::to_string(depth));
+    auto pp = p;
+    pp.pipeline = depth;
+    lsa::server::SessionStats st;
+    const auto results =
+        drive_batched_rounds(pool, pp, /*seed=*/31, model_sets, crashes, &st);
+    ASSERT_EQ(results.size(), kRounds);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      EXPECT_EQ(results[r], expected[r]) << "round " << r;
+    }
+    EXPECT_EQ(st.steps, kRounds);
+    if (depth == 2) {
+      EXPECT_EQ(st.rounds_in_flight, 2u);
+      // Exactly one online-only wave: the drained-queue tail.
+      EXPECT_EQ(st.pipeline_stalls, 1u);
+      EXPECT_GT(st.offline_hidden_s, 0.0);
+    } else {
+      EXPECT_EQ(st.rounds_in_flight, 1u);
+      EXPECT_EQ(st.pipeline_stalls, 0u);
+      EXPECT_EQ(st.offline_hidden_s, 0.0);
+    }
+  }
+}
+
+TEST(PipelinedSession, BothMailboxStrategiesBitIdenticalAtDepthTwo) {
+  const auto p = session_params(6, 1, 4, 24);
+  constexpr std::size_t kRounds = 3;
+  const std::vector<std::vector<std::size_t>> crashes = {{2}, {}, {5}};
+  std::vector<std::vector<std::vector<rep>>> model_sets;
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    model_sets.push_back(random_models(6, 24, 8100 + r));
+  }
+  lsa::runtime::Network net(p, /*seed=*/8);
+  std::vector<std::vector<rep>> expected;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    expected.push_back(net.run_round(r, model_sets[r], crashes[r]));
+  }
+
+  lsa::sys::ThreadPool pool(4);
+  for (const auto strategy : kBothStrategies) {
+    SCOPED_TRACE(to_string(strategy));
+    lsa::server::AggregationServer server(&pool, /*num_shards=*/1);
+    auto pp = p;
+    pp.pipeline = 2;
+    pp.exec.pool = &pool;
+    const auto id = server.open_session(lsa::server::SessionConfig{
+        .params = pp, .seed = 8, .mailbox = strategy});
+    std::vector<lsa::server::AggregationServer::RoundWork> works;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      works.push_back({id, r, &model_sets[r], crashes[r]});
+    }
+    const auto results = server.run_rounds(works);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      EXPECT_EQ(results[r], expected[r]) << "round " << r;
+    }
+  }
+}
+
+TEST(PipelinedSession, ReviveBetweenDrivesRejoinsTheCohort) {
+  // Crash mid-pipeline in the first batch, revive between drives, run a
+  // second batch: the revived user is back in every aggregate, matching a
+  // Network reference replaying the same crash/revive schedule.
+  const auto p = session_params(6, 1, 4, 16);
+  std::vector<std::vector<std::vector<rep>>> model_sets;
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    model_sets.push_back(random_models(6, 16, 8200 + r));
+  }
+
+  lsa::runtime::Network net(p, /*seed=*/55);
+  std::vector<std::vector<rep>> expected;
+  expected.push_back(net.run_round(0, model_sets[0], {}));
+  expected.push_back(net.run_round(1, model_sets[1], {2}));
+  for (std::size_t u = 0; u < 6; ++u) net.router().revive(u);
+  expected.push_back(net.run_round(2, model_sets[2], {}));
+  expected.push_back(net.run_round(3, model_sets[3], {}));
+
+  lsa::sys::ThreadPool pool(4);
+  lsa::server::AggregationServer server(&pool, /*num_shards=*/1);
+  auto pp = p;
+  pp.pipeline = 2;
+  pp.exec.pool = &pool;
+  const auto id = server.open_session(
+      lsa::server::SessionConfig{.params = pp, .seed = 55});
+  const auto first = server.run_rounds(
+      {{id, 0, &model_sets[0], {}}, {id, 1, &model_sets[1], {2}}});
+  EXPECT_EQ(first[0], expected[0]);
+  EXPECT_EQ(first[1], expected[1]);
+  // Rounds 2/3 exclude the dead user until it revives.
+  for (std::size_t u = 0; u < 6; ++u) server.session(id).router().revive(u);
+  const auto second = server.run_rounds(
+      {{id, 2, &model_sets[2], {}}, {id, 3, &model_sets[3], {}}});
+  EXPECT_EQ(second[0], expected[2]);
+  EXPECT_EQ(second[1], expected[3]);
+  EXPECT_EQ(second[0], model_sum(model_sets[2]));  // all 6 back in
+}
+
+TEST(PipelinedSession, StageDelaysOverlapAndTelemetryIsHonest) {
+  // With symmetric per-stage delays the steady-state waves must hide
+  // offline time behind online time: hidden >= (rounds - 1) * delay.
+  const auto p = session_params(6, 1, 4, 16);
+  constexpr std::size_t kRounds = 4;
+  constexpr double kDelay = 0.003;
+  std::vector<std::vector<std::vector<rep>>> model_sets;
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    model_sets.push_back(random_models(6, 16, 8300 + r));
+  }
+
+  lsa::sys::ThreadPool pool(4);
+  lsa::server::AggregationServer server(&pool, /*num_shards=*/1);
+  auto pp = p;
+  pp.pipeline = 2;
+  pp.exec.pool = &pool;
+  const auto id = server.open_session(lsa::server::SessionConfig{
+      .params = pp,
+      .seed = 2,
+      .offline_stage_delay_s = kDelay,
+      .online_stage_delay_s = kDelay});
+  std::vector<lsa::server::AggregationServer::RoundWork> works;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    works.push_back({id, r, &model_sets[r], {}});
+  }
+  const auto results = server.run_rounds(works);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(results[r], model_sum(model_sets[r])) << "round " << r;
+  }
+  const auto st = server.session(id).stats();
+  EXPECT_EQ(st.rounds_in_flight, 2u);
+  EXPECT_EQ(st.pipeline_stalls, 1u);  // the tail wave
+  EXPECT_GE(st.offline_hidden_s, (kRounds - 1) * kDelay);
+  // Process rollup carries the same telemetry.
+  const auto ps = server.stats();
+  EXPECT_EQ(ps.max_rounds_in_flight, 2u);
+  EXPECT_EQ(ps.pipeline_stalls, 1u);
+  EXPECT_GE(ps.offline_hidden_s, (kRounds - 1) * kDelay);
+}
+
+TEST(PipelinedSession, PersistentCohortEpochsKeepExactCounters) {
+  // Pipelining composes with the persistent-cohort fast path: a stable
+  // 6-round depth-2 cohort still pays exactly one offline encode per user
+  // and one plan build, and stays bit-identical to the depth-1 persistent
+  // session over the same models.
+  const auto p = session_params(7, 2, 5, 33);
+  constexpr std::size_t kRounds = 6;
+  std::vector<std::vector<std::vector<rep>>> model_sets;
+  std::vector<std::vector<std::size_t>> crashes(kRounds);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    model_sets.push_back(random_models(7, 33, 8400 + r));
+  }
+
+  lsa::sys::ThreadPool pool(4);
+  lsa::server::SessionStats st1, st2;
+  const auto depth1 = drive_batched_rounds(pool, p, /*seed=*/6, model_sets,
+                                           crashes, &st1,
+                                           /*persistent=*/true);
+  auto pp = p;
+  pp.pipeline = 2;
+  const auto depth2 = drive_batched_rounds(pool, pp, /*seed=*/6, model_sets,
+                                           crashes, &st2,
+                                           /*persistent=*/true);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(depth2[r], depth1[r]) << "round " << r;
+    EXPECT_EQ(depth2[r], model_sum(model_sets[r])) << "round " << r;
+  }
+  for (const auto* st : {&st1, &st2}) {
+    EXPECT_EQ(st->steps, kRounds);
+    EXPECT_EQ(st->offline_encodes, 7u);  // once per user, NOT per round
+    EXPECT_EQ(st->decode_plan_builds, 1u);
+    EXPECT_EQ(st->decode_plan_reuses, kRounds - 1);
+    EXPECT_EQ(st->decode_plan_patches, 0u);
+  }
+  EXPECT_EQ(st2.rounds_in_flight, 2u);
+}
+
+TEST(AggregationServer, MixedShardPipelinedLegacyAndAsyncInOneDrive) {
+  // One shard holding a depth-2 session, a depth-1 session and an async
+  // buffered session: the wave driver must interleave all three — the
+  // pipelined session stage-granularly, the others one whole step per
+  // wave — with every sync aggregate matching its Network reference.
+  lsa::sys::ThreadPool pool(4);
+  lsa::server::AggregationServer server(&pool, /*num_shards=*/1);
+
+  const auto pa = session_params(7, 2, 5, 20);
+  const auto pb = session_params(5, 1, 4, 12);
+  constexpr std::size_t kRounds = 3;
+  std::vector<std::vector<std::vector<rep>>> models_a, models_b;
+  const std::vector<std::vector<std::size_t>> crashes_a = {{0, 2}, {}, {}};
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    models_a.push_back(random_models(7, 20, 8500 + r));
+    models_b.push_back(random_models(5, 12, 8600 + r));
+  }
+  lsa::runtime::Network ref_a(pa, /*seed=*/71);
+  lsa::runtime::Network ref_b(pb, /*seed=*/72);
+  std::vector<std::vector<rep>> exp_a, exp_b;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    exp_a.push_back(ref_a.run_round(r, models_a[r], crashes_a[r]));
+    exp_b.push_back(ref_b.run_round(r, models_b[r], {}));
+  }
+
+  auto ppa = pa;
+  ppa.pipeline = 2;
+  ppa.exec.pool = &pool;
+  auto ppb = pb;
+  ppb.exec.pool = &pool;
+  const auto id_a = server.open_session(
+      lsa::server::SessionConfig{.params = ppa, .seed = 71});
+  const auto id_b = server.open_session(
+      lsa::server::SessionConfig{.params = ppb, .seed = 72});
+  lsa::server::AsyncSessionConfig ca;
+  ca.params = session_params(6, 1, 4, 12);
+  ca.params.exec.pool = &pool;
+  ca.seed = 73;
+  ca.buffer_k = 2;
+  ca.staleness = {lsa::quant::StalenessKind::kPolynomial, 1.0};
+  ca.schedule = {.seed = 3, .tau_max = 3};
+  const auto id_c = server.open_async_session(ca);
+  server.async_session(id_c).enqueue_scheduled_cycles(2);
+
+  std::vector<lsa::server::AggregationServer::RoundWork> works;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    works.push_back({id_a, r, &models_a[r], crashes_a[r]});
+    works.push_back({id_b, r, &models_b[r], {}});
+  }
+  const auto results = server.run_rounds(works);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(results[2 * r], exp_a[r]) << "session A round " << r;
+    EXPECT_EQ(results[2 * r + 1], exp_b[r]) << "session B round " << r;
+  }
+  EXPECT_EQ(server.async_session(id_c).outputs().size(), 2u);
+  EXPECT_EQ(server.rounds_completed(), 2 * kRounds);
+  EXPECT_EQ(server.cycles_completed(), 2u);
+}
+
+TEST(PipelinedSession, UnrecoverableRoundAbandonsQueueOthersProceed) {
+  // Round 1 of the pipelined session loses too many responders (crash 2
+  // of 6 with U = 5): the drive rethrows, the failing session abandons
+  // its remaining queue INCLUDING its staged offline work, and a healthy
+  // depth-2 session in the same shard still completes every round.
+  const auto p = session_params(6, 1, 5, 12);
+  std::vector<std::vector<std::vector<rep>>> models_bad, models_ok;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    models_bad.push_back(random_models(6, 12, 8700 + r));
+    models_ok.push_back(random_models(6, 12, 8800 + r));
+  }
+
+  lsa::sys::ThreadPool pool(4);
+  lsa::server::AggregationServer server(&pool, /*num_shards=*/1);
+  auto pp = p;
+  pp.pipeline = 2;
+  pp.exec.pool = &pool;
+  const auto id_bad = server.open_session(
+      lsa::server::SessionConfig{.params = pp, .seed = 91});
+  const auto id_ok = server.open_session(
+      lsa::server::SessionConfig{.params = pp, .seed = 92});
+  std::vector<lsa::server::AggregationServer::RoundWork> works;
+  for (std::size_t r = 0; r < 3; ++r) {
+    works.push_back(
+        {id_bad, r, &models_bad[r],
+         r == 1 ? std::vector<std::size_t>{0, 3} : std::vector<std::size_t>{}});
+    works.push_back({id_ok, r, &models_ok[r], {}});
+  }
+  EXPECT_THROW((void)server.run_rounds(works), lsa::ProtocolError);
+  EXPECT_EQ(server.session(id_bad).pending(), 0u);  // queue abandoned
+  EXPECT_EQ(server.session(id_ok).pending(), 0u);   // ran to completion
+  // The healthy session's rounds all completed and are correct: replay
+  // the same workload standalone for the expected bits.
+  lsa::runtime::Network ref(p, /*seed=*/92);
+  std::vector<std::vector<rep>> exp_ok;
+  for (std::size_t r = 0; r < 3; ++r) {
+    exp_ok.push_back(ref.run_round(r, models_ok[r], {}));
+  }
+  lsa::server::SessionStats st;
+  const auto again = drive_batched_rounds(
+      pool, pp, /*seed=*/92, models_ok,
+      std::vector<std::vector<std::size_t>>(3), &st);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(again[r], exp_ok[r]) << "round " << r;
+  }
+}
+
 }  // namespace
