@@ -49,6 +49,7 @@
 #include "coding/ntt.h"
 #include "coding/poly.h"
 #include "common/error.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "field/field_vec.h"
 #include "field/flat_matrix.h"
@@ -224,7 +225,7 @@ class BatchedDecodePlan {
   /// accounting reflects what was actually paid.
   [[nodiscard]] static std::shared_ptr<BatchedDecodePlan> patched_from(
       const BatchedDecodePlan& base, std::span<const PointReplacement> reps) {
-    std::lock_guard<std::mutex> lk(base.mu_);
+    lsa::sync::MutexLock lk(base.mu_);
     std::vector<rep> new_xs = base.xs_;
     for (const auto& r : reps) {
       lsa::require<lsa::CodingError>(r.pos < new_xs.size(),
@@ -241,6 +242,11 @@ class BatchedDecodePlan {
     }
     auto plan = std::make_shared<BatchedDecodePlan>(
         std::span<const rep>(new_xs), std::span<const rep>(base.betas_));
+    // The fresh plan is unshared until returned, but its lazy components
+    // are guarded members: hold its lock for the writes below. Lock order
+    // base.mu_ -> plan->mu_ is acyclic (no other holder of a plan that
+    // does not exist outside this frame yet).
+    lsa::sync::MutexLock plan_lk(plan->mu_);
     plan->patched_ = true;
     if (base.bary_) {
       lsa::common::Stopwatch sw;
@@ -326,11 +332,11 @@ class BatchedDecodePlan {
   /// the corresponding strategy first runs). Exposed so callers can report
   /// the setup-vs-streaming amortization (examples/protocol_comparison).
   [[nodiscard]] double barycentric_setup_seconds() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    lsa::sync::MutexLock lk(mu_);
     return bary_ ? bary_->setup_s : 0.0;
   }
   [[nodiscard]] double batched_setup_seconds() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    lsa::sync::MutexLock lk(mu_);
     return fast_ ? fast_->setup_s : 0.0;
   }
 
@@ -483,7 +489,7 @@ class BatchedDecodePlan {
   };
 
   const Bary& bary() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    lsa::sync::MutexLock lk(mu_);
     if (!bary_) {
       lsa::common::Stopwatch sw;
       auto b = std::make_unique<Bary>();
@@ -535,7 +541,7 @@ class BatchedDecodePlan {
   }
 
   const Fast& fast() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    lsa::sync::MutexLock lk(mu_);
     if (!fast_) {
       lsa::common::Stopwatch sw;
       auto f = std::make_unique<Fast>();
@@ -1162,9 +1168,12 @@ class BatchedDecodePlan {
   }
 
   std::vector<rep> xs_, betas_;
-  mutable std::mutex mu_;
-  mutable std::unique_ptr<Bary> bary_;
-  mutable std::unique_ptr<Fast> fast_;
+  /// Guards the lazily built components below — only the POINTERS: a
+  /// built Bary/Fast is immutable, so the references bary()/fast() hand
+  /// out are safe to use unlocked.
+  mutable lsa::sync::Mutex mu_;
+  mutable std::unique_ptr<Bary> bary_ LSA_GUARDED_BY(mu_);
+  mutable std::unique_ptr<Fast> fast_ LSA_GUARDED_BY(mu_);
   bool patched_ = false;
   std::size_t patched_nodes_ = 0;
 };

@@ -71,6 +71,7 @@
 #include "coding/lagrange.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "field/field_vec.h"
 #include "field/flat_matrix.h"
@@ -237,7 +238,7 @@ class MaskCodec {
   };
 
   [[nodiscard]] DecodeStats last_decode_stats() const {
-    std::lock_guard<std::mutex> lk(plans_->mu);
+    lsa::sync::MutexLock lk(plans_->mu);
     return plans_->last_stats;
   }
 
@@ -342,7 +343,7 @@ class MaskCodec {
       stats.stream_s = sw.elapsed_sec() - stats.setup_s;
     }
     {
-      std::lock_guard<std::mutex> lk(plans_->mu);
+      lsa::sync::MutexLock lk(plans_->mu);
       stats.full_builds = plans_->full_builds;
       stats.incremental_patches = plans_->incremental_patches;
       stats.evictions = plans_->evictions;
@@ -567,12 +568,12 @@ class MaskCodec {
   /// codec stays copyable; copies share the cache, which is correct —
   /// they share the parameters that determine every plan.
   struct PlanCache {
-    std::mutex mu;
-    std::list<CacheEntry> entries;
-    std::uint64_t full_builds = 0;
-    std::uint64_t incremental_patches = 0;
-    std::uint64_t evictions = 0;
-    DecodeStats last_stats;
+    lsa::sync::Mutex mu;
+    std::list<CacheEntry> entries LSA_GUARDED_BY(mu);
+    std::uint64_t full_builds LSA_GUARDED_BY(mu) = 0;
+    std::uint64_t incremental_patches LSA_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions LSA_GUARDED_BY(mu) = 0;
+    DecodeStats last_stats LSA_GUARDED_BY(mu);
   };
 
   struct PlanLookup {
@@ -620,7 +621,7 @@ class MaskCodec {
   /// incoming key is hashed exactly once.
   [[nodiscard]] PlanLookup plan_for(std::vector<rep> sorted_xs) const {
     const std::size_t h = hash_points(std::span<const rep>(sorted_xs));
-    std::lock_guard<std::mutex> lk(plans_->mu);
+    lsa::sync::MutexLock lk(plans_->mu);
     auto& entries = plans_->entries;
     for (auto it = entries.begin(); it != entries.end(); ++it) {
       if (it->hash != h || it->key_xs != sorted_xs) continue;

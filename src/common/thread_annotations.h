@@ -1,0 +1,122 @@
+// Clang Thread Safety Analysis vocabulary for the concurrent planes.
+//
+// Every mutex-guarded structure in src/{transport,server,sys,net,coding}
+// states its locking contract with these macros; a dedicated CI leg builds
+// the tier-1 target set under clang with -Wthread-safety -Werror so a
+// guarded member can never be touched without its lock — statically, under
+// every schedule, before TSAN ever has to produce the interleaving.
+//
+// Under any compiler that is not clang the macros expand to nothing, so the
+// annotations are free on the gcc reference toolchain.
+//
+// Convention (recorded in ROADMAP.md, PR 10):
+//   * Guard with lsa::sync::Mutex (annotated capability), never a bare
+//     std::mutex — libstdc++'s mutex carries no annotations, so TSA cannot
+//     see through it.
+//   * Scope locks with lsa::sync::MutexLock; condition-variable waits go
+//     through MutexLock::native_lock() with the predicate written as an
+//     explicit while-loop in the scope that holds the lock (lambda
+//     predicates are analyzed as separate unlocked functions).
+//   * Private helpers that expect the lock already held take
+//     LSA_REQUIRES(mu); public entry points that must not be called with it
+//     held take LSA_EXCLUDES(mu).
+//   * LSA_NO_THREAD_SAFETY_ANALYSIS is an escape hatch of last resort and
+//     every use carries a one-line justification at the site.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define LSA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LSA_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability (mutexes, locks).
+#define LSA_CAPABILITY(x) LSA_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires in its ctor and releases in its dtor.
+#define LSA_SCOPED_CAPABILITY LSA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define LSA_GUARDED_BY(x) LSA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define LSA_PT_GUARDED_BY(x) LSA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities are already held.
+#define LSA_REQUIRES(...) \
+  LSA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and returns holding them.
+#define LSA_ACQUIRE(...) \
+  LSA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define LSA_RELEASE(...) \
+  LSA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define LSA_TRY_ACQUIRE(result, ...) \
+  LSA_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function must NOT be entered with the listed capabilities held
+/// (deadlock guard for public entry points that take the lock themselves).
+#define LSA_EXCLUDES(...) LSA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares the capability a getter hands back (lock accessors).
+#define LSA_RETURN_CAPABILITY(x) LSA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Every use must carry
+/// a one-line justification comment at the site.
+#define LSA_NO_THREAD_SAFETY_ANALYSIS \
+  LSA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace lsa::sync {
+
+/// std::mutex dressed as a TSA capability. Same cost, same semantics —
+/// the wrapper exists purely so GUARDED_BY/REQUIRES can name it.
+class LSA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LSA_ACQUIRE() { mu_.lock(); }
+  void unlock() LSA_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() LSA_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// The wrapped mutex, for std::condition_variable interop only (cv
+  /// waits need a std::unique_lock<std::mutex>). Callers reach it through
+  /// MutexLock::native_lock(), never by locking it directly — a direct
+  /// native().lock() would be invisible to the analysis.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, analysis-visible. Wraps std::unique_lock so
+/// condition variables can wait on it via native_lock(); TSA models the
+/// capability as held across the wait, which matches the invariant that
+/// matters — the lock IS held whenever the waiting scope's code runs.
+class LSA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LSA_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~MutexLock() LSA_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For std::condition_variable::wait/wait_until only. The predicate
+  /// must be an explicit while-loop in the calling scope (see header
+  /// comment) so guarded reads stay inside the analyzed critical section.
+  [[nodiscard]] std::unique_lock<std::mutex>& native_lock() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+}  // namespace lsa::sync

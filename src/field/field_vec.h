@@ -378,6 +378,8 @@ void axpy_accumulate_blocked(std::span<typename F::rep> acc,
       rep* dst = acc.data() + l0;
       const auto fold = [&] {
         for (std::size_t l = 0; l < b; ++l) {
+          // mod-ok: one generic reduction per kMaxLazyTerms accumulated
+          // terms — amortized off the per-term path the lazy split buys.
           const std::uint64_t h = hi[l] % F::modulus;  // < 2^32
           const std::uint64_t t = (h << 16) + lo[l];   // < 2^63 + 2^48
           dst[l] = F::add(dst[l], F::from_u64(t));

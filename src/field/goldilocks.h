@@ -141,6 +141,7 @@ class Goldilocks {
   /// Inverse of from_i64: reps in [0, p/2] are non-negative, the rest map
   /// to negatives.
   [[nodiscard]] static constexpr std::int64_t to_i64(rep a) {
+    // branch-ok: boundary conversion helper, not a reduction kernel.
     if (a <= (modulus - 1) / 2) return static_cast<std::int64_t>(a);
     return -static_cast<std::int64_t>(modulus - a);
   }

@@ -92,6 +92,8 @@ class PrimeField {
     } else {
       const unsigned __int128 p =
           static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+      // mod-ok: generic-modulus fallback for fields with neither a Barrett
+      // nor a Mersenne specialization; no production field takes it.
       return static_cast<rep>(p % Q);
     }
   }
@@ -172,6 +174,7 @@ class PrimeField {
 
   /// Reduce an arbitrary 64-bit value into the field.
   [[nodiscard]] static constexpr rep from_u64(std::uint64_t v) {
+    // mod-ok: boundary conversion helper, not a reduction kernel.
     return static_cast<rep>(v % Q);
   }
 
@@ -180,11 +183,13 @@ class PrimeField {
   [[nodiscard]] static constexpr rep from_i64(std::int64_t v) {
     if (v >= 0) return from_u64(static_cast<std::uint64_t>(v));
     const std::uint64_t mag = static_cast<std::uint64_t>(-(v + 1)) + 1;
+    // mod-ok: boundary conversion helper, not a reduction kernel.
     return static_cast<rep>(Q - (mag % Q));
   }
 
   /// Inverse of from_i64: reps in [0, Q/2) are non-negative, the rest negative.
   [[nodiscard]] static constexpr std::int64_t to_i64(rep a) {
+    // branch-ok: boundary conversion helper, not a reduction kernel.
     if (static_cast<std::uint64_t>(a) < (Q - 1) / 2 + 1) {
       return static_cast<std::int64_t>(a);
     }

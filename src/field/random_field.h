@@ -25,6 +25,8 @@ template <class F, BitSource G>
   constexpr std::uint64_t limit = (~0ull / q) * q;  // multiple of q
   std::uint64_t v = gen.next_u64();
   while (v >= limit) v = gen.next_u64();
+  // mod-ok: sampling boundary, not a reduction kernel — one generic `%`
+  // per draw is off every encode/decode hot path.
   return static_cast<typename F::rep>(v % q);
 }
 

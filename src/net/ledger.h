@@ -82,6 +82,8 @@ class Ledger {
     check_entity(from);
     check_entity(to);
     const std::size_t s = scales_with_d ? 1 : 0;
+    // relaxed: exact integer adds on sharded slots — totals are
+    // interleaving-independent, and readers sample at quiescence.
     msg_elems_[p][from][s].fetch_add(n_elems, std::memory_order_relaxed);
     msg_count_[p][from].fetch_add(1, std::memory_order_relaxed);
     recv_elems_[p][to][s].fetch_add(n_elems, std::memory_order_relaxed);
@@ -95,6 +97,7 @@ class Ledger {
     check_entity(entity);
     const std::size_t slot =
         static_cast<std::size_t>(kind) * 2 + (scales_with_d ? 1 : 0);
+    // relaxed: exact integer add on a sharded slot (see add_message).
     comp_elems_[p][entity][slot].fetch_add(n_elems,
                                            std::memory_order_relaxed);
   }
@@ -102,12 +105,15 @@ class Ledger {
   /// Elements sent by `entity` in `phase`; index 0 = fixed, 1 = d-scaled.
   [[nodiscard]] std::uint64_t sent_elems(Phase phase, std::size_t entity,
                                          bool scaled) const {
+    // relaxed: the reader getters here and below sample at quiescence
+    // (after the parallel region joins — the join publishes the adds).
     return msg_elems_[static_cast<std::size_t>(phase)][entity][scaled ? 1 : 0]
         .load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t recv_elems_of(Phase phase, std::size_t entity,
                                             bool scaled) const {
+    // relaxed: quiescent sample (see sent_elems).
     return recv_elems_[static_cast<std::size_t>(phase)][entity]
                       [scaled ? 1 : 0]
         .load(std::memory_order_relaxed);
@@ -115,6 +121,7 @@ class Ledger {
 
   [[nodiscard]] std::uint64_t messages_sent(Phase phase,
                                             std::size_t entity) const {
+    // relaxed: quiescent sample (see sent_elems).
     return msg_count_[static_cast<std::size_t>(phase)][entity].load(
         std::memory_order_relaxed);
   }
@@ -124,6 +131,7 @@ class Ledger {
                                             bool scaled) const {
     const std::size_t slot =
         static_cast<std::size_t>(kind) * 2 + (scaled ? 1 : 0);
+    // relaxed: quiescent sample (see sent_elems).
     return comp_elems_[static_cast<std::size_t>(phase)][entity][slot].load(
         std::memory_order_relaxed);
   }
@@ -147,6 +155,8 @@ class Ledger {
   }
 
   void reset() {
+    // relaxed: reset runs between rounds with no concurrent loggers; the
+    // caller's synchronization (join/quiesce) publishes the zeroes.
     for (auto& per_phase : msg_elems_)
       for (auto& e : per_phase)
         for (auto& a : e) a.store(0, std::memory_order_relaxed);

@@ -77,6 +77,8 @@ class Router final : public Transport {
     write_header(frame.data(), type, sender, receiver, round,
                  static_cast<std::uint32_t>(payload.size()), crc);
     if (!payload.empty()) {
+      // copy-ok: the serial reference router stages frames in owned
+      // vectors by design; note_copy below keeps the ledger honest.
       std::memcpy(frame.data() + kHeaderBytes, payload.data(),
                   4 * payload.size());
     }

@@ -203,11 +203,11 @@ inline void check_canonical_payload(
   write_header(buf.data(), m.type, m.sender, m.receiver, m.round,
                static_cast<std::uint32_t>(m.payload.size()), crc);
   if (!m.payload.empty()) {
+    // copy-ok: legacy serialize path — the intermediate-payload copy the
+    // zero-copy frame path eliminates, counted by note_copy below.
     std::memcpy(buf.data() + kHeaderBytes, m.payload.data(),
                 4 * m.payload.size());
   }
-  // This memcpy out of an intermediate Message::payload vector is exactly
-  // the copy the zero-copy frame path eliminates — account for it.
   lsa::transport::counters().note_copy(4 * m.payload.size());
   return buf;
 }
@@ -222,6 +222,8 @@ inline void check_canonical_payload(
   m.round = h.round;
   m.payload.resize(h.payload_elems);
   if (h.payload_elems > 0) {
+    // copy-ok: legacy deserialize materializes a Message::payload vector
+    // (counted below); parse_frame is the zero-copy replacement.
     std::memcpy(m.payload.data(), buf.data() + kHeaderBytes,
                 4ull * h.payload_elems);
   }

@@ -777,6 +777,8 @@ class AggregationServer {
 
   [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
   [[nodiscard]] std::size_t num_sessions() const { return sessions_.size(); }
+  // relaxed: monotonic progress gauges — readers want a recent count, not
+  // an ordering edge (the drive's join publishes results).
   [[nodiscard]] std::uint64_t rounds_completed() const {
     return rounds_completed_.load(std::memory_order_relaxed);
   }
@@ -884,6 +886,7 @@ class AggregationServer {
             auto& counter = sess->kind() == SessionKind::kAsync
                                 ? cycles_completed_
                                 : rounds_completed_;
+            // relaxed: progress gauge; results are published by the join.
             counter.fetch_add(1, std::memory_order_relaxed);
           } catch (...) {
             if (!errors[s]) errors[s] = std::current_exception();
@@ -1035,6 +1038,7 @@ class AggregationServer {
         if (e.sync != nullptr) {
           if (e.online && online_ok) {
             e.sync->retire_online();
+            // relaxed: progress gauge; results are published by the join.
             rounds_completed_.fetch_add(1, std::memory_order_relaxed);
           }
           e.sync->note_wave(e.online && online_ok, e.offline);
@@ -1042,6 +1046,7 @@ class AggregationServer {
           auto& counter = e.sess->kind() == SessionKind::kAsync
                               ? cycles_completed_
                               : rounds_completed_;
+          // relaxed: progress gauge; results are published by the join.
           counter.fetch_add(1, std::memory_order_relaxed);
         }
         if (first) {

@@ -12,7 +12,7 @@ void DuplexChannel::send(std::span<const std::uint8_t> payload) {
                                     payload.begin() + off + n);
     service_delay();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      lsa::sync::MutexLock lk(mu_);
       queue_.push_back(std::move(chunk));
       ++chunks_;
     }
@@ -22,7 +22,7 @@ void DuplexChannel::send(std::span<const std::uint8_t> payload) {
 
 void DuplexChannel::close() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    lsa::sync::MutexLock lk(mu_);
     closed_ = true;
   }
   cv_.notify_all();
@@ -33,8 +33,10 @@ std::vector<std::uint8_t> DuplexChannel::receive_all() {
   for (;;) {
     std::vector<std::uint8_t> chunk;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return closed_ || !queue_.empty(); });
+      lsa::sync::MutexLock lk(mu_);
+      // Explicit predicate loop (not a wait lambda): the guarded closed_ /
+      // queue_ reads stay inside this analyzed critical section.
+      while (!closed_ && queue_.empty()) cv_.wait(lk.native_lock());
       if (queue_.empty() && closed_) return out;
       chunk = std::move(queue_.front());
       queue_.pop_front();
@@ -44,7 +46,7 @@ std::vector<std::uint8_t> DuplexChannel::receive_all() {
 }
 
 std::uint64_t DuplexChannel::chunks_moved() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  lsa::sync::MutexLock lk(mu_);
   return chunks_;
 }
 

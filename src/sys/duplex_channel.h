@@ -19,6 +19,8 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace lsa::sys {
 
 class DuplexChannel {
@@ -46,11 +48,11 @@ class DuplexChannel {
 
   std::size_t chunk_bytes_;
   std::uint64_t service_ns_;
-  mutable std::mutex mu_;
+  mutable lsa::sync::Mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::vector<std::uint8_t>> queue_;
-  std::uint64_t chunks_ = 0;
-  bool closed_ = false;
+  std::deque<std::vector<std::uint8_t>> queue_ LSA_GUARDED_BY(mu_);
+  std::uint64_t chunks_ LSA_GUARDED_BY(mu_) = 0;
+  bool closed_ LSA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lsa::sys

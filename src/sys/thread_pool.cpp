@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    lsa::sync::MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -28,8 +28,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      lsa::sync::MutexLock lk(mu_);
+      // Explicit predicate loop (not a wait lambda): the guarded stop_ /
+      // queue_ reads stay inside this analyzed critical section.
+      while (!stop_ && queue_.empty()) cv_.wait(lk.native_lock());
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -54,22 +56,24 @@ struct ForState {
   /// happen while the caller is still waiting — the referent outlives every
   /// use (see claim loop).
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
-  std::mutex mu;
+  lsa::sync::Mutex mu;
   std::condition_variable all_done;
-  std::exception_ptr error;
+  std::exception_ptr error LSA_GUARDED_BY(mu);
 
   /// Claims blocks until the cursor runs dry. Returns true if this call
   /// completed the final block.
   bool claim_loop() {
     bool finished_last = false;
     for (;;) {
+      // relaxed: the cursor is a pure ticket dispenser — block inputs were
+      // published before the workers were handed the state pointer.
       const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
       if (b >= nblocks) return finished_last;
       const std::size_t begin = b * grain;
       try {
         (*fn)(begin, std::min(begin + grain, n));
       } catch (...) {
-        std::lock_guard<std::mutex> lk(mu);
+        lsa::sync::MutexLock lk(mu);
         if (!error) error = std::current_exception();
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == nblocks) {
@@ -107,11 +111,11 @@ void ThreadPool::parallel_for_blocked(
   const std::size_t helpers =
       std::min(nblocks - 1, workers_.size());
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    lsa::sync::MutexLock lk(mu_);
     for (std::size_t h = 0; h < helpers; ++h) {
       queue_.emplace_back([state] {
         if (state->claim_loop()) {
-          std::lock_guard<std::mutex> lk2(state->mu);
+          lsa::sync::MutexLock lk2(state->mu);
           state->all_done.notify_all();
         }
       });
@@ -121,14 +125,15 @@ void ThreadPool::parallel_for_blocked(
 
   (void)state->claim_loop();
   if (state->done.load(std::memory_order_acquire) < nblocks) {
-    std::unique_lock<std::mutex> lk(state->mu);
-    state->all_done.wait(lk, [&] {
-      return state->done.load(std::memory_order_acquire) >= nblocks;
-    });
+    lsa::sync::MutexLock lk(state->mu);
+    // Explicit predicate loop; `done` is atomic, re-read each wakeup.
+    while (state->done.load(std::memory_order_acquire) < nblocks) {
+      state->all_done.wait(lk.native_lock());
+    }
   }
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lk(state->mu);
+    lsa::sync::MutexLock lk(state->mu);
     err = state->error;
   }
   if (err) std::rethrow_exception(err);

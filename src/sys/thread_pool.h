@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace lsa::sys {
 
 class ThreadPool {
@@ -31,7 +33,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     auto fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      lsa::sync::MutexLock lk(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -61,10 +63,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  lsa::sync::Mutex mu_;
+  std::deque<std::function<void()>> queue_ LSA_GUARDED_BY(mu_);
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ LSA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lsa::sys

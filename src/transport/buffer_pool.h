@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_annotations.h"
 #include "transport/stats.h"
 
 namespace lsa::transport {
@@ -48,23 +49,27 @@ struct Block {
 };
 
 struct PoolCore {
-  std::mutex mu;
-  std::vector<Block*> freelist;
-  std::size_t max_retained;
+  lsa::sync::Mutex mu;
+  std::vector<Block*> freelist LSA_GUARDED_BY(mu);
+  std::size_t max_retained;  ///< const after construction
   std::atomic<std::uint64_t> outstanding{0};
 
   explicit PoolCore(std::size_t retain) : max_retained(retain) {}
+  // Unlocked freelist walk: the core is destroyed when the last owner
+  // (pool object or in-flight block) drops it — no concurrent access is
+  // possible, and TSA exempts destructors for the same reason.
   ~PoolCore() {
     for (Block* b : freelist) delete b;
   }
 
   void release(Block* b) {
+    // relaxed: monotonic gauge decrement; readers only sample a snapshot.
     outstanding.fetch_sub(1, std::memory_order_relaxed);
     // Drop the self-reference BEFORE requeueing; the freelist must hold
     // plain blocks or core destruction would cycle.
     std::shared_ptr<PoolCore> self = std::move(b->home);
     {
-      std::lock_guard<std::mutex> lk(mu);
+      lsa::sync::MutexLock lk(mu);
       if (freelist.size() < max_retained) {
         freelist.push_back(b);
         return;
@@ -81,10 +86,13 @@ struct PoolCore {
 class BufferRef {
  public:
   BufferRef() = default;
+  // relaxed: refcount increments need no ordering — only the final
+  // decrement (acq_rel below) publishes the buffer to its recycler.
   explicit BufferRef(detail::Block* b) : b_(b) {
     if (b_ != nullptr) b_->refs.fetch_add(1, std::memory_order_relaxed);
   }
   BufferRef(const BufferRef& o) : b_(o.b_) {
+    // relaxed: copy holds a live ref, so the count cannot hit zero here.
     if (b_ != nullptr) b_->refs.fetch_add(1, std::memory_order_relaxed);
   }
   BufferRef(BufferRef&& o) noexcept : b_(std::exchange(o.b_, nullptr)) {}
@@ -107,6 +115,7 @@ class BufferRef {
   [[nodiscard]] explicit operator bool() const { return b_ != nullptr; }
   [[nodiscard]] std::size_t size_bytes() const { return b_->len_bytes; }
   [[nodiscard]] std::uint32_t ref_count() const {
+    // relaxed: advisory observability read (tests/stats); never an owner.
     return b_ == nullptr ? 0 : b_->refs.load(std::memory_order_relaxed);
   }
 
@@ -142,13 +151,14 @@ class BufferPool {
     const std::size_t nwords = (nbytes + 3) / 4;
     detail::Block* b = nullptr;
     {
-      std::lock_guard<std::mutex> lk(core_->mu);
+      lsa::sync::MutexLock lk(core_->mu);
       if (!core_->freelist.empty()) {
         b = core_->freelist.back();
         core_->freelist.pop_back();
       }
     }
     auto& c = counters();
+    // relaxed: monotonic telemetry counters, aggregated by snapshot().
     if (b == nullptr) {
       b = new detail::Block();
       c.pool_allocs.fetch_add(1, std::memory_order_relaxed);
@@ -158,16 +168,18 @@ class BufferPool {
     if (b->words.size() < nwords) b->words.resize(nwords);
     b->len_bytes = nbytes;
     b->home = core_;
+    // relaxed: gauge increment; pairs with the relaxed decrement in release.
     core_->outstanding.fetch_add(1, std::memory_order_relaxed);
     return BufferRef(b);
   }
 
   /// Buffers currently held by live BufferRefs (not in the freelist).
   [[nodiscard]] std::uint64_t outstanding() const {
+    // relaxed: advisory gauge snapshot for tests/telemetry.
     return core_->outstanding.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t retained() const {
-    std::lock_guard<std::mutex> lk(core_->mu);
+    lsa::sync::MutexLock lk(core_->mu);
     return core_->freelist.size();
   }
 

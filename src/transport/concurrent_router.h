@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_annotations.h"
 #include "runtime/transport.h"
 #include "runtime/wire.h"
 #include "transport/buffer_pool.h"
@@ -98,10 +99,12 @@ inline std::atomic<MailboxStrategy>& default_mailbox_strategy_slot() {
 /// strategy (benches/tests flip it to drive both engines through the same
 /// higher-level code).
 [[nodiscard]] inline MailboxStrategy default_mailbox_strategy() {
+  // relaxed: configuration knob, set before routers/traffic exist.
   return detail::default_mailbox_strategy_slot().load(
       std::memory_order_relaxed);
 }
 inline void set_default_mailbox_strategy(MailboxStrategy s) {
+  // relaxed: configuration knob, set before routers/traffic exist.
   detail::default_mailbox_strategy_slot().store(s,
                                                 std::memory_order_relaxed);
 }
@@ -175,7 +178,7 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     std::uint64_t discarded = 0;
     if (strategy_ == MailboxStrategy::kMutexDeque) {
       {
-        std::lock_guard<std::mutex> lk(box.mu);
+        lsa::sync::MutexLock lk(box.mu);
         discarded += box.q.size();
         box.q.clear();
       }
@@ -210,6 +213,7 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
       box.not_full.notify_all();
       std::this_thread::yield();
     }
+    // relaxed: telemetry total; the crash fence itself is the seq_cst pair.
     dropped_.fetch_add(discarded, std::memory_order_relaxed);
     // Consumers blocked in recv_wait on this receiver must observe the
     // crash immediately, not at timeout granularity. The empty critical
@@ -218,7 +222,7 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     // such consumer has either started waiting (the notify reaches it) or
     // will re-evaluate its predicate after our down-store (mutex ordering
     // makes it visible) and refuse to sleep.
-    { std::lock_guard<std::mutex> lk(box.mu); }
+    { lsa::sync::MutexLock lk(box.mu); }
     box.not_empty.notify_all();
   }
 
@@ -283,6 +287,7 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     BufferRef frame = build_frame(pool_, type, sender, kBroadcastReceiver,
                                   round, payload);
     if (hook_ && !hook_(frame.bytes())) {
+      // relaxed: monotonic telemetry total, read quiescently.
       dropped_.fetch_add(num_receivers, std::memory_order_relaxed);
       return;
     }
@@ -318,6 +323,7 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     wake_if_waiting(box, box.waiting_producers, box.not_full);
     out.buf = std::move(buf);
     out.view = parse_frame(out.buf);  // throws on corruption
+    // relaxed: monotonic telemetry total.
     delivered_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -332,14 +338,24 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     for (;;) {
       if (is_down(receiver)) return false;
       if (try_recv(receiver, out)) return true;
-      std::unique_lock<std::mutex> lk(box.mu);
+      lsa::sync::MutexLock lk(box.mu);
+      // relaxed: the seq_cst fence below (paired with the waker's fence in
+      // wake_if_waiting) orders the count against the state it watches.
       box.waiting_consumers.fetch_add(1, std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      const bool signaled = box.not_empty.wait_until(lk, deadline, [&] {
-        return box.has_frames(strategy_) || is_down(receiver);
-      });
+      // Explicit predicate loop (not a wait lambda): the guarded
+      // has_frames read stays inside this analyzed critical section.
+      bool timed_out = false;
+      while (!box.has_frames(strategy_) && !is_down(receiver)) {
+        if (box.not_empty.wait_until(lk.native_lock(), deadline) ==
+            std::cv_status::timeout) {
+          timed_out = !box.has_frames(strategy_) && !is_down(receiver);
+          break;
+        }
+      }
+      // relaxed: same pairing as the increment above.
       box.waiting_consumers.fetch_sub(1, std::memory_order_relaxed);
-      if (!signaled) return false;  // timeout with nothing to deliver
+      if (timed_out) return false;  // timeout with nothing to deliver
     }
   }
 
@@ -349,13 +365,15 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
       if (strategy_ == MailboxStrategy::kLockFreeRing) {
         if (!box->ring.empty_approx()) return false;
       } else {
-        std::lock_guard<std::mutex> lk(box->mu);
+        lsa::sync::MutexLock lk(box->mu);
         if (!box->q.empty()) return false;
       }
     }
     return true;
   }
 
+  // relaxed: the four getters below are advisory telemetry snapshots —
+  // tests quiesce traffic before asserting exact values.
   [[nodiscard]] std::uint64_t frames_sent() const {
     return sent_.load(std::memory_order_relaxed);
   }
@@ -367,6 +385,7 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
   }
   /// High-water mark of any mailbox depth (bounded by queue_capacity).
   [[nodiscard]] std::size_t max_queue_depth() const {
+    // relaxed: advisory telemetry snapshot, exact only at quiescence.
     return max_depth_.load(std::memory_order_relaxed);
   }
   /// Senders currently parked on this receiver's backpressure (telemetry;
@@ -396,14 +415,15 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     /// Parked-waiter counts: wakers skip the mutex entirely when zero.
     std::atomic<std::uint32_t> waiting_producers{0};
     std::atomic<std::uint32_t> waiting_consumers{0};
-    mutable std::mutex mu;
+    mutable lsa::sync::Mutex mu;
     std::condition_variable not_empty;
     std::condition_variable not_full;
-    std::deque<Entry> q;  ///< kMutexDeque storage (unused by the ring)
+    /// kMutexDeque storage (unused by the ring).
+    std::deque<Entry> q LSA_GUARDED_BY(mu);
 
     /// Wake predicate: frames visible right now (callers hold mu; ring
     /// occupancy is re-read with acquire loads each evaluation).
-    [[nodiscard]] bool has_frames(MailboxStrategy s) const {
+    [[nodiscard]] bool has_frames(MailboxStrategy s) const LSA_REQUIRES(mu) {
       return s == MailboxStrategy::kLockFreeRing ? ring.can_pop()
                                                  : !q.empty();
     }
@@ -418,7 +438,7 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     if (strategy_ == MailboxStrategy::kLockFreeRing) {
       return box.ring.try_pop(out);
     }
-    std::lock_guard<std::mutex> lk(box.mu);
+    lsa::sync::MutexLock lk(box.mu);
     if (box.q.empty()) return false;
     out = std::move(box.q.front().buf);
     box.q.pop_front();
@@ -441,14 +461,16 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
   void wake_if_waiting(Mailbox& box, std::atomic<std::uint32_t>& count,
                        std::condition_variable& cv) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // relaxed: the fence above is the ordering; the load only gates cost.
     if (count.load(std::memory_order_relaxed) > 0) {
-      std::lock_guard<std::mutex> lk(box.mu);
+      lsa::sync::MutexLock lk(box.mu);
       cv.notify_one();
     }
   }
 
   void enqueue(std::size_t receiver, BufferRef frame) {
     if (hook_ && !hook_(frame.bytes())) {
+      // relaxed: monotonic telemetry total.
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -465,22 +487,29 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     for (;;) {
       if (is_down(receiver)) {
         box.pushers.fetch_sub(1, std::memory_order_release);
+        // relaxed: monotonic telemetry total.
         dropped_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       if (push_raw(box, frame)) {
         box.pushers.fetch_sub(1, std::memory_order_release);
         wake_if_waiting(box, box.waiting_consumers, box.not_empty);
+        // relaxed: monotonic telemetry total.
         sent_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       // Full: park until the consumer makes room or the receiver crashes.
-      std::unique_lock<std::mutex> lk(box.mu);
+      lsa::sync::MutexLock lk(box.mu);
+      // relaxed: the seq_cst fence below (paired with the waker's fence in
+      // wake_if_waiting) orders the count against the state it watches.
       box.waiting_producers.fetch_add(1, std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      box.not_full.wait(lk, [&] {
-        return box_has_room(box) || is_down(receiver);
-      });
+      // Explicit predicate loop (not a wait lambda): the guarded
+      // box_has_room read stays inside this analyzed critical section.
+      while (!box_has_room(box) && !is_down(receiver)) {
+        box.not_full.wait(lk.native_lock());
+      }
+      // relaxed: same pairing as the increment above.
       box.waiting_producers.fetch_sub(1, std::memory_order_relaxed);
     }
   }
@@ -493,11 +522,12 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
       if (!box.ring.try_push(std::move(frame))) return false;
       depth = box.ring.size_approx();
     } else {
-      std::lock_guard<std::mutex> lk(box.mu);
+      lsa::sync::MutexLock lk(box.mu);
       if (box.q.size() >= capacity_) return false;
       box.q.push_back(Entry{std::move(frame)});
       depth = box.q.size();
     }
+    // relaxed: lossy high-water telemetry; no payload ordering rides on it.
     std::size_t seen = max_depth_.load(std::memory_order_relaxed);
     while (depth > seen &&
            !max_depth_.compare_exchange_weak(seen, depth,
@@ -506,7 +536,8 @@ class ConcurrentRouter final : public lsa::runtime::Transport {
     return true;
   }
 
-  [[nodiscard]] bool box_has_room(const Mailbox& box) const {
+  [[nodiscard]] bool box_has_room(const Mailbox& box) const
+      LSA_REQUIRES(box.mu) {
     return strategy_ == MailboxStrategy::kLockFreeRing
                ? box.ring.can_push()
                : box.q.size() < capacity_;

@@ -49,6 +49,8 @@ struct FrameView {
   BufferRef buf = pool.acquire(nbytes);
   const auto words = buf.words();
   if (!payload.empty()) {
+    // copy-ok: THE single sanctioned send-side write — row view straight
+    // into the pooled frame; note_framed (not note_copy) counts it.
     std::memcpy(words.data() + kHeaderWords, payload.data(),
                 4 * payload.size());
   }
@@ -67,6 +69,8 @@ struct FrameView {
     BufferPool& pool, std::span<const std::uint8_t> bytes) {
   BufferRef buf = pool.acquire(bytes.size());
   if (!bytes.empty()) {
+    // copy-ok: ingestion of externally produced raw bytes (fuzzing /
+    // re-injection); not on any round's send path.
     std::memcpy(buf.bytes().data(), bytes.data(), bytes.size());
   }
   return buf;

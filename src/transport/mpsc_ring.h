@@ -54,6 +54,8 @@ class MpscRing {
       : capacity_(capacity), mask_(pow2_at_least(capacity) - 1) {
     lsa::require(capacity >= 1, "mpsc ring: zero capacity");
     slots_ = std::make_unique<Slot[]>(mask_ + 1);
+    // relaxed: pre-publication init — the ring is handed to other threads
+    // only via some later synchronizing operation.
     for (std::size_t i = 0; i <= mask_; ++i) {
       slots_[i].seq.store(i, std::memory_order_relaxed);
     }
@@ -73,10 +75,15 @@ class MpscRing {
   /// entries (the caller parks or drops; this never blocks or spins on a
   /// full ring).
   [[nodiscard]] bool try_push(BufferRef&& v) {
+    // relaxed: ticket reads/CASes carry no payload — the slot seq
+    // (acquire/release below) is the only handoff edge; a stale ticket
+    // just re-runs the loop.
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       // Exact logical-capacity gate against the producers' cached head;
       // reload the real head only when the cache claims full.
+      // relaxed: the cache is a producer-private hint, re-validated
+      // against the acquire-loaded real head before reporting full.
       if (pos - head_cache_.load(std::memory_order_relaxed) >= capacity_) {
         const std::size_t h = head_.load(std::memory_order_acquire);
         head_cache_.store(h, std::memory_order_relaxed);
@@ -87,6 +94,8 @@ class MpscRing {
       const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
                                  static_cast<std::intptr_t>(pos);
       if (diff == 0) {
+        // relaxed: the ticket claim publishes nothing; the seq
+        // release-store below is the producer->consumer handoff.
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           s.val = std::move(v);
@@ -102,6 +111,7 @@ class MpscRing {
         // right now"; the caller parks or retries.
         return false;
       } else {
+        // relaxed: retry hint only (see the loop-entry comment).
         pos = tail_.load(std::memory_order_relaxed);
       }
     }
@@ -110,6 +120,8 @@ class MpscRing {
   /// Pop the oldest entry. Safe for concurrent callers (ticket CAS), which
   /// the crash-drain path relies on; returns false when empty.
   [[nodiscard]] bool try_pop(BufferRef& out) {
+    // relaxed: mirror of try_push — tickets are plain counters; the slot
+    // seq acquire-load below is the edge that makes s.val visible.
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Slot& s = slots_[pos & mask_];
@@ -117,6 +129,8 @@ class MpscRing {
       const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
                                  static_cast<std::intptr_t>(pos + 1);
       if (diff == 0) {
+        // relaxed: ticket claim; the re-arm release-store below hands the
+        // slot to the producer one lap ahead.
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           out = std::move(s.val);
@@ -127,6 +141,7 @@ class MpscRing {
       } else if (diff < 0) {
         return false;  // empty (or a producer is mid-write on this slot)
       } else {
+        // relaxed: retry hint only (see the loop-entry comment).
         pos = head_.load(std::memory_order_relaxed);
       }
     }
@@ -135,6 +150,7 @@ class MpscRing {
   /// True when a pop would succeed right now (the parked consumer's wake
   /// predicate; exact for the single live consumer).
   [[nodiscard]] bool can_pop() const {
+    // relaxed: advisory wake predicate — the popper re-checks exactly.
     const std::size_t pos = head_.load(std::memory_order_relaxed);
     const std::size_t seq = slots_[pos & mask_].seq.load(
         std::memory_order_acquire);
@@ -151,6 +167,7 @@ class MpscRing {
   /// Still conservative under racing producers — a stale "room" just
   /// re-runs try_push, which re-checks exactly.
   [[nodiscard]] bool can_push() const {
+    // relaxed: advisory wake predicate — try_push re-checks exactly.
     const std::size_t pos = tail_.load(std::memory_order_relaxed);
     if (pos - head_.load(std::memory_order_acquire) >= capacity_) {
       return false;

@@ -56,6 +56,8 @@ class FrameDecoder {
       const std::size_t take =
           std::min(frame_need_ - frame_have_, chunk.size());
       if (take != 0) {
+        // copy-ok: THE single inbound wire->buffer copy (socket bytes land
+        // directly in the pooled frame; no staging vector exists).
         std::memcpy(frame_.bytes().data() + frame_have_, chunk.data(), take);
         frame_have_ += take;
         chunk = chunk.subspan(take);
@@ -104,6 +106,8 @@ class FrameDecoder {
             " elems > max " + std::to_string(max_payload_elems_) + ")");
     frame_need_ = lsa::runtime::kHeaderBytes + 4ull * payload_elems;
     frame_ = pool_->acquire(frame_need_);
+    // copy-ok: 28-byte header replay into the just-acquired frame (the
+    // header was necessarily staged to learn the frame length).
     std::memcpy(frame_.bytes().data(), header_.data(),
                 lsa::runtime::kHeaderBytes);
     frame_have_ = lsa::runtime::kHeaderBytes;

@@ -32,10 +32,13 @@ struct Counters {
   std::atomic<std::uint64_t> pool_reuses{0};
 
   void note_copy(std::uint64_t bytes) {
+    // relaxed: exact monotonic adds; tests assert on quiesced deltas, so
+    // no cross-counter ordering is needed.
     payload_copies.fetch_add(1, std::memory_order_relaxed);
     payload_bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
   }
   void note_framed(std::uint64_t bytes) {
+    // relaxed: same contract as note_copy above.
     frames_built.fetch_add(1, std::memory_order_relaxed);
     payload_bytes_framed.fetch_add(bytes, std::memory_order_relaxed);
   }
@@ -58,6 +61,8 @@ struct CountersSnapshot {
 
 inline CountersSnapshot snapshot() {
   const auto& c = counters();
+  // relaxed: point-in-time sample; callers quiesce traffic before
+  // asserting exact values (before/after deltas bracket a serial region).
   return {c.frames_built.load(std::memory_order_relaxed),
           c.payload_bytes_framed.load(std::memory_order_relaxed),
           c.payload_copies.load(std::memory_order_relaxed),

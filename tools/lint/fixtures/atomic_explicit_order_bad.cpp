@@ -1,0 +1,11 @@
+// Known-bad fixture: atomic operations with defaulted (seq_cst) memory
+// order must trip atomic-explicit-order.
+#include <atomic>
+#include <cstdint>
+
+namespace fx {
+inline std::uint64_t bump(std::atomic<std::uint64_t>& c) {
+  c.store(1);             // BAD: order not named
+  return c.fetch_add(1);  // BAD: order not named
+}
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Known-good fixture: every atomic op names its order, including a
+// multi-line compare_exchange (the balanced-paren scan must see through
+// the line break). atomic-explicit-order must stay silent here.
+#include <atomic>
+#include <cstdint>
+
+namespace fx {
+inline std::uint64_t bump(std::atomic<std::uint64_t>& c) {
+  c.store(1, std::memory_order_release);
+  return c.fetch_add(1, std::memory_order_acq_rel);
+}
+
+inline bool claim(std::atomic<std::uint64_t>& c, std::uint64_t want) {
+  std::uint64_t expected = 0;
+  return c.compare_exchange_strong(expected, want,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+}
+}  // namespace fx

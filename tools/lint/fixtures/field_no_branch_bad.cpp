@@ -1,0 +1,13 @@
+// Known-bad fixture: a looping data-dependent reduction against the
+// modulus must trip field-no-branch (it is neither the one-shot
+// conditional-subtract idiom nor annotated).
+#include <cstdint>
+
+namespace fx {
+constexpr std::uint64_t Q = (1ull << 32) - 5;
+
+inline std::uint64_t reduce(std::uint64_t x) {
+  while (x >= Q) x -= Q;  // BAD: mispredicts ~50% on random elements
+  return x;
+}
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Known-good fixture: the canonical conditional-subtract idiom (lowered
+// to cmov), a ternary select, and a `// branch-ok:` annotated conversion
+// helper. field-no-branch must stay silent here.
+#include <cstdint>
+
+namespace fx {
+constexpr std::uint64_t Q = (1ull << 32) - 5;
+
+inline std::uint64_t reduce(std::uint64_t x) {
+  if (x >= Q) x -= Q;  // canonical one-shot fold
+  return x;
+}
+
+inline std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s >= Q ? s - Q : s;  // select form, never an if
+}
+
+inline std::int64_t to_i64(std::uint64_t a) {
+  // branch-ok: boundary conversion helper, not a reduction kernel.
+  if (a <= (Q - 1) / 2) return static_cast<std::int64_t>(a);
+  return -static_cast<std::int64_t>(Q - a);
+}
+}  // namespace fx

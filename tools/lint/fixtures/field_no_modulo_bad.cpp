@@ -1,0 +1,11 @@
+// Known-bad fixture: a generic `%` reduction in a fast-path field kernel
+// must trip field-no-modulo (lsa_lint.py --selftest asserts it does).
+#include <cstdint>
+
+namespace fx {
+constexpr std::uint64_t Q = (1ull << 32) - 5;
+
+inline std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+  return (a * b) % Q;  // BAD: division-based reduction on the hot path
+}
+}  // namespace fx

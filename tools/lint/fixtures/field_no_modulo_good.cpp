@@ -1,0 +1,17 @@
+// Known-good fixture: both sanctioned shapes for `%` in src/field/ —
+// a *_reference kernel (exempt by name) and a `// mod-ok:` annotated
+// boundary helper. field-no-modulo must stay silent here.
+#include <cstdint>
+
+namespace fx {
+constexpr std::uint64_t Q = (1ull << 32) - 5;
+
+inline std::uint64_t mul_reference(std::uint64_t a, std::uint64_t b) {
+  return (a * b) % Q;  // reference kernel: the oracle the fast paths test
+}
+
+inline std::uint64_t from_u64(std::uint64_t v) {
+  // mod-ok: boundary conversion helper, not a reduction kernel.
+  return v % Q;
+}
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Known-bad fixture: copying frame payload bytes into an owned vector —
+// the exact copy the zero-copy transport plane exists to avoid — must
+// trip memcpy-payload.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fx {
+struct Frame {
+  std::vector<std::uint8_t> storage;
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return storage;
+  }
+};
+
+inline std::vector<std::uint8_t> stash(const Frame& f) {
+  std::vector<std::uint8_t> owned(f.bytes().size());
+  // BAD: payload duplicated into an owned vector (pass the BufferRef)
+  std::memcpy(owned.data(), f.bytes().data(), f.bytes().size());
+  return owned;
+}
+}  // namespace fx

@@ -1,0 +1,28 @@
+// Known-good fixture: the sanctioned shapes — a `// copy-ok:` annotated
+// single-copy site and a fixed-size header peek (literal size <= 16).
+// memcpy-payload must stay silent here.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fx {
+struct Frame {
+  std::vector<std::uint8_t> storage;
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return storage;
+  }
+};
+
+inline std::vector<std::uint8_t> ingest(const Frame& f) {
+  std::vector<std::uint8_t> owned(f.bytes().size());
+  // copy-ok: this fixture's single sanctioned ingest copy.
+  std::memcpy(owned.data(), f.bytes().data(), f.bytes().size());
+  return owned;
+}
+
+inline std::uint32_t peek_payload_elems(const std::uint8_t* header) {
+  std::uint32_t payload_elems = 0;
+  std::memcpy(&payload_elems, header + 20, 4);  // fixed-size header peek
+  return payload_elems;
+}
+}  // namespace fx

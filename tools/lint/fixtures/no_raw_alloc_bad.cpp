@@ -1,0 +1,13 @@
+// Known-bad fixture: raw array/heap allocation in a hot plane must trip
+// no-raw-alloc.
+#include <cstdlib>
+
+namespace fx {
+inline unsigned char* staging_array(unsigned long n) {
+  return new unsigned char[n];  // BAD: raw array on the hot plane
+}
+
+inline void* staging_heap(unsigned long n) {
+  return std::malloc(n);  // BAD: malloc on the hot plane
+}
+}  // namespace fx

@@ -1,0 +1,13 @@
+// Known-good fixture: pooled/container-owned storage only. no-raw-alloc
+// must stay silent here (including on `new` without an array bound
+// inside a smart pointer).
+#include <memory>
+#include <vector>
+
+namespace fx {
+inline std::vector<unsigned char> staging(unsigned long n) {
+  return std::vector<unsigned char>(n);
+}
+
+inline std::unique_ptr<int> boxed() { return std::make_unique<int>(7); }
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Known-bad fixture: a detached thread outliving its captures must trip
+// no-thread-detach.
+#include <thread>
+
+namespace fx {
+inline void fire_and_forget() {
+  int local = 0;
+  std::thread t([&local] { ++local; });
+  t.detach();  // BAD: `local` dies while the thread may still run
+}
+}  // namespace fx

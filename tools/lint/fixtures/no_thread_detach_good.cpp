@@ -1,0 +1,12 @@
+// Known-good fixture: every thread joined by its owner before the
+// captures die. no-thread-detach must stay silent here.
+#include <thread>
+
+namespace fx {
+inline int run_joined() {
+  int local = 0;
+  std::thread t([&local] { ++local; });
+  t.join();
+  return local;
+}
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Known-bad fixture: a memory_order_relaxed access without a
+// `// relaxed:` justification must trip relaxed-justified.
+#include <atomic>
+#include <cstdint>
+
+namespace fx {
+inline void count(std::atomic<std::uint64_t>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);  // BAD: no justification
+}
+}  // namespace fx

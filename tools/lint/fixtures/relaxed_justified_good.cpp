@@ -1,0 +1,20 @@
+// Known-good fixture: both sanctioned comment shapes — a per-site
+// justification and a block comment covering the contiguous lines below
+// it. relaxed-justified must stay silent here.
+#include <atomic>
+#include <cstdint>
+
+namespace fx {
+inline void count(std::atomic<std::uint64_t>& c) {
+  // relaxed: monotonic telemetry total, read quiescently.
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
+// relaxed: both gauges below are advisory counters — no reader derives
+// an ordering edge from them (block comment covers until the blank line).
+inline void count_pair(std::atomic<std::uint64_t>& a,
+                       std::atomic<std::uint64_t>& b) {
+  a.fetch_add(1, std::memory_order_relaxed);
+  b.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Known-bad fixture: a serialized session member mutated outside its
+// serial-step allowlist must trip serial-stage (the selftest lints this
+// file as if it were src/server/aggregation_server.h).
+#include <cstddef>
+#include <deque>
+
+namespace fx {
+class SyncSession {
+ public:
+  void prepare_offline() { ++staged_; }
+  void retire_online() {
+    queue_.pop_front();
+    --staged_;
+  }
+  void poke() { ++staged_; }           // BAD: not a serial driver step
+  void drain() { queue_.clear(); }     // BAD: not a serial driver step
+
+ private:
+  std::deque<int> queue_;
+  std::size_t staged_ = 0;
+};
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Known-good fixture: serialized members mutated only from allowlisted
+// serial steps; class-scope default initializers are exempt. serial-stage
+// must stay silent here.
+#include <cstddef>
+#include <deque>
+
+namespace fx {
+class SyncSession {
+ public:
+  void enqueue_round(int work) { queue_.push_back(work); }
+  void prepare_offline() { ++staged_; }
+  void retire_online() {
+    queue_.pop_front();
+    --staged_;
+  }
+  void clear_pending() {
+    queue_.clear();
+    staged_ = 0;
+  }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  std::deque<int> queue_;
+  std::size_t staged_ = 0;  // class-scope initializer: exempt
+};
+}  // namespace fx

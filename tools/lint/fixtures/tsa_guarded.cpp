@@ -1,0 +1,35 @@
+// Known-good thread-safety fixture: the repo's annotation conventions in
+// miniature — scoped MutexLock acquisition, an LSA_REQUIRES lock-held
+// helper, and a guarded member. Must compile clean under clang
+// -Wthread-safety -Werror=thread-safety (the `tsa_smoke_guarded` ctest
+// entry is the control for tsa_unguarded.cpp's WILL_FAIL).
+#include "common/thread_annotations.h"
+
+namespace fx {
+
+class Counter {
+ public:
+  void bump() {
+    lsa::sync::MutexLock lk(mu_);
+    bump_locked();
+  }
+
+  [[nodiscard]] int value() const {
+    lsa::sync::MutexLock lk(mu_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() LSA_REQUIRES(mu_) { ++value_; }
+
+  mutable lsa::sync::Mutex mu_;
+  int value_ LSA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fx
+
+int main() {
+  fx::Counter c;
+  c.bump();
+  return c.value() == 1 ? 0 : 1;
+}

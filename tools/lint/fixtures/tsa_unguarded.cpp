@@ -1,0 +1,26 @@
+// Known-bad thread-safety fixture: writes a guarded member without
+// holding its mutex. Under clang with -Wthread-safety
+// -Werror=thread-safety this MUST fail to compile — the
+// `tsa_smoke_unguarded` ctest entry asserts exactly that (WILL_FAIL),
+// proving the analysis leg is live and not silently disabled. Under gcc
+// the annotations expand to nothing and the file compiles clean.
+#include "common/thread_annotations.h"
+
+namespace fx {
+
+class Counter {
+ public:
+  void bump_unguarded() { ++value_; }  // BAD: mu_ not held
+
+ private:
+  lsa::sync::Mutex mu_;
+  int value_ LSA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fx
+
+int main() {
+  fx::Counter c;
+  c.bump_unguarded();
+  return 0;
+}
